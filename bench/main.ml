@@ -1,0 +1,958 @@
+(* Experiment harness.
+
+   The paper has no empirical evaluation (no tables; one figure), so this
+   executable regenerates the experiment suite defined in DESIGN.md §2/§5:
+   EXP-F1 reproduces Figure 1 executably, EXP-T1..T7 turn each quantitative
+   claim the paper makes in prose into a measured table. Run with no
+   arguments to execute everything at the default scale; pass experiment
+   names (fig1, micro, join-vs-product, traversals, recognizers, generators,
+   counting, label-regex, optimizer, semirings, projection, views,
+   label-loss) to select, and "--full" for larger sweeps. *)
+
+open Mrpa_graph
+open Mrpa_core
+open Mrpa_automata
+open Mrpa_analysis
+open Mrpa_baseline
+module Optimizer = Mrpa_engine.Optimizer
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ms t = Printf.sprintf "%.2f" (1000.0 *. t)
+
+(* --- Minimal aligned-table printer ----------------------------------- *)
+
+let print_table ~title ~header rows =
+  let all = header :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i cell -> max (List.nth acc i) (String.length cell))
+          row)
+      (List.map (fun _ -> 0) header)
+      all
+  in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> cell ^ String.make (List.nth widths i - String.length cell) ' ')
+         row)
+  in
+  Printf.printf "\n%s\n" title;
+  Printf.printf "%s\n" (render header);
+  Printf.printf "%s\n" (String.make (String.length (render header)) '-');
+  List.iter (fun row -> Printf.printf "%s\n" (render row)) rows;
+  flush stdout
+
+let section id claim =
+  Printf.printf "\n=== %s ===\n%s\n" id claim;
+  flush stdout
+
+(* --- Shared fixtures --------------------------------------------------- *)
+
+(* The Figure 1 expression, built against any graph that names i, j, k,
+   alpha, beta. *)
+let fig1_expr g =
+  let i = Digraph.vertex g "i"
+  and j = Digraph.vertex g "j"
+  and k = Digraph.vertex g "k" in
+  let alpha = Digraph.label g "alpha" and beta = Digraph.label g "beta" in
+  let open Expr.Dsl in
+  Expr.sel
+    (Selector.pattern ~src:(Vertex.Set.singleton i)
+       ~lbl:(Label.Set.singleton alpha) ())
+  <.> Expr.star (Expr.sel (Selector.label1 beta))
+  <.> (Expr.sel
+         (Selector.pattern ~lbl:(Label.Set.singleton alpha)
+            ~dst:(Vertex.Set.singleton j) ())
+       <.> Expr.edge (Edge.make ~tail:j ~label:alpha ~head:i)
+      <|> Expr.sel
+            (Selector.pattern ~lbl:(Label.Set.singleton alpha)
+               ~dst:(Vertex.Set.singleton k) ()))
+
+(* --- EXP-F1: Figure 1 --------------------------------------------------- *)
+
+let exp_fig1 ~full =
+  section "EXP-F1 (Figure 1)"
+    "The paper's only figure: the automaton for [i,a,_] . [_,b,_]* .\n\
+     (([_,a,j] . {(j,a,i)}) | [_,a,k]). Four independent implementations\n\
+     must produce the same path set: the reference denotation, the paper's\n\
+     stack machine (SIV-B), product-graph BFS, and recognising (SIV-A) the\n\
+     complete source traversal from i.";
+  let sizes =
+    if full then [ (5, 15); (20, 60); (50, 170); (100, 400) ]
+    else [ (5, 15); (20, 60); (40, 130) ]
+  in
+  let max_length = 5 in
+  let rows =
+    List.map
+      (fun (nv, ne) ->
+        let g =
+          Generate.fig1 ~rng:(Prng.create 42) ~n_noise_vertices:nv
+            ~n_noise_edges:ne
+        in
+        let r = fig1_expr g in
+        let reference, t_ref = time (fun () -> Expr.denote g ~max_length r) in
+        let stack, t_stack = time (fun () -> Stack_machine.run g r ~max_length) in
+        let bfs, t_bfs = time (fun () -> Generator.generate g r ~max_length) in
+        let filtered, t_filter =
+          time (fun () ->
+              let i = Vertex.Set.singleton (Digraph.vertex g "i") in
+              let accept = Recognizer.make ~strategy:Recognizer.Nfa r in
+              let acc = ref Path_set.empty in
+              for len = 1 to max_length do
+                let candidates = Traversal.source g ~from:i ~length:len in
+                acc := Path_set.union !acc (Path_set.filter accept candidates)
+              done;
+              !acc)
+        in
+        let agree =
+          Path_set.equal reference stack
+          && Path_set.equal reference bfs
+          && Path_set.equal reference filtered
+        in
+        [
+          string_of_int (Digraph.n_vertices g);
+          string_of_int (Digraph.n_edges g);
+          string_of_int (Path_set.cardinal reference);
+          ms t_ref;
+          ms t_stack;
+          ms t_bfs;
+          ms t_filter;
+          string_of_bool agree;
+        ])
+      sizes
+  in
+  print_table
+    ~title:"Figure 1: four implementations, one path set (times in ms)"
+    ~header:
+      [ "|V|"; "|E|"; "paths"; "denote"; "stack"; "bfs"; "recognise"; "agree" ]
+    rows
+
+(* --- EXP-T1: core-operation micro-costs (bechamel) ----------------------- *)
+
+let exp_micro ~full =
+  section "EXP-T1 (micro)"
+    "Cost of each core operation of SII: concatenation, projections,\n\
+     jointness, union, concatenative join, concatenative product.";
+  let g =
+    Generate.uniform ~rng:(Prng.create 7) ~n_vertices:40
+      ~n_edges:(if full then 400 else 200)
+      ~n_labels:3
+  in
+  let edges = Array.of_list (Digraph.edges g) in
+  let rng = Prng.create 11 in
+  let walk len =
+    Path.of_edges
+      (List.init len (fun _ -> edges.(Prng.int rng (Array.length edges))))
+  in
+  let p8 = walk 8 and q8 = walk 8 in
+  let edge_set = Path_set.all_edges g in
+  let half =
+    Path_set.of_edges (List.filteri (fun i _ -> i mod 2 = 0) (Digraph.edges g))
+  in
+  let small_set =
+    Path_set.of_edges (List.filteri (fun i _ -> i < 30) (Digraph.edges g))
+  in
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"core"
+      [
+        Test.make ~name:"concat-8+8" (Staged.stage (fun () -> Path.concat p8 q8));
+        Test.make ~name:"sigma-nth" (Staged.stage (fun () -> Path.nth p8 5));
+        Test.make ~name:"label-word-8"
+          (Staged.stage (fun () -> Path.label_word p8));
+        Test.make ~name:"is-joint-8" (Staged.stage (fun () -> Path.is_joint p8));
+        Test.make ~name:"union-half"
+          (Staged.stage (fun () -> Path_set.union edge_set half));
+        Test.make ~name:"join-ExE"
+          (Staged.stage (fun () -> Path_set.join edge_set edge_set));
+        Test.make ~name:"product-30x30"
+          (Staged.stage (fun () -> Path_set.product small_set small_set));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols_result with
+          | Some [ e ] -> Printf.sprintf "%.1f" e
+          | Some _ | None -> "n/a"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols_result with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "n/a"
+        in
+        [ name; estimate; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_table ~title:"Core operation costs (OLS estimate)"
+    ~header:[ "operation"; "ns/run"; "r^2" ]
+    rows
+
+(* --- EXP-T2: join vs product (footnote 7) --------------------------------- *)
+
+let exp_join_vs_product ~full =
+  section "EXP-T2 (join vs product)"
+    "Footnote 7: R ./o Q is a subset of R ><o Q and 'a more efficient use of\n\
+     resources' when only joint paths are wanted. We compute E ./o E directly\n\
+     and as a filtered Cartesian product.";
+  let sizes = if full then [ 50; 100; 200; 400; 800 ] else [ 50; 100; 200; 400 ] in
+  let rows =
+    List.map
+      (fun m ->
+        let g =
+          Generate.uniform ~rng:(Prng.create 13) ~n_vertices:(max 8 (m / 5))
+            ~n_edges:m ~n_labels:3
+        in
+        let e = Path_set.all_edges g in
+        let joined, t_join = time (fun () -> Path_set.join e e) in
+        let filtered, t_filtered =
+          time (fun () -> Path_set.restrict_joint (Path_set.product e e))
+        in
+        [
+          string_of_int m;
+          string_of_int (Path_set.cardinal joined);
+          string_of_int (m * m);
+          ms t_join;
+          ms t_filtered;
+          Printf.sprintf "%.1fx" (t_filtered /. max 1e-9 t_join);
+          string_of_bool (Path_set.equal joined filtered);
+        ])
+      sizes
+  in
+  print_table
+    ~title:"E ./o E: indexed join vs filtered Cartesian product (times in ms)"
+    ~header:
+      [ "|E|"; "|join|"; "|product|"; "join"; "prod+filter"; "speedup"; "sound" ]
+    rows
+
+(* --- EXP-T3: traversal idioms (SIII) --------------------------------------- *)
+
+let exp_traversals ~full =
+  section "EXP-T3 (traversal idioms)"
+    "SIII: complete traversal vs source/destination/labeled restriction.\n\
+     Restricting the join operands shrinks both the result and the work.";
+  let layers = 6 and width = if full then 12 else 8 in
+  let g =
+    Generate.layered ~rng:(Prng.create 17) ~layers ~width ~fanout:3 ~n_labels:4
+  in
+  let v0 = Digraph.vertex g "l0_0" in
+  let r0 = Digraph.label g "r0" in
+  let rows = ref [] in
+  for length = 1 to 4 do
+    let complete, t_complete = time (fun () -> Traversal.complete g ~length) in
+    let source, t_source =
+      time (fun () -> Traversal.source g ~from:(Vertex.Set.singleton v0) ~length)
+    in
+    let target = Digraph.vertex g (Printf.sprintf "l%d_0" length) in
+    let dest, t_dest =
+      time (fun () ->
+          Traversal.destination g ~into:(Vertex.Set.singleton target) ~length)
+    in
+    let labeled, t_labeled =
+      time (fun () ->
+          Traversal.labeled g
+            ~labels:(List.init length (fun _ -> Label.Set.singleton r0)))
+    in
+    let between, t_between =
+      time (fun () ->
+          Traversal.between g ~from:(Vertex.Set.singleton v0)
+            ~into:(Vertex.Set.singleton target) ~length)
+    in
+    rows :=
+      [
+        string_of_int length;
+        Printf.sprintf "%d/%s" (Path_set.cardinal complete) (ms t_complete);
+        Printf.sprintf "%d/%s" (Path_set.cardinal source) (ms t_source);
+        Printf.sprintf "%d/%s" (Path_set.cardinal dest) (ms t_dest);
+        Printf.sprintf "%d/%s" (Path_set.cardinal labeled) (ms t_labeled);
+        Printf.sprintf "%d/%s" (Path_set.cardinal between) (ms t_between);
+      ]
+      :: !rows
+  done;
+  print_table
+    ~title:
+      (Printf.sprintf "Layered DAG (%d layers x %d, |E|=%d): paths/ms per idiom"
+         layers width (Digraph.n_edges g))
+    ~header:[ "len"; "complete"; "source"; "destination"; "labeled"; "between" ]
+    (List.rev !rows)
+
+(* --- EXP-T3b: join-order planning ------------------------------------------------ *)
+
+let exp_join_order ~full =
+  section "EXP-T3b (join-order planning)"
+    "SIII says restriction limits the derived set; associativity of ./o\n\
+     means the restriction can be applied FIRST regardless of where it sits\n\
+     in the chain. Left-to-right evaluation of a destination-anchored chain\n\
+     pays for the unanchored prefix; pivoting at the anchor does not.";
+  let layers = 6 and width = if full then 12 else 8 in
+  let g =
+    Generate.layered ~rng:(Prng.create 73) ~layers ~width ~fanout:3 ~n_labels:4
+  in
+  let rows =
+    List.map
+      (fun len ->
+        (* anchor at the best-connected vertex of layer [len] *)
+        let target =
+          List.fold_left
+            (fun best slot ->
+              let v = Digraph.vertex g (Printf.sprintf "l%d_%d" len slot) in
+              if Digraph.in_degree g v > Digraph.in_degree g best then v
+              else best)
+            (Digraph.vertex g (Printf.sprintf "l%d_0" len))
+            (List.init width Fun.id)
+        in
+        let chain =
+          List.init len (fun idx ->
+              if idx = len - 1 then Selector.dst_in (Vertex.Set.singleton target)
+              else Selector.universe)
+        in
+        let ltr, t_ltr = time (fun () -> Traversal.steps g chain) in
+        let planned, t_planned = time (fun () -> Traversal.steps_planned g chain) in
+        [
+          string_of_int len;
+          string_of_int (Path_set.cardinal ltr);
+          ms t_ltr;
+          ms t_planned;
+          Printf.sprintf "%.1fx" (t_ltr /. max 1e-9 t_planned);
+          string_of_bool (Path_set.equal ltr planned);
+        ])
+      [ 2; 3; 4 ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "Destination-anchored chain on layered DAG (|E|=%d): left-to-right vs planned"
+         (Digraph.n_edges g))
+    ~header:[ "len"; "paths"; "left-to-right"; "planned"; "speedup"; "agree" ]
+    rows
+
+(* --- EXP-T4: recognizer strategies (SIV-A) ----------------------------------- *)
+
+let exp_recognizers ~full =
+  section "EXP-T4 (recognizer strategies)"
+    "SIV-A: one regular path expression, five recognition strategies. The\n\
+     corpus mixes accepted and rejected paths; all strategies must agree.";
+  let g =
+    Generate.fig1 ~rng:(Prng.create 23)
+      ~n_noise_vertices:(if full then 60 else 30)
+      ~n_noise_edges:(if full then 250 else 100)
+  in
+  let r = fig1_expr g in
+  let rng = Prng.create 29 in
+  let edges = Array.of_list (Digraph.edges g) in
+  let corpus =
+    let walks =
+      List.init
+        (if full then 3000 else 1000)
+        (fun _ ->
+          let start = edges.(Prng.int rng (Array.length edges)) in
+          let rec extend acc last n =
+            if n = 0 then List.rev acc
+            else
+              match Digraph.out_edges g (Edge.head last) with
+              | [] -> List.rev acc
+              | out ->
+                let next = List.nth out (Prng.int rng (List.length out)) in
+                extend (next :: acc) next (n - 1)
+          in
+          Path.of_edges (extend [ start ] start (Prng.int rng 6)))
+    in
+    let accepted = Path_set.elements (Expr.denote g ~max_length:5 r) in
+    walks @ accepted
+  in
+  let n_corpus = List.length corpus in
+  let strategies =
+    [
+      ("cubic", Recognizer.Cubic);
+      ("nfa", Recognizer.Nfa);
+      ("lazy-dfa", Recognizer.Lazy_dfa);
+      ("eager-dfa", Recognizer.Eager_dfa);
+      ("min-dfa", Recognizer.Min_dfa);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, strategy) ->
+        let accept, t_build =
+          time (fun () -> Recognizer.make ~strategy ~graph:g r)
+        in
+        let n_accepted, t_run =
+          time (fun () ->
+              List.fold_left
+                (fun acc p -> if accept p then acc + 1 else acc)
+                0 corpus)
+        in
+        [
+          name;
+          ms t_build;
+          ms t_run;
+          Printf.sprintf "%.2f" (1e6 *. t_run /. float_of_int n_corpus);
+          string_of_int n_accepted;
+        ])
+      strategies
+  in
+  let a = Glushkov.build r in
+  let d = Dfa.create g r in
+  let m = Dfa.minimize d in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "Recognising %d paths (|V|=%d |E|=%d); nfa states=%d dfa states=%d min=%d"
+         n_corpus (Digraph.n_vertices g) (Digraph.n_edges g)
+         (Glushkov.n_states a) (Dfa.n_states d) (Dfa.n_states m))
+    ~header:[ "strategy"; "build(ms)"; "run(ms)"; "us/path"; "accepted" ]
+    rows
+
+(* --- EXP-T5: generator strategies (SIV-B) ------------------------------------- *)
+
+let exp_generators ~full =
+  section "EXP-T5 (generator strategies)"
+    "SIV-B: the paper's set-at-a-time single-stack machine vs path-at-a-time\n\
+     product-graph BFS, on an anchored starred expression, sweeping the\n\
+     length bound.";
+  let g =
+    Generate.fig1 ~rng:(Prng.create 31)
+      ~n_noise_vertices:(if full then 50 else 25)
+      ~n_noise_edges:(if full then 220 else 90)
+  in
+  let r = fig1_expr g in
+  let lengths = if full then [ 2; 3; 4; 5; 6; 7 ] else [ 2; 3; 4; 5; 6 ] in
+  let rows =
+    List.map
+      (fun max_length ->
+        let stack, t_stack = time (fun () -> Stack_machine.run g r ~max_length) in
+        let bfs, t_bfs = time (fun () -> Generator.generate g r ~max_length) in
+        [
+          string_of_int max_length;
+          string_of_int (Path_set.cardinal stack);
+          ms t_stack;
+          ms t_bfs;
+          Printf.sprintf "%.1fx" (t_stack /. max 1e-9 t_bfs);
+          string_of_bool (Path_set.equal stack bfs);
+        ])
+      lengths
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "Figure-1 expression on |V|=%d |E|=%d (times in ms)"
+         (Digraph.n_vertices g) (Digraph.n_edges g))
+    ~header:[ "maxlen"; "paths"; "stack"; "bfs"; "stack/bfs"; "agree" ]
+    rows;
+  let g2 =
+    Generate.uniform ~rng:(Prng.create 37) ~n_vertices:25
+      ~n_edges:(if full then 220 else 120)
+      ~n_labels:4
+  in
+  let r2 =
+    Expr.join
+      (Expr.sel (Selector.label1 (Digraph.label g2 "r0")))
+      (Expr.sel (Selector.label1 (Digraph.label g2 "r1")))
+  in
+  let stack, t_stack = time (fun () -> Stack_machine.run g2 r2 ~max_length:2) in
+  let bfs, t_bfs = time (fun () -> Generator.generate g2 r2 ~max_length:2) in
+  print_table
+    ~title:"Unanchored 2-step labeled traversal (set-at-a-time batches well)"
+    ~header:[ "graph"; "paths"; "stack(ms)"; "bfs(ms)"; "agree" ]
+    [
+      [
+        Printf.sprintf "uniform |E|=%d" (Digraph.n_edges g2);
+        string_of_int (Path_set.cardinal stack);
+        ms t_stack;
+        ms t_bfs;
+        string_of_bool (Path_set.equal stack bfs);
+      ];
+    ]
+
+(* --- EXP-T5b: counting vs enumeration ------------------------------------------ *)
+
+let exp_counting ~full =
+  section "EXP-T5b (counting vs enumeration)"
+    "Counting distinct paths via DP over the determinised automaton x graph\n\
+     product, against materialising the whole set. Enumeration pays the\n\
+     output size; the DP pays configurations.";
+  let n = if full then 8 else 6 in
+  let g = Generate.complete ~n ~n_labels:2 in
+  let r = Expr.star (Expr.sel Selector.universe) in
+  let lengths = if full then [ 2; 3; 4; 5; 6 ] else [ 2; 3; 4; 5 ] in
+  let rows =
+    List.map
+      (fun max_length ->
+        let counts, t_dp = time (fun () -> Counting.count_by_length g r ~max_length) in
+        let total = Array.fold_left ( + ) 0 counts in
+        (* enumerate only while feasible *)
+        let enum_cell, enum_time =
+          if total <= 200_000 then begin
+            let s, t = time (fun () -> Generator.generate g r ~max_length) in
+            (string_of_int (Path_set.cardinal s), ms t)
+          end
+          else ("(skipped)", "-")
+        in
+        [
+          string_of_int max_length;
+          string_of_int total;
+          ms t_dp;
+          enum_cell;
+          enum_time;
+        ])
+      lengths
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "E* on complete graph K%d x 2 labels: DP count vs enumeration"
+         n)
+    ~header:[ "maxlen"; "count(DP)"; "dp(ms)"; "count(enum)"; "enum(ms)" ]
+    rows;
+  (* the same counts drive an exactly-uniform sampler: drawing from a
+     population enumeration cannot touch *)
+  let deepest = List.fold_left max 0 lengths in
+  let sampler, t_prep =
+    time (fun () -> Sampler.prepare g r ~max_length:deepest)
+  in
+  let samples, t_draw = time (fun () -> Sampler.sample sampler (Prng.create 3) 1000) in
+  print_table
+    ~title:"Uniform sampling from the same denotation (1000 draws)"
+    ~header:[ "population"; "prepare(ms)"; "1000 draws(ms)"; "distinct lengths" ]
+    [
+      [
+        string_of_int (Sampler.population sampler);
+        ms t_prep;
+        ms t_draw;
+        string_of_int
+          (List.length
+             (List.sort_uniq Int.compare (List.map Path.length samples)));
+      ];
+    ]
+
+(* --- EXP-T8: label-alphabet vs edge-alphabet recognition ------------------------- *)
+
+let exp_label_regex ~full =
+  section "EXP-T8 (label vs edge alphabet)"
+    "SIV-A closes by contrasting expressions over E with Mendelzon & Wood's\n\
+     expressions over Omega (ref [8]). For label-only queries both exist:\n\
+     the Omega-regex recognises ω'(a) by Brzozowski derivatives; the\n\
+     E-regex embeds each label as [_,a,_] and runs the automaton machinery.";
+  let g =
+    Generate.uniform ~rng:(Prng.create 47) ~n_vertices:30
+      ~n_edges:(if full then 400 else 180)
+      ~n_labels:3
+  in
+  let r0 = Digraph.label g "r0"
+  and r1 = Digraph.label g "r1"
+  and r2 = Digraph.label g "r2" in
+  let lr =
+    (* r0 . (r1 | r2)* . r0 *)
+    Label_expr.(concat (lbl r0) (concat (star (union (lbl r1) (lbl r2)))
+      (lbl r0)))
+  in
+  let er = Label_expr.to_expr lr in
+  let rng = Prng.create 53 in
+  let edges = Array.of_list (Digraph.edges g) in
+  let corpus =
+    List.init
+      (if full then 5000 else 2000)
+      (fun _ ->
+        let start = edges.(Prng.int rng (Array.length edges)) in
+        let rec extend acc last k =
+          if k = 0 then List.rev acc
+          else
+            match Digraph.out_edges g (Edge.head last) with
+            | [] -> List.rev acc
+            | out ->
+              let next = List.nth out (Prng.int rng (List.length out)) in
+              extend (next :: acc) next (k - 1)
+        in
+        Path.of_edges (extend [ start ] start (Prng.int rng 6)))
+  in
+  let n_corpus = List.length corpus in
+  let strategies =
+    [
+      ("omega-derivatives", fun p -> Label_expr.accepts_path lr p);
+      ("edge-cubic", Recognizer.make ~strategy:Recognizer.Cubic er);
+      ("edge-nfa", Recognizer.make ~strategy:Recognizer.Nfa er);
+      ("edge-lazy-dfa", Recognizer.make ~strategy:Recognizer.Lazy_dfa er);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, accept) ->
+        let n_accepted, t_run =
+          time (fun () ->
+              List.fold_left
+                (fun acc p -> if accept p then acc + 1 else acc)
+                0 corpus)
+        in
+        [
+          name;
+          ms t_run;
+          Printf.sprintf "%.2f" (1e6 *. t_run /. float_of_int n_corpus);
+          string_of_int n_accepted;
+        ])
+      strategies
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "Recognising %d walks with r0.(r1|r2)*.r0 (|E|=%d)"
+         n_corpus (Digraph.n_edges g))
+    ~header:[ "recogniser"; "run(ms)"; "us/path"; "accepted" ]
+    rows
+
+(* --- EXP-T9: optimiser ablation ---------------------------------------------------- *)
+
+let exp_optimizer ~full =
+  section "EXP-T9 (optimiser ablation)"
+    "Algebraic rewrites (unit/zero laws, star collapses, selector fusion)\n\
+     before evaluation. Same strategy, same answers; redundant structure\n\
+     costs real time when evaluated naively.";
+  let g =
+    Generate.uniform ~rng:(Prng.create 59) ~n_vertices:20
+      ~n_edges:(if full then 200 else 120)
+      ~n_labels:3
+  in
+  let a = Expr.sel (Selector.label1 (Digraph.label g "r0")) in
+  let b = Expr.sel (Selector.label1 (Digraph.label g "r1")) in
+  let redundant =
+    (* (∅ | a) . (b | b) . (a | ∅) . ε-laden star *)
+    Expr.join
+      (Expr.join
+         (Expr.join (Expr.union Expr.empty a) (Expr.union b b))
+         (Expr.union a Expr.empty))
+      (Expr.star (Expr.union Expr.epsilon (Expr.union b b)))
+  in
+  let optimized, rewrites = Optimizer.simplify redundant in
+  let max_length = 5 in
+  let run expr = Stack_machine.run g expr ~max_length in
+  let res_naive, t_naive = time (fun () -> run redundant) in
+  let res_opt, t_opt = time (fun () -> run optimized) in
+  let gen_naive, tg_naive = time (fun () -> Generator.generate g redundant ~max_length) in
+  let gen_opt, tg_opt = time (fun () -> Generator.generate g optimized ~max_length) in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "Redundant expression (%d nodes) vs optimised (%d nodes); rewrites: %s"
+         (Expr.size redundant) (Expr.size optimized)
+         (String.concat ", " rewrites))
+    ~header:[ "evaluator"; "naive(ms)"; "optimised(ms)"; "speedup"; "same answer" ]
+    [
+      [
+        "stack-machine";
+        ms t_naive;
+        ms t_opt;
+        Printf.sprintf "%.1fx" (t_naive /. max 1e-9 t_opt);
+        string_of_bool (Path_set.equal res_naive res_opt);
+      ];
+      [
+        "product-bfs";
+        ms tg_naive;
+        ms tg_opt;
+        Printf.sprintf "%.1fx" (tg_naive /. max 1e-9 tg_opt);
+        string_of_bool (Path_set.equal gen_naive gen_opt);
+      ];
+    ]
+
+(* --- EXP-T6: SIV-C projection + single-relational algorithms ------------------- *)
+
+let jaccard_top_k k a b =
+  let top v = List.map fst (Centrality.top_k k v) in
+  let sa = List.sort_uniq Int.compare (top a) in
+  let sb = List.sort_uniq Int.compare (top b) in
+  let inter = List.filter (fun x -> List.mem x sb) sa in
+  let union = List.sort_uniq Int.compare (sa @ sb) in
+  float_of_int (List.length inter) /. float_of_int (List.length union)
+
+let exp_projection ~full =
+  section "EXP-T6 (semantically-rich projection)"
+    "SIV-C: derive E_ab (knows . works_for) via the path algebra and via the\n\
+     boolean matrix product of adjacency slices (the tensor route of ref [5]);\n\
+     run PageRank downstream and compare against the label-blind projection\n\
+     the paper warns about.";
+  let sizes = if full then [ 50; 150; 400; 1000 ] else [ 50; 150; 400 ] in
+  let rows =
+    List.map
+      (fun n_people ->
+        let g =
+          Generate.social ~rng:(Prng.create 41) ~n_people
+            ~n_orgs:(max 2 (n_people / 20))
+            ~n_projects:(max 3 (n_people / 10))
+        in
+        let knows = Digraph.label g "knows" in
+        let works_for = Digraph.label g "works_for" in
+        let via_join, t_join =
+          time (fun () -> Projection.path_derived g [ knows; works_for ])
+        in
+        let via_matrix, t_matrix =
+          time (fun () ->
+              Simple_graph.of_sparse_bool
+                (Projection.path_derived_matrix g [ knows; works_for ]))
+        in
+        let agree = Simple_graph.equal via_join via_matrix in
+        let pr_derived, t_pr = time (fun () -> Centrality.pagerank via_join) in
+        let blind = Projection.label_blind g in
+        let pr_blind = Centrality.pagerank blind in
+        let overlap = jaccard_top_k 10 pr_derived pr_blind in
+        [
+          string_of_int n_people;
+          string_of_int (Digraph.n_edges g);
+          string_of_int (Simple_graph.n_edges via_join);
+          ms t_join;
+          ms t_matrix;
+          string_of_bool agree;
+          ms t_pr;
+          Printf.sprintf "%.2f" overlap;
+        ])
+      sizes
+  in
+  print_table
+    ~title:
+      "E_knows.works_for: join vs matrix; PageRank; top-10 overlap with \
+       label-blind"
+    ~header:
+      [ "people"; "|E|"; "|E_ab|"; "join"; "matrix"; "agree"; "pagerank"; "jaccard" ]
+    rows
+
+(* --- EXP-T7: label loss in the binary algebra (SII) ----------------------------- *)
+
+let exp_label_loss ~full =
+  section "EXP-T7 (path-label loss)"
+    "SII's closing argument: joining binary relations (the V* algebra of\n\
+     ref [4]) loses edge labels. We traverse the same graphs with both\n\
+     algebras and count how many binary results cannot recover their path\n\
+     label. Invariant: ternary path count = total candidate label words.";
+  let cases =
+    let base = [ (6, 40, 4, 2); (6, 80, 4, 2); (6, 120, 4, 2); (8, 120, 4, 3) ] in
+    if full then base @ [ (8, 200, 5, 3); (10, 300, 5, 3) ] else base
+  in
+  let rows =
+    List.map
+      (fun (n, m, k, len) ->
+        let g =
+          Generate.uniform ~rng:(Prng.create 43) ~n_vertices:n ~n_edges:m
+            ~n_labels:k
+        in
+        let ternary, t_ternary =
+          time (fun () -> Path_set.join_power (Path_set.all_edges g) len)
+        in
+        let binary, t_binary =
+          time (fun () -> Vpath_set.join_power (Vpath_set.of_digraph g) len)
+        in
+        let census = Label_recovery.census g binary in
+        let pct_ambiguous =
+          100.0
+          *. float_of_int census.Label_recovery.ambiguous
+          /. float_of_int (max 1 census.Label_recovery.total)
+        in
+        [
+          Printf.sprintf "%d/%d/%d" n m k;
+          string_of_int len;
+          string_of_int (Path_set.cardinal ternary);
+          string_of_int (Vpath_set.cardinal binary);
+          Printf.sprintf "%.1f%%" pct_ambiguous;
+          string_of_int census.Label_recovery.max_words;
+          string_of_bool
+            (census.Label_recovery.total_words = Path_set.cardinal ternary);
+          ms t_ternary;
+          ms t_binary;
+        ])
+      cases
+  in
+  print_table
+    ~title:"Ternary (E*) vs binary (V*) traversal: ambiguity of label recovery"
+    ~header:
+      [
+        "n/m/k";
+        "len";
+        "ternary";
+        "binary";
+        "ambiguous";
+        "max words";
+        "invariant";
+        "t_E*";
+        "t_V*";
+      ]
+    rows
+
+(* --- EXP-T10: semiring aggregation vs enumeration -------------------------------- *)
+
+let exp_semirings ~full =
+  section "EXP-T10 (semiring aggregation)"
+    "One traversal policy, several aggregations by change of semiring\n\
+     (footnote 6's 'more machinery' as structure): cheapest / most reliable /\n\
+     widest / count, via DP on the automaton product, against aggregating an\n\
+     enumerated path set.";
+  let open Mrpa_semiring in
+  let n = if full then 40 else 25 in
+  let g =
+    Generate.uniform ~rng:(Prng.create 61) ~n_vertices:n
+      ~n_edges:(if full then 350 else 180)
+      ~n_labels:3
+  in
+  let expr =
+    (* r0 . (r1|r2)* . r0 — an unanchored policy with a star *)
+    let l name = Expr.sel (Selector.label1 (Digraph.label g name)) in
+    Expr.join
+      (Expr.join (l "r0") (Expr.star (Expr.union (l "r1") (l "r2"))))
+      (l "r0")
+  in
+  let cost e = float_of_int (1 + (Edge.hash e land 7)) in
+  let max_length = if full then 6 else 5 in
+  (* enumeration baseline: materialise, then fold *)
+  let enum_paths, t_enum = time (fun () -> Generator.generate g expr ~max_length) in
+  let (_ : float), t_enum_min =
+    time (fun () ->
+        Path_set.fold
+          (fun p acc ->
+            Float.min acc (Path.fold (fun a e -> a +. cost e) 0.0 p))
+          enum_paths infinity)
+  in
+  let rows =
+    [
+      (let r, t = time (fun () -> Eval.run (module Semiring.Tropical) ~weight:cost g expr ~max_length) in
+       [ "tropical (cheapest)"; ms t; string_of_int (List.length r.Eval.pairs) ]);
+      (let r, t = time (fun () -> Eval.run (module Semiring.Viterbi) ~weight:(fun _ -> 0.95) g expr ~max_length) in
+       [ "viterbi (most reliable)"; ms t; string_of_int (List.length r.Eval.pairs) ]);
+      (let r, t = time (fun () -> Eval.run (module Semiring.Bottleneck) ~weight:cost g expr ~max_length) in
+       [ "bottleneck (widest)"; ms t; string_of_int (List.length r.Eval.pairs) ]);
+      (let r, t = time (fun () -> Eval.run (module Semiring.Natural) g expr ~max_length) in
+       [ "natural (count)"; ms t; string_of_int (List.length r.Eval.pairs) ]);
+      [
+        "enumerate + fold (baseline)";
+        ms (t_enum +. t_enum_min);
+        string_of_int (Path_set.cardinal enum_paths) ^ " paths";
+      ];
+    ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "r0.(r1|r2)*.r0 on |V|=%d |E|=%d, maxlen %d: DP per semiring vs enumeration"
+         (Digraph.n_vertices g) (Digraph.n_edges g) max_length)
+    ~header:[ "aggregation"; "time(ms)"; "result size" ]
+    rows
+
+(* --- EXP-T11: incremental derived views --------------------------------------------- *)
+
+let exp_views ~full =
+  section "EXP-T11 (incremental derived views)"
+    "Maintaining the SIV-C derived relation E_knows.works_for as edges\n\
+     arrive: rank-1 incremental maintenance vs recomputing the matrix\n\
+     product per change.";
+  let sizes = if full then [ 100; 300; 800 ] else [ 100; 300 ] in
+  let churn = if full then 400 else 200 in
+  let rows =
+    List.map
+      (fun n_people ->
+        let build () =
+          Generate.social ~rng:(Prng.create 67) ~n_people
+            ~n_orgs:(max 2 (n_people / 20))
+            ~n_projects:(max 3 (n_people / 10))
+        in
+        (* the churn stream: random knows/works_for edges over existing ids *)
+        let stream g =
+          let rng = Prng.create 71 in
+          let people =
+            Array.of_list
+              (List.filter
+                 (fun v ->
+                   let name = Digraph.vertex_name g v in
+                   String.length name > 1 && name.[0] = 'p' && name.[1] <> 'r')
+                 (Digraph.vertices g))
+          in
+          let knows = Digraph.label g "knows" in
+          List.init churn (fun _ ->
+              Edge.make ~tail:(Prng.pick rng people) ~label:knows
+                ~head:(Prng.pick rng people))
+        in
+        (* incremental *)
+        let g1 = build () in
+        let view =
+          Derived_view.create g1
+            [ Digraph.label g1 "knows"; Digraph.label g1 "works_for" ]
+        in
+        let edges1 = stream g1 in
+        let (), t_incremental =
+          time (fun () -> List.iter (fun e -> ignore (Digraph.add_edge g1 e)) edges1)
+        in
+        (* recompute per change *)
+        let g2 = build () in
+        let knows2 = Digraph.label g2 "knows" in
+        let works2 = Digraph.label g2 "works_for" in
+        let edges2 = stream g2 in
+        let (), t_recompute =
+          time (fun () ->
+              List.iter
+                (fun e ->
+                  if Digraph.add_edge g2 e then
+                    ignore (Projection.path_derived_matrix g2 [ knows2; works2 ]))
+                edges2)
+        in
+        [
+          string_of_int n_people;
+          string_of_int churn;
+          ms t_incremental;
+          ms t_recompute;
+          Printf.sprintf "%.1fx" (t_recompute /. max 1e-9 t_incremental);
+          string_of_bool (Derived_view.is_consistent view);
+        ])
+      sizes
+  in
+  print_table
+    ~title:"E_knows.works_for under churn: incremental vs recompute-per-change"
+    ~header:[ "people"; "changes"; "incremental"; "recompute"; "speedup"; "consistent" ]
+    rows
+
+(* --- Driver ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1", exp_fig1);
+    ("micro", exp_micro);
+    ("join-vs-product", exp_join_vs_product);
+    ("traversals", exp_traversals);
+    ("join-order", exp_join_order);
+    ("recognizers", exp_recognizers);
+    ("generators", exp_generators);
+    ("counting", exp_counting);
+    ("label-regex", exp_label_regex);
+    ("optimizer", exp_optimizer);
+    ("semirings", exp_semirings);
+    ("projection", exp_projection);
+    ("views", exp_views);
+    ("label-loss", exp_label_loss);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let selected = List.filter (fun a -> a <> "--full") args in
+  let to_run =
+    match selected with
+    | [] | [ "all" ] -> experiments
+    | names ->
+      List.map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> (name, f)
+          | None ->
+            Printf.eprintf "unknown experiment %S; available: %s all\n" name
+              (String.concat " " (List.map fst experiments));
+            exit 2)
+        names
+  in
+  Printf.printf "mrpa experiment harness — %d experiment(s), scale=%s\n"
+    (List.length to_run)
+    (if full then "full" else "default");
+  List.iter (fun (_, f) -> f ~full) to_run;
+  Printf.printf "\nDone.\n"

@@ -1,0 +1,693 @@
+(* mrpa — command-line front end for the multi-relational path algebra.
+
+   Subcommands:
+     generate    synthesise a workload graph and write it as TSV
+     stats       print graph statistics
+     query       run a regular path query (the paper's SIV-A notation)
+     explain     show the plan for a query without running it
+     recognize   test whether a concrete path matches an expression
+     project     derive a single-relational graph (SIV-C) and rank vertices
+     dot         export Graphviz
+     fig1        run the paper's Figure 1 end to end *)
+
+open Mrpa_graph
+open Mrpa_core
+open Cmdliner
+
+(* --- Shared helpers ------------------------------------------------------ *)
+
+let load_graph path =
+  try Ok (Io.load path) with
+  | Sys_error msg -> Error msg
+  | Io.Malformed (line, text) ->
+    Error (Printf.sprintf "%s: malformed line %d: %s" path line text)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+let graph_arg =
+  let doc = "Graph file (TSV edge list: tail<TAB>label<TAB>head)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (workloads are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let output_arg =
+  let doc = "Output file; \"-\" for standard output." in
+  Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let write_output output text =
+  if output = "-" then print_string text
+  else begin
+    let oc = open_out output in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc text)
+  end
+
+(* --- generate ------------------------------------------------------------- *)
+
+let generate_cmd =
+  let kind_arg =
+    let doc =
+      "Workload kind: uniform, preferential, ring, lattice, star, complete, \
+       layered, social, kb, fig1."
+    in
+    Arg.(value & opt string "uniform" & info [ "kind" ] ~doc)
+  in
+  let n_arg =
+    Arg.(value & opt int 50 & info [ "n" ] ~doc:"Primary size (vertices/people).")
+  in
+  let m_arg =
+    Arg.(value & opt int 200 & info [ "m" ] ~doc:"Edge count (where applicable).")
+  in
+  let k_arg =
+    Arg.(value & opt int 3 & info [ "k" ] ~doc:"Number of edge labels |Omega|.")
+  in
+  let run kind n m k seed output =
+    let rng = Prng.create seed in
+    let g =
+      match kind with
+      | "uniform" -> Generate.uniform ~rng ~n_vertices:n ~n_edges:m ~n_labels:k
+      | "preferential" ->
+        Generate.preferential ~rng ~n_vertices:n ~out_degree:(max 1 (m / n)) ~n_labels:k
+      | "ring" -> Generate.ring ~n ~n_labels:k
+      | "lattice" ->
+        let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+        Generate.lattice ~rows:side ~cols:side
+      | "star" -> Generate.star ~n_leaves:n
+      | "complete" -> Generate.complete ~n ~n_labels:k
+      | "layered" ->
+        Generate.layered ~rng ~layers:(max 2 (n / 10)) ~width:10 ~fanout:3 ~n_labels:k
+      | "social" ->
+        Generate.social ~rng ~n_people:n ~n_orgs:(max 2 (n / 20))
+          ~n_projects:(max 3 (n / 10))
+      | "kb" -> Generate.knowledge_base ~rng ~n_entities:(max 6 n)
+      | "fig1" -> Generate.fig1 ~rng ~n_noise_vertices:n ~n_noise_edges:m
+      | other ->
+        Printf.eprintf "unknown workload kind %S\n" other;
+        exit 2
+    in
+    write_output output (Io.to_string g);
+    Printf.eprintf "generated %s: %s\n" kind
+      (Format.asprintf "%a" Digraph.pp_stats g)
+  in
+  let term = Term.(const run $ kind_arg $ n_arg $ m_arg $ k_arg $ seed_arg $ output_arg) in
+  Cmd.v (Cmd.info "generate" ~doc:"Synthesise a workload graph") term
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run path =
+    let g = or_die (load_graph path) in
+    Format.printf "%a@." Stat.pp_report g
+  in
+  let term = Term.(const run $ graph_arg) in
+  Cmd.v (Cmd.info "stats" ~doc:"Print graph statistics") term
+
+(* --- query / explain ---------------------------------------------------------- *)
+
+let query_pos =
+  let doc =
+    "Regular path query, e.g. '[i,alpha,_] . [_,beta,_]* . [_,alpha,k]'."
+  in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let max_length_arg =
+  Arg.(
+    value
+    & opt int Mrpa_engine.Engine.default_max_length
+    & info [ "max-length" ] ~doc:"Bound on path length (star unrolling).")
+
+let limit_arg =
+  Arg.(value & opt (some int) None & info [ "limit" ] ~doc:"Stop after this many paths.")
+
+let strategy_arg =
+  let conv_strategy = function
+    | "reference" -> Ok Mrpa_engine.Plan.Reference
+    | "stack" -> Ok Mrpa_engine.Plan.Stack_machine
+    | "bfs" -> Ok Mrpa_engine.Plan.Product_bfs
+    | s -> Error (Printf.sprintf "unknown strategy %S (reference|stack|bfs)" s)
+  in
+  let parse s = Result.map_error (fun m -> `Msg m) (conv_strategy s) in
+  let print fmt s =
+    Format.pp_print_string fmt (Mrpa_engine.Plan.strategy_name s)
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "strategy" ] ~doc:"Force evaluation strategy: reference, stack, bfs.")
+
+let count_arg =
+  Arg.(
+    value & flag
+    & info [ "count" ]
+        ~doc:
+          "Print only the number of paths. Without --limit, --simple or a \
+           forced strategy this uses the counting engine (no path set is \
+           materialised).")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
+
+let simple_arg =
+  Arg.(
+    value & flag
+    & info [ "simple" ] ~doc:"Restrict to simple paths (no repeated vertex).")
+
+let query_cmd =
+  let run path query max_length limit strategy simple count json =
+    let g = or_die (load_graph path) in
+    if json then begin
+      match
+        Mrpa_engine.Engine.query ?strategy ~simple ~max_length ?limit g query
+      with
+      | Error msg -> or_die (Error msg)
+      | Ok r -> print_endline (Mrpa_engine.Render.result_json g r)
+    end
+    else if count && limit = None && strategy = None && not simple then
+      match Mrpa_engine.Engine.count ~max_length g query with
+      | Error msg -> or_die (Error msg)
+      | Ok n -> Format.printf "%d@." n
+    else
+      match
+        Mrpa_engine.Engine.query ?strategy ~simple ~max_length ?limit g query
+      with
+      | Error msg -> or_die (Error msg)
+      | Ok r ->
+        if count then
+          Format.printf "%d@." (Path_set.cardinal r.Mrpa_engine.Engine.paths)
+        else begin
+          Path_set.iter
+            (fun p -> Format.printf "%a@." (Digraph.pp_path g) p)
+            r.Mrpa_engine.Engine.paths;
+          Format.printf "-- %d path(s) in %.3f ms via %s@."
+            r.Mrpa_engine.Engine.stats.Mrpa_engine.Eval.paths
+            (1000.0 *. r.Mrpa_engine.Engine.stats.Mrpa_engine.Eval.elapsed_s)
+            (Mrpa_engine.Plan.strategy_name
+               r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy)
+        end
+  in
+  let term =
+    Term.(
+      const run $ graph_arg $ query_pos $ max_length_arg $ limit_arg
+      $ strategy_arg $ simple_arg $ count_arg $ json_arg)
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Run a regular path query") term
+
+let shell_cmd =
+  let run path max_length =
+    let g = or_die (load_graph path) in
+    Format.printf
+      "mrpa shell — %a@.Type a query per line; :explain QUERY, :count QUERY, \
+       :quit to exit.@."
+      Digraph.pp_stats g;
+    let rec loop () =
+      Format.printf "mrpa> @?";
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | line ->
+        let line = String.trim line in
+        let continue_ =
+          if line = "" then true
+          else if line = ":quit" || line = ":q" then false
+          else begin
+            let starts_with prefix =
+              String.length line >= String.length prefix
+              && String.sub line 0 (String.length prefix) = prefix
+            in
+            let rest prefix =
+              String.trim
+                (String.sub line (String.length prefix)
+                   (String.length line - String.length prefix))
+            in
+            (if starts_with ":explain" then
+               match Mrpa_engine.Engine.explain ~max_length g (rest ":explain") with
+               | Ok text -> Format.printf "%s@." text
+               | Error msg -> Format.printf "error: %s@." msg
+             else if starts_with ":count" then
+               match Mrpa_engine.Engine.count ~max_length g (rest ":count") with
+               | Ok n -> Format.printf "%d@." n
+               | Error msg -> Format.printf "error: %s@." msg
+             else
+               match Mrpa_engine.Engine.query ~max_length g line with
+               | Error msg -> Format.printf "error: %s@." msg
+               | Ok r ->
+                 Path_set.iter
+                   (fun p -> Format.printf "%a@." (Digraph.pp_path g) p)
+                   r.Mrpa_engine.Engine.paths;
+                 Format.printf "-- %d path(s)@."
+                   (Path_set.cardinal r.Mrpa_engine.Engine.paths));
+            true
+          end
+        in
+        if continue_ then loop ()
+    in
+    loop ()
+  in
+  let term = Term.(const run $ graph_arg $ max_length_arg) in
+  Cmd.v (Cmd.info "shell" ~doc:"Interactive query shell") term
+
+let explain_cmd =
+  let run path query max_length =
+    let g = or_die (load_graph path) in
+    match Mrpa_engine.Engine.explain ~max_length g query with
+    | Error msg -> or_die (Error msg)
+    | Ok text -> print_endline text
+  in
+  let term = Term.(const run $ graph_arg $ query_pos $ max_length_arg) in
+  Cmd.v (Cmd.info "explain" ~doc:"Show the query plan without running it") term
+
+(* --- equiv ------------------------------------------------------------------------ *)
+
+let equiv_cmd =
+  let query2_pos =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"QUERY2" ~doc:"Second query.")
+  in
+  let run path q1 q2 =
+    let g = or_die (load_graph path) in
+    match Mrpa_engine.Engine.equivalent g q1 q2 with
+    | Error msg -> or_die (Error msg)
+    | Ok equal ->
+      Format.printf "%s@." (if equal then "EQUIVALENT" else "DIFFERENT");
+      exit (if equal then 0 else 1)
+  in
+  let term = Term.(const run $ graph_arg $ query_pos $ query2_pos) in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "Decide whether two queries are equivalent over the graph's edge \
+          universe at every length")
+    term
+
+(* --- recognize ------------------------------------------------------------------ *)
+
+let recognize_cmd =
+  let path_arg =
+    let doc =
+      "The path to test, as whitespace-separated triples \
+       'tail,label,head tail,label,head ...'; an empty string means the \
+       empty path."
+    in
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"PATH" ~doc)
+  in
+  let run graph_path query path_text =
+    let g = or_die (load_graph graph_path) in
+    let expr =
+      match Mrpa_engine.Parser.parse g query with
+      | Ok e -> e
+      | Error e -> or_die (Error (Format.asprintf "%a" Mrpa_engine.Parser.pp_error e))
+    in
+    let resolve what find name =
+      match find name with
+      | Some x -> x
+      | None -> or_die (Error (Printf.sprintf "unknown %s %S" what name))
+    in
+    let parse_triple t =
+      match String.split_on_char ',' t with
+      | [ tail; label; head ] ->
+        Edge.make
+          ~tail:(resolve "vertex" (Digraph.find_vertex g) (String.trim tail))
+          ~label:(resolve "label" (Digraph.find_label g) (String.trim label))
+          ~head:(resolve "vertex" (Digraph.find_vertex g) (String.trim head))
+      | _ -> or_die (Error (Printf.sprintf "malformed triple %S" t))
+    in
+    let pieces =
+      List.filter (fun s -> s <> "") (String.split_on_char ' ' path_text)
+    in
+    let path = Path.of_edges (List.map parse_triple pieces) in
+    let accepted = Mrpa_automata.Recognizer.nfa expr path in
+    Format.printf "%a : %s@." (Digraph.pp_path g) path
+      (if accepted then "ACCEPTED" else "REJECTED");
+    exit (if accepted then 0 else 1)
+  in
+  let term = Term.(const run $ graph_arg $ query_pos $ path_arg) in
+  Cmd.v
+    (Cmd.info "recognize" ~doc:"Test whether a concrete path matches a query")
+    term
+
+(* --- project ---------------------------------------------------------------------- *)
+
+let project_cmd =
+  let labels_arg =
+    let doc = "Comma-separated label word, e.g. 'knows,works_for'." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"LABELS" ~doc)
+  in
+  let measure_arg =
+    let doc =
+      "Centrality to run on the derived graph: pagerank, eigenvector, \
+       closeness, harmonic, betweenness, out-degree, in-degree."
+    in
+    Arg.(value & opt string "pagerank" & info [ "measure" ] ~doc)
+  in
+  let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~doc:"Rows to print.") in
+  let run path labels_text measure top =
+    let g = or_die (load_graph path) in
+    let labels =
+      List.map
+        (fun name ->
+          match Digraph.find_label g (String.trim name) with
+          | Some l -> l
+          | None -> or_die (Error (Printf.sprintf "unknown label %S" name)))
+        (String.split_on_char ',' labels_text)
+    in
+    let derived = Mrpa_analysis.Projection.path_derived g labels in
+    Format.printf "derived graph: %a@." Mrpa_analysis.Simple_graph.pp derived;
+    let scores =
+      match measure with
+      | "pagerank" -> Mrpa_analysis.Centrality.pagerank derived
+      | "eigenvector" -> Mrpa_analysis.Centrality.eigenvector derived
+      | "closeness" -> Mrpa_analysis.Centrality.closeness derived
+      | "harmonic" -> Mrpa_analysis.Centrality.harmonic_closeness derived
+      | "betweenness" -> Mrpa_analysis.Centrality.betweenness derived
+      | "out-degree" -> Mrpa_analysis.Centrality.out_degree derived
+      | "in-degree" -> Mrpa_analysis.Centrality.in_degree derived
+      | other -> or_die (Error (Printf.sprintf "unknown measure %S" other))
+    in
+    Format.printf "%a@."
+      (Mrpa_analysis.Centrality.pp_ranking ~k:top ~vertex_name:(fun v ->
+           Digraph.vertex_name g (Vertex.of_int v)))
+      scores
+  in
+  let term = Term.(const run $ graph_arg $ labels_arg $ measure_arg $ top_arg) in
+  Cmd.v
+    (Cmd.info "project"
+       ~doc:"Derive a single-relational graph from a label word and rank it")
+    term
+
+(* --- communities ------------------------------------------------------------------------ *)
+
+let communities_cmd =
+  let labels_arg =
+    let doc = "Restrict to one relation type (default: label-blind projection)." in
+    Arg.(value & opt (some string) None & info [ "label" ] ~doc)
+  in
+  let run path label_opt seed =
+    let g = or_die (load_graph path) in
+    let projected =
+      match label_opt with
+      | None -> Mrpa_analysis.Projection.label_blind g
+      | Some name -> (
+        match Digraph.find_label g name with
+        | Some l -> Mrpa_analysis.Projection.single_label g l
+        | None -> or_die (Error (Printf.sprintf "unknown label %S" name)))
+    in
+    let t = Mrpa_analysis.Communities.label_propagation ~seed projected in
+    Format.printf "%d communities, modularity %.3f@."
+      t.Mrpa_analysis.Communities.n_communities
+      (Mrpa_analysis.Communities.modularity projected t);
+    let sizes = Mrpa_analysis.Communities.sizes t in
+    let ranked =
+      List.sort
+        (fun (_, a) (_, b) -> Int.compare b a)
+        (Array.to_list (Array.mapi (fun c s -> (c, s)) sizes))
+    in
+    List.iteri
+      (fun i (c, size) ->
+        if i < 10 then begin
+          let members = Mrpa_analysis.Communities.members t c in
+          let preview =
+            List.filteri (fun i _ -> i < 6) members
+            |> List.map (fun v -> Digraph.vertex_name g (Vertex.of_int v))
+            |> String.concat ", "
+          in
+          Format.printf "  #%d: %d member(s): %s%s@." c size preview
+            (if size > 6 then ", ..." else "")
+        end)
+      ranked
+  in
+  let term = Term.(const run $ graph_arg $ labels_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "communities"
+       ~doc:"Detect communities (label propagation) on a projection")
+    term
+
+(* --- dot ---------------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run path output =
+    let g = or_die (load_graph path) in
+    write_output output (Dot.to_string g)
+  in
+  let term = Term.(const run $ graph_arg $ output_arg) in
+  Cmd.v (Cmd.info "dot" ~doc:"Export the graph as Graphviz DOT") term
+
+let graphml_cmd =
+  let run path output =
+    let g = or_die (load_graph path) in
+    write_output output (Graphml.to_string g)
+  in
+  let term = Term.(const run $ graph_arg $ output_arg) in
+  Cmd.v (Cmd.info "graphml" ~doc:"Export the graph as GraphML") term
+
+(* --- cheapest --------------------------------------------------------------------------- *)
+
+let cheapest_cmd =
+  let weights_arg =
+    let doc = "Weights file (see Mrpa_graph.Weights for the format)." in
+    Arg.(value & opt (some file) None & info [ "weights" ] ~docv:"FILE" ~doc)
+  in
+  let cost_arg =
+    let doc =
+      "Per-label edge costs, e.g. 'truck=40,rail=25,ship=15'. Labels not \
+       listed cost --default-cost."
+    in
+    Arg.(value & opt string "" & info [ "cost" ] ~doc)
+  in
+  let default_cost_arg =
+    Arg.(value & opt float 1.0 & info [ "default-cost" ] ~doc:"Cost for unlisted labels.")
+  in
+  let from_arg =
+    Arg.(value & opt (some string) None & info [ "from" ] ~doc:"Source vertex name.")
+  in
+  let to_arg =
+    Arg.(value & opt (some string) None & info [ "to" ] ~doc:"Target vertex name.")
+  in
+  let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~doc:"Pairs to print.") in
+  let run path query weights_file cost default_cost from_ to_ max_length top =
+    let g = or_die (load_graph path) in
+    let table =
+      match weights_file with
+      | None -> Weights.create ~default:default_cost ()
+      | Some file -> (
+        try Weights.load g file
+        with Weights.Malformed (line, text) ->
+          or_die
+            (Error (Printf.sprintf "%s: malformed line %d: %s" file line text)))
+    in
+    let costs = Hashtbl.create 8 in
+    if cost <> "" then
+      List.iter
+        (fun piece ->
+          match String.split_on_char '=' piece with
+          | [ name; value ] -> (
+            match
+              (Digraph.find_label g (String.trim name), float_of_string_opt value)
+            with
+            | Some l, Some v -> Hashtbl.replace costs l v
+            | None, _ ->
+              or_die (Error (Printf.sprintf "unknown label %S" name))
+            | _, None ->
+              or_die (Error (Printf.sprintf "bad cost value %S" value)))
+          | _ -> or_die (Error (Printf.sprintf "bad cost binding %S" piece)))
+        (String.split_on_char ',' cost);
+    Hashtbl.iter (fun l v -> Weights.set_label table l v) costs;
+    let weight = Weights.to_fun table in
+    let expr =
+      match Mrpa_engine.Parser.parse g query with
+      | Ok e -> fst (Mrpa_engine.Optimizer.simplify e)
+      | Error e ->
+        or_die (Error (Format.asprintf "%a" Mrpa_engine.Parser.pp_error e))
+    in
+    let pairs = Mrpa_semiring.Eval.cheapest_paths ~weight g expr ~max_length in
+    let resolve name =
+      match Digraph.find_vertex g name with
+      | Some v -> v
+      | None -> or_die (Error (Printf.sprintf "unknown vertex %S" name))
+    in
+    let pairs =
+      List.filter
+        (fun ((s, d), _) ->
+          (match from_ with None -> true | Some n -> Vertex.equal s (resolve n))
+          && match to_ with None -> true | Some n -> Vertex.equal d (resolve n))
+        pairs
+    in
+    let pairs =
+      List.sort (fun (_, c1) (_, c2) -> Float.compare c1 c2) pairs
+    in
+    List.iteri
+      (fun i ((s, d), c) ->
+        if i < top then
+          Format.printf "%-14s -> %-14s %.2f@." (Digraph.vertex_name g s)
+            (Digraph.vertex_name g d) c)
+      pairs;
+    if pairs = [] then Format.printf "(no admissible route)@.";
+    (* with both endpoints pinned, also reconstruct the optimal route *)
+    (match (from_, to_) with
+    | Some src, Some dst ->
+      let w = Mrpa_semiring.Witness.prepare ~weight g expr ~max_length in
+      (match
+         Mrpa_semiring.Witness.cheapest w ~source:(resolve src)
+           ~target:(resolve dst)
+       with
+      | Some (route, cost) ->
+        Format.printf "route: %a (%.2f)@." (Digraph.pp_path g) route cost
+      | None -> ())
+    | _ -> ())
+  in
+  let term =
+    Term.(
+      const run $ graph_arg $ query_pos $ weights_arg $ cost_arg
+      $ default_cost_arg $ from_arg $ to_arg $ max_length_arg $ top_arg)
+  in
+  Cmd.v
+    (Cmd.info "cheapest"
+       ~doc:"Cheapest paths per endpoint pair under a regular policy (tropical semiring)")
+    term
+
+(* --- sample ----------------------------------------------------------------------------- *)
+
+let sample_cmd =
+  let n_arg =
+    Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of uniform draws.")
+  in
+  let run path query max_length n seed =
+    let g = or_die (load_graph path) in
+    match Mrpa_engine.Parser.parse g query with
+    | Error e ->
+      or_die (Error (Format.asprintf "%a" Mrpa_engine.Parser.pp_error e))
+    | Ok expr ->
+      let optimized, _ = Mrpa_engine.Optimizer.simplify expr in
+      let sampler = Mrpa_automata.Sampler.prepare g optimized ~max_length in
+      let population = Mrpa_automata.Sampler.population sampler in
+      Format.printf "population: %d path(s)@." population;
+      List.iter
+        (fun p -> Format.printf "%a@." (Digraph.pp_path g) p)
+        (Mrpa_automata.Sampler.sample sampler (Prng.create seed) n)
+  in
+  let term =
+    Term.(const run $ graph_arg $ query_pos $ max_length_arg $ n_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:"Draw uniform random paths from a query's denoted set")
+    term
+
+(* --- crpq ------------------------------------------------------------------------------ *)
+
+let crpq_cmd =
+  let crpq_pos =
+    let doc =
+      "Conjunctive query, e.g. 'select x, y where (x, [_,knows,_], y), \
+       (y, [_,works_for,_], x)'."
+    in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CRPQ" ~doc)
+  in
+  let run path text max_length count json =
+    let g = or_die (load_graph path) in
+    match Mrpa_engine.Crpq.parse g text with
+    | Error e ->
+      or_die (Error (Format.asprintf "%a" Mrpa_engine.Parser.pp_error e))
+    | Ok q ->
+      let answers = Mrpa_engine.Crpq.eval ~max_length g q in
+      if json then
+        print_endline
+          (Mrpa_engine.Render.tuples_json g
+             ~head:(Mrpa_engine.Crpq.variables q
+                    |> List.filteri (fun i _ ->
+                           i < List.length q.Mrpa_engine.Crpq.head))
+             answers)
+      else if count then Format.printf "%d@." (List.length answers)
+      else begin
+        List.iter
+          (fun tuple ->
+            Format.printf "%s@."
+              (String.concat "\t"
+                 (List.map (Digraph.vertex_name g) tuple)))
+          answers;
+        Format.printf "-- %d tuple(s)@." (List.length answers)
+      end
+  in
+  let term =
+    Term.(const run $ graph_arg $ crpq_pos $ max_length_arg $ count_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "crpq" ~doc:"Run a conjunctive regular path query")
+    term
+
+(* --- automaton ------------------------------------------------------------------------ *)
+
+let automaton_cmd =
+  let run path query output =
+    let g = or_die (load_graph path) in
+    match Mrpa_engine.Parser.parse g query with
+    | Error e -> or_die (Error (Format.asprintf "%a" Mrpa_engine.Parser.pp_error e))
+    | Ok expr ->
+      let optimized, _ = Mrpa_engine.Optimizer.simplify expr in
+      write_output output
+        (Mrpa_automata.Viz.expr_to_dot ~name:"mrpa_automaton" ~graph:g optimized)
+  in
+  let term = Term.(const run $ graph_arg $ query_pos $ output_arg) in
+  Cmd.v
+    (Cmd.info "automaton"
+       ~doc:
+         "Export the compiled (Figure-1-style) automaton of a query as \
+          Graphviz DOT")
+    term
+
+(* --- fig1 --------------------------------------------------------------------------- *)
+
+let fig1_cmd =
+  let run seed =
+    let g = Generate.fig1 ~rng:(Prng.create seed) ~n_noise_vertices:6 ~n_noise_edges:12 in
+    Format.printf "Graph: %a@." Digraph.pp_stats g;
+    let text =
+      "[i,alpha,_] . [_,beta,_]* . (([_,alpha,j] . {(j,alpha,i)}) | [_,alpha,k])"
+    in
+    Format.printf "Expression: %s@.@." text;
+    let r = Mrpa_engine.Engine.query_exn ~max_length:6 g text in
+    Format.printf "%d path(s) generated by the Figure 1 automaton:@."
+      (Path_set.cardinal r.Mrpa_engine.Engine.paths);
+    Path_set.iter
+      (fun p -> Format.printf "  %a@." (Digraph.pp_path g) p)
+      r.Mrpa_engine.Engine.paths
+  in
+  let term = Term.(const run $ seed_arg) in
+  Cmd.v (Cmd.info "fig1" ~doc:"Run the paper's Figure 1 end to end") term
+
+(* --- main --------------------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "mrpa" ~version:"1.0.0"
+      ~doc:"A path algebra for multi-relational graphs (Rodriguez & Neubauer)"
+  in
+  let group =
+    Cmd.group info
+      [
+        generate_cmd;
+        stats_cmd;
+        query_cmd;
+        crpq_cmd;
+        shell_cmd;
+        explain_cmd;
+        equiv_cmd;
+        recognize_cmd;
+        project_cmd;
+        communities_cmd;
+        dot_cmd;
+        graphml_cmd;
+        cheapest_cmd;
+        sample_cmd;
+        automaton_cmd;
+        fig1_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,119 @@
+(* Bibliometrics: citation/authorship analysis via derived relations.
+
+   A scholarly graph has authors and papers with 'authored' and 'cites'
+   relations. Classical bibliometric constructions are exactly SIV-C
+   derivations:
+
+   - author influence graph   E_{authored.cites.cast-back}: approximated
+     here as authored . cites (author → cited paper), then ranked;
+   - co-citation strength     via the counting matrix product, where entry
+     (p,q) counts distinct papers citing both p and q.
+
+   Run with: dune exec examples/bibliometrics.exe *)
+
+open Mrpa_graph
+open Mrpa_analysis
+
+let build_scholarly_graph () =
+  let rng = Prng.create 1234 in
+  let g = Digraph.create () in
+  let n_authors = 40 and n_papers = 120 in
+  let authors =
+    Array.init n_authors (fun i -> Digraph.vertex g (Printf.sprintf "author%d" i))
+  in
+  let papers =
+    Array.init n_papers (fun i -> Digraph.vertex g (Printf.sprintf "paper%d" i))
+  in
+  let authored = Digraph.label g "authored" in
+  let cites = Digraph.label g "cites" in
+  (* Papers arrive in order and cite earlier papers preferentially. *)
+  let citation_mass = ref [ papers.(0) ] in
+  Array.iteri
+    (fun idx p ->
+      (* 1-3 authors, preferring low-index (senior) authors *)
+      let n_auth = 1 + Prng.int rng 3 in
+      for _ = 1 to n_auth do
+        let a = authors.(Prng.int rng (1 + Prng.int rng n_authors)) in
+        ignore (Digraph.add_edge g (Edge.make ~tail:a ~label:authored ~head:p))
+      done;
+      if idx > 0 then begin
+        let pool = Array.of_list !citation_mass in
+        let n_refs = min idx (2 + Prng.int rng 4) in
+        for _ = 1 to n_refs do
+          let target = Prng.pick rng pool in
+          if not (Vertex.equal target p) then begin
+            if Digraph.add_edge g (Edge.make ~tail:p ~label:cites ~head:target)
+            then citation_mass := target :: !citation_mass
+          end
+        done
+      end;
+      citation_mass := p :: !citation_mass)
+    papers;
+  (g, authored, cites)
+
+let () =
+  let g, authored, cites = build_scholarly_graph () in
+  Format.printf "Scholarly graph: %a@.@." Digraph.pp_stats g;
+
+  (* 1. E_{cites}: classic citation ranking with PageRank — run on the
+     transpose so that being cited raises your rank. *)
+  let citation = Projection.single_label g cites in
+  let pr = Centrality.pagerank (Simple_graph.transpose citation) in
+  Format.printf "Most influential papers (PageRank on reversed citations):@.%a@."
+    (Centrality.pp_ranking ~k:5 ~vertex_name:(fun v ->
+         Digraph.vertex_name g (Vertex.of_int v)))
+    pr;
+
+  (* 2. E_{authored.cites}: author → paper-they-cite, the SIV-C derivation.
+     In-degree of papers in this graph = "citations weighted by authorship
+     breadth"; out-degree of authors = their referencing activity. *)
+  let author_cites = Projection.path_derived g [ authored; cites ] in
+  Format.printf
+    "Authors by referencing reach (out-degree of E_authored.cites):@.%a@."
+    (Centrality.pp_ranking ~k:5 ~vertex_name:(fun v ->
+         Digraph.vertex_name g (Vertex.of_int v)))
+    (Centrality.out_degree author_cites);
+
+  (* 3. Co-citation counts via the counting matrix product: C = AᵀA where
+     A = citation adjacency; C(p,q) = number of papers citing both. *)
+  let a = Projection.adjacency_slice g cites in
+  let co = Sparse.mul (Sparse.transpose a) a in
+  let off_diagonal =
+    List.filter (fun (i, j, _) -> i <> j) (Sparse.to_coo co)
+  in
+  let strongest =
+    List.sort (fun (_, _, v1) (_, _, v2) -> Float.compare v2 v1) off_diagonal
+  in
+  Format.printf "Strongest co-citation pairs:@.";
+  List.iteri
+    (fun idx (i, j, v) ->
+      if idx < 5 then
+        Format.printf "  %-10s %-10s co-cited by %.0f papers@."
+          (Digraph.vertex_name g (Vertex.of_int i))
+          (Digraph.vertex_name g (Vertex.of_int j))
+          v)
+    strongest;
+
+  (* 4. Sanity: the boolean skeleton of AᵀA equals the path-derived
+     relation of the label word [cites-reversed; cites], computed through
+     the algebra by materialising the reverse relation. *)
+  let cited_by = Digraph.materialise_reverse g ~suffix:"_by" cites in
+  let via_algebra = Projection.path_derived g [ cited_by; cites ] in
+  let via_matrix = Simple_graph.of_sparse_bool co in
+  Format.printf "@.AᵀA boolean skeleton = E_(cited_by.cites) derived by joins: %b@."
+    (Simple_graph.equal via_algebra via_matrix);
+
+  (* 5. Spreading activation from a seed paper over the citation graph:
+     "related reading" by diffusion. *)
+  let seed = Digraph.vertex g "paper0" in
+  let activation =
+    Centrality.spreading_activation
+      ~seeds:[ (Vertex.to_int seed, 1.0) ]
+      ~steps:4
+      (Simple_graph.transpose citation)
+  in
+  Format.printf "@.Related reading for paper0 (spreading activation):@.%a@."
+    (Centrality.pp_ranking ~k:5 ~vertex_name:(fun v ->
+         Digraph.vertex_name g (Vertex.of_int v)))
+    activation;
+  ignore authored

@@ -1,0 +1,71 @@
+(* Quickstart: the paper's algebra in one small program.
+
+   Build the multi-relational graph from the paper's SII worked example,
+   compute A ./o B exactly as printed there, run the SIII traversal idioms,
+   and finish with the Figure 1 regular path query through the engine.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Mrpa_graph
+open Mrpa_core
+
+let () =
+  (* 1. A multi-relational graph G = (V, E ⊆ V × Ω × V). *)
+  let g = Digraph.create () in
+  List.iter
+    (fun (t, l, h) -> ignore (Digraph.add g t l h))
+    [
+      ("i", "alpha", "j");
+      ("j", "beta", "k");
+      ("k", "alpha", "j");
+      ("j", "beta", "j");
+      ("j", "beta", "i");
+      ("i", "alpha", "k");
+      ("i", "beta", "k");
+    ];
+  Format.printf "Graph: %a@.@." Digraph.pp_stats g;
+
+  (* 2. The SII worked example: A ./o B. *)
+  let e t l h =
+    Edge.make ~tail:(Digraph.vertex g t) ~label:(Digraph.label g l)
+      ~head:(Digraph.vertex g h)
+  in
+  let a =
+    Path_set.of_list
+      [
+        Path.of_edge (e "i" "alpha" "j");
+        Path.of_edges [ e "j" "beta" "k"; e "k" "alpha" "j" ];
+      ]
+  in
+  let b =
+    Path_set.of_list
+      [
+        Path.of_edge (e "j" "beta" "j");
+        Path.of_edges [ e "j" "beta" "i"; e "i" "alpha" "k" ];
+        Path.of_edge (e "i" "beta" "k");
+      ]
+  in
+  Format.printf "A ./o B = %a@.@." (Path_set.pp_named g) (Path_set.join a b);
+
+  (* 3. SIII traversal idioms. *)
+  let i = Vertex.Set.singleton (Digraph.vertex g "i") in
+  Format.printf "complete traversal, length 2: %d joint paths@."
+    (Path_set.cardinal (Traversal.complete g ~length:2));
+  Format.printf "source traversal from i, length 2: %d paths@."
+    (Path_set.cardinal (Traversal.source g ~from:i ~length:2));
+  let alpha = Label.Set.singleton (Digraph.label g "alpha") in
+  let beta = Label.Set.singleton (Digraph.label g "beta") in
+  Format.printf "alpha-then-beta labeled traversal: %a@.@."
+    (Path_set.pp_named g)
+    (Traversal.labeled g ~labels:[ alpha; beta ]);
+
+  (* 4. The Figure 1 regular path query, through the engine. *)
+  let text =
+    "[i,alpha,_] . [_,beta,_]* . (([_,alpha,j] . {(j,alpha,i)}) | [_,alpha,k])"
+  in
+  let result = Mrpa_engine.Engine.query_exn ~max_length:6 g text in
+  Format.printf "Figure 1 query %s@.-> %d path(s):@." text
+    (Path_set.cardinal result.Mrpa_engine.Engine.paths);
+  Path_set.iter
+    (fun p -> Format.printf "   %a@." (Digraph.pp_path g) p)
+    result.Mrpa_engine.Engine.paths

@@ -1,0 +1,134 @@
+(* Social-network inference: the SIV-C motif.
+
+   A typed social network has people, organisations and projects under five
+   relation types. A single-relational algorithm (say, PageRank) applied to
+   the label-blind projection answers a muddled question — the paper's own
+   warning. Instead we derive *semantically precise* single-relational
+   graphs through the algebra:
+
+   - "colleague-of-a-friend": E_{knows.works_for} — where do my friends work?
+   - "co-membership": people who are two member_of hops apart via a shared
+     project (member_of then its reverse is not expressible without inverse
+     edges, so we derive project→people via created/member_of fan-in).
+
+   Run with: dune exec examples/social_inference.exe *)
+
+open Mrpa_graph
+open Mrpa_core
+open Mrpa_analysis
+
+let () =
+  let rng = Prng.create 2024 in
+  let g = Generate.social ~rng ~n_people:120 ~n_orgs:6 ~n_projects:15 in
+  Format.printf "Social graph: %a@.@." Digraph.pp_stats g;
+
+  let knows = Digraph.label g "knows" in
+  let works_for = Digraph.label g "works_for" in
+  let member_of = Digraph.label g "member_of" in
+
+  (* 1. The paper's warning, quantified: label-blind PageRank vs the
+     PageRank of a derived relation. *)
+  let blind = Projection.label_blind g in
+  let pr_blind = Centrality.pagerank blind in
+  Format.printf "Label-blind PageRank (what is this even ranking?):@.%a@."
+    (Centrality.pp_ranking ~k:5 ~vertex_name:(fun v ->
+         Digraph.vertex_name g (Vertex.of_int v)))
+    pr_blind;
+
+  (* 2. E_{knows.works_for}: organisations reachable through a friendship.
+     Ranking its in-degree answers: "which employer is most connected to
+     the social fabric?" — a crisp question. *)
+  let friend_employer = Projection.path_derived g [ knows; works_for ] in
+  let indeg = Centrality.in_degree friend_employer in
+  Format.printf
+    "Organisations by friend-of-employee reach (in-degree of E_knows.works_for):@.%a@."
+    (Centrality.pp_ranking ~k:5 ~vertex_name:(fun v ->
+         Digraph.vertex_name g (Vertex.of_int v)))
+    indeg;
+
+  (* 3. Same relation through the engine's textual syntax, streaming a few
+     witness paths. *)
+  let r =
+    Mrpa_engine.Engine.query_exn ~max_length:2 ~limit:5 g
+      "[_,knows,_] . [_,works_for,_]"
+  in
+  Format.printf "Example knows.works_for witnesses:@.";
+  Path_set.iter
+    (fun p -> Format.printf "  %a@." (Digraph.pp_path g) p)
+    r.Mrpa_engine.Engine.paths;
+
+  (* 4. Popular projects: people flowing into projects via membership after
+     any number of knows hops — '[_,knows,_]{0,2} . [_,member_of,_]'. *)
+  let reach =
+    Mrpa_engine.Engine.query_exn ~max_length:3 g
+      "[_,knows,_]{0,2} . [_,member_of,_]"
+  in
+  let member_paths = reach.Mrpa_engine.Engine.paths in
+  let by_project = Hashtbl.create 16 in
+  Path_set.iter
+    (fun p ->
+      match Path.head p with
+      | Some v ->
+        Hashtbl.replace by_project v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_project v))
+      | None -> ())
+    member_paths;
+  let ranked =
+    Hashtbl.fold (fun v c acc -> (v, c) :: acc) by_project []
+    |> List.sort (fun (_, c1) (_, c2) -> Int.compare c2 c1)
+  in
+  Format.printf
+    "@.Projects by social reachability (paths of <=2 knows hops then member_of):@.";
+  List.iteri
+    (fun idx (v, c) ->
+      if idx < 5 then
+        Format.printf "  %-10s %d inbound paths@." (Digraph.vertex_name g v) c)
+    ranked;
+
+  (* 5. Discrete assortativity over the label-blind projection, with
+     categories = entity type (person/org/project), showing the typed
+     structure the labels encode. *)
+  let categories =
+    Array.init (Digraph.n_vertices g) (fun v ->
+        let name = Digraph.vertex_name g (Vertex.of_int v) in
+        if String.length name > 0 && name.[0] = 'p' && String.length name > 1 && name.[1] <> 'r'
+        then 0 (* person: p<i> *)
+        else if String.length name >= 3 && String.sub name 0 3 = "org" then 1
+        else 2 (* project *))
+  in
+  Format.printf "@.Discrete (type) assortativity of the label-blind graph: %.3f@."
+    (Assortativity.discrete ~categories blind);
+
+  (* 6. The same inference, Gremlin-style: friends-of-friends who work for
+     org0, as a left-to-right pipeline. *)
+  let p0 = Digraph.vertex g "p0" in
+  let org0 = Digraph.vertex g "org0" in
+  let fof_employers =
+    Mrpa_engine.Walk.(
+      start g [ p0 ]
+      |> out ~label:knows |> out ~label:knows
+      |> out ~label:works_for
+      |> filter (Vertex.equal org0)
+      |> count)
+  in
+  Format.printf
+    "@.Walk: paths p0 -knows-> _ -knows-> _ -works_for-> org0: %d@."
+    fof_employers;
+
+  (* 7. A conjunctive query: mutual friends who share an employer. *)
+  let q =
+    Mrpa_engine.Crpq.parse_exn g
+      "select x, y where (x, [_,knows,_], y), (y, [_,knows,_], x), \
+       (x, [_,works_for,_], z), (y, [_,works_for,_], z)"
+  in
+  let colleagues = Mrpa_engine.Crpq.eval ~max_length:1 g q in
+  Format.printf "Mutual friends sharing an employer (CRPQ): %d pair(s)@."
+    (List.length colleagues);
+
+  (* 8. Communities of the knows-graph, with modularity. *)
+  let knows_graph = Projection.single_label g knows in
+  let communities = Communities.label_propagation knows_graph in
+  Format.printf "knows-communities: %d (modularity %.3f)@."
+    communities.Communities.n_communities
+    (Communities.modularity knows_graph communities);
+  ignore member_of

@@ -1,0 +1,61 @@
+let pearson pairs =
+  let n = float_of_int (List.length pairs) in
+  if n = 0.0 then nan
+  else begin
+    let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 pairs in
+    let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 pairs in
+    let mx = sx /. n and my = sy /. n in
+    let cov = ref 0.0 and vx = ref 0.0 and vy = ref 0.0 in
+    List.iter
+      (fun (x, y) ->
+        let dx = x -. mx and dy = y -. my in
+        cov := !cov +. (dx *. dy);
+        vx := !vx +. (dx *. dx);
+        vy := !vy +. (dy *. dy))
+      pairs;
+    if !vx = 0.0 || !vy = 0.0 then nan else !cov /. sqrt (!vx *. !vy)
+  end
+
+let scalar ~values g =
+  if Array.length values <> Simple_graph.n_vertices g then
+    invalid_arg "Assortativity.scalar: values length mismatch";
+  pearson
+    (List.map (fun (u, v) -> (values.(u), values.(v))) (Simple_graph.edges g))
+
+let degree g =
+  pearson
+    (List.map
+       (fun (u, v) ->
+         ( float_of_int (Simple_graph.out_degree g u),
+           float_of_int (Simple_graph.in_degree g v) ))
+       (Simple_graph.edges g))
+
+let discrete ~categories g =
+  if Array.length categories <> Simple_graph.n_vertices g then
+    invalid_arg "Assortativity.discrete: categories length mismatch";
+  let edges = Simple_graph.edges g in
+  let m = float_of_int (List.length edges) in
+  if m = 0.0 then nan
+  else begin
+    let k = 1 + Array.fold_left max (-1) categories in
+    let e = Array.make_matrix k k 0.0 in
+    List.iter
+      (fun (u, v) ->
+        let cu = categories.(u) and cv = categories.(v) in
+        if cu < 0 || cv < 0 then
+          invalid_arg "Assortativity.discrete: negative category";
+        e.(cu).(cv) <- e.(cu).(cv) +. (1.0 /. m))
+      edges;
+    let trace = ref 0.0 and agreement = ref 0.0 in
+    for i = 0 to k - 1 do
+      trace := !trace +. e.(i).(i);
+      let a = Array.fold_left ( +. ) 0.0 e.(i) in
+      let b = ref 0.0 in
+      for j = 0 to k - 1 do
+        b := !b +. e.(j).(i)
+      done;
+      agreement := !agreement +. (a *. !b)
+    done;
+    if 1.0 -. !agreement = 0.0 then nan
+    else (!trace -. !agreement) /. (1.0 -. !agreement)
+  end

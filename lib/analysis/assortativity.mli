@@ -1,0 +1,21 @@
+(** Assortative mixing coefficients — the third algorithm family §IV-C lists
+    ("assortative (e.g. scalar and discrete)").
+
+    Both are Newman's mixing coefficients computed over the edge list of a
+    single-relational (projected) graph. *)
+
+val scalar : values:float array -> Simple_graph.t -> float
+(** Scalar assortativity: the Pearson correlation, over edges [(u, v)], of
+    [values.(u)] against [values.(v)]. Returns [nan] when either marginal is
+    constant (correlation undefined) or the graph has no edges. *)
+
+val degree : Simple_graph.t -> float
+(** Degree assortativity of a directed graph: correlation of
+    out-degree of the source with in-degree of the target. *)
+
+val discrete : categories:int array -> Simple_graph.t -> float
+(** Discrete (categorical) assortativity
+    [(Σᵢ eᵢᵢ − Σᵢ aᵢ bᵢ) / (1 − Σᵢ aᵢ bᵢ)], where [e] is the normalised
+    category mixing matrix and [a], [b] its marginals. [1] is perfect
+    assortative mixing; [0] is random; negative is disassortative. Returns
+    [nan] on edgeless graphs or when the denominator vanishes. *)

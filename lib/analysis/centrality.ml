@@ -1,0 +1,249 @@
+type scores = float array
+
+let out_degree g =
+  Array.init (Simple_graph.n_vertices g) (fun v ->
+      float_of_int (Simple_graph.out_degree g v))
+
+let in_degree g =
+  Array.init (Simple_graph.n_vertices g) (fun v ->
+      float_of_int (Simple_graph.in_degree g v))
+
+let closeness g =
+  let n = Simple_graph.n_vertices g in
+  Array.init n (fun v ->
+      let dist = Simple_graph.bfs_distances g v in
+      let reachable = ref 0 and total = ref 0 in
+      Array.iteri
+        (fun u d ->
+          if u <> v && d > 0 then begin
+            incr reachable;
+            total := !total + d
+          end)
+        dist;
+      if !reachable = 0 || n <= 1 then 0.0
+      else
+        let r = float_of_int !reachable in
+        r /. float_of_int (n - 1) *. (r /. float_of_int !total))
+
+let harmonic_closeness g =
+  let n = Simple_graph.n_vertices g in
+  Array.init n (fun v ->
+      let dist = Simple_graph.bfs_distances g v in
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun u d -> if u <> v && d > 0 then acc := !acc +. (1.0 /. float_of_int d))
+        dist;
+      !acc)
+
+(* Brandes (2001), unweighted directed variant. *)
+let betweenness g =
+  let n = Simple_graph.n_vertices g in
+  let bc = Array.make n 0.0 in
+  for s = 0 to n - 1 do
+    let stack = ref [] in
+    let pred = Array.make n [] in
+    let sigma = Array.make n 0.0 in
+    let dist = Array.make n (-1) in
+    sigma.(s) <- 1.0;
+    dist.(s) <- 0;
+    let q = Queue.create () in
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      stack := v :: !stack;
+      Array.iter
+        (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.add w q
+          end;
+          if dist.(w) = dist.(v) + 1 then begin
+            sigma.(w) <- sigma.(w) +. sigma.(v);
+            pred.(w) <- v :: pred.(w)
+          end)
+        (Simple_graph.out_neighbours g v)
+    done;
+    let delta = Array.make n 0.0 in
+    List.iter
+      (fun w ->
+        List.iter
+          (fun v ->
+            delta.(v) <-
+              delta.(v) +. (sigma.(v) /. sigma.(w) *. (1.0 +. delta.(w))))
+          pred.(w);
+        if w <> s then bc.(w) <- bc.(w) +. delta.(w))
+      !stack
+  done;
+  bc
+
+let l2_normalise x =
+  let norm = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x) in
+  if norm > 0.0 then Array.map (fun v -> v /. norm) x else x
+
+let eigenvector ?(max_iter = 100) ?(eps = 1e-9) g =
+  let n = Simple_graph.n_vertices g in
+  if n = 0 then [||]
+  else begin
+    let x = ref (Array.make n (1.0 /. sqrt (float_of_int n))) in
+    let continue_ = ref true in
+    let iter = ref 0 in
+    while !continue_ && !iter < max_iter do
+      incr iter;
+      let y = Array.make n 0.0 in
+      (* y(v) = Σ_{u → v} x(u): centrality flows along edges. *)
+      for u = 0 to n - 1 do
+        Array.iter
+          (fun v -> y.(v) <- y.(v) +. !x.(u))
+          (Simple_graph.out_neighbours g u)
+      done;
+      let y = l2_normalise y in
+      let diff =
+        Array.fold_left max 0.0 (Array.mapi (fun i v -> abs_float (v -. !x.(i))) y)
+      in
+      x := y;
+      if diff < eps then continue_ := false
+    done;
+    !x
+  end
+
+let pagerank ?(damping = 0.85) ?(max_iter = 100) ?(eps = 1e-12) g =
+  let n = Simple_graph.n_vertices g in
+  if n = 0 then [||]
+  else begin
+    let inv_n = 1.0 /. float_of_int n in
+    let x = ref (Array.make n inv_n) in
+    let continue_ = ref true in
+    let iter = ref 0 in
+    while !continue_ && !iter < max_iter do
+      incr iter;
+      let y = Array.make n 0.0 in
+      let dangling = ref 0.0 in
+      for u = 0 to n - 1 do
+        let d = Simple_graph.out_degree g u in
+        if d = 0 then dangling := !dangling +. !x.(u)
+        else begin
+          let share = !x.(u) /. float_of_int d in
+          Array.iter
+            (fun v -> y.(v) <- y.(v) +. share)
+            (Simple_graph.out_neighbours g u)
+        end
+      done;
+      let base = ((1.0 -. damping) +. (damping *. !dangling)) *. inv_n in
+      let y = Array.map (fun v -> base +. (damping *. v)) y in
+      let diff =
+        Array.fold_left max 0.0 (Array.mapi (fun i v -> abs_float (v -. !x.(i))) y)
+      in
+      x := y;
+      if diff < eps then continue_ := false
+    done;
+    !x
+  end
+
+let katz ?(alpha = 0.05) ?(max_iter = 200) ?(eps = 1e-10) g =
+  let n = Simple_graph.n_vertices g in
+  if n = 0 then [||]
+  else begin
+    let x = ref (Array.make n 1.0) in
+    let continue_ = ref true in
+    let iter = ref 0 in
+    while !continue_ && !iter < max_iter do
+      incr iter;
+      let y = Array.make n 1.0 in
+      (* y(v) = 1 + α · Σ_{u → v} x(u) *)
+      for u = 0 to n - 1 do
+        Array.iter
+          (fun v -> y.(v) <- y.(v) +. (alpha *. !x.(u)))
+          (Simple_graph.out_neighbours g u)
+      done;
+      let diff =
+        Array.fold_left max 0.0 (Array.mapi (fun i v -> abs_float (v -. !x.(i))) y)
+      in
+      x := y;
+      if diff < eps then continue_ := false
+    done;
+    !x
+  end
+
+let hits ?(max_iter = 100) ?(eps = 1e-9) g =
+  let n = Simple_graph.n_vertices g in
+  if n = 0 then ([||], [||])
+  else begin
+    let hubs = ref (Array.make n 1.0) in
+    let auths = ref (Array.make n 1.0) in
+    let continue_ = ref true in
+    let iter = ref 0 in
+    while !continue_ && !iter < max_iter do
+      incr iter;
+      let auths' = Array.make n 0.0 in
+      for u = 0 to n - 1 do
+        Array.iter
+          (fun v -> auths'.(v) <- auths'.(v) +. !hubs.(u))
+          (Simple_graph.out_neighbours g u)
+      done;
+      let auths' = l2_normalise auths' in
+      let hubs' = Array.make n 0.0 in
+      for u = 0 to n - 1 do
+        Array.iter
+          (fun v -> hubs'.(u) <- hubs'.(u) +. auths'.(v))
+          (Simple_graph.out_neighbours g u)
+      done;
+      let hubs' = l2_normalise hubs' in
+      let diff =
+        max
+          (Array.fold_left max 0.0
+             (Array.mapi (fun i v -> abs_float (v -. !hubs.(i))) hubs'))
+          (Array.fold_left max 0.0
+             (Array.mapi (fun i v -> abs_float (v -. !auths.(i))) auths'))
+      in
+      hubs := hubs';
+      auths := auths';
+      if diff < eps then continue_ := false
+    done;
+    (!hubs, !auths)
+  end
+
+let spreading_activation ~seeds ?(decay = 0.85) ?(steps = 6) g =
+  let n = Simple_graph.n_vertices g in
+  let activation = Array.make n 0.0 in
+  let inject () =
+    List.iter
+      (fun (v, a) ->
+        if v < 0 || v >= n then
+          invalid_arg "Centrality.spreading_activation: seed out of range";
+        activation.(v) <- activation.(v) +. a)
+      seeds
+  in
+  inject ();
+  for _ = 1 to steps do
+    let next = Array.make n 0.0 in
+    for u = 0 to n - 1 do
+      let d = Simple_graph.out_degree g u in
+      if d > 0 && activation.(u) > 0.0 then begin
+        let share = decay *. activation.(u) /. float_of_int d in
+        Array.iter
+          (fun v -> next.(v) <- next.(v) +. share)
+          (Simple_graph.out_neighbours g u)
+      end
+    done;
+    Array.blit next 0 activation 0 n;
+    inject ()
+  done;
+  activation
+
+let top_k k scores =
+  let indexed = Array.to_list (Array.mapi (fun i s -> (i, s)) scores) in
+  let sorted =
+    List.sort
+      (fun (i1, s1) (i2, s2) ->
+        let c = Float.compare s2 s1 in
+        if c <> 0 then c else Int.compare i1 i2)
+      indexed
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+let pp_ranking ?(k = 10) ~vertex_name fmt scores =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (v, s) -> Format.fprintf fmt "%-20s %.6f@," (vertex_name v) s)
+    (top_k k scores);
+  Format.fprintf fmt "@]"

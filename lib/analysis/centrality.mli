@@ -1,0 +1,66 @@
+(** Single-relational graph algorithms (the families named in §IV-C).
+
+    Geodesic: {!closeness}, {!harmonic_closeness}, {!betweenness}.
+    Spectral: {!eigenvector}, {!pagerank}, {!spreading_activation}.
+    Degree:   {!out_degree}, {!in_degree}.
+
+    All functions return one score per vertex id. They run on
+    {!Simple_graph} values — i.e. on whatever projection of the
+    multi-relational graph you chose; the paper's point is that the
+    {e choice of projection} is where the semantics live. *)
+
+type scores = float array
+
+val out_degree : Simple_graph.t -> scores
+val in_degree : Simple_graph.t -> scores
+
+val closeness : Simple_graph.t -> scores
+(** Wasserman–Faust normalised closeness over out-edge distances:
+    [((r-1)/(n-1)) · ((r-1) / Σ d)] where [r] counts reachable vertices.
+    Vertices reaching nothing score 0. *)
+
+val harmonic_closeness : Simple_graph.t -> scores
+(** [Σ_{u ≠ v} 1/d(v,u)], robust to disconnectedness. *)
+
+val betweenness : Simple_graph.t -> scores
+(** Brandes' algorithm, directed, unweighted: the fraction of shortest
+    paths passing through each vertex (unnormalised pair counts). *)
+
+val eigenvector : ?max_iter:int -> ?eps:float -> Simple_graph.t -> scores
+(** Power iteration on [Aᵀ] (a vertex is central when pointed at by central
+    vertices), L2-normalised. Returns the last iterate even without full
+    convergence. *)
+
+val pagerank :
+  ?damping:float -> ?max_iter:int -> ?eps:float -> Simple_graph.t -> scores
+(** Standard PageRank with uniform teleportation (default damping 0.85);
+    dangling mass is redistributed uniformly. Scores sum to 1. *)
+
+val katz : ?alpha:float -> ?max_iter:int -> ?eps:float -> Simple_graph.t -> scores
+(** Katz centrality [x = α·Aᵀx + 1] by fixed-point iteration (default
+    [α = 0.05]; choose [α] below the reciprocal spectral radius for
+    convergence — the iteration simply stops at [max_iter] otherwise). *)
+
+val hits :
+  ?max_iter:int -> ?eps:float -> Simple_graph.t -> scores * scores
+(** Kleinberg's HITS: returns [(hubs, authorities)], both L2-normalised.
+    Hubs point at good authorities; authorities are pointed at by good
+    hubs. *)
+
+val spreading_activation :
+  seeds:(int * float) list ->
+  ?decay:float ->
+  ?steps:int ->
+  Simple_graph.t ->
+  scores
+(** Iterative activation spread: each step pushes every vertex's activation
+    to its out-neighbours, attenuated by [decay] (default 0.85), splitting
+    equally; seed activation is re-injected each step. [steps] defaults
+    to 6. *)
+
+val top_k : int -> scores -> (int * float) list
+(** The [k] best (vertex, score) pairs, best first; ties by lower id. *)
+
+val pp_ranking :
+  ?k:int -> vertex_name:(int -> string) -> Format.formatter -> scores -> unit
+(** Print the top-[k] (default 10) as a two-column table. *)

@@ -1,0 +1,118 @@
+open Mrpa_graph
+
+type t = { n_communities : int; community : int array }
+
+let neighbours g v =
+  Array.to_list (Simple_graph.out_neighbours g v)
+  @ Array.to_list (Simple_graph.in_neighbours g v)
+
+let label_propagation ?(seed = 1) ?(max_sweeps = 50) g =
+  let n = Simple_graph.n_vertices g in
+  let community = Array.init n Fun.id in
+  let order = Array.init n Fun.id in
+  let rng = Prng.create seed in
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed && !sweeps < max_sweeps do
+    incr sweeps;
+    changed := false;
+    Prng.shuffle rng order;
+    Array.iter
+      (fun v ->
+        match neighbours g v with
+        | [] -> ()
+        | ns ->
+          (* most frequent neighbour community; ties to the smallest id *)
+          let freq = Hashtbl.create 8 in
+          List.iter
+            (fun w ->
+              let c = community.(w) in
+              Hashtbl.replace freq c
+                (1 + Option.value ~default:0 (Hashtbl.find_opt freq c)))
+            ns;
+          let best =
+            Hashtbl.fold
+              (fun c count acc ->
+                match acc with
+                | None -> Some (c, count)
+                | Some (c', count') ->
+                  if count > count' || (count = count' && c < c') then
+                    Some (c, count)
+                  else acc)
+              freq None
+          in
+          (match best with
+          | Some (c, _) when c <> community.(v) ->
+            community.(v) <- c;
+            changed := true
+          | _ -> ()))
+      order
+  done;
+  (* renumber densely in order of first appearance *)
+  let renumber = Hashtbl.create 16 in
+  let next = ref 0 in
+  let community =
+    Array.map
+      (fun c ->
+        match Hashtbl.find_opt renumber c with
+        | Some c' -> c'
+        | None ->
+          let c' = !next in
+          incr next;
+          Hashtbl.add renumber c c';
+          c')
+      community
+  in
+  { n_communities = !next; community }
+
+let members t c =
+  let acc = ref [] in
+  for v = Array.length t.community - 1 downto 0 do
+    if t.community.(v) = c then acc := v :: !acc
+  done;
+  !acc
+
+let sizes t =
+  let s = Array.make t.n_communities 0 in
+  Array.iter (fun c -> s.(c) <- s.(c) + 1) t.community;
+  s
+
+let modularity g t =
+  (* undirected view: count each unordered adjacency once *)
+  let n = Simple_graph.n_vertices g in
+  let module P = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let undirected =
+    List.fold_left
+      (fun acc (u, v) -> P.add (min u v, max u v) acc)
+      P.empty (Simple_graph.edges g)
+  in
+  let m = float_of_int (P.cardinal undirected) in
+  if m = 0.0 then nan
+  else begin
+    let within = Array.make t.n_communities 0.0 in
+    let degree = Array.make n 0.0 in
+    P.iter
+      (fun (u, v) ->
+        degree.(u) <- degree.(u) +. 1.0;
+        if u <> v then degree.(v) <- degree.(v) +. 1.0;
+        if t.community.(u) = t.community.(v) then
+          within.(t.community.(u)) <- within.(t.community.(u)) +. 1.0)
+      undirected;
+    let community_degree = Array.make t.n_communities 0.0 in
+    Array.iteri
+      (fun v d ->
+        community_degree.(t.community.(v)) <-
+          community_degree.(t.community.(v)) +. d)
+      degree;
+    let q = ref 0.0 in
+    for c = 0 to t.n_communities - 1 do
+      let frac_within = within.(c) /. m in
+      let frac_degree = community_degree.(c) /. (2.0 *. m) in
+      q := !q +. frac_within -. (frac_degree *. frac_degree)
+    done;
+    !q
+  end

@@ -1,0 +1,27 @@
+(** Community detection by (synchronous-free) label propagation.
+
+    A lightweight clustering for the single-relational graphs §IV-C
+    derives: every vertex starts in its own community and repeatedly adopts
+    the most frequent community among its neighbours (ties broken towards
+    the smallest id, vertices visited in a deterministic shuffled order per
+    sweep), until a sweep changes nothing or [max_sweeps] is reached.
+    Deterministic for a given seed. *)
+
+type t = {
+  n_communities : int;
+  community : int array;  (** [community.(v)] in [0 .. n_communities - 1]. *)
+}
+
+val label_propagation :
+  ?seed:int -> ?max_sweeps:int -> Simple_graph.t -> t
+(** Undirected neighbourhoods (out ∪ in). Defaults: [seed 1],
+    [max_sweeps 50]. Community ids are renumbered densely in order of first
+    appearance. *)
+
+val members : t -> int -> int list
+val sizes : t -> int array
+
+val modularity : Simple_graph.t -> t -> float
+(** Newman modularity of the partition over the undirected view:
+    [Q = Σ_c (within_c / m − (deg_c / 2m)²)] with [m] undirected edges.
+    [nan] on edgeless graphs. *)

@@ -1,0 +1,117 @@
+type t = { n_components : int; component : int array }
+
+(* Iterative Tarjan: explicit stacks so deep graphs cannot overflow the
+   OCaml call stack. *)
+let strongly_connected g =
+  let n = Simple_graph.n_vertices g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let n_components = ref 0 in
+  (* Work items: (vertex, next child offset). *)
+  let visit root =
+    let work = ref [ (root, 0) ] in
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | (v, child) :: rest ->
+        if child = 0 then begin
+          index.(v) <- !next_index;
+          lowlink.(v) <- !next_index;
+          incr next_index;
+          stack := v :: !stack;
+          on_stack.(v) <- true
+        end;
+        let out = Simple_graph.out_neighbours g v in
+        if child < Array.length out then begin
+          let w = out.(child) in
+          work := (v, child + 1) :: rest;
+          if index.(w) < 0 then work := (w, 0) :: !work
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        end
+        else begin
+          (* all children done: close v *)
+          work := rest;
+          (match rest with
+          | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          | [] -> ());
+          if lowlink.(v) = index.(v) then begin
+            let c = !n_components in
+            incr n_components;
+            let rec pop () =
+              match !stack with
+              | [] -> ()
+              | w :: tl ->
+                stack := tl;
+                on_stack.(w) <- false;
+                component.(w) <- c;
+                if w <> v then pop ()
+            in
+            pop ()
+          end
+        end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then visit v
+  done;
+  { n_components = !n_components; component }
+
+let weakly_connected g =
+  let n = Simple_graph.n_vertices g in
+  let component = Array.make n (-1) in
+  let n_components = ref 0 in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if component.(v) < 0 then begin
+      let c = !n_components in
+      incr n_components;
+      component.(v) <- c;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        let expand w =
+          if component.(w) < 0 then begin
+            component.(w) <- c;
+            Queue.add w queue
+          end
+        in
+        Array.iter expand (Simple_graph.out_neighbours g u);
+        Array.iter expand (Simple_graph.in_neighbours g u)
+      done
+    end
+  done;
+  { n_components = !n_components; component }
+
+let members t c =
+  if c < 0 || c >= t.n_components then
+    invalid_arg "Components.members: unknown component";
+  let acc = ref [] in
+  for v = Array.length t.component - 1 downto 0 do
+    if t.component.(v) = c then acc := v :: !acc
+  done;
+  !acc
+
+let largest t =
+  if t.n_components = 0 then invalid_arg "Components.largest: empty partition";
+  let sizes = Array.make t.n_components 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) t.component;
+  let best = ref 0 in
+  Array.iteri (fun c size -> if size > sizes.(!best) then best := c) sizes;
+  (!best, sizes.(!best))
+
+let condensation g =
+  let t = strongly_connected g in
+  let edges =
+    List.filter_map
+      (fun (u, v) ->
+        let cu = t.component.(u) and cv = t.component.(v) in
+        if cu <> cv then Some (cu, cv) else None)
+      (Simple_graph.edges g)
+  in
+  (t, Simple_graph.of_edge_list ~n:t.n_components edges)
+
+let same_component t u v = t.component.(u) = t.component.(v)

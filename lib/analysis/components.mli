@@ -1,0 +1,37 @@
+(** Connectivity structure of single-relational (projected) graphs.
+
+    §IV-C hands derived graphs to "all known single-relational graph
+    algorithms"; connectivity is the first thing any pipeline asks of them
+    (which part of the derived relation is even mutually reachable?), and
+    the condensation is the standard preprocessor for path-existence
+    reasoning. *)
+
+type t = {
+  n_components : int;
+  component : int array;
+      (** [component.(v)] is the id of [v]'s component, in [0 .. n-1]. *)
+}
+
+val strongly_connected : Simple_graph.t -> t
+(** Tarjan's algorithm (iterative). Component ids are assigned in reverse
+    topological order of the condensation: if the condensation has an edge
+    [c₁ → c₂] then [c₁ > c₂]... see {!condensation} for the DAG itself. *)
+
+val weakly_connected : Simple_graph.t -> t
+(** Components of the underlying undirected graph (union of out- and
+    in-adjacency). *)
+
+val members : t -> int -> int list
+(** Vertices of one component, ascending. Raises [Invalid_argument] on an
+    unknown component id. *)
+
+val largest : t -> int * int
+(** [(component id, size)] of a largest component. Raises
+    [Invalid_argument] on the empty partition. *)
+
+val condensation : Simple_graph.t -> t * Simple_graph.t
+(** The strongly-connected partition together with its condensation: one
+    vertex per component, an edge [c₁ → c₂] (with [c₁ ≠ c₂]) whenever some
+    member edge crosses the components. The condensation is a DAG. *)
+
+val same_component : t -> int -> int -> bool

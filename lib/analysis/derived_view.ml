@@ -1,0 +1,124 @@
+open Mrpa_graph
+
+type t = {
+  graph : Digraph.t;
+  word : Label.t list;
+  positions : Label.t array; (* word as an array, 0-indexed *)
+  mutable n : int; (* matrix dimension (vertex count at last (re)build) *)
+  mutable slices : Sparse.t array; (* slices.(p) = current A_{word.(p)} *)
+  mutable counts : Sparse.t;
+  mutable rebuilds : int;
+}
+
+let rebuild t =
+  let g = t.graph in
+  let n = Digraph.n_vertices g in
+  t.n <- n;
+  t.slices <- Array.map (fun alpha -> Projection.adjacency_slice g alpha) t.positions;
+  t.counts <-
+    Array.fold_left
+      (fun acc slice -> Sparse.mul acc slice)
+      (Sparse.identity n) t.slices;
+  t.rebuilds <- t.rebuilds + 1
+
+(* Sparse vector as (index, value) assoc; kept tiny by construction. *)
+let vec_of_dense dense =
+  let acc = ref [] in
+  Array.iteri (fun i v -> if v <> 0.0 then acc := (i, v) :: !acc) dense;
+  !acc
+
+let dense_of_vec n vec =
+  let dense = Array.make n 0.0 in
+  List.iter (fun (i, v) -> dense.(i) <- dense.(i) +. v) vec;
+  dense
+
+let outer ~n u v =
+  Sparse.of_coo ~rows:n ~cols:n
+    (List.concat_map
+       (fun (i, uv) -> List.map (fun (j, vv) -> (i, j, uv *. vv)) v)
+       u)
+
+(* ΔC for a ±1 change at (tail, head) of label [alpha]:
+   Σ_{p : word.(p) = alpha} (new prefix < p) · Δ · (old suffix > p),
+   where "new" slices are the old slice plus Δ at positions < p that carry
+   alpha. Terms are computed as column/row vector products. *)
+let apply_change t e sign =
+  let tail = Vertex.to_int (Edge.tail e) in
+  let head = Vertex.to_int (Edge.head e) in
+  if tail >= t.n || head >= t.n then rebuild t
+  else begin
+    let alpha = Edge.label e in
+    let k = Array.length t.positions in
+    let delta_terms = ref [] in
+    for p = 0 to k - 1 do
+      if Label.equal t.positions.(p) alpha then begin
+        (* column = (Π_{q<p} A_q^new) · e_tail, applying matrices right to
+           left; positions q<p with label alpha use the NEW slice. *)
+        let col = ref [ (tail, 1.0) ] in
+        for q = p - 1 downto 0 do
+          let base = Sparse.mat_vec t.slices.(q) (dense_of_vec t.n !col) in
+          (* new slice effect: (A_q + sign·Δ)·x = A_q·x + sign·x(head)·e_tail *)
+          if Label.equal t.positions.(q) alpha then begin
+            let x = dense_of_vec t.n !col in
+            base.(tail) <- base.(tail) +. (sign *. x.(head))
+          end;
+          col := vec_of_dense base
+        done;
+        (* row = e_headᵀ · (Π_{q>p} A_q^old), applying left to right *)
+        let row = ref [ (head, 1.0) ] in
+        for q = p + 1 to k - 1 do
+          row := vec_of_dense (Sparse.vec_mat (dense_of_vec t.n !row) t.slices.(q))
+        done;
+        delta_terms := outer ~n:t.n !col (List.map (fun (j, v) -> (j, sign *. v)) !row) :: !delta_terms
+      end
+    done;
+    List.iter (fun d -> t.counts <- Sparse.add t.counts d) !delta_terms;
+    (* finally commit the slice update at every matching position *)
+    let delta_slice = Sparse.of_coo ~rows:t.n ~cols:t.n [ (tail, head, sign) ] in
+    Array.iteri
+      (fun p lbl ->
+        if Label.equal lbl alpha then
+          t.slices.(p) <- Sparse.add t.slices.(p) delta_slice)
+      t.positions
+  end
+
+let create g word =
+  if word = [] then invalid_arg "Derived_view.create: empty word";
+  let t =
+    {
+      graph = g;
+      word;
+      positions = Array.of_list word;
+      n = 0;
+      slices = [||];
+      counts = Sparse.identity 0;
+      rebuilds = -1;
+      (* rebuild below brings it to 0 *)
+    }
+  in
+  rebuild t;
+  Digraph.on_edge_added g (fun e -> apply_change t e 1.0);
+  Digraph.on_edge_removed g (fun e -> apply_change t e (-1.0));
+  t
+
+let word t = t.word
+let counts t = t.counts
+
+let simple_graph t =
+  Simple_graph.of_edge_list ~n:t.n
+    (List.map (fun (i, j, _) -> (i, j)) (Sparse.to_coo t.counts))
+
+let pair_count t i j =
+  if Vertex.to_int i >= t.n || Vertex.to_int j >= t.n then 0
+  else int_of_float (Sparse.get t.counts (Vertex.to_int i) (Vertex.to_int j))
+
+let n_rebuilds t = t.rebuilds
+
+let is_consistent t =
+  let fresh =
+    List.fold_left
+      (fun acc alpha -> Sparse.mul acc (Projection.adjacency_slice t.graph alpha))
+      (Sparse.identity (Digraph.n_vertices t.graph))
+      t.word
+  in
+  t.n = Digraph.n_vertices t.graph && Sparse.equal t.counts fresh

@@ -1,0 +1,48 @@
+(** Incrementally maintained derived relations.
+
+    §IV-C's "semantically-rich single-relational graphs" are materialised
+    views: [C_w(i,j)] counts the joint paths [i → j] whose label word is
+    exactly [w = α₁…αₖ] (its boolean skeleton is [E_w]). A traversal engine
+    that recomputes such views per edge change wastes [k−1] sparse matrix
+    products; this module maintains them under single-edge insertions and
+    removals with rank-1 algebra instead.
+
+    A change [Δ = ±e_i·e_jᵀ] to the slice of label [α] perturbs the product
+    [A_{α₁}···A_{αₖ}] by the telescoping sum
+
+    [ΔC = Σ_{p : αₚ = α} (Π_{q<p} A_q^new) · Δ · (Π_{q>p} A_q^old)],
+
+    and each term is an outer product of one column vector (a suffix of
+    matrix–vector products) and one row vector — [O(k)] sparse matvecs per
+    change, no matrix–matrix product.
+
+    Views subscribe to {!Mrpa_graph.Digraph}'s change notifications, so a
+    plain [Digraph.add_edge]/[remove_edge] keeps every registered view
+    consistent. Inserting an edge that mentions a vertex unknown at view
+    creation triggers a transparent full rebuild (matrix dimensions grow).
+    Consistency against recomputation-from-scratch is property-tested. *)
+
+open Mrpa_graph
+
+type t
+
+val create : Digraph.t -> Label.t list -> t
+(** Materialise the view for a (non-empty) label word over the graph's
+    current state and subscribe to subsequent changes. Raises
+    [Invalid_argument] on the empty word. *)
+
+val word : t -> Label.t list
+
+val counts : t -> Sparse.t
+(** The current count matrix [C_w]. *)
+
+val simple_graph : t -> Simple_graph.t
+(** Boolean skeleton — the [E_w] of §IV-C, always current. *)
+
+val pair_count : t -> Vertex.t -> Vertex.t -> int
+
+val n_rebuilds : t -> int
+(** How many full rebuilds occurred (dimension growth); diagnostics. *)
+
+val is_consistent : t -> bool
+(** Recompute from scratch and compare — test/debug helper. *)

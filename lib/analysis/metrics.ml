@@ -1,0 +1,73 @@
+let eccentricity g =
+  let n = Simple_graph.n_vertices g in
+  Array.init n (fun v ->
+      let dist = Simple_graph.bfs_distances g v in
+      Array.fold_left
+        (fun acc d -> if d > acc then d else acc)
+        (-1)
+        (Array.mapi (fun u d -> if u = v then -1 else d) dist))
+
+let diameter g =
+  Array.fold_left (fun acc e -> if e > acc then e else acc) 0 (eccentricity g)
+
+let radius g =
+  let finite = Array.to_list (eccentricity g) |> List.filter (fun e -> e > 0) in
+  match finite with [] -> 0 | _ -> List.fold_left min max_int finite
+
+let average_path_length g =
+  let n = Simple_graph.n_vertices g in
+  let total = ref 0 and pairs = ref 0 in
+  for v = 0 to n - 1 do
+    let dist = Simple_graph.bfs_distances g v in
+    Array.iteri
+      (fun u d ->
+        if u <> v && d > 0 then begin
+          total := !total + d;
+          incr pairs
+        end)
+      dist
+  done;
+  if !pairs = 0 then nan else float_of_int !total /. float_of_int !pairs
+
+(* Undirected neighbour sets (out ∪ in, self-loops dropped). *)
+let undirected_neighbours g v =
+  let module S = Set.Make (Int) in
+  let s =
+    S.union
+      (S.of_list (Array.to_list (Simple_graph.out_neighbours g v)))
+      (S.of_list (Array.to_list (Simple_graph.in_neighbours g v)))
+  in
+  S.elements (S.remove v s)
+
+let undirected_adjacent g u v =
+  Simple_graph.mem_edge g u v || Simple_graph.mem_edge g v u
+
+let local_clustering g =
+  let n = Simple_graph.n_vertices g in
+  Array.init n (fun v ->
+      let ns = undirected_neighbours g v in
+      let k = List.length ns in
+      if k < 2 then 0.0
+      else begin
+        let links = ref 0 in
+        let rec pairs = function
+          | [] -> ()
+          | u :: rest ->
+            List.iter (fun w -> if undirected_adjacent g u w then incr links) rest;
+            pairs rest
+        in
+        pairs ns;
+        2.0 *. float_of_int !links /. float_of_int (k * (k - 1))
+      end)
+
+let global_clustering g =
+  let n = Simple_graph.n_vertices g in
+  let coeffs = local_clustering g in
+  let eligible = ref 0 and total = ref 0.0 in
+  for v = 0 to n - 1 do
+    if List.length (undirected_neighbours g v) >= 2 then begin
+      incr eligible;
+      total := !total +. coeffs.(v)
+    end
+  done;
+  if !eligible = 0 then nan else !total /. float_of_int !eligible

@@ -1,0 +1,28 @@
+(** Whole-graph distance and cohesion metrics for (projected)
+    single-relational graphs — the remaining §IV-C "geodesic" quantities
+    that are graph-level rather than per-vertex. *)
+
+val eccentricity : Simple_graph.t -> int array
+(** Per vertex: the greatest finite distance to any reachable vertex over
+    out-edges; [-1] for vertices that reach nothing. *)
+
+val diameter : Simple_graph.t -> int
+(** Largest finite eccentricity ([0] when no vertex reaches another). The
+    directed, reachable-pairs-only convention: unreachable pairs are
+    ignored rather than infinite. *)
+
+val radius : Simple_graph.t -> int
+(** Smallest non-negative eccentricity among vertices that reach at least
+    one other vertex; [0] when there are none. *)
+
+val average_path_length : Simple_graph.t -> float
+(** Mean distance over ordered reachable pairs [(u, v)], [u ≠ v]; [nan]
+    when no such pair exists. *)
+
+val local_clustering : Simple_graph.t -> float array
+(** Per vertex, over the {e undirected} view: the fraction of pairs of
+    neighbours that are themselves adjacent; [0.] for degree < 2. *)
+
+val global_clustering : Simple_graph.t -> float
+(** Mean of {!local_clustering} over vertices of undirected degree ≥ 2
+    (the Watts–Strogatz average); [nan] when no vertex qualifies. *)

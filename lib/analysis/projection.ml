@@ -1,0 +1,39 @@
+open Mrpa_graph
+open Mrpa_core
+
+let vertex_pairs_to_graph g pairs =
+  Simple_graph.of_edge_list ~n:(Digraph.n_vertices g)
+    (List.map (fun (i, j) -> (Vertex.to_int i, Vertex.to_int j)) pairs)
+
+let label_blind g =
+  vertex_pairs_to_graph g
+    (List.map (fun e -> (Edge.tail e, Edge.head e)) (Digraph.edges g))
+
+let single_label g alpha =
+  vertex_pairs_to_graph g
+    (List.map
+       (fun e -> (Edge.tail e, Edge.head e))
+       (Digraph.edges_with_label g alpha))
+
+let path_derived g labels =
+  let word = List.map Label.Set.singleton labels in
+  let paths = Traversal.labeled g ~labels:word in
+  let paths = Path_set.filter (fun p -> not (Path.is_empty p)) paths in
+  vertex_pairs_to_graph g (Path_set.endpoint_pairs paths)
+
+let path_derived_expr g expr ~max_length =
+  let paths = Mrpa_automata.Generator.generate g expr ~max_length in
+  vertex_pairs_to_graph g (Path_set.endpoint_pairs paths)
+
+let adjacency_slice g alpha =
+  let n = Digraph.n_vertices g in
+  Sparse.boolean_of_coo ~rows:n ~cols:n
+    (List.map
+       (fun e -> (Vertex.to_int (Edge.tail e), Vertex.to_int (Edge.head e)))
+       (Digraph.edges_with_label g alpha))
+
+let path_derived_matrix g labels =
+  let n = Digraph.n_vertices g in
+  List.fold_left
+    (fun acc alpha -> Sparse.mul_bool acc (adjacency_slice g alpha))
+    (Sparse.identity n) labels

@@ -1,0 +1,43 @@
+(** Constructing semantically-rich single-relational graphs (paper, §IV-C).
+
+    Three ways to get a single-relational graph out of a multi-relational
+    one, in increasing order of sophistication — exactly the three methods
+    the paper discusses:
+
+    - {!label_blind}: ignore labels (and collapse parallel edges). The paper
+      warns this muddles the semantics of downstream algorithms; EXP-T6
+      quantifies the difference.
+    - {!single_label}: extract one relation,
+      [E_α = {(γ⁻(e), γ⁺(e)) | e ∈ E ∧ ω(e) = α}].
+    - path-derived: infer abstract relationships through paths, e.g.
+      [E_αβ = ⋃_{a ∈ A ./∘ B} (γ⁻(a), γ⁺(a))] — via the algebra
+      ({!path_derived}), via a regular path generator
+      ({!path_derived_expr}), or via the tensor-slice boolean matrix product
+      ({!path_derived_matrix}, the route of the paper's ref. [5]). All three
+      agree; property tests enforce it. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+val label_blind : Digraph.t -> Simple_graph.t
+(** Forget labels; vertex ids are preserved. *)
+
+val single_label : Digraph.t -> Label.t -> Simple_graph.t
+(** The [E_α] extraction. *)
+
+val path_derived : Digraph.t -> Label.t list -> Simple_graph.t
+(** [E_{α₁…αₖ}]: endpoints of all joint paths whose label word is the given
+    sequence, computed with the concatenative join ({!Mrpa_core.Traversal.labeled}).
+    The empty list yields the identity-free empty graph. *)
+
+val path_derived_expr :
+  Digraph.t -> Expr.t -> max_length:int -> Simple_graph.t
+(** §IV-C with a regular path generator: endpoints of every generated
+    path. *)
+
+val adjacency_slice : Digraph.t -> Label.t -> Sparse.t
+(** The tensor slice [A_α] as a boolean [|V| × |V|] matrix. *)
+
+val path_derived_matrix : Digraph.t -> Label.t list -> Sparse.t
+(** [A_{α₁} ⊙ … ⊙ A_{αₖ}] under the boolean product — the matrix form of
+    {!path_derived}. The empty list yields the identity matrix. *)

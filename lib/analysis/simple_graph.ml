@@ -1,0 +1,99 @@
+type t = {
+  n : int;
+  out : int array array;
+  inc : int array array;
+  n_edges : int;
+}
+
+let dedup_sorted a =
+  let l = List.sort_uniq Int.compare (Array.to_list a) in
+  Array.of_list l
+
+let of_edge_list ~n edge_list =
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Simple_graph.of_edge_list: endpoint out of range")
+    edge_list;
+  let out_b = Array.make n [] in
+  let in_b = Array.make n [] in
+  let module P = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let distinct = P.of_list edge_list in
+  P.iter
+    (fun (i, j) ->
+      out_b.(i) <- j :: out_b.(i);
+      in_b.(j) <- i :: in_b.(j))
+    distinct;
+  {
+    n;
+    out = Array.map (fun l -> dedup_sorted (Array.of_list l)) out_b;
+    inc = Array.map (fun l -> dedup_sorted (Array.of_list l)) in_b;
+    n_edges = P.cardinal distinct;
+  }
+
+let n_vertices g = g.n
+let n_edges g = g.n_edges
+let out_neighbours g v = g.out.(v)
+let in_neighbours g v = g.inc.(v)
+let out_degree g v = Array.length g.out.(v)
+let in_degree g v = Array.length g.inc.(v)
+
+let mem_edge g i j =
+  (* neighbour arrays are sorted *)
+  let a = g.out.(i) in
+  let rec bisect lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = j then true
+      else if a.(mid) < j then bisect (mid + 1) hi
+      else bisect lo mid
+  in
+  bisect 0 (Array.length a)
+
+let edges g =
+  let acc = ref [] in
+  for i = g.n - 1 downto 0 do
+    for k = Array.length g.out.(i) - 1 downto 0 do
+      acc := (i, g.out.(i).(k)) :: !acc
+    done
+  done;
+  !acc
+
+let transpose g = { g with out = g.inc; inc = g.out }
+
+let to_sparse g =
+  Sparse.boolean_of_coo ~rows:g.n ~cols:g.n (edges g)
+
+let of_sparse_bool m =
+  if Sparse.rows m <> Sparse.cols m then
+    invalid_arg "Simple_graph.of_sparse_bool: non-square matrix";
+  of_edge_list ~n:(Sparse.rows m)
+    (List.map (fun (i, j, _) -> (i, j)) (Sparse.to_coo m))
+
+let bfs_distances g src =
+  if src < 0 || src >= g.n then invalid_arg "Simple_graph.bfs_distances";
+  let dist = Array.make g.n (-1) in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w q
+        end)
+      g.out.(v)
+  done;
+  dist
+
+let equal a b = a.n = b.n && a.out = b.out
+
+let pp fmt g =
+  Format.fprintf fmt "simple graph: %d vertices, %d edges" g.n g.n_edges

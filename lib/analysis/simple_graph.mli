@@ -1,0 +1,41 @@
+(** Compact single-relational directed graphs.
+
+    §IV-C feeds derived graphs to "all known single-relational graph
+    algorithms"; this is the representation those algorithms run on.
+    Vertices are [0 .. n-1]; edges are unlabeled and deduplicated (a binary
+    relation [⊆ V × V], matching [E_α] and [E_αβ] in the paper). *)
+
+type t
+
+val of_edge_list : n:int -> (int * int) list -> t
+(** [n] vertices, edges deduplicated; raises [Invalid_argument] on
+    out-of-range endpoints. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val out_neighbours : t -> int -> int array
+(** Sorted, duplicate-free. *)
+
+val in_neighbours : t -> int -> int array
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val mem_edge : t -> int -> int -> bool
+val edges : t -> (int * int) list
+
+val transpose : t -> t
+
+val to_sparse : t -> Sparse.t
+(** Boolean adjacency matrix. *)
+
+val of_sparse_bool : Sparse.t -> t
+(** From a (square) matrix: edge wherever an entry is non-zero. *)
+
+val bfs_distances : t -> int -> int array
+(** Unweighted shortest-path distances from a source over out-edges;
+    [-1] marks unreachable vertices. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

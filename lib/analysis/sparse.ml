@@ -1,0 +1,178 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let check_dims rows cols entries =
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg "Sparse: index out of range")
+    entries
+
+(* Build CSR from triples: bucket per row, sort by column, sum duplicates,
+   drop zeros. *)
+let of_coo ~rows ~cols entries =
+  check_dims rows cols entries;
+  let buckets = Array.make rows [] in
+  List.iter (fun (i, j, v) -> buckets.(i) <- (j, v) :: buckets.(i)) entries;
+  let row_ptr = Array.make (rows + 1) 0 in
+  let cells = ref [] in
+  let count = ref 0 in
+  for i = 0 to rows - 1 do
+    row_ptr.(i) <- !count;
+    let sorted =
+      List.sort (fun (j1, _) (j2, _) -> Int.compare j1 j2) buckets.(i)
+    in
+    let rec collapse = function
+      | [] -> []
+      | (j, v) :: rest ->
+        let same, rest' = List.partition (fun (j', _) -> j' = j) rest in
+        let total = List.fold_left (fun acc (_, v') -> acc +. v') v same in
+        if total = 0.0 then collapse rest' else (j, total) :: collapse rest'
+    in
+    let collapsed = collapse sorted in
+    List.iter
+      (fun cell ->
+        cells := cell :: !cells;
+        incr count)
+      collapsed
+  done;
+  row_ptr.(rows) <- !count;
+  let cells = Array.of_list (List.rev !cells) in
+  {
+    rows;
+    cols;
+    row_ptr;
+    col_idx = Array.map fst cells;
+    values = Array.map snd cells;
+  }
+
+let boolean_of_coo ~rows ~cols entries =
+  let module P = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let distinct = P.of_list entries in
+  of_coo ~rows ~cols (List.map (fun (i, j) -> (i, j, 1.0)) (P.elements distinct))
+
+let identity n = of_coo ~rows:n ~cols:n (List.init n (fun i -> (i, i, 1.0)))
+let zero ~rows ~cols = of_coo ~rows ~cols []
+let rows m = m.rows
+let cols m = m.cols
+let nnz m = Array.length m.col_idx
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Sparse.get: index out of range";
+  let rec find k =
+    if k >= m.row_ptr.(i + 1) then 0.0
+    else if m.col_idx.(k) = j then m.values.(k)
+    else find (k + 1)
+  in
+  find m.row_ptr.(i)
+
+let to_coo m =
+  let acc = ref [] in
+  for i = m.rows - 1 downto 0 do
+    for k = m.row_ptr.(i + 1) - 1 downto m.row_ptr.(i) do
+      acc := (i, m.col_idx.(k), m.values.(k)) :: !acc
+    done
+  done;
+  !acc
+
+(* Row-at-a-time sparse product with a dense accumulator. *)
+let mul_general ~boolean a b =
+  if a.cols <> b.rows then invalid_arg "Sparse.mul: dimension mismatch";
+  let acc = Array.make b.cols 0.0 in
+  let touched = ref [] in
+  let out = ref [] in
+  for i = 0 to a.rows - 1 do
+    for ka = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      let k = a.col_idx.(ka) in
+      let va = a.values.(ka) in
+      for kb = b.row_ptr.(k) to b.row_ptr.(k + 1) - 1 do
+        let j = b.col_idx.(kb) in
+        if acc.(j) = 0.0 then touched := j :: !touched;
+        acc.(j) <- acc.(j) +. (va *. b.values.(kb))
+      done
+    done;
+    List.iter
+      (fun j ->
+        if acc.(j) <> 0.0 then begin
+          let v = if boolean then 1.0 else acc.(j) in
+          out := (i, j, v) :: !out
+        end;
+        acc.(j) <- 0.0)
+      !touched;
+    touched := []
+  done;
+  of_coo ~rows:a.rows ~cols:b.cols !out
+
+let mul a b = mul_general ~boolean:false a b
+let mul_bool a b = mul_general ~boolean:true a b
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Sparse.add: dimension mismatch";
+  of_coo ~rows:a.rows ~cols:a.cols (to_coo a @ to_coo b)
+
+let transpose m =
+  of_coo ~rows:m.cols ~cols:m.rows
+    (List.map (fun (i, j, v) -> (j, i, v)) (to_coo m))
+
+let mat_vec m x =
+  if Array.length x <> m.cols then invalid_arg "Sparse.mat_vec: size mismatch";
+  let y = Array.make m.rows 0.0 in
+  for i = 0 to m.rows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      y.(i) <- y.(i) +. (m.values.(k) *. x.(m.col_idx.(k)))
+    done
+  done;
+  y
+
+let vec_mat x m =
+  if Array.length x <> m.rows then invalid_arg "Sparse.vec_mat: size mismatch";
+  let y = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    if x.(i) <> 0.0 then
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        let j = m.col_idx.(k) in
+        y.(j) <- y.(j) +. (x.(i) *. m.values.(k))
+      done
+  done;
+  y
+
+let power_bool m k =
+  if m.rows <> m.cols then invalid_arg "Sparse.power_bool: non-square";
+  if k < 0 then invalid_arg "Sparse.power_bool: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then mul_bool acc base else acc in
+      if k lsr 1 = 0 then acc else go acc (mul_bool base base) (k lsr 1)
+  in
+  go (identity m.rows) m k
+
+let map f m =
+  of_coo ~rows:m.rows ~cols:m.cols
+    (List.filter_map
+       (fun (i, j, v) ->
+         let v' = f v in
+         if v' = 0.0 then None else Some (i, j, v'))
+       (to_coo m))
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols
+  && a.row_ptr = b.row_ptr && a.col_idx = b.col_idx && a.values = b.values
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>%dx%d sparse, %d nnz@," m.rows m.cols (nnz m);
+  List.iter
+    (fun (i, j, v) -> Format.fprintf fmt "(%d,%d)=%g@," i j v)
+    (to_coo m);
+  Format.fprintf fmt "@]"

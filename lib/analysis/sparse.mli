@@ -1,0 +1,70 @@
+(** Sparse matrices in compressed-sparse-row form.
+
+    The multi-relational graph has a natural 3-way tensor representation
+    (the paper's ref. [5]): one [|V| × |V|] adjacency slice per relation
+    type. This module provides those slices and the (boolean and counting)
+    matrix products that implement path-derived relations algebraically —
+    the number of [αβ]-paths from [i] to [j] is [(A_α · A_β)(i,j)], and its
+    boolean skeleton is exactly the [E_αβ] of §IV-C. EXP-T6 compares this
+    route against the path-set join route. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  row_ptr : int array;  (** length [rows + 1]. *)
+  col_idx : int array;  (** column of each stored entry, row-major. *)
+  values : float array;  (** value of each stored entry. *)
+}
+
+val of_coo : rows:int -> cols:int -> (int * int * float) list -> t
+(** Build from coordinate triples; duplicate coordinates are summed.
+    Raises [Invalid_argument] on out-of-range indices. *)
+
+val boolean_of_coo : rows:int -> cols:int -> (int * int) list -> t
+(** Build a 0/1 matrix from coordinates (duplicates collapse to 1). *)
+
+val identity : int -> t
+val zero : rows:int -> cols:int -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val nnz : t -> int
+(** Number of stored entries. *)
+
+val get : t -> int -> int -> float
+(** [get m i j]; zero for absent entries. *)
+
+val to_coo : t -> (int * int * float) list
+(** Stored entries in row-major order. *)
+
+val mul : t -> t -> t
+(** Real matrix product (counting semiring: entry = number of weighted
+    two-step connections). Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val mul_bool : t -> t -> t
+(** Boolean matrix product: entries are 0 or 1, recording existence. *)
+
+val add : t -> t -> t
+
+val transpose : t -> t
+
+val mat_vec : t -> float array -> float array
+(** [m · x]. *)
+
+val vec_mat : float array -> t -> float array
+(** [xᵀ · m] — the PageRank direction. *)
+
+val power_bool : t -> int -> t
+(** Boolean [m^k] ([k ≥ 0]; [m] must be square). *)
+
+val map : (float -> float) -> t -> t
+(** Entrywise map over stored entries (zeros stay zero; entries mapped to
+    [0.] are dropped). *)
+
+val equal : t -> t -> bool
+(** Structural equality of the stored representation (after normalising
+    away explicit zeros). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+open Mrpa_graph
+
+type t = {
+  n_vertices : int;
+  n_labels : int;
+  slices : Sparse.t array; (* indexed by label id *)
+}
+
+let of_digraph g =
+  let n = Digraph.n_vertices g in
+  let k = Digraph.n_labels g in
+  let slices =
+    Array.init k (fun l ->
+        Sparse.boolean_of_coo ~rows:n ~cols:n
+          (List.map
+             (fun e ->
+               (Vertex.to_int (Edge.tail e), Vertex.to_int (Edge.head e)))
+             (Digraph.edges_with_label g (Label.of_int l))))
+  in
+  { n_vertices = n; n_labels = k; slices }
+
+let n_vertices t = t.n_vertices
+let n_labels t = t.n_labels
+
+let nnz t = Array.fold_left (fun acc m -> acc + Sparse.nnz m) 0 t.slices
+
+let known_label t l = Label.to_int l >= 0 && Label.to_int l < t.n_labels
+
+let mem t i alpha j =
+  known_label t alpha
+  && Sparse.get t.slices.(Label.to_int alpha) (Vertex.to_int i) (Vertex.to_int j)
+     <> 0.0
+
+let slice t alpha =
+  if known_label t alpha then t.slices.(Label.to_int alpha)
+  else Sparse.zero ~rows:t.n_vertices ~cols:t.n_vertices
+
+let label_sum t =
+  Array.fold_left Sparse.add
+    (Sparse.zero ~rows:t.n_vertices ~cols:t.n_vertices)
+    t.slices
+
+let contract t word =
+  List.fold_left
+    (fun acc alpha -> Sparse.mul acc (slice t alpha))
+    (Sparse.identity t.n_vertices)
+    word
+
+let pp fmt t =
+  Format.fprintf fmt "tensor %dx%dx%d, %d entries" t.n_vertices t.n_labels
+    t.n_vertices (nnz t)

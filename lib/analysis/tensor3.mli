@@ -1,0 +1,45 @@
+(** The 3-way adjacency-tensor view of a multi-relational graph.
+
+    The paper's ref. [5] (Rodriguez & Shinavier) represents [G] as a
+    [|V| × |Ω| × |V|] boolean tensor [A] with [A(i, α, j) = 1] iff
+    [(i, α, j) ∈ E]. This module materialises that view as one sparse slice
+    per relation type and provides the contractions §IV-C leans on:
+
+    - {!slice}: the single-relation adjacency matrix [A_α] ([E_α] of the
+      paper);
+    - {!label_sum}: [Σ_α A_α], whose entry [(i,j)] counts the parallel
+      relations between [i] and [j] — exactly the multiplicity that the
+      binary baseline algebra ({!Mrpa_baseline.Label_recovery}) cannot
+      recover;
+    - {!contract}: the counting product along a label word, whose [(i,j)]
+      entry is the number of distinct joint paths from [i] to [j] with that
+      exact path label. Its boolean skeleton is [E_{α₁…αₖ}]. *)
+
+open Mrpa_graph
+
+type t
+
+val of_digraph : Digraph.t -> t
+(** Snapshot the graph (later graph mutations are not reflected). *)
+
+val n_vertices : t -> int
+val n_labels : t -> int
+
+val nnz : t -> int
+(** [|E|]. *)
+
+val mem : t -> Vertex.t -> Label.t -> Vertex.t -> bool
+(** [A(i, α, j) = 1]? Labels outside the snapshot are simply absent. *)
+
+val slice : t -> Label.t -> Sparse.t
+(** [A_α] as a boolean matrix; the zero matrix for unknown labels. *)
+
+val label_sum : t -> Sparse.t
+(** [Σ_α A_α] under real addition (entries are parallel-edge counts). *)
+
+val contract : t -> Label.t list -> Sparse.t
+(** [contract t \[α; β; …\] = A_α · A_β · …] under the counting semiring;
+    the empty word gives the identity. Entry [(i,j)] is the number of joint
+    paths [i → j] whose label word is exactly the argument. *)
+
+val pp : Format.formatter -> t -> unit

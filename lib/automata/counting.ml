@@ -1,0 +1,59 @@
+open Mrpa_graph
+
+(* Trajectory-level dynamic programming over the lazy subset machine
+   ({!Subset}): a configuration is (subset state, current vertex); because
+   the machine is deterministic on (signature, adjacency) letters, each path
+   corresponds to exactly one trajectory and trajectory counts are distinct
+   path counts. The pre-first-edge configuration carries vertex [-1]. *)
+
+let count_by_length g expr ~max_length =
+  if max_length < 0 then invalid_arg "Counting.count_by_length: negative bound";
+  let m = Subset.make expr in
+  let masks = List.filter (fun mask -> mask <> 0) (Subset.graph_masks m g) in
+  let counts = Array.make (max_length + 1) 0 in
+  let initial = Subset.initial m in
+  if Subset.accepting m initial then counts.(0) <- 1;
+  let level : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.add level (initial, -1) 1;
+  let bump tbl key c =
+    Hashtbl.replace tbl key
+      (c + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let all_edges = Digraph.edges g in
+  for len = 1 to max_length do
+    let next : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun (state, vertex) c ->
+        let consume e adj =
+          let mask = Subset.mask_of_edge m e in
+          if mask <> 0 then begin
+            let state' = Subset.step m state ~mask ~adj in
+            if not (Subset.is_dead m state') then
+              bump next (state', Vertex.to_int (Edge.head e)) c
+          end
+        in
+        if vertex < 0 then
+          (* before the first edge every edge is a candidate; the adjacency
+             bit is vacuous (mirrors recognition). *)
+          List.iter (fun e -> consume e true) all_edges
+        else begin
+          let v = Vertex.of_int vertex in
+          List.iter (fun e -> consume e true) (Digraph.out_edges g v);
+          if Subset.has_live_free_step m state ~masks then
+            List.iter
+              (fun e ->
+                if not (Vertex.equal (Edge.tail e) v) then consume e false)
+              all_edges
+        end)
+      level;
+    Hashtbl.reset level;
+    Hashtbl.iter
+      (fun (state, vertex) c ->
+        Hashtbl.replace level (state, vertex) c;
+        if Subset.accepting m state then counts.(len) <- counts.(len) + c)
+      next
+  done;
+  counts
+
+let count g expr ~max_length =
+  Array.fold_left ( + ) 0 (count_by_length g expr ~max_length)

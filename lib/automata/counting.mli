@@ -1,0 +1,27 @@
+(** Exact path counting without enumeration.
+
+    [|denote(r)|] grows exponentially with the length bound on cyclic
+    graphs, so materialising it (as {!Generator} and {!Stack_machine} must)
+    is the wrong tool when only the {e number} of paths is wanted. This
+    module counts by dynamic programming over the product of the graph with
+    the determinised automaton: a configuration is (subset state, current
+    vertex), and because the subset automaton is deterministic on the
+    (signature, adjacency) quotient, each path corresponds to exactly one
+    trajectory — so trajectory counts are {e distinct path} counts, with no
+    set ever materialised.
+
+    Cost is [O(max_length · #configs · deg)] and memory is one counter per
+    configuration, versus the output-sized cost of enumeration. EXP-T5b
+    races the two. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+val count_by_length : Digraph.t -> Expr.t -> max_length:int -> int array
+(** [count_by_length g r ~max_length] returns an array [c] of size
+    [max_length + 1] where [c.(len)] is the number of distinct paths of
+    length exactly [len] denoted by [r] over [g]. *)
+
+val count : Digraph.t -> Expr.t -> max_length:int -> int
+(** Total over all lengths up to the bound — equal to
+    [Path_set.cardinal (Expr.denote g ~max_length r)] (property-tested). *)

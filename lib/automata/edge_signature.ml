@@ -1,0 +1,45 @@
+open Mrpa_graph
+open Mrpa_core
+
+type t = { selectors : Selector.t array }
+
+let of_selectors sels =
+  let distinct =
+    List.fold_left
+      (fun acc s -> if List.exists (Selector.equal s) acc then acc else s :: acc)
+      [] sels
+    |> List.rev
+  in
+  if List.length distinct > 62 then
+    invalid_arg "Edge_signature.of_selectors: more than 62 distinct selectors";
+  { selectors = Array.of_list distinct }
+
+let of_expr r = of_selectors (Expr.selectors r)
+
+let n_selectors t = Array.length t.selectors
+
+let selector_index t s =
+  let n = Array.length t.selectors in
+  let rec find i =
+    if i >= n then raise Not_found
+    else if Selector.equal t.selectors.(i) s then i
+    else find (i + 1)
+  in
+  find 0
+
+let mask_of_edge t e =
+  let mask = ref 0 in
+  Array.iteri
+    (fun i s -> if Selector.matches s e then mask := !mask lor (1 lsl i))
+    t.selectors;
+  !mask
+
+let masks_of_graph t g =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.add seen 0 ();
+  Digraph.iter_edges
+    (fun e ->
+      let m = mask_of_edge t e in
+      if not (Hashtbl.mem seen m) then Hashtbl.add seen m ())
+    g;
+  List.sort Int.compare (Hashtbl.fold (fun m () acc -> m :: acc) seen [])

@@ -1,0 +1,38 @@
+(** Signature alphabet for determinisation.
+
+    Automaton transitions are labeled with edge {e sets} (selectors), so the
+    input alphabet [E] is unbounded from the automaton's point of view. For
+    subset construction we quotient edges by their {e signature}: the
+    bitmask recording which of the expression's distinct selectors match the
+    edge. Two edges with equal signatures (and equal adjacency to the
+    previous edge) are indistinguishable to the automaton, so the signature
+    space — at most [2^k] for [k] distinct selectors, in practice the
+    handful realised by a graph — is a sound finite alphabet. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type t
+
+val of_expr : Expr.t -> t
+(** Collect the distinct selectors of an expression. Raises
+    [Invalid_argument] beyond 62 distinct selectors (mask is an [int]). *)
+
+val of_selectors : Selector.t list -> t
+(** Build from an explicit selector list (duplicates collapsed, order of
+    first occurrence kept). Same 62-selector limit. Used to give two
+    expressions a {e shared} alphabet for equivalence checking. *)
+
+val n_selectors : t -> int
+
+val selector_index : t -> Selector.t -> int
+(** Bit position of a selector that occurs in the expression. Raises
+    [Not_found] otherwise. *)
+
+val mask_of_edge : t -> Edge.t -> int
+(** The edge's signature: bit [i] is set iff selector [i] matches. *)
+
+val masks_of_graph : t -> Digraph.t -> int list
+(** Distinct signatures realised by the graph's edges, in increasing order,
+    always including [0] (the "matches nothing" letter, which exists for any
+    edge outside every selector). *)

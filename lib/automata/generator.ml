@@ -1,0 +1,82 @@
+open Mrpa_graph
+open Mrpa_core
+
+let successors (a : Glushkov.t) p =
+  if p = 0 then List.map (fun q -> (q, Glushkov.Free)) a.first
+  else a.follow.(p)
+
+(* Simple-path pruning works on the vertex itinerary (Path.vertices): the
+   tails of all consumed edges plus the {e final} head. Only tails are
+   permanent — an intermediate head leaves the itinerary when the next step
+   is disjoint ([×∘]), exactly as {!Path.vertices} defines it — so the
+   search prunes on a fresh-tail condition and checks the head condition
+   only when a path is emitted. The tail set grows strictly, bounding
+   simple-path search depth by [|V|] regardless of [max_length]. *)
+
+let to_seq ?(simple = false) g (a : Glushkov.t) ~max_length =
+  if max_length < 0 then invalid_arg "Generator.to_seq: negative max_length";
+  let accepting p = if p = 0 then a.nullable else a.last.(p) in
+  let emit_ok tails e =
+    (not simple)
+    || (not (Vertex.Set.mem (Edge.head e) tails))
+       && not (Edge.is_loop e)
+  in
+  let rec extend p last rev_edges tails len : Path.t Seq.t =
+    if len >= max_length then Seq.empty
+    else
+      Seq.concat_map
+        (fun (q, kind) ->
+          let candidates =
+            match (last, kind) with
+            | None, _ | Some _, Glushkov.Free ->
+              Selector.enumerate g a.selector_of.(q)
+            | Some e, Glushkov.Joint ->
+              Selector.select_out g a.selector_of.(q) (Edge.head e)
+          in
+          let candidates =
+            if simple then
+              List.filter
+                (fun e -> not (Vertex.Set.mem (Edge.tail e) tails))
+                candidates
+            else candidates
+          in
+          Seq.concat_map
+            (fun e ->
+              let rev_edges' = e :: rev_edges in
+              let tails' =
+                if simple then Vertex.Set.add (Edge.tail e) tails else tails
+              in
+              let here =
+                if accepting q && emit_ok tails' e then
+                  Seq.return (Path.of_edges (List.rev rev_edges'))
+                else Seq.empty
+              in
+              Seq.append here (extend q (Some e) rev_edges' tails' (len + 1)))
+            (List.to_seq candidates))
+        (List.to_seq (successors a p))
+  in
+  let eps = if a.nullable then Seq.return Path.empty else Seq.empty in
+  Seq.append eps (extend 0 None [] Vertex.Set.empty 0)
+
+let generate_automaton ?max_paths ?simple g a ~max_length =
+  let seq = to_seq ?simple g a ~max_length in
+  let stop n = match max_paths with None -> false | Some m -> n >= m in
+  let rec collect acc n seq =
+    if stop n then acc
+    else
+      match seq () with
+      | Seq.Nil -> acc
+      | Seq.Cons (p, rest) ->
+        if Path_set.mem p acc then collect acc n rest
+        else collect (Path_set.union (Path_set.singleton p) acc) (n + 1) rest
+  in
+  collect Path_set.empty 0 seq
+
+let generate ?max_paths ?simple g expr ~max_length =
+  generate_automaton ?max_paths ?simple g (Glushkov.build expr) ~max_length
+
+let exists g expr ~max_length =
+  not (Path_set.is_empty (generate ~max_paths:1 g expr ~max_length))
+
+let count g expr ~max_length =
+  Path_set.cardinal (generate g expr ~max_length)

@@ -1,0 +1,55 @@
+(** Efficient regular path generation: product-graph search.
+
+    Where the paper's stack machine (§IV-B, {!Stack_machine}) advances whole
+    path {e sets} level by level, this generator walks the product of the
+    graph with the Glushkov automaton one path at a time: a configuration is
+    (automaton position, last edge), and a [Joint] follow edge only examines
+    the out-edges of the last head vertex — the graph's adjacency index does
+    the restriction that the set-at-a-time join pays for with hashing.
+    [Free] (i.e. [×∘]) boundaries "teleport": they draw candidates from the
+    whole selector extent, faithfully implementing disjoint concatenation.
+
+    EXP-T5 races the two against each other; property tests pin both to the
+    reference denotation {!Mrpa_core.Expr.denote}. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+val to_seq :
+  ?simple:bool -> Digraph.t -> Glushkov.t -> max_length:int -> Path.t Seq.t
+(** Lazy depth-first stream of generated paths, in discovery order. The
+    stream may contain duplicates when distinct automaton runs spell the
+    same path; {!generate} deduplicates.
+
+    With [~simple:true] only {e simple} paths (no repeated vertex in the
+    itinerary — the regular simple paths of the paper's ref. [8]) are
+    produced, and the search prunes revisits instead of post-filtering, so
+    it terminates on cyclic graphs even for generous length bounds. *)
+
+val generate :
+  ?max_paths:int ->
+  ?simple:bool ->
+  Digraph.t ->
+  Expr.t ->
+  max_length:int ->
+  Path_set.t
+(** All distinct paths of length at most [max_length] denoted by the
+    expression over the graph. With [?max_paths] the search stops early once
+    that many distinct paths are found (useful as a LIMIT); [?simple]
+    restricts to simple paths as in {!to_seq}. *)
+
+val generate_automaton :
+  ?max_paths:int ->
+  ?simple:bool ->
+  Digraph.t ->
+  Glushkov.t ->
+  max_length:int ->
+  Path_set.t
+(** Same, from a pre-compiled automaton. *)
+
+val exists : Digraph.t -> Expr.t -> max_length:int -> bool
+(** Is the denoted set non-empty within the length bound? Stops at the first
+    witness. *)
+
+val count : Digraph.t -> Expr.t -> max_length:int -> int
+(** Cardinality of the denoted set within the length bound. *)

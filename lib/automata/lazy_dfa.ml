@@ -1,0 +1,19 @@
+open Mrpa_graph
+open Mrpa_core
+
+type t = Subset.t
+
+let create (expr : Expr.t) : t = Subset.make expr
+
+let accepts t path =
+  let edges = Path.to_array path in
+  let n = Array.length edges in
+  let rec run state prev i =
+    if i >= n then Subset.accepting t state
+    else
+      let e = edges.(i) in
+      run (Subset.step_edge t state ~prev e) (Some e) (i + 1)
+  in
+  run (Subset.initial t) None 0
+
+let n_cached_states = Subset.n_cached_states

@@ -1,0 +1,22 @@
+(** Lazy (on-the-fly) determinisation.
+
+    Subset states are discovered and cached as recognition consumes edges,
+    keyed by (signature mask, adjacency bit). No graph is needed up front —
+    the alphabet materialises from the edges actually seen — which makes
+    this the right deterministic strategy for recognising a stream of paths
+    without owning the whole edge universe. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type t
+
+val create : Expr.t -> t
+(** Compile the expression; no subset states are built yet. The cache is
+    internal and mutable; a value of type [t] may be reused across any
+    number of {!accepts} calls (single-threaded). *)
+
+val accepts : t -> Path.t -> bool
+
+val n_cached_states : t -> int
+(** Number of subset states materialised so far (diagnostic). *)

@@ -1,0 +1,69 @@
+open Mrpa_graph
+open Mrpa_core
+
+type trace_entry = { depth : int; state : int; stack_top : Path_set.t }
+
+let successors (a : Glushkov.t) p =
+  if p = 0 then List.map (fun q -> (q, Glushkov.Free)) a.first
+  else a.follow.(p)
+
+let run_automaton ?trace g (a : Glushkov.t) ~max_length =
+  if max_length < 0 then invalid_arg "Stack_machine.run: negative max_length";
+  let observe depth state stack_top =
+    match trace with
+    | None -> ()
+    | Some f -> f { depth; state; stack_top }
+  in
+  (* Edge sets denoted by each position's transition label, fetched once. *)
+  let edge_paths =
+    Array.init (a.n_positions + 1) (fun p ->
+        if p = 0 then Path_set.empty
+        else Path_set.of_edges (Selector.enumerate g a.selector_of.(p)))
+  in
+  let accepting p = if p = 0 then a.nullable else a.last.(p) in
+  let cap s = Path_set.filter (fun pa -> Path.length pa <= max_length) s in
+  let collected = ref Path_set.empty in
+  (* level : state -> stack top of the merged branch sitting at that state *)
+  let initial_level = [ (0, Path_set.epsilon) ] in
+  observe 0 0 Path_set.epsilon;
+  if accepting 0 then collected := Path_set.union !collected Path_set.epsilon;
+  let step_level depth level =
+    let next : (int, Path_set.t ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (state, stack_top) ->
+        List.iter
+          (fun (q, kind) ->
+            (* Pop, join with the transition label's path set, push. *)
+            let joined =
+              match kind with
+              | Glushkov.Joint -> Path_set.join stack_top edge_paths.(q)
+              | Glushkov.Free -> Path_set.product stack_top edge_paths.(q)
+            in
+            let joined = cap joined in
+            if not (Path_set.is_empty joined) then begin
+              match Hashtbl.find_opt next q with
+              | Some r -> r := Path_set.union !r joined
+              | None -> Hashtbl.add next q (ref joined)
+            end)
+          (successors a state))
+      level;
+    let merged =
+      Hashtbl.fold (fun q r acc -> (q, !r) :: acc) next []
+      |> List.sort (fun (q1, _) (q2, _) -> Int.compare q1 q2)
+    in
+    List.iter
+      (fun (q, stack_top) ->
+        observe depth q stack_top;
+        if accepting q then collected := Path_set.union !collected stack_top)
+      merged;
+    merged
+  in
+  let rec loop depth level =
+    if depth > max_length || level = [] then ()
+    else loop (depth + 1) (step_level depth level)
+  in
+  loop 1 initial_level;
+  !collected
+
+let run ?trace g expr ~max_length =
+  run_automaton ?trace g (Glushkov.build expr) ~max_length

@@ -1,0 +1,76 @@
+open Mrpa_graph
+
+type t = {
+  glushkov : Glushkov.t;
+  alpha : Edge_signature.t;
+  pos_sig : int array;
+  state_ids : (int list, int) Hashtbl.t;
+  mutable members : int list array;
+  mutable n_states : int;
+  trans : (int * int * bool, int) Hashtbl.t;
+  accept_cache : (int, bool) Hashtbl.t;
+}
+
+let make expr =
+  let glushkov = Glushkov.build expr in
+  let alpha = Edge_signature.of_expr expr in
+  let pos_sig = Dfa.pos_signature_indices glushkov alpha in
+  {
+    glushkov;
+    alpha;
+    pos_sig;
+    state_ids = Hashtbl.create 64;
+    members = Array.make 8 [];
+    n_states = 0;
+    trans = Hashtbl.create 256;
+    accept_cache = Hashtbl.create 64;
+  }
+
+let intern t config =
+  match Hashtbl.find_opt t.state_ids config with
+  | Some id -> id
+  | None ->
+    let id = t.n_states in
+    if id >= Array.length t.members then begin
+      let bigger = Array.make (2 * Array.length t.members) [] in
+      Array.blit t.members 0 bigger 0 t.n_states;
+      t.members <- bigger
+    end;
+    t.members.(id) <- config;
+    t.n_states <- id + 1;
+    Hashtbl.add t.state_ids config id;
+    id
+
+let initial t = intern t [ 0 ]
+
+let step t id ~mask ~adj =
+  match Hashtbl.find_opt t.trans (id, mask, adj) with
+  | Some id' -> id'
+  | None ->
+    let config' = Dfa.step_mask t.glushkov t.pos_sig t.members.(id) mask adj in
+    let id' = intern t config' in
+    Hashtbl.add t.trans (id, mask, adj) id';
+    id'
+
+let mask_of_edge t e = Edge_signature.mask_of_edge t.alpha e
+
+let step_edge t id ~prev e =
+  let adj = match prev with None -> true | Some pe -> Edge.adjacent pe e in
+  step t id ~mask:(mask_of_edge t e) ~adj
+
+let accepting t id =
+  match Hashtbl.find_opt t.accept_cache id with
+  | Some b -> b
+  | None ->
+    let b = Dfa.accepting_config t.glushkov t.members.(id) in
+    Hashtbl.add t.accept_cache id b;
+    b
+
+let is_dead t id = t.members.(id) = []
+let graph_masks t g = Edge_signature.masks_of_graph t.alpha g
+
+let has_live_free_step t id ~masks =
+  List.exists (fun mask -> not (is_dead t (step t id ~mask ~adj:false))) masks
+
+let n_cached_states t = t.n_states
+let nullable t = t.glushkov.Glushkov.nullable

@@ -1,0 +1,55 @@
+(** Shared lazy subset-construction runtime.
+
+    {!Lazy_dfa} (recognition), {!Counting} (path counting) and
+    {!Mrpa_semiring.Eval} (weighted aggregation) all walk the same
+    deterministic machine: position sets of the Glushkov automaton, stepped
+    by the (signature mask, adjacency bit) quotient letters of
+    {!Edge_signature}, with states interned on demand. This module is that
+    machine, factored out once.
+
+    Determinism is the load-bearing property: each path corresponds to
+    exactly one trajectory of interned states, so trajectory-level dynamic
+    programming aggregates each path exactly once. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type t
+
+val make : Expr.t -> t
+(** Compile an expression; no subset states are built yet. The value is
+    mutable internally (state/transition caches) and single-threaded. *)
+
+val initial : t -> int
+(** The interned start state (the configuration holding only the Glushkov
+    initial position). *)
+
+val step : t -> int -> mask:int -> adj:bool -> int
+(** Deterministic transition on a quotient letter, interning the successor
+    on first use. *)
+
+val step_edge : t -> int -> prev:Edge.t option -> Edge.t -> int
+(** Convenience: compute the letter from a concrete edge and its
+    predecessor ([prev = None] means this is the first edge). *)
+
+val accepting : t -> int -> bool
+
+val is_dead : t -> int -> bool
+(** The empty configuration: no run can continue. *)
+
+val mask_of_edge : t -> Edge.t -> int
+(** Signature of an edge under the expression's selector alphabet. *)
+
+val graph_masks : t -> Digraph.t -> int list
+(** Distinct signatures realised by a graph (always includes 0). *)
+
+val has_live_free_step : t -> int -> masks:int list -> bool
+(** Can any adjacency-false letter lead anywhere from this state? When not,
+    only out-edges of the current vertex can extend a trajectory — the
+    common pure-join case. *)
+
+val n_cached_states : t -> int
+(** Diagnostic: subset states materialised so far. *)
+
+val nullable : t -> bool
+(** Does the compiled expression accept [ε]? *)

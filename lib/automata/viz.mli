@@ -1,0 +1,22 @@
+(** Graphviz rendering of compiled automata — the paper's Figure 1, as a
+    diagram, for any expression.
+
+    Following the figure's conventions: the start state is the unlabeled
+    entry point, accepting states are double circles, and transitions are
+    labeled with the edge {e set} they consume (set membership, not symbol
+    equality — footnote 9). Boundaries introduced by [×∘] (which permit a
+    disjoint hop) are drawn dashed. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+val to_dot : ?name:string -> ?graph:Digraph.t -> Glushkov.t -> string
+(** DOT source for the automaton. With [?graph], selector labels are
+    rendered with vertex/label names resolved through the graph (otherwise
+    raw integer ids). *)
+
+val expr_to_dot : ?name:string -> ?graph:Digraph.t -> Expr.t -> string
+(** Compile and render in one step. *)
+
+val save : ?name:string -> ?graph:Digraph.t -> string -> Glushkov.t -> unit
+(** [save path a] writes DOT source to [path]. *)

@@ -1,0 +1,56 @@
+open Mrpa_graph
+
+type t = Vertex.t array
+
+let empty = [||]
+let is_empty p = Array.length p = 0
+let of_vertex v = [| v |]
+let of_edge i j = [| i; j |]
+let of_vertices l = Array.of_list l
+let length p = max 0 (Array.length p - 1)
+let first p = if is_empty p then None else Some p.(0)
+let last p = if is_empty p then None else Some p.(Array.length p - 1)
+let vertices p = Array.to_list p
+
+let joint a b =
+  match (last a, first b) with
+  | None, _ | _, None -> true
+  | Some x, Some y -> Vertex.equal x y
+
+let concat a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else if not (joint a b) then invalid_arg "Vpath.concat: disjoint strings"
+  else Array.append a (Array.sub b 1 (Array.length b - 1))
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec cmp i =
+      if i >= Array.length a then 0
+      else
+        let c = Vertex.compare a.(i) b.(i) in
+        if c <> 0 then c else cmp (i + 1)
+    in
+    cmp 0
+
+let equal a b = compare a b = 0
+
+let pp fmt p =
+  if is_empty p then Format.pp_print_string fmt "\xCE\xB5"
+  else begin
+    Format.pp_print_char fmt '(';
+    Array.iteri
+      (fun i v ->
+        if i > 0 then Format.pp_print_char fmt ',';
+        Vertex.pp fmt v)
+      p;
+    Format.pp_print_char fmt ')'
+  end
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

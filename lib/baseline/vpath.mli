@@ -1,0 +1,50 @@
+(** Vertex-string paths: the concatenative single-relational path algebra of
+    the paper's ref. [4] (Russling), reimplemented as the baseline for
+    EXP-T7.
+
+    In that algebra a path is a string of {e vertices} — an edge [(i,j)] is
+    the two-letter string [ij] — and concatenation of joint paths merges the
+    shared endpoint: [ij ∘ jk = ijk]. The paper's §II closing argument is
+    that when the underlying graph is multi-relational this representation
+    loses the path label: [e ∘ f] no longer records {e which} relations were
+    traversed. {!Label_recovery} quantifies exactly that loss. *)
+
+open Mrpa_graph
+
+type t
+(** A vertex string. The empty string is the monoid identity; a single
+    vertex is a length-0 path; [k+1] vertices form a path of length [k]. *)
+
+val empty : t
+val is_empty : t -> bool
+
+val of_vertex : Vertex.t -> t
+
+val of_edge : Vertex.t -> Vertex.t -> t
+(** The two-letter string [ij]. *)
+
+val of_vertices : Vertex.t list -> t
+
+val length : t -> int
+(** Number of hops: [max 0 (n_vertices - 1)]. *)
+
+val first : t -> Vertex.t option
+val last : t -> Vertex.t option
+
+val vertices : t -> Vertex.t list
+
+val joint : t -> t -> bool
+(** May the two strings be concatenated with endpoint merging? True when
+    either is empty or [last a = first b]. *)
+
+val concat : t -> t -> t
+(** Joint concatenation with endpoint merging ([ij ∘ jk = ijk]). Raises
+    [Invalid_argument] when not {!joint} — the baseline algebra has no
+    disjoint concatenation. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,74 @@
+open Mrpa_graph
+
+type t = Vpath.Set.t
+
+let empty = Vpath.Set.empty
+let epsilon = Vpath.Set.singleton Vpath.empty
+let of_list = Vpath.Set.of_list
+
+let of_digraph g =
+  Digraph.fold_edges
+    (fun e acc -> Vpath.Set.add (Vpath.of_edge (Edge.tail e) (Edge.head e)) acc)
+    g empty
+
+let union = Vpath.Set.union
+
+let join a b =
+  let by_first = Vertex.Tbl.create (max 16 (Vpath.Set.cardinal b)) in
+  let b_has_epsilon = ref false in
+  Vpath.Set.iter
+    (fun p ->
+      match Vpath.first p with
+      | None -> b_has_epsilon := true
+      | Some v ->
+        let existing =
+          match Vertex.Tbl.find_opt by_first v with Some l -> l | None -> []
+        in
+        Vertex.Tbl.replace by_first v (p :: existing))
+    b;
+  Vpath.Set.fold
+    (fun pa acc ->
+      match Vpath.last pa with
+      | None -> Vpath.Set.union acc b
+      | Some h ->
+        let acc = if !b_has_epsilon then Vpath.Set.add pa acc else acc in
+        let matches =
+          match Vertex.Tbl.find_opt by_first h with Some l -> l | None -> []
+        in
+        List.fold_left
+          (fun acc pb -> Vpath.Set.add (Vpath.concat pa pb) acc)
+          acc matches)
+    a empty
+
+let join_power a n =
+  if n < 0 then invalid_arg "Vpath_set.join_power: negative exponent";
+  let rec go acc k = if k = 0 then acc else go (join acc a) (k - 1) in
+  go epsilon n
+
+let source_restrict vs s =
+  Vpath.Set.filter
+    (fun p ->
+      match Vpath.first p with None -> false | Some v -> Vertex.Set.mem v vs)
+    s
+
+let dest_restrict vs s =
+  Vpath.Set.filter
+    (fun p ->
+      match Vpath.last p with None -> false | Some v -> Vertex.Set.mem v vs)
+    s
+
+let cardinal = Vpath.Set.cardinal
+let elements = Vpath.Set.elements
+let equal = Vpath.Set.equal
+let mem = Vpath.Set.mem
+
+let pp fmt s =
+  Format.pp_print_char fmt '{';
+  let first = ref true in
+  Vpath.Set.iter
+    (fun p ->
+      if not !first then Format.pp_print_string fmt ", ";
+      first := false;
+      Vpath.pp fmt p)
+    s;
+  Format.pp_print_char fmt '}'

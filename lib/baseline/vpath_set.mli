@@ -1,0 +1,34 @@
+(** Set-level operations of the baseline vertex-string algebra, mirroring
+    the ternary algebra's {!Mrpa_core.Path_set} so EXP-T7 can race them on
+    identical traversals. *)
+
+open Mrpa_graph
+
+type t = Vpath.Set.t
+
+val empty : t
+val epsilon : t
+val of_list : Vpath.t list -> t
+
+val of_digraph : Digraph.t -> t
+(** Project the multi-relational edge set to vertex pairs — the lossy
+    binary view [Ë ⊆ V × V]. Parallel edges with different labels collapse
+    here; this collapse is the §II deficiency under study. *)
+
+val union : t -> t -> t
+
+val join : t -> t -> t
+(** Concatenative join over vertex strings: pairs with [last a = first b]
+    (or an empty operand) concatenate with endpoint merging. *)
+
+val join_power : t -> int -> t
+(** [n]-fold join; [0] gives [epsilon]. *)
+
+val source_restrict : Vertex.Set.t -> t -> t
+val dest_restrict : Vertex.Set.t -> t -> t
+
+val cardinal : t -> int
+val elements : t -> Vpath.t list
+val equal : t -> t -> bool
+val mem : Vpath.t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,139 @@
+open Mrpa_graph
+
+type t =
+  | Empty
+  | Epsilon
+  | Sel of Selector.t
+  | Union of t * t
+  | Join of t * t
+  | Product of t * t
+  | Star of t
+
+let empty = Empty
+let epsilon = Epsilon
+let sel s = Sel s
+let edge e = Sel (Selector.edge e)
+let union a b = Union (a, b)
+let join a b = Join (a, b)
+let product a b = Product (a, b)
+let star r = Star r
+let plus r = Join (r, Star r)
+let opt r = Union (r, Epsilon)
+
+let repeat r n =
+  if n < 0 then invalid_arg "Expr.repeat: negative count";
+  let rec go acc k = if k = 0 then acc else go (Join (acc, r)) (k - 1) in
+  if n = 0 then Epsilon else go r (n - 1)
+
+let repeat_range r ~min ~max =
+  if min < 0 || max < min then invalid_arg "Expr.repeat_range: bad bounds";
+  let tail = List.init (max - min) (fun _ -> opt r) in
+  List.fold_left join (repeat r min) tail
+
+let union_of = function
+  | [] -> Empty
+  | r :: rest -> List.fold_left union r rest
+
+let join_of = function
+  | [] -> Epsilon
+  | r :: rest -> List.fold_left join r rest
+
+let rec nullable = function
+  | Empty -> false
+  | Epsilon -> true
+  | Sel _ -> false
+  | Union (a, b) -> nullable a || nullable b
+  | Join (a, b) | Product (a, b) -> nullable a && nullable b
+  | Star _ -> true
+
+let rec uses_product = function
+  | Empty | Epsilon | Sel _ -> false
+  | Union (a, b) | Join (a, b) -> uses_product a || uses_product b
+  | Product _ -> true
+  | Star a -> uses_product a
+
+let selectors r =
+  let seen = ref [] in
+  let add s = if not (List.exists (Selector.equal s) !seen) then seen := s :: !seen in
+  let rec go = function
+    | Empty | Epsilon -> ()
+    | Sel s -> add s
+    | Union (a, b) | Join (a, b) | Product (a, b) ->
+      go a;
+      go b
+    | Star a -> go a
+  in
+  go r;
+  List.rev !seen
+
+let rec size = function
+  | Empty | Epsilon | Sel _ -> 1
+  | Union (a, b) | Join (a, b) | Product (a, b) -> 1 + size a + size b
+  | Star a -> 1 + size a
+
+let rec depth = function
+  | Empty | Epsilon | Sel _ -> 1
+  | Union (a, b) | Join (a, b) | Product (a, b) -> 1 + max (depth a) (depth b)
+  | Star a -> 1 + depth a
+
+let rec compare r1 r2 =
+  let rank = function
+    | Empty -> 0
+    | Epsilon -> 1
+    | Sel _ -> 2
+    | Union _ -> 3
+    | Join _ -> 4
+    | Product _ -> 5
+    | Star _ -> 6
+  in
+  match (r1, r2) with
+  | Empty, Empty | Epsilon, Epsilon -> 0
+  | Sel a, Sel b -> Selector.compare a b
+  | Union (a1, b1), Union (a2, b2)
+  | Join (a1, b1), Join (a2, b2)
+  | Product (a1, b1), Product (a2, b2) ->
+    let c = compare a1 a2 in
+    if c <> 0 then c else compare b1 b2
+  | Star a, Star b -> compare a b
+  | _ -> Int.compare (rank r1) (rank r2)
+
+let equal a b = compare a b = 0
+
+let pp_generic pp_selector fmt r =
+  let rec go fmt = function
+    | Empty -> Format.pp_print_string fmt "\xE2\x88\x85" (* ∅ *)
+    | Epsilon -> Format.pp_print_string fmt "\xCE\xB5" (* ε *)
+    | Sel s -> pp_selector fmt s
+    | Union (a, b) -> Format.fprintf fmt "(%a | %a)" go a go b
+    | Join (a, b) -> Format.fprintf fmt "(%a . %a)" go a go b
+    | Product (a, b) -> Format.fprintf fmt "(%a >< %a)" go a go b
+    | Star a -> Format.fprintf fmt "%a*" go a
+  in
+  go fmt r
+
+let pp fmt r = pp_generic Selector.pp fmt r
+let pp_named g fmt r = pp_generic (Selector.pp_named g) fmt r
+
+let denote g ~max_length r =
+  if max_length < 0 then invalid_arg "Expr.denote: negative max_length";
+  let cap s = Path_set.filter (fun p -> Path.length p <= max_length) s in
+  let rec go = function
+    | Empty -> Path_set.empty
+    | Epsilon -> Path_set.epsilon
+    | Sel s -> cap (Path_set.select g s)
+    | Union (a, b) -> Path_set.union (go a) (go b)
+    | Join (a, b) -> cap (Path_set.join (go a) (go b))
+    | Product (a, b) -> cap (Path_set.product (go a) (go b))
+    | Star a -> Path_set.star_bounded (go a) ~max_length
+  in
+  go r
+
+module Dsl = struct
+  let ( <|> ) = union
+  let ( <.> ) = join
+  let ( >< ) = product
+  let star = star
+  let plus = plus
+  let opt = opt
+  let ( ^^ ) = repeat
+end

@@ -1,0 +1,115 @@
+(** Regular path expressions over the alphabet [E] (paper, §IV-A).
+
+    Following the paper: [∅], [ε] and any edge set are regular expressions;
+    if [R] and [Q] are regular expressions then so are [R ∪ Q], [R ./∘ Q]
+    and [R*]. The common derived forms are included ([R+ = R ./∘ R*],
+    [R? = R ∪ {ε}], [Rⁿ = R ./∘ … ./∘ R], footnote 8), as is the
+    concatenative product [×∘] for potentially disjoint paths (footnote 7).
+
+    The alphabet positions are {!Selector} values, which is exactly the
+    paper's convention of labeling automaton transitions with edge {e sets}
+    and testing set membership rather than symbol equality (footnote 9). *)
+
+open Mrpa_graph
+
+type t =
+  | Empty  (** [∅]: recognises nothing. *)
+  | Epsilon  (** recognises exactly [{ε}]. *)
+  | Sel of Selector.t  (** one edge drawn from the selector's edge set. *)
+  | Union of t * t  (** [R ∪ Q]. *)
+  | Join of t * t  (** [R ./∘ Q]: joint concatenation. *)
+  | Product of t * t  (** [R ×∘ Q]: concatenation without adjacency. *)
+  | Star of t  (** [R*]: zero or more joint repetitions. *)
+
+(** {1 Constructors} *)
+
+val empty : t
+val epsilon : t
+val sel : Selector.t -> t
+
+val edge : Edge.t -> t
+(** [{e}] as an expression. *)
+
+val union : t -> t -> t
+val join : t -> t -> t
+val product : t -> t -> t
+val star : t -> t
+
+val plus : t -> t
+(** [R+ ≡ R ./∘ R*]. *)
+
+val opt : t -> t
+(** [R? ≡ R ∪ {ε}]. *)
+
+val repeat : t -> int -> t
+(** [Rⁿ]: [n]-fold joint concatenation; [repeat r 0 = epsilon]. Raises
+    [Invalid_argument] for negative [n]. *)
+
+val repeat_range : t -> min:int -> max:int -> t
+(** [R{min,max}]: between [min] and [max] joint repetitions. *)
+
+val union_of : t list -> t
+(** [union_of []] is [Empty]. *)
+
+val join_of : t list -> t
+(** [join_of []] is [Epsilon]. *)
+
+(** {1 Structure} *)
+
+val nullable : t -> bool
+(** Does the expression recognise [ε]? *)
+
+val uses_product : t -> bool
+(** Does any [×∘] occur? (Recognisers pick strategies on this: pure-join
+    expressions admit the automaton fast paths.) *)
+
+val selectors : t -> Selector.t list
+(** Distinct selectors in first-occurrence order — the expression's
+    alphabet. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val depth : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style rendering: [∪] as [|], [./∘] as [ . ], [×∘] as [ >< ],
+    postfix [*]. *)
+
+val pp_named : Digraph.t -> Format.formatter -> t -> unit
+
+(** {1 Reference semantics}
+
+    The denotational evaluator below is the executable form of the paper's
+    definitions and serves as the oracle for every recogniser and generator
+    strategy in {!Mrpa_automata}. It is exponential in the worst case; the
+    engine exists because of that. *)
+
+val denote : Digraph.t -> max_length:int -> t -> Path_set.t
+(** [denote g ~max_length r]: every path of length at most [max_length]
+    denoted by [r] over the edge universe of [g]. Exact: bounding each
+    subexpression by [max_length] and filtering loses no path of admissible
+    length, because every factor of a path is no longer than the path. *)
+
+module Dsl : sig
+  (** Infix sugar for building expressions in examples and tests:
+      [(sel a) <.> (sel b) <|> e] etc. *)
+
+  val ( <|> ) : t -> t -> t
+  (** {!union}. *)
+
+  val ( <.> ) : t -> t -> t
+  (** {!join}. *)
+
+  val ( >< ) : t -> t -> t
+  (** {!product}. *)
+
+  val star : t -> t
+  val plus : t -> t
+  val opt : t -> t
+  val ( ^^ ) : t -> int -> t
+  (** {!repeat}. *)
+end

@@ -1,0 +1,106 @@
+open Mrpa_graph
+
+type t =
+  | Empty
+  | Epsilon
+  | Lbl of Label.Set.t
+  | Union of t * t
+  | Concat of t * t
+  | Star of t
+
+let empty = Empty
+let epsilon = Epsilon
+let lbl l = Lbl (Label.Set.singleton l)
+let lbl_in s = if Label.Set.is_empty s then Empty else Lbl s
+
+let rec compare r1 r2 =
+  let rank = function
+    | Empty -> 0
+    | Epsilon -> 1
+    | Lbl _ -> 2
+    | Union _ -> 3
+    | Concat _ -> 4
+    | Star _ -> 5
+  in
+  match (r1, r2) with
+  | Empty, Empty | Epsilon, Epsilon -> 0
+  | Lbl a, Lbl b -> Label.Set.compare a b
+  | Union (a1, b1), Union (a2, b2) | Concat (a1, b1), Concat (a2, b2) ->
+    let c = compare a1 a2 in
+    if c <> 0 then c else compare b1 b2
+  | Star a, Star b -> compare a b
+  | _ -> Int.compare (rank r1) (rank r2)
+
+let equal a b = compare a b = 0
+
+(* Smart constructors keep derivative chains small (ACI-normalising unions
+   would be smaller still; unit/zero laws suffice in practice). *)
+let union a b =
+  match (a, b) with
+  | Empty, r | r, Empty -> r
+  | _ -> if equal a b then a else Union (a, b)
+
+let concat a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Epsilon, r | r, Epsilon -> r
+  | _ -> Concat (a, b)
+
+let star = function
+  | Empty | Epsilon -> Epsilon
+  | Star _ as r -> r
+  | r -> Star r
+
+let plus r = concat r (star r)
+let opt r = union r Epsilon
+
+let repeat r n =
+  if n < 0 then invalid_arg "Label_expr.repeat: negative count";
+  let rec go acc k = if k = 0 then acc else go (concat acc r) (k - 1) in
+  go Epsilon n
+
+let rec nullable = function
+  | Empty -> false
+  | Epsilon -> true
+  | Lbl _ -> false
+  | Union (a, b) -> nullable a || nullable b
+  | Concat (a, b) -> nullable a && nullable b
+  | Star _ -> true
+
+let rec derivative r l =
+  match r with
+  | Empty | Epsilon -> Empty
+  | Lbl s -> if Label.Set.mem l s then Epsilon else Empty
+  | Union (a, b) -> union (derivative a l) (derivative b l)
+  | Concat (a, b) ->
+    let left = concat (derivative a l) b in
+    if nullable a then union left (derivative b l) else left
+  | Star a -> concat (derivative a l) (star a)
+
+let matches_word r word =
+  nullable (List.fold_left derivative r word)
+
+let accepts_path r a = Path.is_joint a && matches_word r (Path.label_word a)
+
+let rec to_expr = function
+  | Empty -> Expr.empty
+  | Epsilon -> Expr.epsilon
+  | Lbl s -> Expr.sel (Selector.label_in s)
+  | Union (a, b) -> Expr.union (to_expr a) (to_expr b)
+  | Concat (a, b) -> Expr.join (to_expr a) (to_expr b)
+  | Star a -> Expr.star (to_expr a)
+
+let rec pp fmt = function
+  | Empty -> Format.pp_print_string fmt "\xE2\x88\x85"
+  | Epsilon -> Format.pp_print_string fmt "\xCE\xB5"
+  | Lbl s ->
+    Format.pp_print_char fmt '{';
+    List.iteri
+      (fun i l ->
+        if i > 0 then Format.pp_print_char fmt ',';
+        Label.pp fmt l)
+      (Label.Set.elements s);
+    Format.pp_print_char fmt '}'
+  | Union (a, b) -> Format.fprintf fmt "(%a | %a)" pp a pp b
+  | Concat (a, b) -> Format.fprintf fmt "(%a . %a)" pp a pp b
+  | Star a -> Format.fprintf fmt "%a*" pp a

@@ -1,0 +1,61 @@
+(** Regular expressions over the {e label} alphabet [Ω].
+
+    The paper's §IV-A closes by noting the contrast with Mendelzon & Wood
+    (ref. [8]): there "a regular expression is defined for the alphabet
+    [Ω], where above, it's defined for [E]". This module implements that
+    label-alphabet variant so the two can be compared (EXP-T8): a
+    label expression recognises a {e joint} path by its path label
+    [ω′(a) ∈ Ω*] alone, with no per-position vertex anchoring.
+
+    Matching uses Brzozowski derivatives with smart constructors; no
+    automaton is materialised. {!to_expr} embeds a label expression into the
+    edge-alphabet algebra ([Lbl s ↦ \[_, s, _\]], concatenation ↦ [./∘]),
+    and the embedding theorem — [accepts_path r p] iff [p] is joint and the
+    embedded expression recognises [p] — is property-tested. *)
+
+open Mrpa_graph
+
+type t =
+  | Empty
+  | Epsilon
+  | Lbl of Label.Set.t  (** one edge whose label lies in the set. *)
+  | Union of t * t
+  | Concat of t * t
+  | Star of t
+
+(** {1 Smart constructors} (normalising: [∅] and [ε] units collapse) *)
+
+val empty : t
+val epsilon : t
+val lbl : Label.t -> t
+val lbl_in : Label.Set.t -> t
+val union : t -> t -> t
+val concat : t -> t -> t
+val star : t -> t
+val plus : t -> t
+val opt : t -> t
+val repeat : t -> int -> t
+
+(** {1 Matching} *)
+
+val nullable : t -> bool
+
+val derivative : t -> Label.t -> t
+(** Brzozowski derivative with respect to one label. *)
+
+val matches_word : t -> Label.t list -> bool
+(** Does the label word belong to the expression's language? *)
+
+val accepts_path : t -> Path.t -> bool
+(** [accepts_path r a]: is [a] joint and [ω′(a)] in the language? ([ε] is
+    accepted iff [r] is nullable — [ε] is trivially joint.) *)
+
+(** {1 Embedding into the edge-alphabet algebra} *)
+
+val to_expr : t -> Expr.t
+(** The edge-alphabet expression recognising exactly the joint paths whose
+    label word the label expression accepts. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,137 @@
+open Mrpa_graph
+
+type t = Path.Set.t
+
+let empty = Path.Set.empty
+let epsilon = Path.Set.singleton Path.empty
+let singleton = Path.Set.singleton
+let of_list = Path.Set.of_list
+
+let of_edges es =
+  List.fold_left (fun acc e -> Path.Set.add (Path.of_edge e) acc) empty es
+
+let of_edge_set es =
+  Edge.Set.fold (fun e acc -> Path.Set.add (Path.of_edge e) acc) es empty
+
+let all_edges g = of_edges (Digraph.edges g)
+let select g s = of_edges (Selector.enumerate g s)
+let union = Path.Set.union
+
+(* The join indexes the right operand by tail vertex so each left path only
+   meets the right paths it is actually adjacent to. *)
+let join a b =
+  let by_tail = Vertex.Tbl.create (max 16 (Path.Set.cardinal b)) in
+  let b_has_epsilon = ref false in
+  Path.Set.iter
+    (fun p ->
+      match Path.tail p with
+      | None -> b_has_epsilon := true
+      | Some v ->
+        let existing =
+          match Vertex.Tbl.find_opt by_tail v with Some l -> l | None -> []
+        in
+        Vertex.Tbl.replace by_tail v (p :: existing))
+    b;
+  Path.Set.fold
+    (fun pa acc ->
+      match Path.head pa with
+      | None ->
+        (* a = ε joins with every b *)
+        Path.Set.union acc b
+      | Some h ->
+        let acc = if !b_has_epsilon then Path.Set.add pa acc else acc in
+        let matches =
+          match Vertex.Tbl.find_opt by_tail h with Some l -> l | None -> []
+        in
+        List.fold_left
+          (fun acc pb -> Path.Set.add (Path.concat pa pb) acc)
+          acc matches)
+    a empty
+
+let product a b =
+  Path.Set.fold
+    (fun pa acc ->
+      Path.Set.fold (fun pb acc -> Path.Set.add (Path.concat pa pb) acc) b acc)
+    a empty
+
+let join_power a n =
+  if n < 0 then invalid_arg "Path_set.join_power: negative exponent";
+  let rec go acc k = if k = 0 then acc else go (join acc a) (k - 1) in
+  go epsilon n
+
+let product_power a n =
+  if n < 0 then invalid_arg "Path_set.product_power: negative exponent";
+  let rec go acc k = if k = 0 then acc else go (product acc a) (k - 1) in
+  go epsilon n
+
+let filter = Path.Set.filter
+
+let star_bounded a ~max_length =
+  if max_length < 0 then invalid_arg "Path_set.star_bounded: negative bound";
+  let cap s = filter (fun p -> Path.length p <= max_length) s in
+  let a = cap a in
+  let rec fixpoint acc frontier =
+    let next = cap (join frontier a) in
+    let fresh = Path.Set.diff next acc in
+    if Path.Set.is_empty fresh then acc
+    else fixpoint (Path.Set.union acc fresh) fresh
+  in
+  fixpoint epsilon epsilon
+
+let restrict_source vs s =
+  filter
+    (fun p -> match Path.tail p with None -> false | Some v -> Vertex.Set.mem v vs)
+    s
+
+let restrict_dest vs s =
+  filter
+    (fun p -> match Path.head p with None -> false | Some v -> Vertex.Set.mem v vs)
+    s
+
+let restrict_joint s = filter Path.is_joint s
+let restrict_simple s = filter Path.is_simple s
+
+let endpoint_pairs s =
+  let module P = Set.Make (struct
+    type t = Vertex.t * Vertex.t
+
+    let compare (a1, b1) (a2, b2) =
+      let c = Vertex.compare a1 a2 in
+      if c <> 0 then c else Vertex.compare b1 b2
+  end) in
+  let pairs =
+    Path.Set.fold
+      (fun p acc ->
+        match (Path.tail p, Path.head p) with
+        | Some t, Some h -> P.add (t, h) acc
+        | None, _ | _, None -> acc)
+      s P.empty
+  in
+  P.elements pairs
+
+let is_empty = Path.Set.is_empty
+let mem = Path.Set.mem
+let cardinal = Path.Set.cardinal
+let elements = Path.Set.elements
+let equal = Path.Set.equal
+let subset = Path.Set.subset
+let inter = Path.Set.inter
+let diff = Path.Set.diff
+let fold = Path.Set.fold
+let iter = Path.Set.iter
+
+let max_length s = Path.Set.fold (fun p acc -> max acc (Path.length p)) s 0
+
+let pp_generic pp_path fmt s =
+  Format.pp_print_char fmt '{';
+  let first = ref true in
+  Path.Set.iter
+    (fun p ->
+      if not !first then Format.pp_print_string fmt ", ";
+      first := false;
+      pp_path fmt p)
+    s;
+  Format.pp_print_char fmt '}'
+
+let pp fmt s = pp_generic Path.pp fmt s
+let pp_named g fmt s = pp_generic (Digraph.pp_path g) fmt s

@@ -1,0 +1,98 @@
+(** Sets of paths — [P(E{^*})] — with the paper's three binary operations (§II):
+    union [∪], concatenative join [./∘] and concatenative product [×∘].
+
+    The concatenative join only concatenates pairs whose boundary is joint:
+    [A ./∘ B = { a ∘ b | a ∈ A, b ∈ B, (a = ε ∨ b = ε ∨ γ⁺(a) = γ⁻(b)) }]
+    — the θ-equijoin of the relational algebra specialised to adjacency. The
+    concatenative product drops the side condition and may create disjoint
+    paths ("teleportation", footnote 5). *)
+
+open Mrpa_graph
+
+type t = Path.Set.t
+
+(** {1 Construction} *)
+
+val empty : t
+(** [∅]. *)
+
+val epsilon : t
+(** [{ε}] — the identity for both [./∘] and [×∘]. *)
+
+val singleton : Path.t -> t
+val of_list : Path.t list -> t
+
+val of_edges : Edge.t list -> t
+(** Each edge as a length-1 path (recall [E ⊂ E*]). *)
+
+val of_edge_set : Edge.Set.t -> t
+
+val all_edges : Digraph.t -> t
+(** The edge set [E] of a graph, as paths. *)
+
+val select : Digraph.t -> Selector.t -> t
+(** Paths of the edges matched by a selector — the restricted join operands
+    [A, B ⊆ E] of §III. *)
+
+(** {1 The paper's operations} *)
+
+val union : t -> t -> t
+(** [∪]. *)
+
+val join : t -> t -> t
+(** [./∘] — concatenative join. Associative, not commutative; [epsilon] is
+    its identity and [empty] annihilates. *)
+
+val product : t -> t -> t
+(** [×∘] — concatenative (Cartesian) product; concatenates all pairs,
+    including disjoint ones. [join a b] is always a subset of
+    [product a b]. *)
+
+(** {1 Derived operators} *)
+
+val join_power : t -> int -> t
+(** [join_power a n] is [a ./∘ … ./∘ a] ([n] copies); [n = 0] gives
+    [epsilon]. Raises [Invalid_argument] for negative [n]. *)
+
+val product_power : t -> int -> t
+
+val star_bounded : t -> max_length:int -> t
+(** Bounded Kleene star over [./∘]: all paths of length at most [max_length]
+    expressible as a joint concatenation of zero or more members. *)
+
+val filter : (Path.t -> bool) -> t -> t
+
+val restrict_source : Vertex.Set.t -> t -> t
+(** Keep paths whose tail vertex [γ⁻] lies in the set ([ε] never kept). *)
+
+val restrict_dest : Vertex.Set.t -> t -> t
+
+val restrict_joint : t -> t
+(** Keep only joint paths (Definition 3). *)
+
+val restrict_simple : t -> t
+(** Keep only simple paths (no repeated vertex — the regular {e simple}
+    paths of the paper's ref. [8]). *)
+
+val endpoint_pairs : t -> (Vertex.t * Vertex.t) list
+(** Deduplicated [(γ⁻(a), γ⁺(a))] over non-empty members — the projection
+    that builds [E_αβ] in §IV-C. *)
+
+(** {1 Set plumbing} *)
+
+val is_empty : t -> bool
+val mem : Path.t -> t -> bool
+val cardinal : t -> int
+val elements : t -> Path.t list
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val inter : t -> t -> t
+val diff : t -> t -> t
+val fold : (Path.t -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+val iter : (Path.t -> unit) -> t -> unit
+
+val max_length : t -> int
+(** Length of the longest member ([0] on [empty]). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_named : Digraph.t -> Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+open Mrpa_graph
+
+let check_length length =
+  if length < 0 then invalid_arg "Traversal: negative length"
+
+let steps g selectors =
+  List.fold_left
+    (fun acc sel -> Path_set.join acc (Path_set.select g sel))
+    Path_set.epsilon selectors
+
+let repeat x n = List.init n (fun _ -> x)
+
+let complete g ~length =
+  check_length length;
+  steps g (repeat Selector.universe length)
+
+let source g ~from ~length =
+  check_length length;
+  if length = 0 then Path_set.epsilon
+  else steps g (Selector.src_in from :: repeat Selector.universe (length - 1))
+
+let destination g ~into ~length =
+  check_length length;
+  if length = 0 then Path_set.epsilon
+  else steps g (repeat Selector.universe (length - 1) @ [ Selector.dst_in into ])
+
+let between g ~from ~into ~length =
+  check_length length;
+  if length = 0 then Path_set.epsilon
+  else if length = 1 then
+    steps g [ Selector.pattern ~src:from ~dst:into () ]
+  else
+    steps g
+      (Selector.src_in from
+      :: (repeat Selector.universe (length - 2) @ [ Selector.dst_in into ]))
+
+let labeled g ~labels = steps g (List.map Selector.label_in labels)
+
+let steps_planned g selectors =
+  match selectors with
+  | [] -> Path_set.epsilon
+  | _ ->
+    let arr = Array.of_list selectors in
+    let n = Array.length arr in
+    let pivot = ref 0 in
+    Array.iteri
+      (fun idx sel ->
+        if Selector.size_hint g sel < Selector.size_hint g arr.(!pivot) then
+          pivot := idx)
+      arr;
+    let sets = Array.map (fun sel -> Path_set.select g sel) arr in
+    (* grow outward from the pivot; associativity of ./∘ makes any order
+       valid *)
+    let acc = ref sets.(!pivot) in
+    let left = ref (!pivot - 1) in
+    let right = ref (!pivot + 1) in
+    while !left >= 0 || !right < n do
+      (* prefer the smaller neighbouring step next *)
+      let take_left =
+        !left >= 0
+        && (!right >= n
+           || Selector.size_hint g arr.(!left) <= Selector.size_hint g arr.(!right))
+      in
+      if take_left then begin
+        acc := Path_set.join sets.(!left) !acc;
+        decr left
+      end
+      else begin
+        acc := Path_set.join !acc sets.(!right);
+        incr right
+      end
+    done;
+    !acc
+
+let complement_vertices g vs =
+  List.fold_left
+    (fun acc v -> if Vertex.Set.mem v vs then acc else Vertex.Set.add v acc)
+    Vertex.Set.empty (Digraph.vertices g)
+
+let neighbourhood g ~from ~length =
+  check_length length;
+  if length = 0 then from
+  else
+  let paths = source g ~from ~length in
+  Path_set.fold
+    (fun p acc ->
+      match Path.head p with Some v -> Vertex.Set.add v acc | None -> acc)
+    paths Vertex.Set.empty

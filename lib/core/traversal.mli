@@ -1,0 +1,52 @@
+(** The basic traversal idioms of the paper's §III, expressed as restricted
+    iterated concatenative joins.
+
+    Each function materialises the full path set; lengths are exact (a
+    traversal of [length n] joins [n] edge sets and yields only length-[n]
+    paths, as in the paper). For streaming evaluation of long traversals use
+    {!Mrpa_engine.Eval}. *)
+
+open Mrpa_graph
+
+val complete : Digraph.t -> length:int -> Path_set.t
+(** §III-A: all joint paths of exactly [length] edges —
+    [E ./∘ … ./∘ E] ([length] copies). [length = 0] gives [{ε}]. *)
+
+val source : Digraph.t -> from:Vertex.Set.t -> length:int -> Path_set.t
+(** §III-B: joint paths of [length] edges emanating from [from] —
+    [A ./∘ E ./∘ … ./∘ E] with [A = {e ∈ E | γ⁻(e) ∈ Vs}]. When
+    [from = V] this degenerates to {!complete}. *)
+
+val destination : Digraph.t -> into:Vertex.Set.t -> length:int -> Path_set.t
+(** §III-C: joint paths of [length] edges terminating in [into]. *)
+
+val between :
+  Digraph.t -> from:Vertex.Set.t -> into:Vertex.Set.t -> length:int -> Path_set.t
+(** §III combined: emanate from [from] {e and} arrive in [into]. *)
+
+val labeled : Digraph.t -> labels:Label.Set.t list -> Path_set.t
+(** §III-D: one label set per step; the path length equals the number of
+    steps and the n-th edge's label must lie in the n-th set. *)
+
+val steps : Digraph.t -> Selector.t list -> Path_set.t
+(** The general restricted traversal: one selector per step, joined left to
+    right. Subsumes all of the above and the "pass through a particular
+    vertex set at step k" idiom (give step k a source- or
+    destination-restricted selector). [steps g \[\] = {ε}]. *)
+
+val steps_planned : Digraph.t -> Selector.t list -> Path_set.t
+(** Same result as {!steps}, different join order: the evaluation starts at
+    the most selective step (smallest {!Selector.size_hint}) and grows the
+    partial paths outward, joining left- and right-neighbouring steps onto
+    the pivot. Because [./∘] is associative (§II), any order yields the
+    same set; starting at a restrictive step keeps intermediate sets small
+    — the §III observation that restriction should happen {e early}, made
+    into a plan. EXP-T3b measures the difference. *)
+
+val complement_vertices : Digraph.t -> Vertex.Set.t -> Vertex.Set.t
+(** [V \ Vs] — the "where not to start" convenience of §III-B. *)
+
+val neighbourhood :
+  Digraph.t -> from:Vertex.Set.t -> length:int -> Vertex.Set.t
+(** Heads of all paths produced by {!source}: the vertices reachable in
+    exactly [length] steps. [length = 0] returns [from] itself. *)

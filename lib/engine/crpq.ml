@@ -1,0 +1,124 @@
+open Mrpa_graph
+open Mrpa_core
+
+type atom = { source : string; expr : Expr.t; target : string }
+type t = { head : string list; atoms : atom list }
+
+let variables_of atoms =
+  List.fold_left
+    (fun acc a ->
+      let add acc v = if List.mem v acc then acc else acc @ [ v ] in
+      add (add acc a.source) a.target)
+    [] atoms
+
+let make ~head raw_atoms =
+  if head = [] then invalid_arg "Crpq.make: empty head";
+  let atoms =
+    List.map (fun (source, expr, target) -> { source; expr; target }) raw_atoms
+  in
+  if atoms = [] then invalid_arg "Crpq.make: no atoms";
+  let vars = variables_of atoms in
+  List.iter
+    (fun v ->
+      if not (List.mem v vars) then
+        invalid_arg (Printf.sprintf "Crpq.make: head variable %S not in any atom" v))
+    head;
+  let rec distinct = function
+    | [] -> true
+    | v :: rest -> (not (List.mem v rest)) && distinct rest
+  in
+  if not (distinct head) then invalid_arg "Crpq.make: repeated head variable";
+  { head; atoms }
+
+let variables q =
+  let rest =
+    List.filter (fun v -> not (List.mem v q.head)) (variables_of q.atoms)
+  in
+  q.head @ rest
+
+(* Bindings are assoc lists variable -> vertex, extended atom by atom. Each
+   atom's endpoint-pair relation comes from the boolean-semiring DP (no
+   path sets are materialised); a nullable atom additionally relates every
+   vertex to itself. *)
+let eval ?(max_length = Engine.default_max_length) g q =
+  let atom_pairs a =
+    let pairs = Mrpa_semiring.Eval.reachable_pairs g a.expr ~max_length in
+    if Expr.nullable a.expr then
+      let loops = List.map (fun v -> (v, v)) (Digraph.vertices g) in
+      List.sort_uniq compare (pairs @ loops)
+    else pairs
+  in
+  let extend bindings a =
+    let pairs = atom_pairs a in
+    (* index pairs by source vertex for bound-source lookups *)
+    let by_source = Vertex.Tbl.create 64 in
+    List.iter
+      (fun (u, v) ->
+        let existing =
+          match Vertex.Tbl.find_opt by_source u with Some l -> l | None -> []
+        in
+        Vertex.Tbl.replace by_source u ((u, v) :: existing))
+      pairs;
+    List.concat_map
+      (fun binding ->
+        let bound name = List.assoc_opt name binding in
+        let candidates =
+          match bound a.source with
+          | Some u -> (
+            match Vertex.Tbl.find_opt by_source u with
+            | Some l -> l
+            | None -> [])
+          | None -> pairs
+        in
+        List.filter_map
+          (fun (u, v) ->
+            let compatible name vertex =
+              match List.assoc_opt name binding with
+              | Some existing -> Vertex.equal existing vertex
+              | None -> true
+            in
+            if compatible a.source u && compatible a.target v then begin
+              let binding =
+                if List.mem_assoc a.source binding then binding
+                else (a.source, u) :: binding
+              in
+              let binding =
+                if List.mem_assoc a.target binding then binding
+                else (a.target, v) :: binding
+              in
+              Some binding
+            end
+            else None)
+          candidates)
+      bindings
+  in
+  let bindings = List.fold_left extend [ [] ] q.atoms in
+  let tuples =
+    List.map
+      (fun binding -> List.map (fun v -> List.assoc v binding) q.head)
+      bindings
+  in
+  List.sort_uniq compare tuples
+
+let count ?max_length g q = List.length (eval ?max_length g q)
+
+let parse g input =
+  match Parser.parse_crpq_raw g input with
+  | Error e -> Error e
+  | Ok (head, raw_atoms) -> (
+    match make ~head raw_atoms with
+    | q -> Ok q
+    | exception Invalid_argument message -> Error { Parser.message; position = 0 })
+
+let parse_exn g input =
+  match parse g input with
+  | Ok q -> q
+  | Error e -> Format.kasprintf failwith "%a" Parser.pp_error e
+
+let pp fmt q =
+  Format.fprintf fmt "select %s where " (String.concat ", " q.head);
+  List.iteri
+    (fun i a ->
+      if i > 0 then Format.pp_print_string fmt ", ";
+      Format.fprintf fmt "(%s, %a, %s)" a.source Expr.pp a.expr a.target)
+    q.atoms

@@ -1,0 +1,62 @@
+(** Conjunctive regular path queries (CRPQ).
+
+    The classic extension of regular path queries (Cruz–Mendelzon–Wood
+    lineage, the same line of work as the paper's ref. [8]): a conjunction
+    of path atoms over shared vertex variables, with a tuple of
+    distinguished (answer) variables:
+
+    {v
+ans(x, z) ← (x, R₁, y) ∧ (y, R₂, z) ∧ (x, R₃, z)
+    v}
+
+    Each atom [(x, R, y)] holds under a binding when some denoted path of
+    [R] (within the engine's length bound) runs from [x]'s vertex to [y]'s
+    vertex; a nullable [R] additionally relates every vertex to itself
+    ([ε] runs anywhere). Evaluation computes each atom's endpoint-pair
+    relation with the boolean-semiring DP — no path set is materialised —
+    then joins the relations over the shared variables.
+
+    Concrete syntax (see {!parse}):
+
+    {v
+select x, z where (x, [_,knows,_] . [_,knows,_], z), (z, [_,works_for,_], x)
+    v} *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type atom = {
+  source : string;  (** variable at γ⁻ of the atom's paths. *)
+  expr : Expr.t;
+  target : string;  (** variable at γ⁺. *)
+}
+
+type t = private {
+  head : string list;  (** distinguished variables, in output order. *)
+  atoms : atom list;
+}
+
+val make : head:string list -> (string * Expr.t * string) list -> t
+(** Raises [Invalid_argument] when the head is empty, a head variable
+    appears in no atom, or the head repeats a variable. *)
+
+val variables : t -> string list
+(** All variables, head first then the rest in first-occurrence order. *)
+
+val eval : ?max_length:int -> Digraph.t -> t -> Vertex.t list list
+(** Answer tuples (one vertex per head variable), deduplicated and sorted.
+    [max_length] (default {!Engine.default_max_length}) bounds each atom's
+    paths. *)
+
+val count : ?max_length:int -> Digraph.t -> t -> int
+
+val parse : Digraph.t -> string -> (t, Parser.error) result
+(** [select x, y where (x, expr, y), ...] — expressions use the full
+    {!Parser} grammar (macros included via a leading [let ... in] inside
+    the atom's expression position are {e not} supported; bind macros per
+    atom expression instead). Variables are free identifiers, unrelated to
+    vertex names. *)
+
+val parse_exn : Digraph.t -> string -> t
+
+val pp : Format.formatter -> t -> unit

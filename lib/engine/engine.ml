@@ -1,0 +1,49 @@
+open Mrpa_core
+
+type result = { paths : Path_set.t; plan : Plan.t; stats : Eval.stats }
+
+let default_max_length = 8
+
+let query_expr ?strategy ?simple ?(max_length = default_max_length) ?limit g
+    expr =
+  let plan = Optimizer.plan ?strategy ?simple ~max_length g expr in
+  let paths, stats =
+    match limit with
+    | None -> Eval.run g plan
+    | Some limit -> Eval.run_limited g plan ~limit
+  in
+  { paths; plan; stats }
+
+let query ?strategy ?simple ?max_length ?limit g text =
+  match Parser.parse g text with
+  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Ok expr -> Ok (query_expr ?strategy ?simple ?max_length ?limit g expr)
+
+let query_exn ?strategy ?simple ?max_length ?limit g text =
+  match query ?strategy ?simple ?max_length ?limit g text with
+  | Ok r -> r
+  | Error message -> failwith message
+
+let count_expr ?(max_length = default_max_length) g expr =
+  let optimized, _ = Optimizer.simplify expr in
+  Mrpa_automata.Counting.count g optimized ~max_length
+
+let count ?max_length g text =
+  match Parser.parse g text with
+  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Ok expr -> Ok (count_expr ?max_length g expr)
+
+let equivalent g text1 text2 =
+  match (Parser.parse g text1, Parser.parse g text2) with
+  | Error e, _ | _, Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Ok e1, Ok e2 ->
+    let e1', _ = Optimizer.simplify e1 in
+    let e2', _ = Optimizer.simplify e2 in
+    Ok (Mrpa_automata.Dfa.equivalent g e1' e2')
+
+let explain ?(max_length = default_max_length) g text =
+  match Parser.parse g text with
+  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Ok expr ->
+    let plan = Optimizer.plan ~max_length g expr in
+    Ok (Format.asprintf "%a" (Plan.pp_named g) plan)

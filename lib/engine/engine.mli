@@ -1,0 +1,67 @@
+(** The multi-relational graph traversal engine façade: parse → optimise →
+    execute. This is the "traversal engine" the paper positions the algebra
+    as a foundation for (§I, §V). *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type result = {
+  paths : Path_set.t;
+  plan : Plan.t;
+  stats : Eval.stats;
+}
+
+val query :
+  ?strategy:Plan.strategy ->
+  ?simple:bool ->
+  ?max_length:int ->
+  ?limit:int ->
+  Digraph.t ->
+  string ->
+  (result, string) Stdlib.result
+(** Run a textual query (grammar in {!Parser}) against a graph.
+    [max_length] (default 8) bounds star unrolling; [limit] stops after that
+    many distinct paths; [simple] restricts to simple paths (ref. \[8\]).
+    Parse errors are returned as [Error] with offset information rendered
+    in. *)
+
+val query_exn :
+  ?strategy:Plan.strategy ->
+  ?simple:bool ->
+  ?max_length:int ->
+  ?limit:int ->
+  Digraph.t ->
+  string ->
+  result
+(** Like {!query}; raises [Failure] on error. *)
+
+val query_expr :
+  ?strategy:Plan.strategy ->
+  ?simple:bool ->
+  ?max_length:int ->
+  ?limit:int ->
+  Digraph.t ->
+  Expr.t ->
+  result
+(** Programmatic entry point, skipping the parser. *)
+
+val count :
+  ?max_length:int -> Digraph.t -> string -> (int, string) Stdlib.result
+(** Number of distinct paths the query denotes within the bound, computed
+    by {!Mrpa_automata.Counting} — no path set is materialised, so this
+    stays cheap where {!query} would build an exponentially large answer. *)
+
+val count_expr : ?max_length:int -> Digraph.t -> Expr.t -> int
+
+val equivalent :
+  Digraph.t -> string -> string -> (bool, string) Stdlib.result
+(** Are two queries equivalent over this graph's edge universe at {e every}
+    length (no bound)? Decided symbolically via
+    {!Mrpa_automata.Dfa.equivalent} on the optimised forms. *)
+
+val explain :
+  ?max_length:int -> Digraph.t -> string -> (string, string) Stdlib.result
+(** The plan that {!query} would run, rendered as text, without running
+    it. *)
+
+val default_max_length : int

@@ -1,0 +1,44 @@
+open Mrpa_core
+open Mrpa_automata
+
+type stats = { paths : int; elapsed_s : float }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, t1 -. t0)
+
+let execute ?limit g (p : Plan.t) =
+  let expr = p.optimized in
+  let max_length = p.max_length in
+  let truncate s =
+    match limit with
+    | None -> s
+    | Some k ->
+      Path_set.of_list (List.filteri (fun i _ -> i < k) (Path_set.elements s))
+  in
+  let restrict s = if p.simple then Path_set.restrict_simple s else s in
+  match p.strategy with
+  | Plan.Reference -> truncate (restrict (Expr.denote g ~max_length expr))
+  | Plan.Stack_machine ->
+    truncate (restrict (Stack_machine.run g expr ~max_length))
+  | Plan.Product_bfs ->
+    Generator.generate ?max_paths:limit ~simple:p.simple g expr ~max_length
+
+let run g p =
+  let paths, elapsed_s = timed (fun () -> execute g p) in
+  (paths, { paths = Path_set.cardinal paths; elapsed_s })
+
+let run_seq g (p : Plan.t) =
+  match p.strategy with
+  | Plan.Product_bfs ->
+    Generator.to_seq ~simple:p.simple g (Glushkov.build p.optimized)
+      ~max_length:p.max_length
+  | Plan.Reference | Plan.Stack_machine ->
+    Path_set.elements (execute g p) |> List.to_seq
+
+let run_limited g p ~limit =
+  if limit < 0 then invalid_arg "Eval.run_limited: negative limit";
+  let paths, elapsed_s = timed (fun () -> execute ~limit g p) in
+  (paths, { paths = Path_set.cardinal paths; elapsed_s })

@@ -1,0 +1,23 @@
+(** Plan execution. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type stats = {
+  paths : int;  (** distinct paths produced. *)
+  elapsed_s : float;  (** wall-clock seconds. *)
+}
+
+val run : Digraph.t -> Plan.t -> Path_set.t * stats
+(** Execute the plan's optimized expression under its strategy and length
+    bound. *)
+
+val run_seq : Digraph.t -> Plan.t -> Path.t Seq.t
+(** Streaming execution. Under {!Plan.Product_bfs} paths stream lazily (and
+    may repeat — see {!Mrpa_automata.Generator.to_seq}); other strategies
+    materialise first and then stream their deduplicated results. *)
+
+val run_limited : Digraph.t -> Plan.t -> limit:int -> Path_set.t * stats
+(** Stop after [limit] distinct paths (LIMIT clause). Under
+    {!Plan.Product_bfs} the search is cut short; other strategies
+    materialise and truncate. *)

@@ -1,0 +1,105 @@
+open Mrpa_graph
+open Mrpa_core
+
+(* One bottom-up pass; records fired rewrite names. Iterated to fixpoint by
+   [simplify]. *)
+let rewrite_pass fired expr =
+  let open Expr in
+  let fire name result =
+    fired := name :: !fired;
+    result
+  in
+  let rec go : Expr.t -> Expr.t = function
+    | (Empty | Epsilon | Sel _) as e -> e
+    | Union (a, b) -> (
+      match (go a, go b) with
+      | Empty, r -> fire "union-empty" r
+      | r, Empty -> fire "union-empty" r
+      | Epsilon, r when Expr.nullable r -> fire "union-epsilon-nullable" r
+      | r, Epsilon when Expr.nullable r -> fire "union-epsilon-nullable" r
+      | r, s when Expr.equal r s -> fire "union-idempotent" r
+      | Sel s1, Sel s2 -> fire "selector-fusion" (Expr.sel (Selector.union s1 s2))
+      | r, s -> Union (r, s))
+    | Join (a, b) -> (
+      match (go a, go b) with
+      | Empty, _ | _, Empty -> fire "join-empty" Expr.empty
+      | Epsilon, r -> fire "join-epsilon" r
+      | r, Epsilon -> fire "join-epsilon" r
+      | Star r, Star s when Expr.equal r s -> fire "star-star-join" (Star r)
+      | r, s -> Join (r, s))
+    | Product (a, b) -> (
+      match (go a, go b) with
+      | Empty, _ | _, Empty -> fire "product-empty" Expr.empty
+      | Epsilon, r -> fire "product-epsilon" r
+      | r, Epsilon -> fire "product-epsilon" r
+      | r, s -> Product (r, s))
+    | Star a -> (
+      match go a with
+      | Empty -> fire "star-empty" Expr.epsilon
+      | Epsilon -> fire "star-epsilon" Expr.epsilon
+      | Star r -> fire "star-star" (Star r)
+      | Union (Epsilon, r) -> fire "star-strip-epsilon" (Star r)
+      | Union (r, Epsilon) -> fire "star-strip-epsilon" (Star r)
+      | r -> Star r)
+  in
+  go expr
+
+let simplify expr =
+  let fired = ref [] in
+  let rec fixpoint e =
+    let e' = rewrite_pass fired e in
+    if Expr.equal e e' then e else fixpoint e'
+  in
+  let result = fixpoint expr in
+  let names = List.rev !fired in
+  let dedup =
+    List.fold_left
+      (fun acc n -> if List.mem n acc then acc else acc @ [ n ])
+      [] names
+  in
+  (result, dedup)
+
+let rec has_star : Expr.t -> bool = function
+  | Empty | Epsilon | Sel _ -> false
+  | Union (a, b) | Join (a, b) | Product (a, b) -> has_star a || has_star b
+  | Star _ -> true
+
+let first_extent g expr =
+  let a = Mrpa_automata.Glushkov.build expr in
+  List.fold_left
+    (fun acc p -> acc + Selector.size_hint g a.selector_of.(p))
+    0 a.first
+
+let choose_strategy g expr =
+  let m = Digraph.n_edges g in
+  let extent = first_extent g expr in
+  let anchored_threshold = max 8 (m / 16) in
+  if extent <= anchored_threshold then
+    ( Plan.Product_bfs,
+      Printf.sprintf "anchored start (first extent %d <= %d)" extent
+        anchored_threshold )
+  else if not (has_star expr) then
+    ( Plan.Stack_machine,
+      Printf.sprintf "unanchored star-free (first extent %d)" extent )
+  else
+    ( Plan.Product_bfs,
+      Printf.sprintf "default for starred expression (first extent %d)" extent
+    )
+
+let plan ?strategy ?(simple = false) ~max_length g expr =
+  if max_length < 0 then invalid_arg "Optimizer.plan: negative max_length";
+  let optimized, rewrites = simplify expr in
+  let strategy, strategy_reason =
+    match strategy with
+    | Some s -> (s, "forced by caller")
+    | None -> choose_strategy g optimized
+  in
+  {
+    Plan.original = expr;
+    optimized;
+    strategy;
+    max_length;
+    simple;
+    rewrites;
+    strategy_reason;
+  }

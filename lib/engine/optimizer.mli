@@ -1,0 +1,39 @@
+(** Algebraic query optimisation.
+
+    Two stages:
+
+    + {!simplify}: a bottom-up rewriting fixpoint over identities of the
+      algebra (all are theorems of §II's definitions and are covered by the
+      property-test suite):
+      - [∅ | r → r], [r | r → r], [ε | r → r] when [r] is nullable
+      - [∅ . r → ∅], [ε . r → r] (and symmetrically; likewise for [><])
+      - star collapses: empty and epsilon stars, nested stars, epsilon-stripped
+        stars, and the join of a star with itself
+      - selector fusion: [\[A\] | \[B\] → \[A ∪ B\]] (one automaton
+        position instead of two)
+    + {!choose_strategy}: anchored expressions (whose first automaton
+      positions select few edges, per {!Mrpa_core.Selector.size_hint}) run
+      as {!Plan.Product_bfs}; unanchored star-free expressions run as the
+      set-at-a-time {!Plan.Stack_machine}; everything else defaults to
+      product BFS. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+val simplify : Expr.t -> Expr.t * string list
+(** Rewritten expression plus the names of rewrites that fired (in firing
+    order, deduplicated). The result denotes the same path set. *)
+
+val choose_strategy :
+  Digraph.t -> Expr.t -> Plan.strategy * string
+(** Strategy and a human-readable reason. *)
+
+val plan :
+  ?strategy:Plan.strategy ->
+  ?simple:bool ->
+  max_length:int ->
+  Digraph.t ->
+  Expr.t ->
+  Plan.t
+(** Build a full plan; [?strategy] overrides the heuristic; [?simple]
+    (default false) restricts results to simple paths. *)

@@ -1,0 +1,305 @@
+open Mrpa_graph
+open Mrpa_core
+
+type error = { message : string; position : int }
+
+exception Parse_failure of error
+
+let fail pos fmt =
+  Format.kasprintf (fun message -> raise (Parse_failure { message; position = pos })) fmt
+
+type state = {
+  tokens : Lexer.located array;
+  mutable cursor : int;
+  graph : Digraph.t;
+  mutable macros : (string * Expr.t) list;
+}
+
+let peek st = st.tokens.(st.cursor)
+let advance st = st.cursor <- st.cursor + 1
+
+let expect st token what =
+  let { Lexer.token = t; pos } = peek st in
+  if t = token then advance st else fail pos "expected %s" what
+
+let name_of_token st =
+  let { Lexer.token; pos } = peek st in
+  match token with
+  | Lexer.IDENT s ->
+    advance st;
+    (s, pos)
+  | Lexer.INT i ->
+    advance st;
+    (string_of_int i, pos)
+  | _ -> fail pos "expected a name"
+
+let resolve_vertex st (name, pos) =
+  match Digraph.find_vertex st.graph name with
+  | Some v -> v
+  | None -> fail pos "unknown vertex %S" name
+
+let resolve_label st (name, pos) =
+  match Digraph.find_label st.graph name with
+  | Some l -> l
+  | None -> fail pos "unknown label %S" name
+
+(* names ::= name | '{' name (',' name)* '}' ; returns resolved via [f] *)
+let parse_names st f =
+  match (peek st).token with
+  | Lexer.LBRACE ->
+    advance st;
+    let rec more acc =
+      let x = f st (name_of_token st) in
+      match (peek st).token with
+      | Lexer.COMMA ->
+        advance st;
+        more (x :: acc)
+      | _ ->
+        expect st Lexer.RBRACE "'}'";
+        List.rev (x :: acc)
+    in
+    more []
+  | _ -> [ f st (name_of_token st) ]
+
+let all_vertices st = Vertex.Set.of_list (Digraph.vertices st.graph)
+let all_labels st = Label.Set.of_list (Digraph.labels st.graph)
+
+(* vpos / lpos ::= '_' | names | '!' names *)
+let parse_vertex_position st =
+  match (peek st).token with
+  | Lexer.UNDERSCORE ->
+    advance st;
+    None
+  | Lexer.BANG ->
+    advance st;
+    let vs = Vertex.Set.of_list (parse_names st resolve_vertex) in
+    Some (Vertex.Set.diff (all_vertices st) vs)
+  | _ -> Some (Vertex.Set.of_list (parse_names st resolve_vertex))
+
+let parse_label_position st =
+  match (peek st).token with
+  | Lexer.UNDERSCORE ->
+    advance st;
+    None
+  | Lexer.BANG ->
+    advance st;
+    let ls = Label.Set.of_list (parse_names st resolve_label) in
+    Some (Label.Set.diff (all_labels st) ls)
+  | _ -> Some (Label.Set.of_list (parse_names st resolve_label))
+
+let parse_selector st =
+  expect st Lexer.LBRACKET "'['";
+  let src = parse_vertex_position st in
+  expect st Lexer.COMMA "','";
+  let lbl = parse_label_position st in
+  expect st Lexer.COMMA "','";
+  let dst = parse_vertex_position st in
+  expect st Lexer.RBRACKET "']'";
+  Selector.pattern ?src ?lbl ?dst ()
+
+let parse_triple st =
+  expect st Lexer.LPAREN "'('";
+  let tail = resolve_vertex st (name_of_token st) in
+  expect st Lexer.COMMA "','";
+  let label = resolve_label st (name_of_token st) in
+  expect st Lexer.COMMA "','";
+  let head = resolve_vertex st (name_of_token st) in
+  expect st Lexer.RPAREN "')'";
+  Edge.make ~tail ~label ~head
+
+let parse_edge_set st =
+  expect st Lexer.LBRACE "'{'";
+  let rec more acc =
+    let e = parse_triple st in
+    match (peek st).token with
+    | Lexer.SEMI ->
+      advance st;
+      more (Edge.Set.add e acc)
+    | _ ->
+      expect st Lexer.RBRACE "'}'";
+      Edge.Set.add e acc
+  in
+  Selector.edges (more Edge.Set.empty)
+
+let rec parse_expr st =
+  let left = parse_cat st in
+  match (peek st).token with
+  | Lexer.PIPE ->
+    advance st;
+    Expr.union left (parse_expr st)
+  | _ -> left
+
+and parse_cat st =
+  let rec loop left =
+    match (peek st).token with
+    | Lexer.DOT ->
+      advance st;
+      loop (Expr.join left (parse_postfix st))
+    | Lexer.CROSS ->
+      advance st;
+      loop (Expr.product left (parse_postfix st))
+    | _ -> left
+  in
+  loop (parse_postfix st)
+
+and parse_postfix st =
+  let rec loop e =
+    match (peek st).token with
+    | Lexer.STAR ->
+      advance st;
+      loop (Expr.star e)
+    | Lexer.PLUS ->
+      advance st;
+      loop (Expr.plus e)
+    | Lexer.QUESTION ->
+      advance st;
+      loop (Expr.opt e)
+    | Lexer.LBRACE -> (
+      (* '{' here is a repetition only when followed by an INT; otherwise it
+         belongs to a following atom and must not be consumed. *)
+      match st.tokens.(st.cursor + 1).token with
+      | Lexer.INT lo ->
+        advance st;
+        advance st;
+        let e =
+          match (peek st).token with
+          | Lexer.COMMA ->
+            advance st;
+            let { Lexer.token; pos } = peek st in
+            (match token with
+            | Lexer.INT hi ->
+              advance st;
+              Expr.repeat_range e ~min:lo ~max:hi
+            | _ -> fail pos "expected an upper repetition bound")
+          | _ -> Expr.repeat e lo
+        in
+        expect st Lexer.RBRACE "'}'";
+        loop e
+      | _ -> e)
+    | _ -> loop_done e
+  and loop_done e = e in
+  loop (parse_atom st)
+
+and parse_atom st =
+  let { Lexer.token; pos } = peek st in
+  match token with
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | Lexer.IDENT "eps" ->
+    advance st;
+    Expr.epsilon
+  | Lexer.IDENT "empty" ->
+    advance st;
+    Expr.empty
+  | Lexer.IDENT "E" ->
+    advance st;
+    Expr.sel Selector.universe
+  | Lexer.IDENT (("let" | "in") as kw) -> fail pos "reserved word %S" kw
+  | Lexer.IDENT name -> (
+    match List.assoc_opt name st.macros with
+    | Some e ->
+      advance st;
+      e
+    | None -> fail pos "unknown macro %S" name)
+  | Lexer.LBRACKET -> Expr.sel (parse_selector st)
+  | Lexer.LBRACE -> Expr.sel (parse_edge_set st)
+  | _ -> fail pos "expected an expression"
+
+(* query ::= ('let' name '=' expr 'in')* expr *)
+let rec parse_query st =
+  match (peek st).token with
+  | Lexer.IDENT "let" ->
+    advance st;
+    let name, pos = name_of_token st in
+    if name = "let" || name = "in" then fail pos "reserved word %S" name;
+    expect st Lexer.EQUAL "'='";
+    let body = parse_expr st in
+    let { Lexer.token; pos } = peek st in
+    (match token with
+    | Lexer.IDENT "in" -> advance st
+    | _ -> fail pos "expected 'in'");
+    st.macros <- (name, body) :: st.macros;
+    parse_query st
+  | _ -> parse_expr st
+
+let parse graph input =
+  match Lexer.tokenize input with
+  | exception Lexer.Lex_error (message, position) -> Error { message; position }
+  | tokens -> (
+    let st = { tokens = Array.of_list tokens; cursor = 0; graph; macros = [] } in
+    match parse_query st with
+    | exception Parse_failure e -> Error e
+    | expr ->
+      let { Lexer.token; pos } = peek st in
+      if token = Lexer.EOF then Ok expr
+      else Error { message = "trailing input"; position = pos })
+
+(* CRPQ concrete syntax: select vars where (var, expr, var), ... *)
+let parse_variable st =
+  let { Lexer.token; pos } = peek st in
+  match token with
+  | Lexer.IDENT name when name <> "select" && name <> "where" ->
+    advance st;
+    name
+  | _ -> fail pos "expected a variable name"
+
+let expect_keyword st kw =
+  let { Lexer.token; pos } = peek st in
+  match token with
+  | Lexer.IDENT name when name = kw -> advance st
+  | _ -> fail pos "expected %S" kw
+
+let parse_crpq_atom st =
+  expect st Lexer.LPAREN "'('";
+  let source = parse_variable st in
+  expect st Lexer.COMMA "','";
+  let expr = parse_expr st in
+  expect st Lexer.COMMA "','";
+  let target = parse_variable st in
+  expect st Lexer.RPAREN "')'";
+  (source, expr, target)
+
+let parse_crpq_body st =
+  expect_keyword st "select";
+  let rec vars acc =
+    let v = parse_variable st in
+    match (peek st).token with
+    | Lexer.COMMA ->
+      advance st;
+      vars (v :: acc)
+    | _ -> List.rev (v :: acc)
+  in
+  let head = vars [] in
+  expect_keyword st "where";
+  let rec atoms acc =
+    let a = parse_crpq_atom st in
+    match (peek st).token with
+    | Lexer.COMMA ->
+      advance st;
+      atoms (a :: acc)
+    | _ -> List.rev (a :: acc)
+  in
+  (head, atoms [])
+
+let parse_crpq_raw graph input =
+  match Lexer.tokenize input with
+  | exception Lexer.Lex_error (message, position) -> Error { message; position }
+  | tokens -> (
+    let st = { tokens = Array.of_list tokens; cursor = 0; graph; macros = [] } in
+    match parse_crpq_body st with
+    | exception Parse_failure e -> Error e
+    | result ->
+      let { Lexer.token; pos } = peek st in
+      if token = Lexer.EOF then Ok result
+      else Error { message = "trailing input"; position = pos })
+
+let pp_error fmt e =
+  Format.fprintf fmt "parse error at offset %d: %s" e.position e.message
+
+let parse_exn graph input =
+  match parse graph input with
+  | Ok e -> e
+  | Error e -> Format.kasprintf failwith "%a" pp_error e

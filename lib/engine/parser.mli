@@ -1,0 +1,55 @@
+(** Parser for the textual regular-path query language.
+
+    The concrete syntax follows the paper's §IV-A notation as closely as
+    ASCII allows:
+
+    {v
+query    ::= ('let' name '=' expr 'in')* expr
+expr     ::= cat ('|' cat)*                  union, lowest precedence
+cat      ::= postfix (('.' | '><') postfix)* join / product, left assoc
+postfix  ::= atom ('*' | '+' | '?' | '{' n '}' | '{' n ',' m '}')*
+atom     ::= '(' expr ')' | 'eps' | 'empty' | 'E' | selector | edgeset
+selector ::= '[' vpos ',' lpos ',' vpos ']'
+vpos     ::= '_' | names | '!' names         vertex position ('!' = V \ set)
+lpos     ::= '_' | names | '!' names         label position ('!' = Omega \ set)
+names    ::= name | '{' name (',' name)* '}'
+edgeset  ::= '{' triple (';' triple)* '}'    explicit edges, e.g. {(j,alpha,i)}
+triple   ::= '(' name ',' name ',' name ')'
+name     ::= identifier | 'quoted' | "quoted" | integer
+    v}
+
+    Examples (the paper's Figure 1 expression, and a labeled 2-step):
+
+    {v
+[i,alpha,_] . [_,beta,_]* . (([_,alpha,j] . {(j,alpha,i)}) | [_,alpha,k])
+[_,knows,_] . [_,works_for,_]
+let friend = [_,knows,_] in friend . friend . [_,works_for,_]
+    v}
+
+    [let] bindings define reusable macros, substituted at parse time
+    (purely syntactic; [let] and [in] are reserved words).
+
+    Vertex and label names are resolved against the supplied graph; naming a
+    vertex or label the graph does not contain is an error (catching typos
+    beats silently returning the empty answer). *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type error = { message : string; position : int }
+
+val parse : Digraph.t -> string -> (Expr.t, error) result
+
+val parse_exn : Digraph.t -> string -> Expr.t
+(** Raises [Failure] with a rendered {!error}. *)
+
+val parse_crpq_raw :
+  Digraph.t ->
+  string ->
+  (string list * (string * Expr.t * string) list, error) result
+(** Parse the conjunctive form
+    [select v (',' v)* where atom (',' atom)*] with
+    [atom ::= '(' var ',' expr ',' var ')'], returning the head variables
+    and raw atoms. {!Crpq.parse} wraps this with validation. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,30 @@
+open Mrpa_core
+
+type strategy = Reference | Stack_machine | Product_bfs
+
+type t = {
+  original : Expr.t;
+  optimized : Expr.t;
+  strategy : strategy;
+  max_length : int;
+  simple : bool;
+  rewrites : string list;
+  strategy_reason : string;
+}
+
+let strategy_name = function
+  | Reference -> "reference"
+  | Stack_machine -> "stack-machine"
+  | Product_bfs -> "product-bfs"
+
+let pp_with pp_expr fmt p =
+  Format.fprintf fmt "@[<v>plan:@,  expression: %a@,  optimized:  %a@," pp_expr
+    p.original pp_expr p.optimized;
+  Format.fprintf fmt "  rewrites:   %s@,"
+    (match p.rewrites with [] -> "(none)" | l -> String.concat ", " l);
+  Format.fprintf fmt "  strategy:   %s (%s)@,  max length: %d%s@]"
+    (strategy_name p.strategy) p.strategy_reason p.max_length
+    (if p.simple then " (simple paths only)" else "")
+
+let pp fmt p = pp_with Expr.pp fmt p
+let pp_named g fmt p = pp_with (Expr.pp_named g) fmt p

@@ -1,0 +1,42 @@
+(** Physical plans for regular path queries.
+
+    A plan fixes the rewritten expression, the evaluation strategy and the
+    length bound. Plans are produced by {!Optimizer.plan} and executed by
+    {!Eval.run}. *)
+
+open Mrpa_core
+
+type strategy =
+  | Reference
+      (** structural evaluation of the algebra ({!Mrpa_core.Expr.denote});
+          the semantics, verbatim. Exponential on large graphs — kept as the
+          oracle and for tiny inputs. *)
+  | Stack_machine
+      (** the paper's §IV-B set-at-a-time generator
+          ({!Mrpa_automata.Stack_machine}): whole path sets advance join by
+          join. Strong on unanchored traversals where batching pays. *)
+  | Product_bfs
+      (** path-at-a-time product-graph search
+          ({!Mrpa_automata.Generator}): strong on anchored queries where the
+          adjacency indices prune the frontier. *)
+
+type t = {
+  original : Expr.t;  (** as parsed / supplied. *)
+  optimized : Expr.t;  (** after {!Optimizer.simplify}. *)
+  strategy : strategy;
+  max_length : int;  (** length bound for star unrolling. *)
+  simple : bool;
+      (** restrict results to simple paths (no repeated vertex), per the
+          paper's ref. \[8\]. Product-BFS prunes during search; the other
+          strategies filter afterwards. *)
+  rewrites : string list;  (** names of rewrites that fired, in order. *)
+  strategy_reason : string;  (** why the strategy was chosen. *)
+}
+
+val strategy_name : strategy -> string
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line EXPLAIN-style rendering with raw integer ids. *)
+
+val pp_named : Mrpa_graph.Digraph.t -> Format.formatter -> t -> unit
+(** Like {!pp} but resolving vertex and label names through the graph. *)

@@ -1,0 +1,74 @@
+open Mrpa_graph
+open Mrpa_core
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let array items = "[" ^ String.concat "," items ^ "]"
+
+let obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> escape_string k ^ ":" ^ v) fields)
+  ^ "}"
+
+let edge_json g e =
+  obj
+    [
+      ("tail", escape_string (Digraph.vertex_name g (Edge.tail e)));
+      ("label", escape_string (Digraph.label_name g (Edge.label e)));
+      ("head", escape_string (Digraph.vertex_name g (Edge.head e)));
+    ]
+
+let path_json g p =
+  obj
+    [
+      ("edges", array (List.map (edge_json g) (Path.edges p)));
+      ( "label_word",
+        array
+          (List.map
+             (fun l -> escape_string (Digraph.label_name g l))
+             (Path.label_word p)) );
+      ("length", string_of_int (Path.length p));
+      ("joint", string_of_bool (Path.is_joint p));
+    ]
+
+let paths_json g s = array (List.map (path_json g) (Path_set.elements s))
+
+let result_json g (r : Engine.result) =
+  obj
+    [
+      ("paths", paths_json g r.Engine.paths);
+      ("count", string_of_int (Path_set.cardinal r.Engine.paths));
+      ( "elapsed_ms",
+        Printf.sprintf "%.3f" (1000.0 *. r.Engine.stats.Eval.elapsed_s) );
+      ( "strategy",
+        escape_string (Plan.strategy_name r.Engine.plan.Plan.strategy) );
+      ( "rewrites",
+        array (List.map escape_string r.Engine.plan.Plan.rewrites) );
+    ]
+
+let tuples_json g ~head tuples =
+  array
+    (List.map
+       (fun tuple ->
+         obj
+           (List.map2
+              (fun var v -> (var, escape_string (Digraph.vertex_name g v)))
+              head tuple))
+       tuples)

@@ -1,0 +1,28 @@
+(** Machine-readable rendering of engine results (JSON).
+
+    Hand-rolled writer — the only JSON this library needs is output, and
+    keeping the dependency set to the stock toolchain matters more than a
+    parser. Strings are escaped per RFC 8259 (control characters, quotes,
+    backslash; non-ASCII bytes are passed through as UTF-8). *)
+
+open Mrpa_graph
+open Mrpa_core
+
+val escape_string : string -> string
+(** The JSON string literal (with surrounding quotes) for an OCaml
+    string. *)
+
+val path_json : Digraph.t -> Path.t -> string
+(** A path as
+    [{"edges": [{"tail": …, "label": …, "head": …}, …], "label_word": […]}]. *)
+
+val paths_json : Digraph.t -> Path_set.t -> string
+(** A path set as a JSON array, in set order. *)
+
+val result_json : Digraph.t -> Engine.result -> string
+(** A full query result:
+    [{"paths": […], "count": n, "elapsed_ms": t, "strategy": s,
+      "rewrites": […]}]. *)
+
+val tuples_json : Digraph.t -> head:string list -> Vertex.t list list -> string
+(** CRPQ answers as an array of objects keyed by head variable. *)

@@ -1,0 +1,75 @@
+open Mrpa_graph
+open Mrpa_core
+
+let is_plain_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let is_all_digits s = s <> "" && String.for_all (function '0' .. '9' -> true | _ -> false) s
+
+let name s =
+  if is_plain_ident s || is_all_digits s then s
+  else if not (String.contains s '\'') then "'" ^ s ^ "'"
+  else "\"" ^ s ^ "\""
+
+let vertex_name g v = name (Digraph.vertex_name g v)
+let label_name g l = name (Digraph.label_name g l)
+
+let position render = function
+  | None -> "_"
+  | Some [ x ] -> render x
+  | Some xs -> "{" ^ String.concat "," (List.map render xs) ^ "}"
+
+let edge_triple g e =
+  Printf.sprintf "(%s,%s,%s)" (vertex_name g (Edge.tail e))
+    (label_name g (Edge.label e))
+    (vertex_name g (Edge.head e))
+
+let explicit g es =
+  "{" ^ String.concat "; " (List.map (edge_triple g) (Edge.Set.elements es)) ^ "}"
+
+(* Selector forms the grammar cannot spell are flattened to their explicit
+   edge set over the graph; empty extents have no selector syntax and are
+   handled at the expression level (-> "empty"). *)
+let selector g s =
+  match s with
+  | Selector.Pattern { src = None; lbl = None; dst = None } -> "E"
+  | Selector.Pattern { src; lbl; dst } ->
+    Printf.sprintf "[%s,%s,%s]"
+      (position (vertex_name g) (Option.map Vertex.Set.elements src))
+      (position (label_name g) (Option.map Label.Set.elements lbl))
+      (position (vertex_name g) (Option.map Vertex.Set.elements dst))
+  | Selector.Explicit es when not (Edge.Set.is_empty es) -> explicit g es
+  | Selector.Explicit _ | Selector.Union _ | Selector.Inter _ | Selector.Diff _
+    ->
+    explicit g (Selector.enumerate_set g s)
+
+let rec expr g (e : Expr.t) =
+  match e with
+  | Empty -> "empty"
+  | Epsilon -> "eps"
+  | Sel s -> (
+    match s with
+    | Selector.Pattern { src; lbl; dst }
+      when (match src with Some vs -> Vertex.Set.is_empty vs | None -> false)
+           || (match lbl with Some ls -> Label.Set.is_empty ls | None -> false)
+           || (match dst with Some vs -> Vertex.Set.is_empty vs | None -> false)
+      ->
+      (* an empty position set matches nothing and has no selector syntax *)
+      "empty"
+    | Selector.Pattern _ -> selector g s
+    | Selector.Explicit es ->
+      if Edge.Set.is_empty es then "empty" else explicit g es
+    | Selector.Union _ | Selector.Inter _ | Selector.Diff _ ->
+      let extent = Selector.enumerate_set g s in
+      if Edge.Set.is_empty extent then "empty" else explicit g extent)
+  | Union (a, b) -> Printf.sprintf "(%s | %s)" (expr g a) (expr g b)
+  | Join (a, b) -> Printf.sprintf "(%s . %s)" (expr g a) (expr g b)
+  | Product (a, b) -> Printf.sprintf "(%s >< %s)" (expr g a) (expr g b)
+  | Star a -> (
+    match a with
+    | Empty | Epsilon | Sel (Selector.Pattern _) -> expr g a ^ "*"
+    | _ -> Printf.sprintf "(%s)*" (expr g a))

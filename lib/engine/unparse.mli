@@ -1,0 +1,17 @@
+(** Rendering expressions back into parseable query text.
+
+    [parse g (expr g e)] always succeeds and denotes the same path set as
+    [e] over [g]; for expressions the parser itself can produce, the
+    round-trip is {e structural} identity (property-tested both ways).
+    Graph-relative because names must be resolved and because selector
+    forms the grammar cannot spell (intersections, differences) are
+    rendered as their explicit edge sets over the graph's universe. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+val expr : Digraph.t -> Expr.t -> string
+(** Parseable text for an expression. *)
+
+val selector : Digraph.t -> Selector.t -> string
+(** Parseable text for one selector atom. *)

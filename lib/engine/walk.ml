@@ -1,0 +1,134 @@
+open Mrpa_graph
+open Mrpa_core
+
+type traverser = { vertex : Vertex.t; rev_edges : Edge.t list }
+
+type t = { graph : Digraph.t; stream : traverser Seq.t }
+
+let start g vs =
+  {
+    graph = g;
+    stream = List.to_seq (List.map (fun v -> { vertex = v; rev_edges = [] }) vs);
+  }
+
+let start_all g = start g (Digraph.vertices g)
+
+let fork w edges_of continue =
+  {
+    w with
+    stream =
+      Seq.concat_map
+        (fun tr ->
+          Seq.map (fun e -> continue tr e) (List.to_seq (edges_of tr.vertex)))
+        w.stream;
+  }
+
+let out ?label w =
+  let edges_of v =
+    let es = Digraph.out_edges w.graph v in
+    match label with
+    | None -> es
+    | Some l -> List.filter (fun e -> Label.equal (Edge.label e) l) es
+  in
+  fork w edges_of (fun tr e ->
+      { vertex = Edge.head e; rev_edges = e :: tr.rev_edges })
+
+let in_ ?label w =
+  let edges_of v =
+    let es = Digraph.in_edges w.graph v in
+    match label with
+    | None -> es
+    | Some l -> List.filter (fun e -> Label.equal (Edge.label e) l) es
+  in
+  fork w edges_of (fun tr e ->
+      { vertex = Edge.tail e; rev_edges = e :: tr.rev_edges })
+
+let both ?label w =
+  let edges_of v =
+    let outs =
+      List.map (fun e -> (e, Edge.head e)) (Digraph.out_edges w.graph v)
+    in
+    let ins =
+      List.filter_map
+        (fun e ->
+          (* avoid walking a loop twice *)
+          if Edge.is_loop e then None else Some (e, Edge.tail e))
+        (Digraph.in_edges w.graph v)
+    in
+    let all = outs @ ins in
+    match label with
+    | None -> all
+    | Some l -> List.filter (fun (e, _) -> Label.equal (Edge.label e) l) all
+  in
+  {
+    w with
+    stream =
+      Seq.concat_map
+        (fun tr ->
+          Seq.map
+            (fun (e, next) -> { vertex = next; rev_edges = e :: tr.rev_edges })
+            (List.to_seq (edges_of tr.vertex)))
+        w.stream;
+  }
+
+let step sel w =
+  fork w
+    (fun v -> Selector.select_out w.graph sel v)
+    (fun tr e -> { vertex = Edge.head e; rev_edges = e :: tr.rev_edges })
+
+let filter p w = { w with stream = Seq.filter (fun tr -> p tr.vertex) w.stream }
+
+let path_of tr = Path.of_edges (List.rev tr.rev_edges)
+
+let filter_path p w =
+  { w with stream = Seq.filter (fun tr -> p (path_of tr)) w.stream }
+
+let has_label_word word w =
+  filter_path (fun p -> Path.label_word p = word) w
+
+let simple w = filter_path Path.is_simple w
+
+let dedup w =
+  let seen = Vertex.Tbl.create 32 in
+  {
+    w with
+    stream =
+      Seq.filter
+        (fun tr ->
+          if Vertex.Tbl.mem seen tr.vertex then false
+          else begin
+            Vertex.Tbl.add seen tr.vertex ();
+            true
+          end)
+        w.stream;
+  }
+
+let limit n w = { w with stream = Seq.take n w.stream }
+
+let repeat n f w =
+  if n < 0 then invalid_arg "Walk.repeat: negative count";
+  let rec go k w = if k = 0 then w else go (k - 1) (f w) in
+  go n w
+
+let emit f ~max_depth w =
+  if max_depth < 0 then invalid_arg "Walk.emit: negative depth";
+  (* depth-ordered concatenation of the iterates; the source stream is
+     replayed per depth, which is safe because movement steps are pure
+     (only dedup/limit are stateful, and they sit downstream of emit in a
+     well-formed pipeline). *)
+  let rec layers k w acc = if k = 0 then List.rev acc else layers (k - 1) (f w) (w :: acc) in
+  let all = layers (max_depth + 1) w [] in
+  {
+    w with
+    stream = Seq.concat (List.to_seq (List.map (fun w' -> w'.stream) all));
+  }
+
+let to_seq w = Seq.map (fun tr -> (tr.vertex, path_of tr)) w.stream
+let vertices w = List.of_seq (Seq.map (fun tr -> tr.vertex) w.stream)
+let paths w = List.of_seq (Seq.map path_of w.stream)
+let count w = Seq.length w.stream
+
+let path_set w =
+  Seq.fold_left
+    (fun acc tr -> Path_set.union acc (Path_set.singleton (path_of tr)))
+    Path_set.empty w.stream

@@ -1,0 +1,91 @@
+(** A fluent, Gremlin-style traversal pipeline over the algebra.
+
+    The paper frames its algebra as the foundation of a "multi-relational
+    graph traversal engine"; the engine surface practitioners know from
+    that lineage (Gremlin/TinkerPop) is a left-to-right pipeline of steps.
+    This module provides that surface on top of {!Mrpa_graph}: a walk is a
+    lazy stream of {e traversers} — (current vertex, path walked so far) —
+    and each combinator transforms the stream.
+
+    {v
+Walk.(start g [alice] |> out ~label:knows |> out ~label:works_for
+      |> dedup |> vertices)
+    v}
+
+    Walks are {e single-use}: stateful steps ([dedup], [limit]) consume the
+    stream. Build a fresh walk per query (construction is cheap; nothing
+    traverses until a terminal step forces it).
+
+    Traversal through in-edges ([in_], [both]) records the traversed edge
+    as stored, so the accumulated path may be disjoint in the §II sense —
+    the path still tells you exactly which edges were crossed (and
+    {!Mrpa_graph.Path.label_word} still answers "via which relations"),
+    which is the point of the ternary representation. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type t
+
+(** {1 Sources} *)
+
+val start : Digraph.t -> Vertex.t list -> t
+(** One traverser per listed vertex, each with the empty path. *)
+
+val start_all : Digraph.t -> t
+(** One traverser per vertex of the graph. *)
+
+(** {1 Movement steps} *)
+
+val out : ?label:Label.t -> t -> t
+(** Follow every out-edge (optionally restricted to one relation type);
+    the traverser forks per edge. *)
+
+val in_ : ?label:Label.t -> t -> t
+(** Follow in-edges backwards. *)
+
+val both : ?label:Label.t -> t -> t
+(** {!out} and {!in_} together. *)
+
+val step : Selector.t -> t -> t
+(** Follow out-edges matched by an arbitrary selector — the general §III
+    restricted step. *)
+
+(** {1 Filters and modulators} *)
+
+val filter : (Vertex.t -> bool) -> t -> t
+(** Keep traversers whose current vertex satisfies the predicate. *)
+
+val filter_path : (Path.t -> bool) -> t -> t
+
+val has_label_word : Label.t list -> t -> t
+(** Keep traversers whose path label ω′ equals the given word. *)
+
+val simple : t -> t
+(** Drop traversers that revisit a vertex ({!Mrpa_graph.Path.is_simple}). *)
+
+val dedup : t -> t
+(** First traverser per current vertex wins (stateful). *)
+
+val limit : int -> t -> t
+
+val repeat : int -> (t -> t) -> t -> t
+(** [repeat n f w]: apply the step pipeline [f] exactly [n] times. *)
+
+val emit : (t -> t) -> max_depth:int -> t -> t
+(** Breadth-style iteration with emission: traversers after 0, 1, …,
+    [max_depth] applications of [f] are all part of the stream (depth
+    order). *)
+
+(** {1 Terminal steps} *)
+
+val vertices : t -> Vertex.t list
+(** Current vertices, in stream order (duplicates preserved — use {!dedup}
+    upstream). *)
+
+val paths : t -> Path.t list
+val count : t -> int
+val to_seq : t -> (Vertex.t * Path.t) Seq.t
+
+val path_set : t -> Path_set.t
+(** The walked paths as a {!Mrpa_core.Path_set} — back into the algebra. *)

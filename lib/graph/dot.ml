@@ -1,0 +1,38 @@
+let palette =
+  [| "black"; "blue"; "red"; "darkgreen"; "purple"; "orange"; "brown"; "teal" |]
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(name = "G") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\";\n" (escape (Digraph.vertex_name g v))))
+    (Digraph.vertices g);
+  Digraph.iter_edges
+    (fun e ->
+      let color = palette.(Label.to_int (Edge.label e) mod Array.length palette) in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\", color=\"%s\"];\n"
+           (escape (Digraph.vertex_name g (Edge.tail e)))
+           (escape (Digraph.vertex_name g (Edge.head e)))
+           (escape (Digraph.label_name g (Edge.label e)))
+           color))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save ?name path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name g))

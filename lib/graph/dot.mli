@@ -1,0 +1,11 @@
+(** Graphviz export of multi-relational graphs.
+
+    Edge labels become edge attributes; each relation type gets a distinct
+    pen colour (cycled from a small palette) so the "multiple relations over
+    one vertex set" structure (paper §I) is visible at a glance. *)
+
+val to_string : ?name:string -> Digraph.t -> string
+(** DOT source for the graph. *)
+
+val save : ?name:string -> string -> Digraph.t -> unit
+(** [save path g] writes DOT source to [path]. *)

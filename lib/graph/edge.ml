@@ -1,0 +1,48 @@
+type t = { tail : Vertex.t; label : Label.t; head : Vertex.t }
+
+let make ~tail ~label ~head = { tail; label; head }
+let v tail label head = { tail; label; head }
+let tail e = e.tail
+let head e = e.head
+let label e = e.label
+let is_loop e = Vertex.equal e.tail e.head
+let reverse e = { e with tail = e.head; head = e.tail }
+let adjacent e f = Vertex.equal e.head f.tail
+
+let compare e f =
+  let c = Vertex.compare e.tail f.tail in
+  if c <> 0 then c
+  else
+    let c = Label.compare e.label f.label in
+    if c <> 0 then c else Vertex.compare e.head f.head
+
+let equal e f =
+  Vertex.equal e.tail f.tail && Label.equal e.label f.label
+  && Vertex.equal e.head f.head
+
+let hash e = (((e.tail * 1000003) lxor e.label) * 1000003) lxor e.head
+
+let pp fmt e =
+  Format.fprintf fmt "(%a,%a,%a)" Vertex.pp e.tail Label.pp e.label Vertex.pp
+    e.head
+
+let pp_named ~vertex_name ~label_name fmt e =
+  Format.fprintf fmt "(%s,%s,%s)" (vertex_name e.tail) (label_name e.label)
+    (vertex_name e.head)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (Hashed)

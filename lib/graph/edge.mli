@@ -1,0 +1,52 @@
+(** Edges of a multi-relational graph.
+
+    An edge is an element of the ternary relation [E ⊆ V × Ω × V]
+    (paper, §I): a tail vertex, a label drawn from the relation-type set
+    [Ω], and a head vertex. The paper's projections are [γ⁻] ({!tail}),
+    [γ⁺] ({!head}) and [ω] ({!label}). *)
+
+type t = private { tail : Vertex.t; label : Label.t; head : Vertex.t }
+
+val make : tail:Vertex.t -> label:Label.t -> head:Vertex.t -> t
+(** [make ~tail ~label ~head] is the edge [(tail, label, head)]. *)
+
+val v : Vertex.t -> Label.t -> Vertex.t -> t
+(** [v i a j] is positional shorthand for {!make}. *)
+
+val tail : t -> Vertex.t
+(** [γ⁻(e)]: the vertex the edge emanates from. *)
+
+val head : t -> Vertex.t
+(** [γ⁺(e)]: the vertex the edge terminates at. *)
+
+val label : t -> Label.t
+(** [ω(e)]: the relation type of the edge. *)
+
+val is_loop : t -> bool
+(** Does the edge adjoin a vertex to itself? *)
+
+val reverse : t -> t
+(** Swap tail and head, keeping the label. *)
+
+val adjacent : t -> t -> bool
+(** [adjacent e f] holds when [γ⁺(e) = γ⁻(f)], i.e. [e ∘ f] is a joint
+    path. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(tail,label,head)] with raw integer ids. *)
+
+val pp_named :
+  vertex_name:(Vertex.t -> string) ->
+  label_name:(Label.t -> string) ->
+  Format.formatter ->
+  t ->
+  unit
+(** Prints as [(a,knows,b)] using the supplied naming functions. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,83 @@
+(** Synthetic multi-relational graph workloads.
+
+    The paper has no datasets; every experiment in this repository draws its
+    graphs from the deterministic generators below (see DESIGN.md §2 for the
+    substitution rationale). All generators name vertices ["v0" .. "v<n-1>"]
+    (unless stated otherwise) and labels ["r0" .. "r<k-1>"], so vertex id [i]
+    is literally the integer [i]. *)
+
+val uniform :
+  rng:Prng.t -> n_vertices:int -> n_edges:int -> n_labels:int -> Digraph.t
+(** Uniform multi-relational Erdős–Rényi-style graph [G(n, m, |Ω|)]: [m]
+    distinct edges drawn uniformly from [V × Ω × V]. Raises
+    [Invalid_argument] when more edges are requested than distinct triples
+    exist. *)
+
+val preferential :
+  rng:Prng.t -> n_vertices:int -> out_degree:int -> n_labels:int -> Digraph.t
+(** Preferential attachment: vertices arrive in order; each new vertex emits
+    up to [out_degree] edges whose heads are chosen proportionally to
+    (1 + in-degree) among earlier vertices, with uniform labels. Produces the
+    heavy-tailed in-degree distributions typical of real multi-relational
+    data. *)
+
+val ring : n:int -> n_labels:int -> Digraph.t
+(** Directed cycle [v0 → v1 → … → v0]; edge [i] carries label
+    [r(i mod n_labels)]. Worst case for unanchored traversals: every
+    complete-traversal step keeps all paths alive. *)
+
+val lattice : rows:int -> cols:int -> Digraph.t
+(** Grid DAG with labels ["right"] and ["down"]; vertex names are
+    ["x<r>_<c>"]. Closed-form path counts make it a good oracle workload. *)
+
+val star : n_leaves:int -> Digraph.t
+(** Hub ["hub"] with ["spoke"]-labeled edges to [n_leaves] leaves. *)
+
+val complete : n:int -> n_labels:int -> Digraph.t
+(** All [n·(n-1)·|Ω|] non-loop edges. Dense worst case; keep [n] small. *)
+
+val layered :
+  rng:Prng.t ->
+  layers:int ->
+  width:int ->
+  fanout:int ->
+  n_labels:int ->
+  Digraph.t
+(** Layered DAG: [layers] layers of [width] vertices; each vertex has
+    [fanout] random edges into the next layer with uniform labels. Vertex
+    names are ["l<layer>_<slot>"]. All paths flow forward, so path counts
+    grow geometrically with traversal depth — the shape §III's restriction
+    argument needs. *)
+
+val social :
+  rng:Prng.t -> n_people:int -> n_orgs:int -> n_projects:int -> Digraph.t
+(** Typed "social network" schema used by EXP-T6 and the examples: people
+    ["p<i>"], organisations ["org<i>"], projects ["proj<i>"]; labels
+    [knows], [works_for], [member_of], [created], [likes]. Person–person
+    [knows] edges follow preferential attachment; affiliation edges are
+    uniform. *)
+
+val knowledge_base : rng:Prng.t -> n_entities:int -> Digraph.t
+(** RDF-ish movie-domain graph: entities split among people, films and
+    cities; labels [acted_in], [directed], [influenced], [married_to],
+    [born_in], [set_in]. *)
+
+val bipartite :
+  rng:Prng.t -> left:int -> right:int -> n_edges:int -> n_labels:int -> Digraph.t
+(** Random bipartite graph: all edges run from a left part (["l<i>"]) to a
+    right part (["r<i>"]) with uniform labels. Raises [Invalid_argument]
+    when more edges are requested than distinct (left, label, right)
+    triples. *)
+
+val tree : branching:int -> depth:int -> Digraph.t
+(** Complete rooted [branching]-ary tree of the given [depth] under a
+    single ["child"] relation; vertices ["n0"] (root), ["n1"], … in BFS
+    order. Closed-form path counts make it an oracle workload. *)
+
+val fig1 :
+  rng:Prng.t -> n_noise_vertices:int -> n_noise_edges:int -> Digraph.t
+(** A graph guaranteed to exercise every branch of the paper's Figure 1
+    automaton: distinguished vertices ["i"], ["j"], ["k"] and labels
+    ["alpha"], ["beta"], wired so that α-emanation from [i], β-chains, the
+    [(j,α,i)] back edge and α-arrivals at [j] and [k] all exist; plus
+    uniform noise to keep recognizers honest. *)

@@ -1,0 +1,49 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(graph_name = "G") g =
+  let buf = Buffer.create 4096 in
+  let line s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+  line {|<?xml version="1.0" encoding="UTF-8"?>|};
+  line
+    {|<graphml xmlns="http://graphml.graphdrawing.org/xmlns" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:schemaLocation="http://graphml.graphdrawing.org/xmlns http://graphml.graphdrawing.org/xmlns/1.0/graphml.xsd">|};
+  line {|  <key id="labelV" for="node" attr.name="labelV" attr.type="string"/>|};
+  line {|  <key id="labelE" for="edge" attr.name="labelE" attr.type="string"/>|};
+  line (Printf.sprintf {|  <graph id="%s" edgedefault="directed">|} (escape graph_name));
+  List.iter
+    (fun v ->
+      line
+        (Printf.sprintf {|    <node id="n%d"><data key="labelV">%s</data></node>|}
+           (Vertex.to_int v)
+           (escape (Digraph.vertex_name g v))))
+    (Digraph.vertices g);
+  List.iteri
+    (fun i e ->
+      line
+        (Printf.sprintf
+           {|    <edge id="e%d" source="n%d" target="n%d"><data key="labelE">%s</data></edge>|}
+           i
+           (Vertex.to_int (Edge.tail e))
+           (Vertex.to_int (Edge.head e))
+           (escape (Digraph.label_name g (Edge.label e)))))
+    (Digraph.edges g);
+  line "  </graph>";
+  line "</graphml>";
+  Buffer.contents buf
+
+let save ?graph_name path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?graph_name g))

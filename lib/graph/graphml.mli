@@ -1,0 +1,14 @@
+(** GraphML export.
+
+    GraphML is the interchange format the property-graph ecosystem around
+    the paper's authors (Gremlin/TinkerPop, Neo4j tooling) reads; edge
+    labels are emitted as the standard [labelE] edge attribute and vertex
+    names as [labelV]. Export only — reading arbitrary XML is out of scope
+    for this library (the native format is {!Io}'s TSV). *)
+
+val to_string : ?graph_name:string -> Digraph.t -> string
+(** GraphML document for the graph. Deterministic: vertices in id order,
+    edges in insertion order. *)
+
+val save : ?graph_name:string -> string -> Digraph.t -> unit
+(** [save path g] writes the document to [path]. *)

@@ -1,0 +1,46 @@
+module type S = sig
+  type t = int
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Tbl : Hashtbl.S with type key = t
+
+  val set_of_list : t list -> Set.t
+end
+
+module Make () : S = struct
+  type t = int
+
+  let of_int i = i
+  let to_int i = i
+  let compare = Int.compare
+  let equal = Int.equal
+  let hash i = i land max_int
+  let pp fmt i = Format.pp_print_int fmt i
+
+  module Ord = struct
+    type nonrec t = t
+
+    let compare = compare
+  end
+
+  module Hashed = struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end
+
+  module Set = Set.Make (Ord)
+  module Map = Map.Make (Ord)
+  module Tbl = Hashtbl.Make (Hashed)
+
+  let set_of_list l = Set.of_list l
+end

@@ -1,0 +1,28 @@
+(** Dense integer identifiers with the container modules every id-like type
+    needs. {!Vertex} and {!Label} are the two instantiations; keeping them as
+    distinct modules (rather than bare [int]s) keeps vertex/label confusion
+    out of signatures. *)
+
+module type S = sig
+  type t = int
+  (** Identifiers are dense non-negative integers assigned by an
+      {!Interner}. *)
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints the raw integer; name-aware printing lives in {!Digraph}. *)
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Tbl : Hashtbl.S with type key = t
+
+  val set_of_list : t list -> Set.t
+end
+
+module Make () : S
+(** Each application of [Make] yields a fresh id namespace. *)

@@ -1,0 +1,44 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable count : int;
+}
+
+let create ?(capacity = 16) () =
+  { ids = Hashtbl.create capacity; names = Array.make (max capacity 1) ""; count = 0 }
+
+let grow t =
+  let cap = Array.length t.names in
+  if t.count >= cap then begin
+    let names = Array.make (2 * cap) "" in
+    Array.blit t.names 0 names 0 t.count;
+    t.names <- names
+  end
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+    let id = t.count in
+    grow t;
+    t.names.(id) <- s;
+    t.count <- id + 1;
+    Hashtbl.add t.ids s id;
+    id
+
+let find t s = Hashtbl.find_opt t.ids s
+
+let name t id =
+  if id < 0 || id >= t.count then invalid_arg "Interner.name: unknown id";
+  t.names.(id)
+
+let name_opt t id = if id < 0 || id >= t.count then None else Some t.names.(id)
+
+let mem t s = Hashtbl.mem t.ids s
+
+let cardinal t = t.count
+
+let to_list t = List.init t.count (fun id -> (id, t.names.(id)))
+
+let copy t =
+  { ids = Hashtbl.copy t.ids; names = Array.copy t.names; count = t.count }

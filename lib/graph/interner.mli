@@ -1,0 +1,37 @@
+(** String interning: a bijection between a growing set of strings and the
+    dense integer range [0 .. cardinal - 1].
+
+    Vertex and edge-label names are interned once on graph construction so the
+    algebra and the automata work on machine integers, and names reappear only
+    at the printing boundary. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh, empty interner. *)
+
+val intern : t -> string -> int
+(** [intern t s] returns the id of [s], allocating the next free id if [s] is
+    new. Ids are assigned in first-interning order starting at [0]. *)
+
+val find : t -> string -> int option
+(** Id of [s] if already interned. *)
+
+val name : t -> int -> string
+(** [name t id] is the string with identifier [id].
+    Raises [Invalid_argument] if [id] was never allocated. *)
+
+val name_opt : t -> int -> string option
+(** Like {!name} but total. *)
+
+val mem : t -> string -> bool
+(** Has [s] been interned? *)
+
+val cardinal : t -> int
+(** Number of interned strings; also the next id to be allocated. *)
+
+val to_list : t -> (int * string) list
+(** All bindings in id order. *)
+
+val copy : t -> t
+(** Independent copy. *)

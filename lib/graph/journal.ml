@@ -1,0 +1,114 @@
+type t = {
+  graph : Digraph.t;
+  path : string;
+  mutable channel : out_channel;
+  mutable written : int;
+  mutable closed : bool;
+}
+
+let entry_line g kind e =
+  Printf.sprintf "%s\t%s\t%s\t%s\n" kind
+    (Digraph.vertex_name g (Edge.tail e))
+    (Digraph.label_name g (Edge.label e))
+    (Digraph.vertex_name g (Edge.head e))
+
+let append t line =
+  if not t.closed then begin
+    output_string t.channel line;
+    flush t.channel;
+    t.written <- t.written + 1
+  end
+
+let apply_line g lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then ()
+  else
+    match String.split_on_char '\t' line with
+    | [ "vertex"; name ] -> ignore (Digraph.vertex g name)
+    | [ "add"; tail; label; head ] -> ignore (Digraph.add g tail label head)
+    | [ "del"; tail; label; head ] ->
+      let resolve what find name =
+        match find name with
+        | Some x -> x
+        | None ->
+          failwith
+            (Printf.sprintf "Journal: line %d deletes unknown %s %S" lineno
+               what name)
+      in
+      let e =
+        Edge.make
+          ~tail:(resolve "vertex" (Digraph.find_vertex g) tail)
+          ~label:(resolve "label" (Digraph.find_label g) label)
+          ~head:(resolve "vertex" (Digraph.find_vertex g) head)
+      in
+      ignore (Digraph.remove_edge g e)
+    | _ -> failwith (Printf.sprintf "Journal: malformed line %d: %s" lineno line)
+
+let replay_into g path =
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lineno = ref 0 in
+        try
+          while true do
+            let line = input_line ic in
+            incr lineno;
+            apply_line g !lineno line
+          done
+        with End_of_file -> ())
+  end
+
+let replay path =
+  let g = Digraph.create () in
+  replay_into g path;
+  g
+
+let attach ?(replay_existing = true) g path =
+  if replay_existing then replay_into g path;
+  let channel =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  let t = { graph = g; path; channel; written = 0; closed = false } in
+  Digraph.on_edge_added g (fun e -> append t (entry_line g "add" e));
+  Digraph.on_edge_removed g (fun e -> append t (entry_line g "del" e));
+  t
+
+let log_path t = t.path
+let entries_written t = t.written
+
+let sync t =
+  if not t.closed then begin
+    flush t.channel;
+    (try Unix.fsync (Unix.descr_of_out_channel t.channel) with Unix.Unix_error _ -> ())
+  end
+
+let snapshot_lines g =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "vertex\t%s\n" (Digraph.vertex_name g v)))
+    (Digraph.vertices g);
+  Digraph.iter_edges (fun e -> Buffer.add_string buf (entry_line g "add" e)) g;
+  Buffer.contents buf
+
+let compact t =
+  if t.closed then invalid_arg "Journal.compact: closed";
+  flush t.channel;
+  close_out t.channel;
+  let tmp = t.path ^ ".compact" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (snapshot_lines t.graph));
+  Sys.rename tmp t.path;
+  t.channel <- open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 t.path
+
+let close t =
+  if not t.closed then begin
+    flush t.channel;
+    close_out t.channel;
+    t.closed <- true
+  end

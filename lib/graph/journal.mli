@@ -1,0 +1,51 @@
+(** Durable graphs: an append-only change journal.
+
+    A production traversal engine must survive restarts. The journal
+    subscribes to a graph's change notifications and appends one line per
+    mutation to a log file:
+
+    {v
+add<TAB>tail<TAB>label<TAB>head
+del<TAB>tail<TAB>label<TAB>head
+vertex<TAB>name
+    v}
+
+    {!replay} folds a log back into a graph; {!attach} optionally replays an
+    existing log first and then continues appending, so
+    [attach (Digraph.create ()) path] is "open or create the database".
+    {!compact} rewrites the log as a minimal snapshot (current state only).
+
+    Writes are flushed per entry (crash durability up to the OS's page
+    cache; call {!sync} for fsync semantics). The journal records mutations
+    made {e through the graph} after attachment — mutations before
+    attachment are only captured by the initial snapshot {!compact} or by
+    attaching to a fresh graph. *)
+
+type t
+
+val attach : ?replay_existing:bool -> Digraph.t -> string -> t
+(** [attach g path] opens (creating if needed) the journal at [path] and
+    subscribes to [g]. With [~replay_existing:true] (default), entries
+    already in the log are applied to [g] first — the common
+    open-the-database pattern. Raises [Io.Malformed]-style
+    [Failure] on corrupt logs. *)
+
+val replay : string -> Digraph.t
+(** Rebuild a fresh graph from a log without attaching. *)
+
+val log_path : t -> string
+
+val entries_written : t -> int
+(** Mutations appended through this handle (diagnostic). *)
+
+val sync : t -> unit
+(** Flush and [fsync] the log file. *)
+
+val compact : t -> unit
+(** Atomically replace the log with a snapshot of the graph's current state
+    (vertex lines then add lines). Subsequent mutations append after the
+    snapshot. *)
+
+val close : t -> unit
+(** Flush and close. The journal stops recording (the graph remains
+    usable); further mutations are {e not} logged. *)

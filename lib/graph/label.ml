@@ -1,0 +1,2 @@
+(** Edge-label identifiers (elements of the relation-type set [Omega]). *)
+include Id.Make ()

@@ -1,0 +1,123 @@
+type t = Edge.t array
+(* The empty array is ε. Arrays are never mutated after construction. *)
+
+let empty = [||]
+let is_empty a = Array.length a = 0
+let of_edge e = [| e |]
+let of_edges es = Array.of_list es
+let of_array es = Array.copy es
+let concat a b = Array.append a b
+let ( ^. ) = concat
+let length = Array.length
+
+let nth a n =
+  if n < 1 || n > Array.length a then
+    invalid_arg "Path.nth: index out of [1, length]";
+  a.(n - 1)
+
+let nth_opt a n =
+  if n < 1 || n > Array.length a then None else Some a.(n - 1)
+
+let tail a = if is_empty a then None else Some (Edge.tail a.(0))
+let head a = if is_empty a then None else Some (Edge.head a.(Array.length a - 1))
+
+let tail_exn a =
+  if is_empty a then invalid_arg "Path.tail_exn: empty path"
+  else Edge.tail a.(0)
+
+let head_exn a =
+  if is_empty a then invalid_arg "Path.head_exn: empty path"
+  else Edge.head a.(Array.length a - 1)
+
+let label_word a = Array.to_list (Array.map Edge.label a)
+
+let is_joint a =
+  let n = Array.length a in
+  let rec check i =
+    if i >= n - 1 then true
+    else Edge.adjacent a.(i) a.(i + 1) && check (i + 1)
+  in
+  check 0
+
+let adjacent a b =
+  is_empty a || is_empty b || Vertex.equal (head_exn a) (tail_exn b)
+
+let edges a = Array.to_list a
+let to_array a = Array.copy a
+
+let vertices a =
+  if is_empty a then []
+  else
+    let front = Array.to_list (Array.map Edge.tail a) in
+    front @ [ head_exn a ]
+
+let is_simple a =
+  let rec distinct = function
+    | [] -> true
+    | v :: rest -> (not (List.exists (Vertex.equal v) rest)) && distinct rest
+  in
+  distinct (vertices a)
+
+let iter f a = Array.iter f a
+let fold f acc a = Array.fold_left f acc a
+let for_all f a = Array.for_all f a
+let exists f a = Array.exists f a
+
+let sub a ~pos ~len =
+  if pos < 1 || len < 0 || pos - 1 + len > Array.length a then
+    invalid_arg "Path.sub: out of range";
+  Array.sub a (pos - 1) len
+
+let visits a v = List.exists (Vertex.equal v) (vertices a)
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let n = Array.length a in
+    let rec cmp i =
+      if i >= n then 0
+      else
+        let c = Edge.compare a.(i) b.(i) in
+        if c <> 0 then c else cmp (i + 1)
+    in
+    cmp 0
+
+let equal a b = compare a b = 0
+
+let hash a =
+  Array.fold_left (fun acc e -> (acc * 1000003) lxor Edge.hash e) 5381 a
+
+let pp_with fmt a pr_v pr_l =
+  if is_empty a then Format.pp_print_string fmt "\xCE\xB5" (* ε *)
+  else begin
+    Format.pp_print_char fmt '(';
+    Array.iteri
+      (fun i e ->
+        if i > 0 then Format.pp_print_char fmt ',';
+        Format.fprintf fmt "%s,%s,%s" (pr_v (Edge.tail e)) (pr_l (Edge.label e))
+          (pr_v (Edge.head e)))
+      a;
+    Format.pp_print_char fmt ')'
+  end
+
+let pp fmt a = pp_with fmt a string_of_int string_of_int
+
+let pp_named ~vertex_name ~label_name fmt a = pp_with fmt a vertex_name label_name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (Hashed)

@@ -1,0 +1,125 @@
+(** Paths: the free monoid [E*] over edges (paper, Definition 1).
+
+    A path is a finite sequence of edges; the empty sequence [ε] is the
+    monoid identity for concatenation [∘]. A path may repeat edges and is
+    {e not} required to be joint — jointness (Definition 3) is a predicate,
+    and the concatenative join of {!Path_set} is what produces joint paths.
+
+    Paper-to-API dictionary:
+    - [‖a‖]    → {!length}
+    - [a ∘ b]  → {!concat}
+    - [σ(a,n)] → {!nth} (1-indexed, as in the paper)
+    - [γ⁻(a)]  → {!tail} / {!tail_exn}
+    - [γ⁺(a)]  → {!head} / {!head_exn}
+    - [ω′(a)]  → {!label_word}
+    - [f(a)]   → {!is_joint} *)
+
+type t
+(** Immutable path. *)
+
+val empty : t
+(** The identity element [ε]. *)
+
+val is_empty : t -> bool
+
+val of_edge : Edge.t -> t
+(** An edge is a path of length 1 ([E ⊂ E*]). *)
+
+val of_edges : Edge.t list -> t
+(** Path from an edge sequence, in order. [of_edges [] = empty]. *)
+
+val of_array : Edge.t array -> t
+(** Like {!of_edges}; the array is copied. *)
+
+val concat : t -> t -> t
+(** [concat a b] is [a ∘ b]. Associative, with {!empty} as identity; it does
+    not require adjacency (use {!Path_set.join} for joint concatenation). *)
+
+val ( ^. ) : t -> t -> t
+(** Infix alias for {!concat}. *)
+
+val length : t -> int
+(** [‖a‖]: the number of edges. [length empty = 0]. *)
+
+val nth : t -> int -> Edge.t
+(** [nth a n] is [σ(a,n)], the n-th edge with [n] in [1 .. ‖a‖] as in the
+    paper. Raises [Invalid_argument] outside that range (in particular on
+    [ε], where no edge exists). *)
+
+val nth_opt : t -> int -> Edge.t option
+
+val tail : t -> Vertex.t option
+(** [γ⁻(a)]: first vertex of the path; [None] on [ε]. *)
+
+val head : t -> Vertex.t option
+(** [γ⁺(a)]: last vertex of the path; [None] on [ε]. *)
+
+val tail_exn : t -> Vertex.t
+(** Like {!tail}; raises [Invalid_argument] on [ε]. *)
+
+val head_exn : t -> Vertex.t
+(** Like {!head}; raises [Invalid_argument] on [ε]. *)
+
+val label_word : t -> Label.t list
+(** [ω′(a) ∈ Ω*]: the word of edge labels along the path (Definition 2). *)
+
+val is_joint : t -> bool
+(** Definition 3: [true] iff every consecutive pair of edges is adjacent
+    ([γ⁺(σ(a,n)) = γ⁻(σ(a,n+1))]). Paths of length 0 and 1 are joint. *)
+
+val is_simple : t -> bool
+(** Is the vertex itinerary ({!vertices}) duplicate-free? This is the
+    "simple path" of Mendelzon & Wood (the paper's ref. [8], regular
+    {e simple} paths): no vertex visited twice, so loops and revisits are
+    excluded. [ε] and any non-loop single edge are simple. *)
+
+val adjacent : t -> t -> bool
+(** [adjacent a b] holds when [a ∘ b] keeps the boundary joint, i.e. when
+    [a = ε], [b = ε], or [γ⁺(a) = γ⁻(b)] — exactly the side condition of the
+    concatenative join. *)
+
+val edges : t -> Edge.t list
+(** The edge sequence, in order. *)
+
+val to_array : t -> Edge.t array
+(** Fresh array of the edges, in order. *)
+
+val vertices : t -> Vertex.t list
+(** The vertex itinerary of a {e joint} path: [‖a‖ + 1] vertices for a
+    non-empty path, [[]] for [ε]. For a disjoint path the itinerary still
+    lists [γ⁻] of every edge followed by the final [γ⁺] — boundary gaps are
+    simply where consecutive entries disagree with the edge structure. *)
+
+val iter : (Edge.t -> unit) -> t -> unit
+val fold : ('acc -> Edge.t -> 'acc) -> 'acc -> t -> 'acc
+val for_all : (Edge.t -> bool) -> t -> bool
+val exists : (Edge.t -> bool) -> t -> bool
+
+val sub : t -> pos:int -> len:int -> t
+(** [sub a ~pos ~len] is the subpath of [len] edges starting at 1-indexed
+    position [pos]. Raises [Invalid_argument] when out of range. *)
+
+val visits : t -> Vertex.t -> bool
+(** Does a joint path pass through the given vertex (as any [γ⁻] or the
+    final [γ⁺])? *)
+
+val compare : t -> t -> int
+(** Total order: by length, then lexicographically by {!Edge.compare}. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [ε] for the empty path, otherwise the flattened vertex/label
+    string of the paper, e.g. [(i,α,j,j,β,k)]. *)
+
+val pp_named :
+  vertex_name:(Vertex.t -> string) ->
+  label_name:(Label.t -> string) ->
+  Format.formatter ->
+  t ->
+  unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

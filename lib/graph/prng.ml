@@ -1,0 +1,67 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let seed = next_int64 g in
+  { state = seed }
+
+(* Non-negative 62-bit int from the raw output. *)
+let next_nonneg g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let max = 0x3FFF_FFFF_FFFF_FFFF in
+  let limit = max - (max mod bound) in
+  let rec loop () =
+    let v = next_nonneg g in
+    if v < limit then v mod bound else loop ()
+  in
+  loop ()
+
+let int_in_range g ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in_range: lo > hi";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let bernoulli g p = float g 1.0 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))
+
+let pick_list g l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ :: _ -> List.nth l (int g (List.length l))
+
+let geometric g p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric: p out of (0,1]";
+  if p >= 1.0 then 0
+  else
+    let u = float g 1.0 in
+    let u = if u <= 0.0 then epsilon_float else u in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))

@@ -1,0 +1,2 @@
+(** Vertex identifiers (elements of the vertex set [V]). *)
+include Id.Make ()

@@ -1,0 +1,109 @@
+type t = {
+  mutable default_weight : float;
+  by_label : float Label.Tbl.t;
+  by_edge : float Edge.Tbl.t;
+}
+
+exception Malformed of int * string
+
+let create ?(default = 1.0) () =
+  { default_weight = default; by_label = Label.Tbl.create 8; by_edge = Edge.Tbl.create 32 }
+
+let default t = t.default_weight
+let set_default t v = t.default_weight <- v
+let set_label t l v = Label.Tbl.replace t.by_label l v
+let set_edge t e v = Edge.Tbl.replace t.by_edge e v
+
+let weight t e =
+  match Edge.Tbl.find_opt t.by_edge e with
+  | Some v -> v
+  | None -> (
+    match Label.Tbl.find_opt t.by_label (Edge.label e) with
+    | Some v -> v
+    | None -> t.default_weight)
+
+let to_fun t e = weight t e
+let total t p = Path.fold (fun acc e -> acc +. weight t e) 0.0 p
+
+let write_channel g oc t =
+  Printf.fprintf oc "default\t%g\n" t.default_weight;
+  Label.Tbl.fold (fun l v acc -> (l, v) :: acc) t.by_label []
+  |> List.sort compare
+  |> List.iter (fun (l, v) ->
+         Printf.fprintf oc "label\t%s\t%g\n" (Digraph.label_name g l) v);
+  Edge.Tbl.fold (fun e v acc -> (e, v) :: acc) t.by_edge []
+  |> List.sort compare
+  |> List.iter (fun (e, v) ->
+         Printf.fprintf oc "edge\t%s\t%s\t%s\t%g\n"
+           (Digraph.vertex_name g (Edge.tail e))
+           (Digraph.label_name g (Edge.label e))
+           (Digraph.vertex_name g (Edge.head e))
+           v)
+
+let parse_line g t lineno line =
+  let fail () = raise (Malformed (lineno, line)) in
+  let float_of s = match float_of_string_opt s with Some v -> v | None -> fail () in
+  let resolve_label name =
+    match Digraph.find_label g name with Some l -> l | None -> fail ()
+  in
+  let resolve_vertex name =
+    match Digraph.find_vertex g name with Some v -> v | None -> fail ()
+  in
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then ()
+  else
+    match String.split_on_char '\t' trimmed with
+    | [ "default"; v ] -> set_default t (float_of v)
+    | [ "label"; name; v ] -> set_label t (resolve_label name) (float_of v)
+    | [ "edge"; tail; label; head; v ] ->
+      set_edge t
+        (Edge.make ~tail:(resolve_vertex tail) ~label:(resolve_label label)
+           ~head:(resolve_vertex head))
+        (float_of v)
+    | _ -> fail ()
+
+let read_channel g ic =
+  let t = create () in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       parse_line g t !lineno line
+     done
+   with End_of_file -> ());
+  t
+
+let save g path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_channel g oc t)
+
+let load g path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel g ic)
+
+let of_string g s =
+  let t = create () in
+  List.iteri (fun i line -> parse_line g t (i + 1) line) (String.split_on_char '\n' s);
+  t
+
+let to_string g t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "default\t%g\n" t.default_weight);
+  Label.Tbl.fold (fun l v acc -> (l, v) :: acc) t.by_label []
+  |> List.sort compare
+  |> List.iter (fun (l, v) ->
+         Buffer.add_string buf
+           (Printf.sprintf "label\t%s\t%g\n" (Digraph.label_name g l) v));
+  Edge.Tbl.fold (fun e v acc -> (e, v) :: acc) t.by_edge []
+  |> List.sort compare
+  |> List.iter (fun (e, v) ->
+         Buffer.add_string buf
+           (Printf.sprintf "edge\t%s\t%s\t%s\t%g\n"
+              (Digraph.vertex_name g (Edge.tail e))
+              (Digraph.label_name g (Edge.label e))
+              (Digraph.vertex_name g (Edge.head e))
+              v));
+  Buffer.contents buf

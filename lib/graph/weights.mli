@@ -1,0 +1,54 @@
+(** Edge weights as data.
+
+    The algebra itself is weightless — weights enter through the semiring
+    evaluators ({!Mrpa_semiring}) as a function [Edge.t -> float]. This
+    module is the standard way to build and persist that function: a
+    default, per-label overrides, and per-edge overrides, with most-specific
+    wins. The text format is line-oriented:
+
+    {v
+default<TAB>1.5
+label<TAB>rail<TAB>25
+edge<TAB>hub_west<TAB>rail<TAB>hub_mid<TAB>27.5
+    v}
+
+    Lookups never fail: an edge not mentioned anywhere gets the default. *)
+
+type t
+
+val create : ?default:float -> unit -> t
+(** Fresh table; [default] is [1.0] unless given. *)
+
+val default : t -> float
+val set_default : t -> float -> unit
+
+val set_label : t -> Label.t -> float -> unit
+(** Weight for every edge of a relation type (unless overridden
+    per-edge). *)
+
+val set_edge : t -> Edge.t -> float -> unit
+(** Most specific override. *)
+
+val weight : t -> Edge.t -> float
+(** Per-edge override, else per-label, else default. *)
+
+val to_fun : t -> Edge.t -> float
+(** The lookup as a plain function (what the semiring evaluators take). *)
+
+val total : t -> Path.t -> float
+(** Sum of edge weights along a path ([0.] on [ε]). *)
+
+(** {1 Persistence} *)
+
+exception Malformed of int * string
+
+val write_channel : Digraph.t -> out_channel -> t -> unit
+val read_channel : Digraph.t -> in_channel -> t
+
+val save : Digraph.t -> string -> t -> unit
+val load : Digraph.t -> string -> t
+(** Names are resolved against the graph; unknown vertex/label names raise
+    {!Malformed} with the offending line. *)
+
+val of_string : Digraph.t -> string -> t
+val to_string : Digraph.t -> t -> string

@@ -1,0 +1,71 @@
+(** Weighted evaluation of regular path expressions over any semiring.
+
+    For a semiring [(S, ⊕, ⊗)] and an edge weighting [w : E → S], the value
+    of a path is [⊗] of its edge weights in order (with [w(ε) = 1]), and the
+    value aggregated for an endpoint pair [(i, j)] is
+
+    [V(i,j) = ⊕ { w(a) | a ∈ denote(r), γ⁻(a) = i, γ⁺(a) = j, ‖a‖ ≤ L }].
+
+    The computation is trajectory-level dynamic programming over the
+    deterministic {!Mrpa_automata.Subset} machine crossed with (source
+    vertex, current vertex); determinism guarantees each path contributes
+    exactly once, so the result is the true ⊕-aggregation over the denoted
+    {e set} (not over automaton runs). Cost is configurations × degree per
+    level — independent of how many paths are being aggregated, which is
+    what makes e.g. cheapest-path queries feasible where enumeration is
+    not. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type 'v result = {
+  pairs : ((Vertex.t * Vertex.t) * 'v) list;
+      (** aggregated value per endpoint pair of non-empty denoted paths, in
+          lexicographic pair order; pairs whose value is [zero] are
+          omitted. *)
+  epsilon : 'v option;
+      (** [Some one] when [ε] is denoted ([ε] has no endpoints). *)
+}
+
+val run :
+  (module Semiring.S with type t = 'v) ->
+  ?weight:(Edge.t -> 'v) ->
+  Digraph.t ->
+  Expr.t ->
+  max_length:int ->
+  'v result
+(** [run (module S) ~weight g r ~max_length]. [weight] defaults to
+    [fun _ -> S.one] (so {!Semiring.Natural} counts paths and
+    {!Semiring.Boolean} computes reachable endpoint pairs). *)
+
+val total : (module Semiring.S with type t = 'v) -> 'v result -> 'v
+(** [⊕] over all pairs and [ε] — the aggregate over the whole denoted
+    set. *)
+
+val pair_value :
+  (module Semiring.S with type t = 'v) ->
+  'v result ->
+  Vertex.t ->
+  Vertex.t ->
+  'v
+(** Value for one endpoint pair ([zero] when absent). *)
+
+(** {1 Common instantiations} *)
+
+val reachable_pairs :
+  Digraph.t -> Expr.t -> max_length:int -> (Vertex.t * Vertex.t) list
+(** Endpoint pairs of the denoted set — [E_αβ]-style derivation (§IV-C)
+    without materialising paths. *)
+
+val count_pairs :
+  Digraph.t -> Expr.t -> max_length:int -> ((Vertex.t * Vertex.t) * int) list
+(** Distinct-path counts per endpoint pair. *)
+
+val cheapest_paths :
+  weight:(Edge.t -> float) ->
+  Digraph.t ->
+  Expr.t ->
+  max_length:int ->
+  ((Vertex.t * Vertex.t) * float) list
+(** Tropical instantiation: minimal total weight per endpoint pair among
+    denoted paths within the length bound. *)

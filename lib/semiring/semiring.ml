@@ -1,0 +1,76 @@
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Boolean = struct
+  type t = bool
+
+  let zero = false
+  let one = true
+  let add = ( || )
+  let mul = ( && )
+  let equal = Bool.equal
+  let pp = Format.pp_print_bool
+end
+
+module Natural = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let add = ( + )
+  let mul = ( * )
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+module Tropical = struct
+  type t = float
+
+  let zero = infinity
+  let one = 0.0
+  let add = Float.min
+  let mul = ( +. )
+  let equal = Float.equal
+  let pp fmt v = Format.fprintf fmt "%g" v
+end
+
+module Viterbi = struct
+  type t = float
+
+  let zero = 0.0
+  let one = 1.0
+  let add = Float.max
+  let mul = ( *. )
+  let equal = Float.equal
+  let pp fmt v = Format.fprintf fmt "%g" v
+end
+
+module Probability = struct
+  type t = float
+
+  let zero = 0.0
+  let one = 1.0
+  let add = ( +. )
+  let mul = ( *. )
+  let equal = Float.equal
+  let pp fmt v = Format.fprintf fmt "%g" v
+end
+
+module Bottleneck = struct
+  type t = float
+
+  let zero = neg_infinity
+  let one = infinity
+  let add = Float.max
+  let mul = Float.min
+  let equal = Float.equal
+  let pp fmt v = Format.fprintf fmt "%g" v
+end

@@ -1,0 +1,57 @@
+(** Semirings for weighted path aggregation.
+
+    The paper's algebra computes path {e sets}; many practical questions
+    over the same traversals are aggregations: does a path exist
+    ({!Boolean}), how many are there ({!Natural}), what is the cheapest
+    ({!Tropical}), the most reliable ({!Viterbi}), the total random-walk
+    mass ({!Probability}), the widest bottleneck ({!Bottleneck}). Each is a
+    change of semiring in the same dynamic program ({!Eval}), which is the
+    standard algebraic-path generalisation of the paper's machinery
+    (footnote 6's "more machinery" realised as structure, not new code).
+
+    Laws expected of every instance — [add] commutative/associative with
+    identity [zero]; [mul] associative with identity [one], distributing
+    over [add]; [zero] annihilating [mul] — are enforced for the bundled
+    instances by the property-test suite. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  (** Identity of [add]; the value of "no path". *)
+
+  val one : t
+  (** Identity of [mul]; the weight of [ε]. *)
+
+  val add : t -> t -> t
+  (** Combine alternative paths. *)
+
+  val mul : t -> t -> t
+  (** Combine consecutive edges along one path (applied left to right). *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Boolean : S with type t = bool
+(** Existence: [add = (||)], [mul = (&&)]. *)
+
+module Natural : S with type t = int
+(** Counting: [add = (+)], [mul = ( * )]. With all edge weights [1] this
+    reproduces {!Mrpa_automata.Counting} (property-tested). *)
+
+module Tropical : S with type t = float
+(** Min-plus: cheapest path. [zero = infinity], [one = 0.]. *)
+
+module Viterbi : S with type t = float
+(** Max-times over [\[0,1\]]: most probable single path. [zero = 0.],
+    [one = 1.]. *)
+
+module Probability : S with type t = float
+(** Plus-times over non-negative reals: total weight mass over all denoted
+    paths (e.g. random-walk probability when edge weights are transition
+    probabilities). *)
+
+module Bottleneck : S with type t = float
+(** Max-min: widest-bottleneck path. [zero = neg_infinity],
+    [one = infinity]. *)

@@ -1,0 +1,35 @@
+(** Witness extraction: not just the optimal value, an optimal {e path}.
+
+    {!Eval} aggregates values per endpoint pair but deliberately never
+    materialises paths; when one concrete optimum is wanted (show the user
+    the cheapest admissible route, not merely its cost), this module
+    reconstructs it by the tropical analogue of count-then-sample: a
+    backward DP over {!Mrpa_automata.Subset} configurations memoises the
+    minimal suffix cost to acceptance, and a forward greedy walk follows
+    any edge achieving it.
+
+    The returned cost always equals
+    [Eval.pair_value (module Semiring.Tropical) …] for the same endpoints
+    (property-tested), and the returned path is denoted by the expression
+    and has exactly that cost. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type t
+(** Prepared backward DP; reusable across {!cheapest} calls. *)
+
+val prepare :
+  weight:(Edge.t -> float) -> Digraph.t -> Expr.t -> max_length:int -> t
+(** Edge weights must be non-negative reals (min-plus optimality of the
+    greedy reconstruction relies on suffix costs being well defined; any
+    finite weights work, negativity included, because the DP is over a
+    bounded horizon — the requirement is only that weights are finite). *)
+
+val cheapest : t -> source:Vertex.t -> target:Vertex.t -> (Path.t * float) option
+(** A minimum-cost denoted path from [source] to [target] within the
+    length bound, with its cost; [None] when no such path exists. The empty
+    path is never returned (it has no endpoints). *)
+
+val cheapest_any : t -> (Path.t * float) option
+(** A minimum-cost non-empty denoted path regardless of endpoints. *)

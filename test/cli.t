@@ -1,0 +1,138 @@
+A tiny multi-relational graph, hand-written in the TSV format:
+
+  $ cat > g.tsv <<'TSV'
+  > i	alpha	j
+  > j	beta	k
+  > k	alpha	j
+  > j	beta	j
+  > j	beta	i
+  > i	alpha	k
+  > i	beta	k
+  > TSV
+
+Statistics:
+
+  $ ../bin/mrpa.exe stats g.tsv
+  |V|=3 |E|=7 |Omega|=2
+  density: 0.388889  reciprocity: 0.143  parallel pairs: 1
+  out-degree: min 1 max 3 mean 2.33 median 3.0
+  in-degree:  min 1 max 3 mean 2.33 median 3.0
+  labels:
+    beta                 4 edges
+    alpha                3 edges
+  
+
+A labeled two-step query, in the paper's notation:
+
+  $ ../bin/mrpa.exe query g.tsv '[_,alpha,_] . [_,beta,_]' --strategy reference | sed 's/in [0-9.]* ms/in N ms/'
+  (i,alpha,j,j,beta,i)
+  (i,alpha,j,j,beta,j)
+  (i,alpha,j,j,beta,k)
+  (k,alpha,j,j,beta,i)
+  (k,alpha,j,j,beta,j)
+  (k,alpha,j,j,beta,k)
+  -- 6 path(s) in N ms via reference
+
+Counting goes through the DP engine and matches:
+
+  $ ../bin/mrpa.exe query g.tsv '[_,alpha,_] . [_,beta,_]' --count
+  6
+
+Macros expand, and EXPLAIN shows the plan without running it:
+
+  $ ../bin/mrpa.exe query g.tsv 'let b = [_,beta,_] in b . b' --count
+  4
+
+  $ ../bin/mrpa.exe explain g.tsv '(empty | [i,alpha,_]) . E'
+  plan:
+    expression: ((∅ | [i,alpha,_]) . [_,_,_])
+    optimized:  ([i,alpha,_] . [_,_,_])
+    rewrites:   union-empty
+    strategy:   product-bfs (anchored start (first extent 3 <= 8))
+    max length: 8
+
+Recognition of a concrete path (exit code encodes the verdict):
+
+  $ ../bin/mrpa.exe recognize g.tsv '[_,alpha,_] . [_,beta,_]' 'i,alpha,j j,beta,k'
+  (i,alpha,j,j,beta,k) : ACCEPTED
+
+  $ ../bin/mrpa.exe recognize g.tsv '[_,alpha,_] . [_,beta,_]' 'i,alpha,j'
+  (i,alpha,j) : REJECTED
+  [1]
+
+Simple-path restriction:
+
+  $ ../bin/mrpa.exe query g.tsv '[_,beta,_]{2}' --simple --count
+  1
+
+SIV-C projection and ranking:
+
+  $ ../bin/mrpa.exe project g.tsv alpha,beta --measure in-degree --top 3
+  derived graph: simple graph: 3 vertices, 6 edges
+  i                    2.000000
+  j                    2.000000
+  k                    2.000000
+  
+
+Parse errors carry offsets:
+
+  $ ../bin/mrpa.exe query g.tsv '[i,alpha'
+  error: parse error at offset 8: expected ','
+  [1]
+
+  $ ../bin/mrpa.exe query g.tsv '[nosuch,_,_]'
+  error: parse error at offset 1: unknown vertex "nosuch"
+  [1]
+
+Conjunctive regular path queries join atoms over shared variables:
+
+  $ ../bin/mrpa.exe crpq g.tsv 'select x, y where (x, [_,alpha,_], y), (y, [_,beta,_], x)'
+  i	j
+  k	j
+  -- 2 tuple(s)
+
+Uniform sampling from a denoted set (seeded, hence reproducible):
+
+  $ ../bin/mrpa.exe sample g.tsv '[_,beta,_]{2}' -n 2 --seed 3
+  population: 4 path(s)
+  (j,beta,j,j,beta,i)
+  (j,beta,j,j,beta,j)
+
+The compiled automaton of the paper's Figure 1 expression, as DOT:
+
+  $ ../bin/mrpa.exe automaton g.tsv '[i,alpha,_] . [_,beta,_]* . (([_,alpha,j] . {(j,alpha,i)}) | [_,alpha,k])' | head -7
+  digraph "mrpa_automaton" {
+    rankdir=LR;
+    start [shape=point, label=""];
+    q0 [shape=circle, label="q0"];
+    start -> q0;
+    q1 [shape=circle, label="q1"];
+    q2 [shape=circle, label="q2"];
+
+GraphML export:
+
+  $ ../bin/mrpa.exe graphml g.tsv | head -3
+  <?xml version="1.0" encoding="UTF-8"?>
+  <graphml xmlns="http://graphml.graphdrawing.org/xmlns" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:schemaLocation="http://graphml.graphdrawing.org/xmlns http://graphml.graphdrawing.org/xmlns/1.0/graphml.xsd">
+    <key id="labelV" for="node" attr.name="labelV" attr.type="string"/>
+
+Bound-free query equivalence (footnote 8's R+ identity):
+
+  $ ../bin/mrpa.exe equiv g.tsv '[_,beta,_]+' '[_,beta,_] . [_,beta,_]*'
+  EQUIVALENT
+
+  $ ../bin/mrpa.exe equiv g.tsv '[_,beta,_]*' '[_,beta,_]+'
+  DIFFERENT
+  [1]
+
+Richer statistics:
+
+  $ ../bin/mrpa.exe stats g.tsv
+  |V|=3 |E|=7 |Omega|=2
+  density: 0.388889  reciprocity: 0.143  parallel pairs: 1
+  out-degree: min 1 max 3 mean 2.33 median 3.0
+  in-degree:  min 1 max 3 mean 2.33 median 3.0
+  labels:
+    beta                 4 edges
+    alpha                3 edges
+  

@@ -1,0 +1,49 @@
+Deterministic workload generation (seeded):
+
+  $ ../bin/mrpa.exe generate --kind ring -n 5 -k 1 -o ring.tsv
+  generated ring: |V|=5 |E|=5 |Omega|=1
+
+  $ cat ring.tsv
+  # mrpa multi-relational graph
+  vertex	v0
+  vertex	v1
+  vertex	v2
+  vertex	v3
+  vertex	v4
+  v0	r0	v1
+  v1	r0	v2
+  v2	r0	v3
+  v3	r0	v4
+  v4	r0	v0
+
+Counting on the ring: one joint walk per start per length.
+
+  $ ../bin/mrpa.exe query ring.tsv 'E{3}' --count
+  5
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --max-length 4 --count
+  21
+
+Simple paths self-limit on the cycle even with a huge bound:
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --max-length 40 --simple --count
+  21
+
+Uniform sampling is seeded and reproducible:
+
+  $ ../bin/mrpa.exe sample ring.tsv 'E{2}' -n 2 --seed 5
+  population: 5 path(s)
+  (v1,r0,v2,v2,r0,v3)
+  (v0,r0,v1,v1,r0,v2)
+
+Tree workload and destination-anchored query:
+
+  $ ../bin/mrpa.exe generate --kind fig1 -n 2 -m 0 -o f.tsv
+  generated fig1: |V|=5 |E|=7 |Omega|=2
+
+  $ ../bin/mrpa.exe query f.tsv '[i,alpha,_] . [_,beta,_]* . (([_,alpha,j] . {(j,alpha,i)}) | [_,alpha,k])' --max-length 5 --count
+  2
+
+  $ ../bin/mrpa.exe cheapest f.tsv '[i,alpha,_] . [_,alpha,_]' --from i --to i
+  i              -> i              2.00
+  route: (i,alpha,j,j,alpha,i) (2.00)

@@ -1,0 +1,721 @@
+open Mrpa_graph
+open Mrpa_core
+open Mrpa_analysis
+module H = Helpers
+
+let float_eps = 1e-9
+
+let check_float name expected actual =
+  Alcotest.(check (float float_eps)) name expected actual
+
+(* --- Sparse -------------------------------------------------------------- *)
+
+let dense_of m =
+  Array.init (Sparse.rows m) (fun i ->
+      Array.init (Sparse.cols m) (fun j -> Sparse.get m i j))
+
+let dense_mul a b =
+  let n = Array.length a and p = Array.length b.(0) in
+  let k = Array.length b in
+  Array.init n (fun i ->
+      Array.init p (fun j ->
+          let acc = ref 0.0 in
+          for x = 0 to k - 1 do
+            acc := !acc +. (a.(i).(x) *. b.(x).(j))
+          done;
+          !acc))
+
+let test_sparse_basic () =
+  let m = Sparse.of_coo ~rows:2 ~cols:3 [ (0, 1, 2.0); (1, 2, 3.0); (0, 1, 1.0) ] in
+  Alcotest.(check int) "nnz (dups summed)" 2 (Sparse.nnz m);
+  check_float "get summed" 3.0 (Sparse.get m 0 1);
+  check_float "absent" 0.0 (Sparse.get m 1 1);
+  Alcotest.check_raises "bad index" (Invalid_argument "Sparse: index out of range")
+    (fun () -> ignore (Sparse.of_coo ~rows:1 ~cols:1 [ (1, 0, 1.0) ]))
+
+let test_sparse_zero_dropped () =
+  let m = Sparse.of_coo ~rows:2 ~cols:2 [ (0, 0, 1.0); (0, 0, -1.0) ] in
+  Alcotest.(check int) "cancelled entry dropped" 0 (Sparse.nnz m)
+
+let test_sparse_identity () =
+  let i3 = Sparse.identity 3 in
+  Alcotest.(check int) "nnz" 3 (Sparse.nnz i3);
+  let m = Sparse.of_coo ~rows:3 ~cols:3 [ (0, 1, 5.0); (2, 0, 7.0) ] in
+  Alcotest.(check bool) "I·m = m" true (Sparse.equal (Sparse.mul i3 m) m);
+  Alcotest.(check bool) "m·I = m" true (Sparse.equal (Sparse.mul m i3) m)
+
+let qcheck_sparse_mul_matches_dense =
+  H.qtest ~count:100 "sparse mul = dense mul" QCheck2.Gen.(int_bound 10_000)
+    string_of_int (fun seed ->
+      let rng = Prng.create seed in
+      let dims = (2 + Prng.int rng 4, 2 + Prng.int rng 4, 2 + Prng.int rng 4) in
+      let n, k, p = dims in
+      let entries rows cols =
+        List.concat
+          (List.init rows (fun i ->
+               List.filter_map
+                 (fun j ->
+                   if Prng.bernoulli rng 0.4 then
+                     Some (i, j, float_of_int (1 + Prng.int rng 5))
+                   else None)
+                 (List.init cols Fun.id)))
+      in
+      let a = Sparse.of_coo ~rows:n ~cols:k (entries n k) in
+      let b = Sparse.of_coo ~rows:k ~cols:p (entries k p) in
+      dense_of (Sparse.mul a b) = dense_mul (dense_of a) (dense_of b))
+
+let test_sparse_transpose_involution () =
+  let m = Sparse.of_coo ~rows:2 ~cols:3 [ (0, 2, 1.5); (1, 0, 2.5) ] in
+  Alcotest.(check bool) "transpose twice" true
+    (Sparse.equal m (Sparse.transpose (Sparse.transpose m)));
+  check_float "transposed entry" 1.5 (Sparse.get (Sparse.transpose m) 2 0)
+
+let test_sparse_matvec () =
+  let m = Sparse.of_coo ~rows:2 ~cols:2 [ (0, 0, 1.0); (0, 1, 2.0); (1, 1, 3.0) ] in
+  let y = Sparse.mat_vec m [| 1.0; 1.0 |] in
+  check_float "row0" 3.0 y.(0);
+  check_float "row1" 3.0 y.(1);
+  let z = Sparse.vec_mat [| 1.0; 1.0 |] m in
+  check_float "col0" 1.0 z.(0);
+  check_float "col1" 5.0 z.(1)
+
+let test_sparse_power_bool_ring () =
+  (* ring of 3: A³ = I under boolean product *)
+  let a =
+    Sparse.boolean_of_coo ~rows:3 ~cols:3 [ (0, 1); (1, 2); (2, 0) ]
+  in
+  Alcotest.(check bool) "A^3 = I" true
+    (Sparse.equal (Sparse.power_bool a 3) (Sparse.identity 3));
+  Alcotest.(check bool) "A^0 = I" true
+    (Sparse.equal (Sparse.power_bool a 0) (Sparse.identity 3))
+
+let test_sparse_mul_bool_is_boolean () =
+  let a = Sparse.boolean_of_coo ~rows:2 ~cols:2 [ (0, 0); (0, 1); (1, 0); (1, 1) ] in
+  let sq = Sparse.mul_bool a a in
+  List.iter (fun (_, _, v) -> check_float "entry is 1" 1.0 v) (Sparse.to_coo sq)
+
+(* --- Simple_graph --------------------------------------------------------- *)
+
+let test_simple_graph_basic () =
+  let g = Simple_graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (0, 1); (2, 3) ] in
+  Alcotest.(check int) "dedup edges" 3 (Simple_graph.n_edges g);
+  Alcotest.(check bool) "mem" true (Simple_graph.mem_edge g 0 1);
+  Alcotest.(check bool) "not mem" false (Simple_graph.mem_edge g 1 0);
+  Alcotest.(check int) "out deg" 1 (Simple_graph.out_degree g 0);
+  Alcotest.(check int) "in deg" 1 (Simple_graph.in_degree g 1)
+
+let test_simple_graph_transpose () =
+  let g = Simple_graph.of_edge_list ~n:3 [ (0, 1); (1, 2) ] in
+  let t = Simple_graph.transpose g in
+  Alcotest.(check bool) "reversed" true (Simple_graph.mem_edge t 1 0);
+  Alcotest.(check bool) "roundtrip" true
+    (Simple_graph.equal g (Simple_graph.transpose t))
+
+let test_simple_graph_sparse_roundtrip () =
+  let g = Simple_graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (3, 0) ] in
+  Alcotest.(check bool) "roundtrip" true
+    (Simple_graph.equal g (Simple_graph.of_sparse_bool (Simple_graph.to_sparse g)))
+
+let test_simple_graph_bfs () =
+  let g = Simple_graph.of_edge_list ~n:5 [ (0, 1); (1, 2); (2, 3) ] in
+  let d = Simple_graph.bfs_distances g 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; -1 |] d
+
+(* --- Projection ------------------------------------------------------------ *)
+
+let test_projection_single_label () =
+  let g = H.paper_graph () in
+  let alpha = H.l g "alpha" in
+  let ga = Projection.single_label g alpha in
+  (* α edges: (i,α,j), (k,α,j), (i,α,k) *)
+  Alcotest.(check int) "3 α edges" 3 (Simple_graph.n_edges ga);
+  Alcotest.(check bool) "i→j" true
+    (Simple_graph.mem_edge ga (H.v g "i") (H.v g "j"))
+
+let test_projection_label_blind_collapses () =
+  let g = H.parallel_graph () in
+  let blind = Projection.label_blind g in
+  (* 6 labeled edges collapse to 3 distinct vertex pairs *)
+  Alcotest.(check int) "collapsed" 3 (Simple_graph.n_edges blind)
+
+let test_projection_path_derived_alpha_beta () =
+  let g = H.paper_graph () in
+  let alpha = H.l g "alpha" and beta = H.l g "beta" in
+  let gab = Projection.path_derived g [ alpha; beta ] in
+  (* ab-paths: (i,a,j)(j,b,.) gives i-k, i-j, i-i ; (k,a,j)(j,b,.) gives k-k, k-j, k-i *)
+  Alcotest.(check int) "6 derived pairs" 6 (Simple_graph.n_edges gab);
+  Alcotest.(check bool) "i→i present" true
+    (Simple_graph.mem_edge gab (H.v g "i") (H.v g "i"))
+
+let qcheck_projection_join_equals_matrix =
+  H.qtest ~count:80 "E_αβ via join = via boolean matrix product"
+    H.with_graph_gen H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let labels = Array.of_list (Digraph.labels g) in
+      let word =
+        List.init (1 + Prng.int rng 2) (fun _ -> Prng.pick rng labels)
+      in
+      let via_join = Projection.path_derived g word in
+      let via_matrix =
+        Simple_graph.of_sparse_bool (Projection.path_derived_matrix g word)
+      in
+      Simple_graph.equal via_join via_matrix)
+
+let qcheck_projection_expr_agrees =
+  H.qtest ~count:60 "E_αβ via generator = via join" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let labels = Array.of_list (Digraph.labels g) in
+      let word = List.init (1 + Prng.int rng 2) (fun _ -> Prng.pick rng labels) in
+      let expr =
+        Expr.join_of
+          (List.map (fun l -> Expr.sel (Selector.label1 l)) word)
+      in
+      let via_expr =
+        Projection.path_derived_expr g expr ~max_length:(List.length word)
+      in
+      Simple_graph.equal via_expr (Projection.path_derived g word))
+
+let test_projection_adjacency_slice () =
+  let g = H.paper_graph () in
+  let a = Projection.adjacency_slice g (H.l g "alpha") in
+  Alcotest.(check int) "3 entries" 3 (Sparse.nnz a);
+  check_float "i→j entry" 1.0 (Sparse.get a (H.v g "i") (H.v g "j"))
+
+(* --- Tensor3 ------------------------------------------------------------------ *)
+
+let test_tensor_slices () =
+  let g = H.paper_graph () in
+  let t = Tensor3.of_digraph g in
+  Alcotest.(check int) "nnz = |E|" (Digraph.n_edges g) (Tensor3.nnz t);
+  Alcotest.(check int) "dims" (Digraph.n_vertices g) (Tensor3.n_vertices t);
+  Alcotest.(check int) "labels" 2 (Tensor3.n_labels t);
+  let alpha = H.l g "alpha" in
+  Alcotest.(check bool) "slice = adjacency slice" true
+    (Sparse.equal (Tensor3.slice t alpha) (Projection.adjacency_slice g alpha));
+  Alcotest.(check bool) "mem" true (Tensor3.mem t (H.v g "i") alpha (H.v g "j"));
+  Alcotest.(check bool) "not mem" false
+    (Tensor3.mem t (H.v g "j") alpha (H.v g "k"))
+
+let test_tensor_label_sum_counts_parallel () =
+  let g = H.parallel_graph () in
+  let t = Tensor3.of_digraph g in
+  let s = Tensor3.label_sum t in
+  check_float "a→b has 2 parallel edges" 2.0
+    (Sparse.get s (H.v g "a") (H.v g "b"));
+  check_float "b→c has 3" 3.0 (Sparse.get s (H.v g "b") (H.v g "c"))
+
+let test_tensor_contract_counts_paths () =
+  let g = H.paper_graph () in
+  let t = Tensor3.of_digraph g in
+  let alpha = H.l g "alpha" and beta = H.l g "beta" in
+  let c = Tensor3.contract t [ alpha; beta ] in
+  (* total αβ-paths = cardinality of the labeled traversal *)
+  let total =
+    List.fold_left (fun acc (_, _, v) -> acc + int_of_float v) 0 (Sparse.to_coo c)
+  in
+  let expected =
+    Path_set.cardinal
+      (Traversal.labeled g
+         ~labels:[ Label.Set.singleton alpha; Label.Set.singleton beta ])
+  in
+  Alcotest.(check int) "entry sum = path count" expected total;
+  (* empty word = identity *)
+  Alcotest.(check bool) "empty word" true
+    (Sparse.equal (Tensor3.contract t []) (Sparse.identity (Tensor3.n_vertices t)))
+
+let qcheck_tensor_contract_matches_traversal =
+  H.qtest ~count:60 "tensor contraction counts labeled traversals"
+    H.with_graph_gen H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let labels = Array.of_list (Digraph.labels g) in
+      let word = List.init (1 + Prng.int rng 2) (fun _ -> Prng.pick rng labels) in
+      let t = Tensor3.of_digraph g in
+      let total =
+        List.fold_left
+          (fun acc (_, _, v) -> acc + int_of_float v)
+          0
+          (Sparse.to_coo (Tensor3.contract t word))
+      in
+      total
+      = Path_set.cardinal
+          (Traversal.labeled g ~labels:(List.map Label.Set.singleton word)))
+
+(* --- Centrality -------------------------------------------------------------- *)
+
+let test_degree_centrality () =
+  let g = Simple_graph.of_edge_list ~n:3 [ (0, 1); (0, 2); (1, 2) ] in
+  Alcotest.(check (array (float float_eps))) "out" [| 2.0; 1.0; 0.0 |]
+    (Centrality.out_degree g);
+  Alcotest.(check (array (float float_eps))) "in" [| 0.0; 1.0; 2.0 |]
+    (Centrality.in_degree g)
+
+let test_closeness_path_graph () =
+  (* 0→1→2: closeness(0) = (2/2)·(2/3), closeness(1) = (1/2)·(1/1), terminal 0 *)
+  let g = Simple_graph.of_edge_list ~n:3 [ (0, 1); (1, 2) ] in
+  let c = Centrality.closeness g in
+  check_float "v0" (2.0 /. 3.0) c.(0);
+  check_float "v1" 0.5 c.(1);
+  check_float "v2 (reaches nothing)" 0.0 c.(2)
+
+let test_harmonic_closeness () =
+  let g = Simple_graph.of_edge_list ~n:3 [ (0, 1); (1, 2) ] in
+  let c = Centrality.harmonic_closeness g in
+  check_float "v0 = 1 + 1/2" 1.5 c.(0);
+  check_float "v1 = 1" 1.0 c.(1);
+  check_float "v2 = 0" 0.0 c.(2)
+
+let test_betweenness_path_graph () =
+  let g = Simple_graph.of_edge_list ~n:3 [ (0, 1); (1, 2) ] in
+  let b = Centrality.betweenness g in
+  check_float "middle vertex carries the 0→2 path" 1.0 b.(1);
+  check_float "endpoints zero" 0.0 b.(0);
+  check_float "endpoints zero" 0.0 b.(2)
+
+let test_betweenness_star_hub () =
+  (* directed star out+in: hub between all leaf pairs *)
+  let edges =
+    List.concat (List.init 3 (fun i -> [ (4, i); (i, 4) ]))
+  in
+  let g = Simple_graph.of_edge_list ~n:5 edges in
+  let b = Centrality.betweenness g in
+  (* leaf→hub→leaf': 3·2 ordered pairs *)
+  check_float "hub betweenness" 6.0 b.(4);
+  check_float "leaf betweenness" 0.0 b.(0)
+
+let test_pagerank_uniform_on_ring () =
+  let g = Simple_graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let pr = Centrality.pagerank g in
+  Array.iter (fun v -> check_float "uniform" 0.25 v) pr;
+  check_float "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 pr)
+
+let test_pagerank_sink_handling () =
+  let g = Simple_graph.of_edge_list ~n:3 [ (0, 2); (1, 2) ] in
+  let pr = Centrality.pagerank g in
+  check_float "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 pr);
+  Alcotest.(check bool) "sink is top" true (pr.(2) > pr.(0))
+
+let test_eigenvector_ring_uniform () =
+  let g = Simple_graph.of_edge_list ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  let ev = Centrality.eigenvector g in
+  let expected = 1.0 /. sqrt 3.0 in
+  Array.iter (fun v -> check_float "uniform" expected v) ev
+
+let test_spreading_activation () =
+  let g = Simple_graph.of_edge_list ~n:3 [ (0, 1); (1, 2) ] in
+  let a = Centrality.spreading_activation ~seeds:[ (0, 1.0) ] ~steps:2 g in
+  Alcotest.(check bool) "seed active" true (a.(0) > 0.0);
+  Alcotest.(check bool) "propagated" true (a.(1) > 0.0 && a.(2) > 0.0);
+  Alcotest.(check bool) "attenuated" true (a.(1) < a.(0) && a.(2) < a.(1))
+
+let test_katz_ring_uniform () =
+  (* ring, out-degree 1: fixed point x = 1 + α·x, so x = 1/(1-α) everywhere *)
+  let g = Simple_graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let alpha = 0.1 in
+  let k = Centrality.katz ~alpha g in
+  Array.iter (fun v -> Alcotest.(check (float 1e-6)) "1/(1-α)" (1.0 /. 0.9) v) k
+
+let test_katz_favours_pointed_at () =
+  let g = Simple_graph.of_edge_list ~n:3 [ (0, 2); (1, 2) ] in
+  let k = Centrality.katz g in
+  Alcotest.(check bool) "sink highest" true (k.(2) > k.(0) && k.(2) > k.(1))
+
+let test_hits_bipartite () =
+  (* hubs 0,1 point at authorities 2,3; 0 points at both *)
+  let g = Simple_graph.of_edge_list ~n:4 [ (0, 2); (0, 3); (1, 2) ] in
+  let hubs, auths = Centrality.hits g in
+  Alcotest.(check bool) "0 is the better hub" true (hubs.(0) > hubs.(1));
+  Alcotest.(check bool) "2 is the better authority" true (auths.(2) > auths.(3));
+  Alcotest.(check bool) "authorities have no hub score" true
+    (hubs.(2) < 1e-9 && hubs.(3) < 1e-9)
+
+let test_top_k () =
+  let ranked = Centrality.top_k 2 [| 0.1; 0.9; 0.5 |] in
+  Alcotest.(check (list (pair int (float float_eps)))) "top2"
+    [ (1, 0.9); (2, 0.5) ]
+    ranked
+
+(* --- Assortativity ------------------------------------------------------------ *)
+
+let test_discrete_assortativity_perfect () =
+  (* two categories, edges only within category *)
+  let g = Simple_graph.of_edge_list ~n:4 [ (0, 1); (1, 0); (2, 3); (3, 2) ] in
+  check_float "perfectly assortative" 1.0
+    (Assortativity.discrete ~categories:[| 0; 0; 1; 1 |] g)
+
+let test_discrete_assortativity_disassortative () =
+  let g = Simple_graph.of_edge_list ~n:4 [ (0, 2); (2, 0); (1, 3); (3, 1) ] in
+  let r = Assortativity.discrete ~categories:[| 0; 0; 1; 1 |] g in
+  Alcotest.(check bool) "negative" true (r < 0.0)
+
+let test_scalar_assortativity_sign () =
+  (* high-value vertices point at high-value vertices *)
+  let g = Simple_graph.of_edge_list ~n:4 [ (0, 1); (1, 0); (2, 3); (3, 2) ] in
+  let r = Assortativity.scalar ~values:[| 10.0; 11.0; 1.0; 2.0 |] g in
+  Alcotest.(check bool) "positive" true (r > 0.9)
+
+let test_degree_assortativity_nan_on_regular () =
+  (* ring: all degrees equal → variance 0 → undefined *)
+  let g = Simple_graph.of_edge_list ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check bool) "nan" true (Float.is_nan (Assortativity.degree g))
+
+let test_assortativity_empty_graph () =
+  let g = Simple_graph.of_edge_list ~n:3 [] in
+  Alcotest.(check bool) "nan on edgeless" true
+    (Float.is_nan (Assortativity.discrete ~categories:[| 0; 1; 0 |] g))
+
+(* --- Components ------------------------------------------------------------------ *)
+
+let test_scc_two_cycles () =
+  (* two 2-cycles joined by a one-way bridge *)
+  let g =
+    Simple_graph.of_edge_list ~n:4 [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ]
+  in
+  let t = Components.strongly_connected g in
+  Alcotest.(check int) "two components" 2 t.Components.n_components;
+  Alcotest.(check bool) "0~1" true (Components.same_component t 0 1);
+  Alcotest.(check bool) "2~3" true (Components.same_component t 2 3);
+  Alcotest.(check bool) "0!~2" false (Components.same_component t 0 2);
+  (* reverse topological numbering: the bridge goes 0/1-side -> 2/3-side *)
+  Alcotest.(check bool) "source component has larger id" true
+    (t.Components.component.(0) > t.Components.component.(2))
+
+let test_scc_dag_all_singletons () =
+  let g = Simple_graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (0, 3) ] in
+  let t = Components.strongly_connected g in
+  Alcotest.(check int) "all singletons" 4 t.Components.n_components
+
+let test_scc_ring_single () =
+  let g = Simple_graph.of_edge_list ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+  let t = Components.strongly_connected g in
+  Alcotest.(check int) "one component" 1 t.Components.n_components;
+  let c, size = Components.largest t in
+  Alcotest.(check int) "largest size" 5 size;
+  Alcotest.(check (list int)) "members" [ 0; 1; 2; 3; 4 ] (Components.members t c)
+
+let test_weak_components () =
+  let g = Simple_graph.of_edge_list ~n:5 [ (0, 1); (2, 1); (3, 4) ] in
+  let t = Components.weakly_connected g in
+  Alcotest.(check int) "two weak components" 2 t.Components.n_components;
+  Alcotest.(check bool) "0~2 via 1" true (Components.same_component t 0 2);
+  Alcotest.(check bool) "3~4" true (Components.same_component t 3 4);
+  Alcotest.(check bool) "0!~3" false (Components.same_component t 0 3)
+
+let test_condensation_is_dag () =
+  let g =
+    Simple_graph.of_edge_list ~n:5
+      [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2); (3, 4) ]
+  in
+  let t, dag = Components.condensation g in
+  Alcotest.(check int) "three components" 3 t.Components.n_components;
+  Alcotest.(check int) "two condensation edges" 2 (Simple_graph.n_edges dag);
+  (* DAG check: its SCCs are all singletons *)
+  let t' = Components.strongly_connected dag in
+  Alcotest.(check int) "condensation is a DAG" 3 t'.Components.n_components
+
+let qcheck_scc_mutual_reachability =
+  H.qtest ~count:60 "same SCC iff mutually reachable" H.with_graph_gen
+    H.print_with_graph (fun (recipe, _) ->
+      let g = H.graph_of_recipe recipe in
+      let sg = Projection.label_blind g in
+      let t = Components.strongly_connected sg in
+      let n = Simple_graph.n_vertices sg in
+      let reach = Array.init n (fun v -> Simple_graph.bfs_distances sg v) in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let mutual = reach.(u).(v) >= 0 && reach.(v).(u) >= 0 in
+          if Components.same_component t u v <> mutual then ok := false
+        done
+      done;
+      !ok)
+
+(* --- Metrics --------------------------------------------------------------------------- *)
+
+let test_metrics_path_graph () =
+  let g = Simple_graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check (array int)) "eccentricities" [| 3; 2; 1; -1 |]
+    (Metrics.eccentricity g);
+  Alcotest.(check int) "diameter" 3 (Metrics.diameter g);
+  Alcotest.(check int) "radius" 1 (Metrics.radius g);
+  (* reachable pairs: (0,1)1 (0,2)2 (0,3)3 (1,2)1 (1,3)2 (2,3)1 → 10/6 *)
+  Alcotest.(check (float 1e-9)) "average path length" (10.0 /. 6.0)
+    (Metrics.average_path_length g)
+
+let test_metrics_clustering_triangle () =
+  let g = Simple_graph.of_edge_list ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  Array.iter
+    (fun c -> Alcotest.(check (float 1e-9)) "triangle fully clustered" 1.0 c)
+    (Metrics.local_clustering g);
+  Alcotest.(check (float 1e-9)) "global" 1.0 (Metrics.global_clustering g)
+
+let test_metrics_clustering_star () =
+  (* star: hub's neighbours are mutually unconnected *)
+  let g = Simple_graph.of_edge_list ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  let c = Metrics.local_clustering g in
+  Alcotest.(check (float 1e-9)) "hub 0" 0.0 c.(0);
+  Alcotest.(check (float 1e-9)) "leaf (degree 1) 0" 0.0 c.(1);
+  Alcotest.(check (float 1e-9)) "global over hub only" 0.0
+    (Metrics.global_clustering g)
+
+let test_metrics_empty_graph () =
+  let g = Simple_graph.of_edge_list ~n:2 [] in
+  Alcotest.(check int) "diameter 0" 0 (Metrics.diameter g);
+  Alcotest.(check bool) "apl nan" true
+    (Float.is_nan (Metrics.average_path_length g));
+  Alcotest.(check bool) "clustering nan" true
+    (Float.is_nan (Metrics.global_clustering g))
+
+(* --- Communities --------------------------------------------------------------------- *)
+
+let two_cliques_with_bridge () =
+  (* two 4-cliques joined by one bridge edge *)
+  let edges c base =
+    List.concat
+      (List.init c (fun i ->
+           List.filter_map
+             (fun j -> if i <> j then Some (base + i, base + j) else None)
+             (List.init c Fun.id)))
+  in
+  Simple_graph.of_edge_list ~n:8 (edges 4 0 @ edges 4 4 @ [ (0, 4) ])
+
+let test_label_propagation_two_cliques () =
+  let g = two_cliques_with_bridge () in
+  let t = Communities.label_propagation ~seed:3 g in
+  Alcotest.(check int) "two communities" 2 t.Communities.n_communities;
+  (* members of each clique agree *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%d and %d together" a b)
+        t.Communities.community.(a) t.Communities.community.(b))
+    [ (0, 1); (1, 2); (2, 3); (4, 5); (5, 6); (6, 7) ];
+  Alcotest.(check bool) "cliques apart" true
+    (t.Communities.community.(0) <> t.Communities.community.(4));
+  let sizes = Communities.sizes t in
+  Alcotest.(check (array int)) "sizes" [| 4; 4 |] sizes
+
+let test_modularity_bounds () =
+  let g = two_cliques_with_bridge () in
+  let good = Communities.label_propagation ~seed:3 g in
+  let q_good = Communities.modularity g good in
+  Alcotest.(check bool) "good partition positive" true (q_good > 0.3);
+  (* everything in one community: Q = frac_within - 1 = 0 when one community *)
+  let trivial =
+    { Communities.n_communities = 1; community = Array.make 8 0 }
+  in
+  let q_trivial = Communities.modularity g trivial in
+  Alcotest.(check (float 1e-9)) "single community Q = 0" 0.0 q_trivial;
+  Alcotest.(check bool) "good beats trivial" true (q_good > q_trivial)
+
+let test_label_propagation_isolated () =
+  let g = Simple_graph.of_edge_list ~n:3 [] in
+  let t = Communities.label_propagation g in
+  Alcotest.(check int) "all singletons" 3 t.Communities.n_communities;
+  Alcotest.(check bool) "modularity undefined" true
+    (Float.is_nan (Communities.modularity g t))
+
+(* --- Derived_view ------------------------------------------------------------------ *)
+
+let test_view_tracks_insertions () =
+  let g = H.paper_graph () in
+  let alpha = H.l g "alpha" and beta = H.l g "beta" in
+  let view = Derived_view.create g [ alpha; beta ] in
+  Alcotest.(check bool) "initially consistent" true (Derived_view.is_consistent view);
+  let before = Derived_view.pair_count view (H.v g "i") (H.v g "i") in
+  Alcotest.(check int) "one i→i αβ path initially" 1 before;
+  (* add (k,beta,i): creates the αβ path (i,α,k)(k,β,i) *)
+  ignore (Digraph.add g "k" "beta" "i");
+  Alcotest.(check bool) "consistent after insert" true
+    (Derived_view.is_consistent view);
+  Alcotest.(check int) "i→i count grew" 2
+    (Derived_view.pair_count view (H.v g "i") (H.v g "i"))
+
+let test_view_tracks_removals () =
+  let g = H.paper_graph () in
+  let alpha = H.l g "alpha" and beta = H.l g "beta" in
+  let view = Derived_view.create g [ alpha; beta ] in
+  ignore (Digraph.remove_edge g (H.e g "j" "beta" "i"));
+  Alcotest.(check bool) "consistent after removal" true
+    (Derived_view.is_consistent view);
+  Alcotest.(check int) "i→i gone" 0
+    (Derived_view.pair_count view (H.v g "i") (H.v g "i"))
+
+let test_view_repeated_label_word () =
+  (* word with the same label twice: both positions perturbed *)
+  let g = H.parallel_graph () in
+  let r0 = H.l g "r0" in
+  let view = Derived_view.create g [ r0; r0 ] in
+  Alcotest.(check bool) "initial" true (Derived_view.is_consistent view);
+  ignore (Digraph.add g "c" "r0" "b");
+  ignore (Digraph.add g "b" "r0" "a");
+  Alcotest.(check bool) "after two inserts" true (Derived_view.is_consistent view)
+
+let test_view_dimension_growth_rebuilds () =
+  let g = H.paper_graph () in
+  let view = Derived_view.create g [ H.l g "alpha"; H.l g "beta" ] in
+  let rebuilds_before = Derived_view.n_rebuilds view in
+  ignore (Digraph.add g "newcomer" "alpha" "j");
+  Alcotest.(check bool) "rebuilt on new vertex" true
+    (Derived_view.n_rebuilds view > rebuilds_before);
+  Alcotest.(check bool) "still consistent" true (Derived_view.is_consistent view)
+
+let test_view_simple_graph_skeleton () =
+  let g = H.paper_graph () in
+  let alpha = H.l g "alpha" and beta = H.l g "beta" in
+  let view = Derived_view.create g [ alpha; beta ] in
+  Alcotest.(check bool) "skeleton = path_derived" true
+    (Simple_graph.equal
+       (Derived_view.simple_graph view)
+       (Projection.path_derived g [ alpha; beta ]))
+
+let qcheck_view_consistency_under_churn =
+  H.qtest ~count:60 "view stays consistent under random churn"
+    H.with_graph_gen H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let labels = Array.of_list (Digraph.labels g) in
+      let word = List.init (1 + Prng.int rng 2) (fun _ -> Prng.pick rng labels) in
+      let view = Derived_view.create g word in
+      let vertices = Array.of_list (Digraph.vertices g) in
+      let ok = ref (Derived_view.is_consistent view) in
+      for _ = 1 to 12 do
+        if Prng.bool rng then begin
+          let e =
+            Edge.make ~tail:(Prng.pick rng vertices)
+              ~label:(Prng.pick rng labels) ~head:(Prng.pick rng vertices)
+          in
+          ignore (Digraph.add_edge g e)
+        end
+        else begin
+          match Digraph.edges g with
+          | [] -> ()
+          | es -> ignore (Digraph.remove_edge g (Prng.pick_list rng es))
+        end;
+        if not (Derived_view.is_consistent view) then ok := false
+      done;
+      !ok)
+
+(* --- §IV-C end-to-end ----------------------------------------------------------- *)
+
+let test_semantics_difference_label_blind_vs_derived () =
+  (* The paper's warning: label-blind projection and path-derived projection
+     answer different questions. On the fixture they genuinely differ. *)
+  let g = H.paper_graph () in
+  let blind = Projection.label_blind g in
+  let derived = Projection.path_derived g [ H.l g "alpha"; H.l g "beta" ] in
+  Alcotest.(check bool) "different graphs" false
+    (Simple_graph.equal blind derived);
+  (* and therefore different rankings *)
+  let pr_blind = Centrality.pagerank blind in
+  let pr_derived = Centrality.pagerank derived in
+  Alcotest.(check bool) "different pagerank" true (pr_blind <> pr_derived)
+
+let () =
+  Alcotest.run "mrpa_analysis"
+    [
+      ( "sparse",
+        [
+          Alcotest.test_case "basic" `Quick test_sparse_basic;
+          Alcotest.test_case "zero dropped" `Quick test_sparse_zero_dropped;
+          Alcotest.test_case "identity" `Quick test_sparse_identity;
+          Alcotest.test_case "transpose" `Quick test_sparse_transpose_involution;
+          Alcotest.test_case "matvec" `Quick test_sparse_matvec;
+          Alcotest.test_case "boolean power" `Quick test_sparse_power_bool_ring;
+          Alcotest.test_case "boolean entries" `Quick test_sparse_mul_bool_is_boolean;
+          qcheck_sparse_mul_matches_dense;
+        ] );
+      ( "simple_graph",
+        [
+          Alcotest.test_case "basic" `Quick test_simple_graph_basic;
+          Alcotest.test_case "transpose" `Quick test_simple_graph_transpose;
+          Alcotest.test_case "sparse roundtrip" `Quick
+            test_simple_graph_sparse_roundtrip;
+          Alcotest.test_case "bfs" `Quick test_simple_graph_bfs;
+        ] );
+      ( "projection",
+        [
+          Alcotest.test_case "single label" `Quick test_projection_single_label;
+          Alcotest.test_case "label blind" `Quick
+            test_projection_label_blind_collapses;
+          Alcotest.test_case "path derived" `Quick
+            test_projection_path_derived_alpha_beta;
+          Alcotest.test_case "adjacency slice" `Quick test_projection_adjacency_slice;
+          qcheck_projection_join_equals_matrix;
+          qcheck_projection_expr_agrees;
+        ] );
+      ( "centrality",
+        [
+          Alcotest.test_case "degree" `Quick test_degree_centrality;
+          Alcotest.test_case "closeness" `Quick test_closeness_path_graph;
+          Alcotest.test_case "harmonic" `Quick test_harmonic_closeness;
+          Alcotest.test_case "betweenness path" `Quick test_betweenness_path_graph;
+          Alcotest.test_case "betweenness star" `Quick test_betweenness_star_hub;
+          Alcotest.test_case "pagerank ring" `Quick test_pagerank_uniform_on_ring;
+          Alcotest.test_case "pagerank sink" `Quick test_pagerank_sink_handling;
+          Alcotest.test_case "eigenvector ring" `Quick test_eigenvector_ring_uniform;
+          Alcotest.test_case "spreading" `Quick test_spreading_activation;
+          Alcotest.test_case "katz ring" `Quick test_katz_ring_uniform;
+          Alcotest.test_case "katz sink" `Quick test_katz_favours_pointed_at;
+          Alcotest.test_case "hits" `Quick test_hits_bipartite;
+          Alcotest.test_case "top_k" `Quick test_top_k;
+        ] );
+      ( "tensor",
+        [
+          Alcotest.test_case "slices" `Quick test_tensor_slices;
+          Alcotest.test_case "label sum" `Quick test_tensor_label_sum_counts_parallel;
+          Alcotest.test_case "contract" `Quick test_tensor_contract_counts_paths;
+          qcheck_tensor_contract_matches_traversal;
+        ] );
+      ( "assortativity",
+        [
+          Alcotest.test_case "discrete perfect" `Quick
+            test_discrete_assortativity_perfect;
+          Alcotest.test_case "discrete negative" `Quick
+            test_discrete_assortativity_disassortative;
+          Alcotest.test_case "scalar" `Quick test_scalar_assortativity_sign;
+          Alcotest.test_case "degree nan" `Quick
+            test_degree_assortativity_nan_on_regular;
+          Alcotest.test_case "empty" `Quick test_assortativity_empty_graph;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "two cycles" `Quick test_scc_two_cycles;
+          Alcotest.test_case "dag singletons" `Quick test_scc_dag_all_singletons;
+          Alcotest.test_case "ring" `Quick test_scc_ring_single;
+          Alcotest.test_case "weak" `Quick test_weak_components;
+          Alcotest.test_case "condensation" `Quick test_condensation_is_dag;
+          qcheck_scc_mutual_reachability;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "path graph" `Quick test_metrics_path_graph;
+          Alcotest.test_case "triangle" `Quick test_metrics_clustering_triangle;
+          Alcotest.test_case "star" `Quick test_metrics_clustering_star;
+          Alcotest.test_case "empty" `Quick test_metrics_empty_graph;
+        ] );
+      ( "communities",
+        [
+          Alcotest.test_case "two cliques" `Quick test_label_propagation_two_cliques;
+          Alcotest.test_case "modularity" `Quick test_modularity_bounds;
+          Alcotest.test_case "isolated" `Quick test_label_propagation_isolated;
+        ] );
+      ( "derived_view",
+        [
+          Alcotest.test_case "insertions" `Quick test_view_tracks_insertions;
+          Alcotest.test_case "removals" `Quick test_view_tracks_removals;
+          Alcotest.test_case "repeated label" `Quick test_view_repeated_label_word;
+          Alcotest.test_case "dimension growth" `Quick
+            test_view_dimension_growth_rebuilds;
+          Alcotest.test_case "skeleton" `Quick test_view_simple_graph_skeleton;
+          qcheck_view_consistency_under_churn;
+        ] );
+      ( "iv-c",
+        [
+          Alcotest.test_case "semantics differ" `Quick
+            test_semantics_difference_label_blind_vs_derived;
+        ] );
+    ]

@@ -1,0 +1,187 @@
+open Mrpa_graph
+open Mrpa_core
+open Mrpa_baseline
+module H = Helpers
+
+let vpath = Alcotest.testable Vpath.pp Vpath.equal
+
+(* --- Vpath ---------------------------------------------------------------- *)
+
+let test_vpath_basic () =
+  let p = Vpath.of_edge 0 1 in
+  Alcotest.(check int) "length" 1 (Vpath.length p);
+  Alcotest.(check (option int)) "first" (Some 0) (Vpath.first p);
+  Alcotest.(check (option int)) "last" (Some 1) (Vpath.last p);
+  Alcotest.(check int) "single vertex length" 0 (Vpath.length (Vpath.of_vertex 5))
+
+let test_vpath_concat_merges_endpoint () =
+  (* ij ∘ jk = ijk — the defining behaviour of the [4]-style algebra *)
+  let p = Vpath.concat (Vpath.of_edge 0 1) (Vpath.of_edge 1 2) in
+  Alcotest.(check (list int)) "ijk" [ 0; 1; 2 ] (Vpath.vertices p);
+  Alcotest.(check int) "length 2" 2 (Vpath.length p)
+
+let test_vpath_concat_rejects_disjoint () =
+  Alcotest.check_raises "disjoint" (Invalid_argument "Vpath.concat: disjoint strings")
+    (fun () -> ignore (Vpath.concat (Vpath.of_edge 0 1) (Vpath.of_edge 2 3)))
+
+let test_vpath_epsilon_identity () =
+  let p = Vpath.of_edge 3 4 in
+  Alcotest.check vpath "ε ∘ p" p (Vpath.concat Vpath.empty p);
+  Alcotest.check vpath "p ∘ ε" p (Vpath.concat p Vpath.empty)
+
+let test_vpath_associative () =
+  let a = Vpath.of_edge 0 1 and b = Vpath.of_edge 1 2 and c = Vpath.of_edge 2 3 in
+  Alcotest.check vpath "assoc"
+    (Vpath.concat (Vpath.concat a b) c)
+    (Vpath.concat a (Vpath.concat b c))
+
+(* --- Vpath_set ------------------------------------------------------------- *)
+
+let test_vpath_set_of_digraph_collapses () =
+  let g = H.parallel_graph () in
+  (* 6 labeled edges, 3 distinct vertex pairs *)
+  Alcotest.(check int) "collapsed to pairs" 3
+    (Vpath_set.cardinal (Vpath_set.of_digraph g))
+
+let test_vpath_set_join () =
+  let g = H.parallel_graph () in
+  let e = Vpath_set.of_digraph g in
+  let two = Vpath_set.join e e in
+  (* pairs: a→b, b→c, c→a; joint 2-strings: abc, bca, cab *)
+  Alcotest.(check int) "3 two-hop strings" 3 (Vpath_set.cardinal two);
+  Alcotest.(check bool) "abc present" true
+    (Vpath_set.mem
+       (Vpath.of_vertices [ H.v g "a"; H.v g "b"; H.v g "c" ])
+       two)
+
+let test_vpath_set_join_power_and_restrict () =
+  let g = H.parallel_graph () in
+  let e = Vpath_set.of_digraph g in
+  Alcotest.(check int) "power 0 = {ε}" 1 (Vpath_set.cardinal (Vpath_set.join_power e 0));
+  let from_a =
+    Vpath_set.source_restrict (Vertex.Set.singleton (H.v g "a")) (Vpath_set.join_power e 2)
+  in
+  Alcotest.(check int) "abc only" 1 (Vpath_set.cardinal from_a);
+  let to_a =
+    Vpath_set.dest_restrict (Vertex.Set.singleton (H.v g "a")) (Vpath_set.join_power e 2)
+  in
+  Alcotest.(check int) "bca only" 1 (Vpath_set.cardinal to_a)
+
+(* The structural theorem behind EXP-T7: projecting ternary joint paths to
+   vertex strings gives exactly the binary algebra's join results. *)
+let vstring_of_path p =
+  match Path.vertices p with [] -> Vpath.empty | vs -> Vpath.of_vertices vs
+
+let qcheck_projection_homomorphism =
+  H.qtest ~count:80 "ternary join projects onto binary join" H.with_graph_gen
+    H.print_with_graph (fun (recipe, _) ->
+      let g = H.graph_of_recipe recipe in
+      let ternary = Path_set.join (Path_set.all_edges g) (Path_set.all_edges g) in
+      let projected =
+        Path_set.fold
+          (fun p acc -> Vpath.Set.add (vstring_of_path p) acc)
+          ternary Vpath.Set.empty
+      in
+      let binary =
+        Vpath_set.join (Vpath_set.of_digraph g) (Vpath_set.of_digraph g)
+      in
+      Vpath_set.equal projected binary)
+
+(* --- Label_recovery ---------------------------------------------------------- *)
+
+let test_labels_between () =
+  let g = H.parallel_graph () in
+  Alcotest.(check int) "a→b has 2 labels" 2
+    (List.length (Label_recovery.labels_between g (H.v g "a") (H.v g "b")));
+  Alcotest.(check int) "b→c has 3" 3
+    (List.length (Label_recovery.labels_between g (H.v g "b") (H.v g "c")));
+  Alcotest.(check int) "no edge" 0
+    (List.length (Label_recovery.labels_between g (H.v g "a") (H.v g "c")))
+
+let test_word_count_multiplies () =
+  let g = H.parallel_graph () in
+  let abc = Vpath.of_vertices [ H.v g "a"; H.v g "b"; H.v g "c" ] in
+  (* 2 × 3 candidate words *)
+  Alcotest.(check int) "2×3" 6 (Label_recovery.word_count g abc);
+  Alcotest.(check bool) "ambiguous" true (Label_recovery.is_ambiguous g abc);
+  Alcotest.(check int) "trivial path" 1
+    (Label_recovery.word_count g Vpath.empty)
+
+let test_word_count_unrealisable () =
+  let g = H.parallel_graph () in
+  let ghost = Vpath.of_vertices [ H.v g "a"; H.v g "c" ] in
+  Alcotest.(check int) "0 words" 0 (Label_recovery.word_count g ghost)
+
+let test_words_enumeration () =
+  let g = H.parallel_graph () in
+  let abc = Vpath.of_vertices [ H.v g "a"; H.v g "b"; H.v g "c" ] in
+  let ws = Label_recovery.words g abc in
+  Alcotest.(check int) "6 words" 6 (List.length ws);
+  List.iter (fun w -> Alcotest.(check int) "length 2" 2 (List.length w)) ws;
+  let capped = Label_recovery.words ~limit:4 g abc in
+  Alcotest.(check int) "capped" 4 (List.length capped)
+
+let test_census () =
+  let g = H.parallel_graph () in
+  let e = Vpath_set.of_digraph g in
+  let two = Vpath_set.join e e in
+  let c = Label_recovery.census g two in
+  (* strings: abc (2·3=6), bca (3·1=3), cab (1·2=2) — all ambiguous *)
+  Alcotest.(check int) "total" 3 c.Label_recovery.total;
+  Alcotest.(check int) "ambiguous" 3 c.Label_recovery.ambiguous;
+  Alcotest.(check int) "unambiguous" 0 c.Label_recovery.unambiguous;
+  Alcotest.(check int) "max words" 6 c.Label_recovery.max_words;
+  Alcotest.(check int) "total words" 11 c.Label_recovery.total_words
+
+let test_census_unambiguous_graph () =
+  (* single-relational graph: every string has exactly one word *)
+  let g = Generate.ring ~n:4 ~n_labels:1 in
+  let e = Vpath_set.of_digraph g in
+  let two = Vpath_set.join e e in
+  let c = Label_recovery.census g two in
+  Alcotest.(check int) "all unambiguous" c.Label_recovery.total
+    c.Label_recovery.unambiguous;
+  Alcotest.(check int) "no ambiguity" 0 c.Label_recovery.ambiguous
+
+(* ternary vs binary cardinalities: the ternary algebra distinguishes paths
+   the binary one cannot. *)
+let test_ternary_distinguishes_more () =
+  let g = H.parallel_graph () in
+  let ternary = Path_set.join (Path_set.all_edges g) (Path_set.all_edges g) in
+  let binary = Vpath_set.join (Vpath_set.of_digraph g) (Vpath_set.of_digraph g) in
+  Alcotest.(check int) "ternary count = total label words" 11
+    (Path_set.cardinal ternary);
+  Alcotest.(check int) "binary count" 3 (Vpath_set.cardinal binary)
+
+let () =
+  Alcotest.run "mrpa_baseline"
+    [
+      ( "vpath",
+        [
+          Alcotest.test_case "basic" `Quick test_vpath_basic;
+          Alcotest.test_case "merge concat" `Quick test_vpath_concat_merges_endpoint;
+          Alcotest.test_case "disjoint rejected" `Quick
+            test_vpath_concat_rejects_disjoint;
+          Alcotest.test_case "epsilon" `Quick test_vpath_epsilon_identity;
+          Alcotest.test_case "associative" `Quick test_vpath_associative;
+        ] );
+      ( "vpath_set",
+        [
+          Alcotest.test_case "projection collapses" `Quick
+            test_vpath_set_of_digraph_collapses;
+          Alcotest.test_case "join" `Quick test_vpath_set_join;
+          Alcotest.test_case "power/restrict" `Quick
+            test_vpath_set_join_power_and_restrict;
+          qcheck_projection_homomorphism;
+        ] );
+      ( "label_recovery",
+        [
+          Alcotest.test_case "labels_between" `Quick test_labels_between;
+          Alcotest.test_case "word count" `Quick test_word_count_multiplies;
+          Alcotest.test_case "unrealisable" `Quick test_word_count_unrealisable;
+          Alcotest.test_case "words" `Quick test_words_enumeration;
+          Alcotest.test_case "census" `Quick test_census;
+          Alcotest.test_case "unambiguous graph" `Quick test_census_unambiguous_graph;
+          Alcotest.test_case "ternary vs binary" `Quick test_ternary_distinguishes_more;
+        ] );
+    ]

@@ -1,0 +1,661 @@
+open Mrpa_graph
+open Mrpa_core
+module H = Helpers
+
+(* --- Selector ---------------------------------------------------------- *)
+
+let test_selector_matches () =
+  let g = H.paper_graph () in
+  let i = H.v g "i" and j = H.v g "j" in
+  let alpha = H.l g "alpha" in
+  let e_ij = H.e g "i" "alpha" "j" in
+  let e_jk = H.e g "j" "beta" "k" in
+  Alcotest.(check bool) "universe" true (Selector.matches Selector.universe e_ij);
+  Alcotest.(check bool) "[i,_,_] yes" true (Selector.matches (Selector.src1 i) e_ij);
+  Alcotest.(check bool) "[i,_,_] no" false (Selector.matches (Selector.src1 i) e_jk);
+  Alcotest.(check bool) "[_,α,_]" true
+    (Selector.matches (Selector.label1 alpha) e_ij);
+  Alcotest.(check bool) "[_,_,j]" true (Selector.matches (Selector.dst1 j) e_ij);
+  Alcotest.(check bool) "{e}" true (Selector.matches (Selector.edge e_ij) e_ij);
+  Alcotest.(check bool) "{e} other" false (Selector.matches (Selector.edge e_ij) e_jk)
+
+let test_selector_boolean_ops () =
+  let g = H.paper_graph () in
+  let i = H.v g "i" in
+  let alpha = H.l g "alpha" in
+  let e_ij = H.e g "i" "alpha" "j" in
+  let e_ik_beta = H.e g "i" "beta" "k" in
+  let s = Selector.inter (Selector.src1 i) (Selector.label1 alpha) in
+  Alcotest.(check bool) "inter yes" true (Selector.matches s e_ij);
+  Alcotest.(check bool) "inter no" false (Selector.matches s e_ik_beta);
+  let d = Selector.diff (Selector.src1 i) (Selector.label1 alpha) in
+  Alcotest.(check bool) "diff" true (Selector.matches d e_ik_beta);
+  Alcotest.(check bool) "complement" false
+    (Selector.matches (Selector.complement Selector.universe) e_ij)
+
+let test_selector_enumerate_paper_sets () =
+  let g = H.paper_graph () in
+  (* [i,_,_] : all edges emanating from i *)
+  let from_i = Selector.enumerate g (Selector.src1 (H.v g "i")) in
+  Alcotest.(check int) "[i,_,_]" 3 (List.length from_i);
+  (* [_,β,_] : the four β edges *)
+  let betas = Selector.enumerate g (Selector.label1 (H.l g "beta")) in
+  Alcotest.(check int) "[_,β,_]" 4 (List.length betas);
+  (* [_,_,j] : arrivals at j *)
+  let to_j = Selector.enumerate g (Selector.dst1 (H.v g "j")) in
+  Alcotest.(check int) "[_,_,j]" 3 (List.length to_j);
+  (* [_,_,_] = E *)
+  Alcotest.(check int) "universe" 7
+    (List.length (Selector.enumerate g Selector.universe))
+
+let test_selector_enumerate_no_duplicates () =
+  let g = H.paper_graph () in
+  let s =
+    Selector.union (Selector.src1 (H.v g "i")) (Selector.label1 (H.l g "alpha"))
+  in
+  let es = Selector.enumerate g s in
+  let distinct = Edge.Set.of_list es in
+  Alcotest.(check int) "distinct" (Edge.Set.cardinal distinct) (List.length es)
+
+let test_selector_explicit_intersects_graph () =
+  let g = H.paper_graph () in
+  let ghost = Edge.make ~tail:(H.v g "i") ~label:(H.l g "alpha") ~head:(H.v g "i") in
+  let s = Selector.edges (Edge.Set.of_list [ ghost; H.e g "i" "alpha" "j" ]) in
+  Alcotest.(check int) "ghost edge dropped" 1 (List.length (Selector.enumerate g s))
+
+let test_selector_select_out () =
+  let g = H.paper_graph () in
+  let j = H.v g "j" in
+  let beta = H.l g "beta" in
+  Alcotest.(check int) "β out of j" 3
+    (List.length (Selector.select_out g (Selector.label1 beta) j));
+  Alcotest.(check int) "α into j" 2
+    (List.length (Selector.select_in g (Selector.label1 (H.l g "alpha")) (H.v g "j")))
+
+let qcheck_size_hint_upper_bound =
+  H.qtest ~count:150 "size_hint never underestimates" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let s = H.random_selector rng g in
+      List.length (Selector.enumerate g s) <= Selector.size_hint g s)
+
+let qcheck_enumerate_agrees_with_matches =
+  H.qtest ~count:150 "enumerate = filter matches E" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let s = H.random_selector rng g in
+      let by_enum = Edge.Set.of_list (Selector.enumerate g s) in
+      let by_filter =
+        Edge.Set.of_list (List.filter (Selector.matches s) (Digraph.edges g))
+      in
+      Edge.Set.equal by_enum by_filter)
+
+(* --- Path_set: the paper's §II worked example --------------------------- *)
+
+let test_join_paper_worked_example () =
+  let g = H.paper_graph () in
+  let e = H.e g in
+  let a =
+    Path_set.of_list
+      [
+        Path.of_edge (e "i" "alpha" "j");
+        Path.of_edges [ e "j" "beta" "k"; e "k" "alpha" "j" ];
+      ]
+  in
+  let b =
+    Path_set.of_list
+      [
+        Path.of_edge (e "j" "beta" "j");
+        Path.of_edges [ e "j" "beta" "i"; e "i" "alpha" "k" ];
+        Path.of_edge (e "i" "beta" "k");
+      ]
+  in
+  let expected =
+    Path_set.of_list
+      [
+        Path.of_edges [ e "i" "alpha" "j"; e "j" "beta" "j" ];
+        Path.of_edges [ e "i" "alpha" "j"; e "j" "beta" "i"; e "i" "alpha" "k" ];
+        Path.of_edges [ e "j" "beta" "k"; e "k" "alpha" "j"; e "j" "beta" "j" ];
+        Path.of_edges
+          [ e "j" "beta" "k"; e "k" "alpha" "j"; e "j" "beta" "i"; e "i" "alpha" "k" ];
+      ]
+  in
+  Alcotest.check H.path_set "A ./∘ B as printed in the paper" expected
+    (Path_set.join a b)
+
+let test_join_epsilon_identity () =
+  let g = H.paper_graph () in
+  let a = Path_set.all_edges g in
+  Alcotest.check H.path_set "ε ./∘ A = A" a (Path_set.join Path_set.epsilon a);
+  Alcotest.check H.path_set "A ./∘ ε = A" a (Path_set.join a Path_set.epsilon)
+
+let test_join_empty_annihilates () =
+  let g = H.paper_graph () in
+  let a = Path_set.all_edges g in
+  Alcotest.check H.path_set "∅ ./∘ A" Path_set.empty (Path_set.join Path_set.empty a);
+  Alcotest.check H.path_set "A ./∘ ∅" Path_set.empty (Path_set.join a Path_set.empty)
+
+let test_product_includes_disjoint () =
+  let g = H.paper_graph () in
+  let p1 = Path_set.singleton (Path.of_edge (H.e g "i" "alpha" "j")) in
+  let p2 = Path_set.singleton (Path.of_edge (H.e g "i" "beta" "k")) in
+  (* (i,α,j) and (i,β,k) are not adjacent: join empty, product single. *)
+  Alcotest.check H.path_set "join empty" Path_set.empty (Path_set.join p1 p2);
+  Alcotest.(check int) "product has it" 1 (Path_set.cardinal (Path_set.product p1 p2));
+  Alcotest.(check bool) "product path disjoint" false
+    (Path.is_joint (List.hd (Path_set.elements (Path_set.product p1 p2))))
+
+let qcheck_join_associative =
+  H.qtest ~count:60 "join associative" H.with_graph_gen H.print_with_graph
+    (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let subset () =
+        Path_set.of_edges
+          (List.filter (fun _ -> Prng.bool rng) (Digraph.edges g))
+      in
+      let a = subset () and b = subset () and c = subset () in
+      Path_set.equal
+        (Path_set.join (Path_set.join a b) c)
+        (Path_set.join a (Path_set.join b c)))
+
+let qcheck_join_subset_of_product =
+  H.qtest ~count:100 "R ./∘ Q ⊆ R ×∘ Q (footnote 7)" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let a = Path_set.of_list (List.init 4 (fun _ -> H.random_path rng g 3)) in
+      let b = Path_set.of_list (List.init 4 (fun _ -> H.random_path rng g 3)) in
+      Path_set.subset (Path_set.join a b) (Path_set.product a b))
+
+let qcheck_join_is_filtered_product =
+  H.qtest ~count:100 "join = product filtered on boundary" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let la = List.init 4 (fun _ -> H.random_path rng g 3) in
+      let lb = List.init 4 (fun _ -> H.random_path rng g 3) in
+      let a = Path_set.of_list la and b = Path_set.of_list lb in
+      let filtered =
+        List.concat_map
+          (fun pa ->
+            List.filter_map
+              (fun pb ->
+                if Path.adjacent pa pb then Some (Path.concat pa pb) else None)
+              lb)
+          la
+        |> Path_set.of_list
+      in
+      Path_set.equal (Path_set.join a b) filtered)
+
+let qcheck_join_distributes_over_union =
+  H.qtest ~count:60 "A ./∘ (B ∪ C) = (A ./∘ B) ∪ (A ./∘ C)" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let rand_set () =
+        Path_set.of_list (List.init 3 (fun _ -> H.random_walk rng g 3))
+      in
+      let a = rand_set () and b = rand_set () and c = rand_set () in
+      Path_set.equal
+        (Path_set.join a (Path_set.union b c))
+        (Path_set.union (Path_set.join a b) (Path_set.join a c)))
+
+let qcheck_joint_operands_give_joint_paths =
+  H.qtest ~count:100 "join of joint sets is joint" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let rand_set () =
+        Path_set.of_list (List.init 4 (fun _ -> H.random_walk rng g 3))
+      in
+      let joined = Path_set.join (rand_set ()) (rand_set ()) in
+      Path_set.fold (fun p acc -> acc && Path.is_joint p) joined true)
+
+let test_join_power () =
+  let g = Generate.ring ~n:4 ~n_labels:1 in
+  let e = Path_set.all_edges g in
+  (* ring: exactly n joint paths of each length *)
+  Alcotest.(check int) "power 0" 1 (Path_set.cardinal (Path_set.join_power e 0));
+  Alcotest.(check int) "power 1" 4 (Path_set.cardinal (Path_set.join_power e 1));
+  Alcotest.(check int) "power 3" 4 (Path_set.cardinal (Path_set.join_power e 3));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Path_set.join_power: negative exponent") (fun () ->
+      ignore (Path_set.join_power e (-1)))
+
+let test_star_bounded () =
+  let g = Generate.ring ~n:3 ~n_labels:1 in
+  let e = Path_set.all_edges g in
+  let s = Path_set.star_bounded e ~max_length:4 in
+  (* lengths 0..4: 1 + 3 + 3 + 3 + 3 *)
+  Alcotest.(check int) "cardinal" 13 (Path_set.cardinal s);
+  Alcotest.(check int) "max length respected" 4 (Path_set.max_length s);
+  Alcotest.(check bool) "contains ε" true (Path_set.mem Path.empty s)
+
+let test_restrict_and_endpoints () =
+  let g = H.paper_graph () in
+  let i = H.v g "i" in
+  let all = Path_set.all_edges g in
+  let from_i = Path_set.restrict_source (Vertex.Set.singleton i) all in
+  Alcotest.(check int) "3 from i" 3 (Path_set.cardinal from_i);
+  let pairs = Path_set.endpoint_pairs from_i in
+  Alcotest.(check int) "2 endpoint pairs (i→j, i→k)" 2 (List.length pairs);
+  Alcotest.(check bool) "ε not kept" true
+    (Path_set.is_empty (Path_set.restrict_source (Vertex.Set.singleton i) Path_set.epsilon))
+
+(* --- Traversal (§III) --------------------------------------------------- *)
+
+let test_complete_traversal_lattice () =
+  (* 2x2 lattice: 4 edges; joint 2-paths: x00→x01→x11 and x00→x10→x11 *)
+  let g = Generate.lattice ~rows:2 ~cols:2 in
+  Alcotest.(check int) "length 1 = |E|" 4
+    (Path_set.cardinal (Traversal.complete g ~length:1));
+  Alcotest.(check int) "length 2" 2
+    (Path_set.cardinal (Traversal.complete g ~length:2));
+  Alcotest.(check int) "length 3 none" 0
+    (Path_set.cardinal (Traversal.complete g ~length:3));
+  Alcotest.(check int) "length 0 = {ε}" 1
+    (Path_set.cardinal (Traversal.complete g ~length:0))
+
+let test_source_traversal () =
+  let g = Generate.lattice ~rows:2 ~cols:2 in
+  let x00 = H.v g "x0_0" and x01 = H.v g "x0_1" in
+  let from00 = Traversal.source g ~from:(Vertex.Set.singleton x00) ~length:2 in
+  Alcotest.(check int) "both 2-paths from corner" 2 (Path_set.cardinal from00);
+  let from01 = Traversal.source g ~from:(Vertex.Set.singleton x01) ~length:2 in
+  Alcotest.(check int) "one 2-path? none (x01 only reaches x11 in 1)" 0
+    (Path_set.cardinal from01);
+  (* Vs = V degenerates to complete traversal *)
+  let all = Vertex.Set.of_list (Digraph.vertices g) in
+  Alcotest.check H.path_set "Vs = V means complete"
+    (Traversal.complete g ~length:2)
+    (Traversal.source g ~from:all ~length:2)
+
+let test_destination_traversal () =
+  let g = Generate.lattice ~rows:2 ~cols:2 in
+  let x11 = H.v g "x1_1" in
+  let into = Traversal.destination g ~into:(Vertex.Set.singleton x11) ~length:2 in
+  Alcotest.(check int) "2 paths into far corner" 2 (Path_set.cardinal into);
+  let all = Vertex.Set.of_list (Digraph.vertices g) in
+  Alcotest.check H.path_set "Vd = V means complete"
+    (Traversal.complete g ~length:1)
+    (Traversal.destination g ~into:all ~length:1)
+
+let test_between_traversal () =
+  let g = Generate.lattice ~rows:2 ~cols:2 in
+  let x00 = H.v g "x0_0" and x11 = H.v g "x1_1" in
+  let p =
+    Traversal.between g
+      ~from:(Vertex.Set.singleton x00)
+      ~into:(Vertex.Set.singleton x11)
+      ~length:2
+  in
+  Alcotest.(check int) "corner to corner" 2 (Path_set.cardinal p);
+  let p1 =
+    Traversal.between g
+      ~from:(Vertex.Set.singleton x00)
+      ~into:(Vertex.Set.singleton x11)
+      ~length:1
+  in
+  Alcotest.(check int) "no single hop corner to corner" 0 (Path_set.cardinal p1)
+
+let test_labeled_traversal () =
+  let g = Generate.lattice ~rows:2 ~cols:2 in
+  let right = H.l g "right" and down = H.l g "down" in
+  let rd =
+    Traversal.labeled g
+      ~labels:[ Label.Set.singleton right; Label.Set.singleton down ]
+  in
+  (* right-then-down from x00 only *)
+  Alcotest.(check int) "one rd-path" 1 (Path_set.cardinal rd);
+  let p = List.hd (Path_set.elements rd) in
+  Alcotest.(check (list int)) "label word" [ right; down ] (Path.label_word p);
+  (* Ωe = Ωf = Ω degenerates to complete *)
+  let omega = Label.Set.of_list (Digraph.labels g) in
+  Alcotest.check H.path_set "Ω steps = complete"
+    (Traversal.complete g ~length:2)
+    (Traversal.labeled g ~labels:[ omega; omega ])
+
+let test_steps_through_vertex () =
+  let g = Generate.lattice ~rows:2 ~cols:2 in
+  let x01 = H.v g "x0_1" in
+  (* 2-step paths that pass through x01 after the first edge *)
+  let through =
+    Traversal.steps g
+      [ Selector.dst_in (Vertex.Set.singleton x01); Selector.universe ]
+  in
+  Alcotest.(check int) "via x01" 1 (Path_set.cardinal through)
+
+let test_complement_vertices () =
+  let g = H.paper_graph () in
+  let i = H.v g "i" in
+  let comp = Traversal.complement_vertices g (Vertex.Set.singleton i) in
+  Alcotest.(check int) "two left" 2 (Vertex.Set.cardinal comp);
+  Alcotest.(check bool) "i excluded" false (Vertex.Set.mem i comp)
+
+let test_neighbourhood () =
+  let g = Generate.lattice ~rows:2 ~cols:2 in
+  let x00 = H.v g "x0_0" in
+  let n1 = Traversal.neighbourhood g ~from:(Vertex.Set.singleton x00) ~length:1 in
+  Alcotest.check H.vertex_set "one step"
+    (Vertex.Set.of_list [ H.v g "x0_1"; H.v g "x1_0" ])
+    n1;
+  let n0 = Traversal.neighbourhood g ~from:(Vertex.Set.singleton x00) ~length:0 in
+  Alcotest.check H.vertex_set "zero steps" (Vertex.Set.singleton x00) n0
+
+let qcheck_steps_planned_equals_steps =
+  H.qtest ~count:80 "steps_planned = steps (any join order)" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let sels = List.init (1 + Prng.int rng 3) (fun _ -> H.random_selector rng g) in
+      Path_set.equal (Traversal.steps g sels) (Traversal.steps_planned g sels))
+
+let test_steps_planned_trivia () =
+  let g = H.paper_graph () in
+  Alcotest.check H.path_set "empty list" Path_set.epsilon
+    (Traversal.steps_planned g []);
+  Alcotest.check H.path_set "singleton"
+    (Path_set.all_edges g)
+    (Traversal.steps_planned g [ Selector.universe ])
+
+let qcheck_source_restriction_consistent =
+  H.qtest ~count:60 "source traversal = complete filtered" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let vs =
+        Vertex.Set.of_list
+          [ Prng.pick rng (Array.of_list (Digraph.vertices g)) ]
+      in
+      let direct = Traversal.source g ~from:vs ~length:2 in
+      let filtered =
+        Path_set.restrict_source vs (Traversal.complete g ~length:2)
+      in
+      Path_set.equal direct filtered)
+
+(* --- Label_expr (regular expressions over Omega, ref [8]) ----------------- *)
+
+let test_label_expr_matching () =
+  let alpha = 0 and beta = 1 in
+  let open Label_expr in
+  let r = concat (lbl alpha) (star (lbl beta)) in
+  Alcotest.(check bool) "a" true (matches_word r [ alpha ]);
+  Alcotest.(check bool) "ab" true (matches_word r [ alpha; beta ]);
+  Alcotest.(check bool) "abbb" true (matches_word r [ alpha; beta; beta; beta ]);
+  Alcotest.(check bool) "b" false (matches_word r [ beta ]);
+  Alcotest.(check bool) "eps" false (matches_word r []);
+  Alcotest.(check bool) "eps in star" true (matches_word (star (lbl alpha)) []);
+  Alcotest.(check bool) "union" true
+    (matches_word (union (lbl alpha) (lbl beta)) [ beta ])
+
+let test_label_expr_smart_constructors () =
+  let open Label_expr in
+  Alcotest.(check bool) "empty union" true (equal (union empty (lbl 0)) (lbl 0));
+  Alcotest.(check bool) "empty concat" true (equal (concat empty (lbl 0)) empty);
+  Alcotest.(check bool) "eps concat" true (equal (concat epsilon (lbl 0)) (lbl 0));
+  Alcotest.(check bool) "star star" true
+    (equal (star (star (lbl 0))) (star (lbl 0)));
+  Alcotest.(check bool) "star eps" true (equal (star epsilon) epsilon);
+  Alcotest.(check bool) "empty label set" true
+    (equal (lbl_in Mrpa_graph.Label.Set.empty) empty)
+
+let test_label_expr_accepts_path () =
+  let g = H.paper_graph () in
+  let alpha = H.l g "alpha" and beta = H.l g "beta" in
+  let open Label_expr in
+  let r = concat (lbl alpha) (lbl beta) in
+  let joint = Path.of_edges [ H.e g "i" "alpha" "j"; H.e g "j" "beta" "k" ] in
+  let disjoint = Path.of_edges [ H.e g "i" "alpha" "j"; H.e g "i" "beta" "k" ] in
+  Alcotest.(check bool) "joint ab accepted" true (accepts_path r joint);
+  Alcotest.(check bool) "disjoint ab rejected (jointness required)" false
+    (accepts_path r disjoint);
+  Alcotest.(check bool) "eps iff nullable" true
+    (accepts_path (star (lbl alpha)) Path.empty);
+  Alcotest.(check bool) "eps rejected by strict" false
+    (accepts_path (lbl alpha) Path.empty)
+
+let qcheck_label_expr_derivative_law =
+  H.qtest ~count:150 "matches (l::w) = matches (deriv l) w"
+    QCheck2.Gen.(int_bound 100_000)
+    string_of_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let rec random_lexpr depth =
+        if depth = 0 then
+          match Prng.int rng 3 with
+          | 0 -> Label_expr.epsilon
+          | _ -> Label_expr.lbl (Prng.int rng 3)
+        else
+          match Prng.int rng 4 with
+          | 0 ->
+            Label_expr.union (random_lexpr (depth - 1)) (random_lexpr (depth - 1))
+          | 1 | 2 ->
+            Label_expr.concat (random_lexpr (depth - 1)) (random_lexpr (depth - 1))
+          | _ -> Label_expr.star (random_lexpr (depth - 1))
+      in
+      let r = random_lexpr 2 in
+      let word = List.init (Prng.int rng 5) (fun _ -> Prng.int rng 3) in
+      match word with
+      | [] -> Label_expr.matches_word r word = Label_expr.nullable r
+      | l :: rest ->
+        Label_expr.matches_word r word
+        = Label_expr.matches_word (Label_expr.derivative r l) rest)
+
+let qcheck_label_expr_embedding =
+  H.qtest ~count:60 "to_expr embedding theorem" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let labels = Array.of_list (Digraph.labels g) in
+      let rec random_lexpr depth =
+        if depth = 0 then Label_expr.lbl (Prng.pick rng labels)
+        else
+          match Prng.int rng 4 with
+          | 0 ->
+            Label_expr.union (random_lexpr (depth - 1)) (random_lexpr (depth - 1))
+          | 1 | 2 ->
+            Label_expr.concat (random_lexpr (depth - 1)) (random_lexpr (depth - 1))
+          | _ -> Label_expr.star (random_lexpr (depth - 1))
+      in
+      let r = random_lexpr 2 in
+      let max_length = 3 in
+      let denoted = Expr.denote g ~max_length (Label_expr.to_expr r) in
+      (* candidates: all joint paths up to the bound *)
+      let candidates = ref Path_set.epsilon in
+      for len = 1 to max_length do
+        candidates := Path_set.union !candidates (Traversal.complete g ~length:len)
+      done;
+      let filtered = Path_set.filter (Label_expr.accepts_path r) !candidates in
+      Path_set.equal denoted filtered)
+
+let test_restrict_simple () =
+  let g = Generate.ring ~n:3 ~n_labels:1 in
+  let all = Path_set.star_bounded (Path_set.all_edges g) ~max_length:4 in
+  let simple = Path_set.restrict_simple all in
+  (* ring of 3: simple paths are lengths 0,1,2 only (length 3 returns home) *)
+  Alcotest.(check int) "1 + 3 + 3" 7 (Path_set.cardinal simple)
+
+(* --- Expr ---------------------------------------------------------------- *)
+
+let test_expr_nullable () =
+  let s = Expr.sel Selector.universe in
+  Alcotest.(check bool) "ε" true (Expr.nullable Expr.epsilon);
+  Alcotest.(check bool) "∅" false (Expr.nullable Expr.empty);
+  Alcotest.(check bool) "sel" false (Expr.nullable s);
+  Alcotest.(check bool) "star" true (Expr.nullable (Expr.star s));
+  Alcotest.(check bool) "opt" true (Expr.nullable (Expr.opt s));
+  Alcotest.(check bool) "plus" false (Expr.nullable (Expr.plus s));
+  Alcotest.(check bool) "join" false (Expr.nullable (Expr.join (Expr.star s) s));
+  Alcotest.(check bool) "join nullables" true
+    (Expr.nullable (Expr.join (Expr.star s) (Expr.opt s)))
+
+let test_expr_structure () =
+  let s = Expr.sel Selector.universe in
+  Alcotest.(check bool) "no product" false (Expr.uses_product (Expr.join s s));
+  Alcotest.(check bool) "product" true (Expr.uses_product (Expr.product s s));
+  Alcotest.(check int) "size" 3 (Expr.size (Expr.join s s));
+  Alcotest.(check int) "selectors dedup" 1 (List.length (Expr.selectors (Expr.join s s)))
+
+let test_expr_repeat () =
+  let s = Expr.sel Selector.universe in
+  Alcotest.(check bool) "repeat 0 = ε" true (Expr.equal (Expr.repeat s 0) Expr.epsilon);
+  Alcotest.check_raises "negative" (Invalid_argument "Expr.repeat: negative count")
+    (fun () -> ignore (Expr.repeat s (-1)))
+
+let denote_eq g r1 r2 ~max_length =
+  Path_set.equal (Expr.denote g ~max_length r1) (Expr.denote g ~max_length r2)
+
+let test_expr_denote_footnote8 () =
+  (* R+ = R ./∘ R*, R? = R ∪ {ε}, Rⁿ = R ./∘ … ./∘ R *)
+  let g = H.paper_graph () in
+  let r = Expr.sel (Selector.label1 (H.l g "beta")) in
+  Alcotest.(check bool) "plus" true
+    (denote_eq g (Expr.plus r) (Expr.join r (Expr.star r)) ~max_length:4);
+  Alcotest.(check bool) "opt" true
+    (denote_eq g (Expr.opt r) (Expr.union r Expr.epsilon) ~max_length:4);
+  Alcotest.(check bool) "repeat 3" true
+    (denote_eq g (Expr.repeat r 3) (Expr.join (Expr.join r r) r) ~max_length:4)
+
+let test_expr_denote_vs_traversal () =
+  let g = H.paper_graph () in
+  let universe = Expr.sel Selector.universe in
+  Alcotest.check H.path_set "E.E = complete 2"
+    (Traversal.complete g ~length:2)
+    (Expr.denote g ~max_length:2 (Expr.join universe universe))
+
+let test_expr_denote_star_contains_epsilon () =
+  let g = H.paper_graph () in
+  let r = Expr.star (Expr.sel Selector.universe) in
+  Alcotest.(check bool) "ε ∈ E*" true
+    (Path_set.mem Path.empty (Expr.denote g ~max_length:2 r))
+
+let test_expr_denote_product_vs_join () =
+  let g = H.paper_graph () in
+  let a = Expr.sel (Selector.src1 (H.v g "i")) in
+  let j = Expr.denote g ~max_length:2 (Expr.join a a) in
+  let p = Expr.denote g ~max_length:2 (Expr.product a a) in
+  Alcotest.(check bool) "join ⊆ product" true (Path_set.subset j p);
+  Alcotest.(check bool) "product strictly larger here" true
+    (Path_set.cardinal p > Path_set.cardinal j)
+
+let test_expr_repeat_range () =
+  let g = H.paper_graph () in
+  let r = Expr.sel Selector.universe in
+  let rr = Expr.repeat_range r ~min:1 ~max:2 in
+  let expected =
+    Path_set.union
+      (Expr.denote g ~max_length:2 r)
+      (Expr.denote g ~max_length:2 (Expr.repeat r 2))
+  in
+  Alcotest.check H.path_set "1..2 = 1 ∪ 2" expected (Expr.denote g ~max_length:2 rr)
+
+let test_expr_pp () =
+  let s = Expr.sel Selector.universe in
+  let str = Format.asprintf "%a" Expr.pp (Expr.star (Expr.union s Expr.epsilon)) in
+  Alcotest.(check bool) "mentions star" true (String.contains str '*');
+  Alcotest.(check bool) "mentions union" true (String.contains str '|')
+
+let qcheck_denote_length_bound =
+  H.qtest ~count:60 "denote respects max_length" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      let s = Expr.denote g ~max_length:3 r in
+      Path_set.max_length s <= 3)
+
+let qcheck_denote_monotone_in_bound =
+  H.qtest ~count:60 "denote monotone in max_length" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      Path_set.subset (Expr.denote g ~max_length:2 r) (Expr.denote g ~max_length:3 r))
+
+let qcheck_dsl_matches_constructors =
+  H.qtest ~count:40 "Dsl operators = constructors" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let a = H.random_expr rng g and b = H.random_expr rng g in
+      let open Expr.Dsl in
+      Expr.equal (a <|> b) (Expr.union a b)
+      && Expr.equal (a <.> b) (Expr.join a b)
+      && Expr.equal (a >< b) (Expr.product a b)
+      && Expr.equal (a ^^ 2) (Expr.repeat a 2))
+
+let () =
+  Alcotest.run "mrpa_core"
+    [
+      ( "selector",
+        [
+          Alcotest.test_case "matches" `Quick test_selector_matches;
+          Alcotest.test_case "boolean ops" `Quick test_selector_boolean_ops;
+          Alcotest.test_case "paper sets" `Quick test_selector_enumerate_paper_sets;
+          Alcotest.test_case "no duplicates" `Quick
+            test_selector_enumerate_no_duplicates;
+          Alcotest.test_case "explicit ∩ E" `Quick
+            test_selector_explicit_intersects_graph;
+          Alcotest.test_case "select_out/in" `Quick test_selector_select_out;
+          qcheck_size_hint_upper_bound;
+          qcheck_enumerate_agrees_with_matches;
+        ] );
+      ( "path_set",
+        [
+          Alcotest.test_case "paper worked example" `Quick
+            test_join_paper_worked_example;
+          Alcotest.test_case "ε identity" `Quick test_join_epsilon_identity;
+          Alcotest.test_case "∅ annihilates" `Quick test_join_empty_annihilates;
+          Alcotest.test_case "product disjoint" `Quick test_product_includes_disjoint;
+          Alcotest.test_case "join_power" `Quick test_join_power;
+          Alcotest.test_case "star_bounded" `Quick test_star_bounded;
+          Alcotest.test_case "restrict/endpoints" `Quick test_restrict_and_endpoints;
+          qcheck_join_associative;
+          qcheck_join_subset_of_product;
+          qcheck_join_is_filtered_product;
+          qcheck_join_distributes_over_union;
+          qcheck_joint_operands_give_joint_paths;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "complete" `Quick test_complete_traversal_lattice;
+          Alcotest.test_case "source" `Quick test_source_traversal;
+          Alcotest.test_case "destination" `Quick test_destination_traversal;
+          Alcotest.test_case "between" `Quick test_between_traversal;
+          Alcotest.test_case "labeled" `Quick test_labeled_traversal;
+          Alcotest.test_case "through vertex" `Quick test_steps_through_vertex;
+          Alcotest.test_case "complement" `Quick test_complement_vertices;
+          Alcotest.test_case "neighbourhood" `Quick test_neighbourhood;
+          Alcotest.test_case "steps_planned trivia" `Quick test_steps_planned_trivia;
+          qcheck_steps_planned_equals_steps;
+          qcheck_source_restriction_consistent;
+        ] );
+      ( "label_expr",
+        [
+          Alcotest.test_case "matching" `Quick test_label_expr_matching;
+          Alcotest.test_case "smart constructors" `Quick
+            test_label_expr_smart_constructors;
+          Alcotest.test_case "accepts_path" `Quick test_label_expr_accepts_path;
+          Alcotest.test_case "restrict_simple" `Quick test_restrict_simple;
+          qcheck_label_expr_derivative_law;
+          qcheck_label_expr_embedding;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "nullable" `Quick test_expr_nullable;
+          Alcotest.test_case "structure" `Quick test_expr_structure;
+          Alcotest.test_case "repeat" `Quick test_expr_repeat;
+          Alcotest.test_case "footnote 8 identities" `Quick test_expr_denote_footnote8;
+          Alcotest.test_case "denote vs traversal" `Quick test_expr_denote_vs_traversal;
+          Alcotest.test_case "star has ε" `Quick test_expr_denote_star_contains_epsilon;
+          Alcotest.test_case "product vs join" `Quick test_expr_denote_product_vs_join;
+          Alcotest.test_case "repeat range" `Quick test_expr_repeat_range;
+          Alcotest.test_case "pp" `Quick test_expr_pp;
+          qcheck_denote_length_bound;
+          qcheck_denote_monotone_in_bound;
+          qcheck_dsl_matches_constructors;
+        ] );
+    ]

@@ -1,0 +1,680 @@
+open Mrpa_graph
+open Mrpa_core
+open Mrpa_engine
+module H = Helpers
+
+(* --- Lexer ------------------------------------------------------------- *)
+
+let tokens_of s = List.map (fun l -> l.Lexer.token) (Lexer.tokenize s)
+
+let test_lexer_symbols () =
+  Alcotest.(check int) "count" 12
+    (List.length (tokens_of "[ ] { } ( ) , . | * + ?") - 1);
+  Alcotest.(check bool) "cross" true
+    (List.mem Lexer.CROSS (tokens_of "a >< b"))
+
+let test_lexer_idents_and_ints () =
+  (match tokens_of "knows v12 34" with
+  | [ Lexer.IDENT "knows"; Lexer.IDENT "v12"; Lexer.INT 34; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "unexpected tokens");
+  match tokens_of "\"white space\" 'single'" with
+  | [ Lexer.IDENT "white space"; Lexer.IDENT "single"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "quoted strings"
+
+let test_lexer_underscore () =
+  match tokens_of "_ _x" with
+  | [ Lexer.UNDERSCORE; Lexer.IDENT "_x"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "underscore handling"
+
+let test_lexer_errors () =
+  (try
+     ignore (Lexer.tokenize "a > b");
+     Alcotest.fail "expected Lex_error"
+   with Lexer.Lex_error (_, pos) -> Alcotest.(check int) "position" 2 pos);
+  try
+    ignore (Lexer.tokenize "\"unterminated");
+    Alcotest.fail "expected Lex_error"
+  with Lexer.Lex_error (_, _) -> ()
+
+let test_lexer_positions () =
+  let located = Lexer.tokenize "ab cd" in
+  match located with
+  | [ { token = Lexer.IDENT "ab"; pos = 0 }; { token = Lexer.IDENT "cd"; pos = 3 }; _ ]
+    -> ()
+  | _ -> Alcotest.fail "positions"
+
+(* --- Parser ------------------------------------------------------------- *)
+
+let parse_ok g s =
+  match Parser.parse g s with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "unexpected parse error: %a" Parser.pp_error e
+
+let parse_err g s =
+  match Parser.parse g s with
+  | Ok _ -> Alcotest.failf "expected parse error on %S" s
+  | Error e -> e
+
+let test_parse_selector_forms () =
+  let g = H.paper_graph () in
+  let e = parse_ok g "[i, alpha, _]" in
+  (match e with
+  | Expr.Sel (Selector.Pattern { src = Some _; lbl = Some _; dst = None }) -> ()
+  | _ -> Alcotest.fail "selector shape");
+  ignore (parse_ok g "[_, _, _]");
+  ignore (parse_ok g "E");
+  ignore (parse_ok g "[{i,j}, _, !k]");
+  ignore (parse_ok g "{(j, alpha, i)}");
+  ignore (parse_ok g "{(j,alpha,i); (i,alpha,k)}")
+
+let test_parse_operators_precedence () =
+  let g = H.paper_graph () in
+  (* union binds loosest: a . b | c = (a.b) | c *)
+  let e = parse_ok g "[_,alpha,_] . [_,beta,_] | [_,beta,_]" in
+  (match e with
+  | Expr.Union (Expr.Join _, Expr.Sel _) -> ()
+  | _ -> Alcotest.fail "precedence");
+  (* postfix binds tightest: star applies to b alone *)
+  let e = parse_ok g "[_,alpha,_] . [_,beta,_]*" in
+  match e with
+  | Expr.Join (Expr.Sel _, Expr.Star _) -> ()
+  | _ -> Alcotest.fail "postfix binds tighter"
+
+let test_parse_repetition () =
+  let g = H.paper_graph () in
+  let r2 = parse_ok g "[_,beta,_]{2}" in
+  let manual = Expr.repeat (Expr.sel (Selector.label1 (H.l g "beta"))) 2 in
+  Alcotest.(check bool) "explicit repeat" true (Expr.equal r2 manual);
+  ignore (parse_ok g "[_,beta,_]{1,3}")
+
+let test_parse_fig1_string () =
+  let g = H.paper_graph () in
+  let text =
+    "[i,alpha,_] . [_,beta,_]* . (([_,alpha,j] . {(j,alpha,i)}) | [_,alpha,k])"
+  in
+  let e = parse_ok g text in
+  Alcotest.(check bool) "has star" true (Expr.size e > 5);
+  (* denotes same set as the programmatic construction in test_automata *)
+  let i = H.v g "i" and j = H.v g "j" and k = H.v g "k" in
+  let alpha = H.l g "alpha" and beta = H.l g "beta" in
+  let manual =
+    let open Expr.Dsl in
+    Expr.sel
+      (Selector.pattern ~src:(Vertex.Set.singleton i)
+         ~lbl:(Label.Set.singleton alpha) ())
+    <.> Expr.star (Expr.sel (Selector.label1 beta))
+    <.> (Expr.sel
+           (Selector.pattern ~lbl:(Label.Set.singleton alpha)
+              ~dst:(Vertex.Set.singleton j) ())
+         <.> Expr.edge (Edge.make ~tail:j ~label:alpha ~head:i)
+        <|> Expr.sel
+              (Selector.pattern ~lbl:(Label.Set.singleton alpha)
+                 ~dst:(Vertex.Set.singleton k) ()))
+  in
+  Alcotest.(check bool) "same denotation" true
+    (Path_set.equal
+       (Expr.denote g ~max_length:4 e)
+       (Expr.denote g ~max_length:4 manual))
+
+let test_parse_keywords () =
+  let g = H.paper_graph () in
+  Alcotest.(check bool) "eps" true (Expr.equal (parse_ok g "eps") Expr.epsilon);
+  Alcotest.(check bool) "empty" true (Expr.equal (parse_ok g "empty") Expr.empty)
+
+let test_parse_errors () =
+  let g = H.paper_graph () in
+  let e = parse_err g "[i, alpha, _" in
+  Alcotest.(check bool) "mentions ]" true (String.length e.Parser.message > 0);
+  ignore (parse_err g "[nosuch, _, _]");
+  ignore (parse_err g "[i, nosuchlabel, _]");
+  ignore (parse_err g "[i,alpha,_] .");
+  ignore (parse_err g "[i,alpha,_] extra");
+  ignore (parse_err g "")
+
+let test_parse_complement () =
+  let g = H.paper_graph () in
+  let e = parse_ok g "[!i, _, _]" in
+  match e with
+  | Expr.Sel s ->
+    Alcotest.(check bool) "excludes i-edges" false
+      (Selector.matches s (H.e g "i" "alpha" "j"));
+    Alcotest.(check bool) "admits j-edges" true
+      (Selector.matches s (H.e g "j" "beta" "k"))
+  | _ -> Alcotest.fail "shape"
+
+let test_parse_let_macros () =
+  let g = H.paper_graph () in
+  let with_macro =
+    parse_ok g "let ab = [_,alpha,_] . [_,beta,_] in ab | ab . ab"
+  in
+  let ab =
+    Expr.join
+      (Expr.sel (Selector.label1 (H.l g "alpha")))
+      (Expr.sel (Selector.label1 (H.l g "beta")))
+  in
+  let manual = Expr.union ab (Expr.join ab ab) in
+  Alcotest.(check bool) "macro expansion" true (Expr.equal with_macro manual);
+  (* later bindings may use earlier ones *)
+  let nested =
+    parse_ok g "let a = [_,alpha,_] in let aa = a . a in aa . a"
+  in
+  Alcotest.(check int) "nested expansion size" 5
+    (List.length
+       (List.filter
+          (fun s -> Selector.equal s (Selector.label1 (H.l g "alpha")))
+          (Expr.selectors nested))
+     + 4)
+    (* 1 distinct selector; structural size check below *);
+  Alcotest.(check int) "three joins" 5 (Expr.size nested)
+
+let test_parse_macro_errors () =
+  let g = H.paper_graph () in
+  ignore (parse_err g "let in = E in in");
+  ignore (parse_err g "undefined_macro");
+  ignore (parse_err g "let a = E in b");
+  ignore (parse_err g "let a = E a")
+
+(* --- Unparse -------------------------------------------------------------------- *)
+
+let test_unparse_roundtrip_texts () =
+  let g = H.paper_graph () in
+  List.iter
+    (fun text ->
+      let e = parse_ok g text in
+      let rendered = Unparse.expr g e in
+      let e' = parse_ok g rendered in
+      Alcotest.(check bool)
+        (Printf.sprintf "structural roundtrip: %s -> %s" text rendered)
+        true (Expr.equal e e'))
+    [
+      "E";
+      "eps";
+      "empty";
+      "[i, alpha, _]";
+      "[{i,j}, _, !k]";
+      "{(j,alpha,i); (i,alpha,k)}";
+      "[_,alpha,_] . [_,beta,_]";
+      "[_,alpha,_] >< [_,beta,_]";
+      "([_,alpha,_] | [_,beta,_])*";
+      "[i,alpha,_] . [_,beta,_]* . (([_,alpha,j] . {(j,alpha,i)}) | [_,alpha,k])";
+      "[_,beta,_]{2}";
+      "[_,beta,_]+ | eps";
+    ]
+
+let qcheck_unparse_preserves_denotation =
+  H.qtest ~count:100 "parse (unparse e) denotes the same set" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let e = H.random_expr rng g in
+      let rendered = Unparse.expr g e in
+      match Parser.parse g rendered with
+      | Error _ -> false
+      | Ok e' ->
+        Path_set.equal (Expr.denote g ~max_length:3 e) (Expr.denote g ~max_length:3 e'))
+
+let test_unparse_quotes_awkward_names () =
+  let g = Digraph.create () in
+  ignore (Digraph.add g "a b" "weird-label" "c.d");
+  let e =
+    Expr.sel (Selector.src1 (Digraph.vertex g "a b"))
+  in
+  let rendered = Unparse.expr g e in
+  match Parser.parse g rendered with
+  | Error err -> Alcotest.failf "reparse failed: %a on %s" Parser.pp_error err rendered
+  | Ok e' -> Alcotest.(check bool) "roundtrip with quoting" true (Expr.equal e e')
+
+(* --- Walk (fluent traversals) ------------------------------------------------- *)
+
+let test_walk_out_steps () =
+  let g = H.paper_graph () in
+  let i = H.v g "i" in
+  let vs =
+    Walk.(start g [ i ] |> out ~label:(H.l g "alpha") |> vertices)
+    |> List.sort Int.compare
+  in
+  Alcotest.(check (list int)) "α-neighbours of i" [ H.v g "j"; H.v g "k" ] vs
+
+let test_walk_two_steps_match_traversal () =
+  let g = H.paper_graph () in
+  let i = H.v g "i" in
+  let via_walk = Walk.(start g [ i ] |> out |> out |> path_set) in
+  let via_algebra =
+    Traversal.source g ~from:(Vertex.Set.singleton i) ~length:2
+  in
+  Alcotest.check H.path_set "walk = source traversal" via_algebra via_walk
+
+let test_walk_in_and_both () =
+  let g = H.paper_graph () in
+  let j = H.v g "j" in
+  let preds =
+    Walk.(start g [ j ] |> in_ ~label:(H.l g "alpha") |> vertices)
+    |> List.sort Int.compare
+  in
+  Alcotest.(check (list int)) "α-predecessors of j" [ H.v g "i"; H.v g "k" ] preds;
+  let deg =
+    Walk.(start g [ j ] |> both |> count)
+  in
+  (* j touches: out β×3; in: α from i, α from k, β loop (loop only counted
+     via out) → 3 + 2 = 5 *)
+  Alcotest.(check int) "both degree (loop once)" 5 deg
+
+let test_walk_filters_dedup_limit () =
+  let g = H.paper_graph () in
+  let i = H.v g "i" in
+  let walked =
+    Walk.(
+      start g [ i ] |> out |> out
+      |> filter (fun v -> Digraph.vertex_name g v <> "i")
+      |> dedup |> vertices)
+  in
+  Alcotest.(check bool) "no i" true
+    (List.for_all (fun v -> v <> i) walked);
+  let distinct = List.sort_uniq Int.compare walked in
+  Alcotest.(check int) "dedup" (List.length distinct) (List.length walked);
+  Alcotest.(check int) "limit" 2 Walk.(start g [ i ] |> out |> limit 2 |> count)
+
+let test_walk_repeat_and_label_word () =
+  let g = H.paper_graph () in
+  let i = H.v g "i" in
+  let alpha = H.l g "alpha" and beta = H.l g "beta" in
+  let ab =
+    Walk.(
+      start g [ i ] |> repeat 2 out |> has_label_word [ alpha; beta ] |> paths)
+  in
+  Alcotest.(check int) "3 αβ paths from i" 3 (List.length ab);
+  List.iter
+    (fun p ->
+      Alcotest.(check (list int)) "word" [ alpha; beta ] (Path.label_word p))
+    ab
+
+let test_walk_emit_depths () =
+  let g = Generate.ring ~n:3 ~n_labels:1 in
+  let v0 = Digraph.vertex g "v0" in
+  let lengths =
+    Walk.(start g [ v0 ] |> emit out ~max_depth:2 |> paths)
+    |> List.map Path.length |> List.sort Int.compare
+  in
+  Alcotest.(check (list int)) "depths 0,1,2" [ 0; 1; 2 ] lengths
+
+let test_walk_simple_pruning () =
+  let g = Generate.ring ~n:3 ~n_labels:1 in
+  let v0 = Digraph.vertex g "v0" in
+  Alcotest.(check int) "3 hops wraps: not simple" 0
+    Walk.(start g [ v0 ] |> repeat 3 out |> simple |> count);
+  Alcotest.(check int) "2 hops simple" 1
+    Walk.(start g [ v0 ] |> repeat 2 out |> simple |> count)
+
+let test_walk_selector_step () =
+  let g = H.paper_graph () in
+  let i = H.v g "i" in
+  let beta_step =
+    Walk.(start g [ i ] |> step (Selector.label1 (H.l g "beta")) |> vertices)
+  in
+  Alcotest.(check (list int)) "i -β-> k" [ H.v g "k" ] beta_step
+
+let qcheck_walk_equals_source_traversal =
+  H.qtest ~count:60 "n-step walk = source traversal" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let vs = Array.of_list (Digraph.vertices g) in
+      let v = Prng.pick rng vs in
+      let n = 1 + Prng.int rng 3 in
+      let via_walk = Walk.(start g [ v ] |> repeat n out |> path_set) in
+      let via_algebra =
+        Traversal.source g ~from:(Vertex.Set.singleton v) ~length:n
+      in
+      Path_set.equal via_walk via_algebra)
+
+let qcheck_walk_step_equals_selector_traversal =
+  H.qtest ~count:60 "selector walk = steps traversal" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let s1 = H.random_selector rng g in
+      let s2 = H.random_selector rng g in
+      let via_walk =
+        Walk.(start_all g |> step s1 |> step s2 |> path_set)
+      in
+      (* steps-based traversal keeps only paths; walk from all vertices of
+         V restricted to those whose first edge matches — same thing since
+         start_all covers every possible tail *)
+      let via_algebra = Traversal.steps g [ s1; s2 ] in
+      Path_set.equal via_walk via_algebra)
+
+(* --- CRPQ ------------------------------------------------------------------- *)
+
+let test_crpq_basic_join () =
+  let g = H.paper_graph () in
+  (* α edge x→y and β edge y→x *)
+  let q =
+    Crpq.parse_exn g "select x, y where (x, [_,alpha,_], y), (y, [_,beta,_], x)"
+  in
+  let answers = Crpq.eval ~max_length:2 g q in
+  let i = H.v g "i" and j = H.v g "j" and k = H.v g "k" in
+  Alcotest.(check (list (list int))) "pairs"
+    [ [ i; j ]; [ k; j ] ]
+    (List.sort compare answers)
+
+let test_crpq_projection () =
+  let g = H.paper_graph () in
+  (* project onto x only *)
+  let q =
+    Crpq.parse_exn g "select x where (x, [_,alpha,_], y), (y, [_,beta,_], x)"
+  in
+  let answers = Crpq.eval ~max_length:2 g q in
+  Alcotest.(check (list (list int))) "sources"
+    [ [ H.v g "i" ]; [ H.v g "k" ] ]
+    (List.sort compare answers)
+
+let test_crpq_nullable_atom () =
+  let g = H.paper_graph () in
+  (* E* relates every vertex to itself (among others): (x, E*, x) holds for
+     all three vertices *)
+  let q = Crpq.parse_exn g "select x where (x, E*, x)" in
+  Alcotest.(check int) "all vertices" 3
+    (Crpq.count ~max_length:2 g q)
+
+let test_crpq_triangle () =
+  let g = H.parallel_graph () in
+  (* directed triangle a→b→c→a using any labels *)
+  let q =
+    Crpq.parse_exn g "select x, y, z where (x, E, y), (y, E, z), (z, E, x)"
+  in
+  let answers = Crpq.eval ~max_length:1 g q in
+  Alcotest.(check int) "three rotations" 3 (List.length answers)
+
+let test_crpq_validation () =
+  let g = H.paper_graph () in
+  (match Crpq.parse g "select q where (x, E, y)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "head variable not in atoms must fail");
+  (match Crpq.parse g "select x, x where (x, E, y)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "repeated head variable must fail");
+  match Crpq.parse g "select x where" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing atoms must fail"
+
+let qcheck_crpq_single_atom_equals_endpoints =
+  H.qtest ~count:60 "single-atom CRPQ = endpoint pairs" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr ~allow_product:false rng g in
+      let q = Crpq.make ~head:[ "x"; "y" ] [ ("x", r, "y") ] in
+      let via_crpq = Crpq.eval ~max_length:3 g q in
+      let denoted = Expr.denote g ~max_length:3 r in
+      let pairs =
+        Path_set.endpoint_pairs
+          (Path_set.filter (fun p -> not (Path.is_empty p)) denoted)
+      in
+      let expected =
+        (if Expr.nullable r then
+           List.map (fun v -> (v, v)) (Digraph.vertices g)
+         else [])
+        @ pairs
+        |> List.sort_uniq compare
+        |> List.map (fun (a, b) -> [ a; b ])
+      in
+      List.sort compare via_crpq = List.sort compare expected)
+
+(* --- Optimizer ------------------------------------------------------------ *)
+
+let test_simplify_identities () =
+  let s = Expr.sel Selector.universe in
+  let check_rewrites name input expected =
+    let output, _ = Optimizer.simplify input in
+    Alcotest.(check bool) name true (Expr.equal output expected)
+  in
+  check_rewrites "∅|r" (Expr.union Expr.empty s) s;
+  check_rewrites "r|r" (Expr.union s s) s;
+  check_rewrites "∅.r" (Expr.join Expr.empty s) Expr.empty;
+  check_rewrites "ε.r" (Expr.join Expr.epsilon s) s;
+  check_rewrites "ε><r" (Expr.product Expr.epsilon s) s;
+  check_rewrites "∅*" (Expr.star Expr.empty) Expr.epsilon;
+  check_rewrites "(r*)*" (Expr.star (Expr.star s)) (Expr.star s);
+  check_rewrites "(ε|r)*" (Expr.star (Expr.union Expr.epsilon s)) (Expr.star s);
+  check_rewrites "r*.r*" (Expr.join (Expr.star s) (Expr.star s)) (Expr.star s);
+  check_rewrites "ε|r nullable" (Expr.union Expr.epsilon (Expr.star s)) (Expr.star s)
+
+let test_simplify_selector_fusion () =
+  let g = H.paper_graph () in
+  let a = Expr.sel (Selector.label1 (H.l g "alpha")) in
+  let b = Expr.sel (Selector.label1 (H.l g "beta")) in
+  let fused, rewrites = Optimizer.simplify (Expr.union a b) in
+  (match fused with
+  | Expr.Sel (Selector.Union _) -> ()
+  | _ -> Alcotest.fail "expected fused selector");
+  Alcotest.(check bool) "rewrite recorded" true
+    (List.mem "selector-fusion" rewrites)
+
+let qcheck_simplify_preserves_denotation =
+  H.qtest ~count:80 "simplify preserves denotation" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      let r', _ = Optimizer.simplify r in
+      Path_set.equal (Expr.denote g ~max_length:3 r) (Expr.denote g ~max_length:3 r'))
+
+let test_choose_strategy_anchored () =
+  let g =
+    Generate.uniform ~rng:(Prng.create 1) ~n_vertices:20 ~n_edges:100 ~n_labels:3
+  in
+  let anchored =
+    Expr.join
+      (Expr.sel (Selector.src1 (Digraph.vertex g "v0")))
+      (Expr.sel Selector.universe)
+  in
+  let strategy, _ = Optimizer.choose_strategy g anchored in
+  Alcotest.(check string) "bfs for anchored" "product-bfs"
+    (Plan.strategy_name strategy);
+  let unanchored = Expr.join (Expr.sel Selector.universe) (Expr.sel Selector.universe) in
+  let strategy, _ = Optimizer.choose_strategy g unanchored in
+  Alcotest.(check string) "stack for unanchored star-free" "stack-machine"
+    (Plan.strategy_name strategy)
+
+let test_plan_pp () =
+  let g = H.paper_graph () in
+  let p =
+    Optimizer.plan ~max_length:4 g
+      (Expr.union Expr.empty (Expr.sel Selector.universe))
+  in
+  let s = Format.asprintf "%a" Plan.pp p in
+  Alcotest.(check bool) "mentions strategy" true
+    (String.length s > 0 && p.Plan.rewrites <> [])
+
+(* --- Eval / Engine ----------------------------------------------------------- *)
+
+let qcheck_strategies_agree_end_to_end =
+  H.qtest ~count:60 "eval strategies agree" H.with_graph_gen H.print_with_graph
+    (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      let run strategy =
+        (Engine.query_expr ~strategy ~max_length:3 g r).Engine.paths
+      in
+      let reference = run Plan.Reference in
+      Path_set.equal reference (run Plan.Stack_machine)
+      && Path_set.equal reference (run Plan.Product_bfs))
+
+let test_engine_query_text () =
+  let g = H.paper_graph () in
+  match Engine.query g "[i,alpha,_] . [_,beta,_]" with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    (* (i,α,j)·(j,β,k|j|i): 3 paths; (i,α,k): k has no β out *)
+    Alcotest.(check int) "3 αβ paths from i" 3 (Path_set.cardinal r.Engine.paths);
+    Alcotest.(check int) "stats count" 3 r.Engine.stats.Eval.paths
+
+let test_engine_parse_error_surfaces () =
+  let g = H.paper_graph () in
+  match Engine.query g "[i,alpha" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error msg ->
+    Alcotest.(check bool) "offset in message" true
+      (String.length msg > 0)
+
+let test_engine_limit () =
+  let g = Generate.complete ~n:4 ~n_labels:2 in
+  match Engine.query ~limit:3 g "E" with
+  | Error msg -> Alcotest.fail msg
+  | Ok r -> Alcotest.(check int) "limited" 3 (Path_set.cardinal r.Engine.paths)
+
+let test_engine_max_length_bounds_star () =
+  let g = Generate.ring ~n:3 ~n_labels:1 in
+  match Engine.query ~max_length:4 g "E*" with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    Alcotest.(check int) "1+3·4 paths" 13 (Path_set.cardinal r.Engine.paths);
+    Alcotest.(check bool) "bounded" true (Path_set.max_length r.Engine.paths <= 4)
+
+let test_engine_explain () =
+  let g = H.paper_graph () in
+  match Engine.explain g "[i,alpha,_] . E" with
+  | Error msg -> Alcotest.fail msg
+  | Ok text ->
+    Alcotest.(check bool) "mentions plan" true
+      (String.length text > 10)
+
+let test_engine_run_seq_stream () =
+  let g = H.paper_graph () in
+  let plan =
+    Optimizer.plan ~strategy:Plan.Product_bfs ~max_length:2 g
+      (Expr.sel Selector.universe)
+  in
+  let first_two = List.of_seq (Seq.take 2 (Eval.run_seq g plan)) in
+  Alcotest.(check int) "streamed" 2 (List.length first_two)
+
+let qcheck_engine_count_matches_query =
+  H.qtest ~count:60 "Engine.count = |query|" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      Engine.count_expr ~max_length:3 g r
+      = Path_set.cardinal
+          (Engine.query_expr ~strategy:Plan.Reference ~max_length:3 g r)
+            .Engine.paths)
+
+let test_engine_simple_flag () =
+  let g = Generate.ring ~n:4 ~n_labels:1 in
+  let all = Engine.query_exn ~max_length:6 g "E*" in
+  let simple = Engine.query_exn ~simple:true ~max_length:6 g "E*" in
+  Alcotest.(check bool) "restriction shrinks" true
+    (Path_set.cardinal simple.Engine.paths
+    < Path_set.cardinal all.Engine.paths);
+  Alcotest.(check bool) "all simple" true
+    (Path_set.fold
+       (fun p acc -> acc && Path.is_simple p)
+       simple.Engine.paths true);
+  (* all strategies agree under ~simple *)
+  List.iter
+    (fun strategy ->
+      let r = Engine.query_exn ~strategy ~simple:true ~max_length:6 g "E*" in
+      Alcotest.(check bool)
+        ("strategy agrees: " ^ Plan.strategy_name strategy)
+        true
+        (Path_set.equal r.Engine.paths simple.Engine.paths))
+    [ Plan.Reference; Plan.Stack_machine; Plan.Product_bfs ]
+
+let test_engine_count_text () =
+  let g = H.paper_graph () in
+  match Engine.count g "[_,beta,_] . [_,beta,_]" with
+  | Error msg -> Alcotest.fail msg
+  | Ok n -> Alcotest.(check int) "4 ββ paths" 4 n
+
+let test_engine_fig1_text_query () =
+  let rng = Prng.create 123 in
+  let g = Generate.fig1 ~rng ~n_noise_vertices:3 ~n_noise_edges:5 in
+  let text =
+    "[i,alpha,_] . [_,beta,_]* . (([_,alpha,j] . {(j,alpha,i)}) | [_,alpha,k])"
+  in
+  let r = Engine.query_exn ~max_length:6 g text in
+  (* the fig1 skeleton guarantees at least the 2-hop witness i→j→(j,α,i)?
+     no: guarantees (i,α,k) is reachable via... check non-emptiness only *)
+  Alcotest.(check bool) "witnesses exist" true
+    (not (Path_set.is_empty r.Engine.paths));
+  (* every result must be accepted by the recogniser *)
+  let accept = Mrpa_automata.Recognizer.cubic r.Engine.plan.Plan.optimized in
+  Path_set.iter
+    (fun p -> Alcotest.(check bool) "recognised" true (accept p))
+    r.Engine.paths
+
+let () =
+  Alcotest.run "mrpa_engine"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "symbols" `Quick test_lexer_symbols;
+          Alcotest.test_case "idents/ints" `Quick test_lexer_idents_and_ints;
+          Alcotest.test_case "underscore" `Quick test_lexer_underscore;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "selector forms" `Quick test_parse_selector_forms;
+          Alcotest.test_case "precedence" `Quick test_parse_operators_precedence;
+          Alcotest.test_case "repetition" `Quick test_parse_repetition;
+          Alcotest.test_case "fig1 string" `Quick test_parse_fig1_string;
+          Alcotest.test_case "keywords" `Quick test_parse_keywords;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "complement" `Quick test_parse_complement;
+          Alcotest.test_case "let macros" `Quick test_parse_let_macros;
+          Alcotest.test_case "macro errors" `Quick test_parse_macro_errors;
+        ] );
+      ( "unparse",
+        [
+          Alcotest.test_case "text roundtrips" `Quick test_unparse_roundtrip_texts;
+          Alcotest.test_case "quoting" `Quick test_unparse_quotes_awkward_names;
+          qcheck_unparse_preserves_denotation;
+        ] );
+      ( "walk",
+        [
+          Alcotest.test_case "out" `Quick test_walk_out_steps;
+          Alcotest.test_case "two steps" `Quick test_walk_two_steps_match_traversal;
+          Alcotest.test_case "in/both" `Quick test_walk_in_and_both;
+          Alcotest.test_case "filters" `Quick test_walk_filters_dedup_limit;
+          Alcotest.test_case "repeat+word" `Quick test_walk_repeat_and_label_word;
+          Alcotest.test_case "emit" `Quick test_walk_emit_depths;
+          Alcotest.test_case "simple" `Quick test_walk_simple_pruning;
+          Alcotest.test_case "selector step" `Quick test_walk_selector_step;
+          qcheck_walk_equals_source_traversal;
+          qcheck_walk_step_equals_selector_traversal;
+        ] );
+      ( "crpq",
+        [
+          Alcotest.test_case "basic join" `Quick test_crpq_basic_join;
+          Alcotest.test_case "projection" `Quick test_crpq_projection;
+          Alcotest.test_case "nullable atom" `Quick test_crpq_nullable_atom;
+          Alcotest.test_case "triangle" `Quick test_crpq_triangle;
+          Alcotest.test_case "validation" `Quick test_crpq_validation;
+          qcheck_crpq_single_atom_equals_endpoints;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "identities" `Quick test_simplify_identities;
+          Alcotest.test_case "selector fusion" `Quick test_simplify_selector_fusion;
+          Alcotest.test_case "strategy choice" `Quick test_choose_strategy_anchored;
+          Alcotest.test_case "plan pp" `Quick test_plan_pp;
+          qcheck_simplify_preserves_denotation;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "text query" `Quick test_engine_query_text;
+          Alcotest.test_case "parse error" `Quick test_engine_parse_error_surfaces;
+          Alcotest.test_case "limit" `Quick test_engine_limit;
+          Alcotest.test_case "max_length" `Quick test_engine_max_length_bounds_star;
+          Alcotest.test_case "explain" `Quick test_engine_explain;
+          Alcotest.test_case "run_seq" `Quick test_engine_run_seq_stream;
+          Alcotest.test_case "fig1 query" `Quick test_engine_fig1_text_query;
+          Alcotest.test_case "simple flag" `Quick test_engine_simple_flag;
+          Alcotest.test_case "count text" `Quick test_engine_count_text;
+          qcheck_strategies_agree_end_to_end;
+          qcheck_engine_count_matches_query;
+        ] );
+    ]

@@ -1,0 +1,324 @@
+(* Paper conformance suite: each test encodes one definitional statement of
+   Rodriguez & Neubauer as an executable fact, cited by section. Where other
+   suites test the implementation against itself, this one tests it against
+   the paper's text. *)
+
+open Mrpa_graph
+open Mrpa_core
+module H = Helpers
+
+let g () = H.paper_graph ()
+
+(* --- Definition 1 (Path) ----------------------------------------------- *)
+
+let test_def1_repeated_edges_allowed () =
+  (* "A path allows for repeated edges." *)
+  let gr = g () in
+  let e = H.e gr "j" "beta" "j" in
+  let p = Path.of_edges [ e; e; e ] in
+  Alcotest.(check int) "length 3 with one edge repeated" 3 (Path.length p);
+  Alcotest.(check bool) "and it is joint (loop)" true (Path.is_joint p)
+
+let test_def1_edges_are_length1_paths () =
+  (* "Any edge in E is a path with a path length of 1 as e ∈ E ⊂ E∗." *)
+  let gr = g () in
+  List.iter
+    (fun e -> Alcotest.(check int) "length 1" 1 (Path.length (Path.of_edge e)))
+    (Digraph.edges gr)
+
+(* --- §II concatenation ---------------------------------------------------- *)
+
+let test_s2_concat_shape () =
+  (* "if (i,α,j) and (j,β,k) are two edges in E, then their concatenation
+     is the path (i,α,j,j,β,k)" — checked via the printer, which uses the
+     paper's flattened notation. *)
+  let gr = g () in
+  let p =
+    Path.concat
+      (Path.of_edge (H.e gr "i" "alpha" "j"))
+      (Path.of_edge (H.e gr "j" "beta" "k"))
+  in
+  Alcotest.(check string) "paper notation" "(i,alpha,j,j,beta,k)"
+    (Format.asprintf "%a" (Digraph.pp_path gr) p)
+
+let test_s2_concat_not_commutative () =
+  (* "not commutative (i.e. it is generally true that a ∘ b ≠ b ∘ a)" —
+     exhibit the witness. *)
+  let gr = g () in
+  let a = Path.of_edge (H.e gr "i" "alpha" "j") in
+  let b = Path.of_edge (H.e gr "j" "beta" "k") in
+  Alcotest.(check bool) "a∘b ≠ b∘a" false
+    (Path.equal (Path.concat a b) (Path.concat b a))
+
+let test_footnote2_free_monoid () =
+  (* footnote 2: E∗ = ∪_{n≥0} Eⁿ with E⁰ = {ε}. Over a finite bound: the
+     bounded star of E equals the union of its n-fold joint powers. *)
+  let gr = g () in
+  let e = Path_set.all_edges gr in
+  let bound = 3 in
+  let by_powers =
+    List.fold_left
+      (fun acc n -> Path_set.union acc (Path_set.join_power e n))
+      Path_set.empty
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.check H.path_set "E* bounded = ∪ Eⁿ" by_powers
+    (Path_set.star_bounded e ~max_length:bound)
+
+(* --- §II projections -------------------------------------------------------- *)
+
+let test_s2_sigma_examples () =
+  (* "if a = (i,α,j,j,β,k), then σ(a,1) = (i,α,j) and σ(a,2) = (j,β,k)" *)
+  let gr = g () in
+  let e1 = H.e gr "i" "alpha" "j" and e2 = H.e gr "j" "beta" "k" in
+  let a = Path.of_edges [ e1; e2 ] in
+  Alcotest.check H.edge "σ(a,1)" e1 (Path.nth a 1);
+  Alcotest.check H.edge "σ(a,2)" e2 (Path.nth a 2)
+
+let test_footnote3_sigma_is_indexing () =
+  (* footnote 3: all projections reduce to string indexing. *)
+  let gr = g () in
+  let rng = Prng.create 11 in
+  let p = H.random_path rng gr 5 in
+  let arr = Path.to_array p in
+  Array.iteri
+    (fun idx e -> Alcotest.check H.edge "indexing" e (Path.nth p (idx + 1)))
+    arr
+
+let test_def2_path_label () =
+  (* Definition 2: ω′(a) = Π ω(σ(a,n)); for a single edge ω′(e) = ω(e). *)
+  let gr = g () in
+  let e = H.e gr "i" "beta" "k" in
+  Alcotest.(check (list int)) "ω′(e) = ω(e)" [ Edge.label e ]
+    (Path.label_word (Path.of_edge e));
+  let rng = Prng.create 13 in
+  let p = H.random_path rng gr 5 in
+  Alcotest.(check (list int)) "ω′ edge by edge"
+    (List.map Edge.label (Path.edges p))
+    (Path.label_word p)
+
+(* --- Definition 3 (jointness) ------------------------------------------------ *)
+
+let test_def3_cases () =
+  let gr = g () in
+  (* ‖a‖ = 1 → ⊤ *)
+  Alcotest.(check bool) "single edge joint" true
+    (Path.is_joint (Path.of_edge (H.e gr "i" "alpha" "j")));
+  (* adjacent chain → ⊤, broken chain → ⊥ *)
+  Alcotest.(check bool) "adjacent" true
+    (Path.is_joint
+       (Path.of_edges [ H.e gr "i" "alpha" "j"; H.e gr "j" "beta" "i" ]));
+  Alcotest.(check bool) "broken" false
+    (Path.is_joint
+       (Path.of_edges [ H.e gr "i" "alpha" "j"; H.e gr "i" "beta" "k" ]))
+
+(* --- §II join side condition --------------------------------------------------- *)
+
+let test_s2_join_epsilon_side_condition () =
+  (* "(a = ε ∨ b = ε ∨ γ⁺(a) = γ⁻(b))" — the ε disjuncts, separately. *)
+  let gr = g () in
+  let p = Path_set.singleton (Path.of_edge (H.e gr "i" "alpha" "j")) in
+  let with_eps = Path_set.union Path_set.epsilon p in
+  (* ε joins with everything on either side; no adjacency is asked of it *)
+  Alcotest.(check int) "ε on the left joins all" 2
+    (Path_set.cardinal (Path_set.join Path_set.epsilon with_eps));
+  Alcotest.(check int) "ε on the right keeps a" 2
+    (Path_set.cardinal (Path_set.join with_eps Path_set.epsilon))
+
+(* --- §III traversals -------------------------------------------------------------- *)
+
+let test_s3a_complete_is_iterated_join () =
+  (* "E ./∘ … ./∘ E (n times)" *)
+  let gr = g () in
+  let e = Path_set.all_edges gr in
+  List.iter
+    (fun n ->
+      Alcotest.check H.path_set
+        (Printf.sprintf "complete %d = E^%d" n n)
+        (Path_set.join_power e n)
+        (Traversal.complete gr ~length:n))
+    [ 1; 2; 3 ]
+
+let test_s3b_source_set_definition () =
+  (* "A = {e | e ∈ E ∧ γ⁻(e) ∈ Vs}" then A ./∘ E… *)
+  let gr = g () in
+  let vs = Vertex.Set.singleton (H.v gr "i") in
+  let a =
+    Path_set.of_edges
+      (List.filter
+         (fun e -> Vertex.Set.mem (Edge.tail e) vs)
+         (Digraph.edges gr))
+  in
+  let manual = Path_set.join a (Path_set.all_edges gr) in
+  Alcotest.check H.path_set "A ./∘ E" manual
+    (Traversal.source gr ~from:vs ~length:2)
+
+let test_s3b_complement_partitions () =
+  (* "Vs = V \\ Vs states to start the traversal from all vertices in V
+     except those in Vs": source(Vs) and source(V\\Vs) partition the
+     complete traversal. *)
+  let gr = g () in
+  let vs = Vertex.Set.singleton (H.v gr "j") in
+  let co = Traversal.complement_vertices gr vs in
+  let s1 = Traversal.source gr ~from:vs ~length:2 in
+  let s2 = Traversal.source gr ~from:co ~length:2 in
+  Alcotest.(check bool) "disjoint" true
+    (Path_set.is_empty (Path_set.inter s1 s2));
+  Alcotest.check H.path_set "cover" (Traversal.complete gr ~length:2)
+    (Path_set.union s1 s2)
+
+let test_s3d_labeled_step_labels () =
+  (* "A ./∘ B denotes all paths where ω(σ(a,1)) ∈ Ωe and ω(σ(a,2)) ∈ Ωf" *)
+  let gr = g () in
+  let alpha = H.l gr "alpha" and beta = H.l gr "beta" in
+  let result =
+    Traversal.labeled gr
+      ~labels:[ Label.Set.singleton alpha; Label.Set.singleton beta ]
+  in
+  Path_set.iter
+    (fun a ->
+      Alcotest.(check int) "first label α" alpha (Edge.label (Path.nth a 1));
+      Alcotest.(check int) "second label β" beta (Edge.label (Path.nth a 2)))
+    result;
+  Alcotest.(check bool) "non-empty" true (not (Path_set.is_empty result))
+
+(* --- §IV-A: Figure 1's prose description --------------------------------------------- *)
+
+let fig1_text =
+  "[i,alpha,_] . [_,beta,_]* . (([_,alpha,j] . {(j,alpha,i)}) | [_,alpha,k])"
+
+let test_s4a_fig1_prose_properties () =
+  (* "recognizes all paths emanating from i, terminating at i or k, with the
+     first and last label traversed being α, and all intermediate edge
+     labels (zero or more) being β" — the ω′-language is α β* (α | α α). *)
+  let rng = Prng.create 4242 in
+  let gr = Generate.fig1 ~rng ~n_noise_vertices:6 ~n_noise_edges:20 in
+  let expr = Mrpa_engine.Parser.parse_exn gr fig1_text in
+  let generated = Mrpa_automata.Generator.generate gr expr ~max_length:6 in
+  Alcotest.(check bool) "witnesses exist" true
+    (not (Path_set.is_empty generated));
+  let i = Digraph.vertex gr "i"
+  and j = Digraph.vertex gr "j"
+  and k = Digraph.vertex gr "k" in
+  ignore j;
+  let alpha = Digraph.label gr "alpha" and beta = Digraph.label gr "beta" in
+  let word_language =
+    (* α β* (α | αα) *)
+    Label_expr.(
+      concat (lbl alpha)
+        (concat (star (lbl beta))
+           (union (lbl alpha) (concat (lbl alpha) (lbl alpha)))))
+  in
+  Path_set.iter
+    (fun p ->
+      Alcotest.(check (option int)) "emanates from i" (Some i) (Path.tail p);
+      Alcotest.(check bool) "terminates at i or k" true
+        (Path.head p = Some i || Path.head p = Some k);
+      Alcotest.(check bool) "ω′ ∈ α β* (α|αα)" true
+        (Label_expr.matches_word word_language (Path.label_word p));
+      Alcotest.(check bool) "joint" true (Path.is_joint p))
+    generated
+
+let test_s4b_stack_tops_union () =
+  (* §IV-B: "The union of the first (and only) element of all the stacks
+     across all branches of accept-state automaton forms the set of all
+     paths in G that satisfy the regular expression." We observe the
+     branches through the trace and rebuild the union by hand. *)
+  let rng = Prng.create 99 in
+  let gr = Generate.fig1 ~rng ~n_noise_vertices:4 ~n_noise_edges:8 in
+  let expr = Mrpa_engine.Parser.parse_exn gr fig1_text in
+  let a = Mrpa_automata.Glushkov.build expr in
+  let accept_tops = ref Path_set.empty in
+  let trace entry =
+    let state = entry.Mrpa_automata.Stack_machine.state in
+    let accepting =
+      if state = 0 then a.Mrpa_automata.Glushkov.nullable
+      else a.Mrpa_automata.Glushkov.last.(state)
+    in
+    if accepting then
+      accept_tops :=
+        Path_set.union !accept_tops entry.Mrpa_automata.Stack_machine.stack_top
+  in
+  let result = Mrpa_automata.Stack_machine.run ~trace gr expr ~max_length:5 in
+  Alcotest.check H.path_set "union of accept-state stack tops" result
+    !accept_tops
+
+(* --- §IV-C: the three constructions ----------------------------------------------------- *)
+
+let test_s4c_e_alpha_definition () =
+  (* "Eα = {(γ⁻(e), γ⁺(e)) | e ∈ E ∧ ω(e) = α}" *)
+  let gr = g () in
+  let alpha = H.l gr "alpha" in
+  let manual =
+    List.filter_map
+      (fun e ->
+        if Label.equal (Edge.label e) alpha then
+          Some (Vertex.to_int (Edge.tail e), Vertex.to_int (Edge.head e))
+        else None)
+      (Digraph.edges gr)
+  in
+  let expected =
+    Mrpa_analysis.Simple_graph.of_edge_list ~n:(Digraph.n_vertices gr) manual
+  in
+  Alcotest.(check bool) "definition matches" true
+    (Mrpa_analysis.Simple_graph.equal expected
+       (Mrpa_analysis.Projection.single_label gr alpha))
+
+let test_s4c_e_alphabeta_definition () =
+  (* "Eαβ = ∪_{a ∈ A ./∘ B} (γ⁻(a), γ⁺(a))" with A = α-edges, B = β-edges *)
+  let gr = g () in
+  let alpha = H.l gr "alpha" and beta = H.l gr "beta" in
+  let a = Path_set.select gr (Selector.label1 alpha) in
+  let b = Path_set.select gr (Selector.label1 beta) in
+  let pairs = Path_set.endpoint_pairs (Path_set.join a b) in
+  let expected =
+    Mrpa_analysis.Simple_graph.of_edge_list ~n:(Digraph.n_vertices gr)
+      (List.map (fun (s, d) -> (Vertex.to_int s, Vertex.to_int d)) pairs)
+  in
+  Alcotest.(check bool) "definition matches" true
+    (Mrpa_analysis.Simple_graph.equal expected
+       (Mrpa_analysis.Projection.path_derived gr [ alpha; beta ]))
+
+let () =
+  Alcotest.run "paper_conformance"
+    [
+      ( "definition-1",
+        [
+          Alcotest.test_case "repeated edges" `Quick test_def1_repeated_edges_allowed;
+          Alcotest.test_case "edges are paths" `Quick
+            test_def1_edges_are_length1_paths;
+        ] );
+      ( "section-2",
+        [
+          Alcotest.test_case "concat shape" `Quick test_s2_concat_shape;
+          Alcotest.test_case "non-commutative" `Quick test_s2_concat_not_commutative;
+          Alcotest.test_case "free monoid (fn 2)" `Quick test_footnote2_free_monoid;
+          Alcotest.test_case "sigma examples" `Quick test_s2_sigma_examples;
+          Alcotest.test_case "sigma is indexing (fn 3)" `Quick
+            test_footnote3_sigma_is_indexing;
+          Alcotest.test_case "path label (def 2)" `Quick test_def2_path_label;
+          Alcotest.test_case "jointness (def 3)" `Quick test_def3_cases;
+          Alcotest.test_case "join ε side condition" `Quick
+            test_s2_join_epsilon_side_condition;
+        ] );
+      ( "section-3",
+        [
+          Alcotest.test_case "complete = iterated join" `Quick
+            test_s3a_complete_is_iterated_join;
+          Alcotest.test_case "source set definition" `Quick
+            test_s3b_source_set_definition;
+          Alcotest.test_case "complement partitions" `Quick
+            test_s3b_complement_partitions;
+          Alcotest.test_case "labeled step labels" `Quick
+            test_s3d_labeled_step_labels;
+        ] );
+      ( "section-4",
+        [
+          Alcotest.test_case "fig1 prose properties" `Quick
+            test_s4a_fig1_prose_properties;
+          Alcotest.test_case "stack tops union" `Quick test_s4b_stack_tops_union;
+          Alcotest.test_case "E_alpha definition" `Quick test_s4c_e_alpha_definition;
+          Alcotest.test_case "E_alphabeta definition" `Quick
+            test_s4c_e_alphabeta_definition;
+        ] );
+    ]

@@ -1,0 +1,316 @@
+open Mrpa_graph
+open Mrpa_core
+open Mrpa_semiring
+module H = Helpers
+
+(* --- Semiring laws ---------------------------------------------------- *)
+
+let check_laws (type v) name (module S : Semiring.S with type t = v)
+    (sample : Prng.t -> v) =
+  H.qtest ~count:200 (name ^ " laws") QCheck2.Gen.(int_bound 1_000_000)
+    string_of_int (fun seed ->
+      let rng = Prng.create seed in
+      let a = sample rng and b = sample rng and c = sample rng in
+      S.equal (S.add a b) (S.add b a)
+      && S.equal (S.add (S.add a b) c) (S.add a (S.add b c))
+      && S.equal (S.add S.zero a) a
+      && S.equal (S.mul (S.mul a b) c) (S.mul a (S.mul b c))
+      && S.equal (S.mul S.one a) a
+      && S.equal (S.mul a S.one) a
+      && S.equal (S.mul S.zero a) S.zero
+      && S.equal (S.mul a S.zero) S.zero
+      && S.equal (S.mul a (S.add b c)) (S.add (S.mul a b) (S.mul a c))
+      && S.equal (S.mul (S.add a b) c) (S.add (S.mul a c) (S.mul b c)))
+
+let bool_sample rng = Prng.bool rng
+let nat_sample rng = Prng.int rng 20
+
+(* Small non-negative floats; exact-float laws hold for min/max-based
+   semirings on any floats, and for plus-times we use small integers cast to
+   float so distribution is exact. *)
+let intfloat_sample rng = float_of_int (Prng.int rng 12)
+
+let tropical_sample rng =
+  match Prng.int rng 8 with 0 -> infinity | k -> float_of_int k
+
+let bottleneck_sample rng =
+  match Prng.int rng 8 with
+  | 0 -> neg_infinity
+  | 7 -> infinity
+  | k -> float_of_int k
+
+let viterbi_sample rng =
+  (* dyadic rationals in [0,1]: products and maxes stay exact *)
+  float_of_int (Prng.int rng 5) /. 4.0
+
+(* --- Eval: agreement with enumeration --------------------------------- *)
+
+(* Brute-force oracle: aggregate over the materialised denotation. *)
+let oracle (type v) (module S : Semiring.S with type t = v) ~weight g expr
+    ~max_length =
+  let paths = Expr.denote g ~max_length expr in
+  let value p = Path.fold (fun acc e -> S.mul acc (weight e)) S.one p in
+  let tbl : (int * int, v) Hashtbl.t = Hashtbl.create 16 in
+  let eps = ref None in
+  Path_set.iter
+    (fun p ->
+      match (Path.tail p, Path.head p) with
+      | Some s, Some d ->
+        let key = (Vertex.to_int s, Vertex.to_int d) in
+        let current =
+          match Hashtbl.find_opt tbl key with Some x -> x | None -> S.zero
+        in
+        Hashtbl.replace tbl key (S.add current (value p))
+      | _ -> eps := Some S.one)
+    paths;
+  (tbl, !eps)
+
+let agree_with_oracle (type v) (module S : Semiring.S with type t = v) ~weight
+    g expr ~max_length =
+  let result = Eval.run (module S) ~weight g expr ~max_length in
+  let tbl, eps = oracle (module S) ~weight g expr ~max_length in
+  let eps_ok =
+    match (result.Eval.epsilon, eps) with
+    | None, None -> true
+    | Some a, Some b -> S.equal a b
+    | _ -> false
+  in
+  eps_ok
+  && List.for_all
+       (fun ((s, d), value) ->
+         match Hashtbl.find_opt tbl (Vertex.to_int s, Vertex.to_int d) with
+         | Some expected -> S.equal value expected
+         | None -> false)
+       result.Eval.pairs
+  && Hashtbl.fold
+       (fun (s, d) expected acc ->
+         acc
+         && (S.equal expected S.zero
+            || S.equal
+                 (Eval.pair_value (module S) result (Vertex.of_int s)
+                    (Vertex.of_int d))
+                 expected))
+       tbl true
+
+let edge_weight_float e =
+  (* deterministic pseudo-weight per edge: small positive integers *)
+  float_of_int (1 + ((Edge.hash e land 0xffff) mod 5))
+
+let qcheck_eval_natural =
+  H.qtest ~count:80 "Natural eval = per-pair counts" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      agree_with_oracle (module Semiring.Natural)
+        ~weight:(fun _ -> 1)
+        g r ~max_length:3)
+
+let qcheck_eval_boolean =
+  H.qtest ~count:80 "Boolean eval = endpoint pairs" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      agree_with_oracle (module Semiring.Boolean)
+        ~weight:(fun _ -> true)
+        g r ~max_length:3)
+
+let qcheck_eval_tropical =
+  H.qtest ~count:80 "Tropical eval = min path weight" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      agree_with_oracle (module Semiring.Tropical) ~weight:edge_weight_float g r
+        ~max_length:3)
+
+let qcheck_eval_probability =
+  (* integer-valued weights keep float sums exact *)
+  H.qtest ~count:80 "Probability eval = sum of path products"
+    H.with_graph_gen H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      agree_with_oracle (module Semiring.Probability) ~weight:edge_weight_float
+        g r ~max_length:3)
+
+let qcheck_natural_total_equals_counting =
+  H.qtest ~count:80 "Natural total = Counting.count" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      Eval.total (module Semiring.Natural)
+        (Eval.run (module Semiring.Natural) g r ~max_length:3)
+      = Mrpa_automata.Counting.count g r ~max_length:3)
+
+let qcheck_reachable_pairs_equal_endpoints =
+  H.qtest ~count:80 "reachable_pairs = endpoint_pairs of denotation"
+    H.with_graph_gen H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      let via_eval = Eval.reachable_pairs g r ~max_length:3 in
+      let via_sets =
+        Path_set.endpoint_pairs
+          (Path_set.filter
+             (fun p -> not (Path.is_empty p))
+             (Expr.denote g ~max_length:3 r))
+      in
+      via_eval = via_sets)
+
+(* --- Eval: concrete cases ---------------------------------------------- *)
+
+let test_cheapest_on_lattice () =
+  (* 2x3 lattice, right costs 1, down costs 10: cheapest corner-to-corner
+     goes right twice then down once: 12. *)
+  let g = Generate.lattice ~rows:2 ~cols:3 in
+  let right = Digraph.label g "right" in
+  let weight e = if Label.equal (Edge.label e) right then 1.0 else 10.0 in
+  let expr = Expr.plus (Expr.sel Selector.universe) in
+  let pairs = Eval.cheapest_paths ~weight g expr ~max_length:5 in
+  let x00 = Digraph.vertex g "x0_0" and x12 = Digraph.vertex g "x1_2" in
+  let cost =
+    List.assoc
+      (x00, x12)
+      (List.map (fun ((s, d), v) -> ((s, d), v)) pairs)
+  in
+  Alcotest.(check (float 1e-9)) "cheapest corner route" 12.0 cost
+
+let test_bottleneck_on_path () =
+  let g = Digraph.create () in
+  ignore (Digraph.add g "a" "r" "b");
+  ignore (Digraph.add g "b" "r" "c");
+  ignore (Digraph.add g "a" "r" "c");
+  let weight e =
+    match
+      ( Digraph.vertex_name g (Edge.tail e),
+        Digraph.vertex_name g (Edge.head e) )
+    with
+    | "a", "b" -> 5.0
+    | "b", "c" -> 3.0
+    | _ -> 2.0 (* direct a→c *)
+  in
+  let expr = Expr.plus (Expr.sel Selector.universe) in
+  let r = Eval.run (module Semiring.Bottleneck) ~weight g expr ~max_length:3 in
+  let a = Digraph.vertex g "a" and c = Digraph.vertex g "c" in
+  (* widest a→c: two-hop min(5,3)=3 beats direct 2 *)
+  Alcotest.(check (float 1e-9)) "widest bottleneck" 3.0
+    (Eval.pair_value (module Semiring.Bottleneck) r a c)
+
+let test_epsilon_reporting () =
+  let g = H.paper_graph () in
+  let nullable = Expr.star (Expr.sel Selector.universe) in
+  let strict = Expr.sel Selector.universe in
+  let r1 = Eval.run (module Semiring.Natural) g nullable ~max_length:1 in
+  let r2 = Eval.run (module Semiring.Natural) g strict ~max_length:1 in
+  Alcotest.(check (option int)) "ε denoted" (Some 1) r1.Eval.epsilon;
+  Alcotest.(check (option int)) "ε absent" None r2.Eval.epsilon
+
+let test_zero_length_bound () =
+  let g = H.paper_graph () in
+  let r = Eval.run (module Semiring.Natural) g (Expr.sel Selector.universe) ~max_length:0 in
+  Alcotest.(check int) "no pairs at bound 0" 0 (List.length r.Eval.pairs)
+
+(* --- Witness extraction -------------------------------------------------------- *)
+
+let test_witness_lattice () =
+  let g = Generate.lattice ~rows:2 ~cols:3 in
+  let right = Digraph.label g "right" in
+  let weight e = if Label.equal (Edge.label e) right then 1.0 else 10.0 in
+  let expr = Expr.plus (Expr.sel Selector.universe) in
+  let w = Witness.prepare ~weight g expr ~max_length:5 in
+  let x00 = Digraph.vertex g "x0_0" and x12 = Digraph.vertex g "x1_2" in
+  match Witness.cheapest w ~source:x00 ~target:x12 with
+  | None -> Alcotest.fail "expected a witness"
+  | Some (p, cost) ->
+    Alcotest.(check (float 1e-9)) "cost 12" 12.0 cost;
+    Alcotest.(check (option int)) "starts at corner" (Some x00) (Path.tail p);
+    Alcotest.(check (option int)) "ends at corner" (Some x12) (Path.head p);
+    Alcotest.(check int) "3 hops" 3 (Path.length p);
+    (* the witness's own weight equals the reported cost *)
+    Alcotest.(check (float 1e-9)) "weight consistent" cost
+      (Path.fold (fun acc e -> acc +. weight e) 0.0 p)
+
+let test_witness_no_route () =
+  let g = Generate.lattice ~rows:2 ~cols:2 in
+  let expr = Expr.plus (Expr.sel Selector.universe) in
+  let w = Witness.prepare ~weight:(fun _ -> 1.0) g expr ~max_length:4 in
+  let x11 = Digraph.vertex g "x1_1" and x00 = Digraph.vertex g "x0_0" in
+  Alcotest.(check bool) "sink has no outgoing route" true
+    (Witness.cheapest w ~source:x11 ~target:x00 = None)
+
+let qcheck_witness_matches_eval =
+  H.qtest ~count:60 "witness cost = tropical eval value" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr ~allow_product:false rng g in
+      let weight = edge_weight_float in
+      let values = Eval.run (module Semiring.Tropical) ~weight g r ~max_length:3 in
+      let w = Witness.prepare ~weight g r ~max_length:3 in
+      List.for_all
+        (fun ((s, d), value) ->
+          match Witness.cheapest w ~source:s ~target:d with
+          | None -> false
+          | Some (p, cost) ->
+            Float.equal cost value
+            && Path.tail p = Some s && Path.head p = Some d
+            && Float.equal
+                 (Path.fold (fun acc e -> acc +. weight e) 0.0 p)
+                 cost
+            && Mrpa_automata.Recognizer.cubic r p)
+        values.Eval.pairs)
+
+let qcheck_witness_any_is_global_min =
+  H.qtest ~count:60 "cheapest_any = global minimum" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr ~allow_product:false rng g in
+      let weight = edge_weight_float in
+      let values = Eval.run (module Semiring.Tropical) ~weight g r ~max_length:3 in
+      let w = Witness.prepare ~weight g r ~max_length:3 in
+      let global =
+        List.fold_left
+          (fun acc (_, v) -> Float.min acc v)
+          infinity values.Eval.pairs
+      in
+      match Witness.cheapest_any w with
+      | None -> values.Eval.pairs = []
+      | Some (_, cost) -> Float.equal cost global)
+
+let () =
+  Alcotest.run "mrpa_semiring"
+    [
+      ( "laws",
+        [
+          check_laws "boolean" (module Semiring.Boolean) bool_sample;
+          check_laws "natural" (module Semiring.Natural) nat_sample;
+          check_laws "tropical" (module Semiring.Tropical) tropical_sample;
+          check_laws "viterbi" (module Semiring.Viterbi) viterbi_sample;
+          check_laws "probability" (module Semiring.Probability) intfloat_sample;
+          check_laws "bottleneck" (module Semiring.Bottleneck) bottleneck_sample;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "cheapest lattice" `Quick test_cheapest_on_lattice;
+          Alcotest.test_case "bottleneck" `Quick test_bottleneck_on_path;
+          Alcotest.test_case "epsilon" `Quick test_epsilon_reporting;
+          Alcotest.test_case "bound 0" `Quick test_zero_length_bound;
+          qcheck_eval_natural;
+          qcheck_eval_boolean;
+          qcheck_eval_tropical;
+          qcheck_eval_probability;
+          qcheck_natural_total_equals_counting;
+          qcheck_reachable_pairs_equal_endpoints;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "lattice" `Quick test_witness_lattice;
+          Alcotest.test_case "no route" `Quick test_witness_no_route;
+          qcheck_witness_matches_eval;
+          qcheck_witness_any_is_global_min;
+        ] );
+    ]
