@@ -28,6 +28,13 @@ let or_die = function
     Printf.eprintf "error: %s\n" msg;
     exit 1
 
+(* Parse with the source in hand so errors come out caret-rendered. *)
+let parse_or_die g query =
+  match Mrpa_engine.Parser.parse g query with
+  | Ok e -> e
+  | Error e ->
+    or_die (Error (Mrpa_engine.Parser.render_error ~source:query e))
+
 let graph_arg =
   let doc = "Graph file (TSV edge list: tail<TAB>label<TAB>head)." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
@@ -159,9 +166,34 @@ let simple_arg =
     value & flag
     & info [ "simple" ] ~doc:"Restrict to simple paths (no repeated vertex).")
 
+let lint_flag =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Statically analyse the query before running it; findings go to \
+           standard error, and an error-severity finding (statically empty \
+           query) aborts the run.")
+
+let print_lint_findings ~out ~source diags =
+  List.iter
+    (fun d ->
+      Format.fprintf out "%s@." (Mrpa_lint.Diagnostic.render ~source d))
+    diags
+
 let query_cmd =
-  let run path query max_length limit strategy simple count json =
+  let run path query max_length limit strategy simple count json lint =
     let g = or_die (load_graph path) in
+    if lint then begin
+      match Mrpa_engine.Engine.lint g query with
+      | Error msg -> or_die (Error msg)
+      | Ok diags ->
+        print_lint_findings ~out:Format.err_formatter ~source:query diags;
+        if Mrpa_lint.Diagnostic.has_errors diags then begin
+          Printf.eprintf "error: the query is statically empty; not running it\n";
+          exit 1
+        end
+    end;
     if json then begin
       match
         Mrpa_engine.Engine.query ?strategy ~simple ~max_length ?limit g query
@@ -195,17 +227,45 @@ let query_cmd =
   let term =
     Term.(
       const run $ graph_arg $ query_pos $ max_length_arg $ limit_arg
-      $ strategy_arg $ simple_arg $ count_arg $ json_arg)
+      $ strategy_arg $ simple_arg $ count_arg $ json_arg $ lint_flag)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run a regular path query") term
+
+(* --- lint -------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run path query =
+    let g = or_die (load_graph path) in
+    match Mrpa_engine.Engine.lint g query with
+    | Error msg -> or_die (Error msg)
+    | Ok diags ->
+      let module D = Mrpa_lint.Diagnostic in
+      if diags = [] then Format.printf "no findings@."
+      else begin
+        print_lint_findings ~out:Format.std_formatter ~source:query diags;
+        Format.printf "%s@." (D.summary diags)
+      end;
+      exit (if D.has_errors diags then 1 else 0)
+  in
+  let term = Term.(const run $ graph_arg $ query_pos) in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse a query against a graph without running it: \
+          dead union arms, never-adjacent joins, stars that cannot iterate, \
+          selectors matching no edge, unreachable automaton positions. \
+          Exits 1 when an error-severity finding (statically empty query) \
+          is reported.")
+    term
 
 let shell_cmd =
   let run path max_length =
     let g = or_die (load_graph path) in
     Format.printf
       "mrpa shell — %a@.Type a query per line; :explain QUERY, :count QUERY, \
-       :quit to exit.@."
+       :lint QUERY, :quit to exit.@."
       Digraph.pp_stats g;
+    let signature = lazy (Mrpa_lint.Signature.make g) in
     let rec loop () =
       Format.printf "mrpa> @?";
       match input_line stdin with
@@ -232,6 +292,19 @@ let shell_cmd =
              else if starts_with ":count" then
                match Mrpa_engine.Engine.count ~max_length g (rest ":count") with
                | Ok n -> Format.printf "%d@." n
+               | Error msg -> Format.printf "error: %s@." msg
+             else if starts_with ":lint" then
+               let source = rest ":lint" in
+               match
+                 Mrpa_engine.Engine.lint ~signature:(Lazy.force signature) g
+                   source
+               with
+               | Ok diags ->
+                 if diags = [] then Format.printf "no findings@."
+                 else begin
+                   print_lint_findings ~out:Format.std_formatter ~source diags;
+                   Format.printf "%s@." (Mrpa_lint.Diagnostic.summary diags)
+                 end
                | Error msg -> Format.printf "error: %s@." msg
              else
                match Mrpa_engine.Engine.query ~max_length g line with
@@ -300,11 +373,7 @@ let recognize_cmd =
   in
   let run graph_path query path_text =
     let g = or_die (load_graph graph_path) in
-    let expr =
-      match Mrpa_engine.Parser.parse g query with
-      | Ok e -> e
-      | Error e -> or_die (Error (Format.asprintf "%a" Mrpa_engine.Parser.pp_error e))
-    in
+    let expr = parse_or_die g query in
     let resolve what find name =
       match find name with
       | Some x -> x
@@ -500,12 +569,7 @@ let cheapest_cmd =
         (String.split_on_char ',' cost);
     Hashtbl.iter (fun l v -> Weights.set_label table l v) costs;
     let weight = Weights.to_fun table in
-    let expr =
-      match Mrpa_engine.Parser.parse g query with
-      | Ok e -> fst (Mrpa_engine.Optimizer.simplify e)
-      | Error e ->
-        or_die (Error (Format.asprintf "%a" Mrpa_engine.Parser.pp_error e))
-    in
+    let expr = fst (Mrpa_engine.Optimizer.simplify (parse_or_die g query)) in
     let pairs = Mrpa_semiring.Eval.cheapest_paths ~weight g expr ~max_length in
     let resolve name =
       match Digraph.find_vertex g name with
@@ -560,17 +624,16 @@ let sample_cmd =
   in
   let run path query max_length n seed =
     let g = or_die (load_graph path) in
-    match Mrpa_engine.Parser.parse g query with
-    | Error e ->
-      or_die (Error (Format.asprintf "%a" Mrpa_engine.Parser.pp_error e))
-    | Ok expr ->
-      let optimized, _ = Mrpa_engine.Optimizer.simplify expr in
-      let sampler = Mrpa_automata.Sampler.prepare g optimized ~max_length in
+    let expr = parse_or_die g query in
+    let optimized, _ = Mrpa_engine.Optimizer.simplify expr in
+    let sampler = Mrpa_automata.Sampler.prepare g optimized ~max_length in
+    begin
       let population = Mrpa_automata.Sampler.population sampler in
       Format.printf "population: %d path(s)@." population;
       List.iter
         (fun p -> Format.printf "%a@." (Digraph.pp_path g) p)
         (Mrpa_automata.Sampler.sample sampler (Prng.create seed) n)
+    end
   in
   let term =
     Term.(const run $ graph_arg $ query_pos $ max_length_arg $ n_arg $ seed_arg)
@@ -594,7 +657,7 @@ let crpq_cmd =
     let g = or_die (load_graph path) in
     match Mrpa_engine.Crpq.parse g text with
     | Error e ->
-      or_die (Error (Format.asprintf "%a" Mrpa_engine.Parser.pp_error e))
+      or_die (Error (Mrpa_engine.Parser.render_error ~source:text e))
     | Ok q ->
       let answers = Mrpa_engine.Crpq.eval ~max_length g q in
       if json then
@@ -627,11 +690,9 @@ let crpq_cmd =
 let automaton_cmd =
   let run path query output =
     let g = or_die (load_graph path) in
-    match Mrpa_engine.Parser.parse g query with
-    | Error e -> or_die (Error (Format.asprintf "%a" Mrpa_engine.Parser.pp_error e))
-    | Ok expr ->
-      let optimized, _ = Mrpa_engine.Optimizer.simplify expr in
-      write_output output
+    let expr = parse_or_die g query in
+    let optimized, _ = Mrpa_engine.Optimizer.simplify expr in
+    write_output output
         (Mrpa_automata.Viz.expr_to_dot ~name:"mrpa_automaton" ~graph:g optimized)
   in
   let term = Term.(const run $ graph_arg $ query_pos $ output_arg) in
@@ -675,6 +736,7 @@ let () =
         generate_cmd;
         stats_cmd;
         query_cmd;
+        lint_cmd;
         crpq_cmd;
         shell_cmd;
         explain_cmd;

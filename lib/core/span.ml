@@ -1,0 +1,25 @@
+type t = { start : int; stop : int }
+
+let make ~start ~stop =
+  if stop < start then invalid_arg "Span.make: stop < start";
+  { start; stop }
+
+let dummy = { start = -1; stop = -1 }
+let is_dummy s = s.start < 0
+let point p = { start = p; stop = p + 1 }
+let length s = if is_dummy s then 0 else s.stop - s.start
+
+let cover a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { start = min a.start b.start; stop = max a.stop b.stop }
+
+let compare a b =
+  let c = Int.compare a.start b.start in
+  if c <> 0 then c else Int.compare a.stop b.stop
+
+let equal a b = compare a b = 0
+
+let pp fmt s =
+  if is_dummy s then Format.pp_print_string fmt "<no-span>"
+  else Format.fprintf fmt "%d-%d" s.start s.stop

@@ -1,0 +1,30 @@
+(** Byte-offset source spans.
+
+    A span [{start; stop}] designates the half-open byte range
+    [\[start, stop)] of a query string. Spans are attached to the nodes of
+    the {!Spanned} AST by the parser so that diagnostics (parse errors,
+    lint findings) can point back into the source text. *)
+
+type t = { start : int; stop : int }
+
+val make : start:int -> stop:int -> t
+(** Raises [Invalid_argument] when [stop < start]. *)
+
+val dummy : t
+(** The absent span, used for programmatically built expressions
+    ({!Spanned.of_expr}). Renderers skip it. *)
+
+val is_dummy : t -> bool
+
+val point : int -> t
+(** One-byte span at the given offset (parse-error carets). *)
+
+val length : t -> int
+(** [0] for {!dummy}. *)
+
+val cover : t -> t -> t
+(** Smallest span containing both; {!dummy} is the identity. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(** Span-carrying regular path expressions.
+
+    A parallel AST to {!Expr.t} in which every node records the byte range
+    of the source text it was parsed from ({!Span.t}). The parser
+    ([Mrpa_engine.Parser.parse_spanned]) produces this tree; the static
+    analyzer ([Mrpa_lint]) consumes it so that every diagnostic can point
+    back into the query string. [strip] recovers the plain expression —
+    for a parsed tree, [strip] is structurally identical to what
+    [Parser.parse] returns. *)
+
+open Mrpa_graph
+
+type t = { node : node; span : Span.t }
+
+and node =
+  | Empty
+  | Epsilon
+  | Sel of Selector.t
+  | Union of t * t
+  | Join of t * t
+  | Product of t * t
+  | Star of t
+
+val mk : Span.t -> node -> t
+val with_span : Span.t -> t -> t
+
+val strip : t -> Expr.t
+(** Forget the spans. *)
+
+val of_expr : ?span:Span.t -> Expr.t -> t
+(** Annotate every node with [span] (default {!Span.dummy}) — for running
+    the analyzer on programmatically built expressions. *)
+
+(** {1 Derived forms}
+
+    Mirrors of {!Expr.plus}, {!Expr.opt}, {!Expr.repeat} and
+    {!Expr.repeat_range}: same node structure, every introduced node tagged
+    with [span]. *)
+
+val plus : span:Span.t -> t -> t
+val opt : span:Span.t -> t -> t
+val repeat : span:Span.t -> t -> int -> t
+val repeat_range : span:Span.t -> t -> min:int -> max:int -> t
+
+(** {1 Traversal} *)
+
+val subterms : t -> t list
+(** Every node of the tree, preorder. *)
+
+val sel_occurrences : t -> (Span.t * Selector.t) list
+(** [Sel] leaves left to right — the order in which the Glushkov
+    construction numbers automaton positions, so element [i] of this list
+    is position [i + 1] of [Mrpa_automata.Glushkov.build (strip e)]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_named : Digraph.t -> Format.formatter -> t -> unit

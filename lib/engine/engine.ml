@@ -16,7 +16,7 @@ let query_expr ?strategy ?simple ?(max_length = default_max_length) ?limit g
 
 let query ?strategy ?simple ?max_length ?limit g text =
   match Parser.parse g text with
-  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Error e -> Error (Parser.render_error ~source:text e)
   | Ok expr -> Ok (query_expr ?strategy ?simple ?max_length ?limit g expr)
 
 let query_exn ?strategy ?simple ?max_length ?limit g text =
@@ -30,12 +30,13 @@ let count_expr ?(max_length = default_max_length) g expr =
 
 let count ?max_length g text =
   match Parser.parse g text with
-  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Error e -> Error (Parser.render_error ~source:text e)
   | Ok expr -> Ok (count_expr ?max_length g expr)
 
 let equivalent g text1 text2 =
   match (Parser.parse g text1, Parser.parse g text2) with
-  | Error e, _ | _, Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Error e, _ -> Error (Parser.render_error ~source:text1 e)
+  | _, Error e -> Error (Parser.render_error ~source:text2 e)
   | Ok e1, Ok e2 ->
     let e1', _ = Optimizer.simplify e1 in
     let e2', _ = Optimizer.simplify e2 in
@@ -43,7 +44,12 @@ let equivalent g text1 text2 =
 
 let explain ?(max_length = default_max_length) g text =
   match Parser.parse g text with
-  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Error e -> Error (Parser.render_error ~source:text e)
   | Ok expr ->
     let plan = Optimizer.plan ~max_length g expr in
     Ok (Format.asprintf "%a" (Plan.pp_named g) plan)
+
+let lint ?signature g text =
+  match Parser.parse_spanned g text with
+  | Error e -> Error (Parser.render_error ~source:text e)
+  | Ok spanned -> Ok (Mrpa_lint.Lint.analyze ?signature g spanned)

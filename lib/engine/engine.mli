@@ -64,4 +64,15 @@ val explain :
 (** The plan that {!query} would run, rendered as text, without running
     it. *)
 
+val lint :
+  ?signature:Mrpa_lint.Signature.t ->
+  Digraph.t ->
+  string ->
+  (Mrpa_lint.Diagnostic.t list, string) Stdlib.result
+(** Statically analyse a textual query against a graph without running it:
+    parse with spans, then {!Mrpa_lint.Lint.analyze} (emptiness abstract
+    interpretation over the label signature, plus Glushkov dead-position
+    checks). [Error] carries a rendered parse error. Pass [?signature] to
+    amortise the graph abstraction across queries. *)
+
 val default_max_length : int

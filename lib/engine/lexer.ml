@@ -20,7 +20,7 @@ type token =
   | INT of int
   | EOF
 
-type located = { token : token; pos : int }
+type located = { token : token; pos : int; stop : int }
 
 exception Lex_error of string * int
 
@@ -31,30 +31,31 @@ let is_ident_char c = is_letter c || is_digit c || c = '_'
 let tokenize input =
   let n = String.length input in
   let tokens = ref [] in
-  let emit pos token = tokens := { token; pos } :: !tokens in
+  let emit pos stop token = tokens := { token; pos; stop } :: !tokens in
+  let emit1 i token = emit i (i + 1) token in
   let rec scan i =
-    if i >= n then emit i EOF
+    if i >= n then emit i i EOF
     else
       match input.[i] with
       | ' ' | '\t' | '\n' | '\r' -> scan (i + 1)
-      | '[' -> emit i LBRACKET; scan (i + 1)
-      | ']' -> emit i RBRACKET; scan (i + 1)
-      | '{' -> emit i LBRACE; scan (i + 1)
-      | '}' -> emit i RBRACE; scan (i + 1)
-      | '(' -> emit i LPAREN; scan (i + 1)
-      | ')' -> emit i RPAREN; scan (i + 1)
-      | ',' -> emit i COMMA; scan (i + 1)
-      | ';' -> emit i SEMI; scan (i + 1)
-      | '.' -> emit i DOT; scan (i + 1)
-      | '|' -> emit i PIPE; scan (i + 1)
-      | '*' -> emit i STAR; scan (i + 1)
-      | '+' -> emit i PLUS; scan (i + 1)
-      | '?' -> emit i QUESTION; scan (i + 1)
-      | '!' -> emit i BANG; scan (i + 1)
-      | '=' -> emit i EQUAL; scan (i + 1)
+      | '[' -> emit1 i LBRACKET; scan (i + 1)
+      | ']' -> emit1 i RBRACKET; scan (i + 1)
+      | '{' -> emit1 i LBRACE; scan (i + 1)
+      | '}' -> emit1 i RBRACE; scan (i + 1)
+      | '(' -> emit1 i LPAREN; scan (i + 1)
+      | ')' -> emit1 i RPAREN; scan (i + 1)
+      | ',' -> emit1 i COMMA; scan (i + 1)
+      | ';' -> emit1 i SEMI; scan (i + 1)
+      | '.' -> emit1 i DOT; scan (i + 1)
+      | '|' -> emit1 i PIPE; scan (i + 1)
+      | '*' -> emit1 i STAR; scan (i + 1)
+      | '+' -> emit1 i PLUS; scan (i + 1)
+      | '?' -> emit1 i QUESTION; scan (i + 1)
+      | '!' -> emit1 i BANG; scan (i + 1)
+      | '=' -> emit1 i EQUAL; scan (i + 1)
       | '>' ->
         if i + 1 < n && input.[i + 1] = '<' then begin
-          emit i CROSS;
+          emit i (i + 2) CROSS;
           scan (i + 2)
         end
         else raise (Lex_error ("expected '><'", i))
@@ -65,12 +66,12 @@ let tokenize input =
           else find_close (j + 1)
         in
         let close = find_close (i + 1) in
-        emit i (IDENT (String.sub input (i + 1) (close - i - 1)));
+        emit i (close + 1) (IDENT (String.sub input (i + 1) (close - i - 1)));
         scan (close + 1)
       | c when is_digit c ->
         let rec stop j = if j < n && is_digit input.[j] then stop (j + 1) else j in
         let j = stop i in
-        emit i (INT (int_of_string (String.sub input i (j - i))));
+        emit i j (INT (int_of_string (String.sub input i (j - i))));
         scan j
       | c when is_letter c || c = '_' ->
         let rec stop j =
@@ -78,7 +79,7 @@ let tokenize input =
         in
         let j = stop i in
         let word = String.sub input i (j - i) in
-        emit i (if word = "_" then UNDERSCORE else IDENT word);
+        emit i j (if word = "_" then UNDERSCORE else IDENT word);
         scan j
       | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i))
   in

@@ -24,7 +24,9 @@ type token =
   | INT of int
   | EOF
 
-type located = { token : token; pos : int }
+type located = { token : token; pos : int; stop : int }
+(** [pos] is the byte offset of the token's first character; [stop] is one
+    past its last character, so [\[pos, stop)] is the token's source span. *)
 
 exception Lex_error of string * int
 (** Message and byte offset. *)

@@ -1,13 +1,20 @@
 open Mrpa_graph
 open Mrpa_core
 
-(* One bottom-up pass; records fired rewrite names. Iterated to fixpoint by
-   [simplify]. *)
-let rewrite_pass fired expr =
+(* One bottom-up pass; records fired rewrite names, and — when a rewrite
+   {e proves} a subexpression empty — a lint note for the plan. Iterated to
+   fixpoint by [simplify_notes]. *)
+let rewrite_pass fired notes expr =
   let open Expr in
   let fire name result =
     fired := name :: !fired;
     result
+  in
+  let note_empty sub =
+    let msg =
+      Format.asprintf "@[subexpression %a is provably empty@]" Expr.pp sub
+    in
+    if not (List.mem msg !notes) then notes := !notes @ [ msg ]
   in
   let rec go : Expr.t -> Expr.t = function
     | (Empty | Epsilon | Sel _) as e -> e
@@ -22,14 +29,20 @@ let rewrite_pass fired expr =
       | r, s -> Union (r, s))
     | Join (a, b) -> (
       match (go a, go b) with
-      | Empty, _ | _, Empty -> fire "join-empty" Expr.empty
+      | ((Empty, _) | (_, Empty)) as p ->
+        let x, y = p in
+        note_empty (Join (x, y));
+        fire "join-empty" Expr.empty
       | Epsilon, r -> fire "join-epsilon" r
       | r, Epsilon -> fire "join-epsilon" r
       | Star r, Star s when Expr.equal r s -> fire "star-star-join" (Star r)
       | r, s -> Join (r, s))
     | Product (a, b) -> (
       match (go a, go b) with
-      | Empty, _ | _, Empty -> fire "product-empty" Expr.empty
+      | ((Empty, _) | (_, Empty)) as p ->
+        let x, y = p in
+        note_empty (Product (x, y));
+        fire "product-empty" Expr.empty
       | Epsilon, r -> fire "product-epsilon" r
       | r, Epsilon -> fire "product-epsilon" r
       | r, s -> Product (r, s))
@@ -44,10 +57,11 @@ let rewrite_pass fired expr =
   in
   go expr
 
-let simplify expr =
+let simplify_notes expr =
   let fired = ref [] in
+  let notes = ref [] in
   let rec fixpoint e =
-    let e' = rewrite_pass fired e in
+    let e' = rewrite_pass fired notes e in
     if Expr.equal e e' then e else fixpoint e'
   in
   let result = fixpoint expr in
@@ -57,7 +71,23 @@ let simplify expr =
       (fun acc n -> if List.mem n acc then acc else acc @ [ n ])
       [] names
   in
-  (result, dedup)
+  let messages =
+    if Expr.equal result Expr.empty && not (Expr.equal expr Expr.empty) then
+      !notes @ [ "the whole query rewrites to the empty set" ]
+    else !notes
+  in
+  let diags =
+    List.map
+      (fun msg ->
+        Mrpa_lint.Diagnostic.make ~code:"L009"
+          ~severity:Mrpa_lint.Diagnostic.Hint msg)
+      messages
+  in
+  (result, dedup, diags)
+
+let simplify expr =
+  let result, rewrites, _ = simplify_notes expr in
+  (result, rewrites)
 
 let rec has_star : Expr.t -> bool = function
   | Empty | Epsilon | Sel _ -> false
@@ -88,7 +118,7 @@ let choose_strategy g expr =
 
 let plan ?strategy ?(simple = false) ~max_length g expr =
   if max_length < 0 then invalid_arg "Optimizer.plan: negative max_length";
-  let optimized, rewrites = simplify expr in
+  let optimized, rewrites, notes = simplify_notes expr in
   let strategy, strategy_reason =
     match strategy with
     | Some s -> (s, "forced by caller")
@@ -102,4 +132,5 @@ let plan ?strategy ?(simple = false) ~max_length g expr =
     simple;
     rewrites;
     strategy_reason;
+    notes;
   }

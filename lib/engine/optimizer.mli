@@ -24,6 +24,13 @@ val simplify : Expr.t -> Expr.t * string list
 (** Rewritten expression plus the names of rewrites that fired (in firing
     order, deduplicated). The result denotes the same path set. *)
 
+val simplify_notes :
+  Expr.t -> Expr.t * string list * Mrpa_lint.Diagnostic.t list
+(** Like {!simplify}, but additionally returns one [L009] lint note per
+    subexpression a rewrite proved empty (plus one when the whole query
+    rewrites to [∅]). The notes carry no source span — the rewriter works
+    on span-less expressions — and end up in {!Plan.t.notes}. *)
+
 val choose_strategy :
   Digraph.t -> Expr.t -> Plan.strategy * string
 (** Strategy and a human-readable reason. *)

@@ -12,18 +12,24 @@ type state = {
   tokens : Lexer.located array;
   mutable cursor : int;
   graph : Digraph.t;
-  mutable macros : (string * Expr.t) list;
+  mutable macros : (string * Spanned.t) list;
 }
 
 let peek st = st.tokens.(st.cursor)
 let advance st = st.cursor <- st.cursor + 1
 
+(* Start offset of the upcoming token / end offset of the last consumed
+   token: every production wraps its result in the span they delimit. *)
+let tok_start st = (peek st).Lexer.pos
+let prev_stop st = st.tokens.(st.cursor - 1).Lexer.stop
+let span_from st start = Span.make ~start ~stop:(prev_stop st)
+
 let expect st token what =
-  let { Lexer.token = t; pos } = peek st in
+  let { Lexer.token = t; pos; _ } = peek st in
   if t = token then advance st else fail pos "expected %s" what
 
 let name_of_token st =
-  let { Lexer.token; pos } = peek st in
+  let { Lexer.token; pos; _ } = peek st in
   match token with
   | Lexer.IDENT s ->
     advance st;
@@ -45,12 +51,12 @@ let resolve_label st (name, pos) =
 
 (* names ::= name | '{' name (',' name)* '}' ; returns resolved via [f] *)
 let parse_names st f =
-  match (peek st).token with
+  match (peek st).Lexer.token with
   | Lexer.LBRACE ->
     advance st;
     let rec more acc =
       let x = f st (name_of_token st) in
-      match (peek st).token with
+      match (peek st).Lexer.token with
       | Lexer.COMMA ->
         advance st;
         more (x :: acc)
@@ -66,7 +72,7 @@ let all_labels st = Label.Set.of_list (Digraph.labels st.graph)
 
 (* vpos / lpos ::= '_' | names | '!' names *)
 let parse_vertex_position st =
-  match (peek st).token with
+  match (peek st).Lexer.token with
   | Lexer.UNDERSCORE ->
     advance st;
     None
@@ -77,7 +83,7 @@ let parse_vertex_position st =
   | _ -> Some (Vertex.Set.of_list (parse_names st resolve_vertex))
 
 let parse_label_position st =
-  match (peek st).token with
+  match (peek st).Lexer.token with
   | Lexer.UNDERSCORE ->
     advance st;
     None
@@ -111,7 +117,7 @@ let parse_edge_set st =
   expect st Lexer.LBRACE "'{'";
   let rec more acc =
     let e = parse_triple st in
-    match (peek st).token with
+    match (peek st).Lexer.token with
     | Lexer.SEMI ->
       advance st;
       more (Edge.Set.add e acc)
@@ -122,102 +128,120 @@ let parse_edge_set st =
   Selector.edges (more Edge.Set.empty)
 
 let rec parse_expr st =
+  let start = tok_start st in
   let left = parse_cat st in
-  match (peek st).token with
+  match (peek st).Lexer.token with
   | Lexer.PIPE ->
     advance st;
-    Expr.union left (parse_expr st)
+    let right = parse_expr st in
+    Spanned.mk (span_from st start) (Spanned.Union (left, right))
   | _ -> left
 
 and parse_cat st =
+  let start = tok_start st in
   let rec loop left =
-    match (peek st).token with
+    match (peek st).Lexer.token with
     | Lexer.DOT ->
       advance st;
-      loop (Expr.join left (parse_postfix st))
+      let right = parse_postfix st in
+      loop (Spanned.mk (span_from st start) (Spanned.Join (left, right)))
     | Lexer.CROSS ->
       advance st;
-      loop (Expr.product left (parse_postfix st))
+      let right = parse_postfix st in
+      loop (Spanned.mk (span_from st start) (Spanned.Product (left, right)))
     | _ -> left
   in
   loop (parse_postfix st)
 
 and parse_postfix st =
+  let start = tok_start st in
   let rec loop e =
-    match (peek st).token with
+    match (peek st).Lexer.token with
     | Lexer.STAR ->
       advance st;
-      loop (Expr.star e)
+      loop (Spanned.mk (span_from st start) (Spanned.Star e))
     | Lexer.PLUS ->
       advance st;
-      loop (Expr.plus e)
+      loop (Spanned.plus ~span:(span_from st start) e)
     | Lexer.QUESTION ->
       advance st;
-      loop (Expr.opt e)
+      loop (Spanned.opt ~span:(span_from st start) e)
     | Lexer.LBRACE -> (
       (* '{' here is a repetition only when followed by an INT; otherwise it
          belongs to a following atom and must not be consumed. *)
-      match st.tokens.(st.cursor + 1).token with
+      match st.tokens.(st.cursor + 1).Lexer.token with
       | Lexer.INT lo ->
         advance st;
         advance st;
         let e =
-          match (peek st).token with
+          match (peek st).Lexer.token with
           | Lexer.COMMA ->
             advance st;
-            let { Lexer.token; pos } = peek st in
+            let { Lexer.token; pos; _ } = peek st in
             (match token with
             | Lexer.INT hi ->
+              if hi < lo then
+                fail pos "upper repetition bound %d is below the lower bound %d"
+                  hi lo;
               advance st;
-              Expr.repeat_range e ~min:lo ~max:hi
+              expect st Lexer.RBRACE "'}'";
+              Spanned.repeat_range ~span:(span_from st start) e ~min:lo ~max:hi
             | _ -> fail pos "expected an upper repetition bound")
-          | _ -> Expr.repeat e lo
+          | _ ->
+            expect st Lexer.RBRACE "'}'";
+            Spanned.repeat ~span:(span_from st start) e lo
         in
-        expect st Lexer.RBRACE "'}'";
         loop e
       | _ -> e)
-    | _ -> loop_done e
-  and loop_done e = e in
+    | _ -> e
+  in
   loop (parse_atom st)
 
 and parse_atom st =
-  let { Lexer.token; pos } = peek st in
+  let { Lexer.token; pos; _ } = peek st in
   match token with
   | Lexer.LPAREN ->
     advance st;
     let e = parse_expr st in
     expect st Lexer.RPAREN "')'";
-    e
+    (* the parenthesised expression covers the parentheses *)
+    Spanned.with_span (span_from st pos) e
   | Lexer.IDENT "eps" ->
     advance st;
-    Expr.epsilon
+    Spanned.mk (span_from st pos) Spanned.Epsilon
   | Lexer.IDENT "empty" ->
     advance st;
-    Expr.empty
+    Spanned.mk (span_from st pos) Spanned.Empty
   | Lexer.IDENT "E" ->
     advance st;
-    Expr.sel Selector.universe
+    Spanned.mk (span_from st pos) (Spanned.Sel Selector.universe)
   | Lexer.IDENT (("let" | "in") as kw) -> fail pos "reserved word %S" kw
   | Lexer.IDENT name -> (
     match List.assoc_opt name st.macros with
     | Some e ->
       advance st;
-      e
+      (* the root of the expansion points at the use site; inner nodes keep
+         their definition-site spans (both live in the same source) *)
+      Spanned.with_span (span_from st pos) e
     | None -> fail pos "unknown macro %S" name)
-  | Lexer.LBRACKET -> Expr.sel (parse_selector st)
-  | Lexer.LBRACE -> Expr.sel (parse_edge_set st)
+  | Lexer.LBRACKET ->
+    let s = parse_selector st in
+    Spanned.mk (span_from st pos) (Spanned.Sel s)
+  | Lexer.LBRACE ->
+    let s = parse_edge_set st in
+    Spanned.mk (span_from st pos) (Spanned.Sel s)
   | _ -> fail pos "expected an expression"
 
 (* query ::= ('let' name '=' expr 'in')* expr *)
 let rec parse_query st =
-  match (peek st).token with
+  match (peek st).Lexer.token with
   | Lexer.IDENT "let" ->
     advance st;
     let name, pos = name_of_token st in
     if name = "let" || name = "in" then fail pos "reserved word %S" name;
     expect st Lexer.EQUAL "'='";
     let body = parse_expr st in
-    let { Lexer.token; pos } = peek st in
+    let { Lexer.token; pos; _ } = peek st in
     (match token with
     | Lexer.IDENT "in" -> advance st
     | _ -> fail pos "expected 'in'");
@@ -225,7 +249,7 @@ let rec parse_query st =
     parse_query st
   | _ -> parse_expr st
 
-let parse graph input =
+let parse_spanned graph input =
   match Lexer.tokenize input with
   | exception Lexer.Lex_error (message, position) -> Error { message; position }
   | tokens -> (
@@ -233,13 +257,15 @@ let parse graph input =
     match parse_query st with
     | exception Parse_failure e -> Error e
     | expr ->
-      let { Lexer.token; pos } = peek st in
+      let { Lexer.token; pos; _ } = peek st in
       if token = Lexer.EOF then Ok expr
       else Error { message = "trailing input"; position = pos })
 
+let parse graph input = Result.map Spanned.strip (parse_spanned graph input)
+
 (* CRPQ concrete syntax: select vars where (var, expr, var), ... *)
 let parse_variable st =
-  let { Lexer.token; pos } = peek st in
+  let { Lexer.token; pos; _ } = peek st in
   match token with
   | Lexer.IDENT name when name <> "select" && name <> "where" ->
     advance st;
@@ -247,7 +273,7 @@ let parse_variable st =
   | _ -> fail pos "expected a variable name"
 
 let expect_keyword st kw =
-  let { Lexer.token; pos } = peek st in
+  let { Lexer.token; pos; _ } = peek st in
   match token with
   | Lexer.IDENT name when name = kw -> advance st
   | _ -> fail pos "expected %S" kw
@@ -260,13 +286,13 @@ let parse_crpq_atom st =
   expect st Lexer.COMMA "','";
   let target = parse_variable st in
   expect st Lexer.RPAREN "')'";
-  (source, expr, target)
+  (source, Spanned.strip expr, target)
 
 let parse_crpq_body st =
   expect_keyword st "select";
   let rec vars acc =
     let v = parse_variable st in
-    match (peek st).token with
+    match (peek st).Lexer.token with
     | Lexer.COMMA ->
       advance st;
       vars (v :: acc)
@@ -276,7 +302,7 @@ let parse_crpq_body st =
   expect_keyword st "where";
   let rec atoms acc =
     let a = parse_crpq_atom st in
-    match (peek st).token with
+    match (peek st).Lexer.token with
     | Lexer.COMMA ->
       advance st;
       atoms (a :: acc)
@@ -292,12 +318,18 @@ let parse_crpq_raw graph input =
     match parse_crpq_body st with
     | exception Parse_failure e -> Error e
     | result ->
-      let { Lexer.token; pos } = peek st in
+      let { Lexer.token; pos; _ } = peek st in
       if token = Lexer.EOF then Ok result
       else Error { message = "trailing input"; position = pos })
 
 let pp_error fmt e =
   Format.fprintf fmt "parse error at offset %d: %s" e.position e.message
+
+let render_error ~source e =
+  let span = Span.point e.position in
+  match Mrpa_lint.Diagnostic.excerpt ~source span with
+  | None -> Format.asprintf "%a" pp_error e
+  | Some excerpt -> Format.asprintf "%a@\n%s" pp_error e excerpt
 
 let parse_exn graph input =
   match parse graph input with

@@ -40,6 +40,11 @@ type error = { message : string; position : int }
 
 val parse : Digraph.t -> string -> (Expr.t, error) result
 
+val parse_spanned : Digraph.t -> string -> (Spanned.t, error) result
+(** Like {!parse}, but every AST node carries the byte span of the source
+    text it was parsed from, for diagnostics ({!Mrpa_lint}).
+    [Result.map Spanned.strip (parse_spanned g s) = parse g s]. *)
+
 val parse_exn : Digraph.t -> string -> Expr.t
 (** Raises [Failure] with a rendered {!error}. *)
 
@@ -53,3 +58,7 @@ val parse_crpq_raw :
     and raw atoms. {!Crpq.parse} wraps this with validation. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+val render_error : source:string -> error -> string
+(** {!pp_error} followed by the offending source line with a caret at the
+    error's byte offset (the same rendering lint diagnostics use). *)

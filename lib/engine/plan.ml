@@ -10,6 +10,7 @@ type t = {
   simple : bool;
   rewrites : string list;
   strategy_reason : string;
+  notes : Mrpa_lint.Diagnostic.t list;
 }
 
 let strategy_name = function
@@ -22,6 +23,9 @@ let pp_with pp_expr fmt p =
     p.original pp_expr p.optimized;
   Format.fprintf fmt "  rewrites:   %s@,"
     (match p.rewrites with [] -> "(none)" | l -> String.concat ", " l);
+  List.iter
+    (fun n -> Format.fprintf fmt "  note:       %a@," Mrpa_lint.Diagnostic.pp n)
+    p.notes;
   Format.fprintf fmt "  strategy:   %s (%s)@,  max length: %d%s@]"
     (strategy_name p.strategy) p.strategy_reason p.max_length
     (if p.simple then " (simple paths only)" else "")

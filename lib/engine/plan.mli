@@ -31,6 +31,9 @@ type t = {
           strategies filter afterwards. *)
   rewrites : string list;  (** names of rewrites that fired, in order. *)
   strategy_reason : string;  (** why the strategy was chosen. *)
+  notes : Mrpa_lint.Diagnostic.t list;
+      (** lint notes attached by the optimiser, e.g. a rewrite proving a
+          subexpression empty ([L009]). Rendered by {!pp} when nonempty. *)
 }
 
 val strategy_name : strategy -> string

@@ -1,0 +1,69 @@
+open Mrpa_core
+open Mrpa_automata
+
+(* Forward closure from the initial state (0) over first/follow edges,
+   ignoring edge kinds: graph-independent reachability on the position
+   automaton. *)
+let reachable (a : Glushkov.t) =
+  let seen = Array.make (a.n_positions + 1) false in
+  let rec visit p =
+    if not seen.(p) then begin
+      seen.(p) <- true;
+      let succs = if p = 0 then a.first else List.map fst a.follow.(p) in
+      List.iter visit succs
+    end
+  in
+  visit 0;
+  seen
+
+(* Backward closure from the accepting positions. *)
+let coaccessible (a : Glushkov.t) =
+  let preds = Array.make (a.n_positions + 1) [] in
+  List.iter (fun q -> preds.(q) <- 0 :: preds.(q)) a.first;
+  Array.iteri
+    (fun p succs ->
+      if p > 0 then List.iter (fun (q, _) -> preds.(q) <- p :: preds.(q)) succs)
+    a.follow;
+  let seen = Array.make (a.n_positions + 1) false in
+  let rec visit p =
+    if not seen.(p) then begin
+      seen.(p) <- true;
+      List.iter visit preds.(p)
+    end
+  in
+  for p = 1 to a.n_positions do
+    if a.last.(p) then visit p
+  done;
+  seen
+
+let check ?sel_spans g (a : Glushkov.t) =
+  let span_of p =
+    match sel_spans with
+    | Some spans when p - 1 < Array.length spans -> spans.(p - 1)
+    | _ -> Span.dummy
+  in
+  let reach = reachable a in
+  let coacc = coaccessible a in
+  let diags = ref [] in
+  for p = 1 to a.n_positions do
+    let describe fmt =
+      Format.asprintf fmt p (Selector.pp_named g) a.selector_of.(p)
+    in
+    if not reach.(p) then
+      diags :=
+        Diagnostic.make ~span:(span_of p) ~code:"L006"
+          ~severity:Diagnostic.Warning
+          (describe
+             "unreachable selector occurrence #%d (%a): cut off from the \
+              start of every match")
+        :: !diags
+    else if not coacc.(p) then
+      diags :=
+        Diagnostic.make ~span:(span_of p) ~code:"L007"
+          ~severity:Diagnostic.Warning
+          (describe
+             "dead selector occurrence #%d (%a): no match can be completed \
+              from it")
+        :: !diags
+  done;
+  List.rev !diags

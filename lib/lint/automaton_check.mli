@@ -1,0 +1,28 @@
+(** Structural diagnostics from the Glushkov position automaton.
+
+    A second, graph-independent source of dead-code findings: a selector
+    occurrence whose position is unreachable from the initial state ([L006])
+    or from which no accepting position is reachable ([L007]) can be deleted
+    from the expression without changing its denotation on {e any} graph.
+    Such positions arise from [empty] subexpressions — e.g. the occurrence
+    of [a] in [empty . \[_,a,_\]] is unreachable, and in
+    [\[_,a,_\] . empty] it is dead. *)
+
+open Mrpa_graph
+open Mrpa_core
+open Mrpa_automata
+
+val reachable : Glushkov.t -> bool array
+(** Indexed by position ([0] = initial state, always reachable). *)
+
+val coaccessible : Glushkov.t -> bool array
+(** Can an accepting position be reached? (Entry [0] reflects whether any
+    accepting position is reachable at all; for a nullable expression the
+    initial state itself accepts, which this array does {e not} count.) *)
+
+val check : ?sel_spans:Span.t array -> Digraph.t -> Glushkov.t -> Diagnostic.t list
+(** [L006]/[L007] findings, one per affected position, in position order.
+    [sel_spans.(i)] is the source span of position [i + 1] — exactly what
+    {!Mrpa_core.Spanned.sel_occurrences} yields, since Glushkov numbers
+    positions in the same left-to-right leaf order. The graph is only used
+    to render selector names. *)

@@ -1,0 +1,174 @@
+open Mrpa_graph
+open Mrpa_core
+
+type cls = Static_empty | Eps_only | Inhabited
+
+type info = {
+  cls : cls;
+  eps : bool;
+  tails : Vertex.Set.t;
+  heads : Vertex.Set.t;
+  labels : Label.Set.t option;
+}
+
+let inhabited i = i.cls = Inhabited
+let classify ~inh ~eps = if inh then Inhabited else if eps then Eps_only else Static_empty
+
+let empty_info =
+  { cls = Static_empty;
+    eps = false;
+    tails = Vertex.Set.empty;
+    heads = Vertex.Set.empty;
+    labels = Some Label.Set.empty }
+
+let epsilon_info = { empty_info with cls = Eps_only; eps = true }
+
+let all_labels sg =
+  let rec go acc l =
+    if l < 0 then acc else go (Label.Set.add (Label.of_int l) acc) (l - 1)
+  in
+  go Label.Set.empty (Signature.n_labels sg - 1)
+
+let of_labels sg ls =
+  { cls = classify ~inh:(Signature.count_of_set sg ls > 0) ~eps:false;
+    eps = false;
+    tails = Signature.tails_of_set sg ls;
+    heads = Signature.heads_of_set sg ls;
+    labels = Some ls }
+
+let of_selector sg g sel =
+  match (sel : Selector.t) with
+  (* label-restricted (or wildcard) patterns read straight off the
+     signature, without touching the edge set *)
+  | Selector.Pattern { src = None; lbl = None; dst = None } ->
+    of_labels sg (all_labels sg)
+  | Selector.Pattern { src = None; lbl = Some ls; dst = None } -> of_labels sg ls
+  | _ ->
+    let tails, heads, n =
+      List.fold_left
+        (fun (t, h, n) e ->
+          ( Vertex.Set.add (Edge.tail e) t,
+            Vertex.Set.add (Edge.head e) h,
+            n + 1 ))
+        (Vertex.Set.empty, Vertex.Set.empty, 0)
+        (Selector.enumerate g sel)
+    in
+    { cls = classify ~inh:(n > 0) ~eps:false;
+      eps = false;
+      tails;
+      heads;
+      labels = None }
+
+let feasible sg a b =
+  match (a.labels, b.labels) with
+  | Some la, Some lb -> Signature.set_can_follow sg la lb
+  | _ -> not (Vertex.Set.is_empty (Vertex.Set.inter a.heads b.tails))
+
+let union a b =
+  { cls = classify ~inh:(inhabited a || inhabited b) ~eps:(a.eps || b.eps);
+    eps = a.eps || b.eps;
+    tails = Vertex.Set.union a.tails b.tails;
+    heads = Vertex.Set.union a.heads b.heads;
+    labels =
+      (match (a.labels, b.labels) with
+      | Some x, Some y -> Some (Label.Set.union x y)
+      | _ -> None) }
+
+(* Shared by join (adjacency required at the seam, [f] from the signature)
+   and product ([f = true]: free concatenation always composes). *)
+let concat ~f a b =
+  let ia = inhabited a and ib = inhabited b in
+  let inh = (ia && ib && f) || (ia && b.eps) || (a.eps && ib) in
+  let eps = a.eps && b.eps in
+  let tails =
+    Vertex.Set.union
+      (if ia && ((ib && f) || b.eps) then a.tails else Vertex.Set.empty)
+      (if a.eps && ib then b.tails else Vertex.Set.empty)
+  in
+  let heads =
+    Vertex.Set.union
+      (if ib && ((ia && f) || a.eps) then b.heads else Vertex.Set.empty)
+      (if ia && b.eps then a.heads else Vertex.Set.empty)
+  in
+  { cls = classify ~inh ~eps; eps; tails; heads; labels = None }
+
+let join sg a b = concat ~f:(feasible sg a b) a b
+let product a b = concat ~f:true a b
+
+let star b =
+  { cls = (if inhabited b then Inhabited else Eps_only);
+    eps = true;
+    tails = b.tails;
+    heads = b.heads;
+    labels = None }
+
+let analyze sg g (root : Spanned.t) =
+  let infos = ref [] in
+  let diags = ref [] in
+  let emit span code severity msg =
+    diags := Diagnostic.make ~span ~code ~severity msg :: !diags
+  in
+  let rec go (e : Spanned.t) : info =
+    let info =
+      match e.Spanned.node with
+      | Spanned.Empty -> empty_info
+      | Spanned.Epsilon -> epsilon_info
+      | Spanned.Sel s ->
+        let i = of_selector sg g s in
+        if i.cls = Static_empty then
+          emit e.span "L002" Diagnostic.Warning
+            (Format.asprintf "selector %a matches no edge of the graph"
+               (Selector.pp_named g) s);
+        i
+      | Spanned.Union (a, b) ->
+        let ia = go a in
+        let ib = go b in
+        let arm (x : Spanned.t) i =
+          if i.cls = Static_empty then
+            match x.Spanned.node with
+            | Spanned.Empty ->
+              emit x.span "L001" Diagnostic.Hint
+                "union arm is the literal empty set"
+            | _ ->
+              emit x.span "L001" Diagnostic.Warning
+                "dead union arm: this alternative can never match"
+        in
+        arm a ia;
+        arm b ib;
+        union ia ib
+      | Spanned.Join (a, b) ->
+        let ia = go a in
+        let ib = go b in
+        if inhabited ia && inhabited ib && not (feasible sg ia ib) then
+          emit e.span "L003" Diagnostic.Warning
+            "dead join: no head of the left side is a tail of the right side";
+        join sg ia ib
+      | Spanned.Product (a, b) ->
+        let ia = go a in
+        let ib = go b in
+        product ia ib
+      | Spanned.Star a ->
+        let ia = go a in
+        (if ia.cls <> Inhabited then
+           emit e.span "L004" Diagnostic.Hint
+             "trivial star: the body has no nonempty match, so '*' only \
+              yields the empty path"
+         else if not (feasible sg ia ia) then
+           emit e.span "L005" Diagnostic.Hint
+             "star cannot iterate: the body never chains with itself, so at \
+              most one repetition matches");
+        star ia
+    in
+    infos := (e, info) :: !infos;
+    info
+  in
+  let ri = go root in
+  (match ri.cls with
+  | Static_empty ->
+    emit root.Spanned.span "L000" Diagnostic.Error
+      "statically empty query: no path of this graph can ever match"
+  | Eps_only ->
+    emit root.Spanned.span "L008" Diagnostic.Warning
+      "epsilon-only query: only the empty path can match"
+  | Inhabited -> ());
+  (List.rev !infos, List.rev !diags)

@@ -1,0 +1,63 @@
+(** Bottom-up abstract interpretation of expressions over the
+    {!Signature} abstraction.
+
+    Every subexpression is assigned an {!info}: a three-way classification
+    plus over-approximations of the endpoint sets of its nonempty matches.
+    The invariants (for expression [r] over graph [G], with [D(r)] its
+    denotation as in the paper's §IV):
+
+    - [cls = Static_empty] ⟹ [D(r) = ∅] — {e sound}: the analyzer never
+      calls a subexpression empty that could match anything;
+    - [cls = Eps_only] ⟹ [D(r) ⊆ {ε}] and [ε ∈ D(r)];
+    - every nonempty path of [D(r)] starts at a vertex in [tails] and ends
+      at one in [heads];
+    - [eps] iff [ε ∈ D(r)] (this direction is exact, it is just
+      nullability).
+
+    [Inhabited] is an over-approximation: the expression {e may} match, the
+    abstraction cannot tell. The converse directions do not hold and the
+    analyzer makes no completeness claim. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type cls =
+  | Static_empty  (** no path at all can match. *)
+  | Eps_only  (** exactly the empty path matches. *)
+  | Inhabited  (** some nonempty path may match. *)
+
+type info = {
+  cls : cls;
+  eps : bool;  (** is [ε] in the denotation? (exact: nullability) *)
+  tails : Vertex.Set.t;
+      (** over-approximation of start vertices of nonempty matches. *)
+  heads : Vertex.Set.t;
+      (** over-approximation of end vertices of nonempty matches. *)
+  labels : Label.Set.t option;
+      (** [Some ls] when [tails]/[heads] are exactly the signature sets of
+          [ls] — enables the precomputed label-adjacency fast path. *)
+}
+
+val inhabited : info -> bool
+
+val feasible : Signature.t -> info -> info -> bool
+(** Can a nonempty match of the first operand be extended by one of the
+    second with the adjacency the join requires? Uses the precomputed
+    label-adjacency matrix when both sides are label-backed, vertex-set
+    intersection otherwise. *)
+
+val analyze :
+  Signature.t ->
+  Digraph.t ->
+  Spanned.t ->
+  (Spanned.t * info) list * Diagnostic.t list
+(** Classify every subexpression (returned in postorder, root last) and
+    report:
+
+    - [L002] a selector leaf matching no edge,
+    - [L001] a statically-empty union arm (hint when it is the literal
+      [empty]),
+    - [L003] a join whose two inhabited sides can never meet,
+    - [L004] a star whose body has no nonempty match,
+    - [L005] a star whose body cannot chain with itself,
+    - [L000]/[L008] a statically-empty / epsilon-only whole query. *)

@@ -1,0 +1,14 @@
+open Mrpa_core
+
+let analyze ?signature g (e : Spanned.t) =
+  let sg = match signature with Some s -> s | None -> Signature.make g in
+  let _, emptiness = Emptiness.analyze sg g e in
+  let sel_spans =
+    Array.of_list (List.map fst (Spanned.sel_occurrences e))
+  in
+  let automaton =
+    Automaton_check.check ~sel_spans g (Mrpa_automata.Glushkov.build (Spanned.strip e))
+  in
+  List.sort_uniq Diagnostic.compare (emptiness @ automaton)
+
+let analyze_expr ?signature g e = analyze ?signature g (Spanned.of_expr e)

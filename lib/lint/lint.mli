@@ -1,0 +1,23 @@
+(** The static analyzer: every diagnostic source behind one call.
+
+    Runs after parsing and before planning. Combines the graph-aware
+    {!Emptiness} abstract interpretation (dead union arms, never-adjacent
+    joins, stars that cannot iterate, selectors matching no edge) with the
+    graph-independent {!Automaton_check} over the Glushkov position
+    automaton (unreachable and non-coaccessible selector occurrences).
+
+    See {!Diagnostic} for the full code table. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+val analyze :
+  ?signature:Signature.t -> Digraph.t -> Spanned.t -> Diagnostic.t list
+(** All findings, deduplicated and sorted by {!Diagnostic.compare} (source
+    order, most severe first). Pass [?signature] to reuse a precomputed
+    {!Signature.t} across many queries over the same graph. *)
+
+val analyze_expr :
+  ?signature:Signature.t -> Digraph.t -> Mrpa_core.Expr.t -> Diagnostic.t list
+(** {!analyze} on a span-less expression (all findings carry
+    {!Mrpa_core.Span.dummy}); for programmatically built queries. *)

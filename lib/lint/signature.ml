@@ -1,0 +1,67 @@
+open Mrpa_graph
+
+type t = {
+  n_labels : int;
+  tails : Vertex.Set.t array; (* indexed by label id *)
+  heads : Vertex.Set.t array;
+  counts : int array;
+  follows : bool array array;
+      (* follows.(a).(b): some head of an a-edge is the tail of a b-edge *)
+}
+
+let make g =
+  let k = Digraph.n_labels g in
+  let tails = Array.make k Vertex.Set.empty in
+  let heads = Array.make k Vertex.Set.empty in
+  let counts = Array.make k 0 in
+  Digraph.iter_edges
+    (fun e ->
+      let l = Label.to_int (Edge.label e) in
+      tails.(l) <- Vertex.Set.add (Edge.tail e) tails.(l);
+      heads.(l) <- Vertex.Set.add (Edge.head e) heads.(l);
+      counts.(l) <- counts.(l) + 1)
+    g;
+  let follows =
+    Array.init k (fun a ->
+        Array.init k (fun b ->
+            not (Vertex.Set.is_empty (Vertex.Set.inter heads.(a) tails.(b)))))
+  in
+  { n_labels = k; tails; heads; counts; follows }
+
+let n_labels t = t.n_labels
+let tails t l = t.tails.(Label.to_int l)
+let heads t l = t.heads.(Label.to_int l)
+let count t l = t.counts.(Label.to_int l)
+let can_follow t a b = t.follows.(Label.to_int a).(Label.to_int b)
+
+let tails_of_set t ls =
+  Label.Set.fold (fun l acc -> Vertex.Set.union (tails t l) acc) ls
+    Vertex.Set.empty
+
+let heads_of_set t ls =
+  Label.Set.fold (fun l acc -> Vertex.Set.union (heads t l) acc) ls
+    Vertex.Set.empty
+
+let count_of_set t ls = Label.Set.fold (fun l acc -> acc + count t l) ls 0
+
+let set_can_follow t la lb =
+  Label.Set.exists (fun a -> Label.Set.exists (fun b -> can_follow t a b) lb) la
+
+let pp g fmt t =
+  Format.fprintf fmt "@[<v>label signature (%d label(s)):@," t.n_labels;
+  for l = 0 to t.n_labels - 1 do
+    Format.fprintf fmt "  %-12s %4d edge(s)  %d tail(s)  %d head(s)@,"
+      (Digraph.label_name g (Label.of_int l))
+      t.counts.(l)
+      (Vertex.Set.cardinal t.tails.(l))
+      (Vertex.Set.cardinal t.heads.(l))
+  done;
+  Format.fprintf fmt "  adjacency (row can be followed by column):@,";
+  for a = 0 to t.n_labels - 1 do
+    Format.fprintf fmt "  %-12s" (Digraph.label_name g (Label.of_int a));
+    for b = 0 to t.n_labels - 1 do
+      Format.fprintf fmt " %c" (if t.follows.(a).(b) then 'x' else '.')
+    done;
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,35 @@
+(** Label-signature abstraction of a graph.
+
+    One pass over the edge set precomputes, per relation type [α ∈ Ω], the
+    tail set [γ⁻(E_α)], the head set [γ⁺(E_α)] and [|E_α|], plus the label
+    adjacency matrix: [can_follow α β] iff some head of an [α]-edge is the
+    tail of a [β]-edge — i.e. iff the concatenative join of an [α]-step
+    with a [β]-step can ever be nonempty on this graph. The emptiness
+    analyzer ({!Emptiness}) interprets expressions over this abstraction. *)
+
+open Mrpa_graph
+
+type t
+
+val make : Digraph.t -> t
+(** One [O(|E|)] pass plus [O(|Ω|²)] set intersections. *)
+
+val n_labels : t -> int
+val tails : t -> Label.t -> Vertex.Set.t
+val heads : t -> Label.t -> Vertex.Set.t
+val count : t -> Label.t -> int
+
+val can_follow : t -> Label.t -> Label.t -> bool
+(** Precomputed: [heads a ∩ tails b ≠ ∅]. *)
+
+(** {1 Lifted to label sets} *)
+
+val tails_of_set : t -> Label.Set.t -> Vertex.Set.t
+val heads_of_set : t -> Label.Set.t -> Vertex.Set.t
+val count_of_set : t -> Label.Set.t -> int
+
+val set_can_follow : t -> Label.Set.t -> Label.Set.t -> bool
+(** Some pair of the two sets can join. *)
+
+val pp : Digraph.t -> Format.formatter -> t -> unit
+(** Per-label table plus the adjacency matrix. *)

@@ -78,10 +78,14 @@ Parse errors carry offsets:
 
   $ ../bin/mrpa.exe query g.tsv '[i,alpha'
   error: parse error at offset 8: expected ','
+    [i,alpha
+            ^
   [1]
 
   $ ../bin/mrpa.exe query g.tsv '[nosuch,_,_]'
   error: parse error at offset 1: unknown vertex "nosuch"
+    [nosuch,_,_]
+     ^
   [1]
 
 Conjunctive regular path queries join atoms over shared variables:

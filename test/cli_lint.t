@@ -1,0 +1,123 @@
+The lint subcommand statically analyses a query against a graph. Fixture:
+label a only reaches y, label b only leaves z, label c chains x -> y -> z.
+
+  $ cat > g.tsv <<'EOF'
+  > x	a	y
+  > z	b	w
+  > x	c	y
+  > y	c	z
+  > EOF
+
+A feasible query is clean and exits 0:
+
+  $ ../bin/mrpa.exe lint g.tsv '[_,c,_] . [_,c,_]'
+  no findings
+
+A join whose sides can never meet is statically empty — an error-severity
+finding with the span of the offending join, and exit code 1:
+
+  $ ../bin/mrpa.exe lint g.tsv '[_,a,_] . [_,b,_]'
+  error[L000] at 0-17: statically empty query: no path of this graph can ever match
+    [_,a,_] . [_,b,_]
+    ^^^^^^^^^^^^^^^^^
+  warning[L003] at 0-17: dead join: no head of the left side is a tail of the right side
+    [_,a,_] . [_,b,_]
+    ^^^^^^^^^^^^^^^^^
+  2 finding(s): 1 error(s), 1 warning(s)
+  [1]
+
+Warnings alone do not fail the lint — the dead arm of this union is
+reported but the query still has matches:
+
+  $ ../bin/mrpa.exe lint g.tsv '([_,a,_] . [_,b,_]) | [_,c,_]'
+  warning[L001] at 0-19: dead union arm: this alternative can never match
+    ([_,a,_] . [_,b,_]) | [_,c,_]
+    ^^^^^^^^^^^^^^^^^^^
+  warning[L003] at 0-19: dead join: no head of the left side is a tail of the right side
+    ([_,a,_] . [_,b,_]) | [_,c,_]
+    ^^^^^^^^^^^^^^^^^^^
+  2 finding(s): 2 warning(s)
+
+The Glushkov automaton supplies a second diagnostic source: positions cut
+off from the start or from every accepting end:
+
+  $ ../bin/mrpa.exe lint g.tsv 'empty . [_,a,_]'
+  error[L000] at 0-15: statically empty query: no path of this graph can ever match
+    empty . [_,a,_]
+    ^^^^^^^^^^^^^^^
+  warning[L006] at 8-15: unreachable selector occurrence #1 ([_,a,_]): cut off from the start of every match
+    empty . [_,a,_]
+            ^^^^^^^
+  2 finding(s): 1 error(s), 1 warning(s)
+  [1]
+
+Stars that cannot iterate (label a never chains with itself) are hints:
+
+  $ ../bin/mrpa.exe lint g.tsv '[_,a,_]*'
+  hint[L005] at 0-8: star cannot iterate: the body never chains with itself, so at most one repetition matches
+    [_,a,_]*
+    ^^^^^^^^
+  1 finding(s): 1 hint(s)
+
+Selectors that match no edge, and epsilon-only queries:
+
+  $ ../bin/mrpa.exe lint g.tsv '[x,b,_]'
+  error[L000] at 0-7: statically empty query: no path of this graph can ever match
+    [x,b,_]
+    ^^^^^^^
+  warning[L002] at 0-7: selector [x,b,_] matches no edge of the graph
+    [x,b,_]
+    ^^^^^^^
+  2 finding(s): 1 error(s), 1 warning(s)
+  [1]
+
+  $ ../bin/mrpa.exe lint g.tsv 'eps'
+  warning[L008] at 0-3: epsilon-only query: only the empty path can match
+    eps
+    ^^^
+  1 finding(s): 1 warning(s)
+
+Parse errors come out caret-rendered too:
+
+  $ ../bin/mrpa.exe lint g.tsv '[x,a'
+  error: parse error at offset 4: expected ','
+    [x,a
+        ^
+  [1]
+
+query --lint runs the analyzer first: findings go to standard error, and
+an error-severity finding aborts before evaluation:
+
+  $ ../bin/mrpa.exe query g.tsv --lint '([_,a,_] . [_,b,_]) | [_,c,_]' 2>lint.err | sed 's/in [0-9.]* ms/in N ms/'
+  (x,c,y)
+  (y,c,z)
+  -- 2 path(s) in N ms via product-bfs
+  $ cat lint.err
+  warning[L001] at 0-19: dead union arm: this alternative can never match
+    ([_,a,_] . [_,b,_]) | [_,c,_]
+    ^^^^^^^^^^^^^^^^^^^
+  warning[L003] at 0-19: dead join: no head of the left side is a tail of the right side
+    ([_,a,_] . [_,b,_]) | [_,c,_]
+    ^^^^^^^^^^^^^^^^^^^
+
+  $ ../bin/mrpa.exe query g.tsv --lint '[_,a,_] . [_,b,_]' 2>lint.err
+  [1]
+  $ cat lint.err
+  error[L000] at 0-17: statically empty query: no path of this graph can ever match
+    [_,a,_] . [_,b,_]
+    ^^^^^^^^^^^^^^^^^
+  warning[L003] at 0-17: dead join: no head of the left side is a tail of the right side
+    [_,a,_] . [_,b,_]
+    ^^^^^^^^^^^^^^^^^
+  error: the query is statically empty; not running it
+
+When a rewrite proves a subexpression empty, the plan carries a lint note:
+
+  $ ../bin/mrpa.exe explain g.tsv '(empty . [_,a,_]) | [_,c,_]'
+  plan:
+    expression: ((∅ . [_,a,_]) | [_,c,_])
+    optimized:  [_,c,_]
+    rewrites:   join-empty, union-empty
+    note:       hint[L009]: subexpression (∅ . [_,0,_]) is provably empty
+    strategy:   product-bfs (anchored start (first extent 2 <= 8))
+    max length: 8

@@ -39,7 +39,9 @@ let test_lexer_errors () =
 let test_lexer_positions () =
   let located = Lexer.tokenize "ab cd" in
   match located with
-  | [ { token = Lexer.IDENT "ab"; pos = 0 }; { token = Lexer.IDENT "cd"; pos = 3 }; _ ]
+  | [ { token = Lexer.IDENT "ab"; pos = 0; stop = 2 };
+      { token = Lexer.IDENT "cd"; pos = 3; stop = 5 };
+      { token = Lexer.EOF; pos = 5; stop = 5 } ]
     -> ()
   | _ -> Alcotest.fail "positions"
 

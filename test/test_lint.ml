@@ -1,0 +1,387 @@
+(* Tests for the static analyzer: the label signature, the emptiness
+   abstract interpretation, the Glushkov dead-position checks, spans and
+   caret rendering, and the optimiser's lint notes. *)
+
+open Mrpa_graph
+open Mrpa_core
+open Mrpa_lint
+module H = Helpers
+
+(* A graph where label [a] can never be followed by label [b]:
+   heads(a) = {y}, tails(b) = {z}. Label [c] chains through y -> z. *)
+let lint_graph () =
+  let g = Digraph.create () in
+  List.iter
+    (fun (t, l, h) -> ignore (Digraph.add g t l h))
+    [ ("x", "a", "y"); ("z", "b", "w"); ("x", "c", "y"); ("y", "c", "z") ];
+  g
+
+let codes_of diags = List.map (fun d -> d.Diagnostic.code) diags
+
+let lint_codes g text =
+  match Mrpa_engine.Engine.lint g text with
+  | Ok diags -> codes_of diags
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+
+let check_codes name g text expected =
+  Alcotest.(check (list string)) name expected (lint_codes g text)
+
+(* --- Signature ------------------------------------------------------- *)
+
+let test_signature_sets () =
+  let g = H.paper_graph () in
+  let sg = Signature.make g in
+  let vs names = Vertex.Set.of_list (List.map (H.v g) names) in
+  Alcotest.check H.vertex_set "tails alpha" (vs [ "i"; "k" ])
+    (Signature.tails sg (H.l g "alpha"));
+  Alcotest.check H.vertex_set "heads alpha" (vs [ "j"; "k" ])
+    (Signature.heads sg (H.l g "alpha"));
+  Alcotest.check H.vertex_set "tails beta" (vs [ "i"; "j" ])
+    (Signature.tails sg (H.l g "beta"));
+  Alcotest.check H.vertex_set "heads beta" (vs [ "i"; "j"; "k" ])
+    (Signature.heads sg (H.l g "beta"));
+  Alcotest.(check int) "count alpha" 3 (Signature.count sg (H.l g "alpha"));
+  Alcotest.(check int) "count beta" 4 (Signature.count sg (H.l g "beta"))
+
+let test_signature_can_follow () =
+  (* every pair chains on the paper graph ... *)
+  let g = H.paper_graph () in
+  let sg = Signature.make g in
+  List.iter
+    (fun (l1, l2) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s->%s" l1 l2)
+        true
+        (Signature.can_follow sg (H.l g l1) (H.l g l2)))
+    [ ("alpha", "alpha"); ("alpha", "beta"); ("beta", "alpha"); ("beta", "beta") ];
+  (* ... but a -> b never does on the lint graph *)
+  let g = lint_graph () in
+  let sg = Signature.make g in
+  Alcotest.(check bool) "a->b" false
+    (Signature.can_follow sg (H.l g "a") (H.l g "b"));
+  Alcotest.(check bool) "c->c" true
+    (Signature.can_follow sg (H.l g "c") (H.l g "c"));
+  Alcotest.(check bool) "a->c" true
+    (Signature.can_follow sg (H.l g "a") (H.l g "c"))
+
+(* signature vertex sets agree with brute-force enumeration *)
+let test_signature_matches_enumeration =
+  H.qtest "signature = enumeration" H.recipe_gen H.print_recipe (fun r ->
+      let g = H.graph_of_recipe r in
+      let sg = Signature.make g in
+      List.for_all
+        (fun l ->
+          let sel = Selector.label1 l in
+          let edges = Selector.enumerate g sel in
+          let tails =
+            Vertex.Set.of_list (List.map Edge.tail edges)
+          and heads = Vertex.Set.of_list (List.map Edge.head edges) in
+          Vertex.Set.equal tails (Signature.tails sg l)
+          && Vertex.Set.equal heads (Signature.heads sg l)
+          && Signature.count sg l = List.length edges)
+        (Digraph.labels g))
+
+(* --- Diagnostic codes, one test per code ------------------------------ *)
+
+let test_code_l000_l003 () =
+  let g = lint_graph () in
+  check_codes "dead join is an error" g "[_,a,_] . [_,b,_]"
+    [ "L000"; "L003" ];
+  check_codes "feasible join is clean" g "[_,c,_] . [_,c,_]" [];
+  check_codes "paper graph joins are clean" (H.paper_graph ())
+    "[_,alpha,_] . [_,beta,_]" []
+
+let test_code_l001 () =
+  let g = lint_graph () in
+  Alcotest.(check bool) "dead arm reported" true
+    (List.mem "L001" (lint_codes g "([_,a,_] . [_,b,_]) | [_,c,_]"));
+  (* the literal empty arm is only a hint *)
+  match Mrpa_engine.Engine.lint g "empty | [_,c,_]" with
+  | Error msg -> Alcotest.fail msg
+  | Ok diags ->
+    let d = List.find (fun d -> d.Diagnostic.code = "L001") diags in
+    Alcotest.(check string) "severity" "hint"
+      (Diagnostic.severity_label d.Diagnostic.severity)
+
+let test_code_l002 () =
+  let g = lint_graph () in
+  Alcotest.(check bool) "empty selector reported" true
+    (List.mem "L002" (lint_codes g "[x,b,_]"))
+
+let test_code_l004 () =
+  let g = lint_graph () in
+  Alcotest.(check bool) "trivial star" true
+    (List.mem "L004" (lint_codes g "empty*"))
+
+let test_code_l005 () =
+  let g = lint_graph () in
+  check_codes "star cannot iterate" g "[_,a,_]*" [ "L005" ];
+  check_codes "star iterates fine" g "[_,c,_]*" []
+
+let test_code_l006_l007 () =
+  let g = lint_graph () in
+  check_codes "unreachable position" g "empty . [_,a,_]" [ "L000"; "L006" ];
+  check_codes "dead position" g "[_,a,_] . empty" [ "L007"; "L000" ]
+
+let test_code_l008 () =
+  let g = lint_graph () in
+  check_codes "epsilon query" g "eps" [ "L008" ];
+  Alcotest.(check bool) "eps | empty" true
+    (List.mem "L008" (lint_codes g "eps | empty"))
+
+let test_code_l009 () =
+  let e =
+    Expr.join (Expr.sel Selector.universe)
+      (Expr.join Expr.empty (Expr.sel Selector.universe))
+  in
+  let optimized, rewrites, notes = Mrpa_engine.Optimizer.simplify_notes e in
+  Alcotest.(check bool) "rewrites to empty" true (Expr.equal optimized Expr.empty);
+  Alcotest.(check bool) "join-empty fired" true (List.mem "join-empty" rewrites);
+  Alcotest.(check bool) "notes nonempty" true (notes <> []);
+  List.iter
+    (fun n -> Alcotest.(check string) "code" "L009" n.Diagnostic.code)
+    notes;
+  (* a clean expression produces no notes *)
+  let _, _, none =
+    Mrpa_engine.Optimizer.simplify_notes (Expr.sel Selector.universe)
+  in
+  Alcotest.(check int) "no notes" 0 (List.length none)
+
+(* --- Spans and rendering ---------------------------------------------- *)
+
+let test_parse_spanned_spans () =
+  let g = H.paper_graph () in
+  let text = "[i,alpha,_] . [_,beta,_]" in
+  match Mrpa_engine.Parser.parse_spanned g text with
+  | Error e -> Alcotest.failf "parse: %a" Mrpa_engine.Parser.pp_error e
+  | Ok s ->
+    (match s.Spanned.node with
+    | Spanned.Join (a, b) ->
+      Alcotest.(check (pair int int))
+        "root span" (0, 24)
+        (s.Spanned.span.Span.start, s.Spanned.span.Span.stop);
+      Alcotest.(check (pair int int))
+        "left span" (0, 11)
+        (a.Spanned.span.Span.start, a.Spanned.span.Span.stop);
+      Alcotest.(check (pair int int))
+        "right span" (14, 24)
+        (b.Spanned.span.Span.start, b.Spanned.span.Span.stop)
+    | _ -> Alcotest.fail "expected a join");
+    (* sel occurrences come out in automaton position order *)
+    let occs = Spanned.sel_occurrences s in
+    Alcotest.(check int) "two occurrences" 2 (List.length occs);
+    Alcotest.(check (list (pair int int)))
+      "occurrence spans"
+      [ (0, 11); (14, 24) ]
+      (List.map (fun (sp, _) -> (sp.Span.start, sp.Span.stop)) occs)
+
+let test_parse_spanned_strip () =
+  let g = H.paper_graph () in
+  List.iter
+    (fun text ->
+      let plain =
+        match Mrpa_engine.Parser.parse g text with
+        | Ok e -> e
+        | Error e -> Alcotest.failf "parse: %a" Mrpa_engine.Parser.pp_error e
+      in
+      let spanned =
+        match Mrpa_engine.Parser.parse_spanned g text with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "parse: %a" Mrpa_engine.Parser.pp_error e
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "strip(%s)" text)
+        true
+        (Expr.equal plain (Spanned.strip spanned)))
+    [
+      "[i,alpha,_] . [_,beta,_]* . (([_,alpha,j] . {(j,alpha,i)}) | [_,alpha,k])";
+      "[_,alpha,_]{2,3} >< [_,beta,_]+";
+      "let f = [_,alpha,_] in f . f?";
+      "E | eps | empty";
+    ]
+
+let test_excerpt () =
+  Alcotest.(check (option string))
+    "caret under span"
+    (Some "  abc def\n      ^^^")
+    (Diagnostic.excerpt ~source:"abc def" (Span.make ~start:4 ~stop:7));
+  Alcotest.(check (option string))
+    "point at end of input"
+    (Some "  abc\n     ^")
+    (Diagnostic.excerpt ~source:"abc" (Span.point 3));
+  Alcotest.(check (option string))
+    "second line"
+    (Some "  def\n  ^^^")
+    (Diagnostic.excerpt ~source:"abc\ndef" (Span.make ~start:4 ~stop:7));
+  Alcotest.(check (option string))
+    "dummy span has no excerpt" None
+    (Diagnostic.excerpt ~source:"abc" Span.dummy)
+
+let test_parse_error_caret () =
+  let g = H.paper_graph () in
+  match Mrpa_engine.Engine.lint g "[i,alpha" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg ->
+    let contains sub =
+      let n = String.length sub and m = String.length msg in
+      let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "mentions offset" true (contains "offset 8");
+    Alcotest.(check bool) "has a caret" true (String.contains msg '^')
+
+let test_diagnostic_ordering () =
+  let g = lint_graph () in
+  match Mrpa_engine.Engine.lint g "[_,a,_] . [_,b,_]" with
+  | Error msg -> Alcotest.fail msg
+  | Ok diags ->
+    Alcotest.(check (list string)) "sorted most severe first at equal span"
+      [ "error"; "warning" ]
+      (List.map (fun d -> Diagnostic.severity_label d.Diagnostic.severity) diags);
+    Alcotest.(check string) "summary" "2 finding(s): 1 error(s), 1 warning(s)"
+      (Diagnostic.summary diags);
+    Alcotest.(check bool) "has_errors" true (Diagnostic.has_errors diags)
+
+(* --- QCheck: soundness of the abstract interpretation ------------------ *)
+
+(* Like Helpers.random_expr but with [empty] leaves, so statically-empty
+   subexpressions actually occur. *)
+let random_expr_with_empty rng g =
+  let rec build depth =
+    if depth = 0 then
+      match Prng.int rng 6 with
+      | 0 -> Expr.epsilon
+      | 1 -> Expr.empty
+      | _ -> Expr.sel (H.random_selector rng g)
+    else
+      match Prng.int rng 6 with
+      | 0 -> Expr.union (build (depth - 1)) (build (depth - 1))
+      | 1 | 2 -> Expr.join (build (depth - 1)) (build (depth - 1))
+      | 3 -> Expr.star (build (depth - 1))
+      | 4 -> build 0
+      | _ -> Expr.product (build (depth - 1)) (build (depth - 1))
+  in
+  build (1 + Prng.int rng 2)
+
+let max_length = 4
+
+let test_soundness =
+  H.qtest ~count:150 "statically-empty subexpressions denote ∅"
+    H.with_graph_gen H.print_with_graph (fun (r, aux) ->
+      let g = H.graph_of_recipe r in
+      let rng = Prng.create aux in
+      let expr = random_expr_with_empty rng g in
+      let sg = Signature.make g in
+      let infos, _ = Emptiness.analyze sg g (Spanned.of_expr expr) in
+      List.for_all
+        (fun (node, info) ->
+          let e = Spanned.strip node in
+          let denoted = Expr.denote g ~max_length e in
+          (* eps is exact nullability *)
+          info.Emptiness.eps = Expr.nullable e
+          &&
+          match info.Emptiness.cls with
+          | Emptiness.Static_empty -> Path_set.is_empty denoted
+          | Emptiness.Eps_only -> Path_set.equal denoted Path_set.epsilon
+          | Emptiness.Inhabited -> true)
+        infos)
+
+let test_endpoint_soundness =
+  H.qtest ~count:150 "nonempty matches start in tails and end in heads"
+    H.with_graph_gen H.print_with_graph (fun (r, aux) ->
+      let g = H.graph_of_recipe r in
+      let rng = Prng.create aux in
+      let expr = random_expr_with_empty rng g in
+      let sg = Signature.make g in
+      let infos, _ = Emptiness.analyze sg g (Spanned.of_expr expr) in
+      List.for_all
+        (fun (node, info) ->
+          let denoted = Expr.denote g ~max_length (Spanned.strip node) in
+          List.for_all
+            (fun p ->
+              Path.length p = 0
+              || (Vertex.Set.mem (Path.tail_exn p) info.Emptiness.tails
+                 && Vertex.Set.mem (Path.head_exn p) info.Emptiness.heads))
+            (Path_set.elements denoted))
+        infos)
+
+let test_lint_flags_only_empty =
+  (* L000 is sound: whenever lint reports it, the reference evaluation
+     really is empty; and a nonempty denotation means no L000. *)
+  H.qtest ~count:150 "L000 agrees with the oracle" H.with_graph_gen
+    H.print_with_graph (fun (r, aux) ->
+      let g = H.graph_of_recipe r in
+      let rng = Prng.create aux in
+      let expr = random_expr_with_empty rng g in
+      let diags = Lint.analyze_expr g expr in
+      if List.mem "L000" (codes_of diags) then
+        Path_set.is_empty (Expr.denote g ~max_length expr)
+      else true)
+
+let test_strip_of_expr =
+  H.qtest "strip ∘ of_expr = id" H.with_graph_gen H.print_with_graph
+    (fun (r, aux) ->
+      let g = H.graph_of_recipe r in
+      let rng = Prng.create aux in
+      let expr = random_expr_with_empty rng g in
+      Expr.equal expr (Spanned.strip (Spanned.of_expr expr)))
+
+let test_automaton_check_positions () =
+  let sel = Expr.sel Selector.universe in
+  let g = H.paper_graph () in
+  (* empty . E: position 1 unreachable *)
+  let a = Mrpa_automata.Glushkov.build (Expr.join Expr.empty sel) in
+  Alcotest.(check (list string)) "unreachable" [ "L006" ]
+    (codes_of (Automaton_check.check g a));
+  (* E . empty: position 1 reachable but dead *)
+  let a = Mrpa_automata.Glushkov.build (Expr.join sel Expr.empty) in
+  Alcotest.(check (list string)) "dead" [ "L007" ]
+    (codes_of (Automaton_check.check g a));
+  (* E . E: both fine *)
+  let a = Mrpa_automata.Glushkov.build (Expr.join sel sel) in
+  Alcotest.(check (list string)) "clean" [] (codes_of (Automaton_check.check g a))
+
+let () =
+  Alcotest.run "mrpa_lint"
+    [
+      ( "signature",
+        [
+          Alcotest.test_case "paper graph sets" `Quick test_signature_sets;
+          Alcotest.test_case "can_follow" `Quick test_signature_can_follow;
+          test_signature_matches_enumeration;
+        ] );
+      ( "codes",
+        [
+          Alcotest.test_case "L000/L003 dead join" `Quick test_code_l000_l003;
+          Alcotest.test_case "L001 dead union arm" `Quick test_code_l001;
+          Alcotest.test_case "L002 empty selector" `Quick test_code_l002;
+          Alcotest.test_case "L004 trivial star" `Quick test_code_l004;
+          Alcotest.test_case "L005 star no iterate" `Quick test_code_l005;
+          Alcotest.test_case "L006/L007 positions" `Quick test_code_l006_l007;
+          Alcotest.test_case "L008 epsilon query" `Quick test_code_l008;
+          Alcotest.test_case "L009 optimiser notes" `Quick test_code_l009;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "parse_spanned spans" `Quick test_parse_spanned_spans;
+          Alcotest.test_case "parse_spanned strips to parse" `Quick
+            test_parse_spanned_strip;
+          Alcotest.test_case "caret excerpts" `Quick test_excerpt;
+          Alcotest.test_case "parse errors carry carets" `Quick
+            test_parse_error_caret;
+          Alcotest.test_case "ordering and summary" `Quick
+            test_diagnostic_ordering;
+        ] );
+      ( "automaton",
+        [
+          Alcotest.test_case "reachable/dead positions" `Quick
+            test_automaton_check_positions;
+        ] );
+      ( "soundness",
+        [
+          test_soundness;
+          test_endpoint_soundness;
+          test_lint_flags_only_empty;
+          test_strip_of_expr;
+        ] );
+    ]
