@@ -7,7 +7,10 @@
    arguments to execute everything at the default scale; pass experiment
    names (fig1, micro, join-vs-product, traversals, recognizers, generators,
    counting, label-regex, optimizer, semirings, projection, views,
-   label-loss) to select, and "--full" for larger sweeps. *)
+   label-loss) to select, and "--full" for larger sweeps. Pass "--json FILE"
+   to also write a machine-readable run summary (schema mrpa.bench/1):
+   per-experiment wall time plus engine execution profiles for a fixed set
+   of representative queries. *)
 
 open Mrpa_graph
 open Mrpa_core
@@ -15,11 +18,14 @@ open Mrpa_automata
 open Mrpa_analysis
 open Mrpa_baseline
 module Optimizer = Mrpa_engine.Optimizer
+module Metrics = Mrpa_engine.Metrics
 
+(* Wall-clock timing on CLOCK_MONOTONIC: benchmark intervals must not jump
+   with NTP slews or manual clock changes, which Unix.gettimeofday does. *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Metrics.now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Int64.to_float (Metrics.elapsed_ns ~since:t0) /. 1e9)
 
 let ms t = Printf.sprintf "%.2f" (1000.0 *. t)
 
@@ -913,6 +919,68 @@ let exp_views ~full =
     ~header:[ "people"; "changes"; "incremental"; "recompute"; "speedup"; "consistent" ]
     rows
 
+(* --- Machine-readable summary (--json) ---------------------------------------- *)
+
+(* A fixed set of representative engine runs whose mrpa.profile/1 documents
+   are embedded in the bench summary: the Figure 1 query under each
+   evaluation strategy, plus the counting DP on K6 x 2 labels. Committed
+   baselines (BENCH_pr*.json) diff these counters across PRs; counters are
+   deterministic, timings are environment-dependent. *)
+let bench_profiles () =
+  let g =
+    Generate.fig1 ~rng:(Prng.create 42) ~n_noise_vertices:20 ~n_noise_edges:60
+  in
+  let query =
+    "[i,alpha,_] . [_,beta,_]* . (([_,alpha,j] . {(j,alpha,i)}) | [_,alpha,k])"
+  in
+  let engine_runs =
+    List.filter_map
+      (fun (name, strategy) ->
+        match
+          Mrpa_engine.Engine.query_profiled ?strategy ~max_length:5 g query
+        with
+        | Ok (_, m) -> Some (name, Metrics.to_json m)
+        | Error _ -> None)
+      [
+        ("fig1-reference", Some Mrpa_engine.Plan.Reference);
+        ("fig1-stack", Some Mrpa_engine.Plan.Stack_machine);
+        ("fig1-bfs", Some Mrpa_engine.Plan.Product_bfs);
+      ]
+  in
+  let counting_run =
+    let g = Generate.complete ~n:6 ~n_labels:2 in
+    let r = Expr.star (Expr.sel Selector.universe) in
+    let st = Counting.fresh_stats () in
+    let m = Metrics.create () in
+    let total = Metrics.time m "execute" (fun () -> Counting.count ~stats:st g r ~max_length:4) in
+    Metrics.set m "counting.total" total;
+    Metrics.set m "counting.subset_states" st.Counting.subset_states;
+    Metrics.set m "counting.peak_configs" st.Counting.peak_configs;
+    ("counting-K6-Estar", Metrics.to_json m)
+  in
+  engine_runs @ [ counting_run ]
+
+let bench_json ~full ~timings =
+  let esc = Metrics.escape_string in
+  let experiments =
+    String.concat ","
+      (List.map
+         (fun (name, ns) ->
+           Printf.sprintf "{\"name\":%s,\"elapsed_ns\":%Ld}" (esc name) ns)
+         timings)
+  in
+  let profiles =
+    String.concat ","
+      (List.map
+         (fun (name, json) ->
+           Printf.sprintf "{\"name\":%s,\"profile\":%s}" (esc name) json)
+         (bench_profiles ()))
+  in
+  Printf.sprintf
+    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"profiles\":[%s]}"
+    (esc (if full then "full" else "default"))
+    experiments profiles
+
 (* --- Driver ------------------------------------------------------------------ *)
 
 let experiments =
@@ -936,6 +1004,15 @@ let experiments =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
+  let rec extract_json acc = function
+    | [] -> (None, List.rev acc)
+    | [ "--json" ] ->
+      prerr_endline "--json requires a FILE argument";
+      exit 2
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | a :: rest -> extract_json (a :: acc) rest
+  in
+  let json_file, args = extract_json [] args in
   let selected = List.filter (fun a -> a <> "--full") args in
   let to_run =
     match selected with
@@ -954,5 +1031,20 @@ let () =
   Printf.printf "mrpa experiment harness — %d experiment(s), scale=%s\n"
     (List.length to_run)
     (if full then "full" else "default");
-  List.iter (fun (_, f) -> f ~full) to_run;
+  let timings =
+    List.map
+      (fun (name, f) ->
+        let t0 = Metrics.now_ns () in
+        f ~full;
+        (name, Metrics.elapsed_ns ~since:t0))
+      to_run
+  in
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    let json = bench_json ~full ~timings in
+    let oc = open_out file in
+    output_string oc (json ^ "\n");
+    close_out oc;
+    Printf.printf "\nwrote %s\n" file);
   Printf.printf "\nDone.\n"

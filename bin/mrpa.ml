@@ -134,11 +134,11 @@ let limit_arg =
   Arg.(value & opt (some int) None & info [ "limit" ] ~doc:"Stop after this many paths.")
 
 let strategy_arg =
-  let conv_strategy = function
-    | "reference" -> Ok Mrpa_engine.Plan.Reference
-    | "stack" -> Ok Mrpa_engine.Plan.Stack_machine
-    | "bfs" -> Ok Mrpa_engine.Plan.Product_bfs
-    | s -> Error (Printf.sprintf "unknown strategy %S (reference|stack|bfs)" s)
+  let conv_strategy s =
+    match Mrpa_engine.Plan.strategy_of_string s with
+    | Some strategy -> Ok strategy
+    | None ->
+      Error (Printf.sprintf "unknown strategy %S (reference|stack|bfs)" s)
   in
   let parse s = Result.map_error (fun m -> `Msg m) (conv_strategy s) in
   let print fmt s =
@@ -175,6 +175,24 @@ let lint_flag =
            standard error, and an error-severity finding (statically empty \
            query) aborts the run.")
 
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "EXPLAIN ANALYZE: run the query and print the plan, per-stage \
+           timings (parse/lint/optimize/execute, monotonic clock) and \
+           backend counters instead of the path rows.")
+
+let profile_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the execution profile as JSON (schema mrpa.profile/1) to \
+           $(docv); \"-\" for standard output. Implies profiling the run.")
+
 let print_lint_findings ~out ~source diags =
   List.iter
     (fun d ->
@@ -182,7 +200,8 @@ let print_lint_findings ~out ~source diags =
     diags
 
 let query_cmd =
-  let run path query max_length limit strategy simple count json lint =
+  let run path query max_length limit strategy simple count json lint profile
+      profile_json =
     let g = or_die (load_graph path) in
     if lint then begin
       match Mrpa_engine.Engine.lint g query with
@@ -194,7 +213,41 @@ let query_cmd =
           exit 1
         end
     end;
-    if json then begin
+    if profile || profile_json <> None then begin
+      match
+        Mrpa_engine.Engine.query_profiled ?strategy ~simple ~max_length ?limit
+          g query
+      with
+      | Error msg -> or_die (Error msg)
+      | Ok (r, m) ->
+        (match profile_json with
+        | Some file ->
+          write_output file (Mrpa_engine.Metrics.to_json m ^ "\n")
+        | None -> ());
+        if profile then begin
+          Format.printf "%a@." (Mrpa_engine.Plan.pp_named g)
+            r.Mrpa_engine.Engine.plan;
+          Format.printf "%a@." Mrpa_engine.Metrics.pp m;
+          Format.printf "-- %d path(s) via %s@."
+            (Path_set.cardinal r.Mrpa_engine.Engine.paths)
+            (Mrpa_engine.Plan.strategy_name
+               r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy)
+        end
+        else if json then print_endline (Mrpa_engine.Render.result_json g r)
+        else if count then
+          Format.printf "%d@." (Path_set.cardinal r.Mrpa_engine.Engine.paths)
+        else begin
+          Path_set.iter
+            (fun p -> Format.printf "%a@." (Digraph.pp_path g) p)
+            r.Mrpa_engine.Engine.paths;
+          Format.printf "-- %d path(s) in %.3f ms via %s@."
+            r.Mrpa_engine.Engine.stats.Mrpa_engine.Eval.paths
+            (1000.0 *. r.Mrpa_engine.Engine.stats.Mrpa_engine.Eval.elapsed_s)
+            (Mrpa_engine.Plan.strategy_name
+               r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy)
+        end
+    end
+    else if json then begin
       match
         Mrpa_engine.Engine.query ?strategy ~simple ~max_length ?limit g query
       with
@@ -227,7 +280,8 @@ let query_cmd =
   let term =
     Term.(
       const run $ graph_arg $ query_pos $ max_length_arg $ limit_arg
-      $ strategy_arg $ simple_arg $ count_arg $ json_arg $ lint_flag)
+      $ strategy_arg $ simple_arg $ count_arg $ json_arg $ lint_flag
+      $ profile_flag $ profile_json_arg)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run a regular path query") term
 
@@ -263,7 +317,7 @@ let shell_cmd =
     let g = or_die (load_graph path) in
     Format.printf
       "mrpa shell — %a@.Type a query per line; :explain QUERY, :count QUERY, \
-       :lint QUERY, :quit to exit.@."
+       :lint QUERY, :profile QUERY, :quit to exit.@."
       Digraph.pp_stats g;
     let signature = lazy (Mrpa_lint.Signature.make g) in
     let rec loop () =
@@ -292,6 +346,18 @@ let shell_cmd =
              else if starts_with ":count" then
                match Mrpa_engine.Engine.count ~max_length g (rest ":count") with
                | Ok n -> Format.printf "%d@." n
+               | Error msg -> Format.printf "error: %s@." msg
+             else if starts_with ":profile" then
+               match
+                 Mrpa_engine.Engine.query_profiled ~max_length g
+                   (rest ":profile")
+               with
+               | Ok (r, m) ->
+                 Format.printf "%a@." Mrpa_engine.Metrics.pp m;
+                 Format.printf "-- %d path(s) via %s@."
+                   (Path_set.cardinal r.Mrpa_engine.Engine.paths)
+                   (Mrpa_engine.Plan.strategy_name
+                      r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy)
                | Error msg -> Format.printf "error: %s@." msg
              else if starts_with ":lint" then
                let source = rest ":lint" in

@@ -6,8 +6,13 @@ open Mrpa_graph
    corresponds to exactly one trajectory and trajectory counts are distinct
    path counts. The pre-first-edge configuration carries vertex [-1]. *)
 
-let count_by_length g expr ~max_length =
+type stats = { mutable subset_states : int; mutable peak_configs : int }
+
+let fresh_stats () = { subset_states = 0; peak_configs = 0 }
+
+let count_by_length ?stats g expr ~max_length =
   if max_length < 0 then invalid_arg "Counting.count_by_length: negative bound";
+  let record f = match stats with None -> () | Some s -> f s in
   let m = Subset.make expr in
   let masks = List.filter (fun mask -> mask <> 0) (Subset.graph_masks m g) in
   let counts = Array.make (max_length + 1) 0 in
@@ -47,13 +52,15 @@ let count_by_length g expr ~max_length =
         end)
       level;
     Hashtbl.reset level;
+    record (fun s -> s.peak_configs <- max s.peak_configs (Hashtbl.length next));
     Hashtbl.iter
       (fun (state, vertex) c ->
         Hashtbl.replace level (state, vertex) c;
         if Subset.accepting m state then counts.(len) <- counts.(len) + c)
       next
   done;
+  record (fun s -> s.subset_states <- Subset.n_cached_states m);
   counts
 
-let count g expr ~max_length =
-  Array.fold_left ( + ) 0 (count_by_length g expr ~max_length)
+let count ?stats g expr ~max_length =
+  Array.fold_left ( + ) 0 (count_by_length ?stats g expr ~max_length)

@@ -17,11 +17,22 @@
 open Mrpa_graph
 open Mrpa_core
 
-val count_by_length : Digraph.t -> Expr.t -> max_length:int -> int array
+type stats = {
+  mutable subset_states : int;
+      (** lazy-DFA subset states interned by the run ({!Subset}). *)
+  mutable peak_configs : int;
+      (** high-water mark of live (state, vertex) DP configurations. *)
+}
+
+val fresh_stats : unit -> stats
+(** A zeroed record; pass as [?stats] to have the count fill it in. *)
+
+val count_by_length :
+  ?stats:stats -> Digraph.t -> Expr.t -> max_length:int -> int array
 (** [count_by_length g r ~max_length] returns an array [c] of size
     [max_length + 1] where [c.(len)] is the number of distinct paths of
     length exactly [len] denoted by [r] over [g]. *)
 
-val count : Digraph.t -> Expr.t -> max_length:int -> int
+val count : ?stats:stats -> Digraph.t -> Expr.t -> max_length:int -> int
 (** Total over all lengths up to the bound — equal to
     [Path_set.cardinal (Expr.denote g ~max_length r)] (property-tested). *)

@@ -1,6 +1,16 @@
 open Mrpa_graph
 open Mrpa_core
 
+type stats = {
+  mutable edges_scanned : int;
+  mutable paths_emitted : int;
+  mutable max_depth : int;
+  mutable max_frontier : int;
+}
+
+let fresh_stats () =
+  { edges_scanned = 0; paths_emitted = 0; max_depth = 0; max_frontier = 0 }
+
 let successors (a : Glushkov.t) p =
   if p = 0 then List.map (fun q -> (q, Glushkov.Free)) a.first
   else a.follow.(p)
@@ -13,8 +23,9 @@ let successors (a : Glushkov.t) p =
    only when a path is emitted. The tail set grows strictly, bounding
    simple-path search depth by [|V|] regardless of [max_length]. *)
 
-let to_seq ?(simple = false) g (a : Glushkov.t) ~max_length =
+let to_seq ?stats ?(simple = false) g (a : Glushkov.t) ~max_length =
   if max_length < 0 then invalid_arg "Generator.to_seq: negative max_length";
+  let bump f = match stats with None -> () | Some s -> f s in
   let accepting p = if p = 0 then a.nullable else a.last.(p) in
   let emit_ok tails e =
     (not simple)
@@ -33,6 +44,10 @@ let to_seq ?(simple = false) g (a : Glushkov.t) ~max_length =
             | Some e, Glushkov.Joint ->
               Selector.select_out g a.selector_of.(q) (Edge.head e)
           in
+          bump (fun s ->
+              let n = List.length candidates in
+              s.edges_scanned <- s.edges_scanned + n;
+              s.max_frontier <- max s.max_frontier n);
           let candidates =
             if simple then
               List.filter
@@ -42,24 +57,33 @@ let to_seq ?(simple = false) g (a : Glushkov.t) ~max_length =
           in
           Seq.concat_map
             (fun e ->
+              bump (fun s -> s.max_depth <- max s.max_depth (len + 1));
               let rev_edges' = e :: rev_edges in
               let tails' =
                 if simple then Vertex.Set.add (Edge.tail e) tails else tails
               in
               let here =
                 if accepting q && emit_ok tails' e then
-                  Seq.return (Path.of_edges (List.rev rev_edges'))
+                  fun () ->
+                    bump (fun s -> s.paths_emitted <- s.paths_emitted + 1);
+                    Seq.Cons (Path.of_edges (List.rev rev_edges'), Seq.empty)
                 else Seq.empty
               in
               Seq.append here (extend q (Some e) rev_edges' tails' (len + 1)))
             (List.to_seq candidates))
         (List.to_seq (successors a p))
   in
-  let eps = if a.nullable then Seq.return Path.empty else Seq.empty in
+  let eps =
+    if a.nullable then
+      fun () ->
+        bump (fun s -> s.paths_emitted <- s.paths_emitted + 1);
+        Seq.Cons (Path.empty, Seq.empty)
+    else Seq.empty
+  in
   Seq.append eps (extend 0 None [] Vertex.Set.empty 0)
 
-let generate_automaton ?max_paths ?simple g a ~max_length =
-  let seq = to_seq ?simple g a ~max_length in
+let generate_automaton ?stats ?max_paths ?simple g a ~max_length =
+  let seq = to_seq ?stats ?simple g a ~max_length in
   let stop n = match max_paths with None -> false | Some m -> n >= m in
   let rec collect acc n seq =
     if stop n then acc
@@ -72,8 +96,9 @@ let generate_automaton ?max_paths ?simple g a ~max_length =
   in
   collect Path_set.empty 0 seq
 
-let generate ?max_paths ?simple g expr ~max_length =
-  generate_automaton ?max_paths ?simple g (Glushkov.build expr) ~max_length
+let generate ?stats ?max_paths ?simple g expr ~max_length =
+  generate_automaton ?stats ?max_paths ?simple g (Glushkov.build expr)
+    ~max_length
 
 let exists g expr ~max_length =
   not (Path_set.is_empty (generate ~max_paths:1 g expr ~max_length))

@@ -15,8 +15,29 @@
 open Mrpa_graph
 open Mrpa_core
 
+type stats = {
+  mutable edges_scanned : int;
+      (** candidate edges examined across all expansions. *)
+  mutable paths_emitted : int;
+      (** paths yielded by the stream (pre-deduplication). *)
+  mutable max_depth : int;  (** deepest extension actually explored. *)
+  mutable max_frontier : int;
+      (** largest candidate-edge list of a single expansion — the
+          product-search analogue of a BFS frontier width. *)
+}
+
+val fresh_stats : unit -> stats
+(** A zeroed record; pass as [?stats] to have generation fill it in. The
+    counters advance as the (lazy) stream is consumed — consume the stream
+    once before reading them. *)
+
 val to_seq :
-  ?simple:bool -> Digraph.t -> Glushkov.t -> max_length:int -> Path.t Seq.t
+  ?stats:stats ->
+  ?simple:bool ->
+  Digraph.t ->
+  Glushkov.t ->
+  max_length:int ->
+  Path.t Seq.t
 (** Lazy depth-first stream of generated paths, in discovery order. The
     stream may contain duplicates when distinct automaton runs spell the
     same path; {!generate} deduplicates.
@@ -27,6 +48,7 @@ val to_seq :
     it terminates on cyclic graphs even for generous length bounds. *)
 
 val generate :
+  ?stats:stats ->
   ?max_paths:int ->
   ?simple:bool ->
   Digraph.t ->
@@ -39,6 +61,7 @@ val generate :
     restricts to simple paths as in {!to_seq}. *)
 
 val generate_automaton :
+  ?stats:stats ->
   ?max_paths:int ->
   ?simple:bool ->
   Digraph.t ->

@@ -109,7 +109,23 @@ let endpoint_pairs s =
   in
   P.elements pairs
 
+let truncate k s =
+  if k < 0 then invalid_arg "Path_set.truncate: negative count";
+  if Path.Set.cardinal s <= k then s
+  else begin
+    (* Set order, stopping after [k] elements — no intermediate list. *)
+    let rec take n seq acc =
+      if n = 0 then acc
+      else
+        match seq () with
+        | Seq.Nil -> acc
+        | Seq.Cons (p, rest) -> take (n - 1) rest (Path.Set.add p acc)
+    in
+    take k (Path.Set.to_seq s) Path.Set.empty
+  end
+
 let is_empty = Path.Set.is_empty
+let add = Path.Set.add
 let mem = Path.Set.mem
 let cardinal = Path.Set.cardinal
 let elements = Path.Set.elements

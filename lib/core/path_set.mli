@@ -78,9 +78,16 @@ val endpoint_pairs : t -> (Vertex.t * Vertex.t) list
 (** Deduplicated [(γ⁻(a), γ⁺(a))] over non-empty members — the projection
     that builds [E_αβ] in §IV-C. *)
 
+val truncate : int -> t -> t
+(** [truncate k s] keeps the [k] least members in set order ([s] itself when
+    [cardinal s <= k]), stopping the walk as soon as [k] members are taken —
+    the LIMIT clause's truncation. Raises [Invalid_argument] for negative
+    [k]. *)
+
 (** {1 Set plumbing} *)
 
 val is_empty : t -> bool
+val add : Path.t -> t -> t
 val mem : Path.t -> t -> bool
 val cardinal : t -> int
 val elements : t -> Path.t list

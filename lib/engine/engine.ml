@@ -24,6 +24,33 @@ let query_exn ?strategy ?simple ?max_length ?limit g text =
   | Ok r -> r
   | Error message -> failwith message
 
+(* The profiled pipeline runs every stage — including the static analyzer,
+   which [query] skips — under one metrics collector, so the profile shows
+   where a query's time goes end to end. *)
+let query_profiled ?strategy ?simple ?(max_length = default_max_length) ?limit
+    g text =
+  let m = Metrics.create () in
+  match Metrics.time m "parse" (fun () -> Parser.parse_spanned g text) with
+  | Error e -> Error (Parser.render_error ~source:text e)
+  | Ok spanned ->
+    let expr = Spanned.strip spanned in
+    let diags = Metrics.time m "lint" (fun () -> Mrpa_lint.Lint.analyze g spanned) in
+    Metrics.set m "lint.findings" (List.length diags);
+    let plan =
+      Metrics.time m "optimize" (fun () ->
+          Optimizer.plan ?strategy ?simple ~max_length g expr)
+    in
+    let paths =
+      Metrics.time m "execute" (fun () -> Eval.execute ?limit ~metrics:m g plan)
+    in
+    let elapsed_s =
+      match Metrics.stage_ns m "execute" with
+      | Some ns -> Int64.to_float ns /. 1e9
+      | None -> 0.0
+    in
+    let stats = { Eval.paths = Path_set.cardinal paths; elapsed_s } in
+    Ok ({ paths; plan; stats }, m)
+
 let count_expr ?(max_length = default_max_length) g expr =
   let optimized, _ = Optimizer.simplify expr in
   Mrpa_automata.Counting.count g optimized ~max_length

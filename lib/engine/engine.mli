@@ -35,6 +35,20 @@ val query_exn :
   result
 (** Like {!query}; raises [Failure] on error. *)
 
+val query_profiled :
+  ?strategy:Plan.strategy ->
+  ?simple:bool ->
+  ?max_length:int ->
+  ?limit:int ->
+  Digraph.t ->
+  string ->
+  (result * Metrics.t, string) Stdlib.result
+(** Like {!query}, but the whole pipeline — parse, lint (which {!query}
+    skips), optimize, execute — runs under a fresh {!Metrics} collector
+    whose stage timings and backend counters are returned alongside the
+    result: the engine's EXPLAIN ANALYZE. [stats.elapsed_s] is the execute
+    stage's time. *)
+
 val query_expr :
   ?strategy:Plan.strategy ->
   ?simple:bool ->

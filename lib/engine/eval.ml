@@ -3,42 +3,96 @@ open Mrpa_automata
 
 type stats = { paths : int; elapsed_s : float }
 
+(* Monotonic, not wall-clock: timings must survive NTP adjustments. *)
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Metrics.now_ns () in
   let result = f () in
-  let t1 = Unix.gettimeofday () in
-  (result, t1 -. t0)
+  (result, Int64.to_float (Metrics.elapsed_ns ~since:t0) /. 1e9)
 
-let execute ?limit g (p : Plan.t) =
+let execute ?limit ?metrics g (p : Plan.t) =
   let expr = p.optimized in
   let max_length = p.max_length in
+  let record f = match metrics with None -> () | Some m -> f m in
   let truncate s =
-    match limit with
-    | None -> s
-    | Some k ->
-      Path_set.of_list (List.filteri (fun i _ -> i < k) (Path_set.elements s))
+    match limit with None -> s | Some k -> Path_set.truncate k s
   in
   let restrict s = if p.simple then Path_set.restrict_simple s else s in
-  match p.strategy with
-  | Plan.Reference -> truncate (restrict (Expr.denote g ~max_length expr))
-  | Plan.Stack_machine ->
-    truncate (restrict (Stack_machine.run g expr ~max_length))
-  | Plan.Product_bfs ->
-    Generator.generate ?max_paths:limit ~simple:p.simple g expr ~max_length
+  let result =
+    match p.strategy with
+    | Plan.Reference ->
+      let s = Expr.denote g ~max_length expr in
+      record (fun m -> Metrics.set_max m "pathset.peak" (Path_set.cardinal s));
+      truncate (restrict s)
+    | Plan.Stack_machine ->
+      let a = Glushkov.build expr in
+      record (fun m ->
+          Metrics.set_max m "automaton.positions" (Glushkov.n_states a));
+      let st = Stack_machine.fresh_stats () in
+      let s =
+        Stack_machine.run_automaton ~stats:st ~simple:p.simple ?limit g a
+          ~max_length
+      in
+      record (fun m ->
+          Metrics.incr ~by:st.pops m "stack.pops";
+          Metrics.incr ~by:st.pushes m "stack.pushes";
+          Metrics.set_max m "stack.levels" st.levels;
+          Metrics.set_max m "stack.max_live_branches" st.max_live_branches;
+          Metrics.set_max m "stack.peak_stack_paths" st.peak_stack_paths;
+          Metrics.set_max m "stack.peak_live_paths" st.peak_live_paths;
+          Metrics.set_max m "pathset.peak" st.peak_live_paths);
+      truncate s
+    | Plan.Product_bfs ->
+      let a = Glushkov.build expr in
+      record (fun m ->
+          Metrics.set_max m "automaton.positions" (Glushkov.n_states a));
+      let st = Generator.fresh_stats () in
+      let s =
+        Generator.generate_automaton ~stats:st ?max_paths:limit
+          ~simple:p.simple g a ~max_length
+      in
+      record (fun m ->
+          Metrics.incr ~by:st.edges_scanned m "bfs.edges_scanned";
+          Metrics.incr ~by:st.paths_emitted m "bfs.paths_emitted";
+          Metrics.set_max m "bfs.max_depth" st.max_depth;
+          Metrics.set_max m "bfs.max_frontier" st.max_frontier;
+          Metrics.set_max m "pathset.peak" (Path_set.cardinal s));
+      s
+  in
+  record (fun m -> Metrics.set m "result.paths" (Path_set.cardinal result));
+  result
 
-let run g p =
-  let paths, elapsed_s = timed (fun () -> execute g p) in
+let run ?metrics g p =
+  let paths, elapsed_s = timed (fun () -> execute ?metrics g p) in
   (paths, { paths = Path_set.cardinal paths; elapsed_s })
 
-let run_seq g (p : Plan.t) =
+(* Lazily drop already-seen paths, then stop at [k] distinct ones. The
+   returned sequence owns mutable state: consume it once. *)
+let distinct_take k seq =
+  let seen = ref Path_set.empty in
+  seq
+  |> Seq.filter (fun p ->
+         if Path_set.mem p !seen then false
+         else begin
+           seen := Path_set.add p !seen;
+           true
+         end)
+  |> Seq.take k
+
+let run_seq ?limit g (p : Plan.t) =
+  (match limit with
+  | Some k when k < 0 -> invalid_arg "Eval.run_seq: negative limit"
+  | _ -> ());
   match p.strategy with
   | Plan.Product_bfs ->
-    Generator.to_seq ~simple:p.simple g (Glushkov.build p.optimized)
-      ~max_length:p.max_length
+    let seq =
+      Generator.to_seq ~simple:p.simple g (Glushkov.build p.optimized)
+        ~max_length:p.max_length
+    in
+    (match limit with None -> seq | Some k -> distinct_take k seq)
   | Plan.Reference | Plan.Stack_machine ->
-    Path_set.elements (execute g p) |> List.to_seq
+    Path_set.elements (execute ?limit g p) |> List.to_seq
 
-let run_limited g p ~limit =
+let run_limited ?metrics g p ~limit =
   if limit < 0 then invalid_arg "Eval.run_limited: negative limit";
-  let paths, elapsed_s = timed (fun () -> execute ~limit g p) in
+  let paths, elapsed_s = timed (fun () -> execute ~limit ?metrics g p) in
   (paths, { paths = Path_set.cardinal paths; elapsed_s })

@@ -5,19 +5,38 @@ open Mrpa_core
 
 type stats = {
   paths : int;  (** distinct paths produced. *)
-  elapsed_s : float;  (** wall-clock seconds. *)
+  elapsed_s : float;  (** elapsed seconds, on the monotonic clock. *)
 }
 
-val run : Digraph.t -> Plan.t -> Path_set.t * stats
+val timed : (unit -> 'a) -> 'a * float
+(** Run the thunk, returning its result and elapsed seconds on the
+    monotonic clock ({!Metrics.now_ns}) — never wall time. *)
+
+val execute :
+  ?limit:int -> ?metrics:Metrics.t -> Digraph.t -> Plan.t -> Path_set.t
 (** Execute the plan's optimized expression under its strategy and length
-    bound. *)
+    bound, untimed. With [?limit:k] at most [k] distinct paths are returned
+    and the limit is pushed into the backend wherever short-circuiting is
+    sound: {!Plan.Product_bfs} stops the product search at the [k]-th
+    distinct path, {!Plan.Stack_machine} aborts level evaluation the moment
+    [k] (simple, under [Plan.simple]) paths are banked, and only
+    {!Plan.Reference} — the semantics oracle — still materialises the full
+    denotation before truncating ({!Path_set.truncate}). With [?metrics]
+    the run records backend counters (see {!Metrics} for the key table). *)
 
-val run_seq : Digraph.t -> Plan.t -> Path.t Seq.t
-(** Streaming execution. Under {!Plan.Product_bfs} paths stream lazily (and
-    may repeat — see {!Mrpa_automata.Generator.to_seq}); other strategies
-    materialise first and then stream their deduplicated results. *)
+val run : ?metrics:Metrics.t -> Digraph.t -> Plan.t -> Path_set.t * stats
+(** {!execute} plus timing. *)
 
-val run_limited : Digraph.t -> Plan.t -> limit:int -> Path_set.t * stats
-(** Stop after [limit] distinct paths (LIMIT clause). Under
-    {!Plan.Product_bfs} the search is cut short; other strategies
-    materialise and truncate. *)
+val run_seq : ?limit:int -> Digraph.t -> Plan.t -> Path.t Seq.t
+(** Streaming execution. Under {!Plan.Product_bfs} paths stream lazily; with
+    [?limit] the stream is deduplicated and cut at [limit] distinct paths
+    (without it, it may repeat — see {!Mrpa_automata.Generator.to_seq} — and
+    the returned sequence owns mutable dedup state, so consume it once).
+    Other strategies materialise first — with the limit pushed into the
+    run, so {!Plan.Stack_machine} does bounded work — and then stream their
+    deduplicated results. *)
+
+val run_limited :
+  ?metrics:Metrics.t -> Digraph.t -> Plan.t -> limit:int -> Path_set.t * stats
+(** Stop after [limit] distinct paths (LIMIT clause): [run] with
+    [execute]'s limit push-down. *)

@@ -18,6 +18,12 @@ let strategy_name = function
   | Stack_machine -> "stack-machine"
   | Product_bfs -> "product-bfs"
 
+let strategy_of_string = function
+  | "reference" -> Some Reference
+  | "stack" | "stack-machine" -> Some Stack_machine
+  | "bfs" | "product-bfs" -> Some Product_bfs
+  | _ -> None
+
 let pp_with pp_expr fmt p =
   Format.fprintf fmt "@[<v>plan:@,  expression: %a@,  optimized:  %a@," pp_expr
     p.original pp_expr p.optimized;

@@ -38,6 +38,10 @@ type t = {
 
 val strategy_name : strategy -> string
 
+val strategy_of_string : string -> strategy option
+(** Inverse of {!strategy_name}, also accepting the CLI short forms
+    ["stack"] and ["bfs"]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line EXPLAIN-style rendering with raw integer ids. *)
 

@@ -1,0 +1,80 @@
+The profiling surface: --profile (EXPLAIN ANALYZE text), --profile-json
+(machine-readable mrpa.profile/1), and the shell's :profile command.
+
+  $ cat > g.tsv <<'TSV'
+  > i	alpha	j
+  > j	beta	k
+  > k	alpha	j
+  > j	beta	j
+  > j	beta	i
+  > i	alpha	k
+  > i	beta	k
+  > TSV
+
+--profile replaces the path rows with the plan, per-stage timings and the
+backend counters. Timings vary run to run, so they are normalised here; the
+counters are deterministic.
+
+  $ ../bin/mrpa.exe query g.tsv '[_,alpha,_] . [_,beta,_]' --strategy reference --profile | sed 's/ *[0-9.]* ms/ T ms/'
+  plan:
+    expression: ([_,alpha,_] . [_,beta,_])
+    optimized:  ([_,alpha,_] . [_,beta,_])
+    rewrites:   (none)
+    strategy:   reference (forced by caller)
+    max length: 8
+  profile:
+    parse: T ms
+    lint: T ms
+    optimize: T ms
+    execute: T ms
+  counters:
+    lint.findings              0
+    pathset.peak               6
+    result.paths               6
+  -- 6 path(s) via reference
+
+The stack machine exposes its own counter namespace:
+
+  $ ../bin/mrpa.exe query g.tsv '[_,alpha,_] . [_,beta,_]' --strategy stack --profile | sed -n 's/^  \(stack\.[a-z_]*\) .*/\1/p'
+  stack.levels
+  stack.max_live_branches
+  stack.peak_live_paths
+  stack.peak_stack_paths
+  stack.pops
+  stack.pushes
+
+--profile-json writes the mrpa.profile/1 document; "-" means stdout. The
+nanosecond timings are normalised, everything else is stable.
+
+  $ ../bin/mrpa.exe query g.tsv '[_,alpha,_] . [_,beta,_]' --strategy reference --profile-json - --count | sed 's/"ns":[0-9]*/"ns":N/g'
+  {"schema":"mrpa.profile/1","stages":[{"stage":"parse","ns":N},{"stage":"lint","ns":N},{"stage":"optimize","ns":N},{"stage":"execute","ns":N}],"counters":{"lint.findings":0,"pathset.peak":6,"result.paths":6}}
+  6
+
+Without --profile the normal output is kept alongside the JSON file:
+
+  $ ../bin/mrpa.exe query g.tsv '[_,beta,_]{2}' --profile-json p.json --count
+  4
+  $ sed 's/"ns":[0-9]*/"ns":N/g' p.json
+  {"schema":"mrpa.profile/1","stages":[{"stage":"parse","ns":N},{"stage":"lint","ns":N},{"stage":"optimize","ns":N},{"stage":"execute","ns":N}],"counters":{"automaton.positions":3,"bfs.edges_scanned":8,"bfs.max_depth":2,"bfs.max_frontier":4,"bfs.paths_emitted":4,"lint.findings":0,"pathset.peak":4,"result.paths":4}}
+
+The shell's :profile mirrors --profile (without the plan):
+
+  $ echo ':profile [_,beta,_]{2}' | ../bin/mrpa.exe shell g.tsv | sed 's/ *[0-9.]* ms/ T ms/'
+  mrpa shell — |V|=3 |E|=7 |Omega|=2
+  Type a query per line; :explain QUERY, :count QUERY, :lint QUERY, :profile QUERY, :quit to exit.
+  mrpa> profile:
+    parse: T ms
+    lint: T ms
+    optimize: T ms
+    execute: T ms
+  counters:
+    automaton.positions        3
+    bfs.edges_scanned          8
+    bfs.max_depth              2
+    bfs.max_frontier           4
+    bfs.paths_emitted          4
+    lint.findings              0
+    pathset.peak               4
+    result.paths               4
+  -- 4 path(s) via product-bfs
+  mrpa> 

@@ -606,6 +606,156 @@ let test_engine_fig1_text_query () =
     (fun p -> Alcotest.(check bool) "recognised" true (accept p))
     r.Engine.paths
 
+(* --- Metrics / profiling ------------------------------------------------------ *)
+
+let test_metrics_collector_basics () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr ~by:4 m "a";
+  Metrics.set m "b" 7;
+  Metrics.set_max m "hw" 3;
+  Metrics.set_max m "hw" 9;
+  Metrics.set_max m "hw" 2;
+  Alcotest.(check (option int)) "incr accumulates" (Some 5) (Metrics.counter m "a");
+  Alcotest.(check (option int)) "set overwrites" (Some 7) (Metrics.counter m "b");
+  Alcotest.(check (option int)) "set_max keeps max" (Some 9)
+    (Metrics.counter m "hw");
+  Alcotest.(check (option int)) "absent counter" None (Metrics.counter m "zz");
+  Alcotest.(check (list string)) "counters name-sorted" [ "a"; "b"; "hw" ]
+    (List.map fst (Metrics.counters m));
+  let v = Metrics.time m "s1" (fun () -> 42) in
+  Alcotest.(check int) "time returns thunk value" 42 v;
+  Metrics.time m "s2" ignore;
+  Metrics.time m "s1" ignore;
+  Alcotest.(check (list string)) "stages in first-use order" [ "s1"; "s2" ]
+    (List.map fst (Metrics.stages m));
+  List.iter
+    (fun (name, ns) ->
+      Alcotest.(check bool) (name ^ " non-negative") true (ns >= 0L))
+    (Metrics.stages m);
+  (* a raising thunk still records its stage *)
+  (try Metrics.time m "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check bool) "stage recorded on raise" true
+    (Metrics.stage_ns m "boom" <> None)
+
+let test_metrics_json_shape () =
+  let m = Metrics.create () in
+  Metrics.time m "parse" ignore;
+  Metrics.time m "execute" ignore;
+  Metrics.set m "result.paths" 3;
+  Metrics.set m "pathset.peak" 3;
+  let json = Metrics.to_json m in
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains needle))
+    [
+      "\"schema\":\"mrpa.profile/1\"";
+      "\"stages\":[{\"stage\":\"parse\",\"ns\":";
+      "{\"stage\":\"execute\",\"ns\":";
+      "\"counters\":{\"pathset.peak\":3,\"result.paths\":3}";
+    ]
+
+let profiled_exn ?strategy ?simple ?limit ?(max_length = 8) g text =
+  match Engine.query_profiled ?strategy ?simple ?limit ~max_length g text with
+  | Error msg -> Alcotest.fail msg
+  | Ok (r, m) -> (r, m)
+
+let test_profile_pipeline_stages () =
+  let g = H.paper_graph () in
+  let _, m = profiled_exn g "[i,alpha,_] . [_,beta,_]" in
+  Alcotest.(check (list string)) "pipeline order"
+    [ "parse"; "lint"; "optimize"; "execute" ]
+    (List.map fst (Metrics.stages m));
+  List.iter
+    (fun (name, ns) ->
+      Alcotest.(check bool) (name ^ " >= 0") true (ns >= 0L))
+    (Metrics.stages m)
+
+let test_profile_counters_match_result () =
+  let g = H.paper_graph () in
+  List.iter
+    (fun strategy ->
+      let r, m = profiled_exn ~strategy g "[_,alpha,_] . [_,beta,_]" in
+      let n = Path_set.cardinal r.Engine.paths in
+      Alcotest.(check (option int))
+        ("result.paths = cardinal: " ^ Plan.strategy_name strategy)
+        (Some n)
+        (Metrics.counter m "result.paths");
+      Alcotest.(check bool)
+        ("pathset.peak >= cardinal: " ^ Plan.strategy_name strategy)
+        true
+        (match Metrics.counter m "pathset.peak" with
+        | Some peak -> peak >= n
+        | None -> false))
+    [ Plan.Reference; Plan.Stack_machine; Plan.Product_bfs ]
+
+let test_stack_limit_bounds_materialisation () =
+  (* Regression: ~limit used to fully materialise the denotation and then
+     truncate. On K6 with E* and max_length 4 that is 4681 paths; with the
+     limit pushed into the stack machine the run aborts at the first level,
+     so the live-path high-water mark stays near |E| + k. *)
+  let g = Generate.complete ~n:6 ~n_labels:1 in
+  let run ?limit () =
+    profiled_exn ~strategy:Plan.Stack_machine ~max_length:4 ?limit g "E*"
+  in
+  let full, m_full = run () in
+  let limited, m_lim = run ~limit:5 () in
+  Alcotest.(check int) "limit honoured" 5 (Path_set.cardinal limited.Engine.paths);
+  Alcotest.(check bool) "limited ⊆ full" true
+    (Path_set.subset limited.Engine.paths full.Engine.paths);
+  let peak m =
+    Option.value ~default:0 (Metrics.counter m "stack.peak_live_paths")
+  in
+  Alcotest.(check bool) "unlimited run materialises thousands" true
+    (peak m_full > 1000);
+  Alcotest.(check bool) "limited run stays bounded" true
+    (peak m_lim <= Digraph.n_edges g + 5 + 1)
+
+let test_run_seq_limit () =
+  let g = Generate.complete ~n:4 ~n_labels:2 in
+  List.iter
+    (fun strategy ->
+      let plan =
+        Optimizer.plan ~strategy ~max_length:3 g (Expr.sel Selector.universe)
+      in
+      let got = List.of_seq (Eval.run_seq ~limit:5 g plan) in
+      Alcotest.(check int)
+        ("run_seq limit: " ^ Plan.strategy_name strategy)
+        5 (List.length got);
+      Alcotest.(check int)
+        ("run_seq distinct: " ^ Plan.strategy_name strategy)
+        5
+        (Path_set.cardinal (Path_set.of_list got)))
+    [ Plan.Reference; Plan.Stack_machine; Plan.Product_bfs ]
+
+let qcheck_simple_limit_strategy_parity =
+  H.qtest ~count:60 "simple+limit parity across strategies" H.with_graph_gen
+    H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      let k = 1 + Prng.int rng 4 in
+      let full =
+        Path_set.restrict_simple (Expr.denote g ~max_length:3 r)
+      in
+      let expected = min k (Path_set.cardinal full) in
+      List.for_all
+        (fun strategy ->
+          let got =
+            (Engine.query_expr ~strategy ~simple:true ~limit:k ~max_length:3 g
+               r)
+              .Engine.paths
+          in
+          Path_set.cardinal got = expected
+          && Path_set.subset got full
+          && Path_set.fold (fun p acc -> acc && Path.is_simple p) got true)
+        [ Plan.Reference; Plan.Stack_machine; Plan.Product_bfs ])
+
 let () =
   Alcotest.run "mrpa_engine"
     [
@@ -678,5 +828,19 @@ let () =
           Alcotest.test_case "count text" `Quick test_engine_count_text;
           qcheck_strategies_agree_end_to_end;
           qcheck_engine_count_matches_query;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "collector basics" `Quick
+            test_metrics_collector_basics;
+          Alcotest.test_case "json shape" `Quick test_metrics_json_shape;
+          Alcotest.test_case "pipeline stages" `Quick
+            test_profile_pipeline_stages;
+          Alcotest.test_case "counters match result" `Quick
+            test_profile_counters_match_result;
+          Alcotest.test_case "limit bounds stack machine" `Quick
+            test_stack_limit_bounds_materialisation;
+          Alcotest.test_case "run_seq limit" `Quick test_run_seq_limit;
+          qcheck_simple_limit_strategy_parity;
         ] );
     ]
