@@ -7,7 +7,7 @@
    arguments to execute everything at the default scale; pass experiment
    names (fig1, micro, join-vs-product, traversals, recognizers, generators,
    counting, label-regex, optimizer, semirings, projection, views,
-   label-loss) to select, and "--full" for larger sweeps. Pass "--json FILE"
+   label-loss, guardrails) to select, and "--full" for larger sweeps. Pass "--json FILE"
    to also write a machine-readable run summary (schema mrpa.bench/1):
    per-experiment wall time plus engine execution profiles for a fixed set
    of representative queries. *)
@@ -919,6 +919,74 @@ let exp_views ~full =
     ~header:[ "people"; "changes"; "incremental"; "recompute"; "speedup"; "consistent" ]
     rows
 
+(* --- EXP-T12: guardrail overhead and graceful degradation ------------------------ *)
+
+let exp_guardrails ~full =
+  section "EXP-T12 (guardrails)"
+    "Budget checkpoints ride existing per-transition/per-level hooks, so\n\
+     governing a run should cost a few percent, not a traversal. Under a\n\
+     shrinking fuel budget the engine returns monotonically growing sound\n\
+     subsets instead of failing.";
+  let module Engine = Mrpa_engine.Engine in
+  let module Budget = Mrpa_engine.Budget in
+  let module Plan = Mrpa_engine.Plan in
+  let module Err = Mrpa_engine.Err in
+  let n = if full then 10 else 7 in
+  let g = Generate.complete ~n ~n_labels:2 in
+  let text = "E . E*" in
+  let max_length = if full then 4 else 3 in
+  let strategies =
+    [ Plan.Reference; Plan.Stack_machine; Plan.Product_bfs ]
+  in
+  let rows =
+    List.map
+      (fun strategy ->
+        let bare, t_bare =
+          time (fun () -> Engine.query_exn ~strategy ~max_length g text)
+        in
+        let governed, t_governed =
+          time (fun () ->
+              Engine.query_exn ~strategy ~max_length
+                ~budget:(Budget.unlimited ()) g text)
+        in
+        assert (governed.Engine.verdict = Err.Complete);
+        assert (
+          Path_set.equal bare.Engine.paths governed.Engine.paths
+          (* the reference strategy re-runs via iterative deepening under a
+             budget, which is the one governed path allowed to cost more *)
+          || strategy = Plan.Reference);
+        [
+          Plan.strategy_name strategy;
+          string_of_int (Path_set.cardinal bare.Engine.paths);
+          ms t_bare;
+          ms t_governed;
+          Printf.sprintf "%.2fx" (t_governed /. max 1e-9 t_bare);
+        ])
+      strategies
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "K%d x 2 labels, %s, max_length=%d: governed overhead"
+         n text max_length)
+    ~header:[ "strategy"; "paths"; "bare ms"; "governed ms"; "overhead" ]
+    rows;
+  let degradation =
+    List.map
+      (fun fuel ->
+        let r =
+          Engine.query_exn ~strategy:Plan.Stack_machine ~max_length
+            ~budget:(Budget.create ~fuel ()) g text
+        in
+        [
+          string_of_int fuel;
+          string_of_int (Path_set.cardinal r.Engine.paths);
+          Err.verdict_name r.Engine.verdict;
+        ])
+      [ 10; 100; 1_000; 10_000; 100_000; 1_000_000 ]
+  in
+  print_table ~title:"Stack machine under a shrinking fuel budget"
+    ~header:[ "fuel"; "paths"; "verdict" ] degradation
+
 (* --- Machine-readable summary (--json) ---------------------------------------- *)
 
 (* A fixed set of representative engine runs whose mrpa.profile/1 documents
@@ -999,6 +1067,7 @@ let experiments =
     ("projection", exp_projection);
     ("views", exp_views);
     ("label-loss", exp_label_loss);
+    ("guardrails", exp_guardrails);
   ]
 
 let () =

@@ -22,11 +22,13 @@ let load_graph path =
   | Io.Malformed (line, text) ->
     Error (Printf.sprintf "%s: malformed line %d: %s" path line text)
 
+(* Exit-code policy (documented in Mrpa_engine.Err): 0 ok, 1 user/input
+   error, 2 internal error, 3 partial result under a budget or limit. *)
 let or_die = function
   | Ok v -> v
   | Error msg ->
     Printf.eprintf "error: %s\n" msg;
-    exit 1
+    exit Mrpa_engine.Err.exit_user_error
 
 (* Parse with the source in hand so errors come out caret-rendered. *)
 let parse_or_die g query =
@@ -49,12 +51,114 @@ let output_arg =
 
 let write_output output text =
   if output = "-" then print_string text
-  else begin
-    let oc = open_out output in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc text)
-  end
+  else
+    match open_out output with
+    | exception Sys_error msg -> or_die (Error msg)
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc text)
+
+(* --- Budgets -------------------------------------------------------------- *)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget in milliseconds (monotonic clock). When it \
+           expires the run stops at the next checkpoint and returns the \
+           sound partial result found so far, exiting 3.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"STEPS"
+        ~doc:
+          "Work budget: total evaluator transition steps the run may spend \
+           before stopping with a partial result (exit 3).")
+
+let max_paths_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-paths" ] ~docv:"N"
+        ~doc:
+          "Memory budget: maximum live/banked paths the run may hold at \
+           once before stopping with a partial result (exit 3).")
+
+let inject_fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject-fault" ] ~docv:"REASON@N"
+        ~doc:
+          "Testing aid: deterministically trip the budget with REASON \
+           (deadline, fuel, memory or cancelled) at the N-th checkpoint \
+           (1-based), regardless of the real clock or counters. Makes \
+           budget behaviour reproducible in tests without sleeping.")
+
+let guard_reason_of_name = function
+  | "deadline" -> Some Guard.Deadline
+  | "fuel" -> Some Guard.Fuel
+  | "memory" -> Some Guard.Memory
+  | "cancelled" -> Some Guard.Cancelled
+  | _ -> None
+
+let parse_fault spec =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad --inject-fault %S (expected REASON@N with REASON one of \
+          deadline, fuel, memory, cancelled and N >= 1)"
+         spec)
+  in
+  match String.index_opt spec '@' with
+  | None -> fail ()
+  | Some i -> (
+    let name = String.sub spec 0 i in
+    let pos = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match (guard_reason_of_name name, int_of_string_opt pos) with
+    | Some reason, Some at when at >= 1 -> Ok (reason, at)
+    | _ -> fail ())
+
+(* No flags -> None; callers that want Ctrl-C anyway (query, shell) fall
+   back to [Budget.unlimited]. *)
+let budget_of_flags ~deadline_ms ~fuel ~max_paths ~inject_fault =
+  match (deadline_ms, fuel, max_paths, inject_fault) with
+  | None, None, None, None -> None
+  | _ ->
+    let b =
+      try
+        Mrpa_engine.Budget.create ?deadline_ms ?fuel ?max_live:max_paths ()
+      with Invalid_argument msg -> or_die (Error msg)
+    in
+    let b =
+      match inject_fault with
+      | None -> b
+      | Some spec ->
+        let reason, at = or_die (parse_fault spec) in
+        Mrpa_engine.Budget.with_fault_injection ~at reason b
+    in
+    Some b
+
+(* Ctrl-C cancels the governed run cooperatively: the handler only sets a
+   flag, the evaluator aborts at its next checkpoint, and the partial
+   result is printed with exit code 3 — no state is torn down mid-step. *)
+let cancel_on_sigint budget =
+  if Sys.os_type <> "Win32" then
+    ignore
+      (Sys.signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> Mrpa_engine.Budget.cancel budget)))
+
+let pp_partial_note fmt verdict =
+  match verdict with
+  | Mrpa_engine.Err.Complete -> ()
+  | Mrpa_engine.Err.Partial reason ->
+    Format.fprintf fmt "-- partial result (%s): some paths may be missing@."
+      (Mrpa_engine.Err.reason_name reason)
 
 (* --- generate ------------------------------------------------------------- *)
 
@@ -97,7 +201,7 @@ let generate_cmd =
       | "fig1" -> Generate.fig1 ~rng ~n_noise_vertices:n ~n_noise_edges:m
       | other ->
         Printf.eprintf "unknown workload kind %S\n" other;
-        exit 2
+        exit Mrpa_engine.Err.exit_user_error
     in
     write_output output (Io.to_string g);
     Printf.eprintf "generated %s: %s\n" kind
@@ -201,8 +305,16 @@ let print_lint_findings ~out ~source diags =
 
 let query_cmd =
   let run path query max_length limit strategy simple count json lint profile
-      profile_json =
+      profile_json deadline_ms fuel max_paths inject_fault =
     let g = or_die (load_graph path) in
+    (* Even without budget flags the run is governed by an unlimited budget,
+       so Ctrl-C always cancels cooperatively: partial result, exit 3. *)
+    let budget =
+      match budget_of_flags ~deadline_ms ~fuel ~max_paths ~inject_fault with
+      | Some b -> Some b
+      | None -> Some (Mrpa_engine.Budget.unlimited ())
+    in
+    Option.iter cancel_on_sigint budget;
     if lint then begin
       match Mrpa_engine.Engine.lint g query with
       | Error msg -> or_die (Error msg)
@@ -213,10 +325,13 @@ let query_cmd =
           exit 1
         end
     end;
+    (* Every branch funnels through [finish]: a partial result exits 3 so
+       scripts can tell "complete answer" from "sound subset". *)
+    let finish verdict = exit (Mrpa_engine.Err.exit_code verdict) in
     if profile || profile_json <> None then begin
       match
         Mrpa_engine.Engine.query_profiled ?strategy ~simple ~max_length ?limit
-          g query
+          ?budget g query
       with
       | Error msg -> or_die (Error msg)
       | Ok (r, m) ->
@@ -231,11 +346,14 @@ let query_cmd =
           Format.printf "-- %d path(s) via %s@."
             (Path_set.cardinal r.Mrpa_engine.Engine.paths)
             (Mrpa_engine.Plan.strategy_name
-               r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy)
+               r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy);
+          pp_partial_note Format.std_formatter r.Mrpa_engine.Engine.verdict
         end
         else if json then print_endline (Mrpa_engine.Render.result_json g r)
-        else if count then
-          Format.printf "%d@." (Path_set.cardinal r.Mrpa_engine.Engine.paths)
+        else if count then begin
+          Format.printf "%d@." (Path_set.cardinal r.Mrpa_engine.Engine.paths);
+          pp_partial_note Format.err_formatter r.Mrpa_engine.Engine.verdict
+        end
         else begin
           Path_set.iter
             (fun p -> Format.printf "%a@." (Digraph.pp_path g) p)
@@ -244,28 +362,39 @@ let query_cmd =
             r.Mrpa_engine.Engine.stats.Mrpa_engine.Eval.paths
             (1000.0 *. r.Mrpa_engine.Engine.stats.Mrpa_engine.Eval.elapsed_s)
             (Mrpa_engine.Plan.strategy_name
-               r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy)
-        end
+               r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy);
+          pp_partial_note Format.std_formatter r.Mrpa_engine.Engine.verdict
+        end;
+        finish r.Mrpa_engine.Engine.verdict
     end
     else if json then begin
       match
-        Mrpa_engine.Engine.query ?strategy ~simple ~max_length ?limit g query
-      with
-      | Error msg -> or_die (Error msg)
-      | Ok r -> print_endline (Mrpa_engine.Render.result_json g r)
-    end
-    else if count && limit = None && strategy = None && not simple then
-      match Mrpa_engine.Engine.count ~max_length g query with
-      | Error msg -> or_die (Error msg)
-      | Ok n -> Format.printf "%d@." n
-    else
-      match
-        Mrpa_engine.Engine.query ?strategy ~simple ~max_length ?limit g query
+        Mrpa_engine.Engine.query ?strategy ~simple ~max_length ?limit ?budget g
+          query
       with
       | Error msg -> or_die (Error msg)
       | Ok r ->
-        if count then
-          Format.printf "%d@." (Path_set.cardinal r.Mrpa_engine.Engine.paths)
+        print_endline (Mrpa_engine.Render.result_json g r);
+        finish r.Mrpa_engine.Engine.verdict
+    end
+    else if count && limit = None && strategy = None && not simple then
+      match Mrpa_engine.Engine.count_governed ~max_length ?budget g query with
+      | Error msg -> or_die (Error msg)
+      | Ok (n, verdict) ->
+        Format.printf "%d@." n;
+        pp_partial_note Format.err_formatter verdict;
+        finish verdict
+    else
+      match
+        Mrpa_engine.Engine.query ?strategy ~simple ~max_length ?limit ?budget g
+          query
+      with
+      | Error msg -> or_die (Error msg)
+      | Ok r ->
+        if count then begin
+          Format.printf "%d@." (Path_set.cardinal r.Mrpa_engine.Engine.paths);
+          pp_partial_note Format.err_formatter r.Mrpa_engine.Engine.verdict
+        end
         else begin
           Path_set.iter
             (fun p -> Format.printf "%a@." (Digraph.pp_path g) p)
@@ -274,14 +403,17 @@ let query_cmd =
             r.Mrpa_engine.Engine.stats.Mrpa_engine.Eval.paths
             (1000.0 *. r.Mrpa_engine.Engine.stats.Mrpa_engine.Eval.elapsed_s)
             (Mrpa_engine.Plan.strategy_name
-               r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy)
-        end
+               r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy);
+          pp_partial_note Format.std_formatter r.Mrpa_engine.Engine.verdict
+        end;
+        finish r.Mrpa_engine.Engine.verdict
   in
   let term =
     Term.(
       const run $ graph_arg $ query_pos $ max_length_arg $ limit_arg
       $ strategy_arg $ simple_arg $ count_arg $ json_arg $ lint_flag
-      $ profile_flag $ profile_json_arg)
+      $ profile_flag $ profile_json_arg $ deadline_arg $ fuel_arg
+      $ max_paths_arg $ inject_fault_arg)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run a regular path query") term
 
@@ -313,13 +445,36 @@ let lint_cmd =
     term
 
 let shell_cmd =
-  let run path max_length =
+  let run path max_length deadline_ms fuel max_paths inject_fault =
     let g = or_die (load_graph path) in
     Format.printf
       "mrpa shell — %a@.Type a query per line; :explain QUERY, :count QUERY, \
        :lint QUERY, :profile QUERY, :quit to exit.@."
       Digraph.pp_stats g;
     let signature = lazy (Mrpa_lint.Signature.make g) in
+    (* Every query runs under its own cancellable budget, so Ctrl-C aborts
+       the running query — yielding its partial result — and returns to the
+       prompt instead of killing the REPL. At the prompt the handler is a
+       no-op (blocked reads retry after the signal); leave with :quit or
+       Ctrl-D. *)
+    let current = ref None in
+    if Sys.os_type <> "Win32" then
+      ignore
+        (Sys.signal Sys.sigint
+           (Sys.Signal_handle
+              (fun _ ->
+                match !current with
+                | Some b -> Mrpa_engine.Budget.cancel b
+                | None -> ())));
+    let with_budget f =
+      let b =
+        match budget_of_flags ~deadline_ms ~fuel ~max_paths ~inject_fault with
+        | Some b -> b
+        | None -> Mrpa_engine.Budget.unlimited ()
+      in
+      current := Some b;
+      Fun.protect ~finally:(fun () -> current := None) (fun () -> f b)
+    in
     let rec loop () =
       Format.printf "mrpa> @?";
       match input_line stdin with
@@ -339,48 +494,70 @@ let shell_cmd =
                 (String.sub line (String.length prefix)
                    (String.length line - String.length prefix))
             in
-            (if starts_with ":explain" then
-               match Mrpa_engine.Engine.explain ~max_length g (rest ":explain") with
-               | Ok text -> Format.printf "%s@." text
-               | Error msg -> Format.printf "error: %s@." msg
-             else if starts_with ":count" then
-               match Mrpa_engine.Engine.count ~max_length g (rest ":count") with
-               | Ok n -> Format.printf "%d@." n
-               | Error msg -> Format.printf "error: %s@." msg
-             else if starts_with ":profile" then
-               match
-                 Mrpa_engine.Engine.query_profiled ~max_length g
-                   (rest ":profile")
-               with
-               | Ok (r, m) ->
-                 Format.printf "%a@." Mrpa_engine.Metrics.pp m;
-                 Format.printf "-- %d path(s) via %s@."
-                   (Path_set.cardinal r.Mrpa_engine.Engine.paths)
-                   (Mrpa_engine.Plan.strategy_name
-                      r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy)
-               | Error msg -> Format.printf "error: %s@." msg
-             else if starts_with ":lint" then
-               let source = rest ":lint" in
-               match
-                 Mrpa_engine.Engine.lint ~signature:(Lazy.force signature) g
-                   source
-               with
-               | Ok diags ->
-                 if diags = [] then Format.printf "no findings@."
-                 else begin
-                   print_lint_findings ~out:Format.std_formatter ~source diags;
-                   Format.printf "%s@." (Mrpa_lint.Diagnostic.summary diags)
-                 end
-               | Error msg -> Format.printf "error: %s@." msg
-             else
-               match Mrpa_engine.Engine.query ~max_length g line with
-               | Error msg -> Format.printf "error: %s@." msg
-               | Ok r ->
-                 Path_set.iter
-                   (fun p -> Format.printf "%a@." (Digraph.pp_path g) p)
-                   r.Mrpa_engine.Engine.paths;
-                 Format.printf "-- %d path(s)@."
-                   (Path_set.cardinal r.Mrpa_engine.Engine.paths));
+            (* The REPL must survive whatever a query does: rendered
+               engine errors are handled per command below, and this
+               belt-and-braces handler catches anything that still
+               escapes (a bug, Stack_overflow, ...). *)
+            (try
+               if starts_with ":explain" then
+                 match Mrpa_engine.Engine.explain ~max_length g (rest ":explain") with
+                 | Ok text -> Format.printf "%s@." text
+                 | Error msg -> Format.printf "error: %s@." msg
+               else if starts_with ":count" then
+                 with_budget (fun b ->
+                     match
+                       Mrpa_engine.Engine.count_governed ~max_length ~budget:b
+                         g (rest ":count")
+                     with
+                     | Ok (n, verdict) ->
+                       Format.printf "%d@." n;
+                       pp_partial_note Format.std_formatter verdict
+                     | Error msg -> Format.printf "error: %s@." msg)
+               else if starts_with ":profile" then
+                 with_budget (fun b ->
+                     match
+                       Mrpa_engine.Engine.query_profiled ~max_length ~budget:b
+                         g (rest ":profile")
+                     with
+                     | Ok (r, m) ->
+                       Format.printf "%a@." Mrpa_engine.Metrics.pp m;
+                       Format.printf "-- %d path(s) via %s@."
+                         (Path_set.cardinal r.Mrpa_engine.Engine.paths)
+                         (Mrpa_engine.Plan.strategy_name
+                            r.Mrpa_engine.Engine.plan.Mrpa_engine.Plan.strategy);
+                       pp_partial_note Format.std_formatter
+                         r.Mrpa_engine.Engine.verdict
+                     | Error msg -> Format.printf "error: %s@." msg)
+               else if starts_with ":lint" then
+                 let source = rest ":lint" in
+                 match
+                   Mrpa_engine.Engine.lint ~signature:(Lazy.force signature) g
+                     source
+                 with
+                 | Ok diags ->
+                   if diags = [] then Format.printf "no findings@."
+                   else begin
+                     print_lint_findings ~out:Format.std_formatter ~source
+                       diags;
+                     Format.printf "%s@." (Mrpa_lint.Diagnostic.summary diags)
+                   end
+                 | Error msg -> Format.printf "error: %s@." msg
+               else
+                 with_budget (fun b ->
+                     match
+                       Mrpa_engine.Engine.query ~max_length ~budget:b g line
+                     with
+                     | Error msg -> Format.printf "error: %s@." msg
+                     | Ok r ->
+                       Path_set.iter
+                         (fun p -> Format.printf "%a@." (Digraph.pp_path g) p)
+                         r.Mrpa_engine.Engine.paths;
+                       Format.printf "-- %d path(s)@."
+                         (Path_set.cardinal r.Mrpa_engine.Engine.paths);
+                       pp_partial_note Format.std_formatter
+                         r.Mrpa_engine.Engine.verdict)
+             with e ->
+               Format.printf "error: internal: %s@." (Printexc.to_string e));
             true
           end
         in
@@ -388,7 +565,11 @@ let shell_cmd =
     in
     loop ()
   in
-  let term = Term.(const run $ graph_arg $ max_length_arg) in
+  let term =
+    Term.(
+      const run $ graph_arg $ max_length_arg $ deadline_arg $ fuel_arg
+      $ max_paths_arg $ inject_fault_arg)
+  in
   Cmd.v (Cmd.info "shell" ~doc:"Interactive query shell") term
 
 let explain_cmd =
@@ -818,4 +999,11 @@ let () =
         fig1_cmd;
       ]
   in
-  exit (Cmd.eval group)
+  (* Anything that escapes a subcommand is by definition a bug; report it
+     under the internal-error exit code, distinct from user errors (1) and
+     partial results (3). *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception e ->
+    Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
+    exit Mrpa_engine.Err.exit_internal_error

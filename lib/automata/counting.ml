@@ -10,7 +10,7 @@ type stats = { mutable subset_states : int; mutable peak_configs : int }
 
 let fresh_stats () = { subset_states = 0; peak_configs = 0 }
 
-let count_by_length ?stats g expr ~max_length =
+let count_by_length ?stats ?(guard = Mrpa_core.Guard.none) g expr ~max_length =
   if max_length < 0 then invalid_arg "Counting.count_by_length: negative bound";
   let record f = match stats with None -> () | Some s -> f s in
   let m = Subset.make expr in
@@ -25,10 +25,14 @@ let count_by_length ?stats g expr ~max_length =
       (c + Option.value ~default:0 (Hashtbl.find_opt tbl key))
   in
   let all_edges = Digraph.edges g in
-  for len = 1 to max_length do
+  (try
+    for len = 1 to max_length do
     let next : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
     Hashtbl.iter
       (fun (state, vertex) c ->
+        (* One poll per expanded configuration; live = DP table being
+           built. Hashtbl.length is O(1), so this is cheap. *)
+        guard.Mrpa_core.Guard.poll ~cost:1 ~live:(Hashtbl.length next);
         let consume e adj =
           let mask = Subset.mask_of_edge m e in
           if mask <> 0 then begin
@@ -58,9 +62,14 @@ let count_by_length ?stats g expr ~max_length =
         Hashtbl.replace level (state, vertex) c;
         if Subset.accepting m state then counts.(len) <- counts.(len) + c)
       next
-  done;
+    done
+  with Mrpa_core.Guard.Abort _ ->
+    (* Graceful degradation: counts for every completed length are exact;
+       the aborted length was never folded into [counts], so the array is a
+       sound lower bound per entry. *)
+    ());
   record (fun s -> s.subset_states <- Subset.n_cached_states m);
   counts
 
-let count ?stats g expr ~max_length =
-  Array.fold_left ( + ) 0 (count_by_length ?stats g expr ~max_length)
+let count ?stats ?guard g expr ~max_length =
+  Array.fold_left ( + ) 0 (count_by_length ?stats ?guard g expr ~max_length)

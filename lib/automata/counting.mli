@@ -28,11 +28,25 @@ val fresh_stats : unit -> stats
 (** A zeroed record; pass as [?stats] to have the count fill it in. *)
 
 val count_by_length :
-  ?stats:stats -> Digraph.t -> Expr.t -> max_length:int -> int array
+  ?stats:stats ->
+  ?guard:Guard.t ->
+  Digraph.t ->
+  Expr.t ->
+  max_length:int ->
+  int array
 (** [count_by_length g r ~max_length] returns an array [c] of size
     [max_length + 1] where [c.(len)] is the number of distinct paths of
-    length exactly [len] denoted by [r] over [g]. *)
+    length exactly [len] denoted by [r] over [g].
 
-val count : ?stats:stats -> Digraph.t -> Expr.t -> max_length:int -> int
+    With [?guard] the DP polls once per expanded configuration (fuel cost
+    1, live = configurations in the level being built). On
+    {!Mrpa_core.Guard.Abort} the counts accumulated for completed lengths
+    are returned as-is and later entries stay 0 — every entry is a sound
+    lower bound, and lengths the run finished are exact. *)
+
+val count :
+  ?stats:stats -> ?guard:Guard.t -> Digraph.t -> Expr.t -> max_length:int -> int
 (** Total over all lengths up to the bound — equal to
-    [Path_set.cardinal (Expr.denote g ~max_length r)] (property-tested). *)
+    [Path_set.cardinal (Expr.denote g ~max_length r)] (property-tested).
+    Under a guard abort this is a sound lower bound (see
+    {!count_by_length}). *)

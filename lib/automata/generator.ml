@@ -23,7 +23,8 @@ let successors (a : Glushkov.t) p =
    only when a path is emitted. The tail set grows strictly, bounding
    simple-path search depth by [|V|] regardless of [max_length]. *)
 
-let to_seq ?stats ?(simple = false) g (a : Glushkov.t) ~max_length =
+let to_seq ?stats ?(guard = Guard.none) ?(simple = false) g (a : Glushkov.t)
+    ~max_length =
   if max_length < 0 then invalid_arg "Generator.to_seq: negative max_length";
   let bump f = match stats with None -> () | Some s -> f s in
   let accepting p = if p = 0 then a.nullable else a.last.(p) in
@@ -37,6 +38,10 @@ let to_seq ?stats ?(simple = false) g (a : Glushkov.t) ~max_length =
     else
       Seq.concat_map
         (fun (q, kind) ->
+          (* The search is path-at-a-time, so live memory is just the spine
+             of the current extension: report the banked count upstream
+             instead (generate_automaton polls it). *)
+          guard.Guard.poll ~cost:1 ~live:0;
           let candidates =
             match (last, kind) with
             | None, _ | Some _, Glushkov.Free ->
@@ -82,22 +87,30 @@ let to_seq ?stats ?(simple = false) g (a : Glushkov.t) ~max_length =
   in
   Seq.append eps (extend 0 None [] Vertex.Set.empty 0)
 
-let generate_automaton ?stats ?max_paths ?simple g a ~max_length =
-  let seq = to_seq ?stats ?simple g a ~max_length in
+let generate_automaton ?stats ?(guard = Guard.none) ?max_paths ?simple g a
+    ~max_length =
+  let seq = to_seq ?stats ~guard ?simple g a ~max_length in
   let stop n = match max_paths with None -> false | Some m -> n >= m in
+  (* An abort mid-stream degrades to the distinct paths banked so far — a
+     sound subset of the denotation. The would-be bank count is polled
+     before adding, so a memory budget is never exceeded. *)
   let rec collect acc n seq =
     if stop n then acc
     else
       match seq () with
+      | exception Guard.Abort _ -> acc
       | Seq.Nil -> acc
       | Seq.Cons (p, rest) ->
         if Path_set.mem p acc then collect acc n rest
-        else collect (Path_set.union (Path_set.singleton p) acc) (n + 1) rest
+        else (
+          match guard.Guard.poll ~cost:0 ~live:(n + 1) with
+          | () -> collect (Path_set.add p acc) (n + 1) rest
+          | exception Guard.Abort _ -> acc)
   in
   collect Path_set.empty 0 seq
 
-let generate ?stats ?max_paths ?simple g expr ~max_length =
-  generate_automaton ?stats ?max_paths ?simple g (Glushkov.build expr)
+let generate ?stats ?guard ?max_paths ?simple g expr ~max_length =
+  generate_automaton ?stats ?guard ?max_paths ?simple g (Glushkov.build expr)
     ~max_length
 
 let exists g expr ~max_length =

@@ -33,6 +33,7 @@ val fresh_stats : unit -> stats
 
 val to_seq :
   ?stats:stats ->
+  ?guard:Guard.t ->
   ?simple:bool ->
   Digraph.t ->
   Glushkov.t ->
@@ -42,6 +43,12 @@ val to_seq :
     stream may contain duplicates when distinct automaton runs spell the
     same path; {!generate} deduplicates.
 
+    With [?guard] every expansion polls (fuel cost 1). Because the stream
+    is lazy, a {!Mrpa_core.Guard.Abort} raised by the guard escapes through
+    the {e consumer's} forcing of the sequence — callers that want graceful
+    degradation must catch it there ({!generate} does; so does
+    [Eval.run_seq]).
+
     With [~simple:true] only {e simple} paths (no repeated vertex in the
     itinerary — the regular simple paths of the paper's ref. [8]) are
     produced, and the search prunes revisits instead of post-filtering, so
@@ -49,6 +56,7 @@ val to_seq :
 
 val generate :
   ?stats:stats ->
+  ?guard:Guard.t ->
   ?max_paths:int ->
   ?simple:bool ->
   Digraph.t ->
@@ -58,10 +66,14 @@ val generate :
 (** All distinct paths of length at most [max_length] denoted by the
     expression over the graph. With [?max_paths] the search stops early once
     that many distinct paths are found (useful as a LIMIT); [?simple]
-    restricts to simple paths as in {!to_seq}. *)
+    restricts to simple paths as in {!to_seq}. With [?guard] an abort
+    returns the distinct paths banked so far (sound subset); the bank count
+    is reported as [live] before each insertion, so a memory budget is
+    honoured exactly. *)
 
 val generate_automaton :
   ?stats:stats ->
+  ?guard:Guard.t ->
   ?max_paths:int ->
   ?simple:bool ->
   Digraph.t ->

@@ -28,8 +28,8 @@ let successors (a : Glushkov.t) p =
 
 exception Limit_reached
 
-let run_automaton ?trace ?stats ?(simple = false) ?limit g (a : Glushkov.t)
-    ~max_length =
+let run_automaton ?trace ?stats ?(guard = Guard.none) ?(simple = false) ?limit
+    g (a : Glushkov.t) ~max_length =
   if max_length < 0 then invalid_arg "Stack_machine.run: negative max_length";
   (match limit with
   | Some k when k < 0 -> invalid_arg "Stack_machine.run: negative limit"
@@ -42,6 +42,9 @@ let run_automaton ?trace ?stats ?(simple = false) ?limit g (a : Glushkov.t)
       | Some f -> f { depth; state; stack_top }
     in
     let bump f = match stats with None -> () | Some s -> f s in
+    (* Live-path count of the last completed level, reported to the guard at
+       every transition so memory verdicts don't wait for a level boundary. *)
+    let last_live = ref 1 in
     (* Edge sets denoted by each position's transition label, fetched once. *)
     let edge_paths =
       Array.init (a.n_positions + 1) (fun p ->
@@ -79,6 +82,13 @@ let run_automaton ?trace ?stats ?(simple = false) ?limit g (a : Glushkov.t)
         (fun (state, stack_top) ->
           List.iter
             (fun (q, kind) ->
+              (* The machine is set-at-a-time, so a flat per-transition cost
+                 would undercount by the size of the sets flowing through:
+                 charge the stack top about to be joined, which is the unit
+                 the path-at-a-time backends charge one by one. *)
+              guard.Guard.poll
+                ~cost:(max 1 (Path_set.cardinal stack_top))
+                ~live:!last_live;
               bump (fun s -> s.pops <- s.pops + 1);
               (* Pop, join with the transition label's path set, push. *)
               let joined =
@@ -105,15 +115,17 @@ let run_automaton ?trace ?stats ?(simple = false) ?limit g (a : Glushkov.t)
         Hashtbl.fold (fun q r acc -> (q, !r) :: acc) next []
         |> List.sort (fun (q1, _) (q2, _) -> Int.compare q1 q2)
       in
+      let live =
+        List.fold_left
+          (fun acc (_, top) -> acc + Path_set.cardinal top)
+          (Path_set.cardinal !collected)
+          merged
+      in
+      last_live := live;
       bump (fun s ->
           s.max_live_branches <- max s.max_live_branches (List.length merged);
-          let live =
-            List.fold_left
-              (fun acc (_, top) -> acc + Path_set.cardinal top)
-              (Path_set.cardinal !collected)
-              merged
-          in
           s.peak_live_paths <- max s.peak_live_paths live);
+      guard.Guard.poll ~cost:0 ~live;
       List.iter
         (fun (q, stack_top) ->
           observe depth q stack_top;
@@ -125,12 +137,15 @@ let run_automaton ?trace ?stats ?(simple = false) ?limit g (a : Glushkov.t)
       if depth > max_length || level = [] then ()
       else loop (depth + 1) (step_level depth level)
     in
+    (* Both stop conditions degrade the same way: the banked answers so far
+       are a sound subset of the denotation, so return them. The budget
+       layer upstream reads the abort reason off its own state. *)
     (try
        observe 0 0 Path_set.epsilon;
        if accepting 0 then collect Path_set.epsilon;
        bump (fun s -> s.peak_live_paths <- max s.peak_live_paths 1);
        loop 1 initial_level
-     with Limit_reached -> ());
+     with Limit_reached | Guard.Abort _ -> ());
     (* A limit can abort a level mid-sweep, between the per-transition
        banking and the per-level live accounting; the collected set is
        always live, so fold it in before reporting. *)
@@ -140,6 +155,6 @@ let run_automaton ?trace ?stats ?(simple = false) ?limit g (a : Glushkov.t)
     !collected
   end
 
-let run ?trace ?stats ?simple ?limit g expr ~max_length =
-  run_automaton ?trace ?stats ?simple ?limit g (Glushkov.build expr)
+let run ?trace ?stats ?guard ?simple ?limit g expr ~max_length =
+  run_automaton ?trace ?stats ?guard ?simple ?limit g (Glushkov.build expr)
     ~max_length

@@ -114,17 +114,26 @@ let pp_generic pp_selector fmt r =
 let pp fmt r = pp_generic Selector.pp fmt r
 let pp_named g fmt r = pp_generic (Selector.pp_named g) fmt r
 
-let denote g ~max_length r =
+let denote ?(guard = Guard.none) g ~max_length r =
   if max_length < 0 then invalid_arg "Expr.denote: negative max_length";
   let cap s = Path_set.filter (fun p -> Path.length p <= max_length) s in
-  let rec go = function
+  (* One poll per node keeps fuel proportional to expression size; the
+     combining nodes additionally report the cardinality they just
+     materialised so memory budgets see the blowup as it happens. *)
+  let built s =
+    guard.Guard.poll ~cost:0 ~live:(Path_set.cardinal s);
+    s
+  in
+  let rec go r =
+    guard.Guard.poll ~cost:1 ~live:0;
+    match r with
     | Empty -> Path_set.empty
     | Epsilon -> Path_set.epsilon
     | Sel s -> cap (Path_set.select g s)
-    | Union (a, b) -> Path_set.union (go a) (go b)
-    | Join (a, b) -> cap (Path_set.join (go a) (go b))
-    | Product (a, b) -> cap (Path_set.product (go a) (go b))
-    | Star a -> Path_set.star_bounded (go a) ~max_length
+    | Union (a, b) -> built (Path_set.union (go a) (go b))
+    | Join (a, b) -> built (cap (Path_set.join (go a) (go b)))
+    | Product (a, b) -> built (cap (Path_set.product (go a) (go b)))
+    | Star a -> built (Path_set.star_bounded (go a) ~max_length)
   in
   go r
 

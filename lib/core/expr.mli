@@ -88,11 +88,18 @@ val pp_named : Digraph.t -> Format.formatter -> t -> unit
     strategy in {!Mrpa_automata}. It is exponential in the worst case; the
     engine exists because of that. *)
 
-val denote : Digraph.t -> max_length:int -> t -> Path_set.t
+val denote : ?guard:Guard.t -> Digraph.t -> max_length:int -> t -> Path_set.t
 (** [denote g ~max_length r]: every path of length at most [max_length]
     denoted by [r] over the edge universe of [g]. Exact: bounding each
     subexpression by [max_length] and filtering loses no path of admissible
-    length, because every factor of a path is no longer than the path. *)
+    length, because every factor of a path is no longer than the path.
+
+    With [?guard] the evaluation polls once per expression node (fuel cost
+    1) and once per combining node with the cardinality it materialised, so
+    a resource governor can abort the run ({!Guard.Abort}). The exception
+    propagates to the caller: a bottom-up set evaluation has no sound
+    partial answer of its own — the engine recovers one by iterative
+    deepening over [max_length]. *)
 
 module Dsl : sig
   (** Infix sugar for building expressions in examples and tests:

@@ -1,0 +1,13 @@
+type reason = Deadline | Fuel | Memory | Cancelled
+
+exception Abort of reason
+
+type t = { poll : cost:int -> live:int -> unit }
+
+let none = { poll = (fun ~cost:_ ~live:_ -> ()) }
+
+let reason_name = function
+  | Deadline -> "deadline"
+  | Fuel -> "fuel"
+  | Memory -> "memory"
+  | Cancelled -> "cancelled"

@@ -1,0 +1,42 @@
+(** Cooperative execution checkpoints.
+
+    Star-closure queries denote unboundedly large path sets, so every
+    evaluator in this codebase must be interruptible: at each of its natural
+    checkpoints (a transition, a level, an expansion) it reports progress to
+    a guard, and the guard may abort the run by raising {!Abort}. The
+    evaluator is expected to catch the exception and return whatever sound
+    partial answer it has banked — degrade, don't hang or OOM.
+
+    This module is deliberately tiny and policy-free: it defines only the
+    checkpoint {e protocol} shared by {!Expr.denote} and the automata
+    backends. The actual resource policy — wall-clock deadline, fuel,
+    memory budget, cancellation token, fault injection — lives upstream in
+    the engine's [Budget] module, which manufactures {!t} values whose
+    [poll] closes over its accounting state. *)
+
+type reason =
+  | Deadline  (** the wall-clock deadline passed. *)
+  | Fuel  (** the transition-step budget is exhausted. *)
+  | Memory  (** too many paths are live/banked at once. *)
+  | Cancelled  (** someone called the cancellation token. *)
+
+exception Abort of reason
+(** Raised by a guard's [poll] to stop the run. Evaluators catch it at the
+    boundary where they can still return a sound partial result; it should
+    never escape to user code. *)
+
+type t = { poll : cost:int -> live:int -> unit }
+(** A checkpoint callback. Evaluators call [poll ~cost ~live] at each
+    checkpoint: [cost] is the number of atomic work steps (transitions,
+    edge expansions) performed since the previous poll and is charged
+    against any fuel budget; [live] is the evaluator's current count of
+    materialised paths (or DP configurations), checked against any memory
+    budget. Pass [~live:0] at checkpoints where no fresh count is
+    available — memory is judged only on reported values. *)
+
+val none : t
+(** The no-op guard: never aborts. Backends use it as the default so
+    unguarded runs pay only an indirect call per checkpoint. *)
+
+val reason_name : reason -> string
+(** ["deadline" | "fuel" | "memory" | "cancelled"]. *)

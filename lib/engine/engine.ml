@@ -1,26 +1,28 @@
 open Mrpa_core
 
-type result = { paths : Path_set.t; plan : Plan.t; stats : Eval.stats }
+type result = {
+  paths : Path_set.t;
+  plan : Plan.t;
+  verdict : Err.verdict;
+  stats : Eval.stats;
+}
 
 let default_max_length = 8
 
-let query_expr ?strategy ?simple ?(max_length = default_max_length) ?limit g
-    expr =
+let query_expr ?strategy ?simple ?(max_length = default_max_length) ?limit
+    ?budget g expr =
   let plan = Optimizer.plan ?strategy ?simple ~max_length g expr in
-  let paths, stats =
-    match limit with
-    | None -> Eval.run g plan
-    | Some limit -> Eval.run_limited g plan ~limit
-  in
-  { paths; plan; stats }
+  let o = Eval.run_governed ?limit ?budget g plan in
+  { paths = o.Eval.paths; plan; verdict = o.Eval.verdict; stats = o.Eval.stats }
 
-let query ?strategy ?simple ?max_length ?limit g text =
+let query ?strategy ?simple ?max_length ?limit ?budget g text =
   match Parser.parse g text with
   | Error e -> Error (Parser.render_error ~source:text e)
-  | Ok expr -> Ok (query_expr ?strategy ?simple ?max_length ?limit g expr)
+  | Ok expr ->
+    Ok (query_expr ?strategy ?simple ?max_length ?limit ?budget g expr)
 
-let query_exn ?strategy ?simple ?max_length ?limit g text =
-  match query ?strategy ?simple ?max_length ?limit g text with
+let query_exn ?strategy ?simple ?max_length ?limit ?budget g text =
+  match query ?strategy ?simple ?max_length ?limit ?budget g text with
   | Ok r -> r
   | Error message -> failwith message
 
@@ -28,7 +30,7 @@ let query_exn ?strategy ?simple ?max_length ?limit g text =
    which [query] skips — under one metrics collector, so the profile shows
    where a query's time goes end to end. *)
 let query_profiled ?strategy ?simple ?(max_length = default_max_length) ?limit
-    g text =
+    ?budget g text =
   let m = Metrics.create () in
   match Metrics.time m "parse" (fun () -> Parser.parse_spanned g text) with
   | Error e -> Error (Parser.render_error ~source:text e)
@@ -40,8 +42,9 @@ let query_profiled ?strategy ?simple ?(max_length = default_max_length) ?limit
       Metrics.time m "optimize" (fun () ->
           Optimizer.plan ?strategy ?simple ~max_length g expr)
     in
-    let paths =
-      Metrics.time m "execute" (fun () -> Eval.execute ?limit ~metrics:m g plan)
+    let paths, verdict =
+      Metrics.time m "execute" (fun () ->
+          Eval.execute_verdict ?limit ~metrics:m ?budget g plan)
     in
     let elapsed_s =
       match Metrics.stage_ns m "execute" with
@@ -49,16 +52,23 @@ let query_profiled ?strategy ?simple ?(max_length = default_max_length) ?limit
       | None -> 0.0
     in
     let stats = { Eval.paths = Path_set.cardinal paths; elapsed_s } in
-    Ok ({ paths; plan; stats }, m)
+    Ok ({ paths; plan; verdict; stats }, m)
 
-let count_expr ?(max_length = default_max_length) g expr =
+let count_expr ?(max_length = default_max_length) ?budget g expr =
   let optimized, _ = Optimizer.simplify expr in
-  Mrpa_automata.Counting.count g optimized ~max_length
+  let guard =
+    match budget with None -> Guard.none | Some b -> Budget.guard b
+  in
+  let n = Mrpa_automata.Counting.count ~guard g optimized ~max_length in
+  (n, Budget.verdict ~returned:n budget)
 
-let count ?max_length g text =
+let count_governed ?max_length ?budget g text =
   match Parser.parse g text with
   | Error e -> Error (Parser.render_error ~source:text e)
-  | Ok expr -> Ok (count_expr ?max_length g expr)
+  | Ok expr -> Ok (count_expr ?max_length ?budget g expr)
+
+let count ?max_length g text =
+  Stdlib.Result.map fst (count_governed ?max_length g text)
 
 let equivalent g text1 text2 =
   match (Parser.parse g text1, Parser.parse g text2) with

@@ -8,6 +8,9 @@ open Mrpa_core
 type result = {
   paths : Path_set.t;
   plan : Plan.t;
+  verdict : Err.verdict;
+      (** [Complete], or [Partial reason] when a budget bound or a limit
+          stopped the run and [paths] is a sound subset of the denotation. *)
   stats : Eval.stats;
 }
 
@@ -16,20 +19,24 @@ val query :
   ?simple:bool ->
   ?max_length:int ->
   ?limit:int ->
+  ?budget:Budget.t ->
   Digraph.t ->
   string ->
   (result, string) Stdlib.result
 (** Run a textual query (grammar in {!Parser}) against a graph.
     [max_length] (default 8) bounds star unrolling; [limit] stops after that
     many distinct paths; [simple] restricts to simple paths (ref. \[8\]).
-    Parse errors are returned as [Error] with offset information rendered
-    in. *)
+    [budget] governs the run ({!Budget}): when a deadline, fuel, memory
+    bound or cancellation trips, the run stops at the next checkpoint and
+    the result carries a partial verdict instead of failing. Parse errors
+    are returned as [Error] with offset information rendered in. *)
 
 val query_exn :
   ?strategy:Plan.strategy ->
   ?simple:bool ->
   ?max_length:int ->
   ?limit:int ->
+  ?budget:Budget.t ->
   Digraph.t ->
   string ->
   result
@@ -40,6 +47,7 @@ val query_profiled :
   ?simple:bool ->
   ?max_length:int ->
   ?limit:int ->
+  ?budget:Budget.t ->
   Digraph.t ->
   string ->
   (result * Metrics.t, string) Stdlib.result
@@ -47,13 +55,14 @@ val query_profiled :
     skips), optimize, execute — runs under a fresh {!Metrics} collector
     whose stage timings and backend counters are returned alongside the
     result: the engine's EXPLAIN ANALYZE. [stats.elapsed_s] is the execute
-    stage's time. *)
+    stage's time. Governed runs additionally record [budget.*] counters. *)
 
 val query_expr :
   ?strategy:Plan.strategy ->
   ?simple:bool ->
   ?max_length:int ->
   ?limit:int ->
+  ?budget:Budget.t ->
   Digraph.t ->
   Expr.t ->
   result
@@ -65,7 +74,18 @@ val count :
     by {!Mrpa_automata.Counting} — no path set is materialised, so this
     stays cheap where {!query} would build an exponentially large answer. *)
 
-val count_expr : ?max_length:int -> Digraph.t -> Expr.t -> int
+val count_governed :
+  ?max_length:int ->
+  ?budget:Budget.t ->
+  Digraph.t ->
+  string ->
+  (int * Err.verdict, string) Stdlib.result
+(** {!count} under a budget. A tripped bound yields the count accumulated
+    over fully completed levels — a sound lower bound — with the partial
+    verdict saying which bound fired. *)
+
+val count_expr :
+  ?max_length:int -> ?budget:Budget.t -> Digraph.t -> Expr.t -> int * Err.verdict
 
 val equivalent :
   Digraph.t -> string -> string -> (bool, string) Stdlib.result

@@ -1,0 +1,37 @@
+open Mrpa_core
+
+type reason = Deadline | Fuel | Memory | Cancelled | Limit
+type verdict = Complete | Partial of reason
+
+let of_guard = function
+  | Guard.Deadline -> Deadline
+  | Guard.Fuel -> Fuel
+  | Guard.Memory -> Memory
+  | Guard.Cancelled -> Cancelled
+
+let reason_name = function
+  | Deadline -> "deadline"
+  | Fuel -> "fuel"
+  | Memory -> "memory"
+  | Cancelled -> "cancelled"
+  | Limit -> "limit"
+
+let reason_of_name = function
+  | "deadline" -> Some Deadline
+  | "fuel" -> Some Fuel
+  | "memory" -> Some Memory
+  | "cancelled" -> Some Cancelled
+  | "limit" -> Some Limit
+  | _ -> None
+
+let verdict_name = function
+  | Complete -> "complete"
+  | Partial r -> "partial:" ^ reason_name r
+
+let pp_verdict fmt v = Format.pp_print_string fmt (verdict_name v)
+let is_partial = function Complete -> false | Partial _ -> true
+let exit_ok = 0
+let exit_user_error = 1
+let exit_internal_error = 2
+let exit_partial = 3
+let exit_code = function Complete -> exit_ok | Partial _ -> exit_partial

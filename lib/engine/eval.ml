@@ -2,6 +2,7 @@ open Mrpa_core
 open Mrpa_automata
 
 type stats = { paths : int; elapsed_s : float }
+type outcome = { paths : Path_set.t; verdict : Err.verdict; stats : stats }
 
 (* Monotonic, not wall-clock: timings must survive NTP adjustments. *)
 let timed f =
@@ -9,10 +10,13 @@ let timed f =
   let result = f () in
   (result, Int64.to_float (Metrics.elapsed_ns ~since:t0) /. 1e9)
 
-let execute ?limit ?metrics g (p : Plan.t) =
+let execute_verdict ?limit ?metrics ?budget g (p : Plan.t) =
   let expr = p.optimized in
   let max_length = p.max_length in
   let record f = match metrics with None -> () | Some m -> f m in
+  let guard =
+    match budget with None -> Guard.none | Some b -> Budget.guard b
+  in
   let truncate s =
     match limit with None -> s | Some k -> Path_set.truncate k s
   in
@@ -20,7 +24,27 @@ let execute ?limit ?metrics g (p : Plan.t) =
   let result =
     match p.strategy with
     | Plan.Reference ->
-      let s = Expr.denote g ~max_length expr in
+      let s =
+        match budget with
+        | None -> Expr.denote g ~max_length expr
+        | Some _ ->
+          (* The reference denotation is bottom-up: an abort mid-evaluation
+             has no sound partial set to salvage. Under a budget we recover
+             graceful degradation by iterative deepening on the length
+             bound — denote is monotone in [max_length], so the last
+             completed round is a sound (and, past round one, non-empty
+             wherever the query is satisfiable) subset. Total cost stays
+             within a small constant of the direct evaluation because the
+             denotation's cost grows at least geometrically with the
+             bound. *)
+          let best = ref Path_set.empty in
+          (try
+             for l = 0 to max_length do
+               best := Expr.denote ~guard g ~max_length:l expr
+             done
+           with Guard.Abort _ -> ());
+          !best
+      in
       record (fun m -> Metrics.set_max m "pathset.peak" (Path_set.cardinal s));
       truncate (restrict s)
     | Plan.Stack_machine ->
@@ -29,8 +53,8 @@ let execute ?limit ?metrics g (p : Plan.t) =
           Metrics.set_max m "automaton.positions" (Glushkov.n_states a));
       let st = Stack_machine.fresh_stats () in
       let s =
-        Stack_machine.run_automaton ~stats:st ~simple:p.simple ?limit g a
-          ~max_length
+        Stack_machine.run_automaton ~stats:st ~guard ~simple:p.simple ?limit g
+          a ~max_length
       in
       record (fun m ->
           Metrics.incr ~by:st.pops m "stack.pops";
@@ -47,7 +71,7 @@ let execute ?limit ?metrics g (p : Plan.t) =
           Metrics.set_max m "automaton.positions" (Glushkov.n_states a));
       let st = Generator.fresh_stats () in
       let s =
-        Generator.generate_automaton ~stats:st ?max_paths:limit
+        Generator.generate_automaton ~stats:st ~guard ?max_paths:limit
           ~simple:p.simple g a ~max_length
       in
       record (fun m ->
@@ -58,12 +82,33 @@ let execute ?limit ?metrics g (p : Plan.t) =
           Metrics.set_max m "pathset.peak" (Path_set.cardinal s));
       s
   in
+  (match budget with
+  | None -> ()
+  | Some b ->
+    record (fun m ->
+        Metrics.set m "budget.checkpoints" (Budget.checkpoints b);
+        Metrics.set m "budget.fuel_used" (Budget.fuel_used b);
+        match Budget.tripped b with
+        | Some r -> Metrics.incr m ("budget.stopped." ^ Guard.reason_name r)
+        | None -> ()));
+  let verdict =
+    Budget.verdict ?limit ~returned:(Path_set.cardinal result) budget
+  in
   record (fun m -> Metrics.set m "result.paths" (Path_set.cardinal result));
-  result
+  (result, verdict)
 
-let run ?metrics g p =
-  let paths, elapsed_s = timed (fun () -> execute ?metrics g p) in
-  (paths, { paths = Path_set.cardinal paths; elapsed_s })
+let execute ?limit ?metrics ?budget g p =
+  fst (execute_verdict ?limit ?metrics ?budget g p)
+
+let run_governed ?limit ?metrics ?budget g p =
+  let (paths, verdict), elapsed_s =
+    timed (fun () -> execute_verdict ?limit ?metrics ?budget g p)
+  in
+  { paths; verdict; stats = { paths = Path_set.cardinal paths; elapsed_s } }
+
+let run ?metrics ?budget g p =
+  let o = run_governed ?metrics ?budget g p in
+  (o.paths, o.stats)
 
 (* Lazily drop already-seen paths, then stop at [k] distinct ones. The
    returned sequence owns mutable state: consume it once. *)
@@ -78,21 +123,33 @@ let distinct_take k seq =
          end)
   |> Seq.take k
 
-let run_seq ?limit g (p : Plan.t) =
+(* End the stream at the first guard abort instead of leaking the
+   exception to the consumer's loop. *)
+let rec stop_on_abort seq () =
+  match seq () with
+  | exception Guard.Abort _ -> Seq.Nil
+  | Seq.Nil -> Seq.Nil
+  | Seq.Cons (x, rest) -> Seq.Cons (x, stop_on_abort rest)
+
+let run_seq ?limit ?budget g (p : Plan.t) =
   (match limit with
   | Some k when k < 0 -> invalid_arg "Eval.run_seq: negative limit"
   | _ -> ());
   match p.strategy with
   | Plan.Product_bfs ->
+    let guard =
+      match budget with None -> Guard.none | Some b -> Budget.guard b
+    in
     let seq =
-      Generator.to_seq ~simple:p.simple g (Glushkov.build p.optimized)
-        ~max_length:p.max_length
+      stop_on_abort
+        (Generator.to_seq ~guard ~simple:p.simple g
+           (Glushkov.build p.optimized) ~max_length:p.max_length)
     in
     (match limit with None -> seq | Some k -> distinct_take k seq)
   | Plan.Reference | Plan.Stack_machine ->
-    Path_set.elements (execute ?limit g p) |> List.to_seq
+    Path_set.elements (execute ?limit ?budget g p) |> List.to_seq
 
-let run_limited ?metrics g p ~limit =
+let run_limited ?metrics ?budget g p ~limit =
   if limit < 0 then invalid_arg "Eval.run_limited: negative limit";
-  let paths, elapsed_s = timed (fun () -> execute ~limit ?metrics g p) in
-  (paths, { paths = Path_set.cardinal paths; elapsed_s })
+  let o = run_governed ~limit ?metrics ?budget g p in
+  (o.paths, o.stats)

@@ -8,12 +8,24 @@ type stats = {
   elapsed_s : float;  (** elapsed seconds, on the monotonic clock. *)
 }
 
+type outcome = {
+  paths : Path_set.t;  (** the (possibly partial) result set. *)
+  verdict : Err.verdict;
+      (** whether [paths] is the full denotation or a sound subset. *)
+  stats : stats;
+}
+
 val timed : (unit -> 'a) -> 'a * float
 (** Run the thunk, returning its result and elapsed seconds on the
     monotonic clock ({!Metrics.now_ns}) — never wall time. *)
 
 val execute :
-  ?limit:int -> ?metrics:Metrics.t -> Digraph.t -> Plan.t -> Path_set.t
+  ?limit:int ->
+  ?metrics:Metrics.t ->
+  ?budget:Budget.t ->
+  Digraph.t ->
+  Plan.t ->
+  Path_set.t
 (** Execute the plan's optimized expression under its strategy and length
     bound, untimed. With [?limit:k] at most [k] distinct paths are returned
     and the limit is pushed into the backend wherever short-circuiting is
@@ -22,21 +34,65 @@ val execute :
     [k] (simple, under [Plan.simple]) paths are banked, and only
     {!Plan.Reference} — the semantics oracle — still materialises the full
     denotation before truncating ({!Path_set.truncate}). With [?metrics]
-    the run records backend counters (see {!Metrics} for the key table). *)
+    the run records backend counters (see {!Metrics} for the key table).
 
-val run : ?metrics:Metrics.t -> Digraph.t -> Plan.t -> Path_set.t * stats
+    With [?budget] the run is governed: the budget's guard polls at every
+    backend checkpoint and the run degrades gracefully to a sound partial
+    result when a bound trips — {!Plan.Stack_machine} returns the paths
+    banked so far, {!Plan.Product_bfs} the distinct paths already collected
+    (its memory budget is checked {e before} banking, so [max_live] is
+    never exceeded), and {!Plan.Reference}, whose bottom-up evaluation has
+    no salvageable intermediate state, is re-run by iterative deepening on
+    the length bound so the last completed round survives. Use
+    {!execute_verdict} or {!run_governed} to learn whether the result is
+    partial. *)
+
+val execute_verdict :
+  ?limit:int ->
+  ?metrics:Metrics.t ->
+  ?budget:Budget.t ->
+  Digraph.t ->
+  Plan.t ->
+  Path_set.t * Err.verdict
+(** {!execute}, paired with the run's verdict ({!Budget.verdict}): which
+    bound (or limit) stopped it, if any. Also records [budget.*] metrics
+    counters when both [?metrics] and [?budget] are given. *)
+
+val run_governed :
+  ?limit:int ->
+  ?metrics:Metrics.t ->
+  ?budget:Budget.t ->
+  Digraph.t ->
+  Plan.t ->
+  outcome
+(** {!execute_verdict} plus timing. *)
+
+val run :
+  ?metrics:Metrics.t ->
+  ?budget:Budget.t ->
+  Digraph.t ->
+  Plan.t ->
+  Path_set.t * stats
 (** {!execute} plus timing. *)
 
-val run_seq : ?limit:int -> Digraph.t -> Plan.t -> Path.t Seq.t
+val run_seq :
+  ?limit:int -> ?budget:Budget.t -> Digraph.t -> Plan.t -> Path.t Seq.t
 (** Streaming execution. Under {!Plan.Product_bfs} paths stream lazily; with
     [?limit] the stream is deduplicated and cut at [limit] distinct paths
     (without it, it may repeat — see {!Mrpa_automata.Generator.to_seq} — and
     the returned sequence owns mutable dedup state, so consume it once).
     Other strategies materialise first — with the limit pushed into the
     run, so {!Plan.Stack_machine} does bounded work — and then stream their
-    deduplicated results. *)
+    deduplicated results. With [?budget], a tripped bound ends the stream
+    gracefully (no exception reaches the consumer); inspect
+    {!Budget.tripped} afterwards to distinguish exhaustion from a bound. *)
 
 val run_limited :
-  ?metrics:Metrics.t -> Digraph.t -> Plan.t -> limit:int -> Path_set.t * stats
+  ?metrics:Metrics.t ->
+  ?budget:Budget.t ->
+  Digraph.t ->
+  Plan.t ->
+  limit:int ->
+  Path_set.t * stats
 (** Stop after [limit] distinct paths (LIMIT clause): [run] with
     [execute]'s limit push-down. *)

@@ -22,7 +22,10 @@
       frontier high-water marks;
     - [pathset.peak] — peak materialised path-set cardinality;
     - [result.paths] — distinct paths returned;
-    - [lint.findings] — diagnostics reported by the static analyzer. *)
+    - [lint.findings] — diagnostics reported by the static analyzer;
+    - [budget.*] — governed runs only: [budget.checkpoints] polls observed,
+      [budget.fuel_used] total cost charged, and [budget.stopped.<reason>]
+      ([deadline]/[fuel]/[memory]/[cancelled]) set when a bound tripped. *)
 
 type t
 

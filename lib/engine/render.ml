@@ -43,6 +43,7 @@ let result_json g (r : Engine.result) =
         Printf.sprintf "%.3f" (1000.0 *. r.Engine.stats.Eval.elapsed_s) );
       ( "strategy",
         escape_string (Plan.strategy_name r.Engine.plan.Plan.strategy) );
+      ("verdict", escape_string (Err.verdict_name r.Engine.verdict));
       ( "rewrites",
         array (List.map escape_string r.Engine.plan.Plan.rewrites) );
     ]

@@ -22,7 +22,7 @@ val paths_json : Digraph.t -> Path_set.t -> string
 val result_json : Digraph.t -> Engine.result -> string
 (** A full query result:
     [{"paths": […], "count": n, "elapsed_ms": t, "strategy": s,
-      "rewrites": […]}]. *)
+      "verdict": "complete" | "partial:<reason>", "rewrites": […]}]. *)
 
 val tuples_json : Digraph.t -> head:string list -> Vertex.t list list -> string
 (** CRPQ answers as an array of objects keyed by head variable. *)

@@ -1,0 +1,130 @@
+Execution guardrails: budgets, partial-result verdicts and the unified
+exit-code policy (0 ok, 1 user/input error, 2 internal error, 3 partial
+result). Budget aborts are driven by deterministic fault injection
+(--inject-fault REASON@N), never by sleeping.
+
+A deterministic workload graph:
+
+  $ ../bin/mrpa.exe generate --kind ring -n 6 -o ring.tsv
+  generated ring: |V|=6 |E|=6 |Omega|=3
+
+A malformed graph file is a user error: rendered diagnostic, exit 1.
+
+  $ printf 'a\tknows\tb\nbroken line here\n' > bad.tsv
+  $ ../bin/mrpa.exe stats bad.tsv
+  error: bad.tsv: malformed line 2: broken line here
+  [1]
+  $ ../bin/mrpa.exe query bad.tsv 'E*'
+  error: bad.tsv: malformed line 2: broken line here
+  [1]
+
+A star query aborted mid-run returns a non-empty sound subset within the
+budget, a partial footer naming the tripped bound, and exit code 3 — on
+every strategy. The fault fires at the 4th checkpoint, so the output is
+identical on every machine.
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --max-length 5 --strategy reference --inject-fault deadline@4 | sed 's/in [0-9.]* ms/in N ms/'
+  ε
+  -- 1 path(s) in N ms via reference
+  -- partial result (deadline): some paths may be missing
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --max-length 5 --strategy stack --inject-fault deadline@4 | sed 's/in [0-9.]* ms/in N ms/'
+  ε
+  (v0,r0,v1)
+  (v1,r1,v2)
+  (v2,r2,v3)
+  (v3,r0,v4)
+  (v4,r1,v5)
+  (v5,r2,v0)
+  -- 7 path(s) in N ms via stack-machine
+  -- partial result (deadline): some paths may be missing
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --max-length 5 --strategy bfs --inject-fault deadline@4 | sed 's/in [0-9.]* ms/in N ms/'
+  ε
+  (v0,r0,v1)
+  -- 2 path(s) in N ms via product-bfs
+  -- partial result (deadline): some paths may be missing
+
+The pipes above hide the exit status, so assert it separately — partial
+results exit 3 on every strategy:
+
+  $ for s in reference stack bfs; do
+  >   ../bin/mrpa.exe query ring.tsv 'E*' --max-length 5 --strategy $s --inject-fault deadline@4 > /dev/null
+  >   echo "$s: $?"
+  > done
+  reference: 3
+  stack: 3
+  bfs: 3
+
+The other bounds work the same way; fuel exhaustion on the counting
+engine yields a sound lower bound (the note goes to stderr so stdout
+stays machine-readable):
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --max-length 5 --count --inject-fault fuel@5
+  7
+  -- partial result (fuel): some paths may be missing
+  [3]
+
+A LIMIT that stops the run is also a partial result:
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --max-length 5 --limit 3 | sed 's/in [0-9.]* ms/in N ms/'
+  ε
+  (v0,r0,v1)
+  (v0,r0,v1,v1,r1,v2)
+  -- 3 path(s) in N ms via product-bfs
+  -- partial result (limit): some paths may be missing
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --max-length 5 --limit 3 > /dev/null
+  [3]
+
+Governed runs record budget counters in the profile:
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --max-length 4 --strategy stack --profile --inject-fault deadline@6 | grep budget
+    budget.checkpoints         6
+    budget.fuel_used           13
+    budget.stopped.deadline    1
+
+JSON output carries the verdict in-band:
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --max-length 3 --json --inject-fault memory@2 | sed 's/"elapsed_ms":[0-9.]*/"elapsed_ms":N/'
+  {"paths":[{"edges":[],"label_word":[],"length":0,"joint":true}],"count":1,"elapsed_ms":N,"strategy":"product-bfs","verdict":"partial:memory","rewrites":[]}
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --max-length 3 --json --inject-fault memory@2 > /dev/null
+  [3]
+
+A bad fault spec is a user error:
+
+  $ ../bin/mrpa.exe query ring.tsv 'E*' --inject-fault bogus@2
+  error: bad --inject-fault "bogus@2" (expected REASON@N with REASON one of deadline, fuel, memory, cancelled and N >= 1)
+  [1]
+
+The interactive shell never dies on a bad query — errors are rendered and
+the prompt comes back:
+
+  $ printf 'E . (\nE . E\n:quit\n' | ../bin/mrpa.exe shell ring.tsv --max-length 3
+  mrpa shell — |V|=6 |E|=6 |Omega|=3
+  Type a query per line; :explain QUERY, :count QUERY, :lint QUERY, :profile QUERY, :quit to exit.
+  mrpa> error: parse error at offset 5: expected an expression
+    E . (
+         ^
+  mrpa> (v0,r0,v1,v1,r1,v2)
+  (v1,r1,v2,v2,r2,v3)
+  (v2,r2,v3,v3,r0,v4)
+  (v3,r0,v4,v4,r1,v5)
+  (v4,r1,v5,v5,r2,v0)
+  (v5,r2,v0,v0,r0,v1)
+  -- 6 path(s)
+  mrpa> 
+
+Shell queries run under the session's budget flags, degrade gracefully
+and report partially — without ending the session:
+
+  $ printf 'E*\n:count E*\n:quit\n' | ../bin/mrpa.exe shell ring.tsv --max-length 3 --inject-fault fuel@3
+  mrpa shell — |V|=6 |E|=6 |Omega|=3
+  Type a query per line; :explain QUERY, :count QUERY, :lint QUERY, :profile QUERY, :quit to exit.
+  mrpa> ε
+  -- 1 path(s)
+  -- partial result (fuel): some paths may be missing
+  mrpa> 7
+  -- partial result (fuel): some paths may be missing
+  mrpa> 

@@ -28,6 +28,8 @@ counters are deterministic.
     optimize: T ms
     execute: T ms
   counters:
+    budget.checkpoints         36
+    budget.fuel_used           27
     lint.findings              0
     pathset.peak               6
     result.paths               6
@@ -47,7 +49,7 @@ The stack machine exposes its own counter namespace:
 nanosecond timings are normalised, everything else is stable.
 
   $ ../bin/mrpa.exe query g.tsv '[_,alpha,_] . [_,beta,_]' --strategy reference --profile-json - --count | sed 's/"ns":[0-9]*/"ns":N/g'
-  {"schema":"mrpa.profile/1","stages":[{"stage":"parse","ns":N},{"stage":"lint","ns":N},{"stage":"optimize","ns":N},{"stage":"execute","ns":N}],"counters":{"lint.findings":0,"pathset.peak":6,"result.paths":6}}
+  {"schema":"mrpa.profile/1","stages":[{"stage":"parse","ns":N},{"stage":"lint","ns":N},{"stage":"optimize","ns":N},{"stage":"execute","ns":N}],"counters":{"budget.checkpoints":36,"budget.fuel_used":27,"lint.findings":0,"pathset.peak":6,"result.paths":6}}
   6
 
 Without --profile the normal output is kept alongside the JSON file:
@@ -55,7 +57,7 @@ Without --profile the normal output is kept alongside the JSON file:
   $ ../bin/mrpa.exe query g.tsv '[_,beta,_]{2}' --profile-json p.json --count
   4
   $ sed 's/"ns":[0-9]*/"ns":N/g' p.json
-  {"schema":"mrpa.profile/1","stages":[{"stage":"parse","ns":N},{"stage":"lint","ns":N},{"stage":"optimize","ns":N},{"stage":"execute","ns":N}],"counters":{"automaton.positions":3,"bfs.edges_scanned":8,"bfs.max_depth":2,"bfs.max_frontier":4,"bfs.paths_emitted":4,"lint.findings":0,"pathset.peak":4,"result.paths":4}}
+  {"schema":"mrpa.profile/1","stages":[{"stage":"parse","ns":N},{"stage":"lint","ns":N},{"stage":"optimize","ns":N},{"stage":"execute","ns":N}],"counters":{"automaton.positions":3,"bfs.edges_scanned":8,"bfs.max_depth":2,"bfs.max_frontier":4,"bfs.paths_emitted":4,"budget.checkpoints":9,"budget.fuel_used":5,"lint.findings":0,"pathset.peak":4,"result.paths":4}}
 
 The shell's :profile mirrors --profile (without the plan):
 
@@ -73,6 +75,8 @@ The shell's :profile mirrors --profile (without the plan):
     bfs.max_depth              2
     bfs.max_frontier           4
     bfs.paths_emitted          4
+    budget.checkpoints         9
+    budget.fuel_used           5
     lint.findings              0
     pathset.peak               4
     result.paths               4

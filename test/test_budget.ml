@@ -1,0 +1,360 @@
+(* Execution guardrails: budgets, verdicts and graceful degradation.
+
+   Every abort path is exercised through deterministic fault injection
+   (Budget.with_fault_injection) — no test here sleeps or depends on the
+   real clock, except the two that use the degenerate bounds deadline=0
+   and fuel=0, which trip at the very first checkpoint on any machine. *)
+
+open Mrpa_graph
+open Mrpa_core
+open Mrpa_engine
+module H = Helpers
+
+let guard_reasons =
+  [ Guard.Deadline; Guard.Fuel; Guard.Memory; Guard.Cancelled ]
+
+let strategies =
+  [ Plan.Reference; Plan.Stack_machine; Plan.Product_bfs ]
+
+(* --- Budget unit behaviour ------------------------------------------- *)
+
+let test_budget_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "negative deadline" true
+    (raises (fun () -> Budget.create ~deadline_ms:(-1.0) ()));
+  Alcotest.(check bool) "negative fuel" true
+    (raises (fun () -> Budget.create ~fuel:(-1) ()));
+  Alcotest.(check bool) "negative max_live" true
+    (raises (fun () -> Budget.create ~max_live:(-1) ()));
+  Alcotest.(check bool) "fault at 0" true
+    (raises (fun () ->
+         Budget.with_fault_injection ~at:0 Guard.Fuel (Budget.create ())))
+
+let test_budget_accounting () =
+  let b = Budget.create () in
+  let g = Budget.guard b in
+  g.Guard.poll ~cost:2 ~live:0;
+  g.Guard.poll ~cost:3 ~live:5;
+  Alcotest.(check int) "checkpoints" 2 (Budget.checkpoints b);
+  Alcotest.(check int) "fuel used" 5 (Budget.fuel_used b);
+  Alcotest.(check bool) "not tripped" true (Budget.tripped b = None)
+
+let test_budget_fuel_trips () =
+  let b = Budget.create ~fuel:3 () in
+  let g = Budget.guard b in
+  g.Guard.poll ~cost:1 ~live:0;
+  g.Guard.poll ~cost:2 ~live:0;
+  (match g.Guard.poll ~cost:1 ~live:0 with
+  | exception Guard.Abort Guard.Fuel -> ()
+  | _ -> Alcotest.fail "expected fuel abort");
+  Alcotest.(check bool) "tripped fuel" true
+    (Budget.tripped b = Some Guard.Fuel)
+
+let test_budget_memory_trips () =
+  let b = Budget.create ~max_live:10 () in
+  let g = Budget.guard b in
+  g.Guard.poll ~cost:0 ~live:10;
+  match g.Guard.poll ~cost:0 ~live:11 with
+  | exception Guard.Abort Guard.Memory -> ()
+  | _ -> Alcotest.fail "expected memory abort"
+
+let test_budget_zero_deadline_trips_immediately () =
+  let b = Budget.create ~deadline_ms:0.0 () in
+  let g = Budget.guard b in
+  match g.Guard.poll ~cost:0 ~live:0 with
+  | exception Guard.Abort Guard.Deadline -> ()
+  | _ -> Alcotest.fail "expected deadline abort"
+
+let test_budget_cancel () =
+  let b = Budget.create () in
+  Alcotest.(check bool) "fresh" false (Budget.cancelled b);
+  Budget.cancel b;
+  Alcotest.(check bool) "flag set" true (Budget.cancelled b);
+  let g = Budget.guard b in
+  match g.Guard.poll ~cost:0 ~live:0 with
+  | exception Guard.Abort Guard.Cancelled -> ()
+  | _ -> Alcotest.fail "expected cancellation abort"
+
+let test_budget_reraises_once_tripped () =
+  let b = Budget.with_fault_injection ~at:1 Guard.Fuel (Budget.create ()) in
+  let g = Budget.guard b in
+  (match g.Guard.poll ~cost:1 ~live:0 with
+  | exception Guard.Abort Guard.Fuel -> ()
+  | _ -> Alcotest.fail "expected injected abort");
+  let checkpoints = Budget.checkpoints b in
+  (* Subsequent polls must keep raising and must not advance accounting:
+     the run is over, nested loops are just unwinding. *)
+  (match g.Guard.poll ~cost:100 ~live:100 with
+  | exception Guard.Abort Guard.Fuel -> ()
+  | _ -> Alcotest.fail "expected re-raise");
+  Alcotest.(check int) "accounting frozen" checkpoints
+    (Budget.checkpoints b)
+
+let test_verdict_logic () =
+  let open Err in
+  Alcotest.(check bool) "no budget, no limit" true
+    (Budget.verdict ~returned:7 None = Complete);
+  Alcotest.(check bool) "limit reached" true
+    (Budget.verdict ~limit:5 ~returned:5 None = Partial Limit);
+  Alcotest.(check bool) "limit not reached" true
+    (Budget.verdict ~limit:5 ~returned:4 None = Complete);
+  let b = Budget.with_fault_injection ~at:1 Guard.Memory (Budget.create ()) in
+  let g = Budget.guard b in
+  (try g.Guard.poll ~cost:0 ~live:0 with Guard.Abort _ -> ());
+  Alcotest.(check bool) "tripped wins over limit" true
+    (Budget.verdict ~limit:5 ~returned:5 (Some b) = Partial Memory)
+
+(* --- Fault injection through the whole engine ------------------------ *)
+
+let query_text = "E . E*"
+
+let full_denotation g ~max_length =
+  (Engine.query_exn ~strategy:Plan.Reference ~max_length g query_text)
+    .Engine.paths
+
+(* Each backend, aborted by each reason, must return a sound subset and a
+   truthful verdict naming that reason. *)
+let test_fault_injection_all_backends_all_reasons () =
+  let g = H.paper_graph () in
+  let max_length = 4 in
+  let full = full_denotation g ~max_length in
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun reason ->
+          let budget =
+            Budget.with_fault_injection ~at:3 reason (Budget.create ())
+          in
+          let r =
+            Engine.query_exn ~strategy ~max_length ~budget g query_text
+          in
+          let name =
+            Printf.sprintf "%s/%s"
+              (Plan.strategy_name strategy)
+              (Guard.reason_name reason)
+          in
+          Alcotest.(check bool)
+            (name ^ " verdict") true
+            (r.Engine.verdict = Err.Partial (Err.of_guard reason));
+          Alcotest.(check bool)
+            (name ^ " sound subset") true
+            (Path_set.subset r.Engine.paths full))
+        guard_reasons)
+    strategies
+
+(* A fault injected far beyond the run's checkpoint count never fires: the
+   run completes, and completeness means the full answer. *)
+let test_late_fault_is_complete () =
+  let g = H.paper_graph () in
+  let max_length = 3 in
+  let full = full_denotation g ~max_length in
+  List.iter
+    (fun strategy ->
+      let budget =
+        Budget.with_fault_injection ~at:1_000_000 Guard.Deadline
+          (Budget.create ())
+      in
+      let r = Engine.query_exn ~strategy ~max_length ~budget g query_text in
+      Alcotest.(check bool)
+        (Plan.strategy_name strategy ^ " complete") true
+        (r.Engine.verdict = Err.Complete);
+      Alcotest.check H.path_set
+        (Plan.strategy_name strategy ^ " full answer")
+        full r.Engine.paths)
+    strategies
+
+let test_zero_fuel_still_sound () =
+  let g = H.paper_graph () in
+  List.iter
+    (fun strategy ->
+      let budget = Budget.create ~fuel:0 () in
+      let r =
+        Engine.query_exn ~strategy ~max_length:4 ~budget g query_text
+      in
+      Alcotest.(check bool)
+        (Plan.strategy_name strategy ^ " partial fuel") true
+        (r.Engine.verdict = Err.Partial Err.Fuel);
+      Alcotest.(check bool)
+        (Plan.strategy_name strategy ^ " subset") true
+        (Path_set.subset r.Engine.paths (full_denotation g ~max_length:4)))
+    strategies
+
+(* The generator polls before banking, so a memory budget is a hard cap on
+   the answer it materialises. *)
+let test_bfs_memory_budget_is_hard_cap () =
+  let g = H.paper_graph () in
+  let budget = Budget.create ~max_live:3 () in
+  let r =
+    Engine.query_exn ~strategy:Plan.Product_bfs ~max_length:4 ~budget g
+      query_text
+  in
+  Alcotest.(check bool) "at most max_live paths" true
+    (Path_set.cardinal r.Engine.paths <= 3);
+  Alcotest.(check bool) "partial memory" true
+    (r.Engine.verdict = Err.Partial Err.Memory)
+
+let test_count_governed_partial_is_lower_bound () =
+  let g = H.paper_graph () in
+  let full =
+    match Engine.count ~max_length:4 g query_text with
+    | Ok n -> n
+    | Error e -> Alcotest.fail e
+  in
+  let budget =
+    Budget.with_fault_injection ~at:2 Guard.Deadline (Budget.create ())
+  in
+  match Engine.count_governed ~max_length:4 ~budget g query_text with
+  | Error e -> Alcotest.fail e
+  | Ok (n, verdict) ->
+    Alcotest.(check bool) "partial deadline" true
+      (verdict = Err.Partial Err.Deadline);
+    Alcotest.(check bool) "sound lower bound" true (n <= full);
+    Alcotest.(check bool) "kept completed levels" true (n >= 0)
+
+let test_run_seq_ends_gracefully_on_abort () =
+  let g = H.paper_graph () in
+  let plan =
+    Optimizer.plan ~strategy:Plan.Product_bfs ~max_length:4 g
+      (Expr.sel Selector.universe |> Expr.star)
+  in
+  let budget =
+    Budget.with_fault_injection ~at:2 Guard.Cancelled (Budget.create ())
+  in
+  (* The stream must simply end — no Guard.Abort may reach the consumer. *)
+  let n = Seq.length (Eval.run_seq ~budget g plan) in
+  Alcotest.(check bool) "some prefix, no exception" true (n >= 0);
+  Alcotest.(check bool) "budget tripped" true
+    (Budget.tripped budget = Some Guard.Cancelled)
+
+let test_metrics_budget_counters () =
+  let g = H.paper_graph () in
+  let budget =
+    Budget.with_fault_injection ~at:4 Guard.Fuel (Budget.create ())
+  in
+  match
+    Engine.query_profiled ~strategy:Plan.Stack_machine ~max_length:4 ~budget g
+      query_text
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (_, m) ->
+    let get k =
+      match Metrics.counter m k with
+      | Some v -> v
+      | None -> Alcotest.fail (k ^ " missing from profile")
+    in
+    Alcotest.(check int) "checkpoints counter" (Budget.checkpoints budget)
+      (get "budget.checkpoints");
+    Alcotest.(check int) "fuel counter" (Budget.fuel_used budget)
+      (get "budget.fuel_used");
+    Alcotest.(check int) "stopped reason counter" 1
+      (get "budget.stopped.fuel")
+
+(* --- Properties ------------------------------------------------------- *)
+
+(* A budget-aborted run is a sound partial answer: a subset of the full
+   denotation, with a verdict that never claims completeness when paths
+   were dropped. *)
+let qcheck_aborted_run_sound_and_truthful =
+  H.qtest ~count:150 "budget abort: subset + truthful verdict"
+    QCheck2.Gen.(
+      let* base = H.with_graph_gen in
+      let* strategy_ix = int_bound 2 in
+      let* reason_ix = int_bound 3 in
+      let* at = int_range 1 25 in
+      return (base, strategy_ix, reason_ix, at))
+    (fun ((recipe_aux, strategy_ix, reason_ix, at)) ->
+      Printf.sprintf "%s strat=%d reason=%d at=%d"
+        (H.print_with_graph recipe_aux)
+        strategy_ix reason_ix at)
+    (fun ((recipe, aux), strategy_ix, reason_ix, at) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      let strategy = List.nth strategies strategy_ix in
+      let reason = List.nth guard_reasons reason_ix in
+      let max_length = 3 in
+      let full =
+        (Engine.query_expr ~strategy:Plan.Reference ~max_length g r)
+          .Engine.paths
+      in
+      let budget =
+        Budget.with_fault_injection ~at reason (Budget.create ())
+      in
+      let out = Engine.query_expr ~strategy ~max_length ~budget g r in
+      Path_set.subset out.Engine.paths full
+      &&
+      match out.Engine.verdict with
+      | Err.Complete -> Path_set.equal out.Engine.paths full
+      | Err.Partial reported -> reported = Err.of_guard reason)
+
+(* The simple-path restriction survives budget aborts: nothing non-simple
+   leaks out of a partially evaluated run. *)
+let qcheck_aborted_run_respects_simple =
+  H.qtest ~count:100 "budget abort respects simple"
+    QCheck2.Gen.(
+      let* base = H.with_graph_gen in
+      let* strategy_ix = int_bound 2 in
+      let* at = int_range 1 15 in
+      return (base, strategy_ix, at))
+    (fun (recipe_aux, strategy_ix, at) ->
+      Printf.sprintf "%s strat=%d at=%d"
+        (H.print_with_graph recipe_aux)
+        strategy_ix at)
+    (fun ((recipe, aux), strategy_ix, at) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let r = H.random_expr rng g in
+      let strategy = List.nth strategies strategy_ix in
+      let budget =
+        Budget.with_fault_injection ~at Guard.Deadline (Budget.create ())
+      in
+      let out =
+        Engine.query_expr ~strategy ~simple:true ~max_length:3 ~budget g r
+      in
+      Path_set.fold
+        (fun p acc -> acc && Path.is_simple p)
+        out.Engine.paths true)
+
+let () =
+  Alcotest.run "mrpa_budget"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "validation" `Quick test_budget_validation;
+          Alcotest.test_case "accounting" `Quick test_budget_accounting;
+          Alcotest.test_case "fuel trips" `Quick test_budget_fuel_trips;
+          Alcotest.test_case "memory trips" `Quick test_budget_memory_trips;
+          Alcotest.test_case "zero deadline" `Quick
+            test_budget_zero_deadline_trips_immediately;
+          Alcotest.test_case "cancel" `Quick test_budget_cancel;
+          Alcotest.test_case "re-raise after trip" `Quick
+            test_budget_reraises_once_tripped;
+          Alcotest.test_case "verdict logic" `Quick test_verdict_logic;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "all backends, all reasons" `Quick
+            test_fault_injection_all_backends_all_reasons;
+          Alcotest.test_case "late fault completes" `Quick
+            test_late_fault_is_complete;
+          Alcotest.test_case "zero fuel still sound" `Quick
+            test_zero_fuel_still_sound;
+          Alcotest.test_case "bfs memory hard cap" `Quick
+            test_bfs_memory_budget_is_hard_cap;
+          Alcotest.test_case "count lower bound" `Quick
+            test_count_governed_partial_is_lower_bound;
+          Alcotest.test_case "run_seq graceful end" `Quick
+            test_run_seq_ends_gracefully_on_abort;
+          Alcotest.test_case "profile counters" `Quick
+            test_metrics_budget_counters;
+        ] );
+      ( "properties",
+        [
+          qcheck_aborted_run_sound_and_truthful;
+          qcheck_aborted_run_respects_simple;
+        ] );
+    ]

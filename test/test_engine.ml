@@ -557,7 +557,7 @@ let qcheck_engine_count_matches_query =
       let g = H.graph_of_recipe recipe in
       let rng = Prng.create aux in
       let r = H.random_expr rng g in
-      Engine.count_expr ~max_length:3 g r
+      fst (Engine.count_expr ~max_length:3 g r)
       = Path_set.cardinal
           (Engine.query_expr ~strategy:Plan.Reference ~max_length:3 g r)
             .Engine.paths)
