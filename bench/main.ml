@@ -7,7 +7,7 @@
    arguments to execute everything at the default scale; pass experiment
    names (fig1, micro, join-vs-product, traversals, recognizers, generators,
    counting, label-regex, optimizer, semirings, projection, views,
-   label-loss, guardrails) to select, and "--full" for larger sweeps. Pass "--json FILE"
+   label-loss, guardrails, serve) to select, and "--full" for larger sweeps. Pass "--json FILE"
    to also write a machine-readable run summary (schema mrpa.bench/1):
    per-experiment wall time plus engine execution profiles for a fixed set
    of representative queries. *)
@@ -987,6 +987,136 @@ let exp_guardrails ~full =
   print_table ~title:"Stack machine under a shrinking fuel budget"
     ~header:[ "fuel"; "paths"; "verdict" ] degradation
 
+(* --- EXP-T13: query-server throughput ----------------------------------------- *)
+
+module Server = Mrpa_server.Server
+module Wire = Mrpa_server.Wire
+module Snapshot = Mrpa_server.Snapshot
+module Client = Mrpa_server.Client
+module Sjson = Mrpa_server.Json
+
+(* Rows recorded by exp_serve for the --json summary ("serve" section of
+   mrpa.bench/1); empty when the experiment was not selected. *)
+let serve_rows : string list ref = ref []
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
+let exp_serve ~full =
+  section "EXP-T13 (query server)"
+    "Closed-loop load against mrpa serve: M client threads, each with one\n\
+     connection, each firing the next request as soon as the previous\n\
+     response lands. The server runs in-process but the transport is a\n\
+     real Unix-domain socket, so latency includes framing, scheduling and\n\
+     the wire round trip. Throughput should grow with the worker count\n\
+     until the clients (or the query itself) become the bottleneck.";
+  let g =
+    Generate.fig1 ~rng:(Prng.create 7)
+      ~n_noise_vertices:(if full then 200 else 60)
+      ~n_noise_edges:(if full then 600 else 180)
+  in
+  let snap = Snapshot.of_graph g in
+  let query = "[i,alpha,_] . [_,beta,_]*" in
+  (* bound each request: star-closure over the noisy beta edges is
+     exponential unbounded, and a throughput benchmark wants many small
+     requests, not a few giant ones *)
+  let request_options =
+    { Wire.default_options with max_length = Some 4; limit = Some 100 }
+  in
+  let per_client = if full then 200 else 50 in
+  let sweep =
+    if full then [ (1, 2); (2, 4); (4, 8); (8, 16) ]
+    else [ (1, 2); (2, 4); (4, 8) ]
+  in
+  let dir = Filename.temp_file "mrpa_bench_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let run_row (workers, clients) =
+    let socket_path =
+      Filename.concat dir (Printf.sprintf "w%d-c%d.sock" workers clients)
+    in
+    let config =
+      {
+        Server.endpoint = Wire.Unix_socket socket_path;
+        workers;
+        queue_capacity = 64;
+        limits = Wire.default_limits;
+      }
+    in
+    let server = Server.create config snap in
+    let serve_thread = Thread.create (fun () -> Server.serve server) () in
+    let rec await n =
+      if Sys.file_exists socket_path then ()
+      else if n = 0 then failwith "EXP-T13: server did not come up"
+      else begin
+        Unix.sleepf 0.01;
+        await (n - 1)
+      end
+    in
+    await 500;
+    let latencies_ms = Array.make (clients * per_client) 0.0 in
+    let t0 = Metrics.now_ns () in
+    let client_threads =
+      List.init clients (fun c ->
+          Thread.create
+            (fun () ->
+              match Client.connect (Wire.Unix_socket socket_path) with
+              | Error m -> Printf.eprintf "EXP-T13 client: %s\n" m
+              | Ok conn ->
+                let req =
+                  {
+                    Wire.id = Sjson.Null;
+                    verb = Wire.Query;
+                    query = Some query;
+                    options = request_options;
+                  }
+                in
+                for i = 0 to per_client - 1 do
+                  let r0 = Metrics.now_ns () in
+                  (match Client.request conn req with
+                  | Ok _ -> ()
+                  | Error m -> Printf.eprintf "EXP-T13 request: %s\n" m);
+                  latencies_ms.((c * per_client) + i) <-
+                    Int64.to_float (Metrics.elapsed_ns ~since:r0) /. 1e6
+                done;
+                Client.close conn)
+            ())
+    in
+    List.iter Thread.join client_threads;
+    let wall_s = Int64.to_float (Metrics.elapsed_ns ~since:t0) /. 1e9 in
+    Server.stop server;
+    Thread.join serve_thread;
+    let sorted = Array.copy latencies_ms in
+    Array.sort compare sorted;
+    let p50 = percentile sorted 0.50 and p95 = percentile sorted 0.95 in
+    let total = clients * per_client in
+    let qps = float_of_int total /. max 1e-9 wall_s in
+    serve_rows :=
+      Printf.sprintf
+        "{\"workers\":%d,\"clients\":%d,\"requests\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"qps\":%.1f}"
+        workers clients total p50 p95 qps
+      :: !serve_rows;
+    [
+      string_of_int workers;
+      string_of_int clients;
+      string_of_int total;
+      Printf.sprintf "%.3f" p50;
+      Printf.sprintf "%.3f" p95;
+      Printf.sprintf "%.0f" qps;
+    ]
+  in
+  let rows = List.map run_row sweep in
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  print_table
+    ~title:
+      (Printf.sprintf
+         "%s on fig1+noise (|V|=%d |E|=%d), closed loop, %d req/client" query
+         (Digraph.n_vertices g) (Digraph.n_edges g) per_client)
+    ~header:[ "workers"; "clients"; "requests"; "p50 ms"; "p95 ms"; "qps" ]
+    rows
+
 (* --- Machine-readable summary (--json) ---------------------------------------- *)
 
 (* A fixed set of representative engine runs whose mrpa.profile/1 documents
@@ -1044,10 +1174,11 @@ let bench_json ~full ~timings =
            Printf.sprintf "{\"name\":%s,\"profile\":%s}" (esc name) json)
          (bench_profiles ()))
   in
+  let serve = String.concat "," (List.rev !serve_rows) in
   Printf.sprintf
-    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"profiles\":[%s]}"
+    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"profiles\":[%s]}"
     (esc (if full then "full" else "default"))
-    experiments profiles
+    experiments serve profiles
 
 (* --- Driver ------------------------------------------------------------------ *)
 
@@ -1068,6 +1199,7 @@ let experiments =
     ("views", exp_views);
     ("label-loss", exp_label_loss);
     ("guardrails", exp_guardrails);
+    ("serve", exp_serve);
   ]
 
 let () =

@@ -950,6 +950,275 @@ let automaton_cmd =
           Graphviz DOT")
     term
 
+(* --- serve / call ------------------------------------------------------------------- *)
+
+(* Endpoint flags shared by `serve` and `call`: exactly one of a Unix-domain
+   socket path or a TCP port (with optional host). *)
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N" ~doc:"TCP port (see also --host).")
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host for --port.")
+
+let endpoint_of_flags ~socket ~port ~host =
+  match (socket, port) with
+  | Some path, None -> Mrpa_server.Wire.Unix_socket path
+  | None, Some port -> Mrpa_server.Wire.Tcp (host, port)
+  | _ -> or_die (Error "exactly one of --socket PATH or --port N is required")
+
+let serve_cmd =
+  let graph_flag =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "graph" ] ~docv:"FILE"
+          ~doc:"Graph to serve (TSV edge list); loaded once, then frozen.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"K" ~doc:"Worker threads executing queries.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded job-queue capacity; a request arriving when the queue \
+             is full is answered with an overloaded error instead of being \
+             buffered.")
+  in
+  let max_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Ceiling on (and default for) every request's wall-clock \
+             budget: clients may ask for less, never more.")
+  in
+  let max_fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-fuel" ] ~docv:"STEPS"
+          ~doc:"Ceiling on (and default for) every request's work budget.")
+  in
+  let max_paths_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-paths" ] ~docv:"N"
+          ~doc:
+            "Ceiling on (and default for) every request's live/banked-path \
+             memory budget.")
+  in
+  let max_limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-limit" ] ~docv:"N"
+          ~doc:"Ceiling on (and default for) returned paths per query.")
+  in
+  let max_length_cap_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-length" ] ~docv:"N"
+          ~doc:"Ceiling on the star-unrolling bound clients may request.")
+  in
+  let run graph socket port host workers queue max_deadline_ms max_fuel
+      max_paths_cap max_limit max_length_cap =
+    let endpoint = endpoint_of_flags ~socket ~port ~host in
+    let snapshot =
+      try Mrpa_server.Snapshot.load graph with
+      | Sys_error msg -> or_die (Error msg)
+      | Io.Malformed (line, text) ->
+        or_die
+          (Error (Printf.sprintf "%s: malformed line %d: %s" graph line text))
+    in
+    let config =
+      {
+        Mrpa_server.Server.endpoint;
+        workers;
+        queue_capacity = queue;
+        limits =
+          {
+            Mrpa_server.Wire.max_deadline_ms;
+            max_fuel;
+            max_live_paths = max_paths_cap;
+            max_limit;
+            max_length_cap;
+          };
+      }
+    in
+    let server =
+      try Mrpa_server.Server.create config snapshot
+      with Invalid_argument msg -> or_die (Error msg)
+    in
+    (* SIGINT/SIGTERM request a graceful drain: the handler only sets a
+       flag; the accept loop notices, cancels in-flight budgets through
+       their cancellation tokens, drains the pool, and serve returns. *)
+    if Sys.os_type <> "Win32" then begin
+      let graceful =
+        Sys.Signal_handle (fun _ -> Mrpa_server.Server.stop server)
+      in
+      ignore (Sys.signal Sys.sigint graceful);
+      ignore (Sys.signal Sys.sigterm graceful);
+      (* A client vanishing mid-response must not kill the server. *)
+      ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    end;
+    Printf.eprintf "mrpa serve: %s workers=%d queue=%d graph=%s (%s)\n%!"
+      (Mrpa_server.Wire.endpoint_to_string endpoint)
+      workers queue graph
+      (Format.asprintf "%a" Mrpa_server.Snapshot.pp_stats snapshot);
+    (match Mrpa_server.Server.serve server with
+    | () -> ()
+    | exception Unix.Unix_error (err, _, arg) ->
+      or_die
+        (Error
+           (Printf.sprintf "cannot listen on %s: %s%s"
+              (Mrpa_server.Wire.endpoint_to_string endpoint)
+              (Unix.error_message err)
+              (if arg = "" then "" else " (" ^ arg ^ ")"))));
+    Printf.eprintf "mrpa serve: drained, exiting\n%!"
+  in
+  let term =
+    Term.(
+      const run $ graph_flag $ socket_arg $ port_arg $ host_arg $ workers_arg
+      $ queue_arg $ max_deadline_arg $ max_fuel_arg $ max_paths_cap_arg
+      $ max_limit_arg $ max_length_cap_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a graph over a Unix-domain socket or TCP: a worker pool \
+          runs mrpa.wire/1 query/count requests against one frozen \
+          snapshot, with server-side budget ceilings, explicit overload \
+          backpressure, and graceful drain on SIGINT/SIGTERM.")
+    term
+
+let call_cmd =
+  let query_pos_opt =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"Query text (required unless --ping, --stats or --shutdown).")
+  in
+  let ping_flag =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe.")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Fetch server-wide metrics.")
+  in
+  let shutdown_flag =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the server to drain and exit.")
+  in
+  let call_count_flag =
+    Arg.(
+      value & flag
+      & info [ "count" ]
+          ~doc:"Use the counting engine (no path set is materialised).")
+  in
+  let run socket port host query_opt ping stats shutdown count strategy limit
+      max_length simple deadline_ms fuel max_paths =
+    let endpoint = endpoint_of_flags ~socket ~port ~host in
+    let module S = Mrpa_server in
+    let verb =
+      match (ping, stats, shutdown, count) with
+      | true, false, false, false -> S.Wire.Ping
+      | false, true, false, false -> S.Wire.Stats
+      | false, false, true, false -> S.Wire.Shutdown
+      | false, false, false, count ->
+        if count then S.Wire.Count else S.Wire.Query
+      | _ -> or_die (Error "--ping, --stats and --shutdown are exclusive")
+    in
+    let query =
+      match (verb, query_opt) with
+      | (S.Wire.Query | S.Wire.Count), None ->
+        or_die (Error "a QUERY argument is required")
+      | (S.Wire.Query | S.Wire.Count), some -> some
+      | _, _ -> None
+    in
+    let request =
+      {
+        S.Wire.id = S.Json.Null;
+        verb;
+        query;
+        options =
+          {
+            S.Wire.strategy;
+            limit;
+            max_length =
+              (* only send a bound the user actually chose, so the server's
+                 cap applies to unset requests *)
+              (if max_length = Mrpa_engine.Engine.default_max_length then None
+               else Some max_length);
+            simple;
+            deadline_ms;
+            fuel;
+            max_paths;
+          };
+      }
+    in
+    let conn = or_die (S.Client.connect endpoint) in
+    let line =
+      or_die (S.Client.request_raw conn (S.Wire.encode_request request))
+    in
+    S.Client.close conn;
+    (* Print the response verbatim (it is already one JSON line), then turn
+       its verdict into the standard exit-code policy. *)
+    print_endline line;
+    match S.Json.parse line with
+    | Error msg -> or_die (Error (Printf.sprintf "bad response: %s" msg))
+    | Ok json -> (
+      match S.Json.member "ok" json with
+      | Some (S.Json.Bool true) ->
+        let verdict =
+          match S.Json.member "result" json with
+          | Some result -> S.Json.member "verdict" result
+          | None -> S.Json.member "verdict" json
+        in
+        let partial =
+          match Option.bind verdict S.Json.to_string_opt with
+          | Some v ->
+            String.length v >= 7 && String.sub v 0 7 = "partial"
+          | None -> false
+        in
+        exit
+          (if partial then Mrpa_engine.Err.exit_partial
+           else Mrpa_engine.Err.exit_ok)
+      | _ -> exit Mrpa_engine.Err.exit_user_error)
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ query_pos_opt $ ping_flag
+      $ stats_flag $ shutdown_flag $ call_count_flag $ strategy_arg
+      $ limit_arg $ max_length_arg $ simple_arg $ deadline_arg $ fuel_arg
+      $ max_paths_arg)
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send one mrpa.wire/1 request to a running `mrpa serve` and print \
+          the response line. Exits 0 on a complete result, 3 on a partial \
+          one (budget or limit), 1 on any error response.")
+    term
+
 (* --- fig1 --------------------------------------------------------------------------- *)
 
 let fig1_cmd =
@@ -986,6 +1255,8 @@ let () =
         lint_cmd;
         crpq_cmd;
         shell_cmd;
+        serve_cmd;
+        call_cmd;
         explain_cmd;
         equiv_cmd;
         recognize_cmd;

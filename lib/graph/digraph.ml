@@ -11,6 +11,10 @@ type t = {
   mutable insertion : Edge.t list; (* reverse insertion order *)
   mutable added_observers : (Edge.t -> unit) list; (* registration order *)
   mutable removed_observers : (Edge.t -> unit) list;
+  mutable frozen : bool;
+      (* A frozen graph rejects every mutation, which is what makes sharing
+         it across threads/domains sound: all remaining operations are pure
+         reads of tables that no longer change. *)
 }
 
 let create ?(vertex_capacity = 64) () =
@@ -25,10 +29,29 @@ let create ?(vertex_capacity = 64) () =
     insertion = [];
     added_observers = [];
     removed_observers = [];
+    frozen = false;
   }
 
-let vertex g name = Vertex.of_int (Interner.intern g.vertex_names name)
-let label g name = Label.of_int (Interner.intern g.label_names name)
+let freeze g = g.frozen <- true
+let is_frozen g = g.frozen
+
+let check_mutable g what =
+  if g.frozen then
+    invalid_arg (Printf.sprintf "Digraph.%s: graph is frozen" what)
+
+let vertex g name =
+  match Interner.find g.vertex_names name with
+  | Some i -> Vertex.of_int i
+  | None ->
+    check_mutable g "vertex";
+    Vertex.of_int (Interner.intern g.vertex_names name)
+
+let label g name =
+  match Interner.find g.label_names name with
+  | Some i -> Label.of_int i
+  | None ->
+    check_mutable g "label";
+    Label.of_int (Interner.intern g.label_names name)
 
 let find_vertex g name =
   Option.map Vertex.of_int (Interner.find g.vertex_names name)
@@ -60,6 +83,7 @@ let bucket tbl_find tbl_add key =
     r
 
 let add_edge g e =
+  check_mutable g "add_edge";
   if not (known_vertex g (Edge.tail e)) then
     invalid_arg "Digraph.add_edge: unknown tail vertex";
   if not (known_vertex g (Edge.head e)) then
@@ -105,6 +129,7 @@ let remove_from_bucket tbl_find key e =
   | Some r -> r := List.filter (fun f -> not (Edge.equal e f)) !r
 
 let remove_edge g e =
+  check_mutable g "remove_edge";
   if not (Edge.Tbl.mem g.edge_set e) then false
   else begin
     Edge.Tbl.remove g.edge_set e;
@@ -165,8 +190,23 @@ let predecessors g ?label:lab v =
   in
   List.map Edge.tail es
 
-let on_edge_added g f = g.added_observers <- g.added_observers @ [ f ]
-let on_edge_removed g f = g.removed_observers <- g.removed_observers @ [ f ]
+let on_edge_added g f =
+  check_mutable g "on_edge_added";
+  g.added_observers <- g.added_observers @ [ f ]
+
+let on_edge_removed g f =
+  check_mutable g "on_edge_removed";
+  g.removed_observers <- g.removed_observers @ [ f ]
+
+(* Deregistration is by physical equality: the caller detaches exactly the
+   closure it registered. Detaching on a frozen graph is allowed — it only
+   matters for graphs that can still fire, but refusing it would make
+   teardown order-sensitive. *)
+let off_edge_added g f =
+  g.added_observers <- List.filter (fun o -> o != f) g.added_observers
+
+let off_edge_removed g f =
+  g.removed_observers <- List.filter (fun o -> o != f) g.removed_observers
 
 let materialise_reverse g ?(suffix = "_rev") alpha =
   let rev = label g (label_name g alpha ^ suffix) in

@@ -7,7 +7,17 @@
     exactly the edges they need.
 
     Vertices and labels are named strings interned to dense integers at
-    insertion; all algebraic code manipulates the integer ids. *)
+    insertion; all algebraic code manipulates the integer ids.
+
+    {b Thread-safety contract.} A live graph is single-threaded: mutation
+    (edge insertion/removal, interning of new names, observer registration)
+    may race with readers and with itself, and observers hold arbitrary
+    closures. A {e frozen} graph ({!freeze}) rejects every mutation with
+    [Invalid_argument], after which all remaining operations are pure reads
+    of tables that no longer change — safe to share across any number of
+    threads or domains without locks. The server's snapshot layer
+    ({!Mrpa_server.Snapshot}) builds on exactly this: freeze a private
+    {!copy}, then let every worker read it concurrently. *)
 
 type t
 
@@ -18,11 +28,12 @@ val create : ?vertex_capacity:int -> unit -> t
 
 val vertex : t -> string -> Vertex.t
 (** [vertex g name] is the id of the vertex called [name], inserting it
-    (isolated) if new. *)
+    (isolated) if new. On a frozen graph, looking up an existing name still
+    succeeds; interning a new one raises [Invalid_argument]. *)
 
 val label : t -> string -> Label.t
 (** [label g name] is the id of the relation type called [name], registering
-    it if new. *)
+    it if new (frozen graphs: as {!vertex}). *)
 
 val find_vertex : t -> string -> Vertex.t option
 (** Id of an existing vertex, or [None]. *)
@@ -117,6 +128,30 @@ val on_edge_added : t -> (Edge.t -> unit) -> unit
 
 val on_edge_removed : t -> (Edge.t -> unit) -> unit
 (** Likewise for successful removals. *)
+
+val off_edge_added : t -> (Edge.t -> unit) -> unit
+(** Deregister a callback previously passed to {!on_edge_added}, compared by
+    physical equality — keep the closure you registered if you intend to
+    detach it later. Unknown callbacks are ignored. Without deregistration,
+    repeated attach/detach cycles (e.g. {!Journal.attach} / {!Journal.close})
+    would accumulate dead closures on the graph forever. *)
+
+val off_edge_removed : t -> (Edge.t -> unit) -> unit
+(** Likewise for {!on_edge_removed}. *)
+
+(** {1 Freezing}
+
+    See the thread-safety contract in the module preamble. *)
+
+val freeze : t -> unit
+(** Make the graph immutable, permanently: every subsequent mutation —
+    {!add_edge}, {!remove_edge}, interning a {e new} name via {!vertex} /
+    {!label} / {!add} / {!materialise_reverse}, or registering an observer —
+    raises [Invalid_argument]. Reads on a frozen graph are safe from
+    concurrent threads and domains. There is no thaw; {!copy} returns a
+    fresh mutable graph. *)
+
+val is_frozen : t -> bool
 
 (** {1 Whole-graph utilities} *)
 

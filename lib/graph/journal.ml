@@ -4,6 +4,10 @@ type t = {
   mutable channel : out_channel;
   mutable written : int;
   mutable closed : bool;
+  (* The exact closures registered on the graph, kept so [close] can detach
+     them (observer removal is by physical equality). *)
+  mutable added_cb : Edge.t -> unit;
+  mutable removed_cb : Edge.t -> unit;
 }
 
 let entry_line g kind e =
@@ -70,9 +74,21 @@ let attach ?(replay_existing = true) g path =
   let channel =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
   in
-  let t = { graph = g; path; channel; written = 0; closed = false } in
-  Digraph.on_edge_added g (fun e -> append t (entry_line g "add" e));
-  Digraph.on_edge_removed g (fun e -> append t (entry_line g "del" e));
+  let t =
+    {
+      graph = g;
+      path;
+      channel;
+      written = 0;
+      closed = false;
+      added_cb = ignore;
+      removed_cb = ignore;
+    }
+  in
+  t.added_cb <- (fun e -> append t (entry_line g "add" e));
+  t.removed_cb <- (fun e -> append t (entry_line g "del" e));
+  Digraph.on_edge_added g t.added_cb;
+  Digraph.on_edge_removed g t.removed_cb;
   t
 
 let log_path t = t.path
@@ -94,21 +110,41 @@ let snapshot_lines g =
   Digraph.iter_edges (fun e -> Buffer.add_string buf (entry_line g "add" e)) g;
   Buffer.contents buf
 
+(* Crash-safe compaction: the snapshot is written and fsynced to a tmp file
+   {e before} the live channel is touched, so a failure while snapshotting
+   leaves the journal exactly as it was (channel open, log intact). Only
+   once the snapshot is durable is the old log closed and renamed over —
+   and the append channel is reopened even if the rename raises, so the
+   handle never ends up closed-but-not-closed (which would make every later
+   graph mutation raise inside an observer). *)
 let compact t =
   if t.closed then invalid_arg "Journal.compact: closed";
-  flush t.channel;
-  close_out t.channel;
   let tmp = t.path ^ ".compact" in
   let oc = open_out tmp in
+  (try
+     output_string oc (snapshot_lines t.graph);
+     flush oc;
+     (try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> ());
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  flush t.channel;
+  close_out t.channel;
   Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (snapshot_lines t.graph));
-  Sys.rename tmp t.path;
-  t.channel <- open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 t.path
+    ~finally:(fun () ->
+      t.channel <-
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 t.path)
+    (fun () -> Sys.rename tmp t.path)
 
 let close t =
   if not t.closed then begin
     flush t.channel;
     close_out t.channel;
-    t.closed <- true
+    t.closed <- true;
+    (* Detach from the graph so attach/close cycles don't leak closures. *)
+    Digraph.off_edge_added t.graph t.added_cb;
+    Digraph.off_edge_removed t.graph t.removed_cb
   end

@@ -44,8 +44,13 @@ val sync : t -> unit
 val compact : t -> unit
 (** Atomically replace the log with a snapshot of the graph's current state
     (vertex lines then add lines). Subsequent mutations append after the
-    snapshot. *)
+    snapshot. Crash-safe: the snapshot is written and fsynced to a tmp file
+    before the live log is touched, and the append channel is reopened even
+    when a step raises — a failed compaction never leaves the journal with
+    a closed channel (or a truncated log). *)
 
 val close : t -> unit
-(** Flush and close. The journal stops recording (the graph remains
-    usable); further mutations are {e not} logged. *)
+(** Flush, close, and detach the journal's observers from the graph. The
+    journal stops recording (the graph remains usable); further mutations
+    are {e not} logged, and repeated attach/close cycles do not accumulate
+    dead callbacks on the graph. *)

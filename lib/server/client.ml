@@ -1,0 +1,91 @@
+type conn = {
+  fd : Unix.file_descr;
+  mutable carry : string;
+  mutable closed : bool;
+}
+
+let connect endpoint =
+  let open_fd () =
+    match endpoint with
+    | Wire.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    | Wire.Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+            failwith (Printf.sprintf "cannot resolve host %S" host)
+          | h -> h.Unix.h_addr_list.(0)
+          | exception Not_found ->
+            failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+  in
+  match open_fd () with
+  | fd -> Ok { fd; carry = ""; closed = false }
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (Printf.sprintf "cannot connect to %s: %s"
+         (Wire.endpoint_to_string endpoint)
+         (Unix.error_message err))
+  | exception Failure msg -> Error msg
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd bytes !written (len - !written)
+  done
+
+let read_line conn =
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match String.index_opt conn.carry '\n' with
+    | Some i ->
+      let line = String.sub conn.carry 0 i in
+      conn.carry <-
+        String.sub conn.carry (i + 1) (String.length conn.carry - i - 1);
+      Ok line
+    | None -> (
+      match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error "connection closed by server"
+      | n ->
+        conn.carry <- conn.carry ^ Bytes.sub_string chunk 0 n;
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+  in
+  loop ()
+
+let request_raw conn line =
+  if conn.closed then Error "connection is closed"
+  else
+    match write_all conn.fd (line ^ "\n") with
+    | () -> read_line conn
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "send failed: %s" (Unix.error_message err))
+
+let request conn req =
+  match request_raw conn (Wire.encode_request req) with
+  | Error _ as e -> e
+  | Ok line -> (
+    match Json.parse line with
+    | Ok json -> Ok json
+    | Error msg -> Error (Printf.sprintf "bad response: %s" msg))
+
+let close conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end

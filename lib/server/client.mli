@@ -1,0 +1,23 @@
+(** A minimal synchronous [mrpa.wire/1] client.
+
+    One connection, one request in flight: {!request} writes a line and
+    blocks for the response line, which matches the server's session
+    discipline exactly. Used by [mrpa call], the closed-loop benchmark
+    (EXP-T13) and the end-to-end tests. *)
+
+type conn
+
+val connect : Wire.endpoint -> (conn, string) result
+(** Open a stream connection. [Error] carries a rendered reason
+    (connection refused, no such socket, unresolvable host, ...). *)
+
+val request_raw : conn -> string -> (string, string) result
+(** Send one already-encoded request line and read one response line. *)
+
+val request : conn -> Wire.request -> (Json.t, string) result
+(** {!Wire.encode_request}, send, read, {!Json.parse}. The [Error] case is
+    transport- or framing-level only — a well-formed [{"ok":false}]
+    response is an [Ok] value; inspect it with {!Json.member}. *)
+
+val close : conn -> unit
+(** Idempotent. *)

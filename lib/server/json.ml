@@ -1,0 +1,274 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- Parsing ---------------------------------------------------------- *)
+
+exception Fail of int * string
+
+let fail pos msg = raise (Fail (pos, msg))
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let continue_ = ref true in
+  while !continue_ do
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance c
+    | _ -> continue_ := false
+  done
+
+let expect c ch =
+  match peek c with
+  | Some k when k = ch -> advance c
+  | Some k -> fail c.pos (Printf.sprintf "expected %C, found %C" ch k)
+  | None -> fail c.pos (Printf.sprintf "expected %C, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c.pos (Printf.sprintf "expected %s" word)
+
+(* Encode a Unicode scalar value as UTF-8 bytes. *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 c =
+  let digit ch =
+    match ch with
+    | '0' .. '9' -> Char.code ch - Char.code '0'
+    | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+    | _ -> fail c.pos "bad \\u escape (expected 4 hex digits)"
+  in
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    match peek c with
+    | None -> fail c.pos "unterminated \\u escape"
+    | Some ch ->
+      v := (!v * 16) + digit ch;
+      advance c
+  done;
+  !v
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c.pos "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      (match peek c with
+      | None -> fail c.pos "unterminated escape"
+      | Some ch -> (
+        advance c;
+        match ch with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let u = hex4 c in
+          if u >= 0xD800 && u <= 0xDBFF then begin
+            (* High surrogate: a low surrogate must follow. *)
+            expect c '\\';
+            expect c 'u';
+            let lo = hex4 c in
+            if lo < 0xDC00 || lo > 0xDFFF then
+              fail c.pos "high surrogate not followed by low surrogate"
+            else
+              add_utf8 buf
+                (0x10000 + (((u - 0xD800) lsl 10) lor (lo - 0xDC00)))
+          end
+          else if u >= 0xDC00 && u <= 0xDFFF then
+            fail c.pos "lone low surrogate"
+          else add_utf8 buf u
+        | _ -> fail (c.pos - 1) (Printf.sprintf "bad escape \\%C" ch)));
+      loop ())
+    | Some ch when Char.code ch < 0x20 ->
+      fail c.pos "unescaped control character in string"
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let consume_while pred =
+    let continue_ = ref true in
+    while !continue_ do
+      match peek c with
+      | Some ch when pred ch -> advance c
+      | _ -> continue_ := false
+    done
+  in
+  let digits ctx =
+    let d0 = c.pos in
+    consume_while (function '0' .. '9' -> true | _ -> false);
+    if c.pos = d0 then fail c.pos (Printf.sprintf "expected digit %s" ctx)
+  in
+  (match peek c with Some '-' -> advance c | _ -> ());
+  (* No leading zeros: "0" or [1-9][0-9]* *)
+  (match peek c with
+  | Some '0' -> advance c
+  | Some ('1' .. '9') -> digits "in integer part"
+  | _ -> fail c.pos "expected digit");
+  (match peek c with
+  | Some '.' ->
+    advance c;
+    digits "after decimal point"
+  | _ -> ());
+  (match peek c with
+  | Some ('e' | 'E') ->
+    advance c;
+    (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+    digits "in exponent"
+  | _ -> ());
+  let text = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> fail start (Printf.sprintf "bad number %s" text)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c.pos "expected a JSON value"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws c;
+        let key = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        fields := (key, v) :: !fields;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          members ()
+        | Some '}' -> advance c
+        | _ -> fail c.pos "expected ',' or '}' in object"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elements ()
+        | Some ']' -> advance c
+        | _ -> fail c.pos "expected ',' or ']' in array"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> Number (parse_number c)
+  | Some ch -> fail c.pos (Printf.sprintf "unexpected %C" ch)
+
+let parse src =
+  let c = { src; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos < String.length src then
+      Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+    else Ok v
+  | exception Fail (pos, msg) ->
+    Error (Printf.sprintf "%s at offset %d" msg pos)
+
+(* --- Printing --------------------------------------------------------- *)
+
+let escape_string = Mrpa_engine.Metrics.escape_string
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Number f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+  | String s -> escape_string s
+  | List items -> "[" ^ String.concat "," (List.map to_string items) ^ "]"
+  | Obj fields ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> escape_string k ^ ":" ^ to_string v)
+           fields)
+    ^ "}"
+
+(* --- Accessors -------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_float_opt = function Number f -> Some f | _ -> None
+
+let to_int_opt = function
+  | Number f when Float.is_integer f && Float.abs f <= 1e15 ->
+    Some (int_of_float f)
+  | _ -> None
+
+let to_bool_opt = function Bool b -> Some b | _ -> None

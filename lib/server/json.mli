@@ -1,0 +1,42 @@
+(** Minimal JSON values and a strict RFC 8259 parser.
+
+    The engine side of the codebase only ever {e writes} JSON
+    ({!Mrpa_engine.Render}, {!Mrpa_engine.Metrics}), so it hand-rolls
+    strings. The wire protocol also has to {e read} requests, which is what
+    this module adds — a small recursive-descent parser over a complete
+    input string (one request per line; the framing layer splits lines
+    before parsing). No streaming, no tolerance extensions: trailing
+    garbage, unquoted keys, comments and lone surrogates are errors, which
+    keeps "what the server accepts" equal to "what the spec says". *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** fields in source order; duplicate keys kept. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document. [Error] carries a message with the
+    0-based byte offset of the failure. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering; strings escaped per RFC 8259.
+    [Number]s that are integral print without a decimal point. *)
+
+(** {1 Accessors}
+
+    Total projections used by the request decoder: each returns [None] on a
+    type mismatch rather than raising. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] on missing key or non-object. *)
+
+val to_string_opt : t -> string option
+val to_float_opt : t -> float option
+
+val to_int_opt : t -> int option
+(** [Number]s with an integral value only. *)
+
+val to_bool_opt : t -> bool option

@@ -1,0 +1,88 @@
+type t = {
+  queue : (unit -> unit) Queue.t;
+  capacity : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;  (* signalled on enqueue and on shutdown *)
+  mutable stopping : bool;
+  mutable running : int;
+  mutable errors : int;
+  mutable threads : Thread.t list;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Workers block on [nonempty] until there is a job or the pool is
+   stopping; on stop they finish draining the queue before exiting, which
+   is what makes [shutdown] graceful. *)
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* stopping && drained *)
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      t.running <- t.running + 1;
+      Mutex.unlock t.lock;
+      (try job ()
+       with _ ->
+         Mutex.lock t.lock;
+         t.errors <- t.errors + 1;
+         Mutex.unlock t.lock);
+      Mutex.lock t.lock;
+      t.running <- t.running - 1;
+      Mutex.unlock t.lock;
+      next ()
+    end
+  in
+  next ()
+
+let create ~workers ~queue_capacity =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  if queue_capacity < 1 then
+    invalid_arg "Pool.create: queue_capacity must be >= 1";
+  let t =
+    {
+      queue = Queue.create ();
+      capacity = queue_capacity;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+      running = 0;
+      errors = 0;
+      threads = [];
+    }
+  in
+  t.threads <- List.init workers (fun _ -> Thread.create worker_loop t);
+  t
+
+let submit t job =
+  with_lock t (fun () ->
+      if t.stopping || Queue.length t.queue >= t.capacity then false
+      else begin
+        Queue.push job t.queue;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let queued t = with_lock t (fun () -> Queue.length t.queue)
+let running t = with_lock t (fun () -> t.running)
+let job_errors t = with_lock t (fun () -> t.errors)
+
+let shutdown t =
+  let threads =
+    with_lock t (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.nonempty;
+        let ts = t.threads in
+        t.threads <- [];
+        ts)
+  in
+  List.iter Thread.join threads

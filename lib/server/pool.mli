@@ -1,0 +1,45 @@
+(** A fixed-size worker pool with a bounded job queue.
+
+    [K] worker threads drain a FIFO of thunks; producers hand work over
+    with {!submit}, which {e never blocks and never buffers unboundedly}:
+    when the queue is at capacity it returns [false] and the caller is
+    expected to shed the load (the server turns that into an [overloaded]
+    wire response). Backpressure is therefore explicit at the edge of the
+    system instead of implicit in a growing heap.
+
+    Handoff is a single [Mutex.t] plus two [Condition.t]s (non-empty for
+    workers, drained for {!shutdown}); jobs run outside the lock. A job
+    that raises is swallowed (the exception is recorded as a counter, the
+    worker survives) — jobs are expected to do their own error reporting.
+
+    {!shutdown} is graceful by construction: producers are refused first,
+    the already-queued jobs still run, and the call returns only when every
+    worker has exited. Cancelling {e in-flight} work is not the pool's job —
+    the server does that by firing the {!Mrpa_engine.Budget.cancel} token
+    of every running query, which aborts them at their next checkpoint. *)
+
+type t
+
+val create : workers:int -> queue_capacity:int -> t
+(** Spawn [workers] threads ([>= 1]) over a queue of at most
+    [queue_capacity] ([>= 1]) waiting jobs. Capacity counts {e queued} jobs
+    only; the [workers] jobs currently executing are not queued. Raises
+    [Invalid_argument] when either bound is below one. *)
+
+val submit : t -> (unit -> unit) -> bool
+(** Enqueue a job; [false] when the queue is full or the pool is shutting
+    down — the job was not (and will never be) accepted. *)
+
+val queued : t -> int
+(** Jobs waiting (not yet picked up by a worker). *)
+
+val running : t -> int
+(** Jobs currently executing. *)
+
+val job_errors : t -> int
+(** Jobs whose thunk raised (diagnostic; the workers survived). *)
+
+val shutdown : t -> unit
+(** Refuse new submissions, run every already-queued job, then join all
+    workers. Idempotent; safe to call from any thread except a pool
+    worker. *)

@@ -1,0 +1,352 @@
+open Mrpa_graph
+open Mrpa_engine
+
+type config = {
+  endpoint : Wire.endpoint;
+  workers : int;
+  queue_capacity : int;
+  limits : Wire.limits;
+}
+
+type t = {
+  config : config;
+  snapshot : Snapshot.t;
+  pool : Pool.t;
+  stopping : bool Atomic.t;
+  (* In-flight budget registry: shutdown cancels every member so running
+     queries abort at their next checkpoint instead of pinning workers. *)
+  inflight : (int, Budget.t) Hashtbl.t;
+  inflight_lock : Mutex.t;
+  mutable next_request : int;
+  (* Server-wide metrics. The collector is single-threaded by contract, so
+     every touch goes through [metrics_lock]. *)
+  metrics : Metrics.t;
+  metrics_lock : Mutex.t;
+  mutable live_sessions : int;
+  mutable connections : int;
+  sessions_lock : Mutex.t;
+  started_ns : int64;
+}
+
+let create config snapshot =
+  {
+    config;
+    snapshot;
+    pool =
+      Pool.create ~workers:config.workers
+        ~queue_capacity:config.queue_capacity;
+    stopping = Atomic.make false;
+    inflight = Hashtbl.create 32;
+    inflight_lock = Mutex.create ();
+    next_request = 0;
+    metrics = Metrics.create ();
+    metrics_lock = Mutex.create ();
+    live_sessions = 0;
+    connections = 0;
+    sessions_lock = Mutex.create ();
+    started_ns = Metrics.now_ns ();
+  }
+
+let stop t = Atomic.set t.stopping true
+
+let connections_served t =
+  Mutex.lock t.sessions_lock;
+  let n = t.connections in
+  Mutex.unlock t.sessions_lock;
+  n
+
+(* --- Locked helpers ---------------------------------------------------- *)
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let m_incr t name = with_lock t.metrics_lock (fun () -> Metrics.incr t.metrics name)
+
+let register_budget t budget =
+  with_lock t.inflight_lock (fun () ->
+      let id = t.next_request in
+      t.next_request <- id + 1;
+      Hashtbl.replace t.inflight id budget;
+      id)
+
+let unregister_budget t id =
+  with_lock t.inflight_lock (fun () -> Hashtbl.remove t.inflight id)
+
+let cancel_inflight t =
+  with_lock t.inflight_lock (fun () ->
+      Hashtbl.iter (fun _ b -> Budget.cancel b) t.inflight)
+
+(* --- Socket I/O --------------------------------------------------------- *)
+
+(* Small select interval: the price of noticing [stop] without signals. *)
+let poll_interval_s = 0.1
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd bytes !written (len - !written)
+  done
+
+let write_line fd line = write_all fd (line ^ "\n")
+
+(* Stop-aware buffered line reader. [carry] holds bytes read past the last
+   newline. Returns [None] on EOF, connection error, or server stop. *)
+let read_line_stop t fd carry =
+  let take_line () =
+    match String.index_opt !carry '\n' with
+    | None -> None
+    | Some i ->
+      let line = String.sub !carry 0 i in
+      carry := String.sub !carry (i + 1) (String.length !carry - i - 1);
+      Some (if String.length line > 0 && line.[String.length line - 1] = '\r'
+            then String.sub line 0 (String.length line - 1)
+            else line)
+  in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match take_line () with
+    | Some line -> Some line
+    | None ->
+      if Atomic.get t.stopping then None
+      else begin
+        match Unix.select [ fd ] [] [] poll_interval_s with
+        | [], _, _ -> loop ()
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 ->
+            (* EOF: serve a final unterminated line if one is pending. *)
+            if !carry = "" then None
+            else begin
+              let line = !carry in
+              carry := "";
+              Some line
+            end
+          | n ->
+            carry := !carry ^ Bytes.sub_string chunk 0 n;
+            loop ()
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+            loop ()
+          | exception Unix.Unix_error _ -> None)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      end
+  in
+  loop ()
+
+(* --- Request execution -------------------------------------------------- *)
+
+let esc = Metrics.escape_string
+
+let run_query t (req : Wire.request) (o : Wire.options) budget =
+  let g = Snapshot.graph t.snapshot in
+  let query_text = Option.get req.Wire.query in
+  let note_verdict verdict =
+    match verdict with
+    | Err.Complete -> ()
+    | Err.Partial _ -> m_incr t "server.partial"
+  in
+  match req.Wire.verb with
+  | Wire.Query -> (
+    match
+      Engine.query ?strategy:o.Wire.strategy ~simple:o.Wire.simple
+        ?max_length:o.Wire.max_length ?limit:o.Wire.limit ~budget g query_text
+    with
+    | Ok r ->
+      m_incr t "server.queries";
+      note_verdict r.Engine.verdict;
+      Wire.response_ok ~id:req.Wire.id
+        [ ("result", Render.result_json g r) ]
+    | Error msg ->
+      m_incr t "server.query_errors";
+      Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error msg)
+  | Wire.Count -> (
+    match
+      Engine.count_governed ?max_length:o.Wire.max_length ~budget g query_text
+    with
+    | Ok (n, verdict) ->
+      m_incr t "server.counts";
+      note_verdict verdict;
+      Wire.response_ok ~id:req.Wire.id
+        [
+          ("count", string_of_int n);
+          ("verdict", esc (Err.verdict_name verdict));
+        ]
+    | Error msg ->
+      m_incr t "server.query_errors";
+      Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error msg)
+  | Wire.Stats | Wire.Ping | Wire.Shutdown -> assert false (* handled inline *)
+
+let stats_response t req =
+  let g = Snapshot.graph t.snapshot in
+  let json =
+    with_lock t.metrics_lock (fun () ->
+        Metrics.set t.metrics "graph.vertices" (Digraph.n_vertices g);
+        Metrics.set t.metrics "graph.edges" (Digraph.n_edges g);
+        Metrics.set t.metrics "graph.labels" (Digraph.n_labels g);
+        Metrics.set t.metrics "server.workers" t.config.workers;
+        Metrics.set t.metrics "server.queue_capacity" t.config.queue_capacity;
+        Metrics.set t.metrics "server.queued" (Pool.queued t.pool);
+        Metrics.set t.metrics "server.running" (Pool.running t.pool);
+        Metrics.set t.metrics "server.uptime_ms"
+          (int_of_float
+             (Metrics.ns_to_ms (Metrics.elapsed_ns ~since:t.started_ns)));
+        Metrics.to_json t.metrics)
+  in
+  Wire.response_ok ~id:req.Wire.id [ ("stats", json) ]
+
+(* Submit a governed job and wait for its response. The session thread
+   blocks here — by design: one in-flight request per connection, so
+   responses never interleave on the socket. *)
+let dispatch_governed t req =
+  let effective = Wire.clamp t.config.limits req.Wire.options in
+  let budget = Wire.budget_of_options effective in
+  let reg_id = register_budget t budget in
+  let slot = ref None in
+  let slot_lock = Mutex.create () in
+  let slot_filled = Condition.create () in
+  let job () =
+    let response =
+      try run_query t req effective budget
+      with e ->
+        m_incr t "server.internal_errors";
+        Wire.response_error ~id:req.Wire.id ~code:Wire.Internal
+          (Printexc.to_string e)
+    in
+    with_lock slot_lock (fun () ->
+        slot := Some response;
+        Condition.signal slot_filled)
+  in
+  if Atomic.get t.stopping then begin
+    unregister_budget t reg_id;
+    Wire.response_error ~id:req.Wire.id ~code:Wire.Shutting_down
+      "server is draining"
+  end
+  else if not (Pool.submit t.pool job) then begin
+    unregister_budget t reg_id;
+    m_incr t "server.overloaded";
+    Wire.response_error ~id:req.Wire.id ~code:Wire.Overloaded
+      "job queue is full; retry later"
+  end
+  else begin
+    let response =
+      with_lock slot_lock (fun () ->
+          while !slot = None do
+            Condition.wait slot_filled slot_lock
+          done;
+          Option.get !slot)
+    in
+    unregister_budget t reg_id;
+    response
+  end
+
+(* --- Sessions ------------------------------------------------------------ *)
+
+let handle_request t line =
+  m_incr t "server.requests";
+  match Wire.decode_request line with
+  | Error msg ->
+    m_incr t "server.bad_requests";
+    (Wire.response_error ~id:Json.Null ~code:Wire.Bad_request msg, false)
+  | Ok req -> (
+    match req.Wire.verb with
+    | Wire.Ping ->
+      m_incr t "server.pings";
+      (Wire.response_ok ~id:req.Wire.id [ ("pong", "true") ], false)
+    | Wire.Stats -> (stats_response t req, false)
+    | Wire.Shutdown ->
+      (Wire.response_ok ~id:req.Wire.id [ ("stopping", "true") ], true)
+    | Wire.Query | Wire.Count -> (dispatch_governed t req, false))
+
+let session t fd =
+  let carry = ref "" in
+  let rec loop () =
+    match read_line_stop t fd carry with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+      let response, shutdown_after = handle_request t line in
+      (match write_line fd response with
+      | () ->
+        if shutdown_after then stop t
+        else loop ()
+      | exception Unix.Unix_error _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      with_lock t.sessions_lock (fun () ->
+          t.live_sessions <- t.live_sessions - 1))
+    (fun () -> try loop () with _ -> ())
+
+(* --- Listening ----------------------------------------------------------- *)
+
+let bind_endpoint = function
+  | Wire.Unix_socket path ->
+    (* A stale socket file from a crashed server would make bind fail with
+       EADDRINUSE; remove it only if it is actually a socket. *)
+    (match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | Wire.Tcp (host, port) ->
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } ->
+          failwith (Printf.sprintf "cannot resolve host %S" host)
+        | h -> h.Unix.h_addr_list.(0)
+        | exception Not_found ->
+          failwith (Printf.sprintf "cannot resolve host %S" host))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 64;
+    fd
+
+let serve t =
+  let listen_fd = bind_endpoint t.config.endpoint in
+  let accept_loop () =
+    while not (Atomic.get t.stopping) do
+      match Unix.select [ listen_fd ] [] [] poll_interval_s with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept listen_fd with
+        | fd, _ ->
+          with_lock t.sessions_lock (fun () ->
+              t.live_sessions <- t.live_sessions + 1;
+              t.connections <- t.connections + 1);
+          m_incr t "server.connections";
+          ignore (Thread.create (fun () -> session t fd) ())
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Graceful drain: no new work, abort running queries at their next
+         checkpoint, let the pool finish, give sessions a moment to flush
+         their final responses, then tear the endpoint down. *)
+      Atomic.set t.stopping true;
+      cancel_inflight t;
+      Pool.shutdown t.pool;
+      let deadline = Int64.add (Metrics.now_ns ()) 5_000_000_000L in
+      let sessions_left () =
+        with_lock t.sessions_lock (fun () -> t.live_sessions)
+      in
+      while sessions_left () > 0 && Metrics.now_ns () < deadline do
+        Thread.delay 0.02
+      done;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      match t.config.endpoint with
+      | Wire.Unix_socket path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Wire.Tcp _ -> ())
+    accept_loop

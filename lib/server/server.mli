@@ -1,0 +1,64 @@
+(** The [mrpa serve] query server: a long-lived process holding one frozen
+    graph snapshot, serving [mrpa.wire/1] requests concurrently.
+
+    Architecture (one paragraph per moving part):
+
+    - {b Accept loop} — the calling thread of {!serve} owns the listening
+      socket (Unix-domain or TCP, {!Wire.endpoint}) and polls it with a
+      short [select] timeout so a stop request is noticed within a fraction
+      of a second without signal/EINTR gymnastics. Each accepted connection
+      gets a session thread.
+    - {b Sessions} — a session reads one request line at a time, answers
+      [ping] / [stats] / [shutdown] inline, and hands [query] / [count]
+      jobs to the worker pool, waiting for the answer before reading the
+      next line: at most one request is in flight per connection, so
+      responses never interleave and no per-connection write lock is
+      needed. Concurrency comes from many connections.
+    - {b Worker pool} — a bounded {!Pool}; when its queue is full the
+      session immediately answers [overloaded] ({!Wire.error_code})
+      instead of buffering, so memory under overload is bounded by
+      [workers + queue + connections], not by demand.
+    - {b Snapshot} — all workers read one frozen {!Snapshot.t}; soundness
+      of concurrent reads is by construction (mutation is unrepresentable),
+      not by locking.
+    - {b Budgets} — each query's clamped options become a fresh
+      {!Mrpa_engine.Budget.t}; the server keeps every in-flight budget in a
+      registry so shutdown can {!Mrpa_engine.Budget.cancel} them all, which
+      aborts the runs at their next checkpoint with a sound partial result.
+    - {b Metrics} — one server-wide {!Mrpa_engine.Metrics.t} behind a
+      mutex (the collector itself is single-threaded by contract),
+      surfaced by the [stats] verb.
+
+    Shutdown (a [shutdown] request, or {!stop} from a signal handler)
+    drains gracefully: stop accepting, cancel in-flight budgets, let the
+    pool finish its queue, wait for sessions to flush their last response,
+    then close and (for Unix-domain sockets) unlink. {!serve} then
+    returns normally — exit code 0 belongs to the caller. *)
+
+type config = {
+  endpoint : Wire.endpoint;
+  workers : int;  (** worker-pool size [K >= 1]. *)
+  queue_capacity : int;  (** bounded job queue [>= 1]. *)
+  limits : Wire.limits;  (** server-side option ceilings. *)
+}
+
+type t
+
+val create : config -> Snapshot.t -> t
+(** Allocate the server state and spawn the worker pool. No socket is
+    touched until {!serve}. Raises [Invalid_argument] on a bad pool
+    geometry (see {!Pool.create}). *)
+
+val stop : t -> unit
+(** Request shutdown. Only sets an atomic flag — safe from a signal
+    handler or any thread; {!serve} notices within its select timeout and
+    performs the actual drain from its own thread. Idempotent. *)
+
+val serve : t -> unit
+(** Bind, listen, and serve until {!stop} (or a [shutdown] request).
+    Returns after the graceful drain. Raises [Unix.Unix_error] if the
+    endpoint cannot be bound (e.g. address in use) — binding errors are
+    startup errors, not runtime ones. *)
+
+val connections_served : t -> int
+(** Total connections accepted so far (diagnostic, for tests). *)

@@ -1,0 +1,16 @@
+open Mrpa_graph
+
+type t = { graph : Digraph.t }
+
+let of_graph g =
+  let copy = Digraph.copy g in
+  Digraph.freeze copy;
+  { graph = copy }
+
+let load path =
+  let g = Io.load path in
+  Digraph.freeze g;
+  { graph = g }
+
+let graph t = t.graph
+let pp_stats fmt t = Digraph.pp_stats fmt t.graph

@@ -1,0 +1,31 @@
+(** Read-only frozen graph snapshots, shared by all workers.
+
+    The live {!Mrpa_graph.Digraph.t} is single-threaded — edge insertion
+    mutates adjacency buckets and fires arbitrary observer closures, so
+    handing one graph to [K] worker threads would be unsound. A snapshot is
+    the sharing discipline made a type: its graph is {e frozen}
+    ({!Mrpa_graph.Digraph.freeze}), every mutation raises, and therefore
+    every operation that remains is a pure read that any number of threads
+    or domains may run concurrently without locks.
+
+    A value of this type is the proof the server passes around: workers
+    only ever see [Snapshot.graph snap], never the mutable original. *)
+
+open Mrpa_graph
+
+type t
+
+val of_graph : Digraph.t -> t
+(** Freeze a private deep {!Digraph.copy} of the graph. The original stays
+    live and mutable; later mutations to it are invisible to the
+    snapshot. *)
+
+val load : string -> t
+(** {!Io.load} a TSV edge list and freeze it in place (no copy — the graph
+    was never shared while mutable). Raises like {!Io.load}. *)
+
+val graph : t -> Digraph.t
+(** The frozen graph. [Digraph.is_frozen (graph t)] always holds. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line [|V|/|E|/|Omega|] summary of the underlying graph. *)

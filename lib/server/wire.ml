@@ -1,0 +1,254 @@
+open Mrpa_engine
+
+let version = "mrpa.wire/1"
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let endpoint_to_string = function
+  | Unix_socket path -> Printf.sprintf "unix:%s" path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* --- Requests ---------------------------------------------------------- *)
+
+type verb = Query | Count | Stats | Ping | Shutdown
+
+let verb_name = function
+  | Query -> "query"
+  | Count -> "count"
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Shutdown -> "shutdown"
+
+let verb_of_name = function
+  | "query" -> Some Query
+  | "count" -> Some Count
+  | "stats" -> Some Stats
+  | "ping" -> Some Ping
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type options = {
+  strategy : Plan.strategy option;
+  limit : int option;
+  max_length : int option;
+  simple : bool;
+  deadline_ms : float option;
+  fuel : int option;
+  max_paths : int option;
+}
+
+let default_options =
+  {
+    strategy = None;
+    limit = None;
+    max_length = None;
+    simple = false;
+    deadline_ms = None;
+    fuel = None;
+    max_paths = None;
+  }
+
+type request = {
+  id : Json.t;
+  verb : verb;
+  query : string option;
+  options : options;
+}
+
+(* Each option field is either absent (keep the default) or must have the
+   right type — a mistyped option is a hard error, not a silent default,
+   so a client that misspells nothing but mistypes something finds out. *)
+let decode_options json =
+  let ( let* ) = Result.bind in
+  let field name project wrap acc =
+    match Json.member name json with
+    | None -> Ok acc
+    | Some v -> (
+      match project v with
+      | Some x -> Ok (wrap acc x)
+      | None -> Error (Printf.sprintf "option %S is malformed" name))
+  in
+  let pos_int name project wrap acc =
+    field name
+      (fun v ->
+        match project v with Some x when x >= 0 -> Some x | _ -> None)
+      wrap acc
+  in
+  let* o =
+    field "strategy"
+      (fun v ->
+        Option.bind (Json.to_string_opt v) Plan.strategy_of_string)
+      (fun o s -> { o with strategy = Some s })
+      default_options
+  in
+  let* o = pos_int "limit" Json.to_int_opt (fun o v -> { o with limit = Some v }) o in
+  let* o =
+    pos_int "max_length" Json.to_int_opt
+      (fun o v -> { o with max_length = Some v })
+      o
+  in
+  let* o = field "simple" Json.to_bool_opt (fun o v -> { o with simple = v }) o in
+  let* o =
+    field "deadline_ms"
+      (fun v ->
+        match Json.to_float_opt v with
+        | Some f when f >= 0.0 -> Some f
+        | _ -> None)
+      (fun o v -> { o with deadline_ms = Some v })
+      o
+  in
+  let* o = pos_int "fuel" Json.to_int_opt (fun o v -> { o with fuel = Some v }) o in
+  let* o =
+    pos_int "max_paths" Json.to_int_opt
+      (fun o v -> { o with max_paths = Some v })
+      o
+  in
+  Ok o
+
+let decode_request line =
+  let ( let* ) = Result.bind in
+  let* json =
+    Result.map_error (fun m -> "bad JSON: " ^ m) (Json.parse line)
+  in
+  let* () =
+    match Json.member "mrpa" json with
+    | Some (Json.String v) when v = version -> Ok ()
+    | Some (Json.String v) ->
+      Error (Printf.sprintf "unsupported protocol version %S (want %S)" v version)
+    | _ -> Error (Printf.sprintf "missing %S version field" "mrpa")
+  in
+  let id = Option.value ~default:Json.Null (Json.member "id" json) in
+  let* verb =
+    match Json.member "verb" json with
+    | Some (Json.String name) -> (
+      match verb_of_name name with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "unknown verb %S" name))
+    | _ -> Error "missing \"verb\" field"
+  in
+  let query = Option.bind (Json.member "query" json) Json.to_string_opt in
+  let* () =
+    match (verb, query) with
+    | (Query | Count), None ->
+      Error (Printf.sprintf "verb %S requires a \"query\" field" (verb_name verb))
+    | _ -> Ok ()
+  in
+  let* options =
+    match Json.member "options" json with
+    | None -> Ok default_options
+    | Some (Json.Obj _ as o) -> decode_options o
+    | Some _ -> Error "\"options\" must be an object"
+  in
+  Ok { id; verb; query; options }
+
+let encode_request r =
+  let opt name render = function
+    | None -> []
+    | Some v -> [ (name, render v) ]
+  in
+  let option_fields =
+    opt "strategy"
+      (fun s -> Json.String (Plan.strategy_name s))
+      r.options.strategy
+    @ opt "limit" (fun v -> Json.Number (float_of_int v)) r.options.limit
+    @ opt "max_length"
+        (fun v -> Json.Number (float_of_int v))
+        r.options.max_length
+    @ (if r.options.simple then [ ("simple", Json.Bool true) ] else [])
+    @ opt "deadline_ms" (fun v -> Json.Number v) r.options.deadline_ms
+    @ opt "fuel" (fun v -> Json.Number (float_of_int v)) r.options.fuel
+    @ opt "max_paths" (fun v -> Json.Number (float_of_int v)) r.options.max_paths
+  in
+  Json.to_string
+    (Json.Obj
+       ([ ("mrpa", Json.String version) ]
+       @ (match r.id with Json.Null -> [] | id -> [ ("id", id) ])
+       @ [ ("verb", Json.String (verb_name r.verb)) ]
+       @ (match r.query with None -> [] | Some q -> [ ("query", Json.String q) ])
+       @
+       match option_fields with
+       | [] -> []
+       | fields -> [ ("options", Json.Obj fields) ]))
+
+(* --- Limits and clamping ----------------------------------------------- *)
+
+type limits = {
+  max_deadline_ms : float option;
+  max_fuel : int option;
+  max_live_paths : int option;
+  max_limit : int option;
+  max_length_cap : int;
+}
+
+let default_limits =
+  {
+    max_deadline_ms = None;
+    max_fuel = None;
+    max_live_paths = None;
+    max_limit = None;
+    max_length_cap = 16;
+  }
+
+(* The server's ceiling always applies: an unset request inherits it, a set
+   request is capped by it. *)
+let cap_by le cap requested =
+  match (cap, requested) with
+  | None, r -> r
+  | Some c, None -> Some c
+  | Some c, Some r -> Some (if le r c then r else c)
+
+let clamp limits o =
+  {
+    o with
+    deadline_ms = cap_by ( <= ) limits.max_deadline_ms o.deadline_ms;
+    fuel = cap_by ( <= ) limits.max_fuel o.fuel;
+    max_paths = cap_by ( <= ) limits.max_live_paths o.max_paths;
+    limit = cap_by ( <= ) limits.max_limit o.limit;
+    max_length =
+      Some
+        (match o.max_length with
+        | None -> min Engine.default_max_length limits.max_length_cap
+        | Some m -> min m limits.max_length_cap);
+  }
+
+let budget_of_options o =
+  Budget.create ?deadline_ms:o.deadline_ms ?fuel:o.fuel ?max_live:o.max_paths ()
+
+(* --- Responses --------------------------------------------------------- *)
+
+type error_code =
+  | Bad_request
+  | Query_error
+  | Overloaded
+  | Shutting_down
+  | Internal
+
+let error_code_name = function
+  | Bad_request -> "bad_request"
+  | Query_error -> "query_error"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let esc = Metrics.escape_string
+
+let envelope ~id ~ok fields =
+  let all =
+    [ ("mrpa", esc version); ("id", Json.to_string id);
+      ("ok", if ok then "true" else "false") ]
+    @ fields
+  in
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> esc k ^ ":" ^ v) all)
+  ^ "}"
+
+let response_ok ~id fields = envelope ~id ~ok:true fields
+
+let response_error ~id ~code message =
+  envelope ~id ~ok:false
+    [
+      ( "error",
+        Printf.sprintf "{%s:%s,%s:%s}" (esc "code")
+          (esc (error_code_name code))
+          (esc "message") (esc message) );
+    ]

@@ -1,0 +1,129 @@
+(** The [mrpa.wire/1] protocol: newline-delimited JSON over a stream socket.
+
+    Framing is one JSON document per [\n]-terminated line, in both
+    directions. A request names a {!verb} and, for [query] / [count], the
+    query text plus per-request {!options}; a response echoes the request's
+    [id] verbatim and is either [{"ok":true, ...}] with verb-specific
+    payload fields or [{"ok":false, "error":{"code", "message"}}].
+
+    Requests:
+    {v
+{"mrpa":"mrpa.wire/1", "id":1, "verb":"query",
+ "query":"[i,alpha,_] . [_,beta,_]*",
+ "options":{"strategy":"bfs", "limit":100, "max_length":6,
+            "simple":false, "deadline_ms":250, "fuel":100000,
+            "max_paths":10000}}
+    v}
+
+    Every option is optional. The server {e clamps} each one against its
+    own {!limits} ({!clamp}) — a client may always ask for less than the
+    server allows, never more — and lowers the governed triple
+    (deadline/fuel/max_paths) into a fresh {!Mrpa_engine.Budget.t}
+    ({!budget_of_options}), so a served query degrades to a sound partial
+    result exactly like a local governed run, with the same
+    {!Mrpa_engine.Err.verdict} taxonomy in the response.
+
+    This module is pure protocol — no sockets, no threads — so it is
+    testable without I/O and usable by both {!Server} and {!Client}. *)
+
+open Mrpa_engine
+
+val version : string
+(** ["mrpa.wire/1"]. Carried as the ["mrpa"] field of every request and
+    response; a request with a missing or different version is rejected. *)
+
+(** {1 Endpoints} *)
+
+type endpoint =
+  | Unix_socket of string  (** path of a Unix-domain socket. *)
+  | Tcp of string * int  (** host, port. *)
+
+val endpoint_to_string : endpoint -> string
+
+(** {1 Requests} *)
+
+type verb =
+  | Query  (** run a regular path query; respond with the result set. *)
+  | Count  (** governed counting; respond with the number and verdict. *)
+  | Stats  (** server-wide metrics snapshot. *)
+  | Ping  (** liveness probe. *)
+  | Shutdown  (** ask the server to drain and exit. *)
+
+val verb_name : verb -> string
+val verb_of_name : string -> verb option
+
+type options = {
+  strategy : Plan.strategy option;  (** force an evaluation strategy. *)
+  limit : int option;  (** stop after this many distinct paths. *)
+  max_length : int option;  (** star-unrolling bound. *)
+  simple : bool;  (** restrict to simple paths. *)
+  deadline_ms : float option;  (** wall-clock budget, from dequeue. *)
+  fuel : int option;  (** work-unit budget. *)
+  max_paths : int option;  (** live/banked path budget. *)
+}
+
+val default_options : options
+(** Everything unset; [simple = false]. *)
+
+type request = {
+  id : Json.t;
+      (** echoed verbatim in the response; {!Json.Null} when absent. *)
+  verb : verb;
+  query : string option;  (** required by [query] and [count]. *)
+  options : options;
+}
+
+val decode_request : string -> (request, string) result
+(** Parse one request line. [Error] is a human-readable reason (bad JSON,
+    wrong version, unknown verb, missing query, malformed option). *)
+
+val encode_request : request -> string
+(** The single-line JSON for a request (no trailing newline). Used by
+    {!Client} and tests; [decode_request (encode_request r)] is [Ok r]
+    modulo unset-option normalisation. *)
+
+(** {1 Server-side limits} *)
+
+type limits = {
+  max_deadline_ms : float option;
+      (** ceiling on (and default for) a request's deadline. *)
+  max_fuel : int option;
+  max_live_paths : int option;
+  max_limit : int option;
+      (** ceiling on (and default for) the number of returned paths. *)
+  max_length_cap : int;  (** ceiling on the star-unrolling bound. *)
+}
+
+val default_limits : limits
+(** No governed ceilings; [max_length_cap = 16]. *)
+
+val clamp : limits -> options -> options
+(** Effective options: each requested value is capped by the corresponding
+    server limit, and a limit with no requested value becomes the value —
+    the server's ceilings always apply, whether or not the client asked. *)
+
+val budget_of_options : options -> Budget.t
+(** A fresh single-use budget from the (clamped) governed options. Always
+    cancellable, even when every bound is unset, so server shutdown can
+    abort the run cooperatively. *)
+
+(** {1 Responses} *)
+
+type error_code =
+  | Bad_request  (** unparseable or malformed request line. *)
+  | Query_error  (** the query failed to parse / name resolution failed. *)
+  | Overloaded  (** the job queue is full; retry later. *)
+  | Shutting_down  (** the server is draining. *)
+  | Internal  (** a bug: unexpected exception while serving. *)
+
+val error_code_name : error_code -> string
+
+val response_ok : id:Json.t -> (string * string) list -> string
+(** [response_ok ~id fields] is one response line (no trailing newline):
+    the protocol envelope [{"mrpa", "id", "ok":true}] extended with the
+    given [(key, raw_json_value)] payload fields — raw so an already
+    rendered {!Mrpa_engine.Render.result_json} document can be spliced in
+    without reparsing. *)
+
+val response_error : id:Json.t -> code:error_code -> string -> string
+(** One error-response line: [ok:false] and [{"code", "message"}]. *)

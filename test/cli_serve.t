@@ -1,0 +1,82 @@
+The query server: mrpa serve publishes one frozen graph snapshot over a
+Unix-domain socket speaking mrpa.wire/1, and mrpa call is the scriptable
+client. The server here gets a small fuel ceiling so we can watch a
+client's unbounded request being clamped into a governed, partial run.
+
+A deterministic workload graph:
+
+  $ ../bin/mrpa.exe generate --kind ring -n 6 -o ring.tsv
+  generated ring: |V|=6 |E|=6 |Omega|=3
+
+Calling a socket nobody is listening on is a user error (exit 1):
+
+  $ ../bin/mrpa.exe call --socket nope.sock --ping 2>&1 | head -1
+  error: cannot connect to unix:nope.sock: No such file or directory
+  $ ../bin/mrpa.exe call --socket nope.sock --ping >/dev/null 2>&1; echo $?
+  1
+
+Start a server in the background and wait for the socket to appear:
+
+  $ ../bin/mrpa.exe serve --graph ring.tsv --socket s.sock --workers 2 --queue 8 --max-fuel 40 2>serve.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do test -S s.sock && break; sleep 0.1; done
+  $ test -S s.sock && echo socket up
+  socket up
+
+A ping round-trips the protocol version and echoes the id:
+
+  $ ../bin/mrpa.exe call --socket s.sock --ping
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"pong":true}
+
+Counting is served complete when it fits the fuel ceiling:
+
+  $ ../bin/mrpa.exe call --socket s.sock --count 'E'
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"count":6,"verdict":"complete"}
+
+A small complete query (timing normalised):
+
+  $ ../bin/mrpa.exe call --socket s.sock 'E' --limit 2 | sed 's/"elapsed_ms":[0-9.]*/"elapsed_ms":N/'
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"result":{"paths":[{"edges":[{"tail":"v0","label":"r0","head":"v1"}],"label_word":["r0"],"length":1,"joint":true},{"edges":[{"tail":"v1","label":"r1","head":"v2"}],"label_word":["r1"],"length":1,"joint":true}],"count":2,"elapsed_ms":N,"strategy":"product-bfs","verdict":"partial:limit","rewrites":[]}}
+
+The server's fuel ceiling governs every request: the client asked for an
+unbounded starred run, the server clamps it to 40 fuel units, and the
+response carries the same partial-verdict taxonomy as a local governed
+run. mrpa call maps a partial verdict to exit code 3, like mrpa query:
+
+  $ ../bin/mrpa.exe call --socket s.sock 'E*' > response.json; echo "exit: $?"
+  exit: 3
+  $ grep -o '"verdict":"partial:fuel"' response.json
+  "verdict":"partial:fuel"
+
+A query that does not parse is a query_error response on a live
+connection, not a dead server, and exits 1:
+
+  $ ../bin/mrpa.exe call --socket s.sock '[[[' > response.json; echo "exit: $?"
+  exit: 1
+  $ grep -o '"code":"[a-z_]*"' response.json
+  "code":"query_error"
+
+Server-wide stats expose the pool geometry and request counters:
+
+  $ ../bin/mrpa.exe call --socket s.sock --stats > stats.json
+  $ grep -o '"server.workers":[0-9]*' stats.json
+  "server.workers":2
+  $ grep -o '"server.queue_capacity":[0-9]*' stats.json
+  "server.queue_capacity":8
+  $ grep -o '"graph.edges":[0-9]*' stats.json
+  "graph.edges":6
+  $ grep -o '"server.partial":[0-9]*' stats.json
+  "server.partial":2
+
+The shutdown verb drains the server gracefully: the server acknowledges,
+then exits 0 and unlinks its socket.
+
+  $ ../bin/mrpa.exe call --socket s.sock --shutdown
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"stopping":true}
+  $ wait $SERVE_PID; echo "server exit: $?"
+  server exit: 0
+  $ test -e s.sock || echo "socket unlinked"
+  socket unlinked
+  $ cat serve.log
+  mrpa serve: unix:s.sock workers=2 queue=8 graph=ring.tsv (|V|=6 |E|=6 |Omega|=3)
+  mrpa serve: drained, exiting

@@ -754,6 +754,98 @@ let test_journal_closed_stops_recording () =
       let h = Journal.replay path in
       Alcotest.(check int) "only pre-close edge" 1 (Digraph.n_edges h))
 
+let test_observer_deregistration () =
+  let g = Digraph.create () in
+  let hits_a = ref 0 and hits_b = ref 0 and removals = ref 0 in
+  let obs_a = fun (_ : Edge.t) -> incr hits_a in
+  let obs_b = fun (_ : Edge.t) -> incr hits_b in
+  let obs_r = fun (_ : Edge.t) -> incr removals in
+  Digraph.on_edge_added g obs_a;
+  Digraph.on_edge_added g obs_b;
+  Digraph.on_edge_removed g obs_r;
+  ignore (Digraph.add g "a" "r" "b");
+  Alcotest.(check int) "both added-observers fired" 2 (!hits_a + !hits_b);
+  (* deregister one: only the other keeps firing *)
+  Digraph.off_edge_added g obs_a;
+  ignore (Digraph.add g "b" "r" "c");
+  Alcotest.(check int) "a detached" 1 !hits_a;
+  Alcotest.(check int) "b still attached" 2 !hits_b;
+  (* deregistering an unknown closure is a no-op *)
+  Digraph.off_edge_added g (fun (_ : Edge.t) -> ());
+  ignore (Digraph.add g "c" "r" "d");
+  Alcotest.(check int) "b unaffected by stranger removal" 3 !hits_b;
+  Digraph.off_edge_removed g obs_r;
+  ignore (Digraph.remove_edge g (H.e g "a" "r" "b"));
+  Alcotest.(check int) "removed-observer detached" 0 !removals
+
+let test_freeze_rejects_mutation () =
+  let g = H.paper_graph () in
+  let n = Digraph.n_edges g in
+  Digraph.freeze g;
+  Alcotest.(check bool) "is_frozen" true (Digraph.is_frozen g);
+  let raises f =
+    match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "add rejected" true
+    (raises (fun () -> Digraph.add g "x" "r" "y"));
+  Alcotest.(check bool) "remove rejected" true
+    (raises (fun () -> Digraph.remove_edge g (H.e g "i" "alpha" "j")));
+  Alcotest.(check bool) "observer registration rejected" true
+    (raises (fun () -> Digraph.on_edge_added g (fun _ -> ())));
+  Alcotest.(check bool) "unknown-name interning rejected" true
+    (raises (fun () -> Digraph.vertex g "brand_new"));
+  (* pure reads still work *)
+  Alcotest.(check int) "reads unaffected" n (Digraph.n_edges g);
+  Alcotest.(check bool) "known name resolves" true
+    (Digraph.mem_edge g (H.e g "i" "alpha" "j"))
+
+let test_journal_compact_leaves_no_tmp () =
+  with_tmp_journal (fun path ->
+      let g = Digraph.create () in
+      let j = Journal.attach g path in
+      ignore (Digraph.add g "a" "r" "b");
+      ignore (Digraph.remove_edge g (H.e g "a" "r" "b"));
+      ignore (Digraph.add g "a" "r" "c");
+      Journal.compact j;
+      (* the fsync'd temporary snapshot must have been renamed away *)
+      Alcotest.(check bool) "no .compact tmp file" false
+        (Sys.file_exists (path ^ ".compact"));
+      (* and the journal must still be recording into the compacted file *)
+      ignore (Digraph.add g "c" "r" "d");
+      Journal.close j;
+      let h = Journal.replay path in
+      Alcotest.(check int) "compacted + appended state" 2 (Digraph.n_edges h));
+  (* compacting a closed journal is a usage error, not silent corruption *)
+  with_tmp_journal (fun path ->
+      let g = Digraph.create () in
+      let j = Journal.attach g path in
+      Journal.close j;
+      Alcotest.(check bool) "compact after close raises" true
+        (match Journal.compact j with
+        | () -> false
+        | exception Invalid_argument _ -> true))
+
+let test_journal_close_detaches_observers () =
+  with_tmp_journal (fun path ->
+      let g = Digraph.create () in
+      let j = Journal.attach g path in
+      ignore (Digraph.add g "a" "r" "b");
+      Journal.close j;
+      (* after close the journal's observers are gone from the graph, so
+         churning the graph touches neither the file nor the closed
+         channel (a non-detached observer would raise on the closed
+         channel or grow the file) *)
+      let size_at_close = (Unix.stat path).Unix.st_size in
+      for i = 0 to 99 do
+        ignore (Digraph.add g (Printf.sprintf "v%d" i) "r" "hub")
+      done;
+      ignore (Digraph.remove_edge g (H.e g "v0" "r" "hub"));
+      Alcotest.(check int) "file untouched after close"
+        size_at_close
+        (Unix.stat path).Unix.st_size)
+
 let qcheck_journal_roundtrip_random_churn =
   H.qtest ~count:40 "journal replay = live graph under churn" H.with_graph_gen
     H.print_with_graph (fun (recipe, aux) ->
@@ -856,6 +948,9 @@ let () =
           Alcotest.test_case "order" `Quick test_digraph_edge_insertion_order;
           Alcotest.test_case "materialise reverse" `Quick
             test_digraph_materialise_reverse;
+          Alcotest.test_case "observer deregistration" `Quick
+            test_observer_deregistration;
+          Alcotest.test_case "freeze" `Quick test_freeze_rejects_mutation;
         ] );
       ( "generate",
         [
@@ -899,7 +994,11 @@ let () =
           Alcotest.test_case "record/replay" `Quick test_journal_records_and_replays;
           Alcotest.test_case "reopen" `Quick test_journal_reopen_continues;
           Alcotest.test_case "compact" `Quick test_journal_compact;
+          Alcotest.test_case "compact crash-safety" `Quick
+            test_journal_compact_leaves_no_tmp;
           Alcotest.test_case "close" `Quick test_journal_closed_stops_recording;
+          Alcotest.test_case "close detaches observers" `Quick
+            test_journal_close_detaches_observers;
           qcheck_journal_roundtrip_random_churn;
         ] );
       ( "io",

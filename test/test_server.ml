@@ -1,0 +1,695 @@
+(* Tests for the mrpa_server subsystem: the hand-rolled JSON codec, the
+   mrpa.wire/1 protocol (decode / encode / clamp), the bounded worker pool,
+   frozen snapshots, concurrent-read soundness of shared snapshots, and an
+   end-to-end client/server round trip over a Unix-domain socket. *)
+
+open Mrpa_graph
+open Mrpa_core
+open Mrpa_engine
+open Mrpa_server
+module H = Helpers
+
+(* --- Json --------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "hi");
+        ("n", Json.Number 3.0);
+        ("f", Json.Number 2.5);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Number 1.0; Json.String "x"; Json.Bool false ]);
+        ("o", Json.Obj [ ("nested", Json.List []) ]);
+      ]
+  in
+  let s = Json.to_string doc in
+  (match Json.parse s with
+  | Ok doc' -> Alcotest.(check bool) "roundtrip" true (doc = doc')
+  | Error m -> Alcotest.failf "reparse failed: %s" m);
+  Alcotest.(check string) "integral number prints without decimal point" "3"
+    (Json.to_string (Json.Number 3.0));
+  Alcotest.(check string) "fractional number keeps its fraction" "2.5"
+    (Json.to_string (Json.Number 2.5))
+
+let test_json_escapes () =
+  (match Json.parse {|"a\nb\t\"\\\u0041\u00e9"|} with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "escapes decode" "a\nb\t\"\\A\xc3\xa9" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  (* surrogate pair: U+1F600 -> 4-byte UTF-8 *)
+  match Json.parse {|"\ud83d\ude00"|} with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error m -> Alcotest.failf "surrogate parse failed: %s" m
+
+let test_json_errors () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "{\"a\":1,}";
+  bad "[1 2]";
+  bad "\"unterminated";
+  bad "01";
+  bad "true false";
+  (* trailing garbage *)
+  bad "nul";
+  bad "{\"a\" 1}"
+
+let test_json_accessors () =
+  match Json.parse {|{"a": 4, "b": "x", "c": true, "d": 1.5}|} with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok j ->
+    Alcotest.(check (option int)) "int member" (Some 4)
+      (Option.bind (Json.member "a" j) Json.to_int_opt);
+    Alcotest.(check (option string)) "string member" (Some "x")
+      (Option.bind (Json.member "b" j) Json.to_string_opt);
+    Alcotest.(check (option bool)) "bool member" (Some true)
+      (Option.bind (Json.member "c" j) Json.to_bool_opt);
+    Alcotest.(check bool) "non-integral float is not an int" true
+      (Option.bind (Json.member "d" j) Json.to_int_opt = None);
+    Alcotest.(check bool) "absent member" true (Json.member "zz" j = None)
+
+(* --- Wire --------------------------------------------------------------- *)
+
+let test_wire_decode () =
+  let line =
+    {|{"mrpa":"mrpa.wire/1","id":7,"verb":"query","query":"[i,alpha,_]",|}
+    ^ {|"options":{"strategy":"bfs","limit":10,"max_length":4,"simple":true,|}
+    ^ {|"deadline_ms":250,"fuel":1000,"max_paths":50}}|}
+  in
+  match Wire.decode_request line with
+  | Error m -> Alcotest.failf "decode failed: %s" m
+  | Ok r ->
+    Alcotest.(check string) "verb" "query" (Wire.verb_name r.Wire.verb);
+    Alcotest.(check (option string)) "query" (Some "[i,alpha,_]") r.Wire.query;
+    let o = r.Wire.options in
+    Alcotest.(check (option int)) "limit" (Some 10) o.Wire.limit;
+    Alcotest.(check (option int)) "max_length" (Some 4) o.Wire.max_length;
+    Alcotest.(check bool) "simple" true o.Wire.simple;
+    Alcotest.(check (option int)) "fuel" (Some 1000) o.Wire.fuel;
+    Alcotest.(check (option int)) "max_paths" (Some 50) o.Wire.max_paths;
+    Alcotest.(check bool) "deadline" true (o.Wire.deadline_ms = Some 250.0);
+    Alcotest.(check bool) "id echoed" true (r.Wire.id = Json.Number 7.0)
+
+let test_wire_decode_errors () =
+  let bad line frag =
+    match Wire.decode_request line with
+    | Ok _ -> Alcotest.failf "expected decode error for %s" line
+    | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %s" frag)
+        true
+        (let lm = String.lowercase_ascii m in
+         let lf = String.lowercase_ascii frag in
+         let n = String.length lf in
+         let rec scan i =
+           i + n <= String.length lm
+           && (String.sub lm i n = lf || scan (i + 1))
+         in
+         scan 0)
+  in
+  bad "not json" "bad json";
+  bad {|{"verb":"ping"}|} "version";
+  bad {|{"mrpa":"mrpa.wire/2","verb":"ping"}|} "version";
+  bad {|{"mrpa":"mrpa.wire/1"}|} "verb";
+  bad {|{"mrpa":"mrpa.wire/1","verb":"frobnicate"}|} "unknown verb";
+  bad {|{"mrpa":"mrpa.wire/1","verb":"query"}|} "query";
+  bad
+    {|{"mrpa":"mrpa.wire/1","verb":"query","query":"x","options":{"limit":"ten"}}|}
+    "limit";
+  bad
+    {|{"mrpa":"mrpa.wire/1","verb":"query","query":"x","options":{"fuel":-1}}|}
+    "fuel";
+  bad {|{"mrpa":"mrpa.wire/1","verb":"ping","options":3}|} "options"
+
+let test_wire_roundtrip () =
+  let r =
+    {
+      Wire.id = Json.Number 42.0;
+      verb = Wire.Count;
+      query = Some "[i,alpha,_]*";
+      options =
+        {
+          Wire.default_options with
+          limit = Some 5;
+          simple = true;
+          deadline_ms = Some 100.0;
+        };
+    }
+  in
+  match Wire.decode_request (Wire.encode_request r) with
+  | Ok r' -> Alcotest.(check bool) "encode/decode roundtrip" true (r = r')
+  | Error m -> Alcotest.failf "roundtrip failed: %s" m
+
+let test_wire_clamp () =
+  let limits =
+    {
+      Wire.max_deadline_ms = Some 500.0;
+      max_fuel = Some 10_000;
+      max_live_paths = None;
+      max_limit = Some 100;
+      max_length_cap = 6;
+    }
+  in
+  (* unset requests inherit the server ceiling *)
+  let o = Wire.clamp limits Wire.default_options in
+  Alcotest.(check bool) "deadline inherited" true (o.Wire.deadline_ms = Some 500.0);
+  Alcotest.(check (option int)) "fuel inherited" (Some 10_000) o.Wire.fuel;
+  Alcotest.(check (option int)) "limit inherited" (Some 100) o.Wire.limit;
+  Alcotest.(check (option int)) "no max_paths ceiling" None o.Wire.max_paths;
+  Alcotest.(check (option int)) "max_length defaults under cap" (Some 6)
+    o.Wire.max_length;
+  (* a greedy request is capped *)
+  let greedy =
+    {
+      Wire.default_options with
+      deadline_ms = Some 9_999.0;
+      fuel = Some 1_000_000;
+      limit = Some 5_000;
+      max_length = Some 32;
+    }
+  in
+  let o = Wire.clamp limits greedy in
+  Alcotest.(check bool) "deadline capped" true (o.Wire.deadline_ms = Some 500.0);
+  Alcotest.(check (option int)) "fuel capped" (Some 10_000) o.Wire.fuel;
+  Alcotest.(check (option int)) "limit capped" (Some 100) o.Wire.limit;
+  Alcotest.(check (option int)) "max_length capped" (Some 6) o.Wire.max_length;
+  (* a modest request passes through *)
+  let modest =
+    { Wire.default_options with fuel = Some 10; max_length = Some 2 }
+  in
+  let o = Wire.clamp limits modest in
+  Alcotest.(check (option int)) "modest fuel kept" (Some 10) o.Wire.fuel;
+  Alcotest.(check (option int)) "modest max_length kept" (Some 2)
+    o.Wire.max_length
+
+let test_wire_responses () =
+  let ok = Wire.response_ok ~id:(Json.Number 1.0) [ ("pong", "true") ] in
+  (match Json.parse ok with
+  | Ok j ->
+    Alcotest.(check (option bool)) "ok:true" (Some true)
+      (Option.bind (Json.member "ok" j) Json.to_bool_opt);
+    Alcotest.(check (option bool)) "payload" (Some true)
+      (Option.bind (Json.member "pong" j) Json.to_bool_opt);
+    Alcotest.(check (option string)) "version" (Some Wire.version)
+      (Option.bind (Json.member "mrpa" j) Json.to_string_opt)
+  | Error m -> Alcotest.failf "ok response is not JSON: %s" m);
+  let err =
+    Wire.response_error ~id:Json.Null ~code:Wire.Overloaded "queue full"
+  in
+  match Json.parse err with
+  | Ok j ->
+    Alcotest.(check (option bool)) "ok:false" (Some false)
+      (Option.bind (Json.member "ok" j) Json.to_bool_opt);
+    Alcotest.(check (option string)) "code" (Some "overloaded")
+      (Option.bind (Json.member "error" j) (fun e ->
+           Option.bind (Json.member "code" e) Json.to_string_opt))
+  | Error m -> Alcotest.failf "error response is not JSON: %s" m
+
+(* --- Pool --------------------------------------------------------------- *)
+
+let test_pool_runs_jobs () =
+  let pool = Pool.create ~workers:3 ~queue_capacity:16 in
+  let count = Atomic.make 0 in
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "accepted" true
+      (Pool.submit pool (fun () -> Atomic.incr count))
+  done;
+  Pool.shutdown pool;
+  Alcotest.(check int) "all jobs ran" 10 (Atomic.get count)
+
+let test_pool_overload () =
+  let pool = Pool.create ~workers:1 ~queue_capacity:2 in
+  let gate = Mutex.create () in
+  let release = Condition.create () in
+  let released = ref false in
+  let blocker () =
+    Mutex.lock gate;
+    while not !released do
+      Condition.wait release gate
+    done;
+    Mutex.unlock gate
+  in
+  (* occupy the single worker... *)
+  Alcotest.(check bool) "blocker accepted" true (Pool.submit pool blocker);
+  (* give the worker a beat to pick the blocker up, then fill the queue *)
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while Pool.running pool = 0 && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Alcotest.(check int) "worker busy" 1 (Pool.running pool);
+  Alcotest.(check bool) "queued 1" true (Pool.submit pool (fun () -> ()));
+  Alcotest.(check bool) "queued 2" true (Pool.submit pool (fun () -> ()));
+  (* ...and the queue is now full: explicit backpressure *)
+  Alcotest.(check bool) "overloaded" false (Pool.submit pool (fun () -> ()));
+  Alcotest.(check int) "two waiting" 2 (Pool.queued pool);
+  Mutex.lock gate;
+  released := true;
+  Condition.broadcast release;
+  Mutex.unlock gate;
+  Pool.shutdown pool;
+  Alcotest.(check int) "drained" 0 (Pool.queued pool)
+
+let test_pool_shutdown_drains () =
+  let pool = Pool.create ~workers:2 ~queue_capacity:32 in
+  let count = Atomic.make 0 in
+  for _ = 1 to 20 do
+    ignore (Pool.submit pool (fun () -> Atomic.incr count))
+  done;
+  Pool.shutdown pool;
+  Alcotest.(check int) "queued jobs ran before exit" 20 (Atomic.get count);
+  Alcotest.(check bool) "refused after shutdown" false
+    (Pool.submit pool (fun () -> ()))
+
+let test_pool_survives_raising_job () =
+  let pool = Pool.create ~workers:1 ~queue_capacity:8 in
+  let ran = Atomic.make false in
+  ignore (Pool.submit pool (fun () -> failwith "boom"));
+  ignore (Pool.submit pool (fun () -> Atomic.set ran true));
+  Pool.shutdown pool;
+  Alcotest.(check bool) "later job still ran" true (Atomic.get ran);
+  Alcotest.(check int) "error counted" 1 (Pool.job_errors pool)
+
+let test_pool_rejects_bad_geometry () =
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Pool.create: workers must be >= 1") (fun () ->
+      ignore (Pool.create ~workers:0 ~queue_capacity:4));
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Pool.create: queue_capacity must be >= 1") (fun () ->
+      ignore (Pool.create ~workers:1 ~queue_capacity:0))
+
+(* --- Snapshot ----------------------------------------------------------- *)
+
+let test_snapshot_freezes_copy () =
+  let g = H.paper_graph () in
+  let snap = Snapshot.of_graph g in
+  let fg = Snapshot.graph snap in
+  Alcotest.(check bool) "frozen" true (Digraph.is_frozen fg);
+  Alcotest.(check int) "same edges" (Digraph.n_edges g) (Digraph.n_edges fg);
+  (* mutation on the snapshot raises... *)
+  Alcotest.(check bool) "add raises" true
+    (match Digraph.add fg "new" "r" "new2" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* ...unknown-name interning raises too (it would mutate the interner) *)
+  Alcotest.(check bool) "unknown vertex raises" true
+    (match Digraph.vertex fg "nope" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* known names still resolve on the frozen graph *)
+  Alcotest.(check bool) "known vertex resolves" true
+    (Option.is_some (Digraph.find_vertex fg "i"));
+  (* the original stays live and independent *)
+  ignore (Digraph.add g "x" "gamma" "y");
+  Alcotest.(check bool) "original still mutable" true
+    (Digraph.n_edges g = Digraph.n_edges fg + 1)
+
+let test_snapshot_queryable () =
+  let snap = Snapshot.of_graph (H.paper_graph ()) in
+  match Engine.query (Snapshot.graph snap) "[i,alpha,_]" with
+  | Ok r ->
+    Alcotest.(check int) "two alpha edges from i" 2
+      (Path_set.cardinal r.Engine.paths)
+  | Error m -> Alcotest.failf "query failed: %s" m
+
+(* --- Concurrent-read soundness (satellite 3) ----------------------------- *)
+
+(* The thread-safety contract under test: any number of domains may query
+   one frozen snapshot concurrently and every one of them computes exactly
+   the single-threaded denotation. *)
+
+let queries =
+  [
+    "[i,alpha,_]";
+    "[i,alpha,_] . [_,beta,_]";
+    "[_,alpha,_]*";
+    "([_,alpha,_] | [_,beta,_])*";
+    "[_,beta,_] . [_,beta,_]";
+  ]
+
+let run_all g =
+  List.map
+    (fun q ->
+      match Engine.query ~max_length:6 g q with
+      | Ok r -> r.Engine.paths
+      | Error m -> Alcotest.failf "query %S failed: %s" q m)
+    queries
+
+let test_concurrent_domains_agree () =
+  let snap = Snapshot.of_graph (H.paper_graph ()) in
+  let fg = Snapshot.graph snap in
+  let reference = run_all fg in
+  let n_domains = 4 and rounds = 5 in
+  let worker () =
+    let ok = ref true in
+    for _ = 1 to rounds do
+      let got = run_all fg in
+      if not (List.for_all2 Path_set.equal reference got) then ok := false
+    done;
+    !ok
+  in
+  let domains = List.init n_domains (fun _ -> Domain.spawn worker) in
+  let results = List.map Domain.join domains in
+  Alcotest.(check (list bool))
+    "every domain matches the sequential reference"
+    (List.init n_domains (fun _ -> true))
+    results
+
+let qcheck_concurrent_snapshot_sound =
+  H.qtest ~count:15 "concurrent snapshot queries = sequential denotation"
+    H.with_graph_gen H.print_with_graph (fun (recipe, aux) ->
+      let g = H.graph_of_recipe recipe in
+      let rng = Prng.create aux in
+      let exprs = List.init 3 (fun _ -> H.random_expr rng g) in
+      let snap = Snapshot.of_graph g in
+      let fg = Snapshot.graph snap in
+      let eval gr =
+        List.map
+          (fun e -> (Engine.query_expr ~max_length:4 gr e).Engine.paths)
+          exprs
+      in
+      let reference = eval fg in
+      let domains = List.init 3 (fun _ -> Domain.spawn (fun () -> eval fg)) in
+      let results = List.map Domain.join domains in
+      List.for_all
+        (fun got -> List.for_all2 Path_set.equal reference got)
+        results)
+
+(* --- End-to-end: server + client over a Unix socket ---------------------- *)
+
+let with_server ?(limits = Wire.default_limits) f =
+  let dir = Filename.temp_file "mrpa_srv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket_path = Filename.concat dir "s.sock" in
+  let config =
+    {
+      Server.endpoint = Wire.Unix_socket socket_path;
+      workers = 2;
+      queue_capacity = 8;
+      limits;
+    }
+  in
+  let server = Server.create config (Snapshot.of_graph (H.paper_graph ())) in
+  let thread = Thread.create (fun () -> Server.serve server) () in
+  let connect_with_retry () =
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    let rec go () =
+      match Client.connect (Wire.Unix_socket socket_path) with
+      | Ok conn -> conn
+      | Error m ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "server never came up: %s" m
+        else begin
+          Thread.yield ();
+          Unix.sleepf 0.02;
+          go ()
+        end
+    in
+    go ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join thread;
+      if Sys.file_exists socket_path then Sys.remove socket_path;
+      Unix.rmdir dir)
+    (fun () -> f server connect_with_retry)
+
+let simple_req ?(id = Json.Null) ?query ?(options = Wire.default_options) verb =
+  { Wire.id; verb; query; options }
+
+let expect_ok name = function
+  | Error m -> Alcotest.failf "%s: transport error: %s" name m
+  | Ok j ->
+    Alcotest.(check (option bool))
+      (name ^ " ok") (Some true)
+      (Option.bind (Json.member "ok" j) Json.to_bool_opt);
+    j
+
+let test_server_roundtrip () =
+  with_server (fun server connect ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          (* ping *)
+          let j =
+            expect_ok "ping"
+              (Client.request conn (simple_req ~id:(Json.Number 1.0) Wire.Ping))
+          in
+          Alcotest.(check bool) "id echoed" true
+            (Json.member "id" j = Some (Json.Number 1.0));
+          (* query *)
+          let j =
+            expect_ok "query"
+              (Client.request conn
+                 (simple_req ~query:"[i,alpha,_]" Wire.Query))
+          in
+          let result = Json.member "result" j in
+          Alcotest.(check bool) "has result" true (Option.is_some result);
+          Alcotest.(check (option string)) "complete" (Some "complete")
+            (Option.bind result (fun r ->
+                 Option.bind (Json.member "verdict" r) Json.to_string_opt));
+          (* count *)
+          let j =
+            expect_ok "count"
+              (Client.request conn (simple_req ~query:"[i,alpha,_]" Wire.Count))
+          in
+          Alcotest.(check (option int)) "count" (Some 2)
+            (Option.bind (Json.member "count" j) Json.to_int_opt);
+          (* a bad query is a query_error response, not a dead connection *)
+          (match Client.request conn (simple_req ~query:"[[[" Wire.Query) with
+          | Error m -> Alcotest.failf "bad query killed connection: %s" m
+          | Ok j ->
+            Alcotest.(check (option bool)) "bad query not ok" (Some false)
+              (Option.bind (Json.member "ok" j) Json.to_bool_opt);
+            Alcotest.(check (option string)) "code" (Some "query_error")
+              (Option.bind (Json.member "error" j) (fun e ->
+                   Option.bind (Json.member "code" e) Json.to_string_opt)));
+          (* stats *)
+          let j = expect_ok "stats" (Client.request conn (simple_req Wire.Stats)) in
+          Alcotest.(check bool) "has stats payload" true
+            (Option.is_some (Json.member "stats" j)));
+      Alcotest.(check bool) "connection counted" true
+        (Server.connections_served server >= 1))
+
+let test_server_clamps_options () =
+  (* a tiny fuel ceiling forces a partial verdict even when the client asks
+     for an unbounded run *)
+  let limits = { Wire.default_limits with max_fuel = Some 5 } in
+  with_server ~limits (fun _server connect ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let j =
+            expect_ok "governed query"
+              (Client.request conn
+                 (simple_req ~query:"([_,alpha,_] | [_,beta,_])*" Wire.Query))
+          in
+          match
+            Option.bind (Json.member "result" j) (fun r ->
+                Option.bind (Json.member "verdict" r) Json.to_string_opt)
+          with
+          | Some v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "verdict %S is partial:fuel" v)
+              true
+              (String.length v >= 12 && String.sub v 0 12 = "partial:fuel")
+          | None -> Alcotest.fail "no verdict in result"))
+
+let test_server_shutdown_verb () =
+  with_server (fun _server connect ->
+      let conn = connect () in
+      let j =
+        expect_ok "shutdown" (Client.request conn (simple_req Wire.Shutdown))
+      in
+      Alcotest.(check (option bool)) "stopping" (Some true)
+        (Option.bind (Json.member "stopping" j) Json.to_bool_opt);
+      Client.close conn
+      (* with_server's finally joins the serve thread: if the shutdown verb
+         did not actually stop the server, this test hangs and fails. *))
+
+let test_server_bad_request_line () =
+  with_server (fun _server connect ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          match Client.request_raw conn "this is not json" with
+          | Error m -> Alcotest.failf "transport error: %s" m
+          | Ok line -> (
+            match Json.parse line with
+            | Error m -> Alcotest.failf "response not JSON: %s" m
+            | Ok j ->
+              Alcotest.(check (option string)) "bad_request" (Some "bad_request")
+                (Option.bind (Json.member "error" j) (fun e ->
+                     Option.bind (Json.member "code" e) Json.to_string_opt)))))
+
+let test_server_tcp_roundtrip () =
+  (* bind an ephemeral TCP port by probing: try a few ports in the dynamic
+     range until one binds. *)
+  let snap = Snapshot.of_graph (H.paper_graph ()) in
+  let rec start attempt =
+    if attempt > 20 then Alcotest.fail "no free TCP port found"
+    else
+      let port = 49152 + ((attempt * 977) mod 16000) in
+      let config =
+        {
+          Server.endpoint = Wire.Tcp ("127.0.0.1", port);
+          workers = 1;
+          queue_capacity = 4;
+          limits = Wire.default_limits;
+        }
+      in
+      let server = Server.create config snap in
+      let exn = ref None in
+      let thread =
+        Thread.create
+          (fun () -> try Server.serve server with e -> exn := Some e)
+          ()
+      in
+      (* wait for either a bind failure or a successful connect *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec wait () =
+        match !exn with
+        | Some _ ->
+          Thread.join thread;
+          start (attempt + 1)
+        | None -> (
+          match Client.connect (Wire.Tcp ("127.0.0.1", port)) with
+          | Ok conn -> (server, thread, conn)
+          | Error _ when Unix.gettimeofday () < deadline ->
+            Unix.sleepf 0.02;
+            wait ()
+          | Error m -> Alcotest.failf "tcp connect failed: %s" m)
+      in
+      wait ()
+  in
+  let server, thread, conn = start 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close conn;
+      Server.stop server;
+      Thread.join thread)
+    (fun () ->
+      let j =
+        expect_ok "tcp query"
+          (Client.request conn (simple_req ~query:"[i,alpha,_]" Wire.Query))
+      in
+      Alcotest.(check bool) "result over tcp" true
+        (Option.is_some (Json.member "result" j)))
+
+let test_server_overload_response () =
+  (* one worker, one queue slot; jam the worker with a slow governed query
+     from one connection while poking more queries in from others. At least
+     one of the extra requests must be refused with [overloaded]. *)
+  let limits = { Wire.default_limits with max_deadline_ms = Some 400.0 } in
+  with_server ~limits (fun _server connect ->
+      (* NB: with_server uses workers:2 queue:8, so saturate with many
+         concurrent slow queries: 10 connections each sending a heavy
+         starred query. *)
+      let heavy = "([_,alpha,_] | [_,beta,_])* . ([_,alpha,_] | [_,beta,_])*" in
+      let conns = List.init 12 (fun _ -> connect ()) in
+      Fun.protect
+        ~finally:(fun () -> List.iter Client.close conns)
+        (fun () ->
+          let codes = Mutex.create () in
+          let overloaded = ref 0 and answered = ref 0 in
+          let threads =
+            List.map
+              (fun conn ->
+                Thread.create
+                  (fun () ->
+                    match
+                      Client.request conn
+                        (simple_req ~query:heavy
+                           ~options:
+                             {
+                               Wire.default_options with
+                               deadline_ms = Some 400.0;
+                             }
+                           Wire.Query)
+                    with
+                    | Error _ -> ()
+                    | Ok j ->
+                      Mutex.lock codes;
+                      incr answered;
+                      (match
+                         Option.bind (Json.member "error" j) (fun e ->
+                             Option.bind (Json.member "code" e)
+                               Json.to_string_opt)
+                       with
+                      | Some "overloaded" -> incr overloaded
+                      | _ -> ());
+                      Mutex.unlock codes)
+                  ())
+              conns
+          in
+          List.iter Thread.join threads;
+          Alcotest.(check int) "every client got an answer" 12 !answered;
+          (* 12 concurrent jobs vs 2 workers + 8 queue slots: at least two
+             must have been shed *)
+          Alcotest.(check bool)
+            (Printf.sprintf "some requests shed (%d overloaded)" !overloaded)
+            true (!overloaded >= 1)))
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "decode" `Quick test_wire_decode;
+          Alcotest.test_case "decode errors" `Quick test_wire_decode_errors;
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "clamp" `Quick test_wire_clamp;
+          Alcotest.test_case "responses" `Quick test_wire_responses;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs jobs" `Quick test_pool_runs_jobs;
+          Alcotest.test_case "overload" `Quick test_pool_overload;
+          Alcotest.test_case "shutdown drains" `Quick test_pool_shutdown_drains;
+          Alcotest.test_case "survives raising job" `Quick
+            test_pool_survives_raising_job;
+          Alcotest.test_case "rejects bad geometry" `Quick
+            test_pool_rejects_bad_geometry;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "freezes a copy" `Quick test_snapshot_freezes_copy;
+          Alcotest.test_case "queryable" `Quick test_snapshot_queryable;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "domains agree" `Quick
+            test_concurrent_domains_agree;
+          qcheck_concurrent_snapshot_sound;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_server_roundtrip;
+          Alcotest.test_case "clamps options" `Quick test_server_clamps_options;
+          Alcotest.test_case "shutdown verb" `Quick test_server_shutdown_verb;
+          Alcotest.test_case "bad request line" `Quick
+            test_server_bad_request_line;
+          Alcotest.test_case "tcp roundtrip" `Quick test_server_tcp_roundtrip;
+          Alcotest.test_case "overload" `Quick test_server_overload_response;
+        ] );
+    ]
