@@ -7,7 +7,7 @@
    arguments to execute everything at the default scale; pass experiment
    names (fig1, micro, join-vs-product, traversals, recognizers, generators,
    counting, label-regex, optimizer, semirings, projection, views,
-   label-loss, guardrails, serve) to select, and "--full" for larger sweeps. Pass "--json FILE"
+   label-loss, guardrails, serve, journal) to select, and "--full" for larger sweeps. Pass "--json FILE"
    to also write a machine-readable run summary (schema mrpa.bench/1):
    per-experiment wall time plus engine execution profiles for a fixed set
    of representative queries. *)
@@ -1043,6 +1043,8 @@ let exp_serve ~full =
         workers;
         queue_capacity = 64;
         limits = Wire.default_limits;
+        idle_timeout_ms = None;
+        max_request_bytes = Server.default_max_request_bytes;
       }
     in
     let server = Server.create config snap in
@@ -1117,6 +1119,83 @@ let exp_serve ~full =
     ~header:[ "workers"; "clients"; "requests"; "p50 ms"; "p95 ms"; "qps" ]
     rows
 
+(* --- EXP-T14: journal v2 framing overhead ----------------------------------- *)
+
+(* Rows recorded by exp_journal for the --json summary ("journal" section
+   of mrpa.bench/1); empty when the experiment was not selected. *)
+let journal_rows : string list ref = ref []
+
+let exp_journal ~full =
+  section "EXP-T14 (journal formats)"
+    "Append cost of the checksummed v2 journal format against the legacy\n\
+     v1 format, measured end to end: graph mutation, record framing (seq +\n\
+     CRC-32 in v2), and the write(2) to the log file. Durability should be\n\
+     nearly free — the acceptance target is < 15% overhead per append.";
+  let n = if full then 200_000 else 50_000 in
+  let reps = 3 in
+  let run_once version =
+    let path = Filename.temp_file "mrpa_bench_journal" ".log" in
+    Sys.remove path;
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun p -> if Sys.file_exists p then Sys.remove p)
+          [ path; path ^ ".compact" ])
+      (fun () ->
+        (* A file whose first record is a bare v1 line stays v1; a fresh
+           file starts v2 — that is the only knob selecting the format. *)
+        (if version = Journal.V1 then begin
+           let oc = open_out_bin path in
+           output_string oc "vertex\tseed\n";
+           close_out oc
+         end);
+        let g = Digraph.create () in
+        let j = Journal.attach ~on_warning:ignore g path in
+        assert (Journal.format_version j = version);
+        let t0 = Metrics.now_ns () in
+        for i = 0 to n - 1 do
+          ignore (Digraph.add g (Printf.sprintf "v%d" i) "r" "hub")
+        done;
+        let elapsed = Int64.to_float (Metrics.elapsed_ns ~since:t0) in
+        let bytes = (Unix.stat path).Unix.st_size in
+        Journal.close j;
+        (elapsed /. float_of_int n, bytes))
+  in
+  (* min-of-reps: allocator and page-cache noise only ever adds time. *)
+  let best version =
+    List.fold_left
+      (fun (bt, _) _ ->
+        let t, b = run_once version in
+        (min bt t, b))
+      (run_once version) (List.init (reps - 1) Fun.id)
+  in
+  let v1_ns, v1_bytes = best Journal.V1 in
+  let v2_ns, v2_bytes = best Journal.V2 in
+  let overhead = 100.0 *. ((v2_ns /. v1_ns) -. 1.0) in
+  journal_rows :=
+    [
+      Printf.sprintf
+        "{\"format\":\"v1\",\"appends\":%d,\"ns_per_append\":%.1f,\"bytes\":%d}" n
+        v1_ns v1_bytes;
+      Printf.sprintf
+        "{\"format\":\"v2\",\"appends\":%d,\"ns_per_append\":%.1f,\"bytes\":%d,\"overhead_pct\":%.1f}"
+        n v2_ns v2_bytes overhead;
+    ];
+  print_table
+    ~title:
+      (Printf.sprintf "%d appends per run, best of %d runs (target < 15%%)" n
+         reps)
+    ~header:[ "format"; "ns/append"; "file bytes"; "overhead" ]
+    [
+      [ "v1"; Printf.sprintf "%.0f" v1_ns; string_of_int v1_bytes; "-" ];
+      [
+        "v2";
+        Printf.sprintf "%.0f" v2_ns;
+        string_of_int v2_bytes;
+        Printf.sprintf "%+.1f%%" overhead;
+      ];
+    ]
+
 (* --- Machine-readable summary (--json) ---------------------------------------- *)
 
 (* A fixed set of representative engine runs whose mrpa.profile/1 documents
@@ -1175,10 +1254,11 @@ let bench_json ~full ~timings =
          (bench_profiles ()))
   in
   let serve = String.concat "," (List.rev !serve_rows) in
+  let journal = String.concat "," !journal_rows in
   Printf.sprintf
-    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"profiles\":[%s]}"
+    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"journal\":[%s],\"profiles\":[%s]}"
     (esc (if full then "full" else "default"))
-    experiments serve profiles
+    experiments serve journal profiles
 
 (* --- Driver ------------------------------------------------------------------ *)
 
@@ -1200,6 +1280,7 @@ let experiments =
     ("label-loss", exp_label_loss);
     ("guardrails", exp_guardrails);
     ("serve", exp_serve);
+    ("journal", exp_journal);
   ]
 
 let () =

@@ -1038,8 +1038,29 @@ let serve_cmd =
       & info [ "max-length" ] ~docv:"N"
           ~doc:"Ceiling on the star-unrolling bound clients may request.")
   in
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Close a connection that fails to deliver a complete request \
+             line within $(docv) (answered with an idle_timeout wire \
+             error). Covers both silent idle connections and slow-drip \
+             clients. Unset: wait forever.")
+  in
+  let max_request_bytes_arg =
+    Arg.(
+      value
+      & opt int Mrpa_server.Server.default_max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Reject request lines longer than $(docv) with a \
+             request_too_large wire error and close the connection.")
+  in
   let run graph socket port host workers queue max_deadline_ms max_fuel
-      max_paths_cap max_limit max_length_cap =
+      max_paths_cap max_limit max_length_cap idle_timeout_ms max_request_bytes
+      =
     let endpoint = endpoint_of_flags ~socket ~port ~host in
     let snapshot =
       try Mrpa_server.Snapshot.load graph with
@@ -1061,6 +1082,8 @@ let serve_cmd =
             max_limit;
             max_length_cap;
           };
+        idle_timeout_ms;
+        max_request_bytes;
       }
     in
     let server =
@@ -1098,7 +1121,8 @@ let serve_cmd =
     Term.(
       const run $ graph_flag $ socket_arg $ port_arg $ host_arg $ workers_arg
       $ queue_arg $ max_deadline_arg $ max_fuel_arg $ max_paths_cap_arg
-      $ max_limit_arg $ max_length_cap_arg)
+      $ max_limit_arg $ max_length_cap_arg $ idle_timeout_arg
+      $ max_request_bytes_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1134,8 +1158,25 @@ let call_cmd =
       & info [ "count" ]
           ~doc:"Use the counting engine (no path set is materialised).")
   in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry up to $(docv) extra times on a refused/absent endpoint \
+             or an overloaded response, with exponential backoff and full \
+             jitter between attempts. 0 (the default) tries exactly once.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 100.0
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Base of the backoff window: retry $(i,k) sleeps between \
+             $(docv)*2^k/2 and $(docv)*2^k milliseconds (capped at 10s).")
+  in
   let run socket port host query_opt ping stats shutdown count strategy limit
-      max_length simple deadline_ms fuel max_paths =
+      max_length simple deadline_ms fuel max_paths retries backoff_ms =
     let endpoint = endpoint_of_flags ~socket ~port ~host in
     let module S = Mrpa_server in
     let verb =
@@ -1175,11 +1216,8 @@ let call_cmd =
           };
       }
     in
-    let conn = or_die (S.Client.connect endpoint) in
-    let line =
-      or_die (S.Client.request_raw conn (S.Wire.encode_request request))
-    in
-    S.Client.close conn;
+    let policy = { S.Client.retries = max 0 retries; backoff_ms } in
+    let line = or_die (S.Client.request_retry ~policy endpoint request) in
     (* Print the response verbatim (it is already one JSON line), then turn
        its verdict into the standard exit-code policy. *)
     print_endline line;
@@ -1209,7 +1247,7 @@ let call_cmd =
       const run $ socket_arg $ port_arg $ host_arg $ query_pos_opt $ ping_flag
       $ stats_flag $ shutdown_flag $ call_count_flag $ strategy_arg
       $ limit_arg $ max_length_arg $ simple_arg $ deadline_arg $ fuel_arg
-      $ max_paths_arg)
+      $ max_paths_arg $ retries_arg $ backoff_arg)
   in
   Cmd.v
     (Cmd.info "call"
@@ -1217,6 +1255,75 @@ let call_cmd =
          "Send one mrpa.wire/1 request to a running `mrpa serve` and print \
           the response line. Exits 0 on a complete result, 3 on a partial \
           one (budget or limit), 1 on any error response.")
+    term
+
+(* --- fsck --------------------------------------------------------------------------- *)
+
+let fsck_cmd =
+  let journal_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL" ~doc:"Path of the change journal to check.")
+  in
+  let repair_flag =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Rewrite the journal from the salvageable records (atomically, \
+             always as v2) instead of only reporting. Clean journals are \
+             left untouched.")
+  in
+  let run path repair =
+    match Journal.recover path with
+    | Error msg ->
+      (* Unreadable file or unsupported format: nothing to salvage. *)
+      Printf.eprintf "mrpa fsck: %s: %s\n" path msg;
+      exit Mrpa_engine.Err.exit_user_error
+    | Ok r ->
+      let fmt =
+        match r.Journal.format with Journal.V1 -> "v1" | Journal.V2 -> "v2"
+      in
+      List.iter
+        (fun c ->
+          Printf.printf "mrpa fsck: %s: %s\n" path
+            (Journal.describe_corruption c))
+        r.Journal.corruptions;
+      (match r.Journal.stale_tmp with
+      | Some tmp ->
+        Printf.printf "mrpa fsck: %s: stale compaction tmp %s\n" path tmp
+      | None -> ());
+      if Journal.is_clean r then begin
+        Printf.printf "mrpa fsck: %s: clean (%s, %d record(s))\n" path fmt
+          r.Journal.applied;
+        exit Mrpa_engine.Err.exit_ok
+      end
+      else if repair then begin
+        Journal.repair r;
+        Printf.printf "mrpa fsck: %s: repaired (%d record(s) kept, now v2)\n"
+          path r.Journal.applied;
+        exit Mrpa_engine.Err.exit_partial
+      end
+      else begin
+        Printf.printf
+          "mrpa fsck: %s: %d problem(s), %d record(s) salvageable (%s); run \
+           with --repair to rewrite\n"
+          path
+          (List.length r.Journal.corruptions
+          + if r.Journal.stale_tmp = None then 0 else 1)
+          r.Journal.applied fmt;
+        exit Mrpa_engine.Err.exit_user_error
+      end
+  in
+  let term = Term.(const run $ journal_pos $ repair_flag) in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify (and with --repair, rewrite) a change journal: checksum \
+          every record, report torn tails, sequence jumps and malformed or \
+          unappliable records. Exits 0 when clean, 3 after a successful \
+          repair, 1 when problems remain.")
     term
 
 (* --- fig1 --------------------------------------------------------------------------- *)
@@ -1257,6 +1364,7 @@ let () =
         shell_cmd;
         serve_cmd;
         call_cmd;
+        fsck_cmd;
         explain_cmd;
         equiv_cmd;
         recognize_cmd;

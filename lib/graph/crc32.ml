@@ -1,0 +1,45 @@
+(* CRC-32/ISO-HDLC (the zlib/Ethernet polynomial), table-driven.
+
+   The public interface speaks [Int32] — the natural type for a 32-bit
+   digest — but the hot loop runs on native [int]s: OCaml [Int32] values
+   are boxed, and a per-byte loop over boxed arithmetic allocates enough
+   to dominate the journal's append cost. A CRC fits comfortably in the
+   63-bit native int, so we convert only at the boundary. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(* Low 32 bits of an Int32, as a non-negative native int. *)
+let int_of_crc c = Int32.to_int c land 0xFFFFFFFF
+
+let update crc s =
+  let t = Lazy.force table in
+  let c = ref (int_of_crc crc lxor 0xFFFFFFFF) in
+  for i = 0 to String.length s - 1 do
+    c :=
+      Array.unsafe_get t ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+      lxor (!c lsr 8)
+  done;
+  Int32.of_int (!c lxor 0xFFFFFFFF)
+
+let string s = update 0l s
+
+let hex_digits = "0123456789abcdef"
+
+let to_hex c =
+  let v = int_of_crc c in
+  String.init 8 (fun i -> hex_digits.[(v lsr ((7 - i) * 4)) land 0xf])
+
+let is_hex_digit = function
+  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+  | _ -> false
+
+let of_hex s =
+  if String.length s <> 8 || not (String.for_all is_hex_digit s) then None
+  else Int32.of_string_opt ("0x" ^ s)

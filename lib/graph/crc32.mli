@@ -1,0 +1,21 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]) over strings.
+
+    Used by the v2 journal format ({!Journal}) to checksum each appended
+    record so torn writes and bit rot are detected at replay instead of
+    silently corrupting the rebuilt graph. Table-driven; the table is built
+    lazily on first use. The check value of ["123456789"] is
+    [0xCBF43926l]. *)
+
+val string : string -> int32
+(** CRC-32 of a whole string. *)
+
+val update : int32 -> string -> int32
+(** [update crc s] extends a running checksum with [s];
+    [string s = update 0l s]. *)
+
+val to_hex : int32 -> string
+(** Lower-case, zero-padded 8-digit hex rendering (the journal's on-disk
+    form). *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}: exactly 8 hex digits, or [None]. *)

@@ -1,0 +1,72 @@
+type op = Write | Flush | Fsync | Rename | Close
+type mode = Crash | Errno of Unix.error
+
+exception Injected of op * int
+
+let op_name = function
+  | Write -> "write"
+  | Flush -> "flush"
+  | Fsync -> "fsync"
+  | Rename -> "rename"
+  | Close -> "close"
+
+let op_of_name = function
+  | "write" -> Some Write
+  | "flush" -> Some Flush
+  | "fsync" -> Some Fsync
+  | "rename" -> Some Rename
+  | "close" -> Some Close
+  | _ -> None
+
+let idx = function Write -> 0 | Flush -> 1 | Fsync -> 2 | Rename -> 3 | Close -> 4
+
+let counts = Array.make 5 0
+let fault : (op * int * mode) option ref = ref None
+
+let arm ?(mode = Crash) op ~at =
+  if at < 1 then invalid_arg "Io_fault.arm: at < 1";
+  Array.fill counts 0 (Array.length counts) 0;
+  fault := Some (op, at, mode)
+
+let disarm () = fault := None
+let armed () = Option.map (fun (op, at, _) -> (op, at)) !fault
+let op_count op = counts.(idx op)
+
+(* Count this occurrence of [op]; if the armed fault fires, disarm it and
+   return the failure to raise (so [write] can tear the record first). *)
+let fire op =
+  let i = idx op in
+  counts.(i) <- counts.(i) + 1;
+  match !fault with
+  | Some (o, at, mode) when o = op && counts.(i) >= at ->
+    fault := None;
+    Some
+      (match mode with
+      | Crash -> Injected (op, counts.(i))
+      | Errno e -> Unix.Unix_error (e, op_name op, ""))
+  | _ -> None
+
+let write_range fd bytes off len =
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd bytes (off + !written) (len - !written)
+  done
+
+let write fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  match fire Write with
+  | None -> write_range fd bytes 0 len
+  | Some (Injected _ as e) ->
+    (* Torn write: half the record reaches the disk, then the "crash". *)
+    write_range fd bytes 0 (len / 2);
+    raise e
+  | Some e -> raise e
+
+let checked op real =
+  match fire op with None -> real () | Some e -> raise e
+
+let flush () = checked Flush (fun () -> ())
+let fsync fd = checked Fsync (fun () -> Unix.fsync fd)
+let rename src dst = checked Rename (fun () -> Sys.rename src dst)
+let close fd = checked Close (fun () -> Unix.close fd)

@@ -1,0 +1,69 @@
+(** Deterministic I/O fault injection for durability testing.
+
+    The journal ({!Journal}) performs every file-system side effect through
+    this module's instrumented primitives. In production nothing is armed
+    and each primitive is its underlying syscall plus one counter
+    increment. Under test, {!arm} schedules exactly one failure at the
+    [N]-th occurrence of a chosen operation — mirroring the engine's
+    [--inject-fault REASON\@N] budget faults ({!Mrpa_engine.Budget}), but at
+    the I/O layer — which makes every crash point of [append]/[sync]/
+    [compact] reachable deterministically, so a test matrix can prove that
+    {!Journal.recover} restores a prefix-consistent graph from {e any}
+    crash.
+
+    Two failure modes:
+    - {!Crash} simulates the process dying at that point: the primitive
+      raises {!Injected} {e before} completing its effect — except
+      {!write}, which first writes a torn prefix (half the bytes), the
+      realistic shape of a power cut mid-write.
+    - [Errno e] simulates a flaky disk: the primitive raises
+      [Unix.Unix_error (e, _, _)] without performing its effect, which is
+      how the fsync-error accounting of {!Journal.sync} is tested.
+
+    A fault fires once and disarms itself, so recovery code running after
+    the "crash" performs real I/O. Global, not thread-safe: the fault plane
+    is test infrastructure, armed only from single-threaded tests. *)
+
+type op = Write | Flush | Fsync | Rename | Close
+
+type mode =
+  | Crash  (** raise {!Injected}; {!write} tears the record first. *)
+  | Errno of Unix.error  (** raise [Unix.Unix_error] instead. *)
+
+exception Injected of op * int
+(** [(op, n)]: the armed fault fired at the [n]-th occurrence of [op]. *)
+
+val op_name : op -> string
+(** ["write" | "flush" | "fsync" | "rename" | "close"]. *)
+
+val op_of_name : string -> op option
+
+val arm : ?mode:mode -> op -> at:int -> unit
+(** Schedule one failure at the [at]-th ([>= 1]) occurrence of [op],
+    counting from now (arming resets the occurrence counters). At most one
+    fault is armed at a time; re-arming replaces. Default mode {!Crash}. *)
+
+val disarm : unit -> unit
+(** Cancel any armed fault (idempotent; firing also disarms). *)
+
+val armed : unit -> (op * int) option
+
+(** {1 Instrumented primitives} *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write the whole string (looping on short writes). A {!Crash} fault
+    writes only the first half of the bytes before raising — a torn
+    record. *)
+
+val flush : unit -> unit
+(** A pure crash point: application-level buffers would be lost here. The
+    journal writes through an unbuffered fd, so on success this is a
+    no-op; it exists so the classic write/flush/fsync crash windows all
+    appear in the matrix. *)
+
+val fsync : Unix.file_descr -> unit
+val rename : string -> string -> unit
+val close : Unix.file_descr -> unit
+
+val op_count : op -> int
+(** Occurrences of [op] since the last {!arm} (diagnostic). *)

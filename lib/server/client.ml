@@ -4,7 +4,17 @@ type conn = {
   mutable closed : bool;
 }
 
-let connect endpoint =
+(* Connect failures worth retrying: the server is not there *yet* (refused,
+   socket file not created, listen backlog reset) or the network hiccuped.
+   Anything else — bad address, permission — will not get better by
+   waiting. *)
+let retryable_connect_error = function
+  | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.ETIMEDOUT
+  | Unix.EAGAIN ->
+    true
+  | _ -> false
+
+let connect_err endpoint =
   let open_fd () =
     match endpoint with
     | Wire.Unix_socket path ->
@@ -36,10 +46,14 @@ let connect endpoint =
   | fd -> Ok { fd; carry = ""; closed = false }
   | exception Unix.Unix_error (err, _, _) ->
     Error
-      (Printf.sprintf "cannot connect to %s: %s"
-         (Wire.endpoint_to_string endpoint)
-         (Unix.error_message err))
-  | exception Failure msg -> Error msg
+      ( Some err,
+        Printf.sprintf "cannot connect to %s: %s"
+          (Wire.endpoint_to_string endpoint)
+          (Unix.error_message err) )
+  | exception Failure msg -> Error (None, msg)
+
+let connect endpoint =
+  Result.map_error (fun (_, msg) -> msg) (connect_err endpoint)
 
 let write_all fd s =
   let bytes = Bytes.of_string s in
@@ -89,3 +103,67 @@ let close conn =
     conn.closed <- true;
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end
+
+(* --- Retry with backoff -------------------------------------------------- *)
+
+type retry_policy = { retries : int; backoff_ms : float }
+
+let no_retry = { retries = 0; backoff_ms = 100.0 }
+
+(* Full jitter over an exponentially growing window, capped at 10 s:
+   delay in [d/2, d] where d = backoff_ms * 2^attempt. Half the window is
+   deterministic so even rand=0 spreads attempts out; the jittered half
+   desynchronises a thundering herd of clients retrying the same
+   overloaded server. *)
+let backoff_delay_ms ?(rand = Random.float) policy ~attempt =
+  let d = min 10_000.0 (policy.backoff_ms *. (2.0 ** float_of_int attempt)) in
+  (d /. 2.0) +. rand (d /. 2.0)
+
+let overloaded_response json =
+  match Json.member "ok" json with
+  | Some (Json.Bool false) -> (
+    match Option.bind (Json.member "error" json) (Json.member "code") with
+    | Some (Json.String code) ->
+      code = Wire.error_code_name Wire.Overloaded
+    | _ -> false)
+  | _ -> false
+
+(* One fresh connection per attempt: after an [overloaded] answer or a
+   refused connect there is nothing worth keeping on the old socket, and a
+   clean slate means the retry loop needs no per-transport state machine.
+   Returns the raw response line so callers (mrpa call, the cram tests)
+   can echo the server's bytes verbatim. *)
+let request_retry ?(policy = no_retry) ?(sleep = Unix.sleepf) ?rand endpoint
+    req =
+  let wait attempt =
+    sleep (backoff_delay_ms ?rand policy ~attempt /. 1000.0)
+  in
+  let attempts = max 1 (policy.retries + 1) in
+  let rec go attempt =
+    let retry_or final =
+      if attempt + 1 < attempts then begin
+        wait attempt;
+        go (attempt + 1)
+      end
+      else final
+    in
+    match connect_err endpoint with
+    | Error (Some err, msg) when retryable_connect_error err ->
+      retry_or (Error msg)
+    | Error (_, msg) -> Error msg
+    | Ok conn -> (
+      let result = request_raw conn (Wire.encode_request req) in
+      close conn;
+      match result with
+      | Error _ as e -> e
+      | Ok line -> (
+        match Json.parse line with
+        | Error msg -> Error (Printf.sprintf "bad response: %s" msg)
+        | Ok json when overloaded_response json ->
+          (* An [overloaded] response is a valid answer — only replace it
+             with a better one; when attempts run out, hand the last one
+             to the caller as [Ok] so the wire taxonomy is preserved. *)
+          retry_or (Ok line)
+        | Ok _ -> Ok line))
+  in
+  go 0

@@ -21,3 +21,43 @@ val request : conn -> Wire.request -> (Json.t, string) result
 
 val close : conn -> unit
 (** Idempotent. *)
+
+(** {1 Retry with backoff}
+
+    The transient-failure policy behind [mrpa call --retries N
+    --backoff-ms B]. Two failure classes are retried: a {e retryable
+    connect error} (refused, missing socket file, reset, timed out —
+    the server is not there yet) and an [overloaded] wire response (the
+    server is there but shedding load). Everything else — bad address,
+    malformed response, any other wire error — fails or returns
+    immediately; retrying would not change the outcome. *)
+
+type retry_policy = {
+  retries : int;  (** extra attempts after the first; [0] = try once. *)
+  backoff_ms : float;  (** base of the exponential backoff window. *)
+}
+
+val no_retry : retry_policy
+(** [{retries = 0; backoff_ms = 100.0}] — single attempt, the historical
+    behaviour. *)
+
+val backoff_delay_ms :
+  ?rand:(float -> float) -> retry_policy -> attempt:int -> float
+(** Delay before retry number [attempt] (0-based): full jitter in
+    [[d/2, d]] where [d = backoff_ms * 2^attempt], capped at 10 s.
+    [rand] (default [Random.float]) is injectable so tests are
+    deterministic. *)
+
+val request_retry :
+  ?policy:retry_policy ->
+  ?sleep:(float -> unit) ->
+  ?rand:(float -> float) ->
+  Wire.endpoint ->
+  Wire.request ->
+  (string, string) result
+(** Connect, send one request, read one response — retrying per [policy]
+    with a fresh connection each attempt. [Ok] is the raw response line,
+    byte-for-byte as the server sent it. When every attempt answers
+    [overloaded], the last such response is returned as [Ok] (it {e is} a
+    well-formed wire answer); when every connect fails retryably, the last
+    rendered reason is the [Error]. [sleep] is injectable for tests. *)

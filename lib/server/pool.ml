@@ -1,3 +1,5 @@
+exception Fatal of string
+
 type t = {
   queue : (unit -> unit) Queue.t;
   capacity : int;
@@ -6,6 +8,7 @@ type t = {
   mutable stopping : bool;
   mutable running : int;
   mutable errors : int;
+  mutable restarts : int;
   mutable threads : Thread.t list;
 }
 
@@ -15,7 +18,9 @@ let with_lock t f =
 
 (* Workers block on [nonempty] until there is a job or the pool is
    stopping; on stop they finish draining the queue before exiting, which
-   is what makes [shutdown] graceful. *)
+   is what makes [shutdown] graceful. A job that raises [Fatal] kills its
+   worker (after the running count is restored) — the supervisor below
+   restarts a replacement. *)
 let worker_loop t =
   let rec next () =
     Mutex.lock t.lock;
@@ -31,18 +36,39 @@ let worker_loop t =
       let job = Queue.pop t.queue in
       t.running <- t.running + 1;
       Mutex.unlock t.lock;
-      (try job ()
-       with _ ->
-         Mutex.lock t.lock;
-         t.errors <- t.errors + 1;
-         Mutex.unlock t.lock);
+      let fatal =
+        match job () with
+        | () -> None
+        | exception (Fatal _ as f) -> Some f
+        | exception _ ->
+          Mutex.lock t.lock;
+          t.errors <- t.errors + 1;
+          Mutex.unlock t.lock;
+          None
+      in
       Mutex.lock t.lock;
       t.running <- t.running - 1;
+      (match fatal with Some _ -> t.errors <- t.errors + 1 | None -> ());
       Mutex.unlock t.lock;
-      next ()
+      match fatal with Some f -> raise f | None -> next ()
     end
   in
   next ()
+
+(* Supervision: a worker must never silently shrink the pool. If the loop
+   exits abnormally, spawn a replacement (unless the pool is stopping —
+   then dying is just a noisy way of draining) and count the restart. The
+   spawn and the bookkeeping happen under one lock section so [shutdown]
+   either sees the replacement in [threads] (and joins it) or has already
+   set [stopping] (and no replacement is made). *)
+let rec worker_main t () =
+  try worker_loop t
+  with _ ->
+    with_lock t (fun () ->
+        if not t.stopping then begin
+          t.restarts <- t.restarts + 1;
+          t.threads <- Thread.create (worker_main t) () :: t.threads
+        end)
 
 let create ~workers ~queue_capacity =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
@@ -57,10 +83,11 @@ let create ~workers ~queue_capacity =
       stopping = false;
       running = 0;
       errors = 0;
+      restarts = 0;
       threads = [];
     }
   in
-  t.threads <- List.init workers (fun _ -> Thread.create worker_loop t);
+  t.threads <- List.init workers (fun _ -> Thread.create (worker_main t) ());
   t
 
 let submit t job =
@@ -75,6 +102,7 @@ let submit t job =
 let queued t = with_lock t (fun () -> Queue.length t.queue)
 let running t = with_lock t (fun () -> t.running)
 let job_errors t = with_lock t (fun () -> t.errors)
+let restarts t = with_lock t (fun () -> t.restarts)
 
 let shutdown t =
   let threads =

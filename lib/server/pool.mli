@@ -11,6 +11,14 @@
     workers, drained for {!shutdown}); jobs run outside the lock. A job
     that raises is swallowed (the exception is recorded as a counter, the
     worker survives) — jobs are expected to do their own error reporting.
+    The one exception is {!Fatal}: a job raising it kills its worker.
+
+    {b Supervision.} A worker whose loop exits abnormally (a {!Fatal} job,
+    or a bug in the handoff itself) is restarted by the pool: the dying
+    thread spawns its replacement under the pool lock — so {!shutdown}
+    either joins the replacement or has already refused it — and the event
+    is counted in {!restarts}, which the server surfaces as the
+    [server.worker_restarts] stat. The pool never silently shrinks.
 
     {!shutdown} is graceful by construction: producers are refused first,
     the already-queued jobs still run, and the call returns only when every
@@ -19,6 +27,12 @@
     of every running query, which aborts them at their next checkpoint. *)
 
 type t
+
+exception Fatal of string
+(** A job that raises [Fatal] declares its worker's state unrecoverable:
+    the worker dies (counted in both {!job_errors} and {!restarts}) and the
+    supervisor spawns a replacement. Any other exception is swallowed.
+    Also the chaos hook the supervision tests use. *)
 
 val create : workers:int -> queue_capacity:int -> t
 (** Spawn [workers] threads ([>= 1]) over a queue of at most
@@ -37,7 +51,11 @@ val running : t -> int
 (** Jobs currently executing. *)
 
 val job_errors : t -> int
-(** Jobs whose thunk raised (diagnostic; the workers survived). *)
+(** Jobs whose thunk raised (diagnostic; the workers survived — except for
+    {!Fatal}, which also counts here). *)
+
+val restarts : t -> int
+(** Workers that died and were replaced by the supervisor. *)
 
 val shutdown : t -> unit
 (** Refuse new submissions, run every already-queued job, then join all

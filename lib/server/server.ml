@@ -6,7 +6,11 @@ type config = {
   workers : int;
   queue_capacity : int;
   limits : Wire.limits;
+  idle_timeout_ms : float option;
+  max_request_bytes : int;
 }
+
+let default_max_request_bytes = 1_048_576
 
 type t = {
   config : config;
@@ -92,25 +96,48 @@ let write_all fd s =
 
 let write_line fd line = write_all fd (line ^ "\n")
 
-(* Stop-aware buffered line reader. [carry] holds bytes read past the last
-   newline. Returns [None] on EOF, connection error, or server stop. *)
+(* Stop-aware buffered line reader with two hardening bounds.
+
+   [carry] holds bytes read past the last newline. [Timed_out] fires when
+   no complete request line arrives within the idle deadline — one clock
+   covers both the idle connection and the slowloris drip-feeder, since
+   what matters is time-to-a-complete-line, not time-between-bytes.
+   [Too_long] fires as soon as the (partial or complete) line exceeds the
+   byte cap, so a hostile client can make us buffer at most
+   [max_request_bytes + one chunk], never an unbounded heap. *)
+type read_outcome = Line of string | Eof | Timed_out | Too_long
+
 let read_line_stop t fd carry =
+  let cap = t.config.max_request_bytes in
+  let deadline =
+    Option.map
+      (fun ms -> Int64.add (Metrics.now_ns ()) (Int64.of_float (ms *. 1e6)))
+      t.config.idle_timeout_ms
+  in
   let take_line () =
     match String.index_opt !carry '\n' with
-    | None -> None
+    | None -> if String.length !carry > cap then Some Too_long else None
+    | Some i when i > cap -> Some Too_long
     | Some i ->
       let line = String.sub !carry 0 i in
       carry := String.sub !carry (i + 1) (String.length !carry - i - 1);
-      Some (if String.length line > 0 && line.[String.length line - 1] = '\r'
+      Some
+        (Line
+           (if String.length line > 0 && line.[String.length line - 1] = '\r'
             then String.sub line 0 (String.length line - 1)
-            else line)
+            else line))
   in
   let chunk = Bytes.create 4096 in
   let rec loop () =
     match take_line () with
-    | Some line -> Some line
+    | Some outcome -> outcome
     | None ->
-      if Atomic.get t.stopping then None
+      if Atomic.get t.stopping then Eof
+      else if
+        match deadline with
+        | Some d -> Int64.compare (Metrics.now_ns ()) d >= 0
+        | None -> false
+      then Timed_out
       else begin
         match Unix.select [ fd ] [] [] poll_interval_s with
         | [], _, _ -> loop ()
@@ -118,18 +145,18 @@ let read_line_stop t fd carry =
           match Unix.read fd chunk 0 (Bytes.length chunk) with
           | 0 ->
             (* EOF: serve a final unterminated line if one is pending. *)
-            if !carry = "" then None
+            if !carry = "" then Eof
             else begin
               let line = !carry in
               carry := "";
-              Some line
+              if String.length line > cap then Too_long else Line line
             end
           | n ->
             carry := !carry ^ Bytes.sub_string chunk 0 n;
             loop ()
           | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
             loop ()
-          | exception Unix.Unix_error _ -> None)
+          | exception Unix.Unix_error _ -> Eof)
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       end
   in
@@ -189,6 +216,8 @@ let stats_response t req =
         Metrics.set t.metrics "server.queue_capacity" t.config.queue_capacity;
         Metrics.set t.metrics "server.queued" (Pool.queued t.pool);
         Metrics.set t.metrics "server.running" (Pool.running t.pool);
+        Metrics.set t.metrics "server.job_errors" (Pool.job_errors t.pool);
+        Metrics.set t.metrics "server.worker_restarts" (Pool.restarts t.pool);
         Metrics.set t.metrics "server.uptime_ms"
           (int_of_float
              (Metrics.ns_to_ms (Metrics.elapsed_ns ~since:t.started_ns)));
@@ -261,11 +290,28 @@ let handle_request t line =
 
 let session t fd =
   let carry = ref "" in
+  (* Best-effort farewell: the connection is being torn down anyway, so a
+     client that already vanished must not turn the diagnostic into a
+     crash. *)
+  let say_goodbye code message =
+    try write_line fd (Wire.response_error ~id:Json.Null ~code message)
+    with Unix.Unix_error _ -> ()
+  in
   let rec loop () =
     match read_line_stop t fd carry with
-    | None -> ()
-    | Some line when String.trim line = "" -> loop ()
-    | Some line ->
+    | Eof -> ()
+    | Timed_out ->
+      m_incr t "server.idle_timeouts";
+      say_goodbye Wire.Idle_timeout
+        (Printf.sprintf "no complete request within %.0f ms; closing"
+           (Option.value ~default:0.0 t.config.idle_timeout_ms))
+    | Too_long ->
+      m_incr t "server.oversized_requests";
+      say_goodbye Wire.Request_too_large
+        (Printf.sprintf "request line exceeds %d bytes; closing"
+           t.config.max_request_bytes)
+    | Line line when String.trim line = "" -> loop ()
+    | Line line ->
       let response, shutdown_after = handle_request t line in
       (match write_line fd response with
       | () ->

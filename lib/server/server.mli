@@ -28,6 +28,17 @@
     - {b Metrics} — one server-wide {!Mrpa_engine.Metrics.t} behind a
       mutex (the collector itself is single-threaded by contract),
       surfaced by the [stats] verb.
+    - {b Hardening} — each session enforces two read bounds. A connection
+      that fails to deliver a {e complete} request line within
+      [idle_timeout_ms] is answered with an [idle_timeout] wire error and
+      closed; because the clock measures time-to-a-complete-line, it
+      defeats both the silent idle connection and the slowloris client
+      that drips one byte per poll. A request line exceeding
+      [max_request_bytes] is answered with [request_too_large] and the
+      connection is closed (framing past an oversized line cannot be
+      trusted). Both events are counted ([server.idle_timeouts],
+      [server.oversized_requests]) and worker deaths restarted by the
+      {!Pool} supervisor appear as [server.worker_restarts] in [stats].
 
     Shutdown (a [shutdown] request, or {!stop} from a signal handler)
     drains gracefully: stop accepting, cancel in-flight budgets, let the
@@ -40,7 +51,17 @@ type config = {
   workers : int;  (** worker-pool size [K >= 1]. *)
   queue_capacity : int;  (** bounded job queue [>= 1]. *)
   limits : Wire.limits;  (** server-side option ceilings. *)
+  idle_timeout_ms : float option;
+      (** close a connection that produces no complete request line within
+          this window; [None] waits forever (the pre-hardening default). *)
+  max_request_bytes : int;
+      (** reject request lines longer than this; see
+          {!default_max_request_bytes}. *)
 }
+
+val default_max_request_bytes : int
+(** 1 MiB — far above any legitimate [mrpa.wire/1] request, far below a
+    heap-exhaustion payload. *)
 
 type t
 

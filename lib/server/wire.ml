@@ -222,6 +222,8 @@ type error_code =
   | Overloaded
   | Shutting_down
   | Internal
+  | Request_too_large
+  | Idle_timeout
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -229,6 +231,8 @@ let error_code_name = function
   | Overloaded -> "overloaded"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
+  | Request_too_large -> "request_too_large"
+  | Idle_timeout -> "idle_timeout"
 
 let esc = Metrics.escape_string
 

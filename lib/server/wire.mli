@@ -115,6 +115,12 @@ type error_code =
   | Overloaded  (** the job queue is full; retry later. *)
   | Shutting_down  (** the server is draining. *)
   | Internal  (** a bug: unexpected exception while serving. *)
+  | Request_too_large
+      (** the request line exceeded the server's byte cap; the connection
+          is closed after this response (framing cannot be trusted). *)
+  | Idle_timeout
+      (** no complete request line arrived within the idle deadline; sent
+          best-effort, then the connection is closed. *)
 
 val error_code_name : error_code -> string
 

@@ -1,0 +1,78 @@
+mrpa fsck: offline journal integrity checking and repair. Exit codes
+follow the documented contract: 0 = clean, 1 = unrecoverable problems
+found (or not a journal at all), 3 = problems found and repaired.
+
+A clean legacy v1 journal — no header, raw mutation lines:
+
+  $ printf 'add\ta\tr\tb\nadd\tb\tr\tc\n' > clean.log
+  $ ../bin/mrpa.exe fsck clean.log
+  mrpa fsck: clean.log: clean (v1, 2 record(s))
+
+A torn tail — the process died mid-write, leaving a partial final
+record. fsck reports the damage and exits 1; the intact prefix is
+salvageable:
+
+  $ printf 'add\ta\tr\tb\nadd\tb\tr' > torn.log
+  $ ../bin/mrpa.exe fsck torn.log
+  mrpa fsck: torn.log: torn tail: 7 trailing byte(s) dropped at offset 10
+  mrpa fsck: torn.log: 1 problem(s), 1 record(s) salvageable (v1); run with --repair to rewrite
+  [1]
+
+--repair rewrites the journal atomically, keeping the salvageable
+prefix and upgrading it to the checksummed v2 format. Exit 3 signals
+"was broken, now fixed":
+
+  $ ../bin/mrpa.exe fsck --repair torn.log
+  mrpa fsck: torn.log: torn tail: 7 trailing byte(s) dropped at offset 10
+  mrpa fsck: torn.log: repaired (1 record(s) kept, now v2)
+  [3]
+  $ ../bin/mrpa.exe fsck torn.log
+  mrpa fsck: torn.log: clean (v2, 1 record(s))
+  $ cat torn.log
+  #mrpa.journal/2
+  1	c5681a16	add	a	r	b
+
+v2 records carry a CRC-32 of their sequence number and payload, so a
+flipped byte is detected rather than silently replayed:
+
+  $ sed 's/add\ta\tr\tb/add\ta\tr\tc/' torn.log > bad.log
+  $ ../bin/mrpa.exe fsck bad.log
+  mrpa fsck: bad.log: line 2: checksum mismatch (record skipped)
+  mrpa fsck: bad.log: 1 problem(s), 0 record(s) salvageable (v2); run with --repair to rewrite
+  [1]
+
+A record that parses but cannot be applied (deleting an edge of a
+vertex the replayed graph never saw) is reported as unapplied:
+
+  $ printf 'del\tghost\tr\tx\nadd\ta\tr\tb\n' > unapp.log
+  $ ../bin/mrpa.exe fsck unapp.log
+  mrpa fsck: unapp.log: line 1: deletes unknown vertex "x" (skipped)
+  mrpa fsck: unapp.log: 1 problem(s), 1 record(s) salvageable (v1); run with --repair to rewrite
+  [1]
+
+A leftover compaction temp file means a compaction crashed after the
+new journal was in place but before cleanup; fsck flags it and
+--repair removes it:
+
+  $ printf 'add\ta\tr\tb\n' > stale.log
+  $ touch stale.log.compact
+  $ ../bin/mrpa.exe fsck stale.log
+  mrpa fsck: stale.log: stale compaction tmp stale.log.compact
+  mrpa fsck: stale.log: 1 problem(s), 1 record(s) salvageable (v1); run with --repair to rewrite
+  [1]
+  $ ../bin/mrpa.exe fsck --repair stale.log
+  mrpa fsck: stale.log: stale compaction tmp stale.log.compact
+  mrpa fsck: stale.log: repaired (1 record(s) kept, now v2)
+  [3]
+  $ test -e stale.log.compact || echo tmp removed
+  tmp removed
+
+Journals from the future are refused outright, as is a missing path:
+
+  $ printf '#mrpa.journal/9\n' > fut.log
+  $ ../bin/mrpa.exe fsck fut.log
+  mrpa fsck: fut.log: fut.log: unsupported journal format "#mrpa.journal/9"
+  [1]
+  $ ../bin/mrpa.exe fsck missing.log
+  mrpa fsck: missing.log: missing.log: no such journal
+  [1]

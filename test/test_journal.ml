@@ -1,0 +1,681 @@
+(* Durability tests: CRC framing, v1 compatibility, torn tails, the
+   recover/repair salvage path, and — via the {!Io_fault} plane — a
+   deterministic crash-point matrix proving that every injected crash
+   leaves a journal that recovers to a prefix of the applied mutations. *)
+
+open Mrpa_graph
+module H = Helpers
+
+(* --- Infrastructure ------------------------------------------------------ *)
+
+let with_tmp_journal f =
+  let path = Filename.temp_file "mrpa_journal" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      Io_fault.disarm ();
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".compact"; path ^ ".repair" ])
+    (fun () -> f path)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Naive substring search; fine at test sizes. *)
+let index_of haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub haystack i m = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains haystack needle = index_of haystack needle <> None
+
+(* Name-level signature of a graph, for equality across distinct graph
+   values (interned ids differ between replays). *)
+let graph_sig g =
+  let name_of e =
+    ( Digraph.vertex_name g (Edge.tail e),
+      Digraph.label_name g (Edge.label e),
+      Digraph.vertex_name g (Edge.head e) )
+  in
+  ( List.sort compare (List.map (Digraph.vertex_name g) (Digraph.vertices g)),
+    List.sort compare (List.map name_of (Digraph.edges g)) )
+
+let check_same_graph msg expected actual =
+  Alcotest.(check (pair (list string) (list (triple string string string))))
+    msg (graph_sig expected) (graph_sig actual)
+
+(* --- CRC-32 -------------------------------------------------------------- *)
+
+let test_crc32_vector () =
+  (* The catalogue check value for CRC-32/ISO-HDLC. *)
+  Alcotest.(check int32)
+    "123456789" 0xCBF43926l
+    (Crc32.string "123456789");
+  Alcotest.(check string) "hex" "cbf43926" (Crc32.to_hex 0xCBF43926l);
+  Alcotest.(check (option int32))
+    "of_hex roundtrip" (Some 0xCBF43926l) (Crc32.of_hex "cbf43926");
+  Alcotest.(check (option int32)) "of_hex rejects junk" None (Crc32.of_hex "xyz");
+  Alcotest.(check (option int32))
+    "of_hex rejects short" None (Crc32.of_hex "cbf439");
+  (* Incremental update must agree with the one-shot digest. *)
+  let a = Crc32.update (Crc32.string "1234") "56789" in
+  Alcotest.(check int32) "incremental" (Crc32.string "123456789") a;
+  Alcotest.(check int32) "empty" 0l (Crc32.string "")
+
+(* --- v2 format ----------------------------------------------------------- *)
+
+let test_v2_new_journal_has_header () =
+  with_tmp_journal (fun path ->
+      let g = Digraph.create () in
+      let j = Journal.attach g path in
+      Alcotest.(check bool)
+        "fresh journal is v2" true
+        (Journal.format_version j = Journal.V2);
+      ignore (Digraph.add g "a" "r" "b");
+      Journal.close j;
+      let content = read_file path in
+      Alcotest.(check bool)
+        "header first" true
+        (String.starts_with ~prefix:"#mrpa.journal/2\n" content);
+      (* One framed record: SEQ\tCRC\tPAYLOAD. *)
+      Alcotest.(check bool)
+        "framed record" true
+        (let lines = String.split_on_char '\n' content in
+         match lines with
+         | _ :: record :: _ -> String.starts_with ~prefix:"1\t" record
+         | _ -> false);
+      let h = Journal.replay path in
+      Alcotest.(check int) "replays" 1 (Digraph.n_edges h))
+
+let test_v2_sequence_continues_across_reopen () =
+  with_tmp_journal (fun path ->
+      let g = Digraph.create () in
+      let j = Journal.attach g path in
+      ignore (Digraph.add g "a" "r" "b");
+      ignore (Digraph.add g "b" "r" "c");
+      Journal.close j;
+      let g2 = Digraph.create () in
+      let j2 = Journal.attach g2 path in
+      ignore (Digraph.add g2 "c" "r" "d");
+      Journal.close j2;
+      (* The third record must carry sequence number 3, not restart at 1 —
+         that is what lets recovery detect lost records across reopens. *)
+      let lines =
+        String.split_on_char '\n' (String.trim (read_file path))
+      in
+      match List.rev lines with
+      | last :: _ ->
+        Alcotest.(check bool)
+          "third record has seq 3" true
+          (String.starts_with ~prefix:"3\t" last)
+      | [] -> Alcotest.fail "journal is empty")
+
+let test_v1_read_compat_and_upgrade () =
+  with_tmp_journal (fun path ->
+      write_file path "add\ta\tr\tb\nadd\tb\tr\tc\n";
+      (* v1 logs replay... *)
+      let h = Journal.replay path in
+      Alcotest.(check int) "v1 replays" 2 (Digraph.n_edges h);
+      (* ...and an attached journal keeps appending v1 ... *)
+      let g = Digraph.create () in
+      let j = Journal.attach g path in
+      Alcotest.(check bool)
+        "stays v1" true
+        (Journal.format_version j = Journal.V1);
+      ignore (Digraph.add g "c" "r" "d");
+      Alcotest.(check bool)
+        "appended line is bare v1" true
+        (String.ends_with ~suffix:"add\tc\tr\td\n" (read_file path));
+      (* ...until compaction, which is the upgrade path. *)
+      Journal.compact j;
+      Alcotest.(check bool)
+        "compacted to v2" true
+        (Journal.format_version j = Journal.V2);
+      Alcotest.(check bool)
+        "v2 header on disk" true
+        (String.starts_with ~prefix:"#mrpa.journal/2\n" (read_file path));
+      ignore (Digraph.add g "d" "r" "e");
+      Journal.close j;
+      let h2 = Journal.replay path in
+      check_same_graph "upgrade preserves state" g h2)
+
+let test_unsupported_version_rejected () =
+  with_tmp_journal (fun path ->
+      write_file path "#mrpa.journal/99\n1\tdeadbeef\tadd\ta\tr\tb\n";
+      (match Journal.replay path with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg ->
+        Alcotest.(check bool)
+          "mentions format" true
+          (contains msg "unsupported"));
+      match Journal.recover path with
+      | Error msg ->
+        Alcotest.(check bool)
+          "recover refuses too" true
+          (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "recover must refuse an unknown format")
+
+(* --- Torn tails ---------------------------------------------------------- *)
+
+let test_v1_torn_tail_tolerated () =
+  with_tmp_journal (fun path ->
+      write_file path "add\ta\tr\tb\nadd\tb\tr";
+      let warnings = ref [] in
+      let g = Digraph.create () in
+      Journal.replay_into ~on_warning:(fun m -> warnings := m :: !warnings) g path;
+      Alcotest.(check int) "prefix applied" 1 (Digraph.n_edges g);
+      Alcotest.(check int) "one warning" 1 (List.length !warnings);
+      Alcotest.(check bool)
+        "warning names the torn tail" true
+        (contains (List.hd !warnings) "torn tail"))
+
+let test_v2_torn_tail_truncated_on_attach () =
+  with_tmp_journal (fun path ->
+      let g = Digraph.create () in
+      let j = Journal.attach g path in
+      ignore (Digraph.add g "a" "r" "b");
+      ignore (Digraph.add g "b" "r" "c");
+      Journal.close j;
+      (* Tear the final record mid-frame. *)
+      let content = read_file path in
+      write_file path (String.sub content 0 (String.length content - 5));
+      let warnings = ref [] in
+      let g2 = Digraph.create () in
+      let j2 =
+        Journal.attach ~on_warning:(fun m -> warnings := m :: !warnings) g2 path
+      in
+      Alcotest.(check int) "prefix applied" 1 (Digraph.n_edges g2);
+      Alcotest.(check int) "warned once" 1 (List.length !warnings);
+      (* The fragment was physically truncated, so appending again produces
+         a well-formed journal with a resumed sequence. *)
+      ignore (Digraph.add g2 "x" "r" "y");
+      Journal.close j2;
+      let r = Result.get_ok (Journal.recover path) in
+      Alcotest.(check bool) "clean after truncate+append" true (Journal.is_clean r);
+      check_same_graph "state preserved" g2 r.Journal.graph)
+
+let test_unterminated_but_complete_record_kept () =
+  with_tmp_journal (fun path ->
+      let g = Digraph.create () in
+      let j = Journal.attach g path in
+      ignore (Digraph.add g "a" "r" "b");
+      Journal.close j;
+      (* Strip only the final newline: the record itself is intact, so it
+         must be applied, not dropped. *)
+      let content = read_file path in
+      write_file path (String.sub content 0 (String.length content - 1));
+      let g2 = Digraph.create () in
+      let j2 = Journal.attach ~on_warning:ignore g2 path in
+      Alcotest.(check int) "intact record kept" 1 (Digraph.n_edges g2);
+      ignore (Digraph.add g2 "b" "r" "c");
+      Journal.close j2;
+      let h = Journal.replay path in
+      Alcotest.(check int) "no gluing onto the tail" 2 (Digraph.n_edges h))
+
+(* --- Recovery and repair ------------------------------------------------- *)
+
+let corruption_kind = function
+  | Journal.Torn_tail _ -> "torn"
+  | Journal.Bad_checksum _ -> "crc"
+  | Journal.Bad_sequence _ -> "seq"
+  | Journal.Malformed _ -> "malformed"
+  | Journal.Unapplied _ -> "unapplied"
+
+let make_v2_journal path n =
+  let g = Digraph.create () in
+  let j = Journal.attach g path in
+  for i = 0 to n - 1 do
+    ignore (Digraph.add g (Printf.sprintf "v%d" i) "r" (Printf.sprintf "v%d" (i + 1)))
+  done;
+  Journal.close j;
+  g
+
+let test_recover_bad_checksum () =
+  with_tmp_journal (fun path ->
+      let g = make_v2_journal path 3 in
+      ignore g;
+      (* Flip a payload byte in the middle record: its CRC no longer
+         matches, the record is skipped, the rest survives. *)
+      let content = read_file path in
+      let i = Option.get (index_of content "v1\tr\tv2") in
+      let b = Bytes.of_string content in
+      Bytes.set b i 'w';
+      write_file path (Bytes.to_string b);
+      (* Strict replay refuses mid-file corruption outright... *)
+      (match Journal.replay path with
+      | _ -> Alcotest.fail "strict replay must fail"
+      | exception Failure _ -> ());
+      (* ...recover salvages around it. *)
+      let r = Result.get_ok (Journal.recover path) in
+      Alcotest.(check (list string))
+        "one checksum corruption" [ "crc" ]
+        (List.map corruption_kind r.Journal.corruptions);
+      Alcotest.(check int) "two records survive" 2 r.Journal.applied;
+      Journal.repair r;
+      let r2 = Result.get_ok (Journal.recover path) in
+      Alcotest.(check bool) "clean after repair" true (Journal.is_clean r2);
+      check_same_graph "repair keeps the salvage" r.Journal.graph r2.Journal.graph)
+
+let test_recover_sequence_jump () =
+  with_tmp_journal (fun path ->
+      ignore (make_v2_journal path 4);
+      (* Drop an entire middle record: checksums are fine, but the sequence
+         numbers jump — the only sign that data was lost. *)
+      let lines = String.split_on_char '\n' (read_file path) in
+      let kept =
+        List.filteri (fun i _ -> i <> 2 (* 0=header, 2=second record *)) lines
+      in
+      write_file path (String.concat "\n" kept);
+      let r = Result.get_ok (Journal.recover path) in
+      Alcotest.(check (list string))
+        "sequence jump detected" [ "seq" ]
+        (List.map corruption_kind r.Journal.corruptions);
+      Alcotest.(check int) "three records salvaged" 3 r.Journal.applied)
+
+let test_recover_malformed_and_resync () =
+  with_tmp_journal (fun path ->
+      ignore (make_v2_journal path 3);
+      let lines = String.split_on_char '\n' (read_file path) in
+      let mangled =
+        List.mapi (fun i l -> if i = 2 then "not a frame at all" else l) lines
+      in
+      write_file path (String.concat "\n" mangled);
+      let r = Result.get_ok (Journal.recover path) in
+      (* The record after the mangled one has a "wrong" sequence number by
+         construction; resync must adopt it silently rather than piling a
+         spurious Bad_sequence on top. *)
+      Alcotest.(check (list string))
+        "only the malformed line reported" [ "malformed" ]
+        (List.map corruption_kind r.Journal.corruptions);
+      Alcotest.(check int) "rest salvaged" 2 r.Journal.applied)
+
+let test_recover_unapplied_delete () =
+  with_tmp_journal (fun path ->
+      write_file path "add\ta\tr\tb\ndel\tghost\tr\tb\n";
+      let r = Result.get_ok (Journal.recover path) in
+      Alcotest.(check (list string))
+        "unappliable delete reported" [ "unapplied" ]
+        (List.map corruption_kind r.Journal.corruptions);
+      Alcotest.(check int) "the add survives" 1 r.Journal.applied)
+
+let test_recover_missing_file () =
+  match Journal.recover "/nonexistent/journal.log" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "recover of a missing path must be an Error"
+
+let test_repair_removes_stale_tmp () =
+  with_tmp_journal (fun path ->
+      ignore (make_v2_journal path 2);
+      write_file (path ^ ".compact") "half-written snapshot";
+      let r = Result.get_ok (Journal.recover path) in
+      Alcotest.(check bool) "stale tmp reported" false (Journal.is_clean r);
+      Alcotest.(check bool)
+        "stale tmp path" true
+        (r.Journal.stale_tmp = Some (path ^ ".compact"));
+      Journal.repair r;
+      Alcotest.(check bool)
+        "stale tmp removed" false
+        (Sys.file_exists (path ^ ".compact"));
+      let r2 = Result.get_ok (Journal.recover path) in
+      Alcotest.(check bool) "clean" true (Journal.is_clean r2))
+
+(* --- fsync error accounting ---------------------------------------------- *)
+
+let test_fsync_error_counted_and_warned () =
+  with_tmp_journal (fun path ->
+      let warnings = ref [] in
+      let g = Digraph.create () in
+      let j =
+        Journal.attach ~on_warning:(fun m -> warnings := m :: !warnings) g path
+      in
+      ignore (Digraph.add g "a" "r" "b");
+      Io_fault.arm ~mode:(Io_fault.Errno Unix.EIO) Io_fault.Fsync ~at:1;
+      Journal.sync j;
+      Alcotest.(check int) "error counted" 1 (Journal.fsync_errors j);
+      Alcotest.(check int) "warned once" 1 (List.length !warnings);
+      Alcotest.(check bool)
+        "warning says fsync" true
+        (contains (List.hd !warnings) "fsync failed");
+      (* A healthy sync afterwards adds neither errors nor warnings. *)
+      Journal.sync j;
+      Alcotest.(check int) "no new error" 1 (Journal.fsync_errors j);
+      (* Subsequent failures keep counting but stay quiet. *)
+      Io_fault.arm ~mode:(Io_fault.Errno Unix.EIO) Io_fault.Fsync ~at:1;
+      Journal.sync j;
+      Alcotest.(check int) "second error counted" 2 (Journal.fsync_errors j);
+      Alcotest.(check int) "still one warning" 1 (List.length !warnings);
+      Journal.close j)
+
+(* --- Crash-point matrix --------------------------------------------------- *)
+
+(* A deterministic little mutation script: adds with one delete in the
+   middle, exercising all three payload kinds on replay. *)
+let script =
+  [ `Add ("a", "r", "b"); `Add ("b", "r", "c"); `Del ("a", "r", "b");
+    `Add ("c", "s", "d"); `Add ("d", "s", "a") ]
+
+let apply_step g = function
+  | `Add (t, l, h) -> ignore (Digraph.add g t l h)
+  | `Del (t, l, h) -> ignore (Digraph.remove_edge g (H.e g t l h))
+
+(* Graph signatures after each prefix of [script] — the set of states a
+   correct recovery is allowed to land on. *)
+let prefix_sigs () =
+  let g = Digraph.create () in
+  let sigs = ref [ graph_sig g ] in
+  List.iter
+    (fun step ->
+      apply_step g step;
+      sigs := graph_sig g :: !sigs)
+    script;
+  !sigs
+
+let check_prefix_consistent ~ctx path =
+  let r =
+    match Journal.recover path with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail (Printf.sprintf "%s: recover failed: %s" ctx msg)
+  in
+  let s = graph_sig r.Journal.graph in
+  if not (List.mem s (prefix_sigs ())) then
+    Alcotest.fail
+      (Printf.sprintf "%s: recovered state is not a prefix of the script" ctx);
+  r
+
+(* Crash the N-th append write: the graph keeps the mutation, the disk
+   keeps half the record, and recovery must land exactly one step back. *)
+let test_crash_matrix_append () =
+  (* write #1 is the v2 header, writes #2.. are the records. *)
+  for crash_at = 1 to List.length script + 1 do
+    with_tmp_journal (fun path ->
+        let ctx = Printf.sprintf "append crash at write %d" crash_at in
+        let g = Digraph.create () in
+        Io_fault.arm Io_fault.Write ~at:crash_at;
+        let j =
+          match Journal.attach ~on_warning:ignore g path with
+          | j -> Some j
+          | exception Io_fault.Injected _ -> None
+        in
+        (match j with
+        | None -> () (* crashed writing the header itself *)
+        | Some j ->
+          (try List.iter (apply_step g) script
+           with Io_fault.Injected _ -> ());
+          Io_fault.disarm ();
+          Journal.close j);
+        Io_fault.disarm ();
+        let r = check_prefix_consistent ~ctx path in
+        (* Whatever the crash point, the journal must accept appends again
+           after a recovering attach. *)
+        if Sys.file_exists path then begin
+          let g2 = Digraph.create () in
+          let j2 = Journal.attach ~on_warning:ignore g2 path in
+          ignore (Digraph.add g2 "post" "crash" "append");
+          Journal.close j2;
+          let r2 = Result.get_ok (Journal.recover path) in
+          Alcotest.(check bool)
+            (ctx ^ ": clean after reattach") true
+            (Journal.is_clean r2);
+          Alcotest.(check int)
+            (ctx ^ ": post-crash append visible")
+            (Digraph.n_edges r.Journal.graph + 1)
+            (Digraph.n_edges r2.Journal.graph)
+        end)
+  done
+
+(* Crash every compaction step: before the rename the old journal must be
+   untouched; after it the new snapshot must be complete — never anything
+   in between — and the handle must keep appending either way. *)
+let test_crash_matrix_compact () =
+  let ops =
+    [ (Io_fault.Write, 1); (Io_fault.Write, 3); (Io_fault.Flush, 1);
+      (Io_fault.Fsync, 1); (Io_fault.Close, 1); (Io_fault.Close, 2);
+      (Io_fault.Rename, 1) ]
+  in
+  List.iter
+    (fun (op, at) ->
+      with_tmp_journal (fun path ->
+          let ctx =
+            Printf.sprintf "compact crash at %s %d" (Io_fault.op_name op) at
+          in
+          let g = Digraph.create () in
+          let j = Journal.attach g path in
+          List.iter (apply_step g) script;
+          Io_fault.arm op ~at;
+          let crashed =
+            match Journal.compact j with
+            | () -> false
+            | exception Io_fault.Injected _ -> true
+          in
+          Io_fault.disarm ();
+          Alcotest.(check bool) (ctx ^ ": fault fired") true crashed;
+          (* The journal (old or compacted, depending on whether the crash
+             hit before or after the rename) must already replay to the
+             full script state... *)
+          let r = check_prefix_consistent ~ctx path in
+          check_same_graph (ctx ^ ": full state survives") g r.Journal.graph;
+          (* ...and the handle must still record post-crash mutations. *)
+          ignore (Digraph.add g "post" "crash" "append");
+          Journal.close j;
+          let r2 =
+            match Journal.recover path with
+            | Ok r -> r
+            | Error m -> Alcotest.fail (ctx ^ ": " ^ m)
+          in
+          check_same_graph (ctx ^ ": post-crash append recovered") g
+            r2.Journal.graph;
+          (* A leftover tmp is allowed (that is what fsck reports and
+             repair removes) but corruption of the journal itself is not. *)
+          Alcotest.(check (list string))
+            (ctx ^ ": no corruption") []
+            (List.map corruption_kind r2.Journal.corruptions);
+          if r2.Journal.stale_tmp <> None then begin
+            Journal.repair r2;
+            let r3 = Result.get_ok (Journal.recover path) in
+            Alcotest.(check bool) (ctx ^ ": repaired") true (Journal.is_clean r3)
+          end))
+    ops
+
+(* A crash inside [sync] (flush or fsync) loses nothing that was already
+   written. *)
+let test_crash_matrix_sync () =
+  List.iter
+    (fun op ->
+      with_tmp_journal (fun path ->
+          let ctx = Printf.sprintf "sync crash at %s" (Io_fault.op_name op) in
+          let g = Digraph.create () in
+          let j = Journal.attach g path in
+          List.iter (apply_step g) script;
+          Io_fault.arm op ~at:1;
+          (match Journal.sync j with
+          | () -> ()
+          | exception Io_fault.Injected _ -> ());
+          Io_fault.disarm ();
+          Journal.close j;
+          let r = check_prefix_consistent ~ctx path in
+          check_same_graph (ctx ^ ": nothing lost") g r.Journal.graph))
+    [ Io_fault.Flush ]
+
+(* --- QCheck: prefix consistency under random churn and crash points ------- *)
+
+(* Random mutation scripts over a small vertex pool; deletes target
+   previously added edges so they are valid at append time. *)
+let random_script rng n =
+  let added = ref [] in
+  List.init n (fun _ ->
+      let pick_name () = Printf.sprintf "v%d" (Mrpa_graph.Prng.int rng 6) in
+      let pick_label () = Printf.sprintf "r%d" (Mrpa_graph.Prng.int rng 3) in
+      if !added <> [] && Mrpa_graph.Prng.int rng 4 = 0 then begin
+        let i = Mrpa_graph.Prng.int rng (List.length !added) in
+        `Del (List.nth !added i)
+      end
+      else begin
+        let m = (pick_name (), pick_label (), pick_name ()) in
+        added := m :: !added;
+        `Add m
+      end)
+
+let apply_random g = function
+  | `Add (t, l, h) -> ignore (Digraph.add g t l h)
+  | `Del (t, l, h) -> (
+    (* The edge may already have been deleted; a no-op delete emits no
+       journal record, which is exactly what prefix consistency needs. *)
+    match
+      ( Digraph.find_vertex g t,
+        Digraph.find_label g l,
+        Digraph.find_vertex g h )
+    with
+    | Some tv, Some lv, Some hv ->
+      ignore (Digraph.remove_edge g (Edge.make ~tail:tv ~label:lv ~head:hv))
+    | _ -> ())
+
+let qcheck_crash_prefix_consistency =
+  H.qtest ~count:150 "recover yields a prefix state for any crash point"
+    QCheck2.Gen.(
+      let* seed = int_bound 1_000_000 in
+      let* n = int_range 1 15 in
+      let* crash_at = int_range 1 18 in
+      return (seed, n, crash_at))
+    (fun (seed, n, crash_at) ->
+      Printf.sprintf "{seed=%d; n=%d; crash_at=%d}" seed n crash_at)
+    (fun (seed, n, crash_at) ->
+      let script = random_script (Mrpa_graph.Prng.create seed) n in
+      let path = Filename.temp_file "mrpa_qcrash" ".log" in
+      Sys.remove path;
+      Fun.protect
+        ~finally:(fun () ->
+          Io_fault.disarm ();
+          if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          (* Record the graph signature after every prefix of the script as
+             it runs — membership of the recovered state in this list is
+             the prefix-consistency property. *)
+          let g = Digraph.create () in
+          let sigs = ref [ graph_sig g ] in
+          Io_fault.arm Io_fault.Write ~at:crash_at;
+          let j =
+            match Journal.attach ~on_warning:ignore g path with
+            | j -> Some j
+            | exception Io_fault.Injected _ -> None
+          in
+          (match j with
+          | None -> ()
+          | Some j ->
+            (try
+               List.iter
+                 (fun step ->
+                   apply_random g step;
+                   sigs := graph_sig g :: !sigs)
+                 script
+             with Io_fault.Injected _ -> ());
+            Io_fault.disarm ();
+            Journal.close j);
+          Io_fault.disarm ();
+          match Journal.recover path with
+          | Error _ -> not (Sys.file_exists path)
+          | Ok r -> List.mem (graph_sig r.Journal.graph) !sigs))
+
+let qcheck_compact_crash_preserves_state =
+  H.qtest ~count:75 "compaction crash never loses committed state"
+    QCheck2.Gen.(
+      let* seed = int_bound 1_000_000 in
+      let* n = int_range 1 12 in
+      let* op = int_range 0 4 in
+      let* at = int_range 1 3 in
+      return (seed, n, op, at))
+    (fun (seed, n, op, at) ->
+      Printf.sprintf "{seed=%d; n=%d; op=%d; at=%d}" seed n op at)
+    (fun (seed, n, op, at) ->
+      let op =
+        List.nth
+          [ Io_fault.Write; Io_fault.Flush; Io_fault.Fsync; Io_fault.Rename;
+            Io_fault.Close ]
+          op
+      in
+      let script = random_script (Mrpa_graph.Prng.create seed) n in
+      let path = Filename.temp_file "mrpa_qcompact" ".log" in
+      Sys.remove path;
+      Fun.protect
+        ~finally:(fun () ->
+          Io_fault.disarm ();
+          List.iter
+            (fun p -> if Sys.file_exists p then Sys.remove p)
+            [ path; path ^ ".compact" ])
+        (fun () ->
+          let g = Digraph.create () in
+          let j = Journal.attach g path in
+          List.iter (apply_random g) script;
+          Io_fault.arm op ~at;
+          (match Journal.compact j with
+          | () -> ()
+          | exception Io_fault.Injected _ -> ());
+          Io_fault.disarm ();
+          Journal.close j;
+          match Journal.recover path with
+          | Error _ -> false
+          | Ok r -> graph_sig r.Journal.graph = graph_sig g))
+
+(* --- Runner --------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "crc32",
+        [ Alcotest.test_case "check value and hex" `Quick test_crc32_vector ] );
+      ( "format",
+        [
+          Alcotest.test_case "v2 header + framing" `Quick
+            test_v2_new_journal_has_header;
+          Alcotest.test_case "sequence across reopen" `Quick
+            test_v2_sequence_continues_across_reopen;
+          Alcotest.test_case "v1 compat + upgrade" `Quick
+            test_v1_read_compat_and_upgrade;
+          Alcotest.test_case "unsupported version" `Quick
+            test_unsupported_version_rejected;
+        ] );
+      ( "torn tails",
+        [
+          Alcotest.test_case "v1 tolerated" `Quick test_v1_torn_tail_tolerated;
+          Alcotest.test_case "v2 truncated on attach" `Quick
+            test_v2_torn_tail_truncated_on_attach;
+          Alcotest.test_case "intact unterminated kept" `Quick
+            test_unterminated_but_complete_record_kept;
+        ] );
+      ( "recover/repair",
+        [
+          Alcotest.test_case "bad checksum" `Quick test_recover_bad_checksum;
+          Alcotest.test_case "sequence jump" `Quick test_recover_sequence_jump;
+          Alcotest.test_case "malformed + resync" `Quick
+            test_recover_malformed_and_resync;
+          Alcotest.test_case "unapplied delete" `Quick
+            test_recover_unapplied_delete;
+          Alcotest.test_case "missing file" `Quick test_recover_missing_file;
+          Alcotest.test_case "stale tmp" `Quick test_repair_removes_stale_tmp;
+        ] );
+      ( "fsync",
+        [
+          Alcotest.test_case "errors counted and warned" `Quick
+            test_fsync_error_counted_and_warned;
+        ] );
+      ( "crash matrix",
+        [
+          Alcotest.test_case "append" `Quick test_crash_matrix_append;
+          Alcotest.test_case "compact" `Quick test_crash_matrix_compact;
+          Alcotest.test_case "sync" `Quick test_crash_matrix_sync;
+          qcheck_crash_prefix_consistency;
+          qcheck_compact_crash_preserves_state;
+        ] );
+    ]
