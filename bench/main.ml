@@ -1045,6 +1045,7 @@ let exp_serve ~full =
         limits = Wire.default_limits;
         idle_timeout_ms = None;
         max_request_bytes = Server.default_max_request_bytes;
+        max_predicted_cost = None;
       }
     in
     let server = Server.create config snap in
@@ -1196,6 +1197,221 @@ let exp_journal ~full =
       ];
     ]
 
+(* --- EXP-T15: static cost model ----------------------------------------------- *)
+
+module Cost = Mrpa_lint.Cost
+module Engine = Mrpa_engine.Engine
+module Budget = Mrpa_engine.Budget
+module Plan = Mrpa_engine.Plan
+module Err = Mrpa_engine.Err
+
+(* Rows recorded by exp_cost for the --json summary ("cost" section of
+   mrpa.bench/1); empty when the experiment was not selected. *)
+let cost_rows : string list ref = ref []
+
+let exp_cost ~full =
+  section "EXP-T15 (static cost model)"
+    "Does the static analyzer earn its keep? Two measurements. (1)\n\
+     Strategy-pick accuracy: for a mixed query set, run every strategy and\n\
+     check the planner's cost-based pick against the empirically fastest\n\
+     one (a pick within 25% of the fastest counts — below that the ranking\n\
+     is timer noise). (2) Admission control: the EXP-T13 closed loop with\n\
+     a 1-in-4 mix of budget-heavy star queries, served with and without a\n\
+     --max-predicted-cost ceiling; rejecting the heavy queries before they\n\
+     occupy a worker should raise throughput, not lower it.";
+  let g =
+    Generate.fig1 ~rng:(Prng.create 7)
+      ~n_noise_vertices:(if full then 200 else 60)
+      ~n_noise_edges:(if full then 600 else 180)
+  in
+  let stats = Stat.profile g in
+  let max_length = 4 in
+  let queries =
+    [
+      "[i,alpha,_]";
+      "[i,alpha,_] . [_,beta,_]";
+      "[i,alpha,_] . [_,beta,_]*";
+      "[_,alpha,_] . [_,beta,_]";
+      "[_,beta,_]* . [_,alpha,_]";
+      "([_,alpha,_] | [_,beta,_])*";
+    ]
+  in
+  let strategies = [ Plan.Reference; Plan.Stack_machine; Plan.Product_bfs ] in
+  (* Best-of-reps wall time per forced strategy; a run that cannot finish
+     within the deadline scores infinity, which is exactly what the
+     planner is supposed to avoid picking. *)
+  let time_strategy strategy text =
+    let reps = if full then 5 else 3 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let budget = Budget.create ~deadline_ms:2_000.0 () in
+      let t0 = Metrics.now_ns () in
+      let r = Engine.query_exn ~strategy ~stats ~max_length ~budget g text in
+      let ms = Int64.to_float (Metrics.elapsed_ns ~since:t0) /. 1e6 in
+      let ms = if r.Engine.verdict = Err.Complete then ms else infinity in
+      best := min !best ms
+    done;
+    !best
+  in
+  let near_optimal = ref 0 in
+  let pick_rows =
+    List.map
+      (fun text ->
+        let r = Engine.query_exn ~stats ~max_length g text in
+        let picked = r.Engine.plan.Plan.strategy in
+        let timed = List.map (fun s -> (s, time_strategy s text)) strategies in
+        let fastest, fastest_ms =
+          List.fold_left
+            (fun (bs, bt) (s, t) -> if t < bt then (s, t) else (bs, bt))
+            (List.hd timed) (List.tl timed)
+        in
+        let picked_ms = List.assoc picked timed in
+        let ok = picked == fastest || picked_ms <= 1.25 *. fastest_ms in
+        if ok then incr near_optimal;
+        cost_rows :=
+          Printf.sprintf
+            "{\"query\":%s,\"picked\":%s,\"fastest\":%s,\"picked_ms\":%.3f,\"fastest_ms\":%.3f,\"near_optimal\":%b}"
+            (Metrics.escape_string text)
+            (Metrics.escape_string (Plan.strategy_name picked))
+            (Metrics.escape_string (Plan.strategy_name fastest))
+            picked_ms fastest_ms ok
+          :: !cost_rows;
+        [
+          text;
+          Plan.strategy_name picked;
+          Plan.strategy_name fastest;
+          Printf.sprintf "%.3f" picked_ms;
+          Printf.sprintf "%.3f" fastest_ms;
+          (if ok then "yes" else "NO");
+        ])
+      queries
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "strategy pick vs fastest forced strategy (%d/%d near-optimal)"
+         !near_optimal (List.length queries))
+    ~header:[ "query"; "picked"; "fastest"; "picked ms"; "fastest ms"; "ok" ]
+    pick_rows;
+  (* Part 2: throughput with and without admission control. *)
+  let snap = Snapshot.of_graph g in
+  let cheap = "[i,alpha,_] . [_,beta,_]" in
+  let expensive = "([_,alpha,_] | [_,beta,_])*" in
+  let ceiling =
+    match Mrpa_engine.Parser.parse_spanned g cheap with
+    | Error _ -> failwith "EXP-T15: cheap query does not parse"
+    | Ok e -> (
+      match
+        (Cost.analyze ~stats:(Snapshot.profile snap) g ~max_length e)
+          .Cost.predicted_cost
+      with
+      | Mrpa_lint.Interval.Fin n -> n
+      | Mrpa_lint.Interval.Inf -> failwith "EXP-T15: cheap query unbounded")
+  in
+  let clients = 4 and workers = 2 in
+  let per_client = if full then 120 else 40 in
+  let dir = Filename.temp_file "mrpa_bench_cost" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let run_mix admission =
+    let socket_path =
+      Filename.concat dir (if admission then "on.sock" else "off.sock")
+    in
+    let config =
+      {
+        Server.endpoint = Wire.Unix_socket socket_path;
+        workers;
+        queue_capacity = 64;
+        limits = Wire.default_limits;
+        idle_timeout_ms = None;
+        max_request_bytes = Server.default_max_request_bytes;
+        max_predicted_cost = (if admission then Some ceiling else None);
+      }
+    in
+    let server = Server.create config snap in
+    let serve_thread = Thread.create (fun () -> Server.serve server) () in
+    let rec await n =
+      if Sys.file_exists socket_path then ()
+      else if n = 0 then failwith "EXP-T15: server did not come up"
+      else begin
+        Unix.sleepf 0.01;
+        await (n - 1)
+      end
+    in
+    await 500;
+    let rejected = Atomic.make 0 in
+    let options =
+      (* the heavy star is deadline-bounded so the no-admission baseline
+         terminates; with admission it never reaches a worker at all *)
+      { Wire.default_options with max_length = Some max_length;
+        limit = Some 100; deadline_ms = Some 25.0 }
+    in
+    let t0 = Metrics.now_ns () in
+    let client_threads =
+      List.init clients (fun _ ->
+          Thread.create
+            (fun () ->
+              match Client.connect (Wire.Unix_socket socket_path) with
+              | Error m -> Printf.eprintf "EXP-T15 client: %s\n" m
+              | Ok conn ->
+                for i = 0 to per_client - 1 do
+                  let query = if i mod 4 = 0 then expensive else cheap in
+                  let req =
+                    {
+                      Wire.id = Sjson.Null;
+                      verb = Wire.Query;
+                      query = Some query;
+                      options;
+                    }
+                  in
+                  (match Client.request conn req with
+                  | Ok j ->
+                    let code =
+                      Option.bind (Sjson.member "error" j) (fun e ->
+                          Option.bind (Sjson.member "code" e)
+                            Sjson.to_string_opt)
+                    in
+                    if code = Some "infeasible" then Atomic.incr rejected
+                  | Error m -> Printf.eprintf "EXP-T15 request: %s\n" m)
+                done;
+                Client.close conn)
+            ())
+    in
+    List.iter Thread.join client_threads;
+    let wall_s = Int64.to_float (Metrics.elapsed_ns ~since:t0) /. 1e9 in
+    Server.stop server;
+    Thread.join serve_thread;
+    let total = clients * per_client in
+    let qps = float_of_int total /. max 1e-9 wall_s in
+    (qps, Atomic.get rejected)
+  in
+  let qps_off, _ = run_mix false in
+  let qps_on, rejected_on = run_mix true in
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let delta = 100.0 *. ((qps_on /. qps_off) -. 1.0) in
+  cost_rows :=
+    Printf.sprintf
+      "{\"admission\":false,\"qps\":%.1f}" qps_off
+    :: Printf.sprintf
+         "{\"admission\":true,\"qps\":%.1f,\"rejected\":%d,\"qps_delta_pct\":%.1f}"
+         qps_on rejected_on delta
+    :: !cost_rows;
+  print_table
+    ~title:
+      (Printf.sprintf
+         "closed loop, %d clients x %d requests, 1-in-4 heavy star (ceiling %d units)"
+         clients per_client ceiling)
+    ~header:[ "admission"; "qps"; "rejected"; "delta" ]
+    [
+      [ "off"; Printf.sprintf "%.0f" qps_off; "0"; "-" ];
+      [
+        "on";
+        Printf.sprintf "%.0f" qps_on;
+        string_of_int rejected_on;
+        Printf.sprintf "%+.1f%%" delta;
+      ];
+    ]
+
 (* --- Machine-readable summary (--json) ---------------------------------------- *)
 
 (* A fixed set of representative engine runs whose mrpa.profile/1 documents
@@ -1255,10 +1471,11 @@ let bench_json ~full ~timings =
   in
   let serve = String.concat "," (List.rev !serve_rows) in
   let journal = String.concat "," !journal_rows in
+  let cost = String.concat "," (List.rev !cost_rows) in
   Printf.sprintf
-    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"journal\":[%s],\"profiles\":[%s]}"
+    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"journal\":[%s],\"cost\":[%s],\"profiles\":[%s]}"
     (esc (if full then "full" else "default"))
-    experiments serve journal profiles
+    experiments serve journal cost profiles
 
 (* --- Driver ------------------------------------------------------------------ *)
 
@@ -1281,6 +1498,7 @@ let experiments =
     ("guardrails", exp_guardrails);
     ("serve", exp_serve);
     ("journal", exp_journal);
+    ("cost", exp_cost);
   ]
 
 let () =

@@ -316,7 +316,7 @@ let query_cmd =
     in
     Option.iter cancel_on_sigint budget;
     if lint then begin
-      match Mrpa_engine.Engine.lint g query with
+      match Mrpa_engine.Engine.lint ~max_length ?fuel ?deadline_ms g query with
       | Error msg -> or_die (Error msg)
       | Ok diags ->
         print_lint_findings ~out:Format.err_formatter ~source:query diags;
@@ -419,10 +419,18 @@ let query_cmd =
 
 (* --- lint -------------------------------------------------------------------- *)
 
+let error_on_warning_flag =
+  Arg.(
+    value & flag
+    & info [ "error-on-warning" ]
+        ~doc:
+          "Exit 1 when any warning-severity finding is reported, not only \
+           on errors — for CI gates over query corpora.")
+
 let lint_cmd =
-  let run path query =
+  let run path query max_length deadline_ms fuel error_on_warning =
     let g = or_die (load_graph path) in
-    match Mrpa_engine.Engine.lint g query with
+    match Mrpa_engine.Engine.lint ~max_length ?fuel ?deadline_ms g query with
     | Error msg -> or_die (Error msg)
     | Ok diags ->
       let module D = Mrpa_lint.Diagnostic in
@@ -431,17 +439,30 @@ let lint_cmd =
         print_lint_findings ~out:Format.std_formatter ~source:query diags;
         Format.printf "%s@." (D.summary diags)
       end;
-      exit (if D.has_errors diags then 1 else 0)
+      let has_warnings =
+        List.exists (fun d -> d.D.severity = D.Warning) diags
+      in
+      exit
+        (if D.has_errors diags || (error_on_warning && has_warnings) then 1
+         else 0)
   in
-  let term = Term.(const run $ graph_arg $ query_pos) in
+  let term =
+    Term.(
+      const run $ graph_arg $ query_pos $ max_length_arg $ deadline_arg
+      $ fuel_arg $ error_on_warning_flag)
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically analyse a query against a graph without running it: \
           dead union arms, never-adjacent joins, stars that cannot iterate, \
-          selectors matching no edge, unreachable automaton positions. \
+          selectors matching no edge, unreachable automaton positions, plus \
+          the cost analyzer's cardinality-blowup (L010/L011), \
+          budget-feasibility (L012, with --fuel / --deadline-ms) and \
+          zero-selectivity (L013) findings at the --max-length bound. \
           Exits 1 when an error-severity finding (statically empty query) \
-          is reported.")
+          is reported, or — under --error-on-warning — when any warning \
+          is.")
     term
 
 let shell_cmd =
@@ -1058,9 +1079,21 @@ let serve_cmd =
             "Reject request lines longer than $(docv) with a \
              request_too_large wire error and close the connection.")
   in
+  let max_predicted_cost_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-predicted-cost" ] ~docv:"UNITS"
+          ~doc:
+            "Static admission ceiling: cost-analyse every query/count \
+             against the snapshot's cached statistics and refuse — with an \
+             infeasible wire error, before a worker is occupied — any whose \
+             predicted cost (same units as --max-fuel) exceeds $(docv). \
+             Unset: admit everything.")
+  in
   let run graph socket port host workers queue max_deadline_ms max_fuel
       max_paths_cap max_limit max_length_cap idle_timeout_ms max_request_bytes
-      =
+      max_predicted_cost =
     let endpoint = endpoint_of_flags ~socket ~port ~host in
     let snapshot =
       try Mrpa_server.Snapshot.load graph with
@@ -1084,6 +1117,7 @@ let serve_cmd =
           };
         idle_timeout_ms;
         max_request_bytes;
+        max_predicted_cost;
       }
     in
     let server =
@@ -1122,7 +1156,7 @@ let serve_cmd =
       const run $ graph_flag $ socket_arg $ port_arg $ host_arg $ workers_arg
       $ queue_arg $ max_deadline_arg $ max_fuel_arg $ max_paths_cap_arg
       $ max_limit_arg $ max_length_cap_arg $ idle_timeout_arg
-      $ max_request_bytes_arg)
+      $ max_request_bytes_arg $ max_predicted_cost_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1158,6 +1192,15 @@ let call_cmd =
       & info [ "count" ]
           ~doc:"Use the counting engine (no path set is materialised).")
   in
+  let call_lint_flag =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Statically analyse the query on the server (findings plus \
+             predicted cost/cardinality) without running it; answered \
+             inline, never occupying a worker.")
+  in
   let retries_arg =
     Arg.(
       value & opt int 0
@@ -1175,24 +1218,28 @@ let call_cmd =
             "Base of the backoff window: retry $(i,k) sleeps between \
              $(docv)*2^k/2 and $(docv)*2^k milliseconds (capped at 10s).")
   in
-  let run socket port host query_opt ping stats shutdown count strategy limit
-      max_length simple deadline_ms fuel max_paths retries backoff_ms =
+  let run socket port host query_opt ping stats shutdown count lint strategy
+      limit max_length simple deadline_ms fuel max_paths retries backoff_ms =
     let endpoint = endpoint_of_flags ~socket ~port ~host in
     let module S = Mrpa_server in
     let verb =
-      match (ping, stats, shutdown, count) with
-      | true, false, false, false -> S.Wire.Ping
-      | false, true, false, false -> S.Wire.Stats
-      | false, false, true, false -> S.Wire.Shutdown
-      | false, false, false, count ->
+      match (ping, stats, shutdown, count, lint) with
+      | true, false, false, false, false -> S.Wire.Ping
+      | false, true, false, false, false -> S.Wire.Stats
+      | false, false, true, false, false -> S.Wire.Shutdown
+      | false, false, false, false, true -> S.Wire.Lint
+      | false, false, false, count, false ->
         if count then S.Wire.Count else S.Wire.Query
-      | _ -> or_die (Error "--ping, --stats and --shutdown are exclusive")
+      | _ ->
+        or_die
+          (Error "--ping, --stats, --shutdown, --count and --lint are \
+                  exclusive")
     in
     let query =
       match (verb, query_opt) with
-      | (S.Wire.Query | S.Wire.Count), None ->
+      | (S.Wire.Query | S.Wire.Count | S.Wire.Lint), None ->
         or_die (Error "a QUERY argument is required")
-      | (S.Wire.Query | S.Wire.Count), some -> some
+      | (S.Wire.Query | S.Wire.Count | S.Wire.Lint), some -> some
       | _, _ -> None
     in
     let request =
@@ -1245,9 +1292,9 @@ let call_cmd =
   let term =
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ query_pos_opt $ ping_flag
-      $ stats_flag $ shutdown_flag $ call_count_flag $ strategy_arg
-      $ limit_arg $ max_length_arg $ simple_arg $ deadline_arg $ fuel_arg
-      $ max_paths_arg $ retries_arg $ backoff_arg)
+      $ stats_flag $ shutdown_flag $ call_count_flag $ call_lint_flag
+      $ strategy_arg $ limit_arg $ max_length_arg $ simple_arg $ deadline_arg
+      $ fuel_arg $ max_paths_arg $ retries_arg $ backoff_arg)
   in
   Cmd.v
     (Cmd.info "call"

@@ -1,0 +1,1 @@
+[_,works_at,acme]

@@ -1,0 +1,1 @@
+[_,works_at,_] . [_,located_in,_]

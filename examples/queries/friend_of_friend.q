@@ -1,0 +1,1 @@
+[ann,knows,_] . [_,knows,_]

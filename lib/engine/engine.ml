@@ -9,38 +9,41 @@ type result = {
 
 let default_max_length = 8
 
-let query_expr ?strategy ?simple ?(max_length = default_max_length) ?limit
-    ?budget g expr =
-  let plan = Optimizer.plan ?strategy ?simple ~max_length g expr in
+let query_expr ?strategy ?simple ?stats ?(max_length = default_max_length)
+    ?limit ?budget g expr =
+  let plan = Optimizer.plan ?strategy ?simple ?stats ~max_length g expr in
   let o = Eval.run_governed ?limit ?budget g plan in
   { paths = o.Eval.paths; plan; verdict = o.Eval.verdict; stats = o.Eval.stats }
 
-let query ?strategy ?simple ?max_length ?limit ?budget g text =
+let query ?strategy ?simple ?stats ?max_length ?limit ?budget g text =
   match Parser.parse g text with
   | Error e -> Error (Parser.render_error ~source:text e)
   | Ok expr ->
-    Ok (query_expr ?strategy ?simple ?max_length ?limit ?budget g expr)
+    Ok (query_expr ?strategy ?simple ?stats ?max_length ?limit ?budget g expr)
 
-let query_exn ?strategy ?simple ?max_length ?limit ?budget g text =
-  match query ?strategy ?simple ?max_length ?limit ?budget g text with
+let query_exn ?strategy ?simple ?stats ?max_length ?limit ?budget g text =
+  match query ?strategy ?simple ?stats ?max_length ?limit ?budget g text with
   | Ok r -> r
   | Error message -> failwith message
 
 (* The profiled pipeline runs every stage — including the static analyzer,
    which [query] skips — under one metrics collector, so the profile shows
    where a query's time goes end to end. *)
-let query_profiled ?strategy ?simple ?(max_length = default_max_length) ?limit
-    ?budget g text =
+let query_profiled ?strategy ?simple ?stats ?(max_length = default_max_length)
+    ?limit ?budget g text =
   let m = Metrics.create () in
   match Metrics.time m "parse" (fun () -> Parser.parse_spanned g text) with
   | Error e -> Error (Parser.render_error ~source:text e)
   | Ok spanned ->
     let expr = Spanned.strip spanned in
-    let diags = Metrics.time m "lint" (fun () -> Mrpa_lint.Lint.analyze g spanned) in
+    let diags =
+      Metrics.time m "lint" (fun () ->
+          Mrpa_lint.Lint.analyze ?stats ~max_length g spanned)
+    in
     Metrics.set m "lint.findings" (List.length diags);
     let plan =
       Metrics.time m "optimize" (fun () ->
-          Optimizer.plan ?strategy ?simple ~max_length g expr)
+          Optimizer.plan ?strategy ?simple ?stats ~max_length g expr)
     in
     let paths, verdict =
       Metrics.time m "execute" (fun () ->
@@ -79,14 +82,16 @@ let equivalent g text1 text2 =
     let e2', _ = Optimizer.simplify e2 in
     Ok (Mrpa_automata.Dfa.equivalent g e1' e2')
 
-let explain ?(max_length = default_max_length) g text =
+let explain ?stats ?(max_length = default_max_length) g text =
   match Parser.parse g text with
   | Error e -> Error (Parser.render_error ~source:text e)
   | Ok expr ->
-    let plan = Optimizer.plan ~max_length g expr in
+    let plan = Optimizer.plan ?stats ~max_length g expr in
     Ok (Format.asprintf "%a" (Plan.pp_named g) plan)
 
-let lint ?signature g text =
+let lint ?signature ?stats ?(max_length = default_max_length) ?fuel
+    ?deadline_ms g text =
   match Parser.parse_spanned g text with
   | Error e -> Error (Parser.render_error ~source:text e)
-  | Ok spanned -> Ok (Mrpa_lint.Lint.analyze ?signature g spanned)
+  | Ok spanned ->
+    Ok (Mrpa_lint.Lint.analyze ?signature ?stats ~max_length ?fuel ?deadline_ms g spanned)

@@ -17,6 +17,7 @@ type result = {
 val query :
   ?strategy:Plan.strategy ->
   ?simple:bool ->
+  ?stats:Stat.profile ->
   ?max_length:int ->
   ?limit:int ->
   ?budget:Budget.t ->
@@ -34,6 +35,7 @@ val query :
 val query_exn :
   ?strategy:Plan.strategy ->
   ?simple:bool ->
+  ?stats:Stat.profile ->
   ?max_length:int ->
   ?limit:int ->
   ?budget:Budget.t ->
@@ -45,6 +47,7 @@ val query_exn :
 val query_profiled :
   ?strategy:Plan.strategy ->
   ?simple:bool ->
+  ?stats:Stat.profile ->
   ?max_length:int ->
   ?limit:int ->
   ?budget:Budget.t ->
@@ -60,6 +63,7 @@ val query_profiled :
 val query_expr :
   ?strategy:Plan.strategy ->
   ?simple:bool ->
+  ?stats:Stat.profile ->
   ?max_length:int ->
   ?limit:int ->
   ?budget:Budget.t ->
@@ -94,19 +98,30 @@ val equivalent :
     {!Mrpa_automata.Dfa.equivalent} on the optimised forms. *)
 
 val explain :
-  ?max_length:int -> Digraph.t -> string -> (string, string) Stdlib.result
-(** The plan that {!query} would run, rendered as text, without running
-    it. *)
+  ?stats:Stat.profile ->
+  ?max_length:int ->
+  Digraph.t ->
+  string ->
+  (string, string) Stdlib.result
+(** The plan that {!query} would run — including its cost table — rendered
+    as text, without running it. *)
 
 val lint :
   ?signature:Mrpa_lint.Signature.t ->
+  ?stats:Stat.profile ->
+  ?max_length:int ->
+  ?fuel:int ->
+  ?deadline_ms:float ->
   Digraph.t ->
   string ->
   (Mrpa_lint.Diagnostic.t list, string) Stdlib.result
 (** Statically analyse a textual query against a graph without running it:
     parse with spans, then {!Mrpa_lint.Lint.analyze} (emptiness abstract
-    interpretation over the label signature, plus Glushkov dead-position
-    checks). [Error] carries a rendered parse error. Pass [?signature] to
-    amortise the graph abstraction across queries. *)
+    interpretation over the label signature, Glushkov dead-position
+    checks, and the {!Mrpa_lint.Cost} cardinality/cost analysis at
+    [max_length], default 8). [fuel] / [deadline_ms] enable the L012
+    budget-feasibility check. [Error] carries a rendered parse error. Pass
+    [?signature] / [?stats] to amortise the graph abstractions across
+    queries. *)
 
 val default_max_length : int

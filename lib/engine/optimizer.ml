@@ -89,18 +89,21 @@ let simplify expr =
   let result, rewrites, _ = simplify_notes expr in
   (result, rewrites)
 
-let rec has_star : Expr.t -> bool = function
-  | Empty | Epsilon | Sel _ -> false
-  | Union (a, b) | Join (a, b) | Product (a, b) -> has_star a || has_star b
-  | Star _ -> true
-
 let first_extent g expr =
   let a = Mrpa_automata.Glushkov.build expr in
   List.fold_left
     (fun acc p -> acc + Selector.size_hint g a.selector_of.(p))
     0 a.first
 
-let choose_strategy g expr =
+(* Above this predicted frontier width, whole-level path sets stop paying
+   for their batching: one set-at-a-time level can blow past any budget
+   checkpoint (and any memory sense) inside a single join, while the
+   path-at-a-time generator polls its budget every step. Below it,
+   batching amortises the per-path overhead. *)
+let frontier_threshold = 65_536
+
+let choose_strategy g cost expr =
+  let module C = Mrpa_lint.Cost in
   let m = Digraph.n_edges g in
   let extent = first_extent g expr in
   let anchored_threshold = max 8 (m / 16) in
@@ -108,21 +111,28 @@ let choose_strategy g expr =
     ( Plan.Product_bfs,
       Printf.sprintf "anchored start (first extent %d <= %d)" extent
         anchored_threshold )
-  else if not (has_star expr) then
-    ( Plan.Stack_machine,
-      Printf.sprintf "unanchored star-free (first extent %d)" extent )
   else
-    ( Plan.Product_bfs,
-      Printf.sprintf "default for starred expression (first extent %d)" extent
-    )
+    match cost.C.peak_frontier with
+    | C.Fin w when w <= frontier_threshold ->
+      ( Plan.Stack_machine,
+        Printf.sprintf
+          "unanchored, predicted frontier %d <= %d: set-at-a-time batching"
+          w frontier_threshold )
+    | w ->
+      ( Plan.Product_bfs,
+        Printf.sprintf
+          "unanchored, predicted frontier %s > %d: path-at-a-time streaming"
+          (Mrpa_lint.Interval.b_to_string w) frontier_threshold )
 
-let plan ?strategy ?(simple = false) ~max_length g expr =
+let plan ?strategy ?(simple = false) ?stats ~max_length g expr =
   if max_length < 0 then invalid_arg "Optimizer.plan: negative max_length";
   let optimized, rewrites, notes = simplify_notes expr in
+  let prof = match stats with Some p -> p | None -> Stat.profile g in
+  let cost = Mrpa_lint.Cost.analyze_expr ~stats:prof g ~max_length optimized in
   let strategy, strategy_reason =
     match strategy with
     | Some s -> (s, "forced by caller")
-    | None -> choose_strategy g optimized
+    | None -> choose_strategy g cost optimized
   in
   {
     Plan.original = expr;
@@ -132,5 +142,6 @@ let plan ?strategy ?(simple = false) ~max_length g expr =
     simple;
     rewrites;
     strategy_reason;
-    notes;
+    notes = notes @ Mrpa_lint.Cost.diagnostics cost;
+    cost;
   }

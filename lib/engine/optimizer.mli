@@ -13,9 +13,15 @@
         position instead of two)
     + {!choose_strategy}: anchored expressions (whose first automaton
       positions select few edges, per {!Mrpa_core.Selector.size_hint}) run
-      as {!Plan.Product_bfs}; unanchored star-free expressions run as the
-      set-at-a-time {!Plan.Stack_machine}; everything else defaults to
-      product BFS. *)
+      as {!Plan.Product_bfs}, since the adjacency indices prune their
+      frontier. Unanchored expressions are decided by the {e predicted
+      frontier width} of the static cost analysis
+      ({!Mrpa_lint.Cost.t.peak_frontier}): moderate frontiers run as the
+      set-at-a-time {!Plan.Stack_machine} (batching amortises per-path
+      overhead), frontiers past {!frontier_threshold} fall back to
+      path-at-a-time product BFS, whose step-granular budget checkpoints
+      and streaming memory survive blowups that would explode a single
+      whole-level join. *)
 
 open Mrpa_graph
 open Mrpa_core
@@ -31,16 +37,24 @@ val simplify_notes :
     rewrites to [∅]). The notes carry no source span — the rewriter works
     on span-less expressions — and end up in {!Plan.t.notes}. *)
 
+val frontier_threshold : int
+(** Predicted frontier width above which an unanchored query abandons
+    set-at-a-time batching. *)
+
 val choose_strategy :
-  Digraph.t -> Expr.t -> Plan.strategy * string
-(** Strategy and a human-readable reason. *)
+  Digraph.t -> Mrpa_lint.Cost.t -> Expr.t -> Plan.strategy * string
+(** Strategy and a human-readable reason, decided from the cost analysis
+    of the (already simplified) expression. *)
 
 val plan :
   ?strategy:Plan.strategy ->
   ?simple:bool ->
+  ?stats:Mrpa_graph.Stat.profile ->
   max_length:int ->
   Digraph.t ->
   Expr.t ->
   Plan.t
 (** Build a full plan; [?strategy] overrides the heuristic; [?simple]
-    (default false) restricts results to simple paths. *)
+    (default false) restricts results to simple paths. [?stats] supplies a
+    cached degree profile for the cost analysis (computed fresh per call
+    otherwise — [O(|V|+|E|)]). *)

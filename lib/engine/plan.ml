@@ -11,6 +11,7 @@ type t = {
   rewrites : string list;
   strategy_reason : string;
   notes : Mrpa_lint.Diagnostic.t list;
+  cost : Mrpa_lint.Cost.t;
 }
 
 let strategy_name = function
@@ -32,9 +33,13 @@ let pp_with pp_expr fmt p =
   List.iter
     (fun n -> Format.fprintf fmt "  note:       %a@," Mrpa_lint.Diagnostic.pp n)
     p.notes;
-  Format.fprintf fmt "  strategy:   %s (%s)@,  max length: %d%s@]"
+  Format.fprintf fmt "  strategy:   %s (%s)@,  max length: %d%s@,"
     (strategy_name p.strategy) p.strategy_reason p.max_length
-    (if p.simple then " (simple paths only)" else "")
+    (if p.simple then " (simple paths only)" else "");
+  Format.fprintf fmt "  cost:       %a@,  cost table:@,    @[<v>%a@]@]"
+    Mrpa_lint.Cost.pp_summary p.cost
+    (Mrpa_lint.Cost.pp_table pp_expr)
+    p.cost
 
 let pp fmt p = pp_with Expr.pp fmt p
 let pp_named g fmt p = pp_with (Expr.pp_named g) fmt p

@@ -32,8 +32,14 @@ type t = {
   rewrites : string list;  (** names of rewrites that fired, in order. *)
   strategy_reason : string;  (** why the strategy was chosen. *)
   notes : Mrpa_lint.Diagnostic.t list;
-      (** lint notes attached by the optimiser, e.g. a rewrite proving a
-          subexpression empty ([L009]). Rendered by {!pp} when nonempty. *)
+      (** lint notes attached by the optimiser: a rewrite proving a
+          subexpression empty ([L009]), plus any cost-analysis findings on
+          the optimised form ([L010]/[L011]/[L013]). Rendered by {!pp}
+          when nonempty. *)
+  cost : Mrpa_lint.Cost.t;
+      (** the static cost/cardinality analysis of [optimized] at
+          [max_length] — what {!Optimizer.plan} chose the strategy from;
+          rendered by {!pp} as the cost table. *)
 }
 
 val strategy_name : strategy -> string

@@ -109,6 +109,86 @@ let label_cooccurrence g =
     counts []
   |> List.sort compare
 
+(* --- Per-label degree/selectivity profile ------------------------------- *)
+
+type label_profile = {
+  label : Label.t;
+  edges : int;
+  distinct_tails : int;
+  distinct_heads : int;
+  max_out : int;
+  max_in : int;
+  out_histogram : (int * int) list;
+  in_histogram : (int * int) list;
+}
+
+type profile = {
+  vertices : int;
+  edges : int;
+  labels : int;
+  max_out_degree : int;
+  max_in_degree : int;
+  per_label : label_profile array;
+}
+
+let histogram_of_counts tbl =
+  let freq = Hashtbl.create 16 in
+  Vertex.Tbl.iter
+    (fun _ d ->
+      Hashtbl.replace freq d (1 + Option.value ~default:0 (Hashtbl.find_opt freq d)))
+    tbl;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) freq [] |> List.sort compare
+
+let max_count tbl =
+  Vertex.Tbl.fold (fun _ d acc -> max d acc) tbl 0
+
+(* One pass over the edge set builds every per-label table; the global
+   degree maxima come from the graph's own adjacency counts. *)
+let profile g =
+  let k = Digraph.n_labels g in
+  let out_of = Array.init k (fun _ -> Vertex.Tbl.create 8) in
+  let in_of = Array.init k (fun _ -> Vertex.Tbl.create 8) in
+  let bump tbl v =
+    Vertex.Tbl.replace tbl v
+      (1 + Option.value ~default:0 (Vertex.Tbl.find_opt tbl v))
+  in
+  let edge_count = Array.make k 0 in
+  Digraph.iter_edges
+    (fun e ->
+      let l = Label.to_int (Edge.label e) in
+      edge_count.(l) <- edge_count.(l) + 1;
+      bump out_of.(l) (Edge.tail e);
+      bump in_of.(l) (Edge.head e))
+    g;
+  let per_label =
+    Array.init k (fun l ->
+        {
+          label = Label.of_int l;
+          edges = edge_count.(l);
+          distinct_tails = Vertex.Tbl.length out_of.(l);
+          distinct_heads = Vertex.Tbl.length in_of.(l);
+          max_out = max_count out_of.(l);
+          max_in = max_count in_of.(l);
+          out_histogram = histogram_of_counts out_of.(l);
+          in_histogram = histogram_of_counts in_of.(l);
+        })
+  in
+  let vertices = Digraph.vertices g in
+  {
+    vertices = Digraph.n_vertices g;
+    edges = Digraph.n_edges g;
+    labels = k;
+    max_out_degree =
+      List.fold_left (fun acc v -> max acc (Digraph.out_degree g v)) 0 vertices;
+    max_in_degree =
+      List.fold_left (fun acc v -> max acc (Digraph.in_degree g v)) 0 vertices;
+    per_label;
+  }
+
+let label_profile p l =
+  let i = Label.to_int l in
+  if i >= 0 && i < Array.length p.per_label then Some p.per_label.(i) else None
+
 let degree_histogram g =
   let counts = Hashtbl.create 16 in
   List.iter
@@ -128,9 +208,17 @@ let pp_report fmt g =
     "out-degree: min %d max %d mean %.2f median %.1f@,in-degree:  min %d max %d mean %.2f median %.1f@,"
     od.min_degree od.max_degree od.mean od.median id.min_degree id.max_degree
     id.mean id.median;
+  let prof = profile g in
   Format.fprintf fmt "labels:@,";
   List.iter
     (fun (l, c) ->
-      Format.fprintf fmt "  %-20s %d edges@," (Digraph.label_name g l) c)
+      match label_profile prof l with
+      | Some lp ->
+        Format.fprintf fmt
+          "  %-20s %d edges (%d tails, %d heads, max out %d, max in %d)@,"
+          (Digraph.label_name g l) c lp.distinct_tails lp.distinct_heads
+          lp.max_out lp.max_in
+      | None ->
+        Format.fprintf fmt "  %-20s %d edges@," (Digraph.label_name g l) c)
     (label_histogram g);
   Format.fprintf fmt "@]"

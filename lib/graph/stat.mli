@@ -42,5 +42,44 @@ val label_cooccurrence : Digraph.t -> (Label.t * Label.t * int) list
 val degree_histogram : Digraph.t -> (int * int) list
 (** [(out-degree, frequency)] pairs, ascending by degree. *)
 
+(** {1 Per-label degree/selectivity profile}
+
+    The statistics the static cost analyzer ([Mrpa_lint.Cost]) consumes:
+    for each relation type, how many edges it has, how many distinct tails
+    and heads they touch, and the worst-case per-vertex fan-out and fan-in
+    of that single relation — plus the all-labels degree maxima. Built in
+    one pass over the edge set; the server caches one per frozen
+    snapshot. *)
+
+type label_profile = {
+  label : Label.t;
+  edges : int;  (** [|E_α|]. *)
+  distinct_tails : int;  (** distinct [γ⁻] values among [E_α]. *)
+  distinct_heads : int;  (** distinct [γ⁺] values among [E_α]. *)
+  max_out : int;
+      (** largest number of [α]-edges leaving any single vertex. *)
+  max_in : int;
+      (** largest number of [α]-edges entering any single vertex. *)
+  out_histogram : (int * int) list;
+      (** [(out-degree within E_α, #vertices)], ascending, nonzero degrees
+          only. *)
+  in_histogram : (int * int) list;
+}
+
+type profile = {
+  vertices : int;
+  edges : int;
+  labels : int;
+  max_out_degree : int;  (** max out-degree counting all labels. *)
+  max_in_degree : int;
+  per_label : label_profile array;  (** indexed by [Label.to_int]. *)
+}
+
+val profile : Digraph.t -> profile
+(** One [O(|V| + |E|)] pass. *)
+
+val label_profile : profile -> Label.t -> label_profile option
+(** Lookup by label; [None] for labels outside the profiled graph. *)
+
 val pp_report : Format.formatter -> Digraph.t -> unit
 (** A compact multi-line report (used by [mrpa stats]). *)

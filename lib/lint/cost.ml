@@ -1,0 +1,451 @@
+open Mrpa_graph
+open Mrpa_core
+module I = Interval
+
+type bound = Interval.bound = Fin of int | Inf
+
+type info = {
+  len : I.t option;
+  card : bound;
+  out_fan : bound;
+  in_fan : bound;
+}
+
+type row = { term : Spanned.t; info : info; children : info list }
+
+type t = {
+  max_length : int;
+  rows : row list;
+  root : info;
+  positions : int;
+  peak_frontier : bound;
+  predicted_paths : bound;
+  predicted_cost : bound;
+}
+
+(* --- Selector statistics ------------------------------------------------ *)
+
+(* Over-approximate the set of labels a selector can match; [None] means
+   "any label" (used only to fall back to the global degree maxima). *)
+let rec labels_of_selector : Selector.t -> Label.Set.t option = function
+  | Selector.Pattern { lbl; _ } -> lbl
+  | Selector.Explicit es ->
+    Some
+      (Edge.Set.fold
+         (fun e acc -> Label.Set.add (Edge.label e) acc)
+         es Label.Set.empty)
+  | Selector.Union (a, b) -> (
+    match (labels_of_selector a, labels_of_selector b) with
+    | Some x, Some y -> Some (Label.Set.union x y)
+    | _ -> None)
+  | Selector.Inter (a, b) -> (
+    match labels_of_selector a with
+    | Some x -> Some x
+    | None -> labels_of_selector b)
+  | Selector.Diff (a, _) -> labels_of_selector a
+
+let sum_over_labels per (prof : Stat.profile) ls =
+  Label.Set.fold
+    (fun l acc ->
+      I.b_add acc
+        (match Stat.label_profile prof l with
+        | Some lp -> I.fin (per lp)
+        | None -> Fin 0))
+    ls (Fin 0)
+
+(* Fan-out of a selector: an upper bound on how many of its edges can leave
+   one single vertex. Three sound bounds, take the tightest: the total
+   match count ([size_hint] never underestimates), the all-labels degree
+   maximum, and the sum of per-label degree maxima over the labels the
+   selector can match. *)
+let sel_card g s = I.fin (Selector.size_hint g s)
+
+let sel_out_fan (prof : Stat.profile) g s =
+  let by_label =
+    match labels_of_selector s with
+    | None -> Inf
+    | Some ls -> sum_over_labels (fun lp -> lp.Stat.max_out) prof ls
+  in
+  I.b_min (sel_card g s) (I.b_min (I.fin prof.Stat.max_out_degree) by_label)
+
+let sel_in_fan (prof : Stat.profile) g s =
+  let by_label =
+    match labels_of_selector s with
+    | None -> Inf
+    | Some ls -> sum_over_labels (fun lp -> lp.Stat.max_in) prof ls
+  in
+  I.b_min (sel_card g s) (I.b_min (I.fin prof.Stat.max_in_degree) by_label)
+
+(* --- Structural abstract interpretation -------------------------------- *)
+
+(* Σ_{j=0}^{k} b^j, saturating (early exit once the running power is Inf). *)
+let geometric b k =
+  let acc = ref (Fin 0) and p = ref (Fin 1) in
+  (try
+     for _ = 0 to k do
+       acc := I.b_add !acc !p;
+       if !acc = Inf then raise Exit;
+       p := I.b_mul !p b
+     done
+   with Exit -> acc := Inf);
+  !acc
+
+let zero_info len = { len; card = Fin 0; out_fan = Fin 0; in_fan = Fin 0 }
+
+(* [card] counts paths realisable within the length bound, so a node whose
+   shortest match is already longer than the bound contributes nothing —
+   but its [len] is kept as computed so L013 can point at it. *)
+let clip ~max_length i =
+  match i.len with
+  | Some iv when iv.I.lo > max_length ->
+    { i with card = Fin 0; out_fan = Fin 0; in_fan = Fin 0 }
+  | _ -> i
+
+let analyze ~stats g ~max_length (sp : Spanned.t) =
+  if max_length < 0 then invalid_arg "Cost.analyze: negative max_length";
+  let prof = stats in
+  let rec go (sp : Spanned.t) : info * row list =
+    let mk info children child_rows =
+      (info, { term = sp; info; children } :: List.concat child_rows)
+    in
+    match sp.Spanned.node with
+    | Spanned.Empty -> mk (zero_info None) [] []
+    | Spanned.Epsilon ->
+      mk
+        { len = Some I.zero; card = Fin 1; out_fan = Fin 1; in_fan = Fin 1 }
+        [] []
+    | Spanned.Sel s ->
+      let card = sel_card g s in
+      mk
+        (clip ~max_length
+           {
+             len = Some (I.point 1);
+             card;
+             out_fan = I.b_min card (sel_out_fan prof g s);
+             in_fan = I.b_min card (sel_in_fan prof g s);
+           })
+        [] []
+    | Spanned.Union (a, b) ->
+      let ia, ra = go a and ib, rb = go b in
+      let len =
+        match (ia.len, ib.len) with
+        | None, l | l, None -> l
+        | Some x, Some y -> Some (I.hull x y)
+      in
+      mk
+        (clip ~max_length
+           {
+             len;
+             card = I.b_add ia.card ib.card;
+             out_fan = I.b_add ia.out_fan ib.out_fan;
+             in_fan = I.b_add ia.in_fan ib.in_fan;
+           })
+        [ ia; ib ] [ ra; rb ]
+    | Spanned.Join (a, b) ->
+      let ia, ra = go a and ib, rb = go b in
+      let len =
+        match (ia.len, ib.len) with
+        | None, _ | _, None -> None
+        | Some x, Some y -> Some (I.add x y)
+      in
+      (* adjacency at the seam: each left path extends by at most the
+         right side's per-vertex fan (and symmetrically). The empty path is
+         the exception — it has no seam vertex, and [eps . B = B] — so when
+         a side's length interval admits 0 its (single) empty path may
+         contribute the whole other side, not a per-vertex slice. *)
+      let may_eps i =
+        match i.len with Some l -> I.mem 0 l | None -> false
+      in
+      let eps_a b = if may_eps ia then b else I.Fin 0 in
+      let eps_b b = if may_eps ib then b else I.Fin 0 in
+      let card =
+        I.b_min
+          (I.b_add (eps_a ib.card) (I.b_mul ia.card ib.out_fan))
+          (I.b_min
+             (I.b_add (eps_b ia.card) (I.b_mul ib.card ia.in_fan))
+             (I.b_mul ia.card ib.card))
+      in
+      let out_fan =
+        I.b_add
+          (I.b_add (eps_a ib.out_fan) (eps_b ia.out_fan))
+          (I.b_mul ia.out_fan ib.out_fan)
+      in
+      let in_fan =
+        I.b_add
+          (I.b_add (eps_a ib.in_fan) (eps_b ia.in_fan))
+          (I.b_mul ia.in_fan ib.in_fan)
+      in
+      mk
+        (clip ~max_length
+           {
+             len;
+             card;
+             out_fan = I.b_min card out_fan;
+             in_fan = I.b_min card in_fan;
+           })
+        [ ia; ib ] [ ra; rb ]
+    | Spanned.Product (a, b) ->
+      let ia, ra = go a and ib, rb = go b in
+      let len =
+        match (ia.len, ib.len) with
+        | None, _ | _, None -> None
+        | Some x, Some y -> Some (I.add x y)
+      in
+      let card = I.b_mul ia.card ib.card in
+      (* the empty-path caveat again: [eps x B = B], so an [eps]-admitting
+         side lets the other side's fan through unscaled. *)
+      let may_eps i =
+        match i.len with Some l -> I.mem 0 l | None -> false
+      in
+      let eps_a b = if may_eps ia then b else I.Fin 0 in
+      let eps_b b = if may_eps ib then b else I.Fin 0 in
+      let out_fan =
+        I.b_add
+          (I.b_add (eps_a ib.out_fan) (eps_b ia.out_fan))
+          (I.b_mul ia.out_fan ib.card)
+      in
+      let in_fan =
+        I.b_add
+          (I.b_add (eps_a ib.in_fan) (eps_b ia.in_fan))
+          (I.b_mul ia.card ib.in_fan)
+      in
+      mk
+        (clip ~max_length
+           {
+             len;
+             card;
+             out_fan = I.b_min card out_fan;
+             in_fan = I.b_min card in_fan;
+           })
+        [ ia; ib ] [ ra; rb ]
+    | Spanned.Star a ->
+      let ia, ra = go a in
+      let eps_only =
+        match ia.len with
+        | None -> true
+        | Some iv -> iv.I.hi = Fin 0
+      in
+      if eps_only || ia.card = Fin 0 then
+        mk
+          { len = Some I.zero; card = Fin 1; out_fan = Fin 1; in_fan = Fin 1 }
+          [ ia ] [ ra ]
+      else begin
+        let body_len = Option.get ia.len in
+        (* the nonempty part of the body contributes at least one edge per
+           iteration, so within the bound at most [k] iterations fit. *)
+        let step = max 1 body_len.I.lo in
+        let k = max_length / step in
+        (* widening-stable length: one widening of [0,0] against
+           [0,0] + body stabilises the iteration at [0, Inf]. *)
+        let len = I.widen I.zero (I.add I.zero body_len) in
+        mk
+          (clip ~max_length
+             {
+               len = Some len;
+               card = geometric ia.card k;
+               out_fan = geometric ia.out_fan k;
+               in_fan = geometric ia.in_fan k;
+             })
+          [ ia ] [ ra ]
+      end
+  in
+  let root, rows = go sp in
+  (* --- Glushkov walk-count DP ------------------------------------------ *)
+  (* W(q, k): upper bound on the number of edge sequences of length [k]
+     that match some prefix of the expression and whose last edge was
+     consumed at position [q]. A [Joint] boundary extends a sequence by at
+     most the next position's per-vertex fan; a [Free] boundary by its
+     whole match count. Every evaluation backend does work proportional to
+     these walk counts times the positions' follow widths (see the
+     soundness tests), so the summed DP plus a per-level additive term for
+     bookkeeping polls is a sound fuel ceiling. *)
+  let module G = Mrpa_automata.Glushkov in
+  let a = G.build (Spanned.strip sp) in
+  let n = a.G.n_positions in
+  let card = Array.make (n + 1) (Fin 0) in
+  let fan = Array.make (n + 1) (Fin 0) in
+  for q = 1 to n do
+    card.(q) <- sel_card g a.G.selector_of.(q);
+    fan.(q) <- sel_out_fan prof g a.G.selector_of.(q)
+  done;
+  let total = ref (I.fin (1 + List.length a.G.first)) in
+  let accept = ref (if a.G.nullable then Fin 1 else Fin 0) in
+  let peak = ref (Fin 1) in
+  let w = Array.make (n + 1) (Fin 0) in
+  List.iter (fun q -> w.(q) <- I.b_add w.(q) card.(q)) a.G.first;
+  for k = 1 to max_length do
+    let row = ref (Fin 0) in
+    for q = 1 to n do
+      row := I.b_add !row w.(q);
+      if a.G.last.(q) then accept := I.b_add !accept w.(q);
+      total :=
+        I.b_add !total
+          (I.b_mul w.(q) (I.fin (1 + List.length a.G.follow.(q))))
+    done;
+    peak := I.b_max !peak !row;
+    if k < max_length then begin
+      let next = Array.make (n + 1) (Fin 0) in
+      for q = 1 to n do
+        if not (I.b_equal w.(q) (Fin 0)) then
+          List.iter
+            (fun (q', kind) ->
+              let step =
+                match kind with G.Joint -> fan.(q') | G.Free -> card.(q')
+              in
+              next.(q') <- I.b_add next.(q') (I.b_mul w.(q) step))
+            a.G.follow.(q)
+      done;
+      Array.blit next 0 w 0 (n + 1)
+    end
+  done;
+  (* Additive slop: per evaluation level, every backend may spend a
+     constant-ish floor per automaton transition pair (the stack machine's
+     max(1, ·) charge), per expression node (the reference evaluator's
+     iterative deepening), plus level bookkeeping. *)
+  let n_nodes = List.length (Spanned.subterms sp) in
+  let slop =
+    I.b_mul (I.fin (max_length + 1)) (I.fin ((n * n) + n_nodes + 2))
+  in
+  {
+    max_length;
+    rows;
+    root;
+    positions = n;
+    peak_frontier = !peak;
+    predicted_paths = I.b_min root.card !accept;
+    predicted_cost = I.b_add !total slop;
+  }
+
+let analyze_expr ~stats g ~max_length e =
+  analyze ~stats g ~max_length (Spanned.of_expr e)
+
+(* --- Diagnostics -------------------------------------------------------- *)
+
+let default_blowup_threshold = 1_000_000
+
+let window_empty ~max_length i =
+  match i.len with Some iv -> iv.I.lo > max_length | None -> false
+
+let diagnostics ?(blowup_threshold = default_blowup_threshold) t =
+  let big b = I.b_exceeds_int b (blowup_threshold - 1) in
+  let at_least_2 b = I.b_exceeds_int b 1 in
+  let warn span code msg = Diagnostic.make ~span ~code ~severity:Diagnostic.Warning msg in
+  let hint span code msg = Diagnostic.make ~span ~code ~severity:Diagnostic.Hint msg in
+  List.concat_map
+    (fun r ->
+      let span = r.term.Spanned.span in
+      let blowup =
+        (* blame the innermost node where the bound first crosses the
+           threshold, not every ancestor it propagates through. *)
+        big r.info.card && not (List.exists (fun c -> big c.card) r.children)
+      in
+      let structural =
+        match (r.term.Spanned.node, r.children) with
+        | Spanned.Star _, [ body ] when blowup && at_least_2 body.out_fan ->
+          [
+            warn span "L010"
+              (Printf.sprintf
+                 "unbounded star over a dense relation: up to %s paths \
+                  within length %d (body fan-out %s)"
+                 (I.b_to_string r.info.card) t.max_length
+                 (I.b_to_string body.out_fan));
+          ]
+        | (Spanned.Join _ | Spanned.Product _), [ a; b ]
+          when blowup && at_least_2 a.card && at_least_2 b.card ->
+          let what =
+            match r.term.Spanned.node with
+            | Spanned.Product _ -> "product"
+            | _ -> "join"
+          in
+          [
+            warn span "L011"
+              (Printf.sprintf
+                 "%s may multiply cardinalities: %s x %s paths meet here \
+                  (bound %s)"
+                 what (I.b_to_string a.card) (I.b_to_string b.card)
+                 (I.b_to_string r.info.card));
+          ]
+        | _ -> []
+      in
+      let window =
+        if
+          window_empty ~max_length:t.max_length r.info
+          && not
+               (List.exists (fun c -> window_empty ~max_length:t.max_length c) r.children)
+        then
+          let lo =
+            match r.info.len with Some iv -> iv.I.lo | None -> 0
+          in
+          [
+            hint span "L013"
+              (Printf.sprintf
+                 "zero selectivity within the length bound: the shortest \
+                  match here has %d edges but max length is %d"
+                 lo t.max_length);
+          ]
+        else []
+      in
+      structural @ window)
+    t.rows
+
+(* Conversion rate for turning a wall-clock deadline into work units: an
+   optimistic checkpoint throughput, so the warning only fires on queries
+   no plausible machine finishes in time. Calibrated against EXP-T12's
+   guardrail overhead measurements; deliberately rough. *)
+let fuel_units_per_ms = 50_000
+
+let budget_check ?fuel ?deadline_ms t =
+  let span =
+    match t.rows with r :: _ -> r.term.Spanned.span | [] -> Span.dummy
+  in
+  let warn msg =
+    [ Diagnostic.make ~span ~code:"L012" ~severity:Diagnostic.Warning msg ]
+  in
+  let fuel_diag =
+    match fuel with
+    | Some f when I.b_exceeds_int t.predicted_cost f ->
+      warn
+        (Printf.sprintf
+           "budget-infeasible: predicted cost %s work units exceeds the \
+            supplied fuel %d"
+           (I.b_to_string t.predicted_cost) f)
+    | _ -> []
+  in
+  let deadline_diag =
+    match deadline_ms with
+    | Some ms ->
+      let allowed =
+        I.b_mul (I.fin (int_of_float (ceil ms))) (Fin fuel_units_per_ms)
+      in
+      if I.b_gt t.predicted_cost allowed then
+        warn
+          (Printf.sprintf
+             "budget-infeasible: predicted cost %s work units exceeds what \
+              a %g ms deadline can cover (~%s units)"
+             (I.b_to_string t.predicted_cost) ms (I.b_to_string allowed))
+      else []
+    | None -> []
+  in
+  fuel_diag @ deadline_diag
+
+(* --- Rendering ---------------------------------------------------------- *)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "paths <= %s, cost <= %s work units (frontier <= %s, %d position(s))"
+    (I.b_to_string t.predicted_paths)
+    (I.b_to_string t.predicted_cost)
+    (I.b_to_string t.peak_frontier)
+    t.positions
+
+let pp_table pp_expr fmt t =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "%-9s %-10s expression" "len" "paths";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "@,%-9s %-10s %a"
+        (match r.info.len with None -> "-" | Some iv -> I.to_string iv)
+        ("<=" ^ I.b_to_string r.info.card)
+        pp_expr
+        (Spanned.strip r.term))
+    t.rows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,102 @@
+(** Static cost and cardinality analysis of regular path queries.
+
+    An abstract interpretation over the spanned AST computing, per
+    subexpression, (a) the interval of path lengths it can produce, (b) an
+    upper bound on the number of distinct paths it can denote within the
+    evaluation length bound, derived from per-label degree statistics
+    ({!Mrpa_graph.Stat.profile}), and (c) a whole-query work estimate in
+    the same units [Budget.fuel] charges, derived from a walk-counting
+    dynamic program over the Glushkov position automaton.
+
+    The two headline numbers are {e sound upper bounds}, property-tested
+    against every evaluation backend: the evaluated path-set is never
+    larger than {!t.predicted_paths}, and the fuel actually spent never
+    exceeds {!t.predicted_cost} (see [test/test_cost.ml]). That soundness
+    is what lets the planner pick strategies and the server reject
+    infeasible queries before occupying a worker.
+
+    Diagnostics derived from the analysis:
+    - [L010] (warning): a star over a dense relation whose bound crosses
+      the blowup threshold — the combinatorial-explosion idiom.
+    - [L011] (warning): a join/product multiplying two nontrivial
+      cardinalities past the threshold.
+    - [L012] (warning, {!budget_check}): the predicted cost exceeds the
+      supplied fuel or deadline — the query is budget-infeasible as posed.
+    - [L013] (hint): a subexpression whose shortest match is longer than
+      the length bound — statically zero selectivity at this bound. *)
+
+open Mrpa_graph
+open Mrpa_core
+
+type bound = Interval.bound = Fin of int | Inf
+
+type info = {
+  len : Interval.t option;
+      (** lengths of matching paths; [None] when no path can match. The
+          interval is structural — it is {e not} clipped to the length
+          bound, so a star shows [\[0,inf\]]. *)
+  card : bound;
+      (** upper bound on distinct matching paths within the length
+          bound. *)
+  out_fan : bound;
+      (** upper bound on matching paths starting at any one vertex. *)
+  in_fan : bound;  (** dito, ending at any one vertex. *)
+}
+
+type row = {
+  term : Spanned.t;
+  info : info;
+  children : info list;  (** the direct subterms' results, in order. *)
+}
+
+type t = {
+  max_length : int;
+  rows : row list;  (** one per subexpression, preorder (root first). *)
+  root : info;
+  positions : int;  (** Glushkov positions of the whole expression. *)
+  peak_frontier : bound;
+      (** largest per-level walk-count row of the automaton DP — the
+          width the planner compares against its batching threshold. *)
+  predicted_paths : bound;
+      (** sound upper bound on the result cardinality: min of the
+          structural bound and the automaton's accepting-walk count. *)
+  predicted_cost : bound;
+      (** sound upper bound on [Budget.fuel_used] for evaluating this
+          query with {e any} strategy under the same length bound. *)
+}
+
+val analyze :
+  stats:Stat.profile -> Digraph.t -> max_length:int -> Spanned.t -> t
+(** Run the analysis. [stats] is the graph's degree profile — pass a
+    cached one ({!Mrpa_graph.Stat.profile} is [O(|V|+|E|)]) when analysing
+    many queries over the same graph. Raises [Invalid_argument] on a
+    negative [max_length]. *)
+
+val analyze_expr :
+  stats:Stat.profile -> Digraph.t -> max_length:int -> Expr.t -> t
+(** {!analyze} on a span-less expression. *)
+
+val default_blowup_threshold : int
+(** 1,000,000 — the cardinality at which L010/L011 start firing. *)
+
+val diagnostics : ?blowup_threshold:int -> t -> Diagnostic.t list
+(** The L010/L011/L013 findings of an analysis. Blowup findings blame the
+    innermost node whose bound first crosses the threshold, not every
+    ancestor the bound propagates through. *)
+
+val budget_check : ?fuel:int -> ?deadline_ms:float -> t -> Diagnostic.t list
+(** The L012 findings: does the predicted cost fit the supplied fuel
+    and/or deadline? The deadline is converted at {!fuel_units_per_ms} —
+    an optimistic throughput, so the warning only fires on queries no
+    plausible machine finishes in time. *)
+
+val fuel_units_per_ms : int
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line: predicted paths, cost, frontier, positions. *)
+
+val pp_table :
+  (Format.formatter -> Expr.t -> unit) -> Format.formatter -> t -> unit
+(** The per-subexpression cost table ([len] interval, path bound,
+    expression), rendered with the given expression printer —
+    [Expr.pp_named g] for resolved names. *)

@@ -1,0 +1,103 @@
+(* Saturating natural-number bounds and integer intervals.
+
+   Everything the cost analyzer counts — path lengths, cardinalities, fuel
+   units — is a natural number that may genuinely be unbounded (a star over
+   a cyclic graph) or so large that machine arithmetic would overflow. Both
+   cases collapse to [Inf]: arithmetic saturates well below [max_int], so a
+   [Fin n] that comes out of this module is an honest value, never a
+   wrapped-around one. *)
+
+type bound = Fin of int | Inf
+
+(* Saturation threshold: far above any meaningful count, far below
+   [max_int], so a single post-saturation addition cannot overflow. *)
+let cap = max_int / 4
+
+let fin n = if n > cap then Inf else Fin (max 0 n)
+
+let b_add a b =
+  match (a, b) with
+  | Inf, _ | _, Inf -> Inf
+  | Fin x, Fin y -> fin (x + y)
+
+let b_mul a b =
+  match (a, b) with
+  | Fin 0, _ | _, Fin 0 -> Fin 0
+  | Inf, _ | _, Inf -> Inf
+  | Fin x, Fin y -> if x > cap / y then Inf else fin (x * y)
+
+(* b^k by repeated saturating multiplication. b_pow b 0 = 1. *)
+let b_pow b k =
+  let rec go acc i = if i >= k then acc else go (b_mul acc b) (i + 1) in
+  go (Fin 1) 0
+
+let b_min a b =
+  match (a, b) with
+  | Inf, x | x, Inf -> x
+  | Fin x, Fin y -> Fin (min x y)
+
+let b_max a b =
+  match (a, b) with
+  | Inf, _ | _, Inf -> Inf
+  | Fin x, Fin y -> Fin (max x y)
+
+let b_le a b =
+  match (a, b) with
+  | _, Inf -> true
+  | Inf, Fin _ -> false
+  | Fin x, Fin y -> x <= y
+
+let b_gt a b = not (b_le a b)
+
+let b_exceeds_int b n = match b with Inf -> true | Fin x -> x > n
+
+let b_compare a b =
+  match (a, b) with
+  | Inf, Inf -> 0
+  | Inf, Fin _ -> 1
+  | Fin _, Inf -> -1
+  | Fin x, Fin y -> Int.compare x y
+
+let b_equal a b = b_compare a b = 0
+
+let b_to_string = function Fin n -> string_of_int n | Inf -> "inf"
+
+let pp_bound fmt b = Format.pp_print_string fmt (b_to_string b)
+
+(* --- Intervals ---------------------------------------------------------- *)
+
+(* [lo] is always finite (a shortest length exists whenever any length
+   does); [hi] may be [Inf]. Invariant: [Fin lo <= hi]. The empty set of
+   lengths is represented by the {e caller} as [t option = None], keeping
+   every [t] nonempty and the invariant trivial. *)
+type t = { lo : int; hi : bound }
+
+let make lo hi =
+  let lo = max 0 lo in
+  if b_gt (Fin lo) hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point n = make n (fin n)
+let zero = point 0
+
+let add a b = { lo = a.lo + b.lo; hi = b_add a.hi b.hi }
+
+let hull a b = { lo = min a.lo b.lo; hi = b_max a.hi b.hi }
+
+(* Classic interval widening: a lower bound still sliding down drops to 0,
+   an upper bound still climbing jumps to [Inf]. Guarantees stabilisation
+   of any ascending iteration in one step per side — this is what makes the
+   star rule of the cost analyzer terminate. *)
+let widen a b =
+  {
+    lo = (if b.lo < a.lo then 0 else a.lo);
+    hi = (if b_gt b.hi a.hi then Inf else a.hi);
+  }
+
+let mem n t = n >= t.lo && b_le (Fin n) t.hi
+
+let equal a b = a.lo = b.lo && b_equal a.hi b.hi
+
+let pp fmt t = Format.fprintf fmt "[%d,%s]" t.lo (b_to_string t.hi)
+
+let to_string t = Format.asprintf "%a" pp t

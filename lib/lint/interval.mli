@@ -1,0 +1,62 @@
+(** A widening-stable integer-interval domain over saturating natural
+    bounds — the arithmetic under the {!Cost} analyzer.
+
+    A {!bound} is a natural number or [Inf]; all operations saturate at a
+    threshold far below [max_int], so finite results are exact-or-smaller
+    counts, never overflowed ones. A {!t} is a nonempty interval
+    [\[lo, hi\]] with finite [lo]; the empty interval is represented by the
+    caller as [t option = None]. *)
+
+type bound = Fin of int | Inf
+
+val cap : int
+(** The saturation threshold ([max_int / 4]): every finite bound is
+    [<= cap], and any operation whose exact result would exceed it
+    returns [Inf] instead of wrapping. *)
+
+val fin : int -> bound
+(** [Fin (max 0 n)], saturating to [Inf] above {!cap}. *)
+
+val b_add : bound -> bound -> bound
+val b_mul : bound -> bound -> bound
+
+val b_pow : bound -> int -> bound
+(** [b_pow b k] is [b]{^ k} (saturating); [b_pow b 0 = Fin 1]. *)
+
+val b_min : bound -> bound -> bound
+val b_max : bound -> bound -> bound
+val b_le : bound -> bound -> bool
+val b_gt : bound -> bound -> bool
+
+val b_exceeds_int : bound -> int -> bool
+(** Does the bound exceed the plain integer? [Inf] always does. *)
+
+val b_compare : bound -> bound -> int
+val b_equal : bound -> bound -> bool
+val b_to_string : bound -> string
+val pp_bound : Format.formatter -> bound -> unit
+
+type t = { lo : int; hi : bound }
+
+val make : int -> bound -> t
+(** Clamps [lo] at 0; raises [Invalid_argument] if [lo > hi]. *)
+
+val point : int -> t
+val zero : t
+
+val add : t -> t -> t
+(** Minkowski sum: lengths of concatenations. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both — the union's over-approximation. *)
+
+val widen : t -> t -> t
+(** [widen previous next]: a still-descending lower bound drops to [0], a
+    still-ascending upper bound jumps to [Inf]. One application per side
+    stabilises any ascending chain, which is what terminates the star rule
+    of the cost analyzer. *)
+
+val mem : int -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

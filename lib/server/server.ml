@@ -8,6 +8,7 @@ type config = {
   limits : Wire.limits;
   idle_timeout_ms : float option;
   max_request_bytes : int;
+  max_predicted_cost : int option;
 }
 
 let default_max_request_bytes = 1_048_576
@@ -178,7 +179,8 @@ let run_query t (req : Wire.request) (o : Wire.options) budget =
   | Wire.Query -> (
     match
       Engine.query ?strategy:o.Wire.strategy ~simple:o.Wire.simple
-        ?max_length:o.Wire.max_length ?limit:o.Wire.limit ~budget g query_text
+        ~stats:(Snapshot.profile t.snapshot) ?max_length:o.Wire.max_length
+        ?limit:o.Wire.limit ~budget g query_text
     with
     | Ok r ->
       m_incr t "server.queries";
@@ -203,7 +205,94 @@ let run_query t (req : Wire.request) (o : Wire.options) budget =
     | Error msg ->
       m_incr t "server.query_errors";
       Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error msg)
-  | Wire.Stats | Wire.Ping | Wire.Shutdown -> assert false (* handled inline *)
+  | Wire.Lint | Wire.Stats | Wire.Ping | Wire.Shutdown ->
+    assert false (* handled inline *)
+
+let effective_max_length t (o : Wire.options) =
+  match o.Wire.max_length with
+  | Some m -> m
+  | None -> min Engine.default_max_length t.config.limits.Wire.max_length_cap
+
+(* The lint verb never evaluates anything, so it is answered inline by the
+   session thread like [stats] — a pre-flight check must not be able to
+   queue behind the evaluations it is meant to avert. *)
+let lint_response t (req : Wire.request) =
+  let g = Snapshot.graph t.snapshot in
+  let query_text = Option.get req.Wire.query in
+  let o = Wire.clamp t.config.limits req.Wire.options in
+  match Parser.parse_spanned g query_text with
+  | Error e ->
+    m_incr t "server.query_errors";
+    Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error
+      (Parser.render_error ~source:query_text e)
+  | Ok spanned ->
+    m_incr t "server.lints";
+    let max_length = effective_max_length t o in
+    let stats = Snapshot.profile t.snapshot in
+    let diags =
+      Mrpa_lint.Lint.analyze
+        ~signature:(Snapshot.signature t.snapshot)
+        ~stats ~max_length ?fuel:o.Wire.fuel ?deadline_ms:o.Wire.deadline_ms g
+        spanned
+    in
+    let cost = Mrpa_lint.Cost.analyze ~stats g ~max_length spanned in
+    let bound_json = function
+      | Mrpa_lint.Interval.Fin n -> string_of_int n
+      | Mrpa_lint.Interval.Inf -> esc "inf"
+    in
+    let finding d =
+      let module D = Mrpa_lint.Diagnostic in
+      Printf.sprintf "{%s:%s,%s:%s,%s:%d,%s:%d,%s:%s}" (esc "code")
+        (esc d.D.code) (esc "severity")
+        (esc (D.severity_label d.D.severity))
+        (esc "start") d.D.span.Mrpa_core.Span.start (esc "stop")
+        d.D.span.Mrpa_core.Span.stop (esc "message") (esc d.D.message)
+    in
+    let payload =
+      Printf.sprintf "{%s:[%s],%s:%d,%s:%s,%s:%s}" (esc "findings")
+        (String.concat "," (List.map finding diags))
+        (esc "max_length") max_length (esc "predicted_cost")
+        (bound_json cost.Mrpa_lint.Cost.predicted_cost)
+        (esc "predicted_paths")
+        (bound_json cost.Mrpa_lint.Cost.predicted_paths)
+    in
+    Wire.response_ok ~id:req.Wire.id [ ("lint", payload) ]
+
+(* Static admission control: with a [--max-predicted-cost] ceiling set,
+   every query/count is cost-analysed in the session thread — against the
+   snapshot's cached statistics, so this is automaton-sized work, not
+   graph-sized — and a query whose predicted cost exceeds the ceiling is
+   refused with an [infeasible] error before a pool worker ever sees it.
+   Unparseable queries fall through: the evaluation path owns the parse
+   error so its shape stays identical with and without admission. *)
+let admission_reject t (req : Wire.request) =
+  match (t.config.max_predicted_cost, req.Wire.query) with
+  | None, _ | _, None -> None
+  | Some ceiling, Some query_text -> (
+    let g = Snapshot.graph t.snapshot in
+    let o = Wire.clamp t.config.limits req.Wire.options in
+    match Parser.parse_spanned g query_text with
+    | Error _ -> None
+    | Ok spanned ->
+      let cost =
+        Mrpa_lint.Cost.analyze
+          ~stats:(Snapshot.profile t.snapshot)
+          g
+          ~max_length:(effective_max_length t o)
+          spanned
+      in
+      let predicted = cost.Mrpa_lint.Cost.predicted_cost in
+      if Mrpa_lint.Interval.b_exceeds_int predicted ceiling then begin
+        m_incr t "server.infeasible";
+        Some
+          (Wire.response_error ~id:req.Wire.id ~code:Wire.Infeasible
+             (Printf.sprintf
+                "predicted cost %s work units exceeds the server ceiling \
+                 %d; narrow the query or lower max_length"
+                (Mrpa_lint.Interval.b_to_string predicted)
+                ceiling))
+      end
+      else None)
 
 let stats_response t req =
   let g = Snapshot.graph t.snapshot in
@@ -284,9 +373,13 @@ let handle_request t line =
       m_incr t "server.pings";
       (Wire.response_ok ~id:req.Wire.id [ ("pong", "true") ], false)
     | Wire.Stats -> (stats_response t req, false)
+    | Wire.Lint -> (lint_response t req, false)
     | Wire.Shutdown ->
       (Wire.response_ok ~id:req.Wire.id [ ("stopping", "true") ], true)
-    | Wire.Query | Wire.Count -> (dispatch_governed t req, false))
+    | Wire.Query | Wire.Count -> (
+      match admission_reject t req with
+      | Some response -> (response, false)
+      | None -> (dispatch_governed t req, false)))
 
 let session t fd =
   let carry = ref "" in

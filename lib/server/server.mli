@@ -57,6 +57,13 @@ type config = {
   max_request_bytes : int;
       (** reject request lines longer than this; see
           {!default_max_request_bytes}. *)
+  max_predicted_cost : int option;
+      (** static admission ceiling, in the same work units {!Mrpa_core.Budget}
+          fuel charges. When set, every [query] / [count] is cost-analysed
+          ({!Mrpa_lint.Cost}) in the session thread against the snapshot's
+          cached statistics, and a query whose predicted cost exceeds the
+          ceiling is refused with an [infeasible] wire error before it ever
+          occupies a pool worker. [None] admits everything. *)
 }
 
 val default_max_request_bytes : int

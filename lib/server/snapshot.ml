@@ -1,16 +1,33 @@
 open Mrpa_graph
 
-type t = { graph : Digraph.t }
+type t = {
+  graph : Digraph.t;
+  signature : Mrpa_lint.Signature.t;
+  profile : Stat.profile;
+}
+
+(* Both abstractions are computed eagerly, once, at snapshot construction:
+   they are immutable values over a frozen graph, so any number of session
+   threads can read them without synchronisation — a lazy cell would need a
+   lock for exactly the same sharing. *)
+let of_frozen graph =
+  {
+    graph;
+    signature = Mrpa_lint.Signature.make graph;
+    profile = Stat.profile graph;
+  }
 
 let of_graph g =
   let copy = Digraph.copy g in
   Digraph.freeze copy;
-  { graph = copy }
+  of_frozen copy
 
 let load path =
   let g = Io.load path in
   Digraph.freeze g;
-  { graph = g }
+  of_frozen g
 
 let graph t = t.graph
+let signature t = t.signature
+let profile t = t.profile
 let pp_stats fmt t = Digraph.pp_stats fmt t.graph

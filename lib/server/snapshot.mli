@@ -27,5 +27,14 @@ val load : string -> t
 val graph : t -> Digraph.t
 (** The frozen graph. [Digraph.is_frozen (graph t)] always holds. *)
 
+val signature : t -> Mrpa_lint.Signature.t
+(** The graph's label signature, computed once at snapshot construction —
+    the static analyzer's per-request edge rescans amortised to zero.
+    Immutable, so freely shared across session threads. *)
+
+val profile : t -> Stat.profile
+(** The per-label degree/selectivity statistics the cost analyzer and the
+    planner consume, likewise computed once and freely shared. *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** One-line [|V|/|E|/|Omega|] summary of the underlying graph. *)

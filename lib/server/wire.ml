@@ -10,11 +10,12 @@ let endpoint_to_string = function
 
 (* --- Requests ---------------------------------------------------------- *)
 
-type verb = Query | Count | Stats | Ping | Shutdown
+type verb = Query | Count | Lint | Stats | Ping | Shutdown
 
 let verb_name = function
   | Query -> "query"
   | Count -> "count"
+  | Lint -> "lint"
   | Stats -> "stats"
   | Ping -> "ping"
   | Shutdown -> "shutdown"
@@ -22,6 +23,7 @@ let verb_name = function
 let verb_of_name = function
   | "query" -> Some Query
   | "count" -> Some Count
+  | "lint" -> Some Lint
   | "stats" -> Some Stats
   | "ping" -> Some Ping
   | "shutdown" -> Some Shutdown
@@ -129,7 +131,7 @@ let decode_request line =
   let query = Option.bind (Json.member "query" json) Json.to_string_opt in
   let* () =
     match (verb, query) with
-    | (Query | Count), None ->
+    | (Query | Count | Lint), None ->
       Error (Printf.sprintf "verb %S requires a \"query\" field" (verb_name verb))
     | _ -> Ok ()
   in
@@ -224,6 +226,7 @@ type error_code =
   | Internal
   | Request_too_large
   | Idle_timeout
+  | Infeasible
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -233,6 +236,7 @@ let error_code_name = function
   | Internal -> "internal"
   | Request_too_large -> "request_too_large"
   | Idle_timeout -> "idle_timeout"
+  | Infeasible -> "infeasible"
 
 let esc = Metrics.escape_string
 

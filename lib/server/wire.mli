@@ -45,6 +45,10 @@ val endpoint_to_string : endpoint -> string
 type verb =
   | Query  (** run a regular path query; respond with the result set. *)
   | Count  (** governed counting; respond with the number and verdict. *)
+  | Lint
+      (** statically analyse the query — diagnostics plus predicted
+          cost/cardinality — without evaluating it; answered inline by the
+          session thread, never occupying a worker. *)
   | Stats  (** server-wide metrics snapshot. *)
   | Ping  (** liveness probe. *)
   | Shutdown  (** ask the server to drain and exit. *)
@@ -69,7 +73,7 @@ type request = {
   id : Json.t;
       (** echoed verbatim in the response; {!Json.Null} when absent. *)
   verb : verb;
-  query : string option;  (** required by [query] and [count]. *)
+  query : string option;  (** required by [query], [count] and [lint]. *)
   options : options;
 }
 
@@ -121,6 +125,10 @@ type error_code =
   | Idle_timeout
       (** no complete request line arrived within the idle deadline; sent
           best-effort, then the connection is closed. *)
+  | Infeasible
+      (** static admission control: the query's predicted cost exceeds the
+          server's [--max-predicted-cost] ceiling, so it was rejected
+          before ever reaching a worker. *)
 
 val error_code_name : error_code -> string
 

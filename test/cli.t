@@ -18,8 +18,8 @@ Statistics:
   out-degree: min 1 max 3 mean 2.33 median 3.0
   in-degree:  min 1 max 3 mean 2.33 median 3.0
   labels:
-    beta                 4 edges
-    alpha                3 edges
+    beta                 4 edges (2 tails, 3 heads, max out 3, max in 2)
+    alpha                3 edges (2 tails, 2 heads, max out 2, max in 2)
   
 
 A labeled two-step query, in the paper's notation:
@@ -50,6 +50,12 @@ Macros expand, and EXPLAIN shows the plan without running it:
     rewrites:   union-empty
     strategy:   product-bfs (anchored start (first extent 3 <= 8))
     max length: 8
+    cost:       paths <= 9, cost <= 98 work units (frontier <= 9, 2 position(s))
+    cost table:
+      len       paths      expression
+      [2,2]     <=9        ([i,alpha,_] . [_,_,_])
+      [1,1]     <=3        [i,alpha,_]
+      [1,1]     <=7        [_,_,_]
 
 Recognition of a concrete path (exit code encodes the verdict):
 
@@ -137,6 +143,6 @@ Richer statistics:
   out-degree: min 1 max 3 mean 2.33 median 3.0
   in-degree:  min 1 max 3 mean 2.33 median 3.0
   labels:
-    beta                 4 edges
-    alpha                3 edges
+    beta                 4 edges (2 tails, 3 heads, max out 3, max in 2)
+    alpha                3 edges (2 tails, 2 heads, max out 2, max in 2)
   

@@ -1,0 +1,114 @@
+The static cost & cardinality analyzer surfaces three ways: lint findings
+L010-L013, the planner's cost table in EXPLAIN, and the server's static
+admission control. This test drives all three, and doubles as the CI gate
+over the example query corpus: every query in examples/queries must lint
+clean under --error-on-warning.
+
+  $ for q in $(ls ../examples/queries/*.q | sort); do
+  >   printf '%s: ' "$(basename $q)"
+  >   ../bin/mrpa.exe lint ../examples/queries/graph.tsv "$(cat $q)" --error-on-warning || echo "FAILED($?)"
+  > done
+  colleagues.q: no findings
+  employer_city.q: no findings
+  friend_of_friend.q: no findings
+  reachable.q: no findings
+
+A dense relation makes the blowup findings fire. Complete digraph, one
+label, fan-out 23 at every vertex:
+
+  $ ../bin/mrpa.exe generate --kind complete -n 24 -k 1 -o dense.tsv
+  generated complete: |V|=24 |E|=552 |Omega|=1
+
+L010 — an unbounded star over a dense relation:
+
+  $ ../bin/mrpa.exe lint dense.tsv '[_,r0,_]*'
+  warning[L010] at 0-9: unbounded star over a dense relation: up to inf paths within length 8 (body fan-out 23)
+    [_,r0,_]*
+    ^^^^^^^^^
+  1 finding(s): 1 warning(s)
+
+Under --error-on-warning the same finding fails the lint (exit 1):
+
+  $ ../bin/mrpa.exe lint dense.tsv '[_,r0,_]*' --error-on-warning >/dev/null; echo $?
+  1
+
+L011 — a product multiplying two nontrivial cardinalities. Blame lands on
+the innermost node whose bound crosses the threshold (the outer product:
+552^2 x 552 is the first past a million):
+
+  $ ../bin/mrpa.exe lint dense.tsv '[_,r0,_] >< [_,r0,_] >< [_,r0,_]'
+  warning[L011] at 0-32: product may multiply cardinalities: 304704 x 552 paths meet here (bound 168196608)
+    [_,r0,_] >< [_,r0,_] >< [_,r0,_]
+    ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^
+  1 finding(s): 1 warning(s)
+
+L012 — the same star is infeasible under a stated fuel budget:
+
+  $ ../bin/mrpa.exe lint dense.tsv --fuel 1000 '[_,r0,_]*' | grep L012
+  warning[L012] at 0-9: budget-infeasible: predicted cost 3929787625007 work units exceeds the supplied fuel 1000
+
+L013 — a chain longer than the length bound has zero selectivity:
+
+  $ ../bin/mrpa.exe lint dense.tsv --max-length 2 '[_,r0,_] . [_,r0,_] . [_,r0,_]'
+  hint[L013] at 0-30: zero selectivity within the length bound: the shortest match here has 3 edges but max length is 2
+    [_,r0,_] . [_,r0,_] . [_,r0,_]
+    ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^
+  1 finding(s): 1 hint(s)
+
+The planner consumes the same analysis: EXPLAIN shows the per-node cost
+table and the predicted-frontier reasoning behind the strategy choice:
+
+  $ ../bin/mrpa.exe explain ../examples/queries/graph.tsv '[ann,knows,_] . [_,knows,_]'
+  plan:
+    expression: ([ann,knows,_] . [_,knows,_])
+    optimized:  ([ann,knows,_] . [_,knows,_])
+    rewrites:   (none)
+    strategy:   product-bfs (anchored start (first extent 2 <= 8))
+    max length: 8
+    cost:       paths <= 2, cost <= 89 work units (frontier <= 2, 2 position(s))
+    cost table:
+      len       paths      expression
+      [2,2]     <=2        ([ann,knows,_] . [_,knows,_])
+      [1,1]     <=2        [ann,knows,_]
+      [1,1]     <=5        [_,knows,_]
+
+An unanchored query with a small predicted frontier batches
+set-at-a-time; the reason records the predicted width:
+
+  $ ../bin/mrpa.exe explain dense.tsv '[_,r0,_] . [_,r0,_]' | grep strategy
+    strategy:   stack-machine (unanchored, predicted frontier 12696 <= 65536: set-at-a-time batching)
+
+The server rejects statically infeasible queries before they occupy a
+worker. Start one with a predicted-cost ceiling:
+
+  $ ../bin/mrpa.exe serve --graph dense.tsv --socket s.sock --workers 2 --max-predicted-cost 100000 2>serve.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do test -S s.sock && break; sleep 0.1; done
+  $ test -S s.sock && echo socket up
+  socket up
+
+A cheap anchored query is admitted:
+
+  $ ../bin/mrpa.exe call --socket s.sock '[v0,r0,v1]' | grep -o '"verdict":"complete"'
+  "verdict":"complete"
+
+The dense star is refused with the dedicated error code — note exit 1:
+
+  $ ../bin/mrpa.exe call --socket s.sock '[_,r0,_]*'
+  {"mrpa":"mrpa.wire/1","id":null,"ok":false,"error":{"code":"infeasible","message":"predicted cost 3929787625007 work units exceeds the server ceiling 100000; narrow the query or lower max_length"}}
+  [1]
+
+The lint verb answers the same analysis over the wire, inline (no worker):
+
+  $ ../bin/mrpa.exe call --socket s.sock --lint '[v0,r0,v1]' | grep -o '"findings":\[\]'
+  "findings":[]
+
+Rejections and lints are counted in the server stats:
+
+  $ ../bin/mrpa.exe call --socket s.sock --stats | grep -o '"server.infeasible":[0-9]*'
+  "server.infeasible":1
+  $ ../bin/mrpa.exe call --socket s.sock --stats | grep -o '"server.lints":[0-9]*'
+  "server.lints":1
+
+  $ ../bin/mrpa.exe call --socket s.sock --shutdown >/dev/null
+  $ wait $SERVE_PID

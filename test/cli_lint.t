@@ -121,3 +121,7 @@ When a rewrite proves a subexpression empty, the plan carries a lint note:
     note:       hint[L009]: subexpression (∅ . [_,0,_]) is provably empty
     strategy:   product-bfs (anchored start (first extent 2 <= 8))
     max length: 8
+    cost:       paths <= 2, cost <= 40 work units (frontier <= 2, 1 position(s))
+    cost table:
+      len       paths      expression
+      [1,1]     <=2        [_,c,_]

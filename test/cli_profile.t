@@ -22,6 +22,12 @@ counters are deterministic.
     rewrites:   (none)
     strategy:   reference (forced by caller)
     max length: 8
+    cost:       paths <= 8, cost <= 98 work units (frontier <= 9, 2 position(s))
+    cost table:
+      len       paths      expression
+      [2,2]     <=8        ([_,alpha,_] . [_,beta,_])
+      [1,1]     <=3        [_,alpha,_]
+      [1,1]     <=4        [_,beta,_]
   profile:
     parse: T ms
     lint: T ms

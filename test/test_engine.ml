@@ -470,11 +470,13 @@ let test_choose_strategy_anchored () =
       (Expr.sel (Selector.src1 (Digraph.vertex g "v0")))
       (Expr.sel Selector.universe)
   in
-  let strategy, _ = Optimizer.choose_strategy g anchored in
+  let stats = Stat.profile g in
+  let cost_of e = Mrpa_lint.Cost.analyze_expr ~stats g ~max_length:8 e in
+  let strategy, _ = Optimizer.choose_strategy g (cost_of anchored) anchored in
   Alcotest.(check string) "bfs for anchored" "product-bfs"
     (Plan.strategy_name strategy);
   let unanchored = Expr.join (Expr.sel Selector.universe) (Expr.sel Selector.universe) in
-  let strategy, _ = Optimizer.choose_strategy g unanchored in
+  let strategy, _ = Optimizer.choose_strategy g (cost_of unanchored) unanchored in
   Alcotest.(check string) "stack for unanchored star-free" "stack-machine"
     (Plan.strategy_name strategy)
 

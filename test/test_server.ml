@@ -386,7 +386,8 @@ let qcheck_concurrent_snapshot_sound =
 (* --- End-to-end: server + client over a Unix socket ---------------------- *)
 
 let with_server ?(limits = Wire.default_limits) ?idle_timeout_ms
-    ?(max_request_bytes = Server.default_max_request_bytes) f =
+    ?(max_request_bytes = Server.default_max_request_bytes) ?max_predicted_cost
+    f =
   let dir = Filename.temp_file "mrpa_srv" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
@@ -399,6 +400,7 @@ let with_server ?(limits = Wire.default_limits) ?idle_timeout_ms
       limits;
       idle_timeout_ms;
       max_request_bytes;
+      max_predicted_cost;
     }
   in
   let server = Server.create config (Snapshot.of_graph (H.paper_graph ())) in
@@ -510,6 +512,107 @@ let test_server_clamps_options () =
               (String.length v >= 12 && String.sub v 0 12 = "partial:fuel")
           | None -> Alcotest.fail "no verdict in result"))
 
+(* absent counter = never incremented = 0 *)
+let counter_of_stats j key =
+  Option.value ~default:0
+    (Option.bind (Json.member "stats" j) (fun s ->
+         Option.bind (Json.member "counters" s) (fun c ->
+             Option.bind (Json.member key c) Json.to_int_opt)))
+
+let test_server_lint_verb () =
+  with_server (fun _server connect _path ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let j =
+            expect_ok "lint"
+              (Client.request conn (simple_req ~query:"[i,alpha,_]*" Wire.Lint))
+          in
+          let lint = Json.member "lint" j in
+          Alcotest.(check bool) "has lint payload" true (Option.is_some lint);
+          Alcotest.(check bool) "has findings list" true
+            (Option.bind lint (Json.member "findings") <> None);
+          Alcotest.(check bool) "has predicted_cost" true
+            (Option.bind lint (Json.member "predicted_cost") <> None);
+          (* an unparseable query is a query_error, not a dead connection *)
+          (match Client.request conn (simple_req ~query:"[[[" Wire.Lint) with
+          | Error m -> Alcotest.failf "bad lint killed connection: %s" m
+          | Ok j ->
+            Alcotest.(check (option string)) "code" (Some "query_error")
+              (Option.bind (Json.member "error" j) (fun e ->
+                   Option.bind (Json.member "code" e) Json.to_string_opt)));
+          (* lint runs are counted, and never occupy a worker *)
+          let j =
+            expect_ok "stats" (Client.request conn (simple_req Wire.Stats))
+          in
+          Alcotest.(check int) "lint counted" 1
+            (counter_of_stats j "server.lints");
+          Alcotest.(check int) "no query dispatched" 0
+            (counter_of_stats j "server.queries")))
+
+let test_server_admission_control () =
+  (* Pick the ceiling from the analysis itself so the test tracks the cost
+     model: just enough for the cheap anchored query, strictly less than
+     the unanchored star needs. *)
+  let cheap = "[i,alpha,_]" and expensive = "([_,alpha,_] | [_,beta,_])*" in
+  let g = H.paper_graph () in
+  let stats = Mrpa_graph.Stat.profile g in
+  let cost_of q =
+    match Parser.parse_spanned g q with
+    | Error _ -> Alcotest.failf "setup: %s does not parse" q
+    | Ok e -> (
+      match
+        (Mrpa_lint.Cost.analyze ~stats g ~max_length:8 e)
+          .Mrpa_lint.Cost.predicted_cost
+      with
+      | Mrpa_lint.Interval.Fin n -> n
+      | Mrpa_lint.Interval.Inf -> Alcotest.fail "setup: infinite bound")
+  in
+  let ceiling = cost_of cheap in
+  Alcotest.(check bool) "setup: the star costs more than the ceiling" true
+    (cost_of expensive > ceiling);
+  with_server ~max_predicted_cost:ceiling (fun _server connect _path ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          (* under the ceiling: admitted and answered *)
+          ignore (expect_ok "cheap query" (Client.request conn (simple_req ~query:cheap Wire.Query)));
+          (* over the ceiling: refused with the dedicated error code *)
+          (match Client.request conn (simple_req ~query:expensive Wire.Query) with
+          | Error m -> Alcotest.failf "rejection killed connection: %s" m
+          | Ok j ->
+            Alcotest.(check (option bool)) "not ok" (Some false)
+              (Option.bind (Json.member "ok" j) Json.to_bool_opt);
+            Alcotest.(check (option string)) "code" (Some "infeasible")
+              (Option.bind (Json.member "error" j) (fun e ->
+                   Option.bind (Json.member "code" e) Json.to_string_opt)));
+          (* the same ceiling applies to count *)
+          (match Client.request conn (simple_req ~query:expensive Wire.Count) with
+          | Error m -> Alcotest.failf "count rejection killed connection: %s" m
+          | Ok j ->
+            Alcotest.(check (option string)) "count code" (Some "infeasible")
+              (Option.bind (Json.member "error" j) (fun e ->
+                   Option.bind (Json.member "code" e) Json.to_string_opt)));
+          (* a parse error still reports as query_error, not infeasible *)
+          (match Client.request conn (simple_req ~query:"[[[" Wire.Query) with
+          | Error m -> Alcotest.failf "parse error killed connection: %s" m
+          | Ok j ->
+            Alcotest.(check (option string)) "parse error code"
+              (Some "query_error")
+              (Option.bind (Json.member "error" j) (fun e ->
+                   Option.bind (Json.member "code" e) Json.to_string_opt)));
+          (* exactly the two rejections were counted, and only the admitted
+             query ever reached the pool *)
+          let j =
+            expect_ok "stats" (Client.request conn (simple_req Wire.Stats))
+          in
+          Alcotest.(check int) "infeasible counted" 2
+            (counter_of_stats j "server.infeasible");
+          Alcotest.(check int) "one query dispatched" 1
+            (counter_of_stats j "server.queries")))
+
 let test_server_shutdown_verb () =
   with_server (fun _server connect _path ->
       let conn = connect () in
@@ -554,6 +657,7 @@ let test_server_tcp_roundtrip () =
           limits = Wire.default_limits;
           idle_timeout_ms = None;
           max_request_bytes = Server.default_max_request_bytes;
+          max_predicted_cost = None;
         }
       in
       let server = Server.create config snap in
@@ -961,6 +1065,9 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_server_roundtrip;
           Alcotest.test_case "clamps options" `Quick test_server_clamps_options;
+          Alcotest.test_case "lint verb" `Quick test_server_lint_verb;
+          Alcotest.test_case "admission control" `Quick
+            test_server_admission_control;
           Alcotest.test_case "shutdown verb" `Quick test_server_shutdown_verb;
           Alcotest.test_case "bad request line" `Quick
             test_server_bad_request_line;
