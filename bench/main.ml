@@ -1017,7 +1017,10 @@ let exp_serve ~full =
       ~n_noise_vertices:(if full then 200 else 60)
       ~n_noise_edges:(if full then 600 else 180)
   in
-  let snap = Snapshot.of_graph g in
+  (* Result caching off: this experiment measures evaluation throughput
+     scaling with workers, which a cache hit would short-circuit after the
+     first request (EXP-T16 measures the caches). *)
+  let snap = Snapshot.of_graph ~result_cache_capacity:0 g in
   let query = "[i,alpha,_] . [_,beta,_]*" in
   (* bound each request: star-closure over the noisy beta edges is
      exponential unbounded, and a throughput benchmark wants many small
@@ -1046,6 +1049,7 @@ let exp_serve ~full =
         idle_timeout_ms = None;
         max_request_bytes = Server.default_max_request_bytes;
         max_predicted_cost = None;
+        allow_remote_shutdown = false;
       }
     in
     let server = Server.create config snap in
@@ -1294,7 +1298,9 @@ let exp_cost ~full =
     ~header:[ "query"; "picked"; "fastest"; "picked ms"; "fastest ms"; "ok" ]
     pick_rows;
   (* Part 2: throughput with and without admission control. *)
-  let snap = Snapshot.of_graph g in
+  (* Result caching off, as in EXP-T13: the admission effect under load is
+     the quantity of interest, not the cache's. *)
+  let snap = Snapshot.of_graph ~result_cache_capacity:0 g in
   let cheap = "[i,alpha,_] . [_,beta,_]" in
   let expensive = "([_,alpha,_] | [_,beta,_])*" in
   let ceiling =
@@ -1326,6 +1332,7 @@ let exp_cost ~full =
         idle_timeout_ms = None;
         max_request_bytes = Server.default_max_request_bytes;
         max_predicted_cost = (if admission then Some ceiling else None);
+        allow_remote_shutdown = false;
       }
     in
     let server = Server.create config snap in
@@ -1412,6 +1419,228 @@ let exp_cost ~full =
       ];
     ]
 
+(* --- EXP-T16: caches under an open-loop zipfian load --------------------------- *)
+
+(* Rows recorded by exp_zipf for the --json summary ("zipf" section of
+   mrpa.bench/1); empty when the experiment was not selected. *)
+let zipf_rows : string list ref = ref []
+
+(* Zipfian rank sampler: weight(rank r) = 1/r^s over [1..n], inverse-CDF
+   over the cumulative weights. Deterministic under the bench Prng. *)
+let zipf_sequence rng ~n ~s ~count =
+  let weights = Array.init n (fun r -> 1.0 /. (float_of_int (r + 1) ** s)) in
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      total := !total +. w;
+      cum.(i) <- !total)
+    weights;
+  Array.init count (fun _ ->
+      let u = Prng.float rng !total in
+      let rec find i = if u <= cum.(i) || i = n - 1 then i else find (i + 1) in
+      find 0)
+
+let exp_zipf ~full =
+  section "EXP-T16 (caches under zipfian load)"
+    "Open-loop load against mrpa serve: one pipelined connection, a sender\n\
+     that fires requests on a fixed schedule regardless of responses (so\n\
+     queueing delay is charged to latency — no coordinated omission), and\n\
+     a receiver matching responses back by id. The query stream is a\n\
+     zipfian draw over a small hot set, the regime the compiled-plan and\n\
+     result caches are built for. Three configurations, same request\n\
+     sequence: caches off, plan cache only, plan + result caches.";
+  let g =
+    Generate.fig1 ~rng:(Prng.create 7)
+      ~n_noise_vertices:(if full then 200 else 60)
+      ~n_noise_edges:(if full then 600 else 180)
+  in
+  (* The hot set: anchored and unanchored shapes over the Figure 1 core,
+     all parseable against fig1+noise, cheap enough to answer under the
+     default ceilings yet real enough that evaluation dominates a parse. *)
+  let hot_set =
+    [|
+      "[i,alpha,_] . [_,beta,_]*";
+      "[j,alpha,_] . [_,beta,_]*";
+      "[_,alpha,j]";
+      "[_,alpha,k]";
+      "[i,alpha,_] . [_,alpha,_]";
+      "[j,beta,_] . [_,beta,_]";
+      "[_,beta,_] . [_,alpha,j]";
+      "[i,alpha,_] | [j,beta,_]";
+      "[i,alpha,_] . [_,beta,_] . [_,alpha,_]";
+      "[n0,beta,_] . [_,alpha,_]";
+      "[n1,alpha,_] . [_,beta,_]*";
+      "[_,alpha,_] . [_,beta,_]";
+    |]
+  in
+  let request_options =
+    { Wire.default_options with max_length = Some 4; limit = Some 50 }
+  in
+  let total = if full then 5_000 else 1_000 in
+  let rate = if full then 5_000.0 else 2_500.0 in
+  let sequence =
+    zipf_sequence (Prng.create 99) ~n:(Array.length hot_set) ~s:1.1
+      ~count:total
+  in
+  let dir = Filename.temp_file "mrpa_bench_zipf" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let run_config (name, plan_cap, result_cap) =
+    let snap =
+      Snapshot.of_graph ~plan_cache_capacity:plan_cap
+        ~result_cache_capacity:result_cap g
+    in
+    let socket_path = Filename.concat dir (name ^ ".sock") in
+    let config =
+      {
+        Server.endpoint = Wire.Unix_socket socket_path;
+        workers = 2;
+        queue_capacity = 64;
+        limits = Wire.default_limits;
+        idle_timeout_ms = None;
+        max_request_bytes = Server.default_max_request_bytes;
+        max_predicted_cost = None;
+        allow_remote_shutdown = false;
+      }
+    in
+    let server = Server.create config snap in
+    let serve_thread = Thread.create (fun () -> Server.serve server) () in
+    let rec await n =
+      if Sys.file_exists socket_path then ()
+      else if n = 0 then failwith "EXP-T16: server did not come up"
+      else begin
+        Unix.sleepf 0.01;
+        await (n - 1)
+      end
+    in
+    await 500;
+    match Client.connect (Wire.Unix_socket socket_path) with
+    | Error m -> failwith ("EXP-T16 connect: " ^ m)
+    | Ok conn ->
+      let scheduled = Array.make total 0.0 in
+      let latencies = Array.make total nan in
+      let ok = Atomic.make 0
+      and overloaded = Atomic.make 0
+      and other = Atomic.make 0 in
+      let t_done = ref 0.0 in
+      (* Receiver first: it must drain while the sender floods, or the
+         server could block writing responses into a full socket buffer
+         while the sender blocks writing requests — a pipelining deadlock. *)
+      let receiver =
+        Thread.create
+          (fun () ->
+            for _ = 1 to total do
+              match Client.receive conn with
+              | Error m -> Printf.eprintf "EXP-T16 receive: %s\n" m
+              | Ok j -> (
+                let now = Unix.gettimeofday () in
+                match Option.bind (Sjson.member "ok" j) Sjson.to_bool_opt with
+                | Some true ->
+                  Atomic.incr ok;
+                  (* only answered requests are charged to the latency
+                     distribution — a shed request is fast by definition *)
+                  (match Client.response_id j with
+                  | Sjson.Number f ->
+                    let i = int_of_float f - 1 in
+                    if i >= 0 && i < total then
+                      latencies.(i) <- now -. scheduled.(i)
+                  | _ -> ())
+                | _ ->
+                  let code =
+                    Option.bind (Sjson.member "error" j) (fun e ->
+                        Option.bind (Sjson.member "code" e) Sjson.to_string_opt)
+                  in
+                  if code = Some "overloaded" then Atomic.incr overloaded
+                  else Atomic.incr other)
+            done;
+            t_done := Unix.gettimeofday ())
+          ()
+      in
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to total - 1 do
+        let due = t0 +. (float_of_int i /. rate) in
+        let now = Unix.gettimeofday () in
+        if due -. now > 0.002 then Thread.delay (due -. now);
+        (* open loop: a late sender charges the delay to the request *)
+        scheduled.(i) <- due;
+        let req =
+          {
+            Wire.id = Sjson.Number (float_of_int (i + 1));
+            verb = Wire.Query;
+            query = Some hot_set.(sequence.(i));
+            options = request_options;
+          }
+        in
+        match Client.send conn req with
+        | Ok () -> ()
+        | Error m -> Printf.eprintf "EXP-T16 send: %s\n" m
+      done;
+      Thread.join receiver;
+      Client.close conn;
+      Server.stop server;
+      Thread.join serve_thread;
+      let wall_s = max 1e-9 (!t_done -. t0) in
+      let ok_lat =
+        Array.of_list
+          (List.filter
+             (fun l -> not (Float.is_nan l))
+             (Array.to_list latencies))
+      in
+      Array.sort compare ok_lat;
+      let p50 = percentile ok_lat 0.50 *. 1e3
+      and p95 = percentile ok_lat 0.95 *. 1e3 in
+      let ok = Atomic.get ok
+      and overloaded = Atomic.get overloaded
+      and other = Atomic.get other in
+      let ok_qps = float_of_int ok /. wall_s in
+      let plan_hits, plan_misses = Snapshot.plan_cache_stats snap in
+      let res_hits, res_misses, _ = Snapshot.result_cache_stats snap in
+      let rate_of h m =
+        if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+      in
+      zipf_rows :=
+        Printf.sprintf
+          "{\"config\":\"%s\",\"requests\":%d,\"offered_qps\":%.0f,\"ok\":%d,\"overloaded\":%d,\"other\":%d,\"ok_qps\":%.1f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"parses\":%d,\"plan_hit_rate\":%.3f,\"result_hit_rate\":%.3f}"
+          name total rate ok overloaded other ok_qps p50 p95
+          (Snapshot.parse_count snap)
+          (rate_of plan_hits plan_misses)
+          (rate_of res_hits res_misses)
+        :: !zipf_rows;
+      [
+        name;
+        string_of_int ok;
+        string_of_int overloaded;
+        Printf.sprintf "%.0f" ok_qps;
+        Printf.sprintf "%.2f" p50;
+        Printf.sprintf "%.2f" p95;
+        string_of_int (Snapshot.parse_count snap);
+        Printf.sprintf "%.1f%%" (100.0 *. rate_of plan_hits plan_misses);
+        Printf.sprintf "%.1f%%" (100.0 *. rate_of res_hits res_misses);
+      ]
+  in
+  let rows =
+    List.map run_config
+      [
+        ("caches-off", 0, 0);
+        ("plan-only", 1024, 0);
+        ("plan+result", 1024, 256);
+      ]
+  in
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  print_table
+    ~title:
+      (Printf.sprintf
+         "zipf(s=1.1) over %d hot queries, %d requests offered at %.0f/s, \
+          2 workers"
+         (Array.length hot_set) total rate)
+    ~header:
+      [
+        "config"; "ok"; "shed"; "ok qps"; "p50 ms"; "p95 ms"; "parses";
+        "plan hit"; "result hit";
+      ]
+    rows
+
 (* --- Machine-readable summary (--json) ---------------------------------------- *)
 
 (* A fixed set of representative engine runs whose mrpa.profile/1 documents
@@ -1472,10 +1701,11 @@ let bench_json ~full ~timings =
   let serve = String.concat "," (List.rev !serve_rows) in
   let journal = String.concat "," !journal_rows in
   let cost = String.concat "," (List.rev !cost_rows) in
+  let zipf = String.concat "," (List.rev !zipf_rows) in
   Printf.sprintf
-    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"journal\":[%s],\"cost\":[%s],\"profiles\":[%s]}"
+    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"journal\":[%s],\"cost\":[%s],\"zipf\":[%s],\"profiles\":[%s]}"
     (esc (if full then "full" else "default"))
-    experiments serve journal cost profiles
+    experiments serve journal cost zipf profiles
 
 (* --- Driver ------------------------------------------------------------------ *)
 
@@ -1499,6 +1729,7 @@ let experiments =
     ("serve", exp_serve);
     ("journal", exp_journal);
     ("cost", exp_cost);
+    ("zipf", exp_zipf);
   ]
 
 let () =

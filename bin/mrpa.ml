@@ -1091,12 +1091,42 @@ let serve_cmd =
              predicted cost (same units as --max-fuel) exceeds $(docv). \
              Unset: admit everything.")
   in
+  let plan_cache_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:
+            "Capacity of the compiled-plan LRU cache (entries). Admission \
+             control, the lint verb and worker evaluation share one parse \
+             + cost analysis per cached query text. 0 disables the cache.")
+  in
+  let result_cache_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "result-cache" ] ~docv:"N"
+          ~doc:
+            "Capacity of the result cache (entries) holding \
+             Complete-verdict responses, invalidated whenever the source \
+             graph changes. 0 disables the cache.")
+  in
+  let allow_remote_shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-remote-shutdown" ]
+          ~doc:
+            "Honour the shutdown verb on TCP sessions. Without this flag \
+             only Unix-domain clients may stop the server; a TCP shutdown \
+             request is refused with an unauthorized wire error.")
+  in
   let run graph socket port host workers queue max_deadline_ms max_fuel
       max_paths_cap max_limit max_length_cap idle_timeout_ms max_request_bytes
-      max_predicted_cost =
+      max_predicted_cost plan_cache result_cache allow_remote_shutdown =
     let endpoint = endpoint_of_flags ~socket ~port ~host in
     let snapshot =
-      try Mrpa_server.Snapshot.load graph with
+      try
+        Mrpa_server.Snapshot.load ~plan_cache_capacity:plan_cache
+          ~result_cache_capacity:result_cache graph
+      with
       | Sys_error msg -> or_die (Error msg)
       | Io.Malformed (line, text) ->
         or_die
@@ -1118,6 +1148,7 @@ let serve_cmd =
         idle_timeout_ms;
         max_request_bytes;
         max_predicted_cost;
+        allow_remote_shutdown;
       }
     in
     let server =
@@ -1140,6 +1171,24 @@ let serve_cmd =
       (Mrpa_server.Wire.endpoint_to_string endpoint)
       workers queue graph
       (Format.asprintf "%a" Mrpa_server.Snapshot.pp_stats snapshot);
+    (* Announce the endpoint actually bound once serve is listening — with
+       `--port 0` the kernel picks the port, and scripts (and the cram
+       tests) grep this line to find it. *)
+    ignore
+      (Thread.create
+         (fun () ->
+           let rec wait n =
+             if n > 0 then
+               match Mrpa_server.Server.bound_endpoint server with
+               | Some ep ->
+                 Printf.eprintf "mrpa serve: listening on %s\n%!"
+                   (Mrpa_server.Wire.endpoint_to_string ep)
+               | None ->
+                 Thread.delay 0.01;
+                 wait (n - 1)
+           in
+           wait 1_000)
+         ());
     (match Mrpa_server.Server.serve server with
     | () -> ()
     | exception Unix.Unix_error (err, _, arg) ->
@@ -1156,7 +1205,8 @@ let serve_cmd =
       const run $ graph_flag $ socket_arg $ port_arg $ host_arg $ workers_arg
       $ queue_arg $ max_deadline_arg $ max_fuel_arg $ max_paths_cap_arg
       $ max_limit_arg $ max_length_cap_arg $ idle_timeout_arg
-      $ max_request_bytes_arg $ max_predicted_cost_arg)
+      $ max_request_bytes_arg $ max_predicted_cost_arg $ plan_cache_arg
+      $ result_cache_arg $ allow_remote_shutdown_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1201,6 +1251,19 @@ let call_cmd =
              predicted cost/cardinality) without running it; answered \
              inline, never occupying a worker.")
   in
+  let pipeline_flag =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "Pipelined mode: read one query per line from standard input, \
+             send them all on one connection tagged with ids 1..N, and \
+             print each response line as it arrives — possibly out of \
+             order; match responses to queries by their id field. \
+             Combines with --count and the per-request option flags \
+             (applied to every query); exclusive with --ping, --stats, \
+             --shutdown and --lint.")
+  in
   let retries_arg =
     Arg.(
       value & opt int 0
@@ -1208,7 +1271,8 @@ let call_cmd =
           ~doc:
             "Retry up to $(docv) extra times on a refused/absent endpoint \
              or an overloaded response, with exponential backoff and full \
-             jitter between attempts. 0 (the default) tries exactly once.")
+             jitter between attempts. 0 (the default) tries exactly once. \
+             Ignored in --pipeline mode.")
   in
   let backoff_arg =
     Arg.(
@@ -1218,10 +1282,115 @@ let call_cmd =
             "Base of the backoff window: retry $(i,k) sleeps between \
              $(docv)*2^k/2 and $(docv)*2^k milliseconds (capped at 10s).")
   in
-  let run socket port host query_opt ping stats shutdown count lint strategy
-      limit max_length simple deadline_ms fuel max_paths retries backoff_ms =
+  let run socket port host query_opt ping stats shutdown count lint pipeline
+      strategy limit max_length simple deadline_ms fuel max_paths retries
+      backoff_ms =
     let endpoint = endpoint_of_flags ~socket ~port ~host in
     let module S = Mrpa_server in
+    let options =
+      {
+        S.Wire.strategy;
+        limit;
+        max_length =
+          (* only send a bound the user actually chose, so the server's
+             cap applies to unset requests *)
+          (if max_length = Mrpa_engine.Engine.default_max_length then None
+           else Some max_length);
+        simple;
+        deadline_ms;
+        fuel;
+        max_paths;
+      }
+    in
+    (* A response line's contribution to the exit-code policy: any error
+       response wins over any partial result over all-complete. *)
+    let response_status line =
+      match S.Json.parse line with
+      | Error _ -> `Error
+      | Ok json -> (
+        match S.Json.member "ok" json with
+        | Some (S.Json.Bool true) ->
+          let verdict =
+            match S.Json.member "result" json with
+            | Some result -> S.Json.member "verdict" result
+            | None -> S.Json.member "verdict" json
+          in
+          let partial =
+            match Option.bind verdict S.Json.to_string_opt with
+            | Some v -> String.length v >= 7 && String.sub v 0 7 = "partial"
+            | None -> false
+          in
+          if partial then `Partial else `Complete
+        | _ -> `Error)
+    in
+    if pipeline then begin
+      if ping || stats || shutdown || lint then
+        or_die
+          (Error
+             "--pipeline is exclusive with --ping, --stats, --shutdown and \
+              --lint");
+      let verb = if count then S.Wire.Count else S.Wire.Query in
+      let queries =
+        let rec read acc =
+          match input_line stdin with
+          | line ->
+            read (if String.trim line = "" then acc else line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        read []
+      in
+      if queries = [] then exit Mrpa_engine.Err.exit_ok;
+      let conn = or_die (S.Client.connect endpoint) in
+      let n = List.length queries in
+      let any_error = ref false in
+      let any_partial = ref false in
+      (* One receiver thread drains responses while the main thread is
+         still sending — without it, a server blocked writing responses
+         into a full socket buffer would deadlock against a client blocked
+         writing requests. *)
+      let receiver =
+        Thread.create
+          (fun () ->
+            let rec drain remaining =
+              if remaining > 0 then
+                match S.Client.receive_raw conn with
+                | Error msg ->
+                  Printf.eprintf "error: %s\n%!" msg;
+                  any_error := true
+                | Ok line ->
+                  print_endline line;
+                  (match response_status line with
+                  | `Error -> any_error := true
+                  | `Partial -> any_partial := true
+                  | `Complete -> ());
+                  drain (remaining - 1)
+            in
+            drain n)
+          ()
+      in
+      List.iteri
+        (fun i q ->
+          let req =
+            {
+              S.Wire.id = S.Json.Number (float_of_int (i + 1));
+              verb;
+              query = Some q;
+              options;
+            }
+          in
+          match S.Client.send conn req with
+          | Ok () -> ()
+          | Error msg ->
+            Printf.eprintf "error: %s\n%!" msg;
+            any_error := true)
+        queries;
+      Thread.join receiver;
+      S.Client.close conn;
+      exit
+        (if !any_error then Mrpa_engine.Err.exit_user_error
+         else if !any_partial then Mrpa_engine.Err.exit_partial
+         else Mrpa_engine.Err.exit_ok)
+    end;
     let verb =
       match (ping, stats, shutdown, count, lint) with
       | true, false, false, false, false -> S.Wire.Ping
@@ -1242,66 +1411,31 @@ let call_cmd =
       | (S.Wire.Query | S.Wire.Count | S.Wire.Lint), some -> some
       | _, _ -> None
     in
-    let request =
-      {
-        S.Wire.id = S.Json.Null;
-        verb;
-        query;
-        options =
-          {
-            S.Wire.strategy;
-            limit;
-            max_length =
-              (* only send a bound the user actually chose, so the server's
-                 cap applies to unset requests *)
-              (if max_length = Mrpa_engine.Engine.default_max_length then None
-               else Some max_length);
-            simple;
-            deadline_ms;
-            fuel;
-            max_paths;
-          };
-      }
-    in
+    let request = { S.Wire.id = S.Json.Null; verb; query; options } in
     let policy = { S.Client.retries = max 0 retries; backoff_ms } in
     let line = or_die (S.Client.request_retry ~policy endpoint request) in
     (* Print the response verbatim (it is already one JSON line), then turn
        its verdict into the standard exit-code policy. *)
     print_endline line;
-    match S.Json.parse line with
-    | Error msg -> or_die (Error (Printf.sprintf "bad response: %s" msg))
-    | Ok json -> (
-      match S.Json.member "ok" json with
-      | Some (S.Json.Bool true) ->
-        let verdict =
-          match S.Json.member "result" json with
-          | Some result -> S.Json.member "verdict" result
-          | None -> S.Json.member "verdict" json
-        in
-        let partial =
-          match Option.bind verdict S.Json.to_string_opt with
-          | Some v ->
-            String.length v >= 7 && String.sub v 0 7 = "partial"
-          | None -> false
-        in
-        exit
-          (if partial then Mrpa_engine.Err.exit_partial
-           else Mrpa_engine.Err.exit_ok)
-      | _ -> exit Mrpa_engine.Err.exit_user_error)
+    match response_status line with
+    | `Error -> exit Mrpa_engine.Err.exit_user_error
+    | `Partial -> exit Mrpa_engine.Err.exit_partial
+    | `Complete -> exit Mrpa_engine.Err.exit_ok
   in
   let term =
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ query_pos_opt $ ping_flag
       $ stats_flag $ shutdown_flag $ call_count_flag $ call_lint_flag
-      $ strategy_arg $ limit_arg $ max_length_arg $ simple_arg $ deadline_arg
-      $ fuel_arg $ max_paths_arg $ retries_arg $ backoff_arg)
+      $ pipeline_flag $ strategy_arg $ limit_arg $ max_length_arg $ simple_arg
+      $ deadline_arg $ fuel_arg $ max_paths_arg $ retries_arg $ backoff_arg)
   in
   Cmd.v
     (Cmd.info "call"
        ~doc:
          "Send one mrpa.wire/1 request to a running `mrpa serve` and print \
-          the response line. Exits 0 on a complete result, 3 on a partial \
-          one (budget or limit), 1 on any error response.")
+          the response line (or, with --pipeline, many requests on one \
+          connection). Exits 0 on a complete result, 3 on a partial one \
+          (budget or limit), 1 on any error response.")
     term
 
 (* --- fsck --------------------------------------------------------------------------- *)

@@ -9,11 +9,14 @@ type result = {
 
 let default_max_length = 8
 
+let query_plan ?limit ?budget g plan =
+  let o = Eval.run_governed ?limit ?budget g plan in
+  { paths = o.Eval.paths; plan; verdict = o.Eval.verdict; stats = o.Eval.stats }
+
 let query_expr ?strategy ?simple ?stats ?(max_length = default_max_length)
     ?limit ?budget g expr =
   let plan = Optimizer.plan ?strategy ?simple ?stats ~max_length g expr in
-  let o = Eval.run_governed ?limit ?budget g plan in
-  { paths = o.Eval.paths; plan; verdict = o.Eval.verdict; stats = o.Eval.stats }
+  query_plan ?limit ?budget g plan
 
 let query ?strategy ?simple ?stats ?max_length ?limit ?budget g text =
   match Parser.parse g text with
@@ -63,6 +66,19 @@ let count_expr ?(max_length = default_max_length) ?budget g expr =
     match budget with None -> Guard.none | Some b -> Budget.guard b
   in
   let n = Mrpa_automata.Counting.count ~guard g optimized ~max_length in
+  (n, Budget.verdict ~returned:n budget)
+
+(* Counting over an already-built plan reuses its optimised expression and
+   length bound — the server's plan cache hands the same [Plan.t] to both
+   the query and count verbs. *)
+let count_plan ?budget g (plan : Plan.t) =
+  let guard =
+    match budget with None -> Guard.none | Some b -> Budget.guard b
+  in
+  let n =
+    Mrpa_automata.Counting.count ~guard g plan.Plan.optimized
+      ~max_length:plan.Plan.max_length
+  in
   (n, Budget.verdict ~returned:n budget)
 
 let count_governed ?max_length ?budget g text =

@@ -72,6 +72,12 @@ val query_expr :
   result
 (** Programmatic entry point, skipping the parser. *)
 
+val query_plan : ?limit:int -> ?budget:Budget.t -> Digraph.t -> Plan.t -> result
+(** Execute an already-built plan, skipping parse and optimise entirely —
+    the entry point the server's compiled-plan cache feeds. Equivalent to
+    {!query_expr} on [plan.original] with the plan's own strategy,
+    max_length and simple flag. *)
+
 val count :
   ?max_length:int -> Digraph.t -> string -> (int, string) Stdlib.result
 (** Number of distinct paths the query denotes within the bound, computed
@@ -90,6 +96,10 @@ val count_governed :
 
 val count_expr :
   ?max_length:int -> ?budget:Budget.t -> Digraph.t -> Expr.t -> int * Err.verdict
+
+val count_plan : ?budget:Budget.t -> Digraph.t -> Plan.t -> int * Err.verdict
+(** {!count_expr} over a plan's already-optimised expression at the plan's
+    length bound — no re-parse, no re-simplify. *)
 
 val equivalent :
   Digraph.t -> string -> string -> (bool, string) Stdlib.result

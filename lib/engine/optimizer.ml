@@ -129,19 +129,18 @@ let plan ?strategy ?(simple = false) ?stats ~max_length g expr =
   let optimized, rewrites, notes = simplify_notes expr in
   let prof = match stats with Some p -> p | None -> Stat.profile g in
   let cost = Mrpa_lint.Cost.analyze_expr ~stats:prof g ~max_length optimized in
-  let strategy, strategy_reason =
-    match strategy with
-    | Some s -> (s, "forced by caller")
-    | None -> choose_strategy g cost optimized
+  let chosen, strategy_reason = choose_strategy g cost optimized in
+  let p =
+    {
+      Plan.original = expr;
+      optimized;
+      strategy = chosen;
+      max_length;
+      simple;
+      rewrites;
+      strategy_reason;
+      notes = notes @ Mrpa_lint.Cost.diagnostics cost;
+      cost;
+    }
   in
-  {
-    Plan.original = expr;
-    optimized;
-    strategy;
-    max_length;
-    simple;
-    rewrites;
-    strategy_reason;
-    notes = notes @ Mrpa_lint.Cost.diagnostics cost;
-    cost;
-  }
+  match strategy with None -> p | Some s -> Plan.with_strategy p s

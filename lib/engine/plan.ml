@@ -25,6 +25,10 @@ let strategy_of_string = function
   | "bfs" | "product-bfs" -> Some Product_bfs
   | _ -> None
 
+let with_strategy p s =
+  if p.strategy = s then p
+  else { p with strategy = s; strategy_reason = "forced by caller" }
+
 let pp_with pp_expr fmt p =
   Format.fprintf fmt "@[<v>plan:@,  expression: %a@,  optimized:  %a@," pp_expr
     p.original pp_expr p.optimized;

@@ -48,6 +48,12 @@ val strategy_of_string : string -> strategy option
 (** Inverse of {!strategy_name}, also accepting the CLI short forms
     ["stack"] and ["bfs"]. *)
 
+val with_strategy : t -> strategy -> t
+(** Override the planner's strategy choice, recording "forced by caller"
+    as the reason. A constant-time record update — this is what lets the
+    server's compiled-plan cache ignore per-request strategy overrides in
+    its key and apply them on the way out instead. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line EXPLAIN-style rendering with raw integer ids. *)
 

@@ -82,13 +82,41 @@ let read_line conn =
   in
   loop ()
 
-let request_raw conn line =
+(* --- Pipelined mode ------------------------------------------------------ *)
+
+(* [send]/[receive] split the write and the read so a caller can keep
+   several tagged requests in flight on one connection; the server may
+   answer them in any order, and the request [id] is the correlation key.
+   The synchronous [request*] API below is send-then-receive. *)
+
+let send_raw conn line =
   if conn.closed then Error "connection is closed"
   else
     match write_all conn.fd (line ^ "\n") with
-    | () -> read_line conn
+    | () -> Ok ()
     | exception Unix.Unix_error (err, _, _) ->
       Error (Printf.sprintf "send failed: %s" (Unix.error_message err))
+
+let send conn req = send_raw conn (Wire.encode_request req)
+
+let receive_raw conn =
+  if conn.closed then Error "connection is closed" else read_line conn
+
+let receive conn =
+  match receive_raw conn with
+  | Error _ as e -> e
+  | Ok line -> (
+    match Json.parse line with
+    | Ok json -> Ok json
+    | Error msg -> Error (Printf.sprintf "bad response: %s" msg))
+
+let response_id json =
+  Option.value ~default:Json.Null (Json.member "id" json)
+
+let request_raw conn line =
+  match send_raw conn line with
+  | Error _ as e -> e
+  | Ok () -> read_line conn
 
 let request conn req =
   match request_raw conn (Wire.encode_request req) with

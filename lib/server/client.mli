@@ -1,15 +1,43 @@
-(** A minimal synchronous [mrpa.wire/1] client.
+(** A minimal [mrpa.wire/1] client.
 
-    One connection, one request in flight: {!request} writes a line and
-    blocks for the response line, which matches the server's session
-    discipline exactly. Used by [mrpa call], the closed-loop benchmark
-    (EXP-T13) and the end-to-end tests. *)
+    Two modes over the same connection type. The synchronous mode
+    ({!request}) writes a line and blocks for the response line — one
+    request in flight. The pipelined mode splits the halves: {!send} any
+    number of tagged requests, then {!receive} responses as the server
+    finishes them — possibly out of order, matched back to their requests
+    by the echoed [id] ({!response_id}). Used by [mrpa call] (plain and
+    [--pipeline]), the server benchmarks (closed-loop EXP-T13, open-loop
+    EXP-T16) and the end-to-end tests.
+
+    A [conn] itself is not thread-safe; the supported concurrent layout is
+    one sender thread and one receiver thread, which is safe because the
+    two halves touch disjoint state (the kernel socket buffer arbitrates
+    between them). *)
 
 type conn
 
 val connect : Wire.endpoint -> (conn, string) result
 (** Open a stream connection. [Error] carries a rendered reason
     (connection refused, no such socket, unresolvable host, ...). *)
+
+val send : conn -> Wire.request -> (unit, string) result
+(** Write one request line without waiting for the response. Give each
+    in-flight request a distinct [id] or the responses cannot be told
+    apart. *)
+
+val send_raw : conn -> string -> (unit, string) result
+(** {!send} for an already-encoded line. *)
+
+val receive : conn -> (Json.t, string) result
+(** Block for the next response line, whichever request it answers, and
+    parse it. *)
+
+val receive_raw : conn -> (string, string) result
+(** Block for the next response line, unparsed. *)
+
+val response_id : Json.t -> Json.t
+(** The [id] a response echoes ({!Json.Null} when absent) — the key to
+    match pipelined responses back to their requests. *)
 
 val request_raw : conn -> string -> (string, string) result
 (** Send one already-encoded request line and read one response line. *)

@@ -9,6 +9,7 @@ type config = {
   idle_timeout_ms : float option;
   max_request_bytes : int;
   max_predicted_cost : int option;
+  allow_remote_shutdown : bool;
 }
 
 let default_max_request_bytes = 1_048_576
@@ -31,6 +32,9 @@ type t = {
   mutable connections : int;
   sessions_lock : Mutex.t;
   started_ns : int64;
+  (* The endpoint actually bound — differs from [config.endpoint] when a
+     TCP port of 0 asked the kernel to pick one. Set once by {!serve}. *)
+  bound : Wire.endpoint option Atomic.t;
 }
 
 let create config snapshot =
@@ -50,9 +54,11 @@ let create config snapshot =
     connections = 0;
     sessions_lock = Mutex.create ();
     started_ns = Metrics.now_ns ();
+    bound = Atomic.make None;
   }
 
 let stop t = Atomic.set t.stopping true
+let bound_endpoint t = Atomic.get t.bound
 
 let connections_served t =
   Mutex.lock t.sessions_lock;
@@ -97,24 +103,64 @@ let write_all fd s =
 
 let write_line fd line = write_all fd (line ^ "\n")
 
+(* Per-connection state shared between the session thread and the worker
+   jobs it dispatched. With pipelining, several workers may finish for the
+   same connection at once: [write_lock] makes each response line atomic on
+   the socket, and [pending]/[drained] let the session wait for its last
+   worker before closing the fd — a worker must never write into a file
+   descriptor that has been closed (and possibly reused) under it. *)
+type session_state = {
+  fd : Unix.file_descr;
+  write_lock : Mutex.t;
+  mutable pending : int;
+  pending_lock : Mutex.t;
+  drained : Condition.t;
+}
+
+let session_state fd =
+  {
+    fd;
+    write_lock = Mutex.create ();
+    pending = 0;
+    pending_lock = Mutex.create ();
+    drained = Condition.create ();
+  }
+
+(* Best-effort: a client that already vanished must not crash the worker
+   or the session delivering its response. *)
+let send ss response =
+  with_lock ss.write_lock (fun () ->
+      try write_line ss.fd response with Unix.Unix_error _ -> ())
+
+let job_started ss =
+  with_lock ss.pending_lock (fun () -> ss.pending <- ss.pending + 1)
+
+let job_finished ss =
+  with_lock ss.pending_lock (fun () ->
+      ss.pending <- ss.pending - 1;
+      if ss.pending = 0 then Condition.broadcast ss.drained)
+
+let await_drain ss =
+  with_lock ss.pending_lock (fun () ->
+      while ss.pending > 0 do
+        Condition.wait ss.drained ss.pending_lock
+      done)
+
 (* Stop-aware buffered line reader with two hardening bounds.
 
    [carry] holds bytes read past the last newline. [Timed_out] fires when
-   no complete request line arrives within the idle deadline — one clock
-   covers both the idle connection and the slowloris drip-feeder, since
-   what matters is time-to-a-complete-line, not time-between-bytes.
+   no complete request line arrives before [deadline] — one clock covers
+   both the idle connection and the slowloris drip-feeder, since what
+   matters is time-to-a-complete-line, not time-between-bytes. The caller
+   computes the deadline once per request cycle, so a client feeding blank
+   lines (which complete but carry nothing) cannot keep resetting it.
    [Too_long] fires as soon as the (partial or complete) line exceeds the
    byte cap, so a hostile client can make us buffer at most
    [max_request_bytes + one chunk], never an unbounded heap. *)
 type read_outcome = Line of string | Eof | Timed_out | Too_long
 
-let read_line_stop t fd carry =
+let read_line_stop t fd carry ~deadline =
   let cap = t.config.max_request_bytes in
-  let deadline =
-    Option.map
-      (fun ms -> Int64.add (Metrics.now_ns ()) (Int64.of_float (ms *. 1e6)))
-      t.config.idle_timeout_ms
-  in
   let take_line () =
     match String.index_opt !carry '\n' with
     | None -> if String.length !carry > cap then Some Too_long else None
@@ -163,79 +209,84 @@ let read_line_stop t fd carry =
   in
   loop ()
 
+let request_deadline t =
+  Option.map
+    (fun ms -> Int64.add (Metrics.now_ns ()) (Int64.of_float (ms *. 1e6)))
+    t.config.idle_timeout_ms
+
 (* --- Request execution -------------------------------------------------- *)
 
 let esc = Metrics.escape_string
-
-let run_query t (req : Wire.request) (o : Wire.options) budget =
-  let g = Snapshot.graph t.snapshot in
-  let query_text = Option.get req.Wire.query in
-  let note_verdict verdict =
-    match verdict with
-    | Err.Complete -> ()
-    | Err.Partial _ -> m_incr t "server.partial"
-  in
-  match req.Wire.verb with
-  | Wire.Query -> (
-    match
-      Engine.query ?strategy:o.Wire.strategy ~simple:o.Wire.simple
-        ~stats:(Snapshot.profile t.snapshot) ?max_length:o.Wire.max_length
-        ?limit:o.Wire.limit ~budget g query_text
-    with
-    | Ok r ->
-      m_incr t "server.queries";
-      note_verdict r.Engine.verdict;
-      Wire.response_ok ~id:req.Wire.id
-        [ ("result", Render.result_json g r) ]
-    | Error msg ->
-      m_incr t "server.query_errors";
-      Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error msg)
-  | Wire.Count -> (
-    match
-      Engine.count_governed ?max_length:o.Wire.max_length ~budget g query_text
-    with
-    | Ok (n, verdict) ->
-      m_incr t "server.counts";
-      note_verdict verdict;
-      Wire.response_ok ~id:req.Wire.id
-        [
-          ("count", string_of_int n);
-          ("verdict", esc (Err.verdict_name verdict));
-        ]
-    | Error msg ->
-      m_incr t "server.query_errors";
-      Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error msg)
-  | Wire.Lint | Wire.Stats | Wire.Ping | Wire.Shutdown ->
-    assert false (* handled inline *)
 
 let effective_max_length t (o : Wire.options) =
   match o.Wire.max_length with
   | Some m -> m
   | None -> min Engine.default_max_length t.config.limits.Wire.max_length_cap
 
+(* Execute a compiled plan for query/count. [gen0] is the result-cache
+   generation observed before dispatch; a Complete payload is offered back
+   to the cache under it, so a write racing with this evaluation silently
+   vetoes the insert (Snapshot.cache_result). *)
+let eval_compiled t (req : Wire.request) (o : Wire.options) rkey gen0
+    (c : Snapshot.compiled) budget =
+  let g = Snapshot.graph t.snapshot in
+  let plan =
+    match o.Wire.strategy with
+    | None -> c.Snapshot.plan
+    | Some s -> Plan.with_strategy c.Snapshot.plan s
+  in
+  let note_verdict verdict =
+    match verdict with
+    | Err.Complete -> ()
+    | Err.Partial _ -> m_incr t "server.partial"
+  in
+  match req.Wire.verb with
+  | Wire.Query ->
+    let r = Engine.query_plan ?limit:o.Wire.limit ~budget g plan in
+    m_incr t "server.queries";
+    note_verdict r.Engine.verdict;
+    let payload = [ ("result", Render.result_json g r) ] in
+    if r.Engine.verdict = Err.Complete then
+      Snapshot.cache_result t.snapshot ~generation:gen0 rkey payload;
+    Wire.response_ok ~id:req.Wire.id payload
+  | Wire.Count ->
+    let n, verdict = Engine.count_plan ~budget g plan in
+    m_incr t "server.counts";
+    note_verdict verdict;
+    let payload =
+      [ ("count", string_of_int n); ("verdict", esc (Err.verdict_name verdict)) ]
+    in
+    if verdict = Err.Complete then
+      Snapshot.cache_result t.snapshot ~generation:gen0 rkey payload;
+    Wire.response_ok ~id:req.Wire.id payload
+  | Wire.Lint | Wire.Stats | Wire.Ping | Wire.Shutdown ->
+    assert false (* handled inline *)
+
 (* The lint verb never evaluates anything, so it is answered inline by the
    session thread like [stats] — a pre-flight check must not be able to
-   queue behind the evaluations it is meant to avert. *)
+   queue behind the evaluations it is meant to avert. It reads the same
+   plan-cache entry the evaluation path will use. *)
 let lint_response t (req : Wire.request) =
   let g = Snapshot.graph t.snapshot in
   let query_text = Option.get req.Wire.query in
   let o = Wire.clamp t.config.limits req.Wire.options in
-  match Parser.parse_spanned g query_text with
-  | Error e ->
+  let max_length = effective_max_length t o in
+  match
+    Snapshot.compile t.snapshot ~max_length ~simple:o.Wire.simple query_text
+  with
+  | Error msg ->
     m_incr t "server.query_errors";
-    Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error
-      (Parser.render_error ~source:query_text e)
-  | Ok spanned ->
+    Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error msg
+  | Ok c ->
     m_incr t "server.lints";
-    let max_length = effective_max_length t o in
     let stats = Snapshot.profile t.snapshot in
     let diags =
       Mrpa_lint.Lint.analyze
         ~signature:(Snapshot.signature t.snapshot)
         ~stats ~max_length ?fuel:o.Wire.fuel ?deadline_ms:o.Wire.deadline_ms g
-        spanned
+        c.Snapshot.spanned
     in
-    let cost = Mrpa_lint.Cost.analyze ~stats g ~max_length spanned in
+    let cost = c.Snapshot.cost in
     let bound_json = function
       | Mrpa_lint.Interval.Fin n -> string_of_int n
       | Mrpa_lint.Interval.Inf -> esc "inf"
@@ -258,44 +309,34 @@ let lint_response t (req : Wire.request) =
     in
     Wire.response_ok ~id:req.Wire.id [ ("lint", payload) ]
 
-(* Static admission control: with a [--max-predicted-cost] ceiling set,
-   every query/count is cost-analysed in the session thread — against the
-   snapshot's cached statistics, so this is automaton-sized work, not
-   graph-sized — and a query whose predicted cost exceeds the ceiling is
-   refused with an [infeasible] error before a pool worker ever sees it.
-   Unparseable queries fall through: the evaluation path owns the parse
-   error so its shape stays identical with and without admission. *)
-let admission_reject t (req : Wire.request) =
-  match (t.config.max_predicted_cost, req.Wire.query) with
-  | None, _ | _, None -> None
-  | Some ceiling, Some query_text -> (
-    let g = Snapshot.graph t.snapshot in
-    let o = Wire.clamp t.config.limits req.Wire.options in
-    match Parser.parse_spanned g query_text with
-    | Error _ -> None
-    | Ok spanned ->
-      let cost =
-        Mrpa_lint.Cost.analyze
-          ~stats:(Snapshot.profile t.snapshot)
-          g
-          ~max_length:(effective_max_length t o)
-          spanned
-      in
-      let predicted = cost.Mrpa_lint.Cost.predicted_cost in
-      if Mrpa_lint.Interval.b_exceeds_int predicted ceiling then begin
-        m_incr t "server.infeasible";
-        Some
-          (Wire.response_error ~id:req.Wire.id ~code:Wire.Infeasible
-             (Printf.sprintf
-                "predicted cost %s work units exceeds the server ceiling \
-                 %d; narrow the query or lower max_length"
-                (Mrpa_lint.Interval.b_to_string predicted)
-                ceiling))
-      end
-      else None)
+(* Static admission control: with a [--max-predicted-cost] ceiling set, a
+   query whose predicted cost exceeds the ceiling is refused with an
+   [infeasible] error before a pool worker ever sees it. The analysis now
+   comes straight off the plan-cache entry, so admission on a hot query is
+   one LRU lookup, not a parse + abstract interpretation. *)
+let admission_reject t (req : Wire.request) (c : Snapshot.compiled) =
+  match t.config.max_predicted_cost with
+  | None -> None
+  | Some ceiling ->
+    let predicted = c.Snapshot.cost.Mrpa_lint.Cost.predicted_cost in
+    if Mrpa_lint.Interval.b_exceeds_int predicted ceiling then begin
+      m_incr t "server.infeasible";
+      Some
+        (Wire.response_error ~id:req.Wire.id ~code:Wire.Infeasible
+           (Printf.sprintf
+              "predicted cost %s work units exceeds the server ceiling \
+               %d; narrow the query or lower max_length"
+              (Mrpa_lint.Interval.b_to_string predicted)
+              ceiling))
+    end
+    else None
 
 let stats_response t req =
   let g = Snapshot.graph t.snapshot in
+  let plan_hits, plan_misses = Snapshot.plan_cache_stats t.snapshot in
+  let res_hits, res_misses, res_invals =
+    Snapshot.result_cache_stats t.snapshot
+  in
   let json =
     with_lock t.metrics_lock (fun () ->
         Metrics.set t.metrics "graph.vertices" (Digraph.n_vertices g);
@@ -307,6 +348,16 @@ let stats_response t req =
         Metrics.set t.metrics "server.running" (Pool.running t.pool);
         Metrics.set t.metrics "server.job_errors" (Pool.job_errors t.pool);
         Metrics.set t.metrics "server.worker_restarts" (Pool.restarts t.pool);
+        Metrics.set t.metrics "server.parses" (Snapshot.parse_count t.snapshot);
+        Metrics.set t.metrics "server.plan_cache_hits" plan_hits;
+        Metrics.set t.metrics "server.plan_cache_misses" plan_misses;
+        Metrics.set t.metrics "server.plan_cache_size"
+          (Snapshot.plan_cache_length t.snapshot);
+        Metrics.set t.metrics "server.result_cache_hits" res_hits;
+        Metrics.set t.metrics "server.result_cache_misses" res_misses;
+        Metrics.set t.metrics "server.result_cache_invalidations" res_invals;
+        Metrics.set t.metrics "server.result_cache_size"
+          (Snapshot.result_cache_length t.snapshot);
         Metrics.set t.metrics "server.uptime_ms"
           (int_of_float
              (Metrics.ns_to_ms (Metrics.elapsed_ns ~since:t.started_ns)));
@@ -314,84 +365,143 @@ let stats_response t req =
   in
   Wire.response_ok ~id:req.Wire.id [ ("stats", json) ]
 
-(* Submit a governed job and wait for its response. The session thread
-   blocks here — by design: one in-flight request per connection, so
-   responses never interleave on the socket. *)
-let dispatch_governed t req =
-  let effective = Wire.clamp t.config.limits req.Wire.options in
+(* Submit a governed job without waiting for it: the worker writes its own
+   response through the session's write lock, which is what lets several
+   tagged requests from one connection run concurrently. Refusals
+   (draining, queue full) are answered inline. *)
+let dispatch_async t ss (req : Wire.request) effective rkey
+    (c : Snapshot.compiled) =
   let budget = Wire.budget_of_options effective in
   let reg_id = register_budget t budget in
-  let slot = ref None in
-  let slot_lock = Mutex.create () in
-  let slot_filled = Condition.create () in
+  let gen0 = Snapshot.generation t.snapshot in
   let job () =
-    let response =
-      try run_query t req effective budget
-      with e ->
-        m_incr t "server.internal_errors";
-        Wire.response_error ~id:req.Wire.id ~code:Wire.Internal
-          (Printexc.to_string e)
-    in
-    with_lock slot_lock (fun () ->
-        slot := Some response;
-        Condition.signal slot_filled)
+    Fun.protect
+      ~finally:(fun () ->
+        unregister_budget t reg_id;
+        job_finished ss)
+      (fun () ->
+        let response =
+          try eval_compiled t req effective rkey gen0 c budget
+          with e ->
+            m_incr t "server.internal_errors";
+            Wire.response_error ~id:req.Wire.id ~code:Wire.Internal
+              (Printexc.to_string e)
+        in
+        send ss response)
   in
   if Atomic.get t.stopping then begin
     unregister_budget t reg_id;
-    Wire.response_error ~id:req.Wire.id ~code:Wire.Shutting_down
-      "server is draining"
-  end
-  else if not (Pool.submit t.pool job) then begin
-    unregister_budget t reg_id;
-    m_incr t "server.overloaded";
-    Wire.response_error ~id:req.Wire.id ~code:Wire.Overloaded
-      "job queue is full; retry later"
+    send ss
+      (Wire.response_error ~id:req.Wire.id ~code:Wire.Shutting_down
+         "server is draining")
   end
   else begin
-    let response =
-      with_lock slot_lock (fun () ->
-          while !slot = None do
-            Condition.wait slot_filled slot_lock
-          done;
-          Option.get !slot)
-    in
-    unregister_budget t reg_id;
-    response
+    (* Count the job before submitting so a worker that races ahead and
+       finishes cannot drive [pending] negative. *)
+    job_started ss;
+    if not (Pool.submit t.pool job) then begin
+      job_finished ss;
+      unregister_budget t reg_id;
+      m_incr t "server.overloaded";
+      send ss
+        (Wire.response_error ~id:req.Wire.id ~code:Wire.Overloaded
+           "job queue is full; retry later")
+    end
   end
 
 (* --- Sessions ------------------------------------------------------------ *)
 
-let handle_request t line =
+let shutdown_allowed t =
+  match t.config.endpoint with
+  | Wire.Unix_socket _ -> true
+  | Wire.Tcp _ -> t.config.allow_remote_shutdown
+
+let handle_eval t ss (req : Wire.request) =
+  let effective = Wire.clamp t.config.limits req.Wire.options in
+  let query_text = Option.get req.Wire.query in
+  let max_length = effective_max_length t effective in
+  let rkey =
+    Snapshot.result_key
+      ~verb:(Wire.verb_name req.Wire.verb)
+      ~query:query_text ~max_length ~simple:effective.Wire.simple
+      ~strategy:effective.Wire.strategy ~limit:effective.Wire.limit
+  in
+  (* Result cache first: a hit answers inline without parsing anything and
+     without occupying a worker — the whole point of caching the hot set. *)
+  match Snapshot.cached_result t.snapshot rkey with
+  | Some payload ->
+    m_incr t
+      (match req.Wire.verb with
+      | Wire.Query -> "server.queries"
+      | _ -> "server.counts");
+    send ss (Wire.response_ok ~id:req.Wire.id payload)
+  | None -> (
+    match
+      Snapshot.compile t.snapshot ~max_length ~simple:effective.Wire.simple
+        query_text
+    with
+    | Error msg ->
+      m_incr t "server.query_errors";
+      send ss (Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error msg)
+    | Ok compiled -> (
+      match admission_reject t req compiled with
+      | Some response -> send ss response
+      | None -> dispatch_async t ss req effective rkey compiled))
+
+let handle_request t ss line =
   m_incr t "server.requests";
   match Wire.decode_request line with
   | Error msg ->
     m_incr t "server.bad_requests";
-    (Wire.response_error ~id:Json.Null ~code:Wire.Bad_request msg, false)
+    send ss (Wire.response_error ~id:Json.Null ~code:Wire.Bad_request msg);
+    `Continue
   | Ok req -> (
     match req.Wire.verb with
     | Wire.Ping ->
       m_incr t "server.pings";
-      (Wire.response_ok ~id:req.Wire.id [ ("pong", "true") ], false)
-    | Wire.Stats -> (stats_response t req, false)
-    | Wire.Lint -> (lint_response t req, false)
+      send ss (Wire.response_ok ~id:req.Wire.id [ ("pong", "true") ]);
+      `Continue
+    | Wire.Stats ->
+      send ss (stats_response t req);
+      `Continue
+    | Wire.Lint ->
+      send ss (lint_response t req);
+      `Continue
     | Wire.Shutdown ->
-      (Wire.response_ok ~id:req.Wire.id [ ("stopping", "true") ], true)
-    | Wire.Query | Wire.Count -> (
-      match admission_reject t req with
-      | Some response -> (response, false)
-      | None -> (dispatch_governed t req, false)))
+      if shutdown_allowed t then begin
+        send ss (Wire.response_ok ~id:req.Wire.id [ ("stopping", "true") ]);
+        `Shutdown
+      end
+      else begin
+        m_incr t "server.unauthorized";
+        send ss
+          (Wire.response_error ~id:req.Wire.id ~code:Wire.Unauthorized
+             "shutdown over TCP requires --allow-remote-shutdown");
+        `Continue
+      end
+    | Wire.Query | Wire.Count ->
+      handle_eval t ss req;
+      `Continue)
+
+(* A client that floods blank lines (each one "completes", so the reader
+   returns) gets this many before the connection is dropped — together
+   with the fixed per-cycle deadline this closes the blank-line slowloris
+   loophole. *)
+let max_consecutive_blanks = 64
 
 let session t fd =
   let carry = ref "" in
+  let ss = session_state fd in
   (* Best-effort farewell: the connection is being torn down anyway, so a
      client that already vanished must not turn the diagnostic into a
      crash. *)
   let say_goodbye code message =
-    try write_line fd (Wire.response_error ~id:Json.Null ~code message)
-    with Unix.Unix_error _ -> ()
+    send ss (Wire.response_error ~id:Json.Null ~code message)
   in
-  let rec loop () =
-    match read_line_stop t fd carry with
+  (* The deadline is computed once per request cycle and survives blank
+     lines: only a complete non-blank request earns a fresh clock. *)
+  let rec loop blanks deadline =
+    match read_line_stop t fd carry ~deadline with
     | Eof -> ()
     | Timed_out ->
       m_incr t "server.idle_timeouts";
@@ -403,21 +513,28 @@ let session t fd =
       say_goodbye Wire.Request_too_large
         (Printf.sprintf "request line exceeds %d bytes; closing"
            t.config.max_request_bytes)
-    | Line line when String.trim line = "" -> loop ()
-    | Line line ->
-      let response, shutdown_after = handle_request t line in
-      (match write_line fd response with
-      | () ->
-        if shutdown_after then stop t
-        else loop ()
-      | exception Unix.Unix_error _ -> ())
+    | Line line when String.trim line = "" ->
+      if blanks + 1 >= max_consecutive_blanks then begin
+        m_incr t "server.blank_floods";
+        say_goodbye Wire.Bad_request
+          (Printf.sprintf "%d consecutive blank lines; closing"
+             max_consecutive_blanks)
+      end
+      else loop (blanks + 1) deadline
+    | Line line -> (
+      match handle_request t ss line with
+      | `Shutdown -> stop t
+      | `Continue -> loop 0 (request_deadline t))
   in
   Fun.protect
     ~finally:(fun () ->
+      (* Workers may still own responses for this connection; the fd must
+         outlive them. *)
+      await_drain ss;
       (try Unix.close fd with Unix.Unix_error _ -> ());
       with_lock t.sessions_lock (fun () ->
           t.live_sessions <- t.live_sessions - 1))
-    (fun () -> try loop () with _ -> ())
+    (fun () -> try loop 0 (request_deadline t) with _ -> ())
 
 (* --- Listening ----------------------------------------------------------- *)
 
@@ -452,6 +569,15 @@ let bind_endpoint = function
 
 let serve t =
   let listen_fd = bind_endpoint t.config.endpoint in
+  let actual =
+    match t.config.endpoint with
+    | Wire.Tcp (host, 0) -> (
+      match Unix.getsockname listen_fd with
+      | Unix.ADDR_INET (_, port) -> Wire.Tcp (host, port)
+      | _ -> t.config.endpoint)
+    | e -> e
+  in
+  Atomic.set t.bound (Some actual);
   let accept_loop () =
     while not (Atomic.get t.stopping) do
       match Unix.select [ listen_fd ] [] [] poll_interval_s with

@@ -8,19 +8,32 @@
       short [select] timeout so a stop request is noticed within a fraction
       of a second without signal/EINTR gymnastics. Each accepted connection
       gets a session thread.
-    - {b Sessions} — a session reads one request line at a time, answers
-      [ping] / [stats] / [shutdown] inline, and hands [query] / [count]
-      jobs to the worker pool, waiting for the answer before reading the
-      next line: at most one request is in flight per connection, so
-      responses never interleave and no per-connection write lock is
-      needed. Concurrency comes from many connections.
+    - {b Sessions and pipelining} — a session reads request lines as fast
+      as they arrive and answers [ping] / [stats] / [lint] / [shutdown]
+      (and bad requests, admission rejects, result-cache hits and overload
+      refusals) inline, while [query] / [count] jobs are handed to the
+      worker pool {e without waiting}: the worker writes its own response
+      under the connection's write mutex. Multiple tagged requests may
+      therefore be in flight on one connection and responses may return out
+      of order — the request [id], echoed verbatim, is the correlation key.
+      Requests that never touch a worker keep their relative order;
+      evaluations complete in whatever order the pool finishes them. A
+      session closing (EOF, timeout, oversize, blank-flood) waits for its
+      in-flight workers before the fd is released.
     - {b Worker pool} — a bounded {!Pool}; when its queue is full the
       session immediately answers [overloaded] ({!Wire.error_code})
       instead of buffering, so memory under overload is bounded by
-      [workers + queue + connections], not by demand.
-    - {b Snapshot} — all workers read one frozen {!Snapshot.t}; soundness
-      of concurrent reads is by construction (mutation is unrepresentable),
-      not by locking.
+      [workers + queue], not by demand.
+    - {b Snapshot and caches} — all workers read one frozen {!Snapshot.t};
+      soundness of concurrent reads is by construction (mutation is
+      unrepresentable), not by locking. The snapshot also carries the
+      compiled-plan LRU (admission control, [lint] and evaluation share one
+      parse + cost analysis per query text) and the bounded result cache
+      for Complete-verdict responses, invalidated by edge observers on the
+      snapshot's source graph. Both surface in [stats] as
+      [server.plan_cache_{hits,misses,size}],
+      [server.result_cache_{hits,misses,invalidations,size}] and
+      [server.parses].
     - {b Budgets} — each query's clamped options become a fresh
       {!Mrpa_engine.Budget.t}; the server keeps every in-flight budget in a
       registry so shutdown can {!Mrpa_engine.Budget.cancel} them all, which
@@ -31,20 +44,26 @@
     - {b Hardening} — each session enforces two read bounds. A connection
       that fails to deliver a {e complete} request line within
       [idle_timeout_ms] is answered with an [idle_timeout] wire error and
-      closed; because the clock measures time-to-a-complete-line, it
-      defeats both the silent idle connection and the slowloris client
-      that drips one byte per poll. A request line exceeding
-      [max_request_bytes] is answered with [request_too_large] and the
-      connection is closed (framing past an oversized line cannot be
-      trusted). Both events are counted ([server.idle_timeouts],
-      [server.oversized_requests]) and worker deaths restarted by the
-      {!Pool} supervisor appear as [server.worker_restarts] in [stats].
+      closed; the deadline is computed once per request cycle and is {e not}
+      reset by blank lines, so neither the silent idle connection, the
+      one-byte-per-poll slowloris, nor the blank-line drip-feeder can hold
+      a session thread forever (a blank-only client is additionally dropped
+      after 64 consecutive blanks, counted as [server.blank_floods]). A
+      request line exceeding [max_request_bytes] is answered with
+      [request_too_large] and the connection is closed (framing past an
+      oversized line cannot be trusted). Both events are counted
+      ([server.idle_timeouts], [server.oversized_requests]) and worker
+      deaths restarted by the {!Pool} supervisor appear as
+      [server.worker_restarts] in [stats]. The [shutdown] verb is only
+      honoured on Unix-domain sessions unless [allow_remote_shutdown] is
+      set; a TCP client without it receives an [unauthorized] error
+      (counted as [server.unauthorized]).
 
-    Shutdown (a [shutdown] request, or {!stop} from a signal handler)
-    drains gracefully: stop accepting, cancel in-flight budgets, let the
-    pool finish its queue, wait for sessions to flush their last response,
-    then close and (for Unix-domain sockets) unlink. {!serve} then
-    returns normally — exit code 0 belongs to the caller. *)
+    Shutdown (an authorised [shutdown] request, or {!stop} from a signal
+    handler) drains gracefully: stop accepting, cancel in-flight budgets,
+    let the pool finish its queue, wait for sessions to flush their last
+    response, then close and (for Unix-domain sockets) unlink. {!serve}
+    then returns normally — exit code 0 belongs to the caller. *)
 
 type config = {
   endpoint : Wire.endpoint;
@@ -60,10 +79,15 @@ type config = {
   max_predicted_cost : int option;
       (** static admission ceiling, in the same work units {!Mrpa_core.Budget}
           fuel charges. When set, every [query] / [count] is cost-analysed
-          ({!Mrpa_lint.Cost}) in the session thread against the snapshot's
-          cached statistics, and a query whose predicted cost exceeds the
-          ceiling is refused with an [infeasible] wire error before it ever
-          occupies a pool worker. [None] admits everything. *)
+          ({!Mrpa_lint.Cost}) in the session thread — via the snapshot's
+          compiled-plan cache, so hot queries cost one LRU lookup — and a
+          query whose predicted cost exceeds the ceiling is refused with an
+          [infeasible] wire error before it ever occupies a pool worker.
+          [None] admits everything. *)
+  allow_remote_shutdown : bool;
+      (** honour the [shutdown] verb on TCP sessions. Default policy is
+          [false]: only Unix-domain clients (who by definition share the
+          host) may stop the server; remote clients get [unauthorized]. *)
 }
 
 val default_max_request_bytes : int
@@ -87,6 +111,12 @@ val serve : t -> unit
     Returns after the graceful drain. Raises [Unix.Unix_error] if the
     endpoint cannot be bound (e.g. address in use) — binding errors are
     startup errors, not runtime ones. *)
+
+val bound_endpoint : t -> Wire.endpoint option
+(** The endpoint {!serve} actually bound, available once it is listening.
+    Differs from [config.endpoint] exactly when a TCP port of [0] asked
+    the kernel to pick a free one — the supported way to run test servers
+    without port races. [None] before {!serve} binds. *)
 
 val connections_served : t -> int
 (** Total connections accepted so far (diagnostic, for tests). *)

@@ -227,6 +227,7 @@ type error_code =
   | Request_too_large
   | Idle_timeout
   | Infeasible
+  | Unauthorized
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -237,6 +238,7 @@ let error_code_name = function
   | Request_too_large -> "request_too_large"
   | Idle_timeout -> "idle_timeout"
   | Infeasible -> "infeasible"
+  | Unauthorized -> "unauthorized"
 
 let esc = Metrics.escape_string
 

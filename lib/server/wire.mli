@@ -129,6 +129,9 @@ type error_code =
       (** static admission control: the query's predicted cost exceeds the
           server's [--max-predicted-cost] ceiling, so it was rejected
           before ever reaching a worker. *)
+  | Unauthorized
+      (** the verb is not allowed on this transport: [shutdown] over TCP
+          when the server was started without [--allow-remote-shutdown]. *)
 
 val error_code_name : error_code -> string
 

@@ -68,8 +68,17 @@ Server-wide stats expose the pool geometry and request counters:
   $ grep -o '"server.partial":[0-9]*' stats.json
   "server.partial":2
 
+Pipelined mode: several tagged requests ride one connection and are
+matched back by id. (Responses may arrive out of order, so normalise
+with sort; the ids prove the correlation either way.)
+
+  $ printf 'E\n[v0,r0,_]\n' | ../bin/mrpa.exe call --socket s.sock --pipeline --count | sort
+  {"mrpa":"mrpa.wire/1","id":1,"ok":true,"count":6,"verdict":"complete"}
+  {"mrpa":"mrpa.wire/1","id":2,"ok":true,"count":1,"verdict":"complete"}
+
 The shutdown verb drains the server gracefully: the server acknowledges,
-then exits 0 and unlinks its socket.
+then exits 0 and unlinks its socket. (Over a Unix-domain socket the verb
+is always honoured — the client provably shares the host.)
 
   $ ../bin/mrpa.exe call --socket s.sock --shutdown
   {"mrpa":"mrpa.wire/1","id":null,"ok":true,"stopping":true}
@@ -79,4 +88,37 @@ then exits 0 and unlinks its socket.
   socket unlinked
   $ cat serve.log
   mrpa serve: unix:s.sock workers=2 queue=8 graph=ring.tsv (|V|=6 |E|=6 |Omega|=3)
+  mrpa serve: listening on unix:s.sock
   mrpa serve: drained, exiting
+
+A TCP server refuses the shutdown verb unless started with
+--allow-remote-shutdown: any host that can reach the port could kill it
+otherwise. Port 0 asks the kernel for a free port; the "listening on"
+line announces the one it picked.
+
+  $ ../bin/mrpa.exe serve --graph ring.tsv --port 0 --workers 1 --queue 4 2>tcp.log &
+  $ TCP_PID=$!
+  $ for i in $(seq 1 100); do grep -q "listening on" tcp.log && break; sleep 0.1; done
+  $ PORT=$(sed -n 's/.*listening on tcp:127.0.0.1:\([0-9][0-9]*\).*/\1/p' tcp.log)
+  $ ../bin/mrpa.exe call --port $PORT --shutdown
+  {"mrpa":"mrpa.wire/1","id":null,"ok":false,"error":{"code":"unauthorized","message":"shutdown over TCP requires --allow-remote-shutdown"}}
+  [1]
+
+The refused server is still alive and serving:
+
+  $ ../bin/mrpa.exe call --port $PORT --ping
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"pong":true}
+  $ kill -TERM $TCP_PID
+  $ wait $TCP_PID; echo "tcp server exit: $?"
+  tcp server exit: 0
+
+With the flag, a remote shutdown is honoured:
+
+  $ ../bin/mrpa.exe serve --graph ring.tsv --port 0 --workers 1 --queue 4 --allow-remote-shutdown 2>tcp2.log &
+  $ TCP_PID=$!
+  $ for i in $(seq 1 100); do grep -q "listening on" tcp2.log && break; sleep 0.1; done
+  $ PORT=$(sed -n 's/.*listening on tcp:127.0.0.1:\([0-9][0-9]*\).*/\1/p' tcp2.log)
+  $ ../bin/mrpa.exe call --port $PORT --shutdown
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"stopping":true}
+  $ wait $TCP_PID; echo "tcp server exit: $?"
+  tcp server exit: 0

@@ -387,7 +387,7 @@ let qcheck_concurrent_snapshot_sound =
 
 let with_server ?(limits = Wire.default_limits) ?idle_timeout_ms
     ?(max_request_bytes = Server.default_max_request_bytes) ?max_predicted_cost
-    f =
+    ?snapshot ?(workers = 2) ?(queue_capacity = 8) f =
   let dir = Filename.temp_file "mrpa_srv" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
@@ -395,15 +395,21 @@ let with_server ?(limits = Wire.default_limits) ?idle_timeout_ms
   let config =
     {
       Server.endpoint = Wire.Unix_socket socket_path;
-      workers = 2;
-      queue_capacity = 8;
+      workers;
+      queue_capacity;
       limits;
       idle_timeout_ms;
       max_request_bytes;
       max_predicted_cost;
+      allow_remote_shutdown = false;
     }
   in
-  let server = Server.create config (Snapshot.of_graph (H.paper_graph ())) in
+  let snapshot =
+    match snapshot with
+    | Some s -> s
+    | None -> Snapshot.of_graph (H.paper_graph ())
+  in
+  let server = Server.create config snapshot in
   let thread = Thread.create (fun () -> Server.serve server) () in
   let connect_with_retry () =
     let deadline = Unix.gettimeofday () +. 5.0 in
@@ -641,62 +647,66 @@ let test_server_bad_request_line () =
                 (Option.bind (Json.member "error" j) (fun e ->
                      Option.bind (Json.member "code" e) Json.to_string_opt)))))
 
-let test_server_tcp_roundtrip () =
-  (* bind an ephemeral TCP port by probing: try a few ports in the dynamic
-     range until one binds. *)
+(* TCP server on an ephemeral port: bind port 0, let the kernel pick, and
+   read the actual endpoint back through [Server.bound_endpoint]. *)
+let with_tcp_server ?(allow_remote_shutdown = false) f =
   let snap = Snapshot.of_graph (H.paper_graph ()) in
-  let rec start attempt =
-    if attempt > 20 then Alcotest.fail "no free TCP port found"
-    else
-      let port = 49152 + ((attempt * 977) mod 16000) in
-      let config =
-        {
-          Server.endpoint = Wire.Tcp ("127.0.0.1", port);
-          workers = 1;
-          queue_capacity = 4;
-          limits = Wire.default_limits;
-          idle_timeout_ms = None;
-          max_request_bytes = Server.default_max_request_bytes;
-          max_predicted_cost = None;
-        }
-      in
-      let server = Server.create config snap in
-      let exn = ref None in
-      let thread =
-        Thread.create
-          (fun () -> try Server.serve server with e -> exn := Some e)
-          ()
-      in
-      (* wait for either a bind failure or a successful connect *)
-      let deadline = Unix.gettimeofday () +. 5.0 in
-      let rec wait () =
-        match !exn with
-        | Some _ ->
-          Thread.join thread;
-          start (attempt + 1)
-        | None -> (
-          match Client.connect (Wire.Tcp ("127.0.0.1", port)) with
-          | Ok conn -> (server, thread, conn)
-          | Error _ when Unix.gettimeofday () < deadline ->
-            Unix.sleepf 0.02;
-            wait ()
-          | Error m -> Alcotest.failf "tcp connect failed: %s" m)
-      in
-      wait ()
+  let config =
+    {
+      Server.endpoint = Wire.Tcp ("127.0.0.1", 0);
+      workers = 1;
+      queue_capacity = 4;
+      limits = Wire.default_limits;
+      idle_timeout_ms = None;
+      max_request_bytes = Server.default_max_request_bytes;
+      max_predicted_cost = None;
+      allow_remote_shutdown;
+    }
   in
-  let server, thread, conn = start 0 in
+  let server = Server.create config snap in
+  let thread = Thread.create (fun () -> Server.serve server) () in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec endpoint () =
+    match Server.bound_endpoint server with
+    | Some ep -> ep
+    | None ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "tcp server never bound"
+      else begin
+        Unix.sleepf 0.02;
+        endpoint ()
+      end
+  in
+  let ep = endpoint () in
+  let rec connect () =
+    match Client.connect ep with
+    | Ok conn -> conn
+    | Error m ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.failf "tcp connect failed: %s" m
+      else begin
+        Unix.sleepf 0.02;
+        connect ()
+      end
+  in
   Fun.protect
     ~finally:(fun () ->
-      Client.close conn;
       Server.stop server;
       Thread.join thread)
-    (fun () ->
-      let j =
-        expect_ok "tcp query"
-          (Client.request conn (simple_req ~query:"[i,alpha,_]" Wire.Query))
-      in
-      Alcotest.(check bool) "result over tcp" true
-        (Option.is_some (Json.member "result" j)))
+    (fun () -> f server connect)
+
+let test_server_tcp_roundtrip () =
+  with_tcp_server (fun _server connect ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let j =
+            expect_ok "tcp query"
+              (Client.request conn (simple_req ~query:"[i,alpha,_]" Wire.Query))
+          in
+          Alcotest.(check bool) "result over tcp" true
+            (Option.is_some (Json.member "result" j))))
 
 let stats_counter name j =
   Option.bind (Json.member "stats" j) (fun s ->
@@ -881,6 +891,521 @@ let test_server_oversized_request () =
             | Some n -> n >= 1
             | None -> false)))
 
+(* --- Lru ------------------------------------------------------------------ *)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  (* touching "a" makes "b" the least-recently-used victim *)
+  Alcotest.(check (option int)) "a hits" (Some 1) (Lru.find c "a");
+  Lru.add c "c" 3;
+  Alcotest.(check int) "bounded" 2 (Lru.length c);
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a survived" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Lru.find c "c");
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c);
+  (* replacing a key is not an eviction and does not grow the cache *)
+  Lru.add c "c" 30;
+  Alcotest.(check (option int)) "replaced" (Some 30) (Lru.find c "c");
+  Alcotest.(check int) "still bounded" 2 (Lru.length c);
+  Alcotest.(check int) "still one eviction" 1 (Lru.evictions c)
+
+let test_lru_capacity_zero_disabled () =
+  let c = Lru.create ~capacity:0 in
+  Lru.add c "a" 1;
+  Alcotest.(check int) "stores nothing" 0 (Lru.length c);
+  Alcotest.(check (option int)) "always misses" None (Lru.find c "a");
+  Alcotest.(check int) "no evictions" 0 (Lru.evictions c)
+
+let test_lru_clear_keeps_counters () =
+  let c = Lru.create ~capacity:4 in
+  Lru.add c 1 "x";
+  ignore (Lru.find c 1);
+  ignore (Lru.find c 2);
+  Lru.clear c;
+  Alcotest.(check int) "empty" 0 (Lru.length c);
+  Alcotest.(check int) "hits kept" 1 (Lru.hits c);
+  Alcotest.(check int) "misses kept" 1 (Lru.misses c);
+  (* entries are really gone, not just hidden *)
+  Alcotest.(check (option string)) "post-clear miss" None (Lru.find c 1)
+
+(* --- Compiled-plan cache --------------------------------------------------- *)
+
+let test_compile_parses_once () =
+  let snap = Snapshot.of_graph (H.paper_graph ()) in
+  let compile ?(max_length = 6) q =
+    Snapshot.compile snap ~max_length ~simple:false q
+  in
+  (match compile "[i,alpha,_]" with
+  | Error m -> Alcotest.failf "compile failed: %s" m
+  | Ok c ->
+    Alcotest.(check bool) "plan targets the requested bound" true
+      (c.Snapshot.plan.Plan.max_length = 6));
+  ignore (compile "[i,alpha,_]");
+  ignore (compile "[i,alpha,_]");
+  Alcotest.(check int) "three compiles, one parse" 1
+    (Snapshot.parse_count snap);
+  let hits, misses = Snapshot.plan_cache_stats snap in
+  Alcotest.(check int) "two hits" 2 hits;
+  Alcotest.(check int) "one miss" 1 misses;
+  (* a different max_length is a different plan: fresh parse *)
+  ignore (compile ~max_length:4 "[i,alpha,_]");
+  Alcotest.(check int) "new key, new parse" 2 (Snapshot.parse_count snap);
+  (* parse errors are cached too *)
+  let e1 = compile "[[[" and e2 = compile "[[[" in
+  Alcotest.(check bool) "error result" true (Result.is_error e1);
+  Alcotest.(check bool) "identical cached error" true (e1 = e2);
+  Alcotest.(check int) "typo parsed once" 3 (Snapshot.parse_count snap)
+
+let test_strategy_override_outside_cache_key () =
+  let snap = Snapshot.of_graph (H.paper_graph ()) in
+  match Snapshot.compile snap ~max_length:6 ~simple:false "[i,alpha,_]" with
+  | Error m -> Alcotest.failf "compile failed: %s" m
+  | Ok c ->
+    let p = c.Snapshot.plan in
+    let other =
+      if p.Plan.strategy = Plan.Reference then Plan.Stack_machine
+      else Plan.Reference
+    in
+    let forced = Plan.with_strategy p other in
+    Alcotest.(check bool) "strategy forced" true (forced.Plan.strategy = other);
+    Alcotest.(check string) "reason recorded" "forced by caller"
+      forced.Plan.strategy_reason;
+    Alcotest.(check bool) "same strategy is the identity" true
+      (Plan.with_strategy p p.Plan.strategy == p);
+    (* the override happened after the cache: no second parse *)
+    Alcotest.(check int) "still one parse" 1 (Snapshot.parse_count snap)
+
+let test_server_single_parse_per_request () =
+  (* The triple-parse regression: admission control, the lint verb and the
+     worker used to each parse the query text. A generous admission ceiling
+     keeps the cost analysis in the request path without rejecting. *)
+  let snap = Snapshot.of_graph (H.paper_graph ()) in
+  with_server ~snapshot:snap ~max_predicted_cost:1_000_000
+    (fun _server connect _path ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let q = "[i,alpha,_] . [_,beta,_]" in
+          ignore
+            (expect_ok "lint" (Client.request conn (simple_req ~query:q Wire.Lint)));
+          ignore
+            (expect_ok "query"
+               (Client.request conn (simple_req ~query:q Wire.Query)));
+          ignore
+            (expect_ok "count"
+               (Client.request conn (simple_req ~query:q Wire.Count)));
+          ignore
+            (expect_ok "query again"
+               (Client.request conn (simple_req ~query:q Wire.Query)));
+          Alcotest.(check int) "four requests, one parse" 1
+            (Snapshot.parse_count snap);
+          let hits, misses = Snapshot.plan_cache_stats snap in
+          Alcotest.(check int) "one plan-cache miss" 1 misses;
+          (* lint missed, then query and count hit; the repeat query is
+             absorbed by the result cache before it ever compiles *)
+          Alcotest.(check int) "query and count hit the plan cache" 2 hits;
+          let j =
+            expect_ok "stats" (Client.request conn (simple_req Wire.Stats))
+          in
+          Alcotest.(check (option int)) "server.parses" (Some 1)
+            (stats_counter "server.parses" j);
+          Alcotest.(check (option int)) "server.plan_cache_misses" (Some 1)
+            (stats_counter "server.plan_cache_misses" j);
+          Alcotest.(check (option int)) "server.plan_cache_hits" (Some 2)
+            (stats_counter "server.plan_cache_hits" j);
+          Alcotest.(check (option int)) "repeat query was a result hit"
+            (Some 1)
+            (stats_counter "server.result_cache_hits" j)))
+
+(* --- Result cache ---------------------------------------------------------- *)
+
+let rkey ?strategy ?limit query =
+  Snapshot.result_key ~verb:"query" ~query ~max_length:6 ~simple:false
+    ~strategy ~limit
+
+let test_result_cache_invalidation_on_write () =
+  let g = H.paper_graph () in
+  let snap = Snapshot.of_graph g in
+  let key = rkey "[i,alpha,_]" in
+  Snapshot.cache_result snap ~generation:(Snapshot.generation snap) key
+    [ ("result", "1") ];
+  Alcotest.(check bool) "cached" true
+    (Snapshot.cached_result snap key = Some [ ("result", "1") ]);
+  (* any write to the watched source graph drops every cached result *)
+  ignore (Digraph.add g "i" "alpha" "brand_new");
+  Alcotest.(check bool) "dropped after write" true
+    (Snapshot.cached_result snap key = None);
+  let _, _, invalidations = Snapshot.result_cache_stats snap in
+  Alcotest.(check int) "invalidation counted" 1 invalidations;
+  (* unwatch detaches: later writes no longer invalidate *)
+  Snapshot.cache_result snap ~generation:(Snapshot.generation snap) key
+    [ ("result", "2") ];
+  Snapshot.unwatch snap g;
+  ignore (Digraph.add g "i" "alpha" "even_newer");
+  Alcotest.(check bool) "unwatched: entry survives" true
+    (Snapshot.cached_result snap key = Some [ ("result", "2") ])
+
+let test_result_cache_never_stores_stale () =
+  (* The write-then-read guarantee, deterministically: a payload computed
+     before a write must not be stored after it. *)
+  let g = H.paper_graph () in
+  let snap = Snapshot.of_graph g in
+  let key = rkey "[i,beta,_]" in
+  let gen0 = Snapshot.generation snap in
+  (* ... evaluation would happen here; the write races in first ... *)
+  ignore (Digraph.add g "i" "beta" "mid_eval");
+  Snapshot.cache_result snap ~generation:gen0 key [ ("result", "stale") ];
+  Alcotest.(check bool) "stale store dropped" true
+    (Snapshot.cached_result snap key = None);
+  (* a payload computed at the current generation does store *)
+  Snapshot.cache_result snap ~generation:(Snapshot.generation snap) key
+    [ ("result", "fresh") ];
+  Alcotest.(check bool) "fresh store lands" true
+    (Snapshot.cached_result snap key = Some [ ("result", "fresh") ])
+
+let test_result_cache_journal_invalidation () =
+  (* Writes arriving through the durability layer — a journal replay into
+     the live source graph — fire the same observers as direct writes. *)
+  let dir = Filename.temp_file "mrpa_jrnl" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let log = Filename.concat dir "g.journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists log then Sys.remove log;
+      Unix.rmdir dir)
+    (fun () ->
+      (* scripted writer: a second process's journal of two edges *)
+      let scratch = Digraph.create () in
+      let j = Journal.attach scratch log in
+      ignore (Digraph.add scratch "i" "alpha" "from_journal");
+      ignore (Digraph.add scratch "from_journal" "beta" "i");
+      Journal.close j;
+      let g = H.paper_graph () in
+      let snap = Snapshot.of_graph g in
+      let key = rkey "[i,alpha,_]" in
+      Snapshot.cache_result snap ~generation:(Snapshot.generation snap) key
+        [ ("result", "pre_replay") ];
+      Journal.replay_into g log;
+      Alcotest.(check bool) "replay invalidated the cache" true
+        (Snapshot.cached_result snap key = None);
+      let _, _, invalidations = Snapshot.result_cache_stats snap in
+      Alcotest.(check bool) "one invalidation per replayed write" true
+        (invalidations >= 2))
+
+let test_result_cache_concurrent_writes () =
+  (* Readers cache under the generation protocol while a writer mutates the
+     source graph. The invariant: after the final write, nothing cached
+     before it is visible. *)
+  let g = H.paper_graph () in
+  let snap = Snapshot.of_graph g in
+  let key = rkey "[_,alpha,_]" in
+  let writes = 50 in
+  let writer =
+    Thread.create
+      (fun () ->
+        for i = 1 to writes do
+          ignore (Digraph.add g "i" "alpha" (Printf.sprintf "w%d" i));
+          Thread.yield ()
+        done)
+      ()
+  in
+  let reader () =
+    for i = 1 to 200 do
+      match Snapshot.cached_result snap key with
+      | Some _ -> ()
+      | None ->
+        let gen = Snapshot.generation snap in
+        Snapshot.cache_result snap ~generation:gen key
+          [ ("result", string_of_int i) ]
+    done
+  in
+  let readers = List.init 2 (fun _ -> Thread.create reader ()) in
+  Thread.join writer;
+  List.iter Thread.join readers;
+  let gen_after = Snapshot.generation snap in
+  Alcotest.(check bool) "every write bumped the generation" true
+    (gen_after >= writes);
+  (* one more write: whatever the racing readers left behind is dropped *)
+  ignore (Digraph.add g "i" "alpha" "final");
+  Alcotest.(check bool) "no entry survives the last write" true
+    (Snapshot.cached_result snap key = None)
+
+let test_server_write_then_read_not_stale () =
+  (* End-to-end: a repeated query is served from the result cache until a
+     write to the live source graph, after which it is recomputed. *)
+  let g = H.paper_graph () in
+  let snap = Snapshot.of_graph g in
+  with_server ~snapshot:snap (fun _server connect _path ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let req = simple_req ~query:"[i,alpha,_]" Wire.Query in
+          let first = expect_ok "first" (Client.request conn req) in
+          let second = expect_ok "second" (Client.request conn req) in
+          let hits, _, _ = Snapshot.result_cache_stats snap in
+          Alcotest.(check int) "repeat served from cache" 1 hits;
+          ignore (Digraph.add g "i" "alpha" "post_write");
+          let third = expect_ok "third" (Client.request conn req) in
+          let hits_after, _, invalidations =
+            Snapshot.result_cache_stats snap
+          in
+          Alcotest.(check int) "post-write request recomputed" hits hits_after;
+          Alcotest.(check bool) "write invalidated" true (invalidations >= 1);
+          (* the snapshot is immutable, so the recomputed answer matches the
+             cached one — staleness is about cache entries, not the graph.
+             (Compare the denotation, not the envelope: elapsed_ms varies.) *)
+          let strip j =
+            let f name = Option.bind (Json.member "result" j) (Json.member name) in
+            ( f "paths",
+              Option.bind (f "count") Json.to_int_opt,
+              Option.bind (f "verdict") Json.to_string_opt )
+          in
+          Alcotest.(check bool) "answers agree" true
+            (strip first = strip second && strip second = strip third)))
+
+(* --- Pipelining ------------------------------------------------------------ *)
+
+let test_pipelined_out_of_order () =
+  (* Two tagged requests down one connection: a heavy query (dispatched to a
+     worker) then a ping (answered inline by the session thread). The ping
+     almost always overtakes; the ids match each response back regardless.
+     The overtake is a race by nature, so an in-order round is retried a
+     bounded number of times — correctness is asserted on every round. *)
+  with_server (fun _server connect _path ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let heavy =
+            "([_,alpha,_] | [_,beta,_])* . ([_,alpha,_] | [_,beta,_])*"
+          in
+          let send req =
+            match Client.send conn req with
+            | Ok () -> ()
+            | Error m -> Alcotest.failf "send: %s" m
+          in
+          let receive () =
+            match Client.receive conn with
+            | Ok j -> j
+            | Error m -> Alcotest.failf "receive: %s" m
+          in
+          let rec round attempts n =
+            let qid = Json.Number (float_of_int n) in
+            let pid = Json.Number (float_of_int (n + 1)) in
+            send (simple_req ~id:qid ~query:heavy Wire.Query);
+            send (simple_req ~id:pid Wire.Ping);
+            let first = receive () in
+            let second = receive () in
+            let find id =
+              if Client.response_id first = id then first
+              else if Client.response_id second = id then second
+              else Alcotest.failf "no response carries the expected id"
+            in
+            let p = find pid and q = find qid in
+            Alcotest.(check (option bool)) "ping answered" (Some true)
+              (Option.bind (Json.member "pong" p) Json.to_bool_opt);
+            Alcotest.(check bool) "query answered" true
+              (Json.member "result" q <> None);
+            if Client.response_id first = pid then ()
+            else if attempts = 0 then
+              Alcotest.fail "ping never overtook the heavy query"
+            else round (attempts - 1) (n + 2)
+          in
+          round 9 1))
+
+(* --- Blank-line hardening --------------------------------------------------- *)
+
+let test_blank_lines_do_not_reset_idle_deadline () =
+  (* The blank-line slowloris: each blank used to complete a "request
+     cycle" and re-arm the idle clock. Dripping blanks faster than the
+     timeout must still hit the deadline. *)
+  with_server ~idle_timeout_ms:300.0 (fun _server connect socket_path ->
+      Client.close (connect ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket_path);
+          let stop = Atomic.make false in
+          let writer =
+            Thread.create
+              (fun () ->
+                let i = ref 0 in
+                while (not (Atomic.get stop)) && !i < 100 do
+                  incr i;
+                  (try ignore (Unix.write_substring fd "\n" 0 1)
+                   with Unix.Unix_error _ -> Atomic.set stop true);
+                  Thread.delay 0.05
+                done)
+              ()
+          in
+          let t0 = Unix.gettimeofday () in
+          let buf = Bytes.create 4096 in
+          let n = Unix.read fd buf 0 4096 in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Atomic.set stop true;
+          Thread.join writer;
+          (match Json.parse (String.trim (Bytes.sub_string buf 0 n)) with
+          | Error m -> Alcotest.failf "farewell is not JSON: %s" m
+          | Ok j ->
+            Alcotest.(check (option string))
+              "idle_timeout farewell" (Some "idle_timeout") (error_code_of j));
+          Alcotest.(check bool)
+            (Printf.sprintf "deadline held under blank drip (%.2fs)" elapsed)
+            true (elapsed < 2.0)))
+
+let test_blank_flood_cap () =
+  with_server (fun _server connect socket_path ->
+      Client.close (connect ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket_path);
+          (* far past the consecutive-blank cap, in one burst *)
+          let flood = String.make 80 '\n' in
+          ignore (Unix.write_substring fd flood 0 (String.length flood));
+          let buf = Bytes.create 4096 in
+          let n = Unix.read fd buf 0 4096 in
+          (match Json.parse (String.trim (Bytes.sub_string buf 0 n)) with
+          | Error m -> Alcotest.failf "farewell is not JSON: %s" m
+          | Ok j ->
+            Alcotest.(check (option string))
+              "bad_request farewell" (Some "bad_request") (error_code_of j));
+          (* ...and the connection is gone *)
+          Alcotest.(check bool) "closed after farewell" true
+            (match Unix.read fd buf 0 4096 with
+            | 0 -> true
+            | _ -> false
+            | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true));
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let j =
+            expect_ok "stats" (Client.request conn (simple_req Wire.Stats))
+          in
+          Alcotest.(check bool) "flood counted" true
+            (match stats_counter "server.blank_floods" j with
+            | Some n -> n >= 1
+            | None -> false)))
+
+(* --- Shutdown gating --------------------------------------------------------- *)
+
+let test_tcp_shutdown_unauthorized () =
+  with_tcp_server (fun _server connect ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          (match Client.request conn (simple_req Wire.Shutdown) with
+          | Error m -> Alcotest.failf "refusal killed connection: %s" m
+          | Ok j ->
+            Alcotest.(check (option bool)) "not ok" (Some false)
+              (Option.bind (Json.member "ok" j) Json.to_bool_opt);
+            Alcotest.(check (option string)) "code" (Some "unauthorized")
+              (error_code_of j));
+          (* the refused server keeps serving, on the same connection *)
+          ignore
+            (expect_ok "ping after refusal"
+               (Client.request conn (simple_req Wire.Ping)));
+          let j =
+            expect_ok "stats" (Client.request conn (simple_req Wire.Stats))
+          in
+          Alcotest.(check (option int)) "refusal counted" (Some 1)
+            (stats_counter "server.unauthorized" j)))
+
+let test_tcp_shutdown_allowed () =
+  with_tcp_server ~allow_remote_shutdown:true (fun _server connect ->
+      let conn = connect () in
+      let j =
+        expect_ok "remote shutdown"
+          (Client.request conn (simple_req Wire.Shutdown))
+      in
+      Alcotest.(check (option bool)) "stopping" (Some true)
+        (Option.bind (Json.member "stopping" j) Json.to_bool_opt);
+      Client.close conn
+      (* with_tcp_server's finally joins the serve thread: a shutdown verb
+         that did not actually stop the server hangs the test. *))
+
+(* --- Degenerate options, every strategy -------------------------------------- *)
+
+let all_strategies = [ Plan.Reference; Plan.Stack_machine; Plan.Product_bfs ]
+
+let result_field j name =
+  Option.bind (Json.member "result" j) (Json.member name)
+
+let run_with_options conn options query =
+  let j =
+    expect_ok query (Client.request conn (simple_req ~query ~options Wire.Query))
+  in
+  ( Option.bind (result_field j "count") Json.to_int_opt,
+    Option.bind (result_field j "verdict") Json.to_string_opt )
+
+let test_limit_zero_all_strategies () =
+  with_server (fun _server connect _path ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let outcomes =
+            List.map
+              (fun s ->
+                run_with_options conn
+                  {
+                    Wire.default_options with
+                    strategy = Some s;
+                    limit = Some 0;
+                  }
+                  "[i,alpha,_]")
+              all_strategies
+          in
+          match outcomes with
+          | [] -> assert false
+          | ((c0, v0) as first) :: rest ->
+            Alcotest.(check (option int)) "limit 0 yields no paths" (Some 0)
+              c0;
+            Alcotest.(check bool) "verdict present" true (v0 <> None);
+            List.iteri
+              (fun i o ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "strategy %d agrees with the reference" (i + 1))
+                  true (o = first))
+              rest))
+
+let test_max_length_zero_all_strategies () =
+  with_server (fun _server connect _path ->
+      let conn = connect () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let outcomes =
+            List.map
+              (fun s ->
+                run_with_options conn
+                  {
+                    Wire.default_options with
+                    strategy = Some s;
+                    max_length = Some 0;
+                  }
+                  "[i,alpha,_]")
+              all_strategies
+          in
+          List.iteri
+            (fun i (count, verdict) ->
+              Alcotest.(check (option int))
+                (Printf.sprintf "strategy %d: empty bound, empty answer" i)
+                (Some 0) count;
+              Alcotest.(check (option string))
+                (Printf.sprintf "strategy %d: trivially complete" i)
+                (Some "complete") verdict)
+            outcomes))
+
 (* --- Client retry --------------------------------------------------------- *)
 
 let test_backoff_bounds () =
@@ -1055,6 +1580,35 @@ let () =
           Alcotest.test_case "freezes a copy" `Quick test_snapshot_freezes_copy;
           Alcotest.test_case "queryable" `Quick test_snapshot_queryable;
         ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "capacity zero disabled" `Quick
+            test_lru_capacity_zero_disabled;
+          Alcotest.test_case "clear keeps counters" `Quick
+            test_lru_clear_keeps_counters;
+        ] );
+      ( "plan-cache",
+        [
+          Alcotest.test_case "parses once" `Quick test_compile_parses_once;
+          Alcotest.test_case "strategy override outside key" `Quick
+            test_strategy_override_outside_cache_key;
+          Alcotest.test_case "single parse per request" `Quick
+            test_server_single_parse_per_request;
+        ] );
+      ( "result-cache",
+        [
+          Alcotest.test_case "invalidation on write" `Quick
+            test_result_cache_invalidation_on_write;
+          Alcotest.test_case "never stores stale" `Quick
+            test_result_cache_never_stores_stale;
+          Alcotest.test_case "journal invalidation" `Quick
+            test_result_cache_journal_invalidation;
+          Alcotest.test_case "concurrent writes" `Quick
+            test_result_cache_concurrent_writes;
+          Alcotest.test_case "write then read not stale" `Quick
+            test_server_write_then_read_not_stale;
+        ] );
       ( "concurrency",
         [
           Alcotest.test_case "domains agree" `Quick
@@ -1076,6 +1630,19 @@ let () =
           Alcotest.test_case "idle timeout" `Quick test_server_idle_timeout;
           Alcotest.test_case "oversized request" `Quick
             test_server_oversized_request;
+          Alcotest.test_case "pipelined out of order" `Quick
+            test_pipelined_out_of_order;
+          Alcotest.test_case "blank lines keep deadline" `Quick
+            test_blank_lines_do_not_reset_idle_deadline;
+          Alcotest.test_case "blank flood cap" `Quick test_blank_flood_cap;
+          Alcotest.test_case "tcp shutdown unauthorized" `Quick
+            test_tcp_shutdown_unauthorized;
+          Alcotest.test_case "tcp shutdown allowed" `Quick
+            test_tcp_shutdown_allowed;
+          Alcotest.test_case "limit zero, all strategies" `Quick
+            test_limit_zero_all_strategies;
+          Alcotest.test_case "max_length zero, all strategies" `Quick
+            test_max_length_zero_all_strategies;
         ] );
       ( "retry",
         [
