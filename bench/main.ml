@@ -1050,9 +1050,10 @@ let exp_serve ~full =
         max_request_bytes = Server.default_max_request_bytes;
         max_predicted_cost = None;
         allow_remote_shutdown = false;
+        role = Server.Standalone;
       }
     in
-    let server = Server.create config snap in
+    let server = Server.create ~snapshot:snap config in
     let serve_thread = Thread.create (fun () -> Server.serve server) () in
     let rec await n =
       if Sys.file_exists socket_path then ()
@@ -1333,9 +1334,10 @@ let exp_cost ~full =
         max_request_bytes = Server.default_max_request_bytes;
         max_predicted_cost = (if admission then Some ceiling else None);
         allow_remote_shutdown = false;
+        role = Server.Standalone;
       }
     in
-    let server = Server.create config snap in
+    let server = Server.create ~snapshot:snap config in
     let serve_thread = Thread.create (fun () -> Server.serve server) () in
     let rec await n =
       if Sys.file_exists socket_path then ()
@@ -1421,6 +1423,16 @@ let exp_cost ~full =
 
 (* --- EXP-T16: caches under an open-loop zipfian load --------------------------- *)
 
+(* This experiment runs over a Unix socket, where TCP_NODELAY does not
+   apply; the server and client now set TCP_NODELAY on every TCP socket
+   (Net.set_nodelay). Measured on TCP loopback with a synchronous ping
+   loop whose request bytes hit the socket in two writes (the
+   Nagle-pathological write-write-read shape a buffered pipelining client
+   produces): p50 44.0 ms / p95 44.3 ms before (Nagle x delayed-ACK
+   stalls every round trip), p50 0.017 ms / p95 0.031 ms after — three
+   orders of magnitude, and the reason the option is unconditional rather
+   than a flag. *)
+
 (* Rows recorded by exp_zipf for the --json summary ("zipf" section of
    mrpa.bench/1); empty when the experiment was not selected. *)
 let zipf_rows : string list ref = ref []
@@ -1502,9 +1514,10 @@ let exp_zipf ~full =
         max_request_bytes = Server.default_max_request_bytes;
         max_predicted_cost = None;
         allow_remote_shutdown = false;
+        role = Server.Standalone;
       }
     in
-    let server = Server.create config snap in
+    let server = Server.create ~snapshot:snap config in
     let serve_thread = Thread.create (fun () -> Server.serve server) () in
     let rec await n =
       if Sys.file_exists socket_path then ()
@@ -1641,6 +1654,147 @@ let exp_zipf ~full =
       ]
     rows
 
+(* --- EXP-T17: replication convergence and failover ----------------------------- *)
+
+(* Rows recorded by exp_replication for the --json summary ("replication"
+   section of mrpa.bench/1); empty when the experiment was not selected. *)
+let repl_rows : string list ref = ref []
+
+let exp_replication ~full =
+  section "EXP-T17 (replication: lag and failover)"
+    "An in-process primary/replica pair on Unix sockets: a writer appends\n\
+     records to the primary's journal, the primary tails and streams them,\n\
+     the replica applies and republishes snapshots. Measured: time from\n\
+     the last write until the replica's health reports zero lag\n\
+     (convergence), then the primary is stopped and the time until a\n\
+     failover client ([primary; replica] endpoint list) gets its first\n\
+     successful answer is recorded (time-to-failover).";
+  let module R = Mrpa_server.Replication in
+  let n_records = if full then 5_000 else 1_000 in
+  let dir = Filename.temp_file "mrpa_bench_repl" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let journal = Filename.concat dir "primary.log" in
+  let p_sock = Filename.concat dir "p.sock" in
+  let r_sock = Filename.concat dir "r.sock" in
+  let p_ep = Wire.Unix_socket p_sock in
+  let r_ep = Wire.Unix_socket r_sock in
+  let config endpoint role =
+    {
+      Server.endpoint;
+      workers = 2;
+      queue_capacity = 64;
+      limits = Wire.default_limits;
+      idle_timeout_ms = None;
+      max_request_bytes = Server.default_max_request_bytes;
+      max_predicted_cost = None;
+      allow_remote_shutdown = false;
+      role;
+    }
+  in
+  let writer = Digraph.create () in
+  let j = Journal.attach ~on_warning:ignore writer journal in
+  let primary = Server.create (config p_ep (Server.Primary { journal })) in
+  let p_thread = Thread.create (fun () -> Server.serve primary) () in
+  let replica =
+    Server.create (config r_ep (Server.Replica { follow = p_ep }))
+  in
+  let r_thread = Thread.create (fun () -> Server.serve replica) () in
+  let health_int ep field =
+    let req =
+      { Wire.id = Sjson.Null; verb = Wire.Health; query = None;
+        options = Wire.default_options }
+    in
+    match Client.connect ep with
+    | Error _ -> None
+    | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          match Client.request conn req with
+          | Error _ -> None
+          | Ok json ->
+            Option.bind
+              (Option.bind (Sjson.member "health" json) (Sjson.member field))
+              Sjson.to_int_opt)
+  in
+  let await ?(timeout = 30.0) what cond =
+    let deadline = Unix.gettimeofday () +. timeout in
+    while (not (cond ())) && Unix.gettimeofday () < deadline do
+      Thread.yield ();
+      Unix.sleepf 0.002
+    done;
+    if not (cond ()) then failwith ("EXP-T17: timed out waiting for " ^ what)
+  in
+  await "servers up" (fun () ->
+      health_int p_ep "last_seq" <> None && health_int r_ep "last_seq" <> None);
+  (* The write burst: n_records edge insertions through the journal. *)
+  let _, write_s =
+    time (fun () ->
+        (* Distinct edges: a duplicate insert fires no observer and hence
+           appends no record, which would leave the replica short. *)
+        for i = 1 to n_records do
+          ignore
+            (Digraph.add writer
+               (Printf.sprintf "v%d" i)
+               "r"
+               (Printf.sprintf "v%d" (i + 1)))
+        done;
+        Journal.sync j)
+  in
+  let _, converge_s =
+    time (fun () ->
+        await "replica convergence" (fun () ->
+            health_int r_ep "last_seq" = Some n_records))
+  in
+  (* Failover: stop the primary, then time until the endpoint-rotating
+     client first succeeds. *)
+  let failover () =
+    Client.request_failover
+      ~policy:{ Client.retries = 10; backoff_ms = 10.0 }
+      [ p_ep; r_ep ]
+      { Wire.id = Sjson.Null; verb = Wire.Count; query = Some "[v1,r,_]";
+        options = Wire.default_options }
+  in
+  (match failover () with
+  | Ok _ -> ()
+  | Error m -> failwith ("EXP-T17: pre-failover request failed: " ^ m));
+  Server.stop primary;
+  Thread.join p_thread;
+  let ok, failover_s = time (fun () -> failover ()) in
+  (match ok with
+  | Ok _ -> ()
+  | Error m -> failwith ("EXP-T17: failover request failed: " ^ m));
+  Server.stop replica;
+  Thread.join r_thread;
+  Journal.close j;
+  (try
+     Array.iter
+       (fun name -> try Sys.remove (Filename.concat dir name) with _ -> ())
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  let rate = float_of_int n_records /. (write_s +. converge_s) in
+  repl_rows :=
+    Printf.sprintf
+      "{\"records\":%d,\"write_ms\":%.1f,\"converge_ms\":%.1f,\"replicated_per_s\":%.0f,\"failover_ms\":%.2f}"
+      n_records (1000.0 *. write_s) (1000.0 *. converge_s) rate
+      (1000.0 *. failover_s)
+    :: !repl_rows;
+  print_table
+    ~title:
+      (Printf.sprintf "replication over Unix sockets, %d records" n_records)
+    ~header:[ "records"; "write"; "converge"; "records/s"; "failover" ]
+    [
+      [
+        string_of_int n_records;
+        ms write_s ^ " ms";
+        ms converge_s ^ " ms";
+        Printf.sprintf "%.0f" rate;
+        ms failover_s ^ " ms";
+      ];
+    ]
+
 (* --- Machine-readable summary (--json) ---------------------------------------- *)
 
 (* A fixed set of representative engine runs whose mrpa.profile/1 documents
@@ -1702,10 +1856,11 @@ let bench_json ~full ~timings =
   let journal = String.concat "," !journal_rows in
   let cost = String.concat "," (List.rev !cost_rows) in
   let zipf = String.concat "," (List.rev !zipf_rows) in
+  let replication = String.concat "," (List.rev !repl_rows) in
   Printf.sprintf
-    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"journal\":[%s],\"cost\":[%s],\"zipf\":[%s],\"profiles\":[%s]}"
+    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"journal\":[%s],\"cost\":[%s],\"zipf\":[%s],\"replication\":[%s],\"profiles\":[%s]}"
     (esc (if full then "full" else "default"))
-    experiments serve journal cost zipf profiles
+    experiments serve journal cost zipf replication profiles
 
 (* --- Driver ------------------------------------------------------------------ *)
 
@@ -1730,6 +1885,7 @@ let experiments =
     ("journal", exp_journal);
     ("cost", exp_cost);
     ("zipf", exp_zipf);
+    ("replication", exp_replication);
   ]
 
 let () =

@@ -1002,10 +1002,54 @@ let endpoint_of_flags ~socket ~port ~host =
 let serve_cmd =
   let graph_flag =
     Arg.(
-      required
+      value
       & opt (some file) None
       & info [ "graph" ] ~docv:"FILE"
-          ~doc:"Graph to serve (TSV edge list); loaded once, then frozen.")
+          ~doc:
+            "Graph to serve (TSV edge list); loaded once, then frozen. \
+             Required for --role standalone; unused by primary/replica \
+             roles, which build their graphs from the journal stream.")
+  in
+  let role_arg =
+    Arg.(
+      value
+      & opt (enum [ ("standalone", `Standalone); ("primary", `Primary); ("replica", `Replica) ]) `Standalone
+      & info [ "role" ] ~docv:"ROLE"
+          ~doc:
+            "Replication role: $(b,standalone) serves one frozen --graph; \
+             $(b,primary) tails the v2 journal at --journal, serves its \
+             replay and streams records to subscribers; $(b,replica) \
+             follows the primary at --follow and serves bounded-staleness \
+             reads.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "For --role primary: the v2 journal to tail (created by a \
+             writer via `mrpa append`; may not exist yet).")
+  in
+  let follow_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"ENDPOINT"
+          ~doc:
+            "For --role replica: the primary's endpoint (unix:PATH, \
+             tcp:HOST:PORT, or HOST:PORT).")
+  in
+  let min_staleness_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-staleness-ms" ] ~docv:"MS"
+          ~doc:
+            "Floor on the max_staleness_ms clients may request: a request \
+             demanding fresher data than $(docv) is clamped up to it, so \
+             an over-eager client cannot turn every replica read into a \
+             stale error. Unset: honour any requested bound.")
   in
   let workers_arg =
     Arg.(
@@ -1118,19 +1162,47 @@ let serve_cmd =
              only Unix-domain clients may stop the server; a TCP shutdown \
              request is refused with an unauthorized wire error.")
   in
-  let run graph socket port host workers queue max_deadline_ms max_fuel
-      max_paths_cap max_limit max_length_cap idle_timeout_ms max_request_bytes
-      max_predicted_cost plan_cache result_cache allow_remote_shutdown =
+  let run graph socket port host role journal follow min_staleness_ms workers
+      queue max_deadline_ms max_fuel max_paths_cap max_limit max_length_cap
+      idle_timeout_ms max_request_bytes max_predicted_cost plan_cache
+      result_cache allow_remote_shutdown =
     let endpoint = endpoint_of_flags ~socket ~port ~host in
-    let snapshot =
-      try
-        Mrpa_server.Snapshot.load ~plan_cache_capacity:plan_cache
-          ~result_cache_capacity:result_cache graph
-      with
-      | Sys_error msg -> or_die (Error msg)
-      | Io.Malformed (line, text) ->
-        or_die
-          (Error (Printf.sprintf "%s: malformed line %d: %s" graph line text))
+    let role, snapshot, origin =
+      match role with
+      | `Standalone ->
+        let graph =
+          match graph with
+          | Some g -> g
+          | None -> or_die (Error "--role standalone requires --graph FILE")
+        in
+        let snapshot =
+          try
+            Mrpa_server.Snapshot.load ~plan_cache_capacity:plan_cache
+              ~result_cache_capacity:result_cache graph
+          with
+          | Sys_error msg -> or_die (Error msg)
+          | Io.Malformed (line, text) ->
+            or_die
+              (Error
+                 (Printf.sprintf "%s: malformed line %d: %s" graph line text))
+        in
+        (Mrpa_server.Server.Standalone, Some snapshot, "graph=" ^ graph)
+      | `Primary ->
+        let journal =
+          match journal with
+          | Some j -> j
+          | None -> or_die (Error "--role primary requires --journal FILE")
+        in
+        (Mrpa_server.Server.Primary { journal }, None, "journal=" ^ journal)
+      | `Replica ->
+        let follow =
+          match follow with
+          | Some f -> or_die (Mrpa_server.Wire.endpoint_of_string f)
+          | None -> or_die (Error "--role replica requires --follow ENDPOINT")
+        in
+        ( Mrpa_server.Server.Replica { follow },
+          None,
+          "follow=" ^ Mrpa_server.Wire.endpoint_to_string follow )
     in
     let config =
       {
@@ -1144,33 +1216,36 @@ let serve_cmd =
             max_live_paths = max_paths_cap;
             max_limit;
             max_length_cap;
+            min_staleness_ms;
           };
         idle_timeout_ms;
         max_request_bytes;
         max_predicted_cost;
         allow_remote_shutdown;
+        role;
       }
     in
     let server =
-      try Mrpa_server.Server.create config snapshot
+      try Mrpa_server.Server.create ?snapshot config
       with Invalid_argument msg -> or_die (Error msg)
     in
     (* SIGINT/SIGTERM request a graceful drain: the handler only sets a
        flag; the accept loop notices, cancels in-flight budgets through
-       their cancellation tokens, drains the pool, and serve returns. *)
+       their cancellation tokens, drains the pool, and serve returns.
+       (SIGPIPE is ignored by the server/client library setup itself —
+       Mrpa_server.Net — so a vanished peer cannot kill the process.) *)
     if Sys.os_type <> "Win32" then begin
       let graceful =
         Sys.Signal_handle (fun _ -> Mrpa_server.Server.stop server)
       in
       ignore (Sys.signal Sys.sigint graceful);
-      ignore (Sys.signal Sys.sigterm graceful);
-      (* A client vanishing mid-response must not kill the server. *)
-      ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      ignore (Sys.signal Sys.sigterm graceful)
     end;
-    Printf.eprintf "mrpa serve: %s workers=%d queue=%d graph=%s (%s)\n%!"
+    Printf.eprintf "mrpa serve: %s workers=%d queue=%d %s (%s)\n%!"
       (Mrpa_server.Wire.endpoint_to_string endpoint)
-      workers queue graph
-      (Format.asprintf "%a" Mrpa_server.Snapshot.pp_stats snapshot);
+      workers queue origin
+      (Format.asprintf "%a" Mrpa_server.Snapshot.pp_stats
+         (Mrpa_server.Server.snapshot server));
     (* Announce the endpoint actually bound once serve is listening — with
        `--port 0` the kernel picks the port, and scripts (and the cram
        tests) grep this line to find it. *)
@@ -1202,7 +1277,8 @@ let serve_cmd =
   in
   let term =
     Term.(
-      const run $ graph_flag $ socket_arg $ port_arg $ host_arg $ workers_arg
+      const run $ graph_flag $ socket_arg $ port_arg $ host_arg $ role_arg
+      $ journal_arg $ follow_arg $ min_staleness_arg $ workers_arg
       $ queue_arg $ max_deadline_arg $ max_fuel_arg $ max_paths_cap_arg
       $ max_limit_arg $ max_length_cap_arg $ idle_timeout_arg
       $ max_request_bytes_arg $ max_predicted_cost_arg $ plan_cache_arg
@@ -1230,6 +1306,49 @@ let call_cmd =
   in
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Fetch server-wide metrics.")
+  in
+  let health_flag =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Replication health probe: role, last-applied sequence number, \
+             lag behind the primary, connectivity.")
+  in
+  let endpoints_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "endpoints" ] ~docv:"A,B,C"
+          ~doc:
+            "Failover endpoint list (comma-separated unix:PATH / \
+             tcp:HOST:PORT / HOST:PORT), tried round-robin: attempts \
+             rotate across the list and the backoff sleep is paid only \
+             after a full cycle has failed. Exclusive with \
+             --socket/--port; combine with --retries to survive an \
+             endpoint dying mid-conversation.")
+  in
+  let min_seq_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "min-seq" ] ~docv:"SEQ"
+          ~doc:
+            "Bounded-staleness read: require the serving snapshot to \
+             include journal record $(docv); a server that cannot satisfy \
+             it within a short wait answers with a stale error (which \
+             --retries will re-try, possibly elsewhere).")
+  in
+  let max_staleness_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-staleness-ms" ] ~docv:"MS"
+          ~doc:
+            "Bounded-staleness read: require a replica to have heard from \
+             its primary within the last $(docv) milliseconds, else answer \
+             with a stale error. Authoritative servers (standalone, \
+             primary) always satisfy this bound.")
   in
   let shutdown_flag =
     Arg.(
@@ -1282,11 +1401,28 @@ let call_cmd =
             "Base of the backoff window: retry $(i,k) sleeps between \
              $(docv)*2^k/2 and $(docv)*2^k milliseconds (capped at 10s).")
   in
-  let run socket port host query_opt ping stats shutdown count lint pipeline
-      strategy limit max_length simple deadline_ms fuel max_paths retries
-      backoff_ms =
-    let endpoint = endpoint_of_flags ~socket ~port ~host in
+  let run socket port host endpoints query_opt ping stats shutdown health
+      count lint pipeline strategy limit max_length simple deadline_ms fuel
+      max_paths min_seq max_staleness_ms retries backoff_ms =
     let module S = Mrpa_server in
+    let endpoints =
+      match endpoints with
+      | None -> [ endpoint_of_flags ~socket ~port ~host ]
+      | Some list ->
+        if socket <> None || port <> None then
+          or_die (Error "--endpoints is exclusive with --socket/--port");
+        let eps =
+          List.filter_map
+            (fun s ->
+              let s = String.trim s in
+              if s = "" then None
+              else Some (or_die (S.Wire.endpoint_of_string s)))
+            (String.split_on_char ',' list)
+        in
+        if eps = [] then or_die (Error "--endpoints: no endpoints given");
+        eps
+    in
+    let endpoint = List.hd endpoints in
     let options =
       {
         S.Wire.strategy;
@@ -1300,6 +1436,10 @@ let call_cmd =
         deadline_ms;
         fuel;
         max_paths;
+        min_seq;
+        max_staleness_ms;
+        from_seq = None;
+        epoch = None;
       }
     in
     (* A response line's contribution to the exit-code policy: any error
@@ -1324,11 +1464,11 @@ let call_cmd =
         | _ -> `Error)
     in
     if pipeline then begin
-      if ping || stats || shutdown || lint then
+      if ping || stats || shutdown || lint || health then
         or_die
           (Error
-             "--pipeline is exclusive with --ping, --stats, --shutdown and \
-              --lint");
+             "--pipeline is exclusive with --ping, --stats, --shutdown, \
+              --lint and --health");
       let verb = if count then S.Wire.Count else S.Wire.Query in
       let queries =
         let rec read acc =
@@ -1392,17 +1532,19 @@ let call_cmd =
          else Mrpa_engine.Err.exit_ok)
     end;
     let verb =
-      match (ping, stats, shutdown, count, lint) with
-      | true, false, false, false, false -> S.Wire.Ping
-      | false, true, false, false, false -> S.Wire.Stats
-      | false, false, true, false, false -> S.Wire.Shutdown
-      | false, false, false, false, true -> S.Wire.Lint
-      | false, false, false, count, false ->
+      match (ping, stats, shutdown, health, count, lint) with
+      | true, false, false, false, false, false -> S.Wire.Ping
+      | false, true, false, false, false, false -> S.Wire.Stats
+      | false, false, true, false, false, false -> S.Wire.Shutdown
+      | false, false, false, true, false, false -> S.Wire.Health
+      | false, false, false, false, false, true -> S.Wire.Lint
+      | false, false, false, false, count, false ->
         if count then S.Wire.Count else S.Wire.Query
       | _ ->
         or_die
-          (Error "--ping, --stats, --shutdown, --count and --lint are \
-                  exclusive")
+          (Error
+             "--ping, --stats, --shutdown, --health, --count and --lint \
+              are exclusive")
     in
     let query =
       match (verb, query_opt) with
@@ -1413,7 +1555,7 @@ let call_cmd =
     in
     let request = { S.Wire.id = S.Json.Null; verb; query; options } in
     let policy = { S.Client.retries = max 0 retries; backoff_ms } in
-    let line = or_die (S.Client.request_retry ~policy endpoint request) in
+    let line = or_die (S.Client.request_failover ~policy endpoints request) in
     (* Print the response verbatim (it is already one JSON line), then turn
        its verdict into the standard exit-code policy. *)
     print_endline line;
@@ -1424,10 +1566,12 @@ let call_cmd =
   in
   let term =
     Term.(
-      const run $ socket_arg $ port_arg $ host_arg $ query_pos_opt $ ping_flag
-      $ stats_flag $ shutdown_flag $ call_count_flag $ call_lint_flag
-      $ pipeline_flag $ strategy_arg $ limit_arg $ max_length_arg $ simple_arg
-      $ deadline_arg $ fuel_arg $ max_paths_arg $ retries_arg $ backoff_arg)
+      const run $ socket_arg $ port_arg $ host_arg $ endpoints_arg
+      $ query_pos_opt $ ping_flag $ stats_flag $ shutdown_flag $ health_flag
+      $ call_count_flag $ call_lint_flag $ pipeline_flag $ strategy_arg
+      $ limit_arg $ max_length_arg $ simple_arg $ deadline_arg $ fuel_arg
+      $ max_paths_arg $ min_seq_arg $ max_staleness_arg $ retries_arg
+      $ backoff_arg)
   in
   Cmd.v
     (Cmd.info "call"
@@ -1436,6 +1580,102 @@ let call_cmd =
           the response line (or, with --pipeline, many requests on one \
           connection). Exits 0 on a complete result, 3 on a partial one \
           (budget or limit), 1 on any error response.")
+    term
+
+(* --- append ------------------------------------------------------------------------- *)
+
+(* The write side of a replicated deployment: mutations enter the system
+   as journal appends (`mrpa append`), the primary tails the file and
+   streams them to replicas. *)
+let append_cmd =
+  let journal_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL"
+          ~doc:
+            "Path of the change journal to append to (created as v2 if \
+             missing) — the same file a `mrpa serve --role primary \
+             --journal` tails.")
+  in
+  let add_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "add" ] ~docv:"TAIL,LABEL,HEAD"
+          ~doc:"Append an edge-insertion record. Repeatable.")
+  in
+  let del_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "del" ] ~docv:"TAIL,LABEL,HEAD"
+          ~doc:
+            "Append an edge-deletion record; the edge must exist in the \
+             journal's replay. Repeatable.")
+  in
+  let vertex_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "vertex" ] ~docv:"NAME"
+          ~doc:"Append an isolated-vertex record. Repeatable.")
+  in
+  let run path vertices adds dels =
+    let triple what s =
+      match String.split_on_char ',' s with
+      | [ t; l; h ] when t <> "" && l <> "" && h <> "" -> (t, l, h)
+      | _ ->
+        or_die
+          (Error (Printf.sprintf "--%s %S: want TAIL,LABEL,HEAD" what s))
+    in
+    let g = Digraph.create () in
+    let j =
+      try Journal.attach g path
+      with Failure msg -> or_die (Error msg)
+    in
+    List.iter (fun name -> Journal.record_vertex j g name) vertices;
+    List.iter
+      (fun s ->
+        let t, l, h = triple "add" s in
+        ignore (Digraph.add g t l h))
+      adds;
+    List.iter
+      (fun s ->
+        let t, l, h = triple "del" s in
+        let resolve what find name =
+          match find name with
+          | Some x -> x
+          | None ->
+            or_die
+              (Error
+                 (Printf.sprintf "--del %s: unknown %s %S" s what name))
+        in
+        let e =
+          Edge.make
+            ~tail:(resolve "vertex" (Digraph.find_vertex g) t)
+            ~label:(resolve "label" (Digraph.find_label g) l)
+            ~head:(resolve "vertex" (Digraph.find_vertex g) h)
+        in
+        if not (Digraph.remove_edge g e) then
+          or_die (Error (Printf.sprintf "--del %s: no such edge" s)))
+      dels;
+    Journal.sync j;
+    let written = Journal.entries_written j in
+    Journal.close j;
+    Printf.printf "%s: %d record%s appended (graph now %d vertices, %d edges)\n"
+      path written
+      (if written = 1 then "" else "s")
+      (Digraph.n_vertices g) (Digraph.n_edges g)
+  in
+  let term =
+    Term.(const run $ journal_pos $ vertex_arg $ add_arg $ del_arg)
+  in
+  Cmd.v
+    (Cmd.info "append"
+       ~doc:
+         "Append mutation records (--vertex, then --add, then --del, in \
+          that order) to a change journal, replaying its existing records \
+          first so deletions resolve and duplicates are detected. The \
+          write path of a replicated deployment: a primary server tails \
+          the journal and streams the records to its replicas.")
     term
 
 (* --- fsck --------------------------------------------------------------------------- *)
@@ -1545,6 +1785,7 @@ let () =
         shell_cmd;
         serve_cmd;
         call_cmd;
+        append_cmd;
         fsck_cmd;
         explain_cmd;
         equiv_cmd;

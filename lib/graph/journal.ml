@@ -70,7 +70,7 @@ let split_content content =
 
 (* Apply one v1-syntax mutation payload; raises [Failure] with a rendered
    reason when the payload is malformed or cannot be applied. *)
-let apply_payload g payload =
+let apply_payload_exn g payload =
   match String.split_on_char '\t' (String.trim payload) with
   | [ "vertex"; name ] -> ignore (Digraph.vertex g name)
   | [ "add"; tail; label; head ] -> ignore (Digraph.add g tail label head)
@@ -163,7 +163,7 @@ let scan ~strict ~path g content =
     | V1 ->
       if is_comment line then false
       else (
-        match apply_payload g line with
+        match apply_payload_exn g line with
         | () ->
           record ~seq:None (String.trim line);
           true
@@ -189,7 +189,7 @@ let scan ~strict ~path g content =
           if !resync then resync := false
           else if seq <> !expected then
             report (Bad_sequence { lineno; expected = !expected; found = seq });
-          match apply_payload g payload with
+          match apply_payload_exn g payload with
           | () ->
             record ~seq:(Some seq) payload;
             true
@@ -219,7 +219,7 @@ let scan ~strict ~path g content =
       | V1 ->
         if is_comment f then false
         else (
-          match apply_payload g f with
+          match apply_payload_exn g f with
           | () ->
             record ~seq:None (String.trim f);
             true
@@ -227,7 +227,7 @@ let scan ~strict ~path g content =
       | V2 -> (
         match parse_frame f with
         | Frame (seq, payload) -> (
-          match apply_payload g payload with
+          match apply_payload_exn g payload with
           | () ->
             if !resync then resync := false
             else if seq <> !expected then
@@ -292,11 +292,13 @@ type t = {
   mutable removed_cb : Edge.t -> unit;
 }
 
-let frame_v2 ~seq payload =
+let frame ~seq payload =
   (* Append hot path: plain concatenation, no Printf machinery. *)
   let seqs = string_of_int seq in
   let crc = Crc32.update (Crc32.string (seqs ^ "\t")) payload in
-  String.concat "" [ seqs; "\t"; Crc32.to_hex crc; "\t"; payload; "\n" ]
+  String.concat "" [ seqs; "\t"; Crc32.to_hex crc; "\t"; payload ]
+
+let frame_v2 ~seq payload = frame ~seq payload ^ "\n"
 
 let append t payload =
   if not t.closed then begin
@@ -366,6 +368,12 @@ let attach ?(replay_existing = true) ?(on_warning = default_warn) g path =
   Digraph.on_edge_added g t.added_cb;
   Digraph.on_edge_removed g t.removed_cb;
   t
+
+(* Isolated-vertex interning fires no edge observer, so it must be
+   recorded explicitly; used by `mrpa append --vertex`. *)
+let record_vertex t g name =
+  ignore (Digraph.vertex g name);
+  append t (Printf.sprintf "vertex\t%s" name)
 
 let log_path t = t.path
 let entries_written t = t.written
@@ -515,3 +523,12 @@ let repair r =
   match r.stale_tmp with
   | Some tmp -> ( try Sys.remove tmp with Sys_error _ -> ())
   | None -> ()
+
+(* --- Streaming / replication support ------------------------------------ *)
+
+let v2_header = header
+
+let apply_payload g payload =
+  match apply_payload_exn g payload with
+  | () -> Ok ()
+  | exception Failure reason -> Error reason

@@ -62,6 +62,12 @@ val replay_into : ?on_warning:(string -> unit) -> Digraph.t -> string -> unit
     corruption or an unsupported format header. Missing files are treated
     as empty. *)
 
+val record_vertex : t -> Digraph.t -> string -> unit
+(** [record_vertex j g name] interns [name] in [g] (isolated if new) and
+    appends a [vertex] record. Needed explicitly because interning — unlike
+    edge insertion/removal — fires no change observer for the journal to
+    record. *)
+
 val log_path : t -> string
 
 val entries_written : t -> int
@@ -143,3 +149,34 @@ val repair : recovery -> unit
     atomically (tmp + fsync + rename) — and delete any stale compaction
     tmp. After [repair r], [recover] of the same path is clean and replays
     to exactly [r.graph]. *)
+
+(** {1 Streaming}
+
+    The framing primitives, exposed so the replication layer
+    ([Mrpa_server.Replication]) can tail a journal, re-frame records onto
+    a wire, and validate them on the receiving side with the exact same
+    code paths the on-disk format uses. *)
+
+val v2_header : string
+(** The v2 header line (["#mrpa.journal/2"]), without trailing newline. *)
+
+val is_comment : string -> bool
+(** Blank lines and lines starting with ['#'] — never records. *)
+
+type frame = Frame of int * string | Bad_crc | Not_frame
+    (** [Frame (seq, payload)] is a v2 record line whose CRC checks out;
+        [Bad_crc] framed but corrupt; [Not_frame] not a v2 record at all. *)
+
+val parse_frame : string -> frame
+(** Parse one line (no trailing newline) of a v2 journal or record
+    stream. *)
+
+val frame : seq:int -> string -> string
+(** [frame ~seq payload] renders the v2 record line ["SEQ\tCRC\tPAYLOAD"]
+    (no trailing newline) such that [parse_frame (frame ~seq p) = Frame
+    (seq, p)]. *)
+
+val apply_payload : Digraph.t -> string -> (unit, string) result
+(** Apply one [add]/[del]/[vertex] payload to [g]; [Error reason] when the
+    payload is malformed or cannot be applied (e.g. deletes an unknown
+    vertex). *)

@@ -15,34 +15,7 @@ let retryable_connect_error = function
   | _ -> false
 
 let connect_err endpoint =
-  let open_fd () =
-    match endpoint with
-    | Wire.Unix_socket path ->
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (Unix.ADDR_UNIX path)
-       with e ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         raise e);
-      fd
-    | Wire.Tcp (host, port) ->
-      let addr =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (
-          match Unix.gethostbyname host with
-          | { Unix.h_addr_list = [||]; _ } ->
-            failwith (Printf.sprintf "cannot resolve host %S" host)
-          | h -> h.Unix.h_addr_list.(0)
-          | exception Not_found ->
-            failwith (Printf.sprintf "cannot resolve host %S" host))
-      in
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (Unix.ADDR_INET (addr, port))
-       with e ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         raise e);
-      fd
-  in
-  match open_fd () with
+  match Net.connect_fd endpoint with
   | fd -> Ok { fd; carry = ""; closed = false }
   | exception Unix.Unix_error (err, _, _) ->
     Error
@@ -54,14 +27,6 @@ let connect_err endpoint =
 
 let connect endpoint =
   Result.map_error (fun (_, msg) -> msg) (connect_err endpoint)
-
-let write_all fd s =
-  let bytes = Bytes.of_string s in
-  let len = Bytes.length bytes in
-  let written = ref 0 in
-  while !written < len do
-    written := !written + Unix.write fd bytes !written (len - !written)
-  done
 
 let read_line conn =
   let chunk = Bytes.create 4096 in
@@ -92,7 +57,7 @@ let read_line conn =
 let send_raw conn line =
   if conn.closed then Error "connection is closed"
   else
-    match write_all conn.fd (line ^ "\n") with
+    match Net.write_all conn.fd (line ^ "\n") with
     | () -> Ok ()
     | exception Unix.Unix_error (err, _, _) ->
       Error (Printf.sprintf "send failed: %s" (Unix.error_message err))
@@ -147,51 +112,88 @@ let backoff_delay_ms ?(rand = Random.float) policy ~attempt =
   let d = min 10_000.0 (policy.backoff_ms *. (2.0 ** float_of_int attempt)) in
   (d /. 2.0) +. rand (d /. 2.0)
 
-let overloaded_response json =
+let response_error_code json =
   match Json.member "ok" json with
   | Some (Json.Bool false) -> (
     match Option.bind (Json.member "error" json) (Json.member "code") with
-    | Some (Json.String code) ->
-      code = Wire.error_code_name Wire.Overloaded
-    | _ -> false)
-  | _ -> false
+    | Some (Json.String code) -> Some code
+    | _ -> None)
+  | _ -> None
 
-(* One fresh connection per attempt: after an [overloaded] answer or a
-   refused connect there is nothing worth keeping on the old socket, and a
-   clean slate means the retry loop needs no per-transport state machine.
-   Returns the raw response line so callers (mrpa call, the cram tests)
-   can echo the server's bytes verbatim. *)
-let request_retry ?(policy = no_retry) ?(sleep = Unix.sleepf) ?rand endpoint
-    req =
-  let wait attempt =
-    sleep (backoff_delay_ms ?rand policy ~attempt /. 1000.0)
-  in
+(* Responses that are worth another attempt (possibly elsewhere): the
+   server is there but shedding load, or a replica could not satisfy the
+   requested staleness bound — another endpoint may be fresher. *)
+let retryable_response json =
+  match response_error_code json with
+  | Some code ->
+    code = Wire.error_code_name Wire.Overloaded
+    || code = Wire.error_code_name Wire.Stale
+  | None -> false
+
+(* A verb whose re-execution cannot change server state: safe to retry
+   after a {e mid-stream} failure, where we cannot know whether the
+   server acted on the request before the connection died. [shutdown] is
+   the counter-example; [sub] never completes with one response line. *)
+let idempotent_verb = function
+  | Wire.Query | Wire.Count | Wire.Lint | Wire.Stats | Wire.Ping
+  | Wire.Health ->
+    true
+  | Wire.Shutdown | Wire.Sub -> false
+
+(* One fresh connection per attempt: after an [overloaded] answer, a
+   refused connect or a mid-stream disconnect there is nothing worth
+   keeping on the old socket, and a clean slate means the retry loop needs
+   no per-transport state machine. Returns the raw response line so
+   callers (mrpa call, the cram tests) can echo the server's bytes
+   verbatim.
+
+   With several endpoints this is the failover client: attempts rotate
+   round-robin across the list, and the backoff sleep is paid only after a
+   {e full} cycle has failed — trying the standby must be immediate, while
+   hammering a dead fleet must still back off. *)
+let request_failover ?(policy = no_retry) ?(sleep = Unix.sleepf) ?rand
+    endpoints req =
+  let eps = Array.of_list endpoints in
+  let n = Array.length eps in
+  if n = 0 then invalid_arg "Client.request_failover: no endpoints";
   let attempts = max 1 (policy.retries + 1) in
   let rec go attempt =
     let retry_or final =
       if attempt + 1 < attempts then begin
-        wait attempt;
+        (* Exponent = completed cycles through the endpoint list. *)
+        if (attempt + 1) mod n = 0 then
+          sleep (backoff_delay_ms ?rand policy ~attempt:(attempt / n) /. 1000.0);
         go (attempt + 1)
       end
       else final
     in
-    match connect_err endpoint with
+    match connect_err eps.(attempt mod n) with
     | Error (Some err, msg) when retryable_connect_error err ->
       retry_or (Error msg)
-    | Error (_, msg) -> Error msg
+    | Error (_, msg) ->
+      (* Not transient on {e this} endpoint (bad address, permission) —
+         but with alternatives available, rotate instead of giving up. *)
+      if n > 1 then retry_or (Error msg) else Error msg
     | Ok conn -> (
       let result = request_raw conn (Wire.encode_request req) in
       close conn;
       match result with
-      | Error _ as e -> e
+      | Error _ as e ->
+        (* Mid-stream failure: the connection died after connect (EOF,
+           ECONNRESET, EPIPE). Retry only what is safe to re-execute. *)
+        if idempotent_verb req.Wire.verb then retry_or e else e
       | Ok line -> (
         match Json.parse line with
         | Error msg -> Error (Printf.sprintf "bad response: %s" msg)
-        | Ok json when overloaded_response json ->
-          (* An [overloaded] response is a valid answer — only replace it
-             with a better one; when attempts run out, hand the last one
-             to the caller as [Ok] so the wire taxonomy is preserved. *)
+        | Ok json when retryable_response json ->
+          (* An [overloaded] / [stale] response is a valid answer — only
+             replace it with a better one; when attempts run out, hand the
+             last one to the caller as [Ok] so the wire taxonomy is
+             preserved. *)
           retry_or (Ok line)
         | Ok _ -> Ok line))
   in
   go 0
+
+let request_retry ?policy ?sleep ?rand endpoint req =
+  request_failover ?policy ?sleep ?rand [ endpoint ] req

@@ -50,15 +50,21 @@ val request : conn -> Wire.request -> (Json.t, string) result
 val close : conn -> unit
 (** Idempotent. *)
 
-(** {1 Retry with backoff}
+(** {1 Retry, backoff and failover}
 
     The transient-failure policy behind [mrpa call --retries N
-    --backoff-ms B]. Two failure classes are retried: a {e retryable
-    connect error} (refused, missing socket file, reset, timed out —
-    the server is not there yet) and an [overloaded] wire response (the
-    server is there but shedding load). Everything else — bad address,
-    malformed response, any other wire error — fails or returns
-    immediately; retrying would not change the outcome. *)
+    --backoff-ms B] and the failover client behind [--endpoints A,B,C].
+    Three failure classes are retried: a {e retryable connect error}
+    (refused, missing socket file, reset, timed out — the server is not
+    there yet), a {e mid-stream} transport failure (EOF, [ECONNRESET],
+    [EPIPE] after connect — but only for idempotent verbs: [query],
+    [count], [lint], [stats], [ping], [health]; a [shutdown] that died
+    mid-stream may already have acted), and a retryable wire response —
+    [overloaded] (the server is there but shedding load) or [stale] (a
+    replica behind the requested staleness bound; another endpoint may be
+    fresher). Everything else — bad address, malformed response, any
+    other wire error — fails or returns immediately; retrying would not
+    change the outcome. *)
 
 type retry_policy = {
   retries : int;  (** extra attempts after the first; [0] = try once. *)
@@ -76,6 +82,28 @@ val backoff_delay_ms :
     [rand] (default [Random.float]) is injectable so tests are
     deterministic. *)
 
+val request_failover :
+  ?policy:retry_policy ->
+  ?sleep:(float -> unit) ->
+  ?rand:(float -> float) ->
+  Wire.endpoint list ->
+  Wire.request ->
+  (string, string) result
+(** Connect, send one request, read one response — with a fresh connection
+    each attempt, rotating round-robin across [endpoints] and retrying the
+    failure classes above, [policy.retries] extra attempts in total. The
+    backoff sleep is paid only after a {e full} cycle through the list has
+    failed (with exponent = completed cycles), so failing over to a live
+    standby is immediate while a fully-dead fleet is still backed off.
+    With several endpoints, even a non-retryable connect error rotates to
+    the next endpoint rather than giving up — one bad address should not
+    mask a healthy standby. [Ok] is the raw response line, byte-for-byte
+    as the server sent it. When every attempt answers [overloaded] or
+    [stale], the last such response is returned as [Ok] (it {e is} a
+    well-formed wire answer); when every connect fails retryably, the last
+    rendered reason is the [Error]. [sleep] is injectable for tests.
+    Raises [Invalid_argument] on an empty endpoint list. *)
+
 val request_retry :
   ?policy:retry_policy ->
   ?sleep:(float -> unit) ->
@@ -83,9 +111,4 @@ val request_retry :
   Wire.endpoint ->
   Wire.request ->
   (string, string) result
-(** Connect, send one request, read one response — retrying per [policy]
-    with a fresh connection each attempt. [Ok] is the raw response line,
-    byte-for-byte as the server sent it. When every attempt answers
-    [overloaded], the last such response is returned as [Ok] (it {e is} a
-    well-formed wire answer); when every connect fails retryably, the last
-    rendered reason is the [Error]. [sleep] is injectable for tests. *)
+(** {!request_failover} with a single endpoint. *)

@@ -1,0 +1,29 @@
+(** Socket plumbing shared by {!Server}, {!Client} and {!Replication}.
+
+    One home for the process-wide and per-socket setup every networked
+    component needs, so the server, the client and the replica follower
+    agree on it instead of each re-implementing (or forgetting) a piece. *)
+
+val ignore_sigpipe : unit -> unit
+(** Ignore [SIGPIPE] process-wide so a peer disconnecting mid-write
+    surfaces as [EPIPE] from the write instead of killing the process.
+    Idempotent; called automatically by {!Server.serve}, {!Client.connect}
+    and {!connect_fd} — embedders only need it when writing to sockets
+    through neither. *)
+
+val resolve : string -> Unix.inet_addr
+(** Numeric address or [gethostbyname] lookup; raises [Failure] with a
+    rendered reason when the host cannot be resolved. *)
+
+val set_nodelay : Unix.file_descr -> unit
+(** Best-effort [TCP_NODELAY]: small pipelined requests should not wait
+    out Nagle's algorithm. A no-op on non-TCP sockets. *)
+
+val connect_fd : Wire.endpoint -> Unix.file_descr
+(** Open a connected stream socket to [endpoint], with [TCP_NODELAY] set
+    on TCP. Raises [Unix.Unix_error] on connect failure and [Failure] on
+    an unresolvable host. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string, looping over short writes. Raises
+    [Unix.Unix_error] (e.g. [EPIPE] when the peer is gone). *)

@@ -1,0 +1,304 @@
+open Mrpa_graph
+
+(* One journal record as it travels the wire: the exact framed line from
+   the primary's journal ("SEQ\tCRC\tPAYLOAD", no newline) plus its parsed
+   sequence number. Keeping the bytes verbatim means the replica validates
+   with the same CRC the disk format uses — the stream cannot silently
+   diverge from the file. *)
+type record = { seq : int; line : string }
+
+(* --- Deterministic fault plane ------------------------------------------ *)
+
+(* Same discipline as {!Mrpa_graph.Io_fault}: a single global slot, armed
+   with (kind, n), firing on the n-th record pushed through {!Fault.apply}
+   and disarming itself. Counting covers record lines only — heartbeats
+   and comments bypass the plane — so "the 3rd record" means the same
+   thing regardless of timing. *)
+module Fault = struct
+  type kind = Drop | Duplicate | Reorder | Tear
+
+  let kind_name = function
+    | Drop -> "drop"
+    | Duplicate -> "duplicate"
+    | Reorder -> "reorder"
+    | Tear -> "tear"
+
+  type action = Deliver of string | Tear_after of string
+
+  let armed : (kind * int) option ref = ref None
+  let count = ref 0
+  let held : string option ref = ref None
+
+  let arm kind ~at =
+    if at < 1 then invalid_arg "Replication.Fault.arm: at must be >= 1";
+    armed := Some (kind, at);
+    count := 0;
+    held := None
+
+  let disarm () =
+    armed := None;
+    count := 0;
+    held := None
+
+  let apply line =
+    (* A held (reordered) record is flushed behind the next one, swapping
+       their order on the wire. *)
+    let flush tail =
+      match !held with
+      | Some h ->
+        held := None;
+        tail @ [ Deliver h ]
+      | None -> tail
+    in
+    incr count;
+    match !armed with
+    | Some (kind, at) when !count = at -> (
+      armed := None;
+      match kind with
+      | Drop -> flush []
+      | Duplicate -> flush [ Deliver line; Deliver line ]
+      | Tear ->
+        flush [ Tear_after (String.sub line 0 (String.length line / 2)) ]
+      | Reorder ->
+        held := Some line;
+        [])
+    | _ -> flush [ Deliver line ]
+end
+
+(* --- Primary side: tail the journal ------------------------------------- *)
+
+module Source = struct
+  type t = {
+    path : string;
+    mutable graph : Digraph.t;
+    (* Identity of the file generation being tailed. A compaction renames
+       a fresh file over the path (new inode) and resequences from 1, so
+       identity or size regression means: new epoch, start over. *)
+    mutable ino : int;
+    mutable dev : int;
+    mutable offset : int;  (* bytes consumed (complete lines + carry) *)
+    mutable carry : string;  (* unterminated trailing fragment *)
+    mutable last_seq : int;
+    mutable epoch : int;
+    mutable header_seen : bool;
+    mutable history : record list;  (* newest first, this epoch *)
+    mutable wedged : string option;
+    (* One free rescan per file identity: a parse failure may just mean
+       the bytes shifted under us (in-place truncation plus re-append
+       between two polls), which a restart from offset 0 resolves. A
+       second failure on the same identity is real corruption. *)
+    mutable rescanned : bool;
+  }
+
+  let create path =
+    {
+      path;
+      graph = Digraph.create ();
+      ino = -1;
+      dev = -1;
+      offset = 0;
+      carry = "";
+      last_seq = 0;
+      epoch = 0;
+      header_seen = false;
+      history = [];
+      wedged = None;
+      rescanned = false;
+    }
+
+  let graph t = t.graph
+  let last_seq t = t.last_seq
+  let epoch t = t.epoch
+  let wedged t = t.wedged
+
+  let reset_state t =
+    t.graph <- Digraph.create ();
+    t.offset <- 0;
+    t.carry <- "";
+    t.last_seq <- 0;
+    t.header_seen <- false;
+    t.history <- [];
+    t.wedged <- None;
+    t.epoch <- t.epoch + 1
+
+  let wedge t reason =
+    t.wedged <- Some (Printf.sprintf "%s: %s" t.path reason)
+
+  (* Consume one complete line; returns the applied record, if any. *)
+  let handle_line t line =
+    if not t.header_seen then
+      if line = Journal.v2_header then begin
+        t.header_seen <- true;
+        None
+      end
+      else if Journal.is_comment line then None
+      else begin
+        wedge t "not a v2 journal (missing header); cannot stream it";
+        None
+      end
+    else if Journal.is_comment line then None
+    else
+      match Journal.parse_frame line with
+      | Journal.Frame (seq, payload) when seq = t.last_seq + 1 -> (
+        match Journal.apply_payload t.graph payload with
+        | Ok () ->
+          t.last_seq <- seq;
+          let r = { seq; line } in
+          t.history <- r :: t.history;
+          Some r
+        | Error reason ->
+          wedge t (Printf.sprintf "record %d does not apply: %s" seq reason);
+          None)
+      | Journal.Frame (seq, _) ->
+        wedge t
+          (Printf.sprintf "sequence gap: expected %d, found %d" (t.last_seq + 1)
+             seq);
+        None
+      | Journal.Bad_crc ->
+        wedge t
+          (Printf.sprintf "checksum mismatch after record %d" t.last_seq);
+        None
+      | Journal.Not_frame ->
+        wedge t
+          (Printf.sprintf "malformed record line after record %d" t.last_seq);
+        None
+
+  let poll t =
+    match open_in_bin t.path with
+    | exception Sys_error _ -> []  (* not created yet; nothing to stream *)
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          (* Identity and size come from the open descriptor, so a rename
+             racing with this poll cannot mix two files' bytes. *)
+          let st = Unix.fstat (Unix.descr_of_in_channel ic) in
+          let new_identity =
+            t.ino >= 0 && (st.Unix.st_ino <> t.ino || st.Unix.st_dev <> t.dev)
+          in
+          if new_identity then begin
+            reset_state t;
+            t.rescanned <- false
+          end
+          else if st.Unix.st_size < t.offset then
+            (* Same file, shrunk: attach() truncating a torn tail in
+               place. Everything we parsed may have moved; start over. *)
+            reset_state t;
+          t.ino <- st.Unix.st_ino;
+          t.dev <- st.Unix.st_dev;
+          if t.wedged <> None then []
+          else begin
+            let len = in_channel_length ic in
+            let chunk =
+              if len <= t.offset then ""
+              else begin
+                seek_in ic t.offset;
+                really_input_string ic (len - t.offset)
+              end
+            in
+            t.offset <- t.offset + String.length chunk;
+            let data = t.carry ^ chunk in
+            let applied = ref [] in
+            let pos = ref 0 in
+            let n = String.length data in
+            (try
+               while !pos < n && t.wedged = None do
+                 match String.index_from_opt data !pos '\n' with
+                 | None -> raise Exit
+                 | Some i ->
+                   let line = String.sub data !pos (i - !pos) in
+                   pos := i + 1;
+                   (match handle_line t line with
+                   | Some r -> applied := r :: !applied
+                   | None -> ())
+               done
+             with Exit -> ());
+            if t.wedged <> None && not t.rescanned then begin
+              (* The one free retry: rescan this identity from scratch
+                 next poll. Subscribers see it as an epoch bump. *)
+              t.rescanned <- true;
+              reset_state t;
+              []
+            end
+            else begin
+              t.carry <- String.sub data !pos (n - !pos);
+              List.rev !applied
+            end
+          end)
+
+  type backlog = Tail of record list | Reset of record list
+
+  let backlog t ~from_seq ~epoch =
+    let all () = List.rev t.history in
+    if epoch <> t.epoch || from_seq < 1 || from_seq > t.last_seq + 1 then
+      Reset (all ())
+    else Tail (List.filter (fun r -> r.seq >= from_seq) (all ()))
+end
+
+(* --- Replica side: apply the stream ------------------------------------- *)
+
+let heartbeat_prefix = "#hb "
+let heartbeat ~seq = heartbeat_prefix ^ string_of_int seq
+
+module Apply = struct
+  type t = {
+    mutable graph : Digraph.t;
+    mutable last_applied : int;
+    mutable primary_seq : int;
+  }
+
+  let create () = { graph = Digraph.create (); last_applied = 0; primary_seq = 0 }
+  let graph t = t.graph
+  let last_applied t = t.last_applied
+  let primary_seq t = t.primary_seq
+  let note_primary_seq t seq = if seq > t.primary_seq then t.primary_seq <- seq
+
+  let reset t =
+    t.graph <- Digraph.create ();
+    t.last_applied <- 0;
+    t.primary_seq <- 0
+
+  type outcome = Applied of int | Skipped | Heartbeat of int | Resync of string
+
+  let apply_line t line =
+    if line = "" then Skipped
+    else if line.[0] = '#' then
+      if String.starts_with ~prefix:heartbeat_prefix line then begin
+        match
+          int_of_string_opt
+            (String.sub line
+               (String.length heartbeat_prefix)
+               (String.length line - String.length heartbeat_prefix))
+        with
+        | Some seq when seq >= 0 ->
+          note_primary_seq t seq;
+          (* A heartbeat naming records we never received means they were
+             lost in flight (the stream is FIFO, so anything sent before
+             it already arrived): resubscribe rather than lag forever. *)
+          if seq > t.last_applied then
+            Resync
+              (Printf.sprintf "heartbeat at seq %d but only %d applied" seq
+                 t.last_applied)
+          else Heartbeat seq
+        | _ -> Skipped
+      end
+      else Skipped
+    else
+      match Journal.parse_frame line with
+      | Journal.Frame (seq, payload) ->
+        note_primary_seq t seq;
+        if seq <= t.last_applied then Skipped  (* duplicate: already applied *)
+        else if seq = t.last_applied + 1 then (
+          match Journal.apply_payload t.graph payload with
+          | Ok () ->
+            t.last_applied <- seq;
+            Applied seq
+          | Error reason ->
+            Resync (Printf.sprintf "record %d does not apply: %s" seq reason))
+        else
+          Resync
+            (Printf.sprintf "sequence gap: expected %d, received %d"
+               (t.last_applied + 1) seq)
+      | Journal.Bad_crc -> Resync "record failed its checksum"
+      | Journal.Not_frame -> Resync "malformed record line"
+end

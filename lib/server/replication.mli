@@ -1,0 +1,150 @@
+(** Journal-streaming replication: the primary tails its own v2 journal
+    and streams the framed records verbatim to subscribing replicas, which
+    apply them into a live graph. Both halves live here, socket-free, so
+    the whole pipeline is unit- and property-testable as pure data flow;
+    {!Server} wires them to threads and connections.
+
+    {2 Consistency contract}
+
+    A replica's graph is always the replay of a {e sequence prefix} of the
+    primary's journal (within one epoch). The pieces that enforce it:
+
+    - Records travel as the exact framed journal lines, so the replica
+      re-validates CRC and sequence with the on-disk format's own code.
+    - {!Apply} accepts only the next expected sequence number: duplicates
+      (seq already applied) are skipped, anything else — a gap, a failed
+      checksum, a malformed line, a heartbeat naming records that never
+      arrived — demands a {e resync}: reconnect and resubscribe from
+      [last_applied + 1]. Convergence under faults is a QCheck property,
+      not a hope.
+    - An {e epoch} identifies one file generation of the journal. A
+      compaction (or crash-recovery truncation) rewrites and resequences
+      the journal, bumping the epoch; a subscriber from another epoch gets
+      a full-reset handoff — the compacted journal {e is} the snapshot —
+      instead of mis-matched sequence numbers. *)
+
+open Mrpa_graph
+
+type record = { seq : int; line : string }
+(** One framed journal record, byte-for-byte as on disk (no newline). *)
+
+val heartbeat : seq:int -> string
+(** The ["#hb SEQ"] comment line the primary interleaves into streams: a
+    liveness signal (bounded-staleness clock), a lag report, and a
+    lost-record detector all in one. A journal comment by construction,
+    so it can never be mistaken for a record. *)
+
+(** Deterministic fault plane for the replication channel, modeled on
+    {!Mrpa_graph.Io_fault}: one global slot, armed with (kind, n), firing
+    on the n-th record pushed through {!Fault.apply} and disarming itself.
+    Only record lines count — heartbeats/comments bypass the plane — so
+    ["the 3rd record"] is deterministic regardless of timing. Not
+    thread-safe by design (arm once, from the test, before traffic). *)
+module Fault : sig
+  type kind =
+    | Drop  (** the record vanishes. *)
+    | Duplicate  (** the record is delivered twice. *)
+    | Reorder
+        (** the record is held and delivered {e after} the next one. *)
+    | Tear
+        (** half the record's bytes are delivered, then the stream dies —
+            the torn-write analogue on the wire. *)
+
+  val kind_name : kind -> string
+
+  type action =
+    | Deliver of string  (** put this line on the wire. *)
+    | Tear_after of string
+        (** write these (partial) bytes, then drop the connection. *)
+
+  val arm : kind -> at:int -> unit
+  (** Arm the plane to fire on the [at]-th record (1-based) from now.
+      Raises [Invalid_argument] when [at < 1]. *)
+
+  val disarm : unit -> unit
+  (** Clear the armed fault and any held (reordered) record. *)
+
+  val apply : string -> action list
+  (** Route one record line through the plane: the actions to perform, in
+      order. Usually [[Deliver line]]; the armed fault rewrites the n-th
+      call. A [Reorder]-held record is flushed behind the next one. *)
+end
+
+(** The primary's journal tailer: an incremental, restartable reader of
+    the journal file that maintains the primary's live graph, the framed
+    record history for late subscribers, and the epoch. Single-threaded by
+    contract — {!Server} serialises access under its primary lock. *)
+module Source : sig
+  type t
+
+  val create : string -> t
+  (** Tail the journal at this path. The file may not exist yet (a writer
+      will create it); {!poll} until it does. *)
+
+  val graph : t -> Digraph.t
+  (** The live graph: the replay of every record consumed so far. Mutated
+      only by {!poll}; replaced wholesale on an epoch change. *)
+
+  val last_seq : t -> int
+  val epoch : t -> int
+
+  val wedged : t -> string option
+  (** Mid-file corruption that survived the one automatic rescan: tailing
+      has stopped (the valid prefix is still served) until the file's
+      identity changes — run [mrpa fsck]. Never set by a torn {e tail},
+      which simply stays pending until the writer completes or truncates
+      it. *)
+
+  val poll : t -> record list
+  (** Consume whatever the journal has appended since the last poll and
+      return the newly applied records, oldest first. Detects compaction
+      (new inode) and in-place truncation (size regression) and restarts
+      from scratch under a new epoch — the records of the fresh file are
+      returned as new, and subscribers from the old epoch must be reset. *)
+
+  type backlog =
+    | Tail of record list
+        (** the records from [from_seq] on: the subscriber's prefix is
+            still a prefix of ours, just send the rest. *)
+    | Reset of record list
+        (** the full record history: the subscriber's state is from
+            another epoch (or ahead of us) and must be discarded. *)
+
+  val backlog : t -> from_seq:int -> epoch:int -> backlog
+  (** The catch-up stream for a subscriber that has applied records
+      [< from_seq] of [epoch]. *)
+end
+
+(** The replica's record applier: a live graph plus the two sequence
+    counters ([last_applied], [primary_seq]) that define lag. *)
+module Apply : sig
+  type t
+
+  val create : unit -> t
+  val graph : t -> Digraph.t
+  val last_applied : t -> int
+
+  val primary_seq : t -> int
+  (** Highest sequence number the primary is known to have (from records
+      and heartbeats seen) — [primary_seq - last_applied] is the lag. *)
+
+  val note_primary_seq : t -> int -> unit
+  (** Fold in an out-of-band observation (the [sub] handoff's
+      [last_seq]). Monotonic. *)
+
+  val reset : t -> unit
+  (** Discard all state for a full-reset handoff: fresh empty graph,
+      counters to zero. The caller owns re-snapshotting. *)
+
+  type outcome =
+    | Applied of int  (** the next expected record; graph advanced. *)
+    | Skipped  (** duplicate record, comment, or blank — no-op. *)
+    | Heartbeat of int  (** liveness signal; [primary_seq] updated. *)
+    | Resync of string
+        (** the stream is no longer a usable continuation (gap, checksum
+            failure, malformed line, heartbeat ahead of what arrived):
+            drop the connection and resubscribe from [last_applied + 1]. *)
+
+  val apply_line : t -> string -> outcome
+  (** Process one stream line (no newline). *)
+end

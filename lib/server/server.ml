@@ -1,6 +1,11 @@
 open Mrpa_graph
 open Mrpa_engine
 
+type role =
+  | Standalone
+  | Primary of { journal : string }
+  | Replica of { follow : Wire.endpoint }
+
 type config = {
   endpoint : Wire.endpoint;
   workers : int;
@@ -10,13 +15,61 @@ type config = {
   max_request_bytes : int;
   max_predicted_cost : int option;
   allow_remote_shutdown : bool;
+  role : role;
 }
 
 let default_max_request_bytes = 1_048_576
 
+(* One subscriber = one session thread draining this queue onto its
+   connection. The tailer pushes under [lock]; [dead] is the tailer (or an
+   epoch change) telling the streamer to hang up. *)
+type subscriber = {
+  sub_queue : string Queue.t;
+  sub_lock : Mutex.t;
+  mutable sub_dead : bool;
+}
+
+type primary_state = {
+  source : Replication.Source.t;
+  (* Guards [source] (tailer vs health/sub readers) and the subscriber
+     registry. *)
+  prim_lock : Mutex.t;
+  subs : (int, subscriber) Hashtbl.t;
+  mutable next_sub : int;
+}
+
+type replica_state = {
+  follow : Wire.endpoint;
+  appl : Replication.Apply.t;
+  (* Guards [appl] (follower thread vs session reads). *)
+  rep_lock : Mutex.t;
+  mutable rep_epoch : int;
+  mutable rep_connected : bool;
+  mutable rep_last_contact : int64;  (* 0L = never *)
+  mutable rep_resyncs : int;
+}
+
+type repl =
+  | No_replication
+  | Primary_repl of primary_state
+  | Replica_repl of replica_state
+
 type t = {
   config : config;
-  snapshot : Snapshot.t;
+  (* The snapshot all sessions/workers read. Standalone servers set it
+     once; primary/replica role threads swap in a fresh frozen copy of
+     their live graph as the journal stream advances. Always read it
+     exactly once per request. *)
+  snapshot : Snapshot.t Atomic.t;
+  (* Journal sequence number the current snapshot includes — the
+     bounded-staleness gate waits on this, not on the live graph, so
+     [min_seq] means "the answer reflects seq >= S", not merely "the
+     server has heard of it". *)
+  snap_seq : int Atomic.t;
+  (* The live graph the current snapshot watches for result-cache
+     invalidation; only the single role thread touches it. *)
+  mutable snap_source : Digraph.t option;
+  repl : repl;
   pool : Pool.t;
   stopping : bool Atomic.t;
   (* In-flight budget registry: shutdown cancels every member so running
@@ -37,10 +90,52 @@ type t = {
   bound : Wire.endpoint option Atomic.t;
 }
 
-let create config snapshot =
+let create ?snapshot config =
+  let snapshot, snap_seq, snap_source, repl =
+    match config.role with
+    | Standalone -> (
+      match snapshot with
+      | Some s -> (s, 0, None, No_replication)
+      | None -> invalid_arg "Server.create: a standalone server needs a snapshot")
+    | Primary { journal } ->
+      let source = Replication.Source.create journal in
+      (* Initial catch-up so a restarted primary serves its data from the
+         first request, not from the first poll. *)
+      ignore (Replication.Source.poll source);
+      let g = Replication.Source.graph source in
+      ( Snapshot.of_graph g,
+        Replication.Source.last_seq source,
+        Some g,
+        Primary_repl
+          {
+            source;
+            prim_lock = Mutex.create ();
+            subs = Hashtbl.create 8;
+            next_sub = 0;
+          } )
+    | Replica { follow } ->
+      let appl = Replication.Apply.create () in
+      let g = Replication.Apply.graph appl in
+      ( Snapshot.of_graph g,
+        0,
+        Some g,
+        Replica_repl
+          {
+            follow;
+            appl;
+            rep_lock = Mutex.create ();
+            rep_epoch = -1;
+            rep_connected = false;
+            rep_last_contact = 0L;
+            rep_resyncs = 0;
+          } )
+  in
   {
     config;
-    snapshot;
+    snapshot = Atomic.make snapshot;
+    snap_seq = Atomic.make snap_seq;
+    snap_source;
+    repl;
     pool =
       Pool.create ~workers:config.workers
         ~queue_capacity:config.queue_capacity;
@@ -56,6 +151,8 @@ let create config snapshot =
     started_ns = Metrics.now_ns ();
     bound = Atomic.make None;
   }
+
+let snapshot t = Atomic.get t.snapshot
 
 let stop t = Atomic.set t.stopping true
 let bound_endpoint t = Atomic.get t.bound
@@ -93,15 +190,7 @@ let cancel_inflight t =
 (* Small select interval: the price of noticing [stop] without signals. *)
 let poll_interval_s = 0.1
 
-let write_all fd s =
-  let bytes = Bytes.of_string s in
-  let len = Bytes.length bytes in
-  let written = ref 0 in
-  while !written < len do
-    written := !written + Unix.write fd bytes !written (len - !written)
-  done
-
-let write_line fd line = write_all fd (line ^ "\n")
+let write_line fd line = Net.write_all fd (line ^ "\n")
 
 (* Per-connection state shared between the session thread and the worker
    jobs it dispatched. With pipelining, several workers may finish for the
@@ -218,6 +307,24 @@ let request_deadline t =
 
 let esc = Metrics.escape_string
 
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> esc k ^ ":" ^ v) fields) ^ "}"
+
+(* Swap in a fresh frozen snapshot of the live graph [g] at journal
+   sequence [seq]. Role-thread only (the sole mutator of the live graph,
+   so copying it here is race-free). The old snapshot's invalidation
+   observers are detached from whichever graph it was watching; sessions
+   still holding the old snapshot keep using it consistently. *)
+let refresh_snapshot t g ~seq =
+  let old = Atomic.get t.snapshot in
+  let fresh = Snapshot.of_graph g in
+  Atomic.set t.snapshot fresh;
+  Atomic.set t.snap_seq seq;
+  (match t.snap_source with
+  | Some watched -> Snapshot.unwatch old watched
+  | None -> ());
+  t.snap_source <- Some g
+
 let effective_max_length t (o : Wire.options) =
   match o.Wire.max_length with
   | Some m -> m
@@ -227,9 +334,9 @@ let effective_max_length t (o : Wire.options) =
    generation observed before dispatch; a Complete payload is offered back
    to the cache under it, so a write racing with this evaluation silently
    vetoes the insert (Snapshot.cache_result). *)
-let eval_compiled t (req : Wire.request) (o : Wire.options) rkey gen0
+let eval_compiled t snap (req : Wire.request) (o : Wire.options) rkey gen0
     (c : Snapshot.compiled) budget =
-  let g = Snapshot.graph t.snapshot in
+  let g = Snapshot.graph snap in
   let plan =
     match o.Wire.strategy with
     | None -> c.Snapshot.plan
@@ -247,7 +354,7 @@ let eval_compiled t (req : Wire.request) (o : Wire.options) rkey gen0
     note_verdict r.Engine.verdict;
     let payload = [ ("result", Render.result_json g r) ] in
     if r.Engine.verdict = Err.Complete then
-      Snapshot.cache_result t.snapshot ~generation:gen0 rkey payload;
+      Snapshot.cache_result snap ~generation:gen0 rkey payload;
     Wire.response_ok ~id:req.Wire.id payload
   | Wire.Count ->
     let n, verdict = Engine.count_plan ~budget g plan in
@@ -257,9 +364,10 @@ let eval_compiled t (req : Wire.request) (o : Wire.options) rkey gen0
       [ ("count", string_of_int n); ("verdict", esc (Err.verdict_name verdict)) ]
     in
     if verdict = Err.Complete then
-      Snapshot.cache_result t.snapshot ~generation:gen0 rkey payload;
+      Snapshot.cache_result snap ~generation:gen0 rkey payload;
     Wire.response_ok ~id:req.Wire.id payload
-  | Wire.Lint | Wire.Stats | Wire.Ping | Wire.Shutdown ->
+  | Wire.Lint | Wire.Stats | Wire.Ping | Wire.Shutdown | Wire.Health
+  | Wire.Sub ->
     assert false (* handled inline *)
 
 (* The lint verb never evaluates anything, so it is answered inline by the
@@ -267,22 +375,21 @@ let eval_compiled t (req : Wire.request) (o : Wire.options) rkey gen0
    queue behind the evaluations it is meant to avert. It reads the same
    plan-cache entry the evaluation path will use. *)
 let lint_response t (req : Wire.request) =
-  let g = Snapshot.graph t.snapshot in
+  let snap = snapshot t in
+  let g = Snapshot.graph snap in
   let query_text = Option.get req.Wire.query in
   let o = Wire.clamp t.config.limits req.Wire.options in
   let max_length = effective_max_length t o in
-  match
-    Snapshot.compile t.snapshot ~max_length ~simple:o.Wire.simple query_text
-  with
+  match Snapshot.compile snap ~max_length ~simple:o.Wire.simple query_text with
   | Error msg ->
     m_incr t "server.query_errors";
     Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error msg
   | Ok c ->
     m_incr t "server.lints";
-    let stats = Snapshot.profile t.snapshot in
+    let stats = Snapshot.profile snap in
     let diags =
       Mrpa_lint.Lint.analyze
-        ~signature:(Snapshot.signature t.snapshot)
+        ~signature:(Snapshot.signature snap)
         ~stats ~max_length ?fuel:o.Wire.fuel ?deadline_ms:o.Wire.deadline_ms g
         c.Snapshot.spanned
     in
@@ -332,11 +439,10 @@ let admission_reject t (req : Wire.request) (c : Snapshot.compiled) =
     else None
 
 let stats_response t req =
-  let g = Snapshot.graph t.snapshot in
-  let plan_hits, plan_misses = Snapshot.plan_cache_stats t.snapshot in
-  let res_hits, res_misses, res_invals =
-    Snapshot.result_cache_stats t.snapshot
-  in
+  let snap = snapshot t in
+  let g = Snapshot.graph snap in
+  let plan_hits, plan_misses = Snapshot.plan_cache_stats snap in
+  let res_hits, res_misses, res_invals = Snapshot.result_cache_stats snap in
   let json =
     with_lock t.metrics_lock (fun () ->
         Metrics.set t.metrics "graph.vertices" (Digraph.n_vertices g);
@@ -348,16 +454,16 @@ let stats_response t req =
         Metrics.set t.metrics "server.running" (Pool.running t.pool);
         Metrics.set t.metrics "server.job_errors" (Pool.job_errors t.pool);
         Metrics.set t.metrics "server.worker_restarts" (Pool.restarts t.pool);
-        Metrics.set t.metrics "server.parses" (Snapshot.parse_count t.snapshot);
+        Metrics.set t.metrics "server.parses" (Snapshot.parse_count snap);
         Metrics.set t.metrics "server.plan_cache_hits" plan_hits;
         Metrics.set t.metrics "server.plan_cache_misses" plan_misses;
         Metrics.set t.metrics "server.plan_cache_size"
-          (Snapshot.plan_cache_length t.snapshot);
+          (Snapshot.plan_cache_length snap);
         Metrics.set t.metrics "server.result_cache_hits" res_hits;
         Metrics.set t.metrics "server.result_cache_misses" res_misses;
         Metrics.set t.metrics "server.result_cache_invalidations" res_invals;
         Metrics.set t.metrics "server.result_cache_size"
-          (Snapshot.result_cache_length t.snapshot);
+          (Snapshot.result_cache_length snap);
         Metrics.set t.metrics "server.uptime_ms"
           (int_of_float
              (Metrics.ns_to_ms (Metrics.elapsed_ns ~since:t.started_ns)));
@@ -369,11 +475,11 @@ let stats_response t req =
    response through the session's write lock, which is what lets several
    tagged requests from one connection run concurrently. Refusals
    (draining, queue full) are answered inline. *)
-let dispatch_async t ss (req : Wire.request) effective rkey
+let dispatch_async t snap ss (req : Wire.request) effective rkey
     (c : Snapshot.compiled) =
   let budget = Wire.budget_of_options effective in
   let reg_id = register_budget t budget in
-  let gen0 = Snapshot.generation t.snapshot in
+  let gen0 = Snapshot.generation snap in
   let job () =
     Fun.protect
       ~finally:(fun () ->
@@ -381,7 +487,7 @@ let dispatch_async t ss (req : Wire.request) effective rkey
         job_finished ss)
       (fun () ->
         let response =
-          try eval_compiled t req effective rkey gen0 c budget
+          try eval_compiled t snap req effective rkey gen0 c budget
           with e ->
             m_incr t "server.internal_errors";
             Wire.response_error ~id:req.Wire.id ~code:Wire.Internal
@@ -416,37 +522,239 @@ let shutdown_allowed t =
   | Wire.Unix_socket _ -> true
   | Wire.Tcp _ -> t.config.allow_remote_shutdown
 
+(* --- Bounded-staleness gate ---------------------------------------------- *)
+
+(* How long a session will wait for the snapshot to catch up before
+   answering [stale]. Short by design: a replica that is actually behind
+   should push the client to another endpoint, not hold its request
+   hostage. *)
+let stale_wait_ms = 500.0
+
+(* [min_seq] is checked against the sequence number the {e snapshot}
+   includes, not the live graph's: the promise is "the answer reflects seq
+   >= S", and answers come from the snapshot. [max_staleness_ms] is a
+   replica-only check — standalone and primary servers are the authority
+   for their own data and are never stale; a primary trivially satisfies
+   any [min_seq] its tailer has reached. *)
+let staleness_error t (o : Wire.options) =
+  if o.Wire.min_seq = None && o.Wire.max_staleness_ms = None then None
+  else begin
+    let seq_ok () =
+      match (o.Wire.min_seq, t.repl) with
+      | None, _ -> true
+      | Some s, No_replication -> s = 0
+      | Some s, (Primary_repl _ | Replica_repl _) -> Atomic.get t.snap_seq >= s
+    in
+    let fresh_ok () =
+      match (o.Wire.max_staleness_ms, t.repl) with
+      | None, _ | Some _, (No_replication | Primary_repl _) -> true
+      | Some ms, Replica_repl r ->
+        r.rep_last_contact <> 0L
+        && Metrics.ns_to_ms (Metrics.elapsed_ns ~since:r.rep_last_contact) <= ms
+    in
+    let deadline =
+      Int64.add (Metrics.now_ns ()) (Int64.of_float (stale_wait_ms *. 1e6))
+    in
+    let rec wait () =
+      if seq_ok () && fresh_ok () then None
+      else if
+        Atomic.get t.stopping
+        || Int64.compare (Metrics.now_ns ()) deadline >= 0
+      then begin
+        m_incr t "server.stale";
+        Some
+          (if not (seq_ok ()) then
+             Printf.sprintf
+               "snapshot is at seq %d, behind the requested min_seq %d"
+               (Atomic.get t.snap_seq)
+               (Option.value ~default:0 o.Wire.min_seq)
+           else
+             Printf.sprintf
+               "no contact with the primary within the requested %.0f ms"
+               (Option.value ~default:0.0 o.Wire.max_staleness_ms))
+      end
+      else begin
+        Thread.delay 0.01;
+        wait ()
+      end
+    in
+    wait ()
+  end
+
 let handle_eval t ss (req : Wire.request) =
   let effective = Wire.clamp t.config.limits req.Wire.options in
-  let query_text = Option.get req.Wire.query in
-  let max_length = effective_max_length t effective in
-  let rkey =
-    Snapshot.result_key
-      ~verb:(Wire.verb_name req.Wire.verb)
-      ~query:query_text ~max_length ~simple:effective.Wire.simple
-      ~strategy:effective.Wire.strategy ~limit:effective.Wire.limit
-  in
-  (* Result cache first: a hit answers inline without parsing anything and
-     without occupying a worker — the whole point of caching the hot set. *)
-  match Snapshot.cached_result t.snapshot rkey with
-  | Some payload ->
-    m_incr t
-      (match req.Wire.verb with
-      | Wire.Query -> "server.queries"
-      | _ -> "server.counts");
-    send ss (Wire.response_ok ~id:req.Wire.id payload)
+  match staleness_error t effective with
+  | Some msg ->
+    send ss (Wire.response_error ~id:req.Wire.id ~code:Wire.Stale msg)
   | None -> (
-    match
-      Snapshot.compile t.snapshot ~max_length ~simple:effective.Wire.simple
-        query_text
-    with
-    | Error msg ->
-      m_incr t "server.query_errors";
-      send ss (Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error msg)
-    | Ok compiled -> (
-      match admission_reject t req compiled with
-      | Some response -> send ss response
-      | None -> dispatch_async t ss req effective rkey compiled))
+    (* Read the snapshot once, after the gate: the catch-up wait must be
+       able to observe a refresh. *)
+    let snap = snapshot t in
+    let query_text = Option.get req.Wire.query in
+    let max_length = effective_max_length t effective in
+    let rkey =
+      Snapshot.result_key
+        ~verb:(Wire.verb_name req.Wire.verb)
+        ~query:query_text ~max_length ~simple:effective.Wire.simple
+        ~strategy:effective.Wire.strategy ~limit:effective.Wire.limit
+    in
+    (* Result cache first: a hit answers inline without parsing anything and
+       without occupying a worker — the whole point of caching the hot set. *)
+    match Snapshot.cached_result snap rkey with
+    | Some payload ->
+      m_incr t
+        (match req.Wire.verb with
+        | Wire.Query -> "server.queries"
+        | _ -> "server.counts");
+      send ss (Wire.response_ok ~id:req.Wire.id payload)
+    | None -> (
+      match
+        Snapshot.compile snap ~max_length ~simple:effective.Wire.simple
+          query_text
+      with
+      | Error msg ->
+        m_incr t "server.query_errors";
+        send ss (Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error msg)
+      | Ok compiled -> (
+        match admission_reject t req compiled with
+        | Some response -> send ss response
+        | None -> dispatch_async t snap ss req effective rkey compiled)))
+
+(* --- Replication verbs --------------------------------------------------- *)
+
+let health_response t req =
+  let fields =
+    match t.repl with
+    | No_replication ->
+      [ ("role", esc "standalone"); ("last_seq", "0"); ("lag", "0") ]
+    | Primary_repl p ->
+      let last, ep, wedged, nsubs =
+        with_lock p.prim_lock (fun () ->
+            ( Replication.Source.last_seq p.source,
+              Replication.Source.epoch p.source,
+              Replication.Source.wedged p.source,
+              Hashtbl.length p.subs ))
+      in
+      [
+        ("role", esc "primary");
+        ("last_seq", string_of_int last);
+        ("lag", "0");
+        ("epoch", string_of_int ep);
+        ("subscribers", string_of_int nsubs);
+      ]
+      @ (match wedged with Some r -> [ ("wedged", esc r) ] | None -> [])
+    | Replica_repl r ->
+      let last, pseq =
+        with_lock r.rep_lock (fun () ->
+            ( Replication.Apply.last_applied r.appl,
+              Replication.Apply.primary_seq r.appl ))
+      in
+      let staleness =
+        if r.rep_last_contact = 0L then -1.0
+        else Metrics.ns_to_ms (Metrics.elapsed_ns ~since:r.rep_last_contact)
+      in
+      [
+        ("role", esc "replica");
+        ("last_seq", string_of_int last);
+        ("primary_seq", string_of_int pseq);
+        ("lag", string_of_int (max 0 (pseq - last)));
+        ("snap_seq", string_of_int (Atomic.get t.snap_seq));
+        ("epoch", string_of_int r.rep_epoch);
+        ("connected", if r.rep_connected then "true" else "false");
+        ("staleness_ms", Printf.sprintf "%.1f" staleness);
+        ("resyncs", string_of_int r.rep_resyncs);
+      ]
+  in
+  Wire.response_ok ~id:req.Wire.id [ ("health", json_obj fields) ]
+
+(* Stream backlog + live records to one subscriber until the connection
+   dies, the server stops, or the tailer declares the subscriber dead
+   (epoch change). Record lines go through the fault plane; heartbeats and
+   comments bypass it so fault positions are deterministic. *)
+let stream_to_subscriber t ss sub backlog =
+  let alive = ref true in
+  let deliver line =
+    let actions =
+      if line <> "" && line.[0] = '#' then [ Replication.Fault.Deliver line ]
+      else Replication.Fault.apply line
+    in
+    List.iter
+      (fun action ->
+        if !alive then
+          match action with
+          | Replication.Fault.Deliver l -> (
+            try with_lock ss.write_lock (fun () -> write_line ss.fd l)
+            with Unix.Unix_error _ -> alive := false)
+          | Replication.Fault.Tear_after partial ->
+            (try with_lock ss.write_lock (fun () -> Net.write_all ss.fd partial)
+             with Unix.Unix_error _ -> ());
+            alive := false)
+      actions
+  in
+  List.iter (fun r -> deliver r.Replication.line) backlog;
+  while !alive && not (Atomic.get t.stopping) do
+    let batch, dead =
+      with_lock sub.sub_lock (fun () ->
+          let items = List.of_seq (Queue.to_seq sub.sub_queue) in
+          Queue.clear sub.sub_queue;
+          (items, sub.sub_dead))
+    in
+    if batch = [] then
+      if dead then alive := false else Thread.delay 0.02
+    else List.iter deliver batch
+  done
+
+let handle_sub t ss (req : Wire.request) =
+  match t.repl with
+  | No_replication | Replica_repl _ ->
+    send ss
+      (Wire.response_error ~id:req.Wire.id ~code:Wire.Bad_request
+         "sub requires a server running with --role primary")
+  | Primary_repl p ->
+    let from_seq = Option.value ~default:1 req.Wire.options.Wire.from_seq in
+    let sub_epoch = Option.value ~default:(-1) req.Wire.options.Wire.epoch in
+    let sub =
+      { sub_queue = Queue.create (); sub_lock = Mutex.create (); sub_dead = false }
+    in
+    (* Registration and backlog are computed under the same lock the
+       tailer broadcasts under, so every record is either in the backlog
+       or queued after registration — never both, never neither. *)
+    let sub_id, ep, last, reset, backlog =
+      with_lock p.prim_lock (fun () ->
+          let id = p.next_sub in
+          p.next_sub <- id + 1;
+          Hashtbl.replace p.subs id sub;
+          let ep = Replication.Source.epoch p.source in
+          let last = Replication.Source.last_seq p.source in
+          match
+            Replication.Source.backlog p.source ~from_seq ~epoch:sub_epoch
+          with
+          | Replication.Source.Tail records -> (id, ep, last, false, records)
+          | Replication.Source.Reset records -> (id, ep, last, true, records))
+    in
+    m_incr t "server.subs";
+    Fun.protect
+      ~finally:(fun () ->
+        with_lock p.prim_lock (fun () -> Hashtbl.remove p.subs sub_id))
+      (fun () ->
+        let start_seq =
+          match backlog with
+          | [] -> last + 1
+          | r :: _ -> r.Replication.seq
+        in
+        send ss
+          (Wire.response_ok ~id:req.Wire.id
+             [
+               ( "sub",
+                 json_obj
+                   [
+                     ("start_seq", string_of_int start_seq);
+                     ("last_seq", string_of_int last);
+                     ("epoch", string_of_int ep);
+                     ("reset", if reset then "true" else "false");
+                   ] );
+             ]);
+        stream_to_subscriber t ss sub backlog)
 
 let handle_request t ss line =
   m_incr t "server.requests";
@@ -467,6 +775,15 @@ let handle_request t ss line =
     | Wire.Lint ->
       send ss (lint_response t req);
       `Continue
+    | Wire.Health ->
+      m_incr t "server.healths";
+      send ss (health_response t req);
+      `Continue
+    | Wire.Sub ->
+      (* Takes over the connection: the handoff response, then a one-way
+         record stream until either side hangs up. *)
+      handle_sub t ss req;
+      `Close
     | Wire.Shutdown ->
       if shutdown_allowed t then begin
         send ss (Wire.response_ok ~id:req.Wire.id [ ("stopping", "true") ]);
@@ -482,6 +799,191 @@ let handle_request t ss line =
     | Wire.Query | Wire.Count ->
       handle_eval t ss req;
       `Continue)
+
+(* --- Role threads -------------------------------------------------------- *)
+
+let hb_interval_ns = 200_000_000L
+
+let broadcast p lines =
+  with_lock p.prim_lock (fun () ->
+      Hashtbl.iter
+        (fun _ sub ->
+          with_lock sub.sub_lock (fun () ->
+              List.iter (fun l -> Queue.push l sub.sub_queue) lines))
+        p.subs)
+
+let kill_subs p =
+  with_lock p.prim_lock (fun () ->
+      Hashtbl.iter
+        (fun _ sub -> with_lock sub.sub_lock (fun () -> sub.sub_dead <- true))
+        p.subs)
+
+(* The primary's tailer: poll the journal, broadcast new records to
+   subscribers, refresh the serving snapshot, and interleave heartbeats so
+   replicas have a staleness clock even when no one is writing. *)
+let primary_loop t p =
+  let last_hb = ref 0L in
+  while not (Atomic.get t.stopping) do
+    let ep0 = Replication.Source.epoch p.source in
+    let records =
+      with_lock p.prim_lock (fun () -> Replication.Source.poll p.source)
+    in
+    let ep1 = Replication.Source.epoch p.source in
+    if ep1 <> ep0 then
+      (* The journal was rewritten (compaction / truncation) and
+         resequenced: streams from the old epoch are unusable. Hang up on
+         every subscriber; they resubscribe and get a reset handoff. *)
+      kill_subs p
+    else if records <> [] then
+      broadcast p (List.map (fun r -> r.Replication.line) records);
+    if records <> [] || ep1 <> ep0 then
+      refresh_snapshot t
+        (Replication.Source.graph p.source)
+        ~seq:(Replication.Source.last_seq p.source);
+    let now = Metrics.now_ns () in
+    if Int64.compare (Int64.sub now !last_hb) hb_interval_ns >= 0 then begin
+      last_hb := now;
+      broadcast p
+        [ Replication.heartbeat ~seq:(Replication.Source.last_seq p.source) ]
+    end;
+    Thread.delay 0.02
+  done
+
+let stop_aware_sleep t seconds =
+  let deadline =
+    Int64.add (Metrics.now_ns ()) (Int64.of_float (seconds *. 1e9))
+  in
+  while
+    (not (Atomic.get t.stopping))
+    && Int64.compare (Metrics.now_ns ()) deadline < 0
+  do
+    Thread.delay 0.02
+  done
+
+(* Subscribe from where we left off. [None] means the handshake itself
+   failed (the peer is not a primary, or died mid-handshake). *)
+let follow_handshake t r fd carry =
+  let sub_req =
+    {
+      Wire.id = Json.Null;
+      verb = Wire.Sub;
+      query = None;
+      options =
+        {
+          Wire.default_options with
+          Wire.from_seq = Some (Replication.Apply.last_applied r.appl + 1);
+          (* Before the first successful handshake there is no epoch to
+             claim; omitting the field yields the full-reset handoff. *)
+          epoch = (if r.rep_epoch >= 0 then Some r.rep_epoch else None);
+        };
+    }
+  in
+  match Net.write_all fd (Wire.encode_request sub_req ^ "\n") with
+  | exception Unix.Unix_error _ -> None
+  | () -> (
+    let deadline = Some (Int64.add (Metrics.now_ns ()) 5_000_000_000L) in
+    match read_line_stop t fd carry ~deadline with
+    | Line line -> (
+      match Json.parse line with
+      | Error _ -> None
+      | Ok json -> (
+        match (Json.member "ok" json, Json.member "sub" json) with
+        | Some (Json.Bool true), Some sub ->
+          let geti name d =
+            match Option.bind (Json.member name sub) Json.to_int_opt with
+            | Some v -> v
+            | None -> d
+          in
+          let reset =
+            match Json.member "reset" sub with
+            | Some (Json.Bool b) -> b
+            | _ -> false
+          in
+          Some (geti "epoch" 0, geti "last_seq" 0, reset)
+        | _ -> None))
+    | Eof | Timed_out | Too_long -> None)
+
+(* Apply the record stream until it breaks. Snapshot refreshes are
+   batched: on a quiet tick, every [refresh_batch] applied records under
+   sustained load, and at stream end — so a write burst costs a handful of
+   graph copies, not one per record. Returns [false] when the handshake
+   was refused (the caller backs off hard instead of hammering). *)
+let refresh_batch = 512
+
+let follow_stream t r fd =
+  let carry = ref "" in
+  match follow_handshake t r fd carry with
+  | None -> false
+  | Some (ep, primary_last, reset) ->
+    with_lock r.rep_lock (fun () ->
+        if reset then Replication.Apply.reset r.appl;
+        Replication.Apply.note_primary_seq r.appl primary_last);
+    r.rep_epoch <- ep;
+    r.rep_connected <- true;
+    r.rep_last_contact <- Metrics.now_ns ();
+    let dirty = ref reset in
+    let applied_since = ref 0 in
+    let refresh () =
+      refresh_snapshot t
+        (Replication.Apply.graph r.appl)
+        ~seq:(Replication.Apply.last_applied r.appl);
+      dirty := false;
+      applied_since := 0
+    in
+    let running = ref true in
+    while !running && not (Atomic.get t.stopping) do
+      let tick = Some (Int64.add (Metrics.now_ns ()) 50_000_000L) in
+      match read_line_stop t fd carry ~deadline:tick with
+      | Timed_out -> if !dirty then refresh ()
+      | Eof | Too_long -> running := false
+      | Line line -> (
+        let outcome =
+          with_lock r.rep_lock (fun () ->
+              Replication.Apply.apply_line r.appl line)
+        in
+        r.rep_last_contact <- Metrics.now_ns ();
+        match outcome with
+        | Replication.Apply.Applied _ ->
+          dirty := true;
+          incr applied_since;
+          if !applied_since >= refresh_batch then refresh ()
+        | Replication.Apply.Skipped | Replication.Apply.Heartbeat _ -> ()
+        | Replication.Apply.Resync _ ->
+          r.rep_resyncs <- r.rep_resyncs + 1;
+          running := false)
+    done;
+    if !dirty then refresh ();
+    r.rep_connected <- false;
+    true
+
+(* The replica's follower: connect, subscribe, apply until the stream
+   breaks, reconnect with jittered backoff (the PR 5 client policy). *)
+let follower_loop t r =
+  let attempt = ref 0 in
+  while not (Atomic.get t.stopping) do
+    match Net.connect_fd r.follow with
+    | exception (Unix.Unix_error _ | Failure _) ->
+      r.rep_connected <- false;
+      let policy = { Client.retries = 0; Client.backoff_ms = 50.0 } in
+      let delay_ms = Client.backoff_delay_ms policy ~attempt:(min !attempt 7) in
+      incr attempt;
+      stop_aware_sleep t (delay_ms /. 1000.0)
+    | fd ->
+      let handshook =
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> follow_stream t r fd)
+      in
+      if handshook then begin
+        attempt := 0;
+        stop_aware_sleep t 0.05
+      end
+      else begin
+        incr attempt;
+        stop_aware_sleep t 0.5
+      end
+  done
 
 (* A client that floods blank lines (each one "completes", so the reader
    returns) gets this many before the connection is dropped — together
@@ -524,6 +1026,7 @@ let session t fd =
     | Line line -> (
       match handle_request t ss line with
       | `Shutdown -> stop t
+      | `Close -> ()
       | `Continue -> loop 0 (request_deadline t))
   in
   Fun.protect
@@ -551,16 +1054,7 @@ let bind_endpoint = function
     Unix.listen fd 64;
     fd
   | Wire.Tcp (host, port) ->
-    let addr =
-      try Unix.inet_addr_of_string host
-      with Failure _ -> (
-        match Unix.gethostbyname host with
-        | { Unix.h_addr_list = [||]; _ } ->
-          failwith (Printf.sprintf "cannot resolve host %S" host)
-        | h -> h.Unix.h_addr_list.(0)
-        | exception Not_found ->
-          failwith (Printf.sprintf "cannot resolve host %S" host))
-    in
+    let addr = Net.resolve host in
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt fd Unix.SO_REUSEADDR true;
     Unix.bind fd (Unix.ADDR_INET (addr, port));
@@ -568,6 +1062,7 @@ let bind_endpoint = function
     fd
 
 let serve t =
+  Net.ignore_sigpipe ();
   let listen_fd = bind_endpoint t.config.endpoint in
   let actual =
     match t.config.endpoint with
@@ -578,6 +1073,12 @@ let serve t =
     | e -> e
   in
   Atomic.set t.bound (Some actual);
+  let role_thread =
+    match t.repl with
+    | No_replication -> None
+    | Primary_repl p -> Some (Thread.create (fun () -> primary_loop t p) ())
+    | Replica_repl r -> Some (Thread.create (fun () -> follower_loop t r) ())
+  in
   let accept_loop () =
     while not (Atomic.get t.stopping) do
       match Unix.select [ listen_fd ] [] [] poll_interval_s with
@@ -585,6 +1086,7 @@ let serve t =
       | _ -> (
         match Unix.accept listen_fd with
         | fd, _ ->
+          Net.set_nodelay fd;
           with_lock t.sessions_lock (fun () ->
               t.live_sessions <- t.live_sessions + 1;
               t.connections <- t.connections + 1);
@@ -600,6 +1102,7 @@ let serve t =
          checkpoint, let the pool finish, give sessions a moment to flush
          their final responses, then tear the endpoint down. *)
       Atomic.set t.stopping true;
+      Option.iter Thread.join role_thread;
       cancel_inflight t;
       Pool.shutdown t.pool;
       let deadline = Int64.add (Metrics.now_ns ()) 5_000_000_000L in

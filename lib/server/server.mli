@@ -65,6 +65,18 @@
     response, then close and (for Unix-domain sockets) unlink. {!serve}
     then returns normally — exit code 0 belongs to the caller. *)
 
+type role =
+  | Standalone  (** serve one fixed snapshot; no replication. *)
+  | Primary of { journal : string }
+      (** tail the v2 journal at this path (created by a writer via
+          {!Mrpa_graph.Journal.attach} or [mrpa append]): serve its replay,
+          refresh the snapshot as records land, and stream them to [sub]
+          subscribers. *)
+  | Replica of { follow : Wire.endpoint }
+      (** hot standby: subscribe to the primary at [follow], apply its
+          record stream into a live graph, and serve (bounded-staleness)
+          reads from rolling snapshots of it. *)
+
 type config = {
   endpoint : Wire.endpoint;
   workers : int;  (** worker-pool size [K >= 1]. *)
@@ -88,6 +100,7 @@ type config = {
       (** honour the [shutdown] verb on TCP sessions. Default policy is
           [false]: only Unix-domain clients (who by definition share the
           host) may stop the server; remote clients get [unauthorized]. *)
+  role : role;
 }
 
 val default_max_request_bytes : int
@@ -96,10 +109,19 @@ val default_max_request_bytes : int
 
 type t
 
-val create : config -> Snapshot.t -> t
+val create : ?snapshot:Snapshot.t -> config -> t
 (** Allocate the server state and spawn the worker pool. No socket is
-    touched until {!serve}. Raises [Invalid_argument] on a bad pool
-    geometry (see {!Pool.create}). *)
+    touched until {!serve}. A [Standalone] server requires [~snapshot]
+    (raises [Invalid_argument] without one); [Primary] and [Replica]
+    servers build and maintain their own snapshots from their live graphs
+    — a primary replays its journal here, so a restarted primary serves
+    its data immediately. Raises [Invalid_argument] on a bad pool geometry
+    (see {!Pool.create}). *)
+
+val snapshot : t -> Snapshot.t
+(** The snapshot currently being served. Fixed for standalone servers;
+    for primary/replica roles it is republished by the role thread as the
+    journal stream advances (read it once per use). *)
 
 val stop : t -> unit
 (** Request shutdown. Only sets an atomic flag — safe from a signal

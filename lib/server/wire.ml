@@ -8,9 +8,35 @@ let endpoint_to_string = function
   | Unix_socket path -> Printf.sprintf "unix:%s" path
   | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
 
+let endpoint_of_string s =
+  let strip prefix =
+    if String.starts_with ~prefix s then
+      Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+    else None
+  in
+  let host_port rest =
+    match String.rindex_opt rest ':' with
+    | Some i -> (
+      let host = String.sub rest 0 i in
+      let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 && host <> "" -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "bad TCP endpoint %S: want HOST:PORT" s))
+    | None -> Error (Printf.sprintf "bad TCP endpoint %S: want HOST:PORT" s)
+  in
+  match strip "unix:" with
+  | Some path when path <> "" -> Ok (Unix_socket path)
+  | Some _ -> Error (Printf.sprintf "bad endpoint %S: empty socket path" s)
+  | None -> (
+    match strip "tcp:" with
+    | Some rest -> host_port rest
+    | None ->
+      (* Bare HOST:PORT is accepted as TCP shorthand. *)
+      host_port s)
+
 (* --- Requests ---------------------------------------------------------- *)
 
-type verb = Query | Count | Lint | Stats | Ping | Shutdown
+type verb = Query | Count | Lint | Stats | Ping | Shutdown | Health | Sub
 
 let verb_name = function
   | Query -> "query"
@@ -19,6 +45,8 @@ let verb_name = function
   | Stats -> "stats"
   | Ping -> "ping"
   | Shutdown -> "shutdown"
+  | Health -> "health"
+  | Sub -> "sub"
 
 let verb_of_name = function
   | "query" -> Some Query
@@ -27,6 +55,8 @@ let verb_of_name = function
   | "stats" -> Some Stats
   | "ping" -> Some Ping
   | "shutdown" -> Some Shutdown
+  | "health" -> Some Health
+  | "sub" -> Some Sub
   | _ -> None
 
 type options = {
@@ -37,6 +67,10 @@ type options = {
   deadline_ms : float option;
   fuel : int option;
   max_paths : int option;
+  min_seq : int option;
+  max_staleness_ms : float option;
+  from_seq : int option;
+  epoch : int option;
 }
 
 let default_options =
@@ -48,6 +82,10 @@ let default_options =
     deadline_ms = None;
     fuel = None;
     max_paths = None;
+    min_seq = None;
+    max_staleness_ms = None;
+    from_seq = None;
+    epoch = None;
   }
 
 type request = {
@@ -105,6 +143,24 @@ let decode_options json =
       (fun o v -> { o with max_paths = Some v })
       o
   in
+  let* o =
+    pos_int "min_seq" Json.to_int_opt (fun o v -> { o with min_seq = Some v }) o
+  in
+  let* o =
+    field "max_staleness_ms"
+      (fun v ->
+        match Json.to_float_opt v with
+        | Some f when f >= 0.0 -> Some f
+        | _ -> None)
+      (fun o v -> { o with max_staleness_ms = Some v })
+      o
+  in
+  let* o =
+    pos_int "from_seq" Json.to_int_opt (fun o v -> { o with from_seq = Some v }) o
+  in
+  let* o =
+    pos_int "epoch" Json.to_int_opt (fun o v -> { o with epoch = Some v }) o
+  in
   Ok o
 
 let decode_request line =
@@ -160,6 +216,10 @@ let encode_request r =
     @ opt "deadline_ms" (fun v -> Json.Number v) r.options.deadline_ms
     @ opt "fuel" (fun v -> Json.Number (float_of_int v)) r.options.fuel
     @ opt "max_paths" (fun v -> Json.Number (float_of_int v)) r.options.max_paths
+    @ opt "min_seq" (fun v -> Json.Number (float_of_int v)) r.options.min_seq
+    @ opt "max_staleness_ms" (fun v -> Json.Number v) r.options.max_staleness_ms
+    @ opt "from_seq" (fun v -> Json.Number (float_of_int v)) r.options.from_seq
+    @ opt "epoch" (fun v -> Json.Number (float_of_int v)) r.options.epoch
   in
   Json.to_string
     (Json.Obj
@@ -180,6 +240,7 @@ type limits = {
   max_live_paths : int option;
   max_limit : int option;
   max_length_cap : int;
+  min_staleness_ms : float option;
 }
 
 let default_limits =
@@ -189,6 +250,7 @@ let default_limits =
     max_live_paths = None;
     max_limit = None;
     max_length_cap = 16;
+    min_staleness_ms = None;
   }
 
 (* The server's ceiling always applies: an unset request inherits it, a set
@@ -211,6 +273,15 @@ let clamp limits o =
         (match o.max_length with
         | None -> min Engine.default_max_length limits.max_length_cap
         | Some m -> min m limits.max_length_cap);
+    (* Staleness is the one knob clamped from below: asking for data
+       fresher than the server is willing to promise gets the server's
+       floor, not an error. An unset request stays unset — the client did
+       not opt into bounded staleness. *)
+    max_staleness_ms =
+      (match (o.max_staleness_ms, limits.min_staleness_ms) with
+      | None, _ -> None
+      | Some r, None -> Some r
+      | Some r, Some floor -> Some (Float.max r floor));
   }
 
 let budget_of_options o =
@@ -228,6 +299,7 @@ type error_code =
   | Idle_timeout
   | Infeasible
   | Unauthorized
+  | Stale
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -239,6 +311,7 @@ let error_code_name = function
   | Idle_timeout -> "idle_timeout"
   | Infeasible -> "infeasible"
   | Unauthorized -> "unauthorized"
+  | Stale -> "stale"
 
 let esc = Metrics.escape_string
 

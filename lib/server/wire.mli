@@ -40,6 +40,11 @@ type endpoint =
 
 val endpoint_to_string : endpoint -> string
 
+val endpoint_of_string : string -> (endpoint, string) result
+(** Inverse of {!endpoint_to_string}: accepts [unix:PATH], [tcp:HOST:PORT]
+    and the bare [HOST:PORT] shorthand. The grammar behind [--follow] and
+    [--endpoints]. *)
+
 (** {1 Requests} *)
 
 type verb =
@@ -52,6 +57,15 @@ type verb =
   | Stats  (** server-wide metrics snapshot. *)
   | Ping  (** liveness probe. *)
   | Shutdown  (** ask the server to drain and exit. *)
+  | Health
+      (** replication health probe: role, last-applied sequence number,
+          lag behind the primary, epoch, connectivity. Answered inline. *)
+  | Sub
+      (** subscribe to the primary's journal stream. The response's [sub]
+          payload describes the handoff ([start_seq]/[last_seq]/[epoch]/
+          [reset]); after it, the connection becomes a one-way stream of
+          framed journal records and ["#hb SEQ"] heartbeat comments.
+          Rejected with [bad_request] on non-primary servers. *)
 
 val verb_name : verb -> string
 val verb_of_name : string -> verb option
@@ -64,6 +78,16 @@ type options = {
   deadline_ms : float option;  (** wall-clock budget, from dequeue. *)
   fuel : int option;  (** work-unit budget. *)
   max_paths : int option;  (** live/banked path budget. *)
+  min_seq : int option;
+      (** bounded staleness: require the serving replica to have applied
+          at least this journal sequence number (read-your-writes). *)
+  max_staleness_ms : float option;
+      (** bounded staleness: require the serving replica to have heard
+          from its primary within this window. *)
+  from_seq : int option;  (** [sub] only: first sequence number wanted. *)
+  epoch : int option;
+      (** [sub] only: the primary epoch the subscriber last followed; a
+          mismatch forces a full reset handoff. *)
 }
 
 val default_options : options
@@ -96,6 +120,11 @@ type limits = {
   max_limit : int option;
       (** ceiling on (and default for) the number of returned paths. *)
   max_length_cap : int;  (** ceiling on the star-unrolling bound. *)
+  min_staleness_ms : float option;
+      (** floor on a requested [max_staleness_ms]: the server will not
+          promise reads fresher than this. Unlike the ceilings above it
+          only applies when the client asked — an unset request stays
+          unbounded. *)
 }
 
 val default_limits : limits
@@ -132,6 +161,10 @@ type error_code =
   | Unauthorized
       (** the verb is not allowed on this transport: [shutdown] over TCP
           when the server was started without [--allow-remote-shutdown]. *)
+  | Stale
+      (** a bounded-staleness read ([min_seq] / [max_staleness_ms]) could
+          not be satisfied within the server's short catch-up wait; retry
+          here later or fail over to another endpoint. *)
 
 val error_code_name : error_code -> string
 

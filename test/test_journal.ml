@@ -489,6 +489,75 @@ let test_crash_matrix_compact () =
           end))
     ops
 
+(* A primary that crashes mid-compaction must still serve a correct
+   stream to a late-subscribing replica: whatever state the journal file
+   is in (old generation, new generation, or old-plus-stale-tmp), the
+   replication tailer's backlog — a full-reset handoff for a fresh
+   subscriber — replayed through the stream applier must land exactly on
+   the journal's own recovery state. The snapshot handoff IS the
+   compacted journal, so no separate snapshot channel needs testing. *)
+let test_crash_matrix_compact_late_replica () =
+  let module R = Mrpa_server.Replication in
+  let ops =
+    [ (Io_fault.Write, 1); (Io_fault.Write, 3); (Io_fault.Flush, 1);
+      (Io_fault.Fsync, 1); (Io_fault.Close, 1); (Io_fault.Close, 2);
+      (Io_fault.Rename, 1) ]
+  in
+  List.iter
+    (fun (op, at) ->
+      with_tmp_journal (fun path ->
+          let ctx =
+            Printf.sprintf "late replica after compact crash at %s %d"
+              (Io_fault.op_name op) at
+          in
+          let g = Digraph.create () in
+          let j = Journal.attach g path in
+          List.iter (apply_step g) script;
+          Io_fault.arm op ~at;
+          (match Journal.compact j with
+          | () -> Alcotest.fail (ctx ^ ": fault never fired")
+          | exception Io_fault.Injected _ -> ());
+          Io_fault.disarm ();
+          (* The primary restarts its tailer on the crashed file... *)
+          let src = R.Source.create path in
+          ignore (R.Source.poll src);
+          Alcotest.(check bool) (ctx ^ ": tailer not wedged") true
+            (R.Source.wedged src = None);
+          (* ...and a brand-new replica subscribes: epoch -1, from seq 1 —
+             the reset handoff carries the whole history. *)
+          let backlog =
+            match R.Source.backlog src ~from_seq:1 ~epoch:(-1) with
+            | R.Source.Reset records | R.Source.Tail records -> records
+          in
+          let a = R.Apply.create () in
+          List.iter
+            (fun r ->
+              match R.Apply.apply_line a r.R.line with
+              | R.Apply.Applied _ -> ()
+              | _ -> Alcotest.fail (ctx ^ ": backlog record did not apply"))
+            backlog;
+          let recovered = Result.get_ok (Journal.recover path) in
+          check_same_graph
+            (ctx ^ ": replica state = journal recovery")
+            recovered.Journal.graph (R.Apply.graph a);
+          check_same_graph (ctx ^ ": replica state = writer state") g
+            (R.Apply.graph a);
+          (* The writer keeps appending through its surviving handle; the
+             tailer streams the tail and the replica converges again. *)
+          ignore (Digraph.add g "post" "crash" "append");
+          Journal.close j;
+          let tail = R.Source.poll src in
+          Alcotest.(check bool) (ctx ^ ": tail streamed") true (tail <> []);
+          List.iter
+            (fun r ->
+              match R.Apply.apply_line a r.R.line with
+              | R.Apply.Applied _ | R.Apply.Skipped -> ()
+              | _ -> Alcotest.fail (ctx ^ ": tail record did not apply"))
+            tail;
+          check_same_graph (ctx ^ ": converged after the crash") g
+            (R.Apply.graph a)))
+    ops
+
 (* A crash inside [sync] (flush or fsync) loses nothing that was already
    written. *)
 let test_crash_matrix_sync () =
@@ -674,6 +743,8 @@ let () =
         [
           Alcotest.test_case "append" `Quick test_crash_matrix_append;
           Alcotest.test_case "compact" `Quick test_crash_matrix_compact;
+          Alcotest.test_case "compact + late replica" `Quick
+            test_crash_matrix_compact_late_replica;
           Alcotest.test_case "sync" `Quick test_crash_matrix_sync;
           qcheck_crash_prefix_consistency;
           qcheck_compact_crash_preserves_state;

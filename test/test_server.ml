@@ -157,6 +157,7 @@ let test_wire_clamp () =
       max_live_paths = None;
       max_limit = Some 100;
       max_length_cap = 6;
+      min_staleness_ms = None;
     }
   in
   (* unset requests inherit the server ceiling *)
@@ -402,6 +403,7 @@ let with_server ?(limits = Wire.default_limits) ?idle_timeout_ms
       max_request_bytes;
       max_predicted_cost;
       allow_remote_shutdown = false;
+      role = Server.Standalone;
     }
   in
   let snapshot =
@@ -409,7 +411,7 @@ let with_server ?(limits = Wire.default_limits) ?idle_timeout_ms
     | Some s -> s
     | None -> Snapshot.of_graph (H.paper_graph ())
   in
-  let server = Server.create config snapshot in
+  let server = Server.create ~snapshot config in
   let thread = Thread.create (fun () -> Server.serve server) () in
   let connect_with_retry () =
     let deadline = Unix.gettimeofday () +. 5.0 in
@@ -661,9 +663,10 @@ let with_tcp_server ?(allow_remote_shutdown = false) f =
       max_request_bytes = Server.default_max_request_bytes;
       max_predicted_cost = None;
       allow_remote_shutdown;
+      role = Server.Standalone;
     }
   in
-  let server = Server.create config snap in
+  let server = Server.create ~snapshot:snap config in
   let thread = Thread.create (fun () -> Server.serve server) () in
   let deadline = Unix.gettimeofday () +. 5.0 in
   let rec endpoint () =
