@@ -1795,6 +1795,207 @@ let exp_replication ~full =
       ];
     ]
 
+(* --- EXP-T18: live views, incremental vs recompute-per-read ------------------- *)
+
+(* Rows recorded by exp_views_live for the --json summary ("views_live"
+   section of mrpa.bench/1); empty when the experiment was not selected. *)
+let views_live_rows : string list ref = ref []
+
+let exp_views_live ~full =
+  section "EXP-T18 (live views: incremental vs recompute-per-read)"
+    "An open-loop mixed workload against an in-process primary: a writer\n\
+     appends knows-edges through the journal while a client reads two\n\
+     registered views of the SAME derived relation E_knows.works_for —\n\
+     one a word view (rank-1 incremental maintenance, reads extract the\n\
+     maintained matrix) and one an expression view (dirty-marking, every\n\
+     read after a write re-projects from the snapshot). The read-stream\n\
+     times isolate maintenance strategy; everything else is identical.";
+  let n_people = if full then 300 else 120 in
+  let n_orgs = max 2 (n_people / 20) in
+  let n_rounds = if full then 150 else 50 in
+  let dir = Filename.temp_file "mrpa_bench_views" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let journal = Filename.concat dir "primary.log" in
+  let sock = Filename.concat dir "p.sock" in
+  let ep = Wire.Unix_socket sock in
+  let writer = Digraph.create () in
+  let j = Journal.attach ~on_warning:ignore writer journal in
+  (* Seed: a knows-chain over the people plus a works_for edge each, so the
+     two-label word is non-trivially populated from the start. *)
+  let seq = ref 0 in
+  let add t l h =
+    let before = Digraph.n_edges writer in
+    ignore (Digraph.add writer t l h);
+    if Digraph.n_edges writer > before then incr seq
+  in
+  for i = 0 to n_people - 1 do
+    add (Printf.sprintf "p%d" i) "knows" (Printf.sprintf "p%d" ((i + 1) mod n_people));
+    add (Printf.sprintf "p%d" i) "works_for" (Printf.sprintf "o%d" (i mod n_orgs))
+  done;
+  Journal.sync j;
+  let server =
+    Server.create
+      {
+        Server.endpoint = ep;
+        workers = 2;
+        queue_capacity = 64;
+        limits = Wire.default_limits;
+        idle_timeout_ms = None;
+        max_request_bytes = Server.default_max_request_bytes;
+        max_predicted_cost = None;
+        allow_remote_shutdown = false;
+        role = Server.Primary { journal };
+      }
+  in
+  let s_thread = Thread.create (fun () -> Server.serve server) () in
+  let request req =
+    match Client.connect ep with
+    | Error m -> failwith ("EXP-T18: connect: " ^ m)
+    | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          match Client.request conn req with
+          | Error m -> failwith ("EXP-T18: request: " ^ m)
+          | Ok json ->
+            (match Sjson.member "ok" json with
+            | Some (Sjson.Bool true) -> ()
+            | _ -> failwith ("EXP-T18: error response: " ^ Sjson.to_string json));
+            json)
+  in
+  let health_seq () =
+    let req =
+      { Wire.id = Sjson.Null; verb = Wire.Health; query = None;
+        options = Wire.default_options }
+    in
+    match Client.connect ep with
+    | Error _ -> None
+    | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          match Client.request conn req with
+          | Error _ -> None
+          | Ok json ->
+            Option.bind
+              (Option.bind (Sjson.member "health" json) (Sjson.member "last_seq"))
+              Sjson.to_int_opt)
+  in
+  let await what cond =
+    let deadline = Unix.gettimeofday () +. 30.0 in
+    while (not (cond ())) && Unix.gettimeofday () < deadline do
+      Thread.yield ();
+      Unix.sleepf 0.002
+    done;
+    if not (cond ()) then failwith ("EXP-T18: timed out waiting for " ^ what)
+  in
+  await "server caught up" (fun () -> health_seq () = Some !seq);
+  let view_req action name =
+    {
+      Wire.id = Sjson.Null;
+      verb =
+        Wire.Views
+          {
+            Wire.action;
+            view_name = name;
+            word = None;
+            view_query = None;
+            measure = None;
+            top = None;
+          };
+      query = None;
+      options = Wire.default_options;
+    }
+  in
+  let register name form =
+    let base = view_req Wire.V_register (Some name) in
+    let vreq = match base.Wire.verb with Wire.Views v -> v | _ -> assert false in
+    let verb =
+      match form with
+      | `Word w -> Wire.Views { vreq with Wire.word = Some w }
+      | `Query q -> Wire.Views { vreq with Wire.view_query = Some q }
+    in
+    ignore
+      (request
+         { base with Wire.verb; options = { Wire.default_options with Wire.max_length = Some 4 } })
+  in
+  register "kw" (`Word [ "knows"; "works_for" ]);
+  register "ke" (`Query "[_,knows,_] . [_,works_for,_]");
+  let read name = ignore (request (view_req Wire.V_edges (Some name))) in
+  (* Open loop: each round appends one fresh knows-edge (mostly rank-1
+     updates; occasionally a brand-new vertex forces a word-view rebuild),
+     waits for the tailer to apply it, then reads both views. Only the
+     reads are on the clock. *)
+  let t_word = ref 0.0 and t_expr = ref 0.0 in
+  for r = 0 to n_rounds - 1 do
+    (if r mod 10 = 9 then add (Printf.sprintf "p%d" (r mod n_people)) "knows" (Printf.sprintf "n%d" r)
+     else
+       add
+         (Printf.sprintf "p%d" (r mod n_people))
+         "knows"
+         (Printf.sprintf "p%d" ((r * 7 + 3) mod n_people)));
+    Journal.sync j;
+    await "round applied" (fun () -> health_seq () = Some !seq);
+    let (), dt_w = time (fun () -> read "kw") in
+    let (), dt_e = time (fun () -> read "ke") in
+    t_word := !t_word +. dt_w;
+    t_expr := !t_expr +. dt_e
+  done;
+  (* Maintenance accounting from the server's own view list. *)
+  let infos = request (view_req Wire.V_list None) in
+  let view_int name field =
+    match Sjson.member "views" infos with
+    | Some (Sjson.List vs) ->
+      List.fold_left
+        (fun acc v ->
+          match (Sjson.member "name" v, Sjson.member field v) with
+          | Some (Sjson.String n), Some x when n = name ->
+            Option.value ~default:acc (Sjson.to_int_opt x)
+          | _ -> acc)
+        0 vs
+    | _ -> 0
+  in
+  let updates = view_int "kw" "updates" in
+  let rebuilds = view_int "kw" "rebuilds" in
+  let reprojections = view_int "ke" "reprojections" in
+  Server.stop server;
+  Thread.join s_thread;
+  Journal.close j;
+  (try
+     Array.iter
+       (fun name -> try Sys.remove (Filename.concat dir name) with _ -> ())
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  views_live_rows :=
+    Printf.sprintf
+      "{\"people\":%d,\"rounds\":%d,\"word_read_ms\":%.2f,\"expr_read_ms\":%.2f,\"speedup\":%.1f,\"updates\":%d,\"rebuilds\":%d,\"reprojections\":%d}"
+      n_people n_rounds (1000.0 *. !t_word) (1000.0 *. !t_expr)
+      (!t_expr /. max 1e-9 !t_word)
+      updates rebuilds reprojections
+    :: !views_live_rows;
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E_knows.works_for served live, %d writes interleaved with reads"
+         n_rounds)
+    ~header:
+      [ "people"; "rounds"; "word reads"; "expr reads"; "speedup"; "updates";
+        "rebuilds"; "reprojections" ]
+    [
+      [
+        string_of_int n_people;
+        string_of_int n_rounds;
+        ms !t_word ^ " ms";
+        ms !t_expr ^ " ms";
+        Printf.sprintf "%.1fx" (!t_expr /. max 1e-9 !t_word);
+        string_of_int updates;
+        string_of_int rebuilds;
+        string_of_int reprojections;
+      ];
+    ]
+
 (* --- Machine-readable summary (--json) ---------------------------------------- *)
 
 (* A fixed set of representative engine runs whose mrpa.profile/1 documents
@@ -1857,10 +2058,11 @@ let bench_json ~full ~timings =
   let cost = String.concat "," (List.rev !cost_rows) in
   let zipf = String.concat "," (List.rev !zipf_rows) in
   let replication = String.concat "," (List.rev !repl_rows) in
+  let views_live = String.concat "," (List.rev !views_live_rows) in
   Printf.sprintf
-    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"journal\":[%s],\"cost\":[%s],\"zipf\":[%s],\"replication\":[%s],\"profiles\":[%s]}"
+    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"journal\":[%s],\"cost\":[%s],\"zipf\":[%s],\"replication\":[%s],\"views_live\":[%s],\"profiles\":[%s]}"
     (esc (if full then "full" else "default"))
-    experiments serve journal cost zipf replication profiles
+    experiments serve journal cost zipf replication views_live profiles
 
 (* --- Driver ------------------------------------------------------------------ *)
 
@@ -1886,6 +2088,7 @@ let experiments =
     ("cost", exp_cost);
     ("zipf", exp_zipf);
     ("replication", exp_replication);
+    ("views-live", exp_views_live);
   ]
 
 let () =

@@ -470,9 +470,33 @@ let shell_cmd =
     let g = or_die (load_graph path) in
     Format.printf
       "mrpa shell — %a@.Type a query per line; :explain QUERY, :count QUERY, \
-       :lint QUERY, :profile QUERY, :quit to exit.@."
+       :lint QUERY, :profile QUERY, :view (word|expr|drop|edges|analytics) \
+       and :views for materialized views, :quit to exit.@."
       Digraph.pp_stats g;
     let signature = lazy (Mrpa_lint.Signature.make g) in
+    (* Local materialized views over the loaded (static) graph: same
+       registry as the server's, with snap_seq pinned to 0 — nothing
+       mutates, so a projection never goes stale. *)
+    let views = Mrpa_server.Views.create () in
+    Mrpa_server.Views.attach views g;
+    let reproject ~query ~max_length =
+      match Mrpa_engine.Parser.parse g query with
+      | Error e -> Error (Mrpa_engine.Parser.render_error ~source:query e)
+      | Ok expr ->
+        Ok (Mrpa_analysis.Projection.path_derived_expr g expr ~max_length, false, 0)
+    in
+    let view_graph name =
+      match
+        Mrpa_server.Views.simple_graph views ~name ~snap_seq:0 ~reproject
+      with
+      | Error Mrpa_server.Views.Unknown_view ->
+        Format.printf "error: no view named %S@." name;
+        None
+      | Error (Mrpa_server.Views.Projection_failed msg) ->
+        Format.printf "error: %s@." msg;
+        None
+      | Ok (sg, _partial) -> Some sg
+    in
     (* Every query runs under its own cancellable budget, so Ctrl-C aborts
        the running query — yielding its partial result — and returns to the
        prompt instead of killing the REPL. At the prompt the handler is a
@@ -519,8 +543,112 @@ let shell_cmd =
                engine errors are handled per command below, and this
                belt-and-braces handler catches anything that still
                escapes (a bug, Stack_overflow, ...). *)
+            let next_token s =
+              let s = String.trim s in
+              match String.index_opt s ' ' with
+              | None -> (s, "")
+              | Some i ->
+                ( String.sub s 0 i,
+                  String.trim
+                    (String.sub s i (String.length s - i)) )
+            in
             (try
-               if starts_with ":explain" then
+               if line = ":views" then begin
+                 let infos = Mrpa_server.Views.list views ~snap_seq:0 in
+                 if infos = [] then Format.printf "no views@."
+                 else
+                   List.iter
+                     (fun i ->
+                       Format.printf "%s\t%s %s\t%d vertex(es), %d edge(s)@."
+                         i.Mrpa_server.Views.i_name i.Mrpa_server.Views.i_kind
+                         i.Mrpa_server.Views.i_spec
+                         i.Mrpa_server.Views.i_vertices
+                         i.Mrpa_server.Views.i_edges)
+                     infos
+               end
+               else if starts_with ":view " then begin
+                 let sub, args = next_token (rest ":view") in
+                 match sub with
+                 | "word" | "expr" -> (
+                   let name, spec = next_token args in
+                   if name = "" || spec = "" then
+                     Format.printf
+                       "usage: :view %s NAME %s@." sub
+                       (if sub = "word" then "A.B.C" else "QUERY")
+                   else
+                     let form =
+                       if sub = "word" then
+                         Mrpa_server.Views.Word
+                           (String.split_on_char '.' spec
+                           |> List.filter (fun l -> l <> ""))
+                       else
+                         Mrpa_server.Views.Expr
+                           { query = spec; max_length }
+                     in
+                     match
+                       Mrpa_server.Views.register views ~name ~graph:g form
+                     with
+                     | Ok () -> Format.printf "registered %s@." name
+                     | Error msg -> Format.printf "error: %s@." msg)
+                 | "drop" ->
+                   let name, _ = next_token args in
+                   if Mrpa_server.Views.drop views name then
+                     Format.printf "dropped %s@." name
+                   else Format.printf "error: no view named %S@." name
+                 | "edges" -> (
+                   let name, _ = next_token args in
+                   match view_graph name with
+                   | None -> ()
+                   | Some sg ->
+                     List.iter
+                       (fun (i, j) ->
+                         Format.printf "%s -> %s@."
+                           (Digraph.vertex_name g (Vertex.of_int i))
+                           (Digraph.vertex_name g (Vertex.of_int j)))
+                       (Mrpa_analysis.Simple_graph.edges sg);
+                     Format.printf "-- %d edge(s)@."
+                       (Mrpa_analysis.Simple_graph.n_edges sg))
+                 | "analytics" -> (
+                   let name, margs = next_token args in
+                   let measure, targs = next_token margs in
+                   let measure = if measure = "" then "degree" else measure in
+                   let top =
+                     Option.value ~default:10
+                       (int_of_string_opt (fst (next_token targs)))
+                   in
+                   match view_graph name with
+                   | None -> ()
+                   | Some sg -> (
+                     let ranking scores =
+                       Format.printf "%a@."
+                         (Mrpa_analysis.Centrality.pp_ranking ~k:top
+                            ~vertex_name:(fun v ->
+                              Digraph.vertex_name g (Vertex.of_int v)))
+                         scores
+                     in
+                     match measure with
+                     | "degree" ->
+                       ranking (Mrpa_analysis.Centrality.out_degree sg)
+                     | "pagerank" ->
+                       ranking (Mrpa_analysis.Centrality.pagerank sg)
+                     | "components" ->
+                       let c = Mrpa_analysis.Components.weakly_connected sg in
+                       Format.printf "%d component(s)@."
+                         c.Mrpa_analysis.Components.n_components
+                     | "communities" ->
+                       let c = Mrpa_analysis.Communities.label_propagation sg in
+                       Format.printf "%d communities@."
+                         c.Mrpa_analysis.Communities.n_communities
+                     | other ->
+                       Format.printf
+                         "error: unknown measure %S (want degree, pagerank, \
+                          components or communities)@."
+                         other))
+                 | _ ->
+                   Format.printf
+                     "usage: :view (word|expr|drop|edges|analytics) ...@."
+               end
+               else if starts_with ":explain" then
                  match Mrpa_engine.Engine.explain ~max_length g (rest ":explain") with
                  | Ok text -> Format.printf "%s@." text
                  | Error msg -> Format.printf "error: %s@." msg
@@ -1582,6 +1710,264 @@ let call_cmd =
           (budget or limit), 1 on any error response.")
     term
 
+(* --- views ------------------------------------------------------------------------- *)
+
+(* Client for the server's materialized-view family: register / drop /
+   list / read / analytics over mrpa.wire/1, with the same failover,
+   bounded-staleness and budget surface as `mrpa call`. *)
+let views_cmd =
+  let action_pos =
+    let actions =
+      [
+        ("register", `Register);
+        ("drop", `Drop);
+        ("list", `List);
+        ("read", `Read);
+        ("analytics", `Analytics);
+      ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum actions)) None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "One of $(b,register) (add a named view from --word or \
+             --query), $(b,drop), $(b,list), $(b,read) (the view's \
+             derived edges; --counts adds per-pair path counts) or \
+             $(b,analytics) (--measure over the view's derived graph).")
+  in
+  let name_pos =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"NAME" ~doc:"View name (required except for list).")
+  in
+  let word_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "word" ] ~docv:"A.B.C"
+          ~doc:
+            "register: a fixed label word, dot-separated — the view is \
+             maintained incrementally (rank-1 updates) as writes stream \
+             in.")
+  in
+  let vquery_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query" ] ~docv:"QUERY"
+          ~doc:
+            "register: a regular path expression — the view is re-projected \
+             on demand when stale, bounded by --max-length (clamped by the \
+             server).")
+  in
+  let counts_flag =
+    Arg.(
+      value & flag
+      & info [ "counts" ] ~doc:"read: include per-pair path counts.")
+  in
+  let measure_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "measure" ] ~docv:"MEASURE"
+          ~doc:
+            "analytics: degree, pagerank, components or communities \
+             (default degree).")
+  in
+  let vtop_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"K"
+          ~doc:"analytics: ranking size (default 10).")
+  in
+  let endpoints_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "endpoints" ] ~docv:"A,B,C"
+          ~doc:
+            "Failover endpoint list, as for `mrpa call`. Exclusive with \
+             --socket/--port.")
+  in
+  let min_seq_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "min-seq" ] ~docv:"SEQ"
+          ~doc:
+            "Bounded-staleness read: require the serving snapshot to \
+             include journal record $(docv).")
+  in
+  let max_staleness_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-staleness-ms" ] ~docv:"MS"
+          ~doc:
+            "Bounded-staleness read: require a replica to have heard from \
+             its primary within the last $(docv) milliseconds.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry reads (and list) up to $(docv) extra times on \
+             refused/overloaded/stale, as for `mrpa call`; register and \
+             drop are never blindly replayed after a mid-stream failure.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 100.0
+      & info [ "backoff-ms" ] ~docv:"MS" ~doc:"Backoff window base.")
+  in
+  let run socket port host endpoints action name word vquery counts measure
+      top limit max_length deadline_ms fuel max_paths min_seq
+      max_staleness_ms retries backoff_ms =
+    let module S = Mrpa_server in
+    let endpoints =
+      match endpoints with
+      | None -> [ endpoint_of_flags ~socket ~port ~host ]
+      | Some list ->
+        if socket <> None || port <> None then
+          or_die (Error "--endpoints is exclusive with --socket/--port");
+        let eps =
+          List.filter_map
+            (fun s ->
+              let s = String.trim s in
+              if s = "" then None
+              else Some (or_die (S.Wire.endpoint_of_string s)))
+            (String.split_on_char ',' list)
+        in
+        if eps = [] then or_die (Error "--endpoints: no endpoints given");
+        eps
+    in
+    let require_name () =
+      match name with
+      | Some n -> Some n
+      | None -> or_die (Error "a NAME argument is required")
+    in
+    let wire_word =
+      Option.map
+        (fun w ->
+          let labels =
+            String.split_on_char '.' w |> List.filter (fun l -> l <> "")
+          in
+          if labels = [] then or_die (Error "--word: no label names given");
+          labels)
+        word
+    in
+    let vreq =
+      match action with
+      | `Register ->
+        if (word = None) = (vquery = None) then
+          or_die (Error "register needs exactly one of --word or --query");
+        {
+          S.Wire.action = S.Wire.V_register;
+          view_name = require_name ();
+          word = wire_word;
+          view_query = vquery;
+          measure = None;
+          top = None;
+        }
+      | `Drop ->
+        {
+          S.Wire.action = S.Wire.V_drop;
+          view_name = require_name ();
+          word = None;
+          view_query = None;
+          measure = None;
+          top = None;
+        }
+      | `List ->
+        {
+          S.Wire.action = S.Wire.V_list;
+          view_name = None;
+          word = None;
+          view_query = None;
+          measure = None;
+          top = None;
+        }
+      | `Read ->
+        {
+          S.Wire.action = (if counts then S.Wire.V_counts else S.Wire.V_edges);
+          view_name = require_name ();
+          word = None;
+          view_query = None;
+          measure = None;
+          top = None;
+        }
+      | `Analytics ->
+        {
+          S.Wire.action = S.Wire.V_analytics;
+          view_name = require_name ();
+          word = None;
+          view_query = None;
+          measure;
+          top;
+        }
+    in
+    let options =
+      {
+        S.Wire.default_options with
+        S.Wire.limit;
+        max_length =
+          (if max_length = Mrpa_engine.Engine.default_max_length then None
+           else Some max_length);
+        deadline_ms;
+        fuel;
+        max_paths;
+        min_seq;
+        max_staleness_ms;
+      }
+    in
+    let request =
+      { S.Wire.id = S.Json.Null; verb = S.Wire.Views vreq; query = None; options }
+    in
+    let policy = { S.Client.retries = max 0 retries; backoff_ms } in
+    let line = or_die (S.Client.request_failover ~policy endpoints request) in
+    print_endline line;
+    (* Exit-code policy: errors win over a partial view (a re-projection
+       that tripped its budget) over all-complete. *)
+    match S.Json.parse line with
+    | Error _ -> exit Mrpa_engine.Err.exit_user_error
+    | Ok json -> (
+      match S.Json.member "ok" json with
+      | Some (S.Json.Bool true) ->
+        let partial =
+          match
+            Option.bind (S.Json.member "view" json) (S.Json.member "partial")
+          with
+          | Some (S.Json.Bool b) -> b
+          | _ -> false
+        in
+        exit
+          (if partial then Mrpa_engine.Err.exit_partial
+           else Mrpa_engine.Err.exit_ok)
+      | _ -> exit Mrpa_engine.Err.exit_user_error)
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ endpoints_arg
+      $ action_pos $ name_pos $ word_arg $ vquery_arg $ counts_flag
+      $ measure_arg $ vtop_arg $ limit_arg $ max_length_arg $ deadline_arg
+      $ fuel_arg $ max_paths_arg $ min_seq_arg $ max_staleness_arg
+      $ retries_arg $ backoff_arg)
+  in
+  Cmd.v
+    (Cmd.info "views"
+       ~doc:
+         "Manage and read a running server's materialized views: register \
+          a label-word or path-expression view, drop it, list every view \
+          with its maintenance accounting, read its derived edges, or run \
+          degree/pagerank/components/communities analytics over it. Exits \
+          0 on a complete answer, 3 on a partial one, 1 on any error \
+          response.")
+    term
+
 (* --- append ------------------------------------------------------------------------- *)
 
 (* The write side of a replicated deployment: mutations enter the system
@@ -1785,6 +2171,7 @@ let () =
         shell_cmd;
         serve_cmd;
         call_cmd;
+        views_cmd;
         append_cmd;
         fsck_cmd;
         explain_cmd;

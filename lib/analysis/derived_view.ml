@@ -8,6 +8,7 @@ type t = {
   mutable slices : Sparse.t array; (* slices.(p) = current A_{word.(p)} *)
   mutable counts : Sparse.t;
   mutable rebuilds : int;
+  mutable updates : int; (* rank-1 maintenance ops (rebuilds excluded) *)
 }
 
 let rebuild t =
@@ -47,6 +48,7 @@ let apply_change t e sign =
   let head = Vertex.to_int (Edge.head e) in
   if tail >= t.n || head >= t.n then rebuild t
   else begin
+    t.updates <- t.updates + 1;
     let alpha = Edge.label e in
     let k = Array.length t.positions in
     let delta_terms = ref [] in
@@ -82,7 +84,7 @@ let apply_change t e sign =
       t.positions
   end
 
-let create g word =
+let create ?(subscribe = true) g word =
   if word = [] then invalid_arg "Derived_view.create: empty word";
   let t =
     {
@@ -94,12 +96,18 @@ let create g word =
       counts = Sparse.identity 0;
       rebuilds = -1;
       (* rebuild below brings it to 0 *)
+      updates = 0;
     }
   in
   rebuild t;
-  Digraph.on_edge_added g (fun e -> apply_change t e 1.0);
-  Digraph.on_edge_removed g (fun e -> apply_change t e (-1.0));
+  if subscribe then begin
+    Digraph.on_edge_added g (fun e -> apply_change t e 1.0);
+    Digraph.on_edge_removed g (fun e -> apply_change t e (-1.0))
+  end;
   t
+
+let apply_added t e = apply_change t e 1.0
+let apply_removed t e = apply_change t e (-1.0)
 
 let word t = t.word
 let counts t = t.counts
@@ -113,6 +121,7 @@ let pair_count t i j =
   else int_of_float (Sparse.get t.counts (Vertex.to_int i) (Vertex.to_int j))
 
 let n_rebuilds t = t.rebuilds
+let n_updates t = t.updates
 
 let is_consistent t =
   let fresh =

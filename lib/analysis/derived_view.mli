@@ -26,10 +26,25 @@ open Mrpa_graph
 
 type t
 
-val create : Digraph.t -> Label.t list -> t
+val create : ?subscribe:bool -> Digraph.t -> Label.t list -> t
 (** Materialise the view for a (non-empty) label word over the graph's
     current state and subscribe to subsequent changes. Raises
-    [Invalid_argument] on the empty word. *)
+    [Invalid_argument] on the empty word.
+
+    With [~subscribe:false] no observers are installed; the caller drives
+    maintenance explicitly through {!apply_added}/{!apply_removed}. This is
+    the mode the server's view registry uses: it owns one observer pair on
+    the live graph and dispatches to its views under a registry lock, so a
+    view can also be {e detached} (dropped) by simply no longer being
+    dispatched to — self-subscribed views cannot unsubscribe. *)
+
+val apply_added : t -> Edge.t -> unit
+(** Fold one edge insertion into the view (rank-1 update, or a transparent
+    full rebuild when the edge mentions a vertex outside the current
+    dimension). No-op semantics match the subscribed observer exactly. *)
+
+val apply_removed : t -> Edge.t -> unit
+(** Fold one edge removal into the view. *)
 
 val word : t -> Label.t list
 
@@ -43,6 +58,11 @@ val pair_count : t -> Vertex.t -> Vertex.t -> int
 
 val n_rebuilds : t -> int
 (** How many full rebuilds occurred (dimension growth); diagnostics. *)
+
+val n_updates : t -> int
+(** How many rank-1 maintenance operations were applied (full rebuilds are
+    counted by {!n_rebuilds}, not here); diagnostics and the server's
+    [server.view_updates] counter. *)
 
 val is_consistent : t -> bool
 (** Recompute from scratch and compare — test/debug helper. *)

@@ -21,8 +21,8 @@ let path_derived g labels =
   let paths = Path_set.filter (fun p -> not (Path.is_empty p)) paths in
   vertex_pairs_to_graph g (Path_set.endpoint_pairs paths)
 
-let path_derived_expr g expr ~max_length =
-  let paths = Mrpa_automata.Generator.generate g expr ~max_length in
+let path_derived_expr ?guard g expr ~max_length =
+  let paths = Mrpa_automata.Generator.generate ?guard g expr ~max_length in
   vertex_pairs_to_graph g (Path_set.endpoint_pairs paths)
 
 let adjacency_slice g alpha =

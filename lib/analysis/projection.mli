@@ -31,9 +31,17 @@ val path_derived : Digraph.t -> Label.t list -> Simple_graph.t
     The empty list yields the identity-free empty graph. *)
 
 val path_derived_expr :
-  Digraph.t -> Expr.t -> max_length:int -> Simple_graph.t
+  ?guard:Guard.t -> Digraph.t -> Expr.t -> max_length:int -> Simple_graph.t
 (** §IV-C with a regular path generator: endpoints of every generated
-    path. *)
+    path.
+
+    With [?guard] the underlying generation polls at every expansion and an
+    abort yields the projection of the paths banked so far — a sound {e
+    subset} of the full derived graph, never a wrong edge. This was the
+    last engine entry point that could not be cancelled; callers that need
+    a verdict (the server's view re-projection) build an
+    [Mrpa_engine.Budget.t], pass [Budget.guard b], and inspect
+    [Budget.tripped b] afterwards to label the result partial. *)
 
 val adjacency_slice : Digraph.t -> Label.t -> Sparse.t
 (** The tensor slice [A_α] as a boolean [|V| × |V|] matrix. *)

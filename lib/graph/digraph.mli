@@ -124,7 +124,17 @@ val on_edge_added : t -> (Edge.t -> unit) -> unit
 (** Register a callback fired after every successful edge insertion
     (duplicates that were rejected do not fire). Callbacks run in
     registration order and must not mutate the graph. Used by incremental
-    materialised views ({!Mrpa_analysis.Derived_view}). *)
+    materialised views ({!Mrpa_analysis.Derived_view}).
+
+    {b Ordering guarantee.} Fan-out order {e is} registration order, and
+    deregistering one callback ({!off_edge_added}) preserves the relative
+    order of the survivors; a callback re-registered later moves to the
+    back. That is the whole contract: no ordering is promised {e across}
+    subsystems that register at different times (a layer that re-registers
+    on refresh, like the server's snapshot watch, moves behind younger
+    observers), so layered consumers must not rely on seeing an event
+    before or after another subsystem does. The registration-order
+    guarantee is pinned by a unit test. *)
 
 val on_edge_removed : t -> (Edge.t -> unit) -> unit
 (** Likewise for successful removals. *)

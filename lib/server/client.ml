@@ -139,6 +139,12 @@ let idempotent_verb = function
   | Wire.Health ->
     true
   | Wire.Shutdown | Wire.Sub -> false
+  (* View reads are pure; register/drop change the registry, so a blind
+     replay could mask (or double-report) the first attempt's outcome. *)
+  | Wire.Views { Wire.action = V_list | V_edges | V_counts | V_analytics; _ }
+    ->
+    true
+  | Wire.Views { Wire.action = V_register | V_drop; _ } -> false
 
 (* One fresh connection per attempt: after an [overloaded] answer, a
    refused connect or a mid-stream disconnect there is nothing worth

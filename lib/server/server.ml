@@ -69,6 +69,10 @@ type t = {
   (* The live graph the current snapshot watches for result-cache
      invalidation; only the single role thread touches it. *)
   mutable snap_source : Digraph.t option;
+  (* The materialized-view registry. Word views ride the same edge-observer
+     plane that invalidates the result cache; expression views are
+     re-projected from the serving snapshot on demand. *)
+  views : Views.t;
   repl : repl;
   pool : Pool.t;
   stopping : bool Atomic.t;
@@ -130,11 +134,19 @@ let create ?snapshot config =
             rep_resyncs = 0;
           } )
   in
+  let views = Views.create () in
+  (* Primary/replica: observe the live graph so word views fold in every
+     journal-applied write. Standalone: no live source — views are built
+     from (and stay consistent with) the immutable snapshot. *)
+  (match snap_source with
+  | Some g -> Views.attach views g
+  | None -> ());
   {
     config;
     snapshot = Atomic.make snapshot;
     snap_seq = Atomic.make snap_seq;
     snap_source;
+    views;
     repl;
     pool =
       Pool.create ~workers:config.workers
@@ -367,7 +379,7 @@ let eval_compiled t snap (req : Wire.request) (o : Wire.options) rkey gen0
       Snapshot.cache_result snap ~generation:gen0 rkey payload;
     Wire.response_ok ~id:req.Wire.id payload
   | Wire.Lint | Wire.Stats | Wire.Ping | Wire.Shutdown | Wire.Health
-  | Wire.Sub ->
+  | Wire.Sub | Wire.Views _ ->
     assert false (* handled inline *)
 
 (* The lint verb never evaluates anything, so it is answered inline by the
@@ -443,6 +455,10 @@ let stats_response t req =
   let g = Snapshot.graph snap in
   let plan_hits, plan_misses = Snapshot.plan_cache_stats snap in
   let res_hits, res_misses, res_invals = Snapshot.result_cache_stats snap in
+  (* Views totals take the registry lock — do it before metrics_lock so the
+     two never nest. *)
+  let n_views = Views.count t.views in
+  let v_rebuilds, v_updates, v_reprojections = Views.totals t.views in
   let json =
     with_lock t.metrics_lock (fun () ->
         Metrics.set t.metrics "graph.vertices" (Digraph.n_vertices g);
@@ -464,6 +480,10 @@ let stats_response t req =
         Metrics.set t.metrics "server.result_cache_invalidations" res_invals;
         Metrics.set t.metrics "server.result_cache_size"
           (Snapshot.result_cache_length snap);
+        Metrics.set t.metrics "server.views" n_views;
+        Metrics.set t.metrics "server.view_rebuilds" v_rebuilds;
+        Metrics.set t.metrics "server.view_updates" v_updates;
+        Metrics.set t.metrics "server.view_reprojections" v_reprojections;
         Metrics.set t.metrics "server.uptime_ms"
           (int_of_float
              (Metrics.ns_to_ms (Metrics.elapsed_ns ~since:t.started_ns)));
@@ -474,12 +494,11 @@ let stats_response t req =
 (* Submit a governed job without waiting for it: the worker writes its own
    response through the session's write lock, which is what lets several
    tagged requests from one connection run concurrently. Refusals
-   (draining, queue full) are answered inline. *)
-let dispatch_async t snap ss (req : Wire.request) effective rkey
-    (c : Snapshot.compiled) =
-  let budget = Wire.budget_of_options effective in
+   (draining, queue full) are answered inline. [run] produces the response
+   line; its budget is registered in the in-flight table so shutdown can
+   cancel it cooperatively. *)
+let submit_governed t ss (req : Wire.request) budget run =
   let reg_id = register_budget t budget in
-  let gen0 = Snapshot.generation snap in
   let job () =
     Fun.protect
       ~finally:(fun () ->
@@ -487,7 +506,7 @@ let dispatch_async t snap ss (req : Wire.request) effective rkey
         job_finished ss)
       (fun () ->
         let response =
-          try eval_compiled t snap req effective rkey gen0 c budget
+          try run ()
           with e ->
             m_incr t "server.internal_errors";
             Wire.response_error ~id:req.Wire.id ~code:Wire.Internal
@@ -514,6 +533,13 @@ let dispatch_async t snap ss (req : Wire.request) effective rkey
            "job queue is full; retry later")
     end
   end
+
+let dispatch_async t snap ss (req : Wire.request) effective rkey
+    (c : Snapshot.compiled) =
+  let budget = Wire.budget_of_options effective in
+  let gen0 = Snapshot.generation snap in
+  submit_governed t ss req budget (fun () ->
+      eval_compiled t snap req effective rkey gen0 c budget)
 
 (* --- Sessions ------------------------------------------------------------ *)
 
@@ -619,6 +645,313 @@ let handle_eval t ss (req : Wire.request) =
         match admission_reject t req compiled with
         | Some response -> send ss response
         | None -> dispatch_async t snap ss req effective rkey compiled)))
+
+(* --- Materialized views --------------------------------------------------- *)
+
+(* The lock under which the live graph may legally be read: every journal
+   application happens beneath it ([Source.poll] on a primary,
+   [Apply.apply_line]/[reset] on a replica), so a session thread holding
+   it is a safe reader for a word-view build. Standalone servers have no
+   live graph and no mutator, so no lock is needed. *)
+let with_role_lock t f =
+  match t.repl with
+  | No_replication -> f ()
+  | Primary_repl p -> with_lock p.prim_lock f
+  | Replica_repl r -> with_lock r.rep_lock f
+
+(* The graph a freshly registered word view materialises from: the live
+   graph when there is one (read under the role lock — [t.snap_source] can
+   lag one loop iteration behind an epoch change), the frozen snapshot
+   otherwise. *)
+let register_graph t =
+  match t.repl with
+  | No_replication -> Snapshot.graph (snapshot t)
+  | Primary_repl p -> Replication.Source.graph p.source
+  | Replica_repl r -> Replication.Apply.graph r.appl
+
+let view_info_json (i : Views.info) =
+  json_obj
+    ([
+       ("name", esc i.Views.i_name);
+       ("kind", esc i.Views.i_kind);
+       ("spec", esc i.Views.i_spec);
+     ]
+    @ (match i.Views.i_max_length with
+      | Some m -> [ ("max_length", string_of_int m) ]
+      | None -> [])
+    @ [
+        ("vertices", string_of_int i.Views.i_vertices);
+        ("edges", string_of_int i.Views.i_edges);
+        ("rebuilds", string_of_int i.Views.i_rebuilds);
+        ("updates", string_of_int i.Views.i_updates);
+        ("reprojections", string_of_int i.Views.i_reprojections);
+        ("bound", if i.Views.i_bound then "true" else "false");
+        ("dirty", if i.Views.i_dirty then "true" else "false");
+        ("partial", if i.Views.i_partial then "true" else "false");
+        ("as_of_seq", string_of_int i.Views.i_as_of_seq);
+        ("staleness_ms", Printf.sprintf "%.1f" i.Views.i_staleness_ms);
+      ])
+
+let views_register t (req : Wire.request) (v : Wire.view_req) =
+  let name = Option.get v.Wire.view_name in
+  let registered kind =
+    m_incr t "server.view_registers";
+    Wire.response_ok ~id:req.Wire.id
+      [ ("view", json_obj [ ("registered", esc name); ("kind", esc kind) ]) ]
+  in
+  match (v.Wire.word, v.Wire.view_query) with
+  | Some word, None -> (
+    let result =
+      with_role_lock t (fun () ->
+          Views.register t.views ~name ~graph:(register_graph t)
+            (Views.Word word))
+    in
+    match result with
+    | Ok () -> registered "word"
+    | Error msg -> Wire.response_error ~id:req.Wire.id ~code:Wire.Bad_request msg)
+  | None, Some query -> (
+    (* The expression is validated and cost-analysed against the serving
+       snapshot exactly like a query: a parse failure is a query_error, a
+       predicted cost above the server ceiling is infeasible — a hostile
+       registration is refused before it can ever occupy a worker. *)
+    let effective = Wire.clamp t.config.limits req.Wire.options in
+    let snap = snapshot t in
+    let max_length = effective_max_length t effective in
+    match Snapshot.compile snap ~max_length ~simple:false query with
+    | Error msg ->
+      m_incr t "server.query_errors";
+      Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error msg
+    | Ok compiled -> (
+      match admission_reject t req compiled with
+      | Some response -> response
+      | None -> (
+        match
+          Views.register t.views ~name ~graph:(Snapshot.graph snap)
+            (Views.Expr { query; max_length })
+        with
+        | Ok () -> registered "expr"
+        | Error msg ->
+          Wire.response_error ~id:req.Wire.id ~code:Wire.Bad_request msg)))
+  | _ ->
+    (* decode_view enforces exactly one of word/query. *)
+    Wire.response_error ~id:req.Wire.id ~code:Wire.Bad_request
+      "view registration needs a \"word\" or a \"query\""
+
+(* A worker-side view read. [seq0] is read {e before} the snapshot:
+   refresh_snapshot publishes the snapshot first, so any snapshot observed
+   after reading [seq0] includes at least that sequence — which makes
+   "as_of_seq >= seq0" the sound freshness test and [seq0] the sound
+   lower bound reported back to the client. *)
+let views_read t (req : Wire.request) (v : Wire.view_req)
+    (effective : Wire.options) budget =
+  let name = Option.get v.Wire.view_name in
+  let seq0 = Atomic.get t.snap_seq in
+  let snap = snapshot t in
+  let g = Snapshot.graph snap in
+  let reproject ~query ~max_length =
+    match Snapshot.compile snap ~max_length ~simple:false query with
+    | Error msg -> Error msg
+    | Ok compiled ->
+      let sg =
+        Mrpa_analysis.Projection.path_derived_expr
+          ~guard:(Budget.guard budget) g
+          (Mrpa_core.Spanned.strip compiled.Snapshot.spanned)
+          ~max_length
+      in
+      Ok (sg, Budget.tripped budget <> None, seq0)
+  in
+  (* Word views can be ahead of the serving snapshot (they are synchronous
+     with the live stream); vertices interned since the last refresh get a
+     positional placeholder until the next snapshot lands. *)
+  let vertex_name i =
+    if i < Digraph.n_vertices g then Digraph.vertex_name g (Vertex.of_int i)
+    else Printf.sprintf "#%d" i
+  in
+  let unknown () =
+    m_incr t "server.view_unknown";
+    Wire.response_error ~id:req.Wire.id ~code:Wire.Unknown_view
+      (Printf.sprintf "no view named %S" name)
+  in
+  let failed msg =
+    m_incr t "server.query_errors";
+    Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error
+      (Printf.sprintf "view %S re-projection failed: %s" name msg)
+  in
+  let truncate l =
+    match effective.Wire.limit with
+    | Some k ->
+      List.filteri (fun i _ -> i < k) l
+    | None -> l
+  in
+  let base partial =
+    [
+      ("name", esc name);
+      ("as_of_seq", string_of_int seq0);
+      ("partial", if partial then "true" else "false");
+    ]
+  in
+  match v.Wire.action with
+  | Wire.V_edges -> (
+    m_incr t "server.view_reads";
+    match Views.simple_graph t.views ~name ~snap_seq:seq0 ~reproject with
+    | Error Views.Unknown_view -> unknown ()
+    | Error (Views.Projection_failed msg) -> failed msg
+    | Ok (sg, partial) ->
+      let pairs =
+        truncate (Mrpa_analysis.Simple_graph.edges sg)
+        |> List.map (fun (i, j) ->
+               Printf.sprintf "[%s,%s]" (esc (vertex_name i))
+                 (esc (vertex_name j)))
+      in
+      Wire.response_ok ~id:req.Wire.id
+        [
+          ( "view",
+            json_obj
+              (base partial
+              @ [
+                  ( "vertices",
+                    string_of_int (Mrpa_analysis.Simple_graph.n_vertices sg) );
+                  ("edges", string_of_int (Mrpa_analysis.Simple_graph.n_edges sg));
+                  ("pairs", "[" ^ String.concat "," pairs ^ "]");
+                ]) );
+        ])
+  | Wire.V_counts -> (
+    m_incr t "server.view_reads";
+    match Views.counts t.views ~name ~snap_seq:seq0 ~reproject with
+    | Error Views.Unknown_view -> unknown ()
+    | Error (Views.Projection_failed msg) -> failed msg
+    | Ok (pairs, partial) ->
+      let rendered =
+        truncate pairs
+        |> List.map (fun (i, j, c) ->
+               Printf.sprintf "[%s,%s,%d]" (esc (vertex_name i))
+                 (esc (vertex_name j)) (int_of_float c))
+      in
+      Wire.response_ok ~id:req.Wire.id
+        [
+          ( "view",
+            json_obj
+              (base partial
+              @ [
+                  ("pairs", "[" ^ String.concat "," rendered ^ "]");
+                ]) );
+        ])
+  | Wire.V_analytics -> (
+    m_incr t "server.view_analytics";
+    match Views.simple_graph t.views ~name ~snap_seq:seq0 ~reproject with
+    | Error Views.Unknown_view -> unknown ()
+    | Error (Views.Projection_failed msg) -> failed msg
+    | Ok (sg, partial) ->
+      let module C = Mrpa_analysis.Centrality in
+      let module SG = Mrpa_analysis.Simple_graph in
+      let measure = Option.value ~default:"degree" v.Wire.measure in
+      let top = Option.value ~default:10 v.Wire.top in
+      let ranking scores =
+        let ranked = C.top_k top scores in
+        "["
+        ^ String.concat ","
+            (List.map
+               (fun (i, s) ->
+                 Printf.sprintf "{%s:%s,%s:%.6g}" (esc "vertex")
+                   (esc (vertex_name i)) (esc "score") s)
+               ranked)
+        ^ "]"
+      in
+      let graph_fields =
+        [
+          ("vertices", string_of_int (SG.n_vertices sg));
+          ("edges", string_of_int (SG.n_edges sg));
+        ]
+      in
+      let payload =
+        match measure with
+        | "degree" -> Ok [ ("top", ranking (C.out_degree sg)) ]
+        | "pagerank" -> Ok [ ("top", ranking (C.pagerank sg)) ]
+        | "components" ->
+          let c = Mrpa_analysis.Components.weakly_connected sg in
+          let largest =
+            if c.Mrpa_analysis.Components.n_components = 0 then 0
+            else snd (Mrpa_analysis.Components.largest c)
+          in
+          Ok
+            [
+              ("count", string_of_int c.Mrpa_analysis.Components.n_components);
+              ("largest", string_of_int largest);
+            ]
+        | "communities" ->
+          let c = Mrpa_analysis.Communities.label_propagation sg in
+          let sizes = Mrpa_analysis.Communities.sizes c in
+          let largest = Array.fold_left max 0 sizes in
+          let q = Mrpa_analysis.Communities.modularity sg c in
+          Ok
+            ([
+               ("count", string_of_int c.Mrpa_analysis.Communities.n_communities);
+               ("largest", string_of_int largest);
+             ]
+            @
+            if Float.is_nan q then []
+            else [ ("modularity", Printf.sprintf "%.4f" q) ])
+        | other ->
+          Error
+            (Printf.sprintf
+               "unknown measure %S (want degree, pagerank, components or \
+                communities)"
+               other)
+      in
+      match payload with
+      | Error msg ->
+        Wire.response_error ~id:req.Wire.id ~code:Wire.Bad_request msg
+      | Ok fields ->
+        Wire.response_ok ~id:req.Wire.id
+          [
+            ( "view",
+              json_obj
+                (base partial
+                @ [ ("measure", esc measure) ]
+                @ graph_fields @ fields) );
+          ])
+  | Wire.V_register | Wire.V_drop | Wire.V_list ->
+    assert false (* answered inline by handle_views *)
+
+let handle_views t ss (req : Wire.request) (v : Wire.view_req) =
+  match v.Wire.action with
+  | Wire.V_register -> send ss (views_register t req v)
+  | Wire.V_drop ->
+    let name = Option.get v.Wire.view_name in
+    if Views.drop t.views name then begin
+      m_incr t "server.view_drops";
+      send ss
+        (Wire.response_ok ~id:req.Wire.id
+           [ ("view", json_obj [ ("dropped", esc name) ]) ])
+    end
+    else begin
+      m_incr t "server.view_unknown";
+      send ss
+        (Wire.response_error ~id:req.Wire.id ~code:Wire.Unknown_view
+           (Printf.sprintf "no view named %S" name))
+    end
+  | Wire.V_list ->
+    m_incr t "server.view_lists";
+    let infos = Views.list t.views ~snap_seq:(Atomic.get t.snap_seq) in
+    send ss
+      (Wire.response_ok ~id:req.Wire.id
+         [
+           ( "views",
+             "[" ^ String.concat "," (List.map view_info_json infos) ^ "]" );
+         ])
+  | Wire.V_edges | Wire.V_counts | Wire.V_analytics -> (
+    (* Reads go through the same bounded-staleness gate and worker pool as
+       queries: a stale expression view re-projects under a governed
+       budget, and even a cheap word-view extraction must not let a flood
+       of view reads starve the session threads. *)
+    let effective = Wire.clamp t.config.limits req.Wire.options in
+    match staleness_error t effective with
+    | Some msg ->
+      send ss (Wire.response_error ~id:req.Wire.id ~code:Wire.Stale msg)
+    | None ->
+      let budget = Wire.budget_of_options effective in
+      submit_governed t ss req budget (fun () ->
+          views_read t req v effective budget))
 
 (* --- Replication verbs --------------------------------------------------- *)
 
@@ -796,6 +1129,9 @@ let handle_request t ss line =
              "shutdown over TCP requires --allow-remote-shutdown");
         `Continue
       end
+    | Wire.Views v ->
+      handle_views t ss req v;
+      `Continue
     | Wire.Query | Wire.Count ->
       handle_eval t ss req;
       `Continue)
@@ -829,11 +1165,16 @@ let primary_loop t p =
       with_lock p.prim_lock (fun () -> Replication.Source.poll p.source)
     in
     let ep1 = Replication.Source.epoch p.source in
-    if ep1 <> ep0 then
+    if ep1 <> ep0 then begin
       (* The journal was rewritten (compaction / truncation) and
          resequenced: streams from the old epoch are unusable. Hang up on
-         every subscriber; they resubscribe and get a reset handoff. *)
-      kill_subs p
+         every subscriber; they resubscribe and get a reset handoff. The
+         live graph was replaced wholesale, so views must rebind to the
+         new object (and re-materialise — old seqs mean nothing now). *)
+      kill_subs p;
+      with_lock p.prim_lock (fun () ->
+          Views.rebind t.views (Replication.Source.graph p.source))
+    end
     else if records <> [] then
       broadcast p (List.map (fun r -> r.Replication.line) records);
     if records <> [] || ep1 <> ep0 then
@@ -916,7 +1257,13 @@ let follow_stream t r fd =
   | None -> false
   | Some (ep, primary_last, reset) ->
     with_lock r.rep_lock (fun () ->
-        if reset then Replication.Apply.reset r.appl;
+        if reset then begin
+          Replication.Apply.reset r.appl;
+          (* [reset] replaces the replica's graph wholesale and restarts
+             the sequence space: rebind so word views re-materialise from
+             the fresh graph and expression views forget stale seqs. *)
+          Views.rebind t.views (Replication.Apply.graph r.appl)
+        end;
         Replication.Apply.note_primary_seq r.appl primary_last);
     r.rep_epoch <- ep;
     r.rep_connected <- true;

@@ -1,0 +1,331 @@
+open Mrpa_graph
+open Mrpa_analysis
+module Metrics = Mrpa_engine.Metrics
+
+type form =
+  | Word of string list
+  | Expr of { query : string; max_length : int }
+
+type word_state = {
+  labels : string list;
+  mutable dv : Derived_view.t option; (* None = some label not yet interned *)
+}
+
+type expr_state = {
+  query : string;
+  max_length : int;
+  mutable proj : Simple_graph.t option;
+  mutable as_of_seq : int; (* -1 = never projected / invalidated *)
+  mutable partial : bool;
+  mutable reprojections : int;
+}
+
+type body = Word_view of word_state | Expr_view of expr_state
+
+type view = {
+  v_name : string;
+  body : body;
+  mutable last_touch_ns : int64;
+}
+
+type t = {
+  lock : Mutex.t;
+  (* Registration order; dispatch iterates in this order, which together
+     with Digraph's ordered observer fan-out makes multi-view maintenance
+     deterministic. *)
+  mutable views : view list;
+  mutable source : Digraph.t option;
+  (* The installed observer closures, retained so a rebind can detach them
+     from the previous graph (physical equality). *)
+  mutable obs_add : (Edge.t -> unit) option;
+  mutable obs_rem : (Edge.t -> unit) option;
+}
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let create () =
+  {
+    lock = Mutex.create ();
+    views = [];
+    source = None;
+    obs_add = None;
+    obs_rem = None;
+  }
+
+let touch v = v.last_touch_ns <- Metrics.now_ns ()
+
+(* All label names resolved against [g], or [None] — never interns: a view
+   registration must not mutate the live graph. *)
+let resolve_word g names =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | n :: rest -> (
+      match Digraph.find_label g n with
+      | Some l -> go (l :: acc) rest
+      | None -> None)
+  in
+  go [] names
+
+let build_word g ws =
+  match resolve_word g ws.labels with
+  | Some word -> ws.dv <- Some (Derived_view.create ~subscribe:false g word)
+  | None -> ws.dv <- None
+
+(* One edge event, fanned out to every view under the registry lock. Runs
+   on the role thread (the graph's sole mutator), after the edge is fully
+   inserted/removed. An unbound word view binds itself on the insertion
+   that makes its word resolvable; the build reads the graph's current
+   state, which already includes that edge, so it is not applied twice. *)
+let dispatch t sign e =
+  with_lock t.lock (fun () ->
+      List.iter
+        (fun v ->
+          match v.body with
+          | Expr_view _ -> () (* staleness is judged by sequence number *)
+          | Word_view ws -> (
+            match ws.dv with
+            | Some dv ->
+              if sign > 0 then Derived_view.apply_added dv e
+              else Derived_view.apply_removed dv e;
+              touch v
+            | None ->
+              if sign > 0 then (
+                match t.source with
+                | Some g ->
+                  build_word g ws;
+                  if ws.dv <> None then touch v
+                | None -> ())))
+        t.views)
+
+let detach t =
+  match (t.source, t.obs_add, t.obs_rem) with
+  | Some g, Some add, Some rem when not (Digraph.is_frozen g) ->
+    (try Digraph.off_edge_added g add with Invalid_argument _ -> ());
+    (try Digraph.off_edge_removed g rem with Invalid_argument _ -> ())
+  | _ -> ()
+
+let attach t g =
+  detach t;
+  t.source <- Some g;
+  if Digraph.is_frozen g then begin
+    t.obs_add <- None;
+    t.obs_rem <- None
+  end
+  else begin
+    let add e = dispatch t 1 e and rem e = dispatch t (-1) e in
+    Digraph.on_edge_added g add;
+    Digraph.on_edge_removed g rem;
+    t.obs_add <- Some add;
+    t.obs_rem <- Some rem
+  end
+
+let rebind t g =
+  attach t g;
+  with_lock t.lock (fun () ->
+      List.iter
+        (fun v ->
+          (match v.body with
+          | Word_view ws -> build_word g ws
+          | Expr_view es ->
+            (* Sequence numbers may restart after compaction, so a stored
+               projection can look fresh while reflecting a dead epoch. *)
+            es.proj <- None;
+            es.as_of_seq <- -1;
+            es.partial <- false);
+          touch v)
+        t.views)
+
+let find t name = List.find_opt (fun v -> v.v_name = name) t.views
+
+let register t ~name ~graph form =
+  if name = "" then Error "view name must be non-empty"
+  else
+    with_lock t.lock (fun () ->
+        if find t name <> None then
+          Error (Printf.sprintf "view %S is already registered" name)
+        else
+          let body =
+            match form with
+            | Word [] -> Error "a word view needs at least one label"
+            | Word labels when List.exists (fun l -> l = "") labels ->
+              Error "word labels must be non-empty"
+            | Word labels ->
+              let ws = { labels; dv = None } in
+              build_word graph ws;
+              Ok (Word_view ws)
+            | Expr { query; max_length } ->
+              Ok
+                (Expr_view
+                   {
+                     query;
+                     max_length;
+                     proj = None;
+                     as_of_seq = -1;
+                     partial = false;
+                     reprojections = 0;
+                   })
+          in
+          match body with
+          | Error _ as e -> e
+          | Ok body ->
+            let v = { v_name = name; body; last_touch_ns = Metrics.now_ns () } in
+            t.views <- t.views @ [ v ];
+            Ok ())
+
+let drop t name =
+  with_lock t.lock (fun () ->
+      let before = List.length t.views in
+      t.views <- List.filter (fun v -> v.v_name <> name) t.views;
+      List.length t.views < before)
+
+let count t = with_lock t.lock (fun () -> List.length t.views)
+
+type read_error = Unknown_view | Projection_failed of string
+
+let empty_graph = Simple_graph.of_edge_list ~n:0 []
+
+(* The stale-read protocol: peek under the lock, re-project with it
+   released, store back under it again — checking the view still exists
+   (it may have been dropped or replaced mid-projection) and that no
+   fresher projection won the race. *)
+let read_view t ~name ~snap_seq ~reproject =
+  let peek =
+    with_lock t.lock (fun () ->
+        match find t name with
+        | None -> `Unknown
+        | Some v -> (
+          match v.body with
+          | Word_view ws -> (
+            match ws.dv with
+            | None -> `Ready (empty_graph, None, false)
+            | Some dv -> `Ready (Derived_view.simple_graph dv, Some dv, false))
+          | Expr_view es ->
+            if es.proj <> None && es.as_of_seq >= snap_seq then
+              `Ready (Option.get es.proj, None, es.partial)
+            else `Stale (es.query, es.max_length)))
+  in
+  match peek with
+  | `Unknown -> Error Unknown_view
+  | `Ready (sg, dv, partial) -> Ok (sg, dv, partial)
+  | `Stale (query, max_length) -> (
+    match reproject ~query ~max_length with
+    | Error msg -> Error (Projection_failed msg)
+    | Ok (sg, partial, seq) ->
+      with_lock t.lock (fun () ->
+          match find t name with
+          | Some { body = Expr_view es; _ } as stored
+            when es.query = query && seq > es.as_of_seq ->
+            es.proj <- Some sg;
+            es.as_of_seq <- seq;
+            es.partial <- partial;
+            es.reprojections <- es.reprojections + 1;
+            Option.iter touch stored
+          | _ -> ());
+      Ok (sg, None, partial))
+
+let simple_graph t ~name ~snap_seq ~reproject =
+  Result.map
+    (fun (sg, _, partial) -> (sg, partial))
+    (read_view t ~name ~snap_seq ~reproject)
+
+let counts t ~name ~snap_seq ~reproject =
+  match read_view t ~name ~snap_seq ~reproject with
+  | Error _ as e -> e
+  | Ok (sg, dv, partial) ->
+    let pairs =
+      match dv with
+      | Some dv ->
+        (* Count matrix under the lock: the role thread may be applying a
+           rank-1 update concurrently. *)
+        with_lock t.lock (fun () -> Sparse.to_coo (Derived_view.counts dv))
+      | None -> List.map (fun (i, j) -> (i, j, 1.0)) (Simple_graph.edges sg)
+    in
+    Ok (List.filter (fun (_, _, c) -> c <> 0.0) pairs, partial)
+
+type info = {
+  i_name : string;
+  i_kind : string;
+  i_spec : string;
+  i_max_length : int option;
+  i_vertices : int;
+  i_edges : int;
+  i_rebuilds : int;
+  i_updates : int;
+  i_reprojections : int;
+  i_bound : bool;
+  i_dirty : bool;
+  i_partial : bool;
+  i_as_of_seq : int;
+  i_staleness_ms : float;
+}
+
+let info_of snap_seq v =
+  let staleness =
+    Metrics.ns_to_ms (Metrics.elapsed_ns ~since:v.last_touch_ns)
+  in
+  match v.body with
+  | Word_view ws ->
+    let vertices, edges, rebuilds, updates =
+      match ws.dv with
+      | None -> (0, 0, 0, 0)
+      | Some dv ->
+        let sg = Derived_view.simple_graph dv in
+        ( Simple_graph.n_vertices sg,
+          Simple_graph.n_edges sg,
+          Derived_view.n_rebuilds dv,
+          Derived_view.n_updates dv )
+    in
+    {
+      i_name = v.v_name;
+      i_kind = "word";
+      i_spec = String.concat "." ws.labels;
+      i_max_length = None;
+      i_vertices = vertices;
+      i_edges = edges;
+      i_rebuilds = rebuilds;
+      i_updates = updates;
+      i_reprojections = 0;
+      i_bound = ws.dv <> None;
+      i_dirty = false;
+      i_partial = false;
+      i_as_of_seq = snap_seq;
+      i_staleness_ms = staleness;
+    }
+  | Expr_view es ->
+    let vertices, edges =
+      match es.proj with
+      | None -> (0, 0)
+      | Some sg -> (Simple_graph.n_vertices sg, Simple_graph.n_edges sg)
+    in
+    {
+      i_name = v.v_name;
+      i_kind = "expr";
+      i_spec = es.query;
+      i_max_length = Some es.max_length;
+      i_vertices = vertices;
+      i_edges = edges;
+      i_rebuilds = 0;
+      i_updates = 0;
+      i_reprojections = es.reprojections;
+      i_bound = true;
+      i_dirty = es.proj = None || es.as_of_seq < snap_seq;
+      i_partial = es.partial;
+      i_as_of_seq = es.as_of_seq;
+      i_staleness_ms = staleness;
+    }
+
+let list t ~snap_seq =
+  with_lock t.lock (fun () -> List.map (info_of snap_seq) t.views)
+
+let totals t =
+  with_lock t.lock (fun () ->
+      List.fold_left
+        (fun (rb, up, rp) v ->
+          match v.body with
+          | Word_view { dv = Some dv; _ } ->
+            (rb + Derived_view.n_rebuilds dv, up + Derived_view.n_updates dv, rp)
+          | Word_view { dv = None; _ } -> (rb, up, rp)
+          | Expr_view es -> (rb, up, rp + es.reprojections))
+        (0, 0, 0) t.views)

@@ -1,0 +1,141 @@
+(** Live materialized views: a named registry of §IV-C single-relational
+    projections over the server's live graph.
+
+    Each view is either a {e word} view — a fixed label word [α₁…αₖ],
+    backed by {!Mrpa_analysis.Derived_view}'s rank-1 incremental
+    maintenance and therefore updated synchronously with every edge
+    observer event — or an {e expression} view — an arbitrary regular path
+    query, too general for delta maintenance, kept by {e dirty-marking}:
+    the registry stores the last bounded re-projection together with the
+    journal sequence number it reflects, and a read whose [snap_seq] has
+    moved past that number triggers a fresh {!Mrpa_analysis.Projection.path_derived_expr}
+    against the caller's frozen snapshot.
+
+    {b Threading contract.} The registry has one internal mutex, a {e leaf}
+    in the server's lock order: it is taken inside the role lock
+    (registration, observer dispatch during journal application) and on its
+    own by session/worker reads, and no registry operation ever acquires
+    another lock. Expensive work — expression re-projection — runs with the
+    mutex {e released}; only the compare-and-store of the result is locked,
+    so a slow re-projection can never stall replication apply.
+
+    Word views are built by whoever holds the live graph's mutation lock
+    (the role thread between batches, or a session thread holding the role
+    lock): {!register} and {!rebind} read the live graph, so the caller
+    must guarantee no concurrent mutation. Reads never touch the live
+    graph — word state lives in the view's matrices, expression state in
+    the cached projection.
+
+    {b Consistency contract} (DESIGN §10): a word view reflects {e every}
+    edge event the live graph has fired — i.e. at least [snap_seq], and
+    possibly writes newer than the serving snapshot; an expression view
+    reflects exactly the snapshot it was last projected from, recorded in
+    [i_as_of_seq]. An epoch reset ({!rebind}) rebuilds word views from the
+    replacement graph and invalidates every expression projection, because
+    sequence numbers may restart after compaction. *)
+
+open Mrpa_graph
+
+type t
+
+type form =
+  | Word of string list  (** label {e names}; resolved per graph binding. *)
+  | Expr of { query : string; max_length : int }
+      (** query text, re-parsed against whichever graph it is projected
+          from (expressions embed per-graph label ids), and the clamped
+          star-unrolling bound fixed at registration. *)
+
+val create : unit -> t
+
+val attach : t -> Digraph.t -> unit
+(** Install the registry's edge observers on a live graph and make it the
+    binding for word-view builds. No observers are installed on a frozen
+    graph (static data: views never change after registration). *)
+
+val rebind : t -> Digraph.t -> unit
+(** Epoch reset: the live graph was {e replaced} (journal compaction on a
+    primary, a reset handoff on a replica). Re-installs observers on the
+    replacement, rebuilds every word view against it by label {e name}
+    (interning order may differ across epochs), and invalidates every
+    expression projection. Caller must hold the mutation lock of the new
+    graph, as for {!register}. *)
+
+val register : t -> name:string -> graph:Digraph.t -> form -> (unit, string) result
+(** Add a view. Word views are materialised immediately from [graph]
+    (labels that are not yet interned leave the view {e unbound} — it reads
+    as empty and binds itself on the first edge event that makes the word
+    resolvable). Expression views start unprojected; the caller is expected
+    to have validated the query (the server compiles it against its
+    snapshot for admission control first). [Error] on duplicate names,
+    empty words, or empty names. *)
+
+val drop : t -> string -> bool
+(** Remove a view; [false] if the name is unknown. A dropped word view is
+    simply no longer dispatched to — observers stay installed (they are
+    shared by the whole registry). *)
+
+val count : t -> int
+
+type read_error =
+  | Unknown_view
+  | Projection_failed of string
+      (** the expression no longer parses against the current graph (e.g.
+          a name vanished across an epoch reset). *)
+
+val simple_graph :
+  t ->
+  name:string ->
+  snap_seq:int ->
+  reproject:
+    (query:string ->
+    max_length:int ->
+    (Mrpa_analysis.Simple_graph.t * bool * int, string) result) ->
+  (Mrpa_analysis.Simple_graph.t * bool, read_error) result
+(** The view's current derived graph, plus whether it is {e partial} (an
+    expression re-projection tripped its budget and banked a sound subset).
+    Word views answer from their matrices (unbound reads as empty). A
+    stale expression view calls [reproject ~query ~max_length] with the
+    registry mutex released; the callback returns the fresh projection,
+    its partial flag, and the sequence number it reflects — the result is
+    stored back only if the view still exists and is not newer already. *)
+
+val counts :
+  t ->
+  name:string ->
+  snap_seq:int ->
+  reproject:
+    (query:string ->
+    max_length:int ->
+    (Mrpa_analysis.Simple_graph.t * bool * int, string) result) ->
+  ((int * int * float) list * bool, read_error) result
+(** Like {!simple_graph} but with per-pair path counts. Word views report
+    the count matrix [C_w]; expression projections are boolean, so every
+    derived edge counts 1. *)
+
+type info = {
+  i_name : string;
+  i_kind : string;  (** ["word"] or ["expr"]. *)
+  i_spec : string;  (** the word as [a.b.c], or the query text. *)
+  i_max_length : int option;  (** expression views only. *)
+  i_vertices : int;
+  i_edges : int;
+  i_rebuilds : int;  (** word views: dimension-growth full rebuilds. *)
+  i_updates : int;  (** word views: rank-1 maintenance ops. *)
+  i_reprojections : int;  (** expression views: re-projection runs. *)
+  i_bound : bool;  (** word views: all labels currently resolve. *)
+  i_dirty : bool;  (** expression views: a read now would re-project. *)
+  i_partial : bool;  (** the stored projection is a budgeted subset. *)
+  i_as_of_seq : int;
+      (** word: the caller's [snap_seq] (a lower bound — word views are
+          synchronous with the live stream); expr: the sequence of the
+          stored projection, [-1] when never projected or invalidated. *)
+  i_staleness_ms : float;
+      (** ms since the view last folded in a change or was (re)built. *)
+}
+
+val list : t -> snap_seq:int -> info list
+(** Registration order. *)
+
+val totals : t -> int * int * int
+(** [(rebuilds, updates, reprojections)] summed over the registry — the
+    [server.view_*] stats counters. *)

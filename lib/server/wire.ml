@@ -36,7 +36,50 @@ let endpoint_of_string s =
 
 (* --- Requests ---------------------------------------------------------- *)
 
-type verb = Query | Count | Lint | Stats | Ping | Shutdown | Health | Sub
+type view_action =
+  | V_register
+  | V_drop
+  | V_list
+  | V_edges
+  | V_counts
+  | V_analytics
+
+let view_action_name = function
+  | V_register -> "register"
+  | V_drop -> "drop"
+  | V_list -> "list"
+  | V_edges -> "edges"
+  | V_counts -> "counts"
+  | V_analytics -> "analytics"
+
+let view_action_of_name = function
+  | "register" -> Some V_register
+  | "drop" -> Some V_drop
+  | "list" -> Some V_list
+  | "edges" -> Some V_edges
+  | "counts" -> Some V_counts
+  | "analytics" -> Some V_analytics
+  | _ -> None
+
+type view_req = {
+  action : view_action;
+  view_name : string option;
+  word : string list option;
+  view_query : string option;
+  measure : string option;
+  top : int option;
+}
+
+type verb =
+  | Query
+  | Count
+  | Lint
+  | Stats
+  | Ping
+  | Shutdown
+  | Health
+  | Sub
+  | Views of view_req
 
 let verb_name = function
   | Query -> "query"
@@ -47,6 +90,7 @@ let verb_name = function
   | Shutdown -> "shutdown"
   | Health -> "health"
   | Sub -> "sub"
+  | Views _ -> "views"
 
 let verb_of_name = function
   | "query" -> Some Query
@@ -163,6 +207,71 @@ let decode_options json =
   in
   Ok o
 
+(* The "view" object of a views request. The word may be a JSON array of
+   label names or the "a.b.c" shorthand; both normalise to the list. *)
+let decode_view json =
+  let ( let* ) = Result.bind in
+  let str name =
+    match Json.member name json with
+    | None -> Ok None
+    | Some v -> (
+      match Json.to_string_opt v with
+      | Some s when s <> "" -> Ok (Some s)
+      | _ -> Error (Printf.sprintf "view field %S must be a non-empty string" name))
+  in
+  let* action =
+    match Json.member "action" json with
+    | Some (Json.String name) -> (
+      match view_action_of_name name with
+      | Some a -> Ok a
+      | None -> Error (Printf.sprintf "unknown view action %S" name))
+    | _ -> Error "a views request needs a view \"action\" string"
+  in
+  let* view_name = str "name" in
+  let* word =
+    match Json.member "word" json with
+    | None -> Ok None
+    | Some (Json.String s) ->
+      Ok (Some (String.split_on_char '.' s |> List.filter (fun l -> l <> "")))
+    | Some (Json.List items) ->
+      let rec go acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | Json.String s :: rest when s <> "" -> go (s :: acc) rest
+        | _ -> Error "view \"word\" must be a list of non-empty label names"
+      in
+      go [] items
+    | Some _ -> Error "view \"word\" must be a list or an \"a.b.c\" string"
+  in
+  let* view_query = str "query" in
+  let* measure = str "measure" in
+  let* top =
+    match Json.member "top" json with
+    | None -> Ok None
+    | Some v -> (
+      match Json.to_int_opt v with
+      | Some k when k > 0 -> Ok (Some k)
+      | _ -> Error "view \"top\" must be a positive integer")
+  in
+  let* () =
+    match action with
+    | V_register -> (
+      match (view_name, word, view_query) with
+      | None, _, _ -> Error "view action \"register\" needs a \"name\""
+      | Some _, Some _, Some _ ->
+        Error "view registration takes a \"word\" or a \"query\", not both"
+      | Some _, None, None ->
+        Error "view registration needs a \"word\" or a \"query\""
+      | Some _, _, _ -> Ok ())
+    | V_drop | V_edges | V_counts | V_analytics ->
+      if view_name = None then
+        Error
+          (Printf.sprintf "view action %S needs a \"name\""
+             (view_action_name action))
+      else Ok ()
+    | V_list -> Ok ()
+  in
+  Ok { action; view_name; word; view_query; measure; top }
+
 let decode_request line =
   let ( let* ) = Result.bind in
   let* json =
@@ -178,6 +287,11 @@ let decode_request line =
   let id = Option.value ~default:Json.Null (Json.member "id" json) in
   let* verb =
     match Json.member "verb" json with
+    | Some (Json.String "views") -> (
+      match Json.member "view" json with
+      | Some (Json.Obj _ as v) -> Result.map (fun vr -> Views vr) (decode_view v)
+      | Some _ -> Error "\"view\" must be an object"
+      | None -> Error "verb \"views\" requires a \"view\" object")
     | Some (Json.String name) -> (
       match verb_of_name name with
       | Some v -> Ok v
@@ -221,11 +335,28 @@ let encode_request r =
     @ opt "from_seq" (fun v -> Json.Number (float_of_int v)) r.options.from_seq
     @ opt "epoch" (fun v -> Json.Number (float_of_int v)) r.options.epoch
   in
+  let view_fields =
+    match r.verb with
+    | Views v ->
+      let fields =
+        [ ("action", Json.String (view_action_name v.action)) ]
+        @ opt "name" (fun s -> Json.String s) v.view_name
+        @ opt "word"
+            (fun w -> Json.List (List.map (fun l -> Json.String l) w))
+            v.word
+        @ opt "query" (fun s -> Json.String s) v.view_query
+        @ opt "measure" (fun s -> Json.String s) v.measure
+        @ opt "top" (fun k -> Json.Number (float_of_int k)) v.top
+      in
+      [ ("view", Json.Obj fields) ]
+    | Query | Count | Lint | Stats | Ping | Shutdown | Health | Sub -> []
+  in
   Json.to_string
     (Json.Obj
        ([ ("mrpa", Json.String version) ]
        @ (match r.id with Json.Null -> [] | id -> [ ("id", id) ])
        @ [ ("verb", Json.String (verb_name r.verb)) ]
+       @ view_fields
        @ (match r.query with None -> [] | Some q -> [ ("query", Json.String q) ])
        @
        match option_fields with
@@ -300,6 +431,7 @@ type error_code =
   | Infeasible
   | Unauthorized
   | Stale
+  | Unknown_view
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -312,6 +444,7 @@ let error_code_name = function
   | Infeasible -> "infeasible"
   | Unauthorized -> "unauthorized"
   | Stale -> "stale"
+  | Unknown_view -> "unknown_view"
 
 let esc = Metrics.escape_string
 

@@ -47,6 +47,34 @@ val endpoint_of_string : string -> (endpoint, string) result
 
 (** {1 Requests} *)
 
+(** One member of the [views] verb family. *)
+type view_action =
+  | V_register
+      (** add a named view: a label word (["word"]) backed by incremental
+          rank-1 maintenance, or a regular path expression (["query"])
+          kept by dirty-marking + bounded re-projection. *)
+  | V_drop
+  | V_list  (** every view with its maintenance/staleness accounting. *)
+  | V_edges  (** the view's derived edges, as vertex-name pairs. *)
+  | V_counts  (** like [edges], with per-pair path counts. *)
+  | V_analytics
+      (** run a single-relational algorithm over the view's derived graph:
+          ["degree"], ["pagerank"], ["components"] or ["communities"]. *)
+
+val view_action_name : view_action -> string
+val view_action_of_name : string -> view_action option
+
+type view_req = {
+  action : view_action;
+  view_name : string option;  (** required except for [list]. *)
+  word : string list option;
+      (** [register]: label names; the wire accepts a JSON array or the
+          ["a.b.c"] shorthand string. *)
+  view_query : string option;  (** [register]: the expression form. *)
+  measure : string option;  (** [analytics]; defaults to ["degree"]. *)
+  top : int option;  (** [analytics]: ranking size; defaults to 10. *)
+}
+
 type verb =
   | Query  (** run a regular path query; respond with the result set. *)
   | Count  (** governed counting; respond with the number and verdict. *)
@@ -66,9 +94,19 @@ type verb =
           [reset]); after it, the connection becomes a one-way stream of
           framed journal records and ["#hb SEQ"] heartbeat comments.
           Rejected with [bad_request] on non-primary servers. *)
+  | Views of view_req
+      (** the materialized-view family. On the wire: [verb = "views"] plus
+          a ["view"] object carrying the {!view_req} fields; [register]
+          reuses the request's [options] for the expression form's
+          [max_length] (clamped like any query) and reads honour the
+          bounded-staleness options. *)
 
 val verb_name : verb -> string
+
 val verb_of_name : string -> verb option
+(** Payload-free verbs only: ["views"] maps to [None] here because a
+    {!Views} request cannot exist without its [view] object —
+    {!decode_request} handles it directly. *)
 
 type options = {
   strategy : Plan.strategy option;  (** force an evaluation strategy. *)
@@ -165,6 +203,8 @@ type error_code =
       (** a bounded-staleness read ([min_seq] / [max_staleness_ms]) could
           not be satisfied within the server's short catch-up wait; retry
           here later or fail over to another endpoint. *)
+  | Unknown_view
+      (** a [views] read or drop named a view that is not registered. *)
 
 val error_code_name : error_code -> string
 

@@ -103,7 +103,7 @@ the prompt comes back:
 
   $ printf 'E . (\nE . E\n:quit\n' | ../bin/mrpa.exe shell ring.tsv --max-length 3
   mrpa shell — |V|=6 |E|=6 |Omega|=3
-  Type a query per line; :explain QUERY, :count QUERY, :lint QUERY, :profile QUERY, :quit to exit.
+  Type a query per line; :explain QUERY, :count QUERY, :lint QUERY, :profile QUERY, :view (word|expr|drop|edges|analytics) and :views for materialized views, :quit to exit.
   mrpa> error: parse error at offset 5: expected an expression
     E . (
          ^
@@ -121,7 +121,7 @@ and report partially — without ending the session:
 
   $ printf 'E*\n:count E*\n:quit\n' | ../bin/mrpa.exe shell ring.tsv --max-length 3 --inject-fault fuel@3
   mrpa shell — |V|=6 |E|=6 |Omega|=3
-  Type a query per line; :explain QUERY, :count QUERY, :lint QUERY, :profile QUERY, :quit to exit.
+  Type a query per line; :explain QUERY, :count QUERY, :lint QUERY, :profile QUERY, :view (word|expr|drop|edges|analytics) and :views for materialized views, :quit to exit.
   mrpa> ε
   -- 1 path(s)
   -- partial result (fuel): some paths may be missing

@@ -69,7 +69,7 @@ The shell's :profile mirrors --profile (without the plan):
 
   $ echo ':profile [_,beta,_]{2}' | ../bin/mrpa.exe shell g.tsv | sed 's/ *[0-9.]* ms/ T ms/'
   mrpa shell — |V|=3 |E|=7 |Omega|=2
-  Type a query per line; :explain QUERY, :count QUERY, :lint QUERY, :profile QUERY, :quit to exit.
+  Type a query per line; :explain QUERY, :count QUERY, :lint QUERY, :profile QUERY, :view (word|expr|drop|edges|analytics) and :views for materialized views, :quit to exit.
   mrpa> profile:
     parse: T ms
     lint: T ms

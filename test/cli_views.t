@@ -1,0 +1,87 @@
+Live materialized views over the wire: register a view against a running
+server, stream a write in through the journal, and watch analytics over
+the view reflect it — no re-registration, no server restart.
+
+Seed a journal and start a primary that tails it:
+
+  $ ../bin/mrpa.exe append j.log --add a,knows,b --add b,knows,c --add c,follows,a
+  j.log: 3 records appended (graph now 3 vertices, 3 edges)
+  $ ../bin/mrpa.exe serve --journal j.log --role primary --socket p.sock --workers 2 2>serve.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do test -S p.sock && break; sleep 0.1; done
+  $ test -S p.sock && echo socket up
+  socket up
+
+Register a word view (incrementally maintained) and an expression view
+(re-projected on demand):
+
+  $ ../bin/mrpa.exe views register k --word knows --socket p.sock
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"view":{"registered":"k","kind":"word"}}
+  $ ../bin/mrpa.exe views register reach --query '[_,knows,_]*' --max-length 4 --socket p.sock
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"view":{"registered":"reach","kind":"expr"}}
+
+Registering the same name twice is a bad request (exit 1):
+
+  $ ../bin/mrpa.exe views register k --word follows --socket p.sock
+  {"mrpa":"mrpa.wire/1","id":null,"ok":false,"error":{"code":"bad_request","message":"view \"k\" is already registered"}}
+  [1]
+
+Read the word view's derived edges and run analytics over it:
+
+  $ ../bin/mrpa.exe views read k --socket p.sock --min-seq 3
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"view":{"name":"k","as_of_seq":3,"partial":false,"vertices":3,"edges":2,"pairs":[["a","b"],["b","c"]]}}
+  $ ../bin/mrpa.exe views analytics k --measure degree --top 2 --socket p.sock --min-seq 3
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"view":{"name":"k","as_of_seq":3,"partial":false,"measure":"degree","vertices":3,"edges":2,"top":[{"vertex":"a","score":1},{"vertex":"b","score":1}]}}
+
+Now stream a write in through the journal — the primary tails the file,
+applies the record, and the view folds it in; --min-seq 4 makes the read
+wait for the new record so the output is deterministic:
+
+  $ ../bin/mrpa.exe append j.log --add c,knows,d
+  j.log: 1 record appended (graph now 4 vertices, 4 edges)
+  $ ../bin/mrpa.exe views read k --socket p.sock --min-seq 4
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"view":{"name":"k","as_of_seq":4,"partial":false,"vertices":4,"edges":3,"pairs":[["a","b"],["b","c"],["c","d"]]}}
+  $ ../bin/mrpa.exe views analytics k --measure components --socket p.sock --min-seq 4
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"view":{"name":"k","as_of_seq":4,"partial":false,"measure":"components","vertices":4,"edges":3,"count":1,"largest":4}}
+
+The expression view re-projects when its snapshot moves (expression
+projections are boolean, so every derived pair counts 1):
+
+  $ ../bin/mrpa.exe views read reach --counts --socket p.sock --min-seq 4 --limit 3
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"view":{"name":"reach","as_of_seq":4,"partial":false,"pairs":[["a","b",1],["a","c",1],["a","d",1]]}}
+
+views list surfaces per-view maintenance accounting (timing normalised;
+the growth insert of vertex d forced one full rebuild):
+
+  $ ../bin/mrpa.exe views list --socket p.sock | sed 's/"staleness_ms":[0-9.]*/"staleness_ms":N/g'
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"views":[{"name":"k","kind":"word","spec":"knows","vertices":4,"edges":3,"rebuilds":1,"updates":0,"reprojections":0,"bound":true,"dirty":false,"partial":false,"as_of_seq":4,"staleness_ms":N},{"name":"reach","kind":"expr","spec":"[_,knows,_]*","max_length":4,"vertices":4,"edges":6,"rebuilds":0,"updates":0,"reprojections":1,"bound":true,"dirty":false,"partial":false,"as_of_seq":4,"staleness_ms":N}]}
+
+The server's stats counters see the view plane:
+
+  $ ../bin/mrpa.exe call --socket p.sock --stats | tr ',' '\n' | grep '"server\.view' | sort
+  "server.view_analytics":2
+  "server.view_lists":1
+  "server.view_reads":3
+  "server.view_rebuilds":1
+  "server.view_registers":2
+  "server.view_reprojections":1
+  "server.view_updates":0
+  "server.views":2
+
+Drop, and the name is gone (unknown_view, exit 1):
+
+  $ ../bin/mrpa.exe views drop k --socket p.sock
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"view":{"dropped":"k"}}
+  $ ../bin/mrpa.exe views read k --socket p.sock
+  {"mrpa":"mrpa.wire/1","id":null,"ok":false,"error":{"code":"unknown_view","message":"no view named \"k\""}}
+  [1]
+
+Shut down:
+
+  $ ../bin/mrpa.exe call --socket p.sock --shutdown
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"stopping":true}
+  $ wait $SERVE_PID
+  $ cat serve.log
+  mrpa serve: unix:p.sock workers=2 queue=64 journal=j.log (|V|=3 |E|=3 |Omega|=2)
+  mrpa serve: listening on unix:p.sock
+  mrpa serve: drained, exiting
