@@ -1125,6 +1125,204 @@ let exp_serve ~full =
     ~header:[ "workers"; "clients"; "requests"; "p50 ms"; "p95 ms"; "qps" ]
     rows
 
+(* --- EXP-T19: scatter-gather router vs single server ------------------------- *)
+
+module Router = Mrpa_server.Router
+module Shardmap = Mrpa_server.Shardmap
+
+(* Rows recorded by exp_route for the --json summary ("route" section of
+   mrpa.bench/1); empty when the experiment was not selected. *)
+let route_rows : string list ref = ref []
+
+let exp_route ~full =
+  section "EXP-T19 (sharded router)"
+    "The EXP-T13 workload against three deployments: a standalone server;\n\
+     a scatter-gather router fronting three in-process shards (placement\n\
+     crc32(tail) mod 3); and the same sharded fleet with one shard\n\
+     stopped, so every answer degrades to a sound subset\n\
+     (partial:shard_unavailable). The single/sharded gap is the price of\n\
+     per-atom dispatch plus router-side stitching; the sharded/degraded\n\
+     gap shows that a dead shard costs its breaker-guarded timeout only\n\
+     until the breaker opens, after which degraded answers are cheap.";
+  let g =
+    Generate.fig1 ~rng:(Prng.create 7)
+      ~n_noise_vertices:(if full then 200 else 60)
+      ~n_noise_edges:(if full then 600 else 180)
+  in
+  let query = "[i,alpha,_] . [_,beta,_]*" in
+  let request_options =
+    { Wire.default_options with max_length = Some 4; limit = Some 100 }
+  in
+  let per_client = if full then 100 else 30 in
+  let clients = if full then 8 else 4 in
+  let dir = Filename.temp_file "mrpa_bench_route" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock name = Filename.concat dir (name ^ ".sock") in
+  let server_config path =
+    {
+      Server.endpoint = Wire.Unix_socket path;
+      workers = 2;
+      queue_capacity = 64;
+      limits = Wire.default_limits;
+      idle_timeout_ms = None;
+      max_request_bytes = Server.default_max_request_bytes;
+      max_predicted_cost = None;
+      allow_remote_shutdown = false;
+      role = Server.Standalone;
+    }
+  in
+  let await path =
+    let rec go n =
+      if Sys.file_exists path then ()
+      else if n = 0 then failwith "EXP-T19: endpoint did not come up"
+      else begin
+        Unix.sleepf 0.01;
+        go (n - 1)
+      end
+    in
+    go 500
+  in
+  let start_server graph path =
+    let snap = Snapshot.of_graph ~result_cache_capacity:0 graph in
+    let server = Server.create ~snapshot:snap (server_config path) in
+    let th = Thread.create (fun () -> Server.serve server) () in
+    await path;
+    (server, th)
+  in
+  let stop_server (server, th) =
+    Server.stop server;
+    Thread.join th
+  in
+  (* Closed loop against one endpoint, as EXP-T13; additionally counts
+     partial verdicts so the degraded mode can assert soundness. *)
+  let closed_loop path =
+    let latencies_ms = Array.make (clients * per_client) 0.0 in
+    let partials = Atomic.make 0 in
+    let t0 = Metrics.now_ns () in
+    let client_threads =
+      List.init clients (fun c ->
+          Thread.create
+            (fun () ->
+              match Client.connect (Wire.Unix_socket path) with
+              | Error m -> Printf.eprintf "EXP-T19 client: %s\n" m
+              | Ok conn ->
+                let req =
+                  {
+                    Wire.id = Sjson.Null;
+                    verb = Wire.Query;
+                    query = Some query;
+                    options = request_options;
+                  }
+                in
+                for i = 0 to per_client - 1 do
+                  let r0 = Metrics.now_ns () in
+                  (match Client.request conn req with
+                  | Error m -> Printf.eprintf "EXP-T19 request: %s\n" m
+                  | Ok json ->
+                    let verdict =
+                      Option.bind (Sjson.member "result" json) (fun r ->
+                          Option.bind (Sjson.member "verdict" r)
+                            Sjson.to_string_opt)
+                    in
+                    (* the workload's limit=100 already makes healthy
+                       answers partial:limit; only shard loss counts as
+                       degraded *)
+                    (match verdict with
+                    | Some "partial:shard_unavailable" ->
+                      Atomic.incr partials
+                    | _ -> ()));
+                  latencies_ms.((c * per_client) + i) <-
+                    Int64.to_float (Metrics.elapsed_ns ~since:r0) /. 1e6
+                done;
+                Client.close conn)
+            ())
+    in
+    List.iter Thread.join client_threads;
+    let wall_s = Int64.to_float (Metrics.elapsed_ns ~since:t0) /. 1e9 in
+    let sorted = Array.copy latencies_ms in
+    Array.sort compare sorted;
+    (percentile sorted 0.50, percentile sorted 0.95, wall_s,
+     Atomic.get partials)
+  in
+  let record mode (p50, p95, wall_s, partials) =
+    let total = clients * per_client in
+    let qps = float_of_int total /. max 1e-9 wall_s in
+    route_rows :=
+      Printf.sprintf
+        "{\"mode\":\"%s\",\"clients\":%d,\"requests\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"qps\":%.1f,\"degraded\":%d}"
+        mode clients total p50 p95 qps partials
+      :: !route_rows;
+    [
+      mode;
+      string_of_int clients;
+      string_of_int total;
+      Printf.sprintf "%.3f" p50;
+      Printf.sprintf "%.3f" p95;
+      Printf.sprintf "%.0f" qps;
+      string_of_int partials;
+    ]
+  in
+  (* Mode 1: one standalone server, the EXP-T13 baseline. *)
+  let single =
+    let s = start_server g (sock "single") in
+    let r = closed_loop (sock "single") in
+    stop_server s;
+    record "single" r
+  in
+  (* Modes 2 and 3 share a fleet: three shards behind a router. *)
+  let map =
+    match
+      Shardmap.of_string
+        (String.concat "\n"
+           ("# mrpa.shardmap/1"
+           :: List.map
+                (fun s -> Printf.sprintf "shard %s unix:%s" s (sock s))
+                [ "s0"; "s1"; "s2" ]))
+    with
+    | Ok m -> m
+    | Error e -> failwith ("EXP-T19 shard map: " ^ e)
+  in
+  let parts = Shardmap.partition map g in
+  let shards =
+    List.mapi
+      (fun i name -> (name, start_server parts.(i) (sock name)))
+      [ "s0"; "s1"; "s2" ]
+  in
+  let router =
+    Router.create
+      {
+        (Router.default_config ~map (Wire.Unix_socket (sock "router"))) with
+        (* a short breaker cooldown so the degraded mode measures steady
+           fast-fail throughput, not one long timeout per request *)
+        shard_timeout_ms = 500.;
+        breaker_cooldown_ms = 400.;
+      }
+  in
+  let router_th = Thread.create (fun () -> Router.serve router) () in
+  await (sock "router");
+  let sharded = record "sharded" (closed_loop (sock "router")) in
+  (* Stop one shard — but not the one owning the query's source vertex,
+     so the degraded fleet still does real scatter work instead of
+     short-circuiting the join on an empty left atom. Once the breaker
+     opens, the dead shard costs nothing per request. *)
+  let victim = if Shardmap.owner_name map "i" = "s1" then "s2" else "s1" in
+  stop_server (List.assoc victim shards);
+  let degraded = record "degraded" (closed_loop (sock "router")) in
+  Router.stop router;
+  Thread.join router_th;
+  List.iter (fun (name, s) -> if name <> victim then stop_server s) shards;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  print_table
+    ~title:
+      (Printf.sprintf
+         "%s on fig1+noise (|V|=%d |E|=%d), closed loop, %d req/client, 3 \
+          shards"
+         query (Digraph.n_vertices g) (Digraph.n_edges g) per_client)
+    ~header:
+      [ "mode"; "clients"; "requests"; "p50 ms"; "p95 ms"; "qps"; "degraded" ]
+    [ single; sharded; degraded ]
+
 (* --- EXP-T14: journal v2 framing overhead ----------------------------------- *)
 
 (* Rows recorded by exp_journal for the --json summary ("journal" section
@@ -2054,15 +2252,16 @@ let bench_json ~full ~timings =
          (bench_profiles ()))
   in
   let serve = String.concat "," (List.rev !serve_rows) in
+  let route = String.concat "," (List.rev !route_rows) in
   let journal = String.concat "," !journal_rows in
   let cost = String.concat "," (List.rev !cost_rows) in
   let zipf = String.concat "," (List.rev !zipf_rows) in
   let replication = String.concat "," (List.rev !repl_rows) in
   let views_live = String.concat "," (List.rev !views_live_rows) in
   Printf.sprintf
-    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"journal\":[%s],\"cost\":[%s],\"zipf\":[%s],\"replication\":[%s],\"views_live\":[%s],\"profiles\":[%s]}"
+    "{\"schema\":\"mrpa.bench/1\",\"scale\":%s,\"experiments\":[%s],\"serve\":[%s],\"route\":[%s],\"journal\":[%s],\"cost\":[%s],\"zipf\":[%s],\"replication\":[%s],\"views_live\":[%s],\"profiles\":[%s]}"
     (esc (if full then "full" else "default"))
-    experiments serve journal cost zipf replication views_live profiles
+    experiments serve route journal cost zipf replication views_live profiles
 
 (* --- Driver ------------------------------------------------------------------ *)
 
@@ -2084,6 +2283,7 @@ let experiments =
     ("label-loss", exp_label_loss);
     ("guardrails", exp_guardrails);
     ("serve", exp_serve);
+    ("route", exp_route);
     ("journal", exp_journal);
     ("cost", exp_cost);
     ("zipf", exp_zipf);

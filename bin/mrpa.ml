@@ -1440,8 +1440,12 @@ let call_cmd =
       value & flag
       & info [ "health" ]
           ~doc:
-            "Replication health probe: role, last-applied sequence number, \
-             lag behind the primary, connectivity.")
+            "Health probe: role, last-applied sequence number, lag behind \
+             the primary, connectivity, plus the load picture — \
+             $(b,queue_depth) (requests waiting for a worker) and \
+             $(b,inflight) (requests a worker is executing right now). \
+             Against `mrpa route`, reports the router's per-shard breaker \
+             states and each shard's own health object.")
   in
   let endpoints_arg =
     Arg.(
@@ -1708,6 +1712,247 @@ let call_cmd =
           the response line (or, with --pipeline, many requests on one \
           connection). Exits 0 on a complete result, 3 on a partial one \
           (budget or limit), 1 on any error response.")
+    term
+
+(* --- route / partition -------------------------------------------------------------- *)
+
+(* The sharded serving tier: `mrpa partition` splits a graph by the shard
+   map's hash placement; `mrpa route` fronts the resulting fleet with the
+   scatter-gather router (Mrpa_server.Router) — same wire protocol in and
+   out, so `mrpa call` needs no changes to talk to a sharded deployment. *)
+
+let shard_map_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "shard-map" ] ~docv:"FILE"
+        ~doc:
+          "The mrpa.shardmap/1 file naming each shard and its failover \
+           endpoint list (primary first, replicas after).")
+
+let route_cmd =
+  let shard_timeout_arg =
+    Arg.(
+      value
+      & opt float Mrpa_server.Router.default_shard_timeout_ms
+      & info [ "shard-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Transport guard per shard dispatch: connect plus response \
+             within $(docv), even when the request carries no deadline. A \
+             request's own deadline, when tighter, wins.")
+  in
+  let probe_timeout_arg =
+    Arg.(
+      value
+      & opt float Mrpa_server.Router.default_probe_timeout_ms
+      & info [ "probe-timeout-ms" ] ~docv:"MS"
+          ~doc:"Budget of the half-open breaker's health probe.")
+  in
+  let breaker_failures_arg =
+    Arg.(
+      value
+      & opt int Mrpa_server.Router.default_breaker_failures
+      & info [ "breaker-failures" ] ~docv:"N"
+          ~doc:
+            "Consecutive fully-failed dispatches (every endpoint dead or \
+             stale) that open a shard's circuit breaker.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(
+      value
+      & opt float Mrpa_server.Router.default_breaker_cooldown_ms
+      & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+          ~doc:
+            "How long an open breaker fails fast (no I/O to the shard) \
+             before the next dispatch half-opens it with a health probe.")
+  in
+  let frontier_cap_arg =
+    Arg.(
+      value
+      & opt int Mrpa_server.Router.default_frontier_cap
+      & info [ "frontier-cap" ] ~docv:"N"
+          ~doc:
+            "Widest join frontier inlined into a narrowed selector's \
+             source position; wider frontiers still narrow the dispatch \
+             targets but leave the selector text unrewritten.")
+  in
+  let max_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-deadline-ms" ] ~docv:"MS"
+          ~doc:"Ceiling on (and default for) every request's wall-clock budget.")
+  in
+  let max_paths_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-paths" ] ~docv:"N"
+          ~doc:
+            "Ceiling on (and default for) the paths materialised while \
+             stitching shard results; crossing it truncates to a sound \
+             subset (partial:memory).")
+  in
+  let max_limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-limit" ] ~docv:"N"
+          ~doc:"Ceiling on (and default for) returned paths per query.")
+  in
+  let max_length_cap_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-length" ] ~docv:"N"
+          ~doc:"Ceiling on the star-unrolling bound clients may request.")
+  in
+  let max_request_bytes_arg =
+    Arg.(
+      value
+      & opt int Mrpa_server.Server.default_max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"BYTES"
+          ~doc:"Reject request lines longer than $(docv).")
+  in
+  let allow_remote_shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-remote-shutdown" ]
+          ~doc:
+            "Honour the shutdown verb on TCP sessions; without it only \
+             Unix-domain clients may stop the router.")
+  in
+  let run socket port host shard_map shard_timeout_ms probe_timeout_ms
+      breaker_failures breaker_cooldown_ms frontier_cap max_deadline_ms
+      max_paths_cap max_limit max_length_cap max_request_bytes
+      allow_remote_shutdown =
+    let module S = Mrpa_server in
+    let endpoint = endpoint_of_flags ~socket ~port ~host in
+    let map = or_die (S.Shardmap.load shard_map) in
+    let config =
+      {
+        S.Router.endpoint;
+        map;
+        limits =
+          {
+            S.Wire.max_deadline_ms;
+            max_fuel = None;
+            max_live_paths = max_paths_cap;
+            max_limit;
+            max_length_cap;
+            min_staleness_ms = None;
+          };
+        allow_remote_shutdown;
+        shard_timeout_ms;
+        probe_timeout_ms;
+        breaker_failures;
+        breaker_cooldown_ms;
+        frontier_cap;
+        max_request_bytes;
+      }
+    in
+    let router =
+      try S.Router.create config
+      with Invalid_argument msg -> or_die (Error msg)
+    in
+    if Sys.os_type <> "Win32" then begin
+      let graceful = Sys.Signal_handle (fun _ -> S.Router.stop router) in
+      ignore (Sys.signal Sys.sigint graceful);
+      ignore (Sys.signal Sys.sigterm graceful)
+    end;
+    Printf.eprintf "mrpa route: %s shards=%d (%s)\n%!"
+      (S.Wire.endpoint_to_string endpoint)
+      (S.Shardmap.n_shards map)
+      (String.concat ", "
+         (List.map (fun s -> s.S.Shardmap.name) (S.Shardmap.shards map)));
+    (* Announce the endpoint actually bound once serve is listening — with
+       `--port 0` the kernel picks the port, and scripts grep this line. *)
+    ignore
+      (Thread.create
+         (fun () ->
+           let rec wait n =
+             if n > 0 then
+               match S.Router.bound_endpoint router with
+               | Some ep ->
+                 Printf.eprintf "mrpa route: listening on %s\n%!"
+                   (S.Wire.endpoint_to_string ep)
+               | None ->
+                 Thread.delay 0.01;
+                 wait (n - 1)
+           in
+           wait 1_000)
+         ());
+    (match S.Router.serve router with
+    | () -> ()
+    | exception Unix.Unix_error (err, _, arg) ->
+      or_die
+        (Error
+           (Printf.sprintf "cannot listen on %s: %s%s"
+              (S.Wire.endpoint_to_string endpoint)
+              (Unix.error_message err)
+              (if arg = "" then "" else " (" ^ arg ^ ")"))));
+    Printf.eprintf "mrpa route: drained, exiting\n%!"
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ shard_map_arg
+      $ shard_timeout_arg $ probe_timeout_arg $ breaker_failures_arg
+      $ breaker_cooldown_arg $ frontier_cap_arg $ max_deadline_arg
+      $ max_paths_cap_arg $ max_limit_arg $ max_length_cap_arg
+      $ max_request_bytes_arg $ allow_remote_shutdown_arg)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Front a sharded fleet of `mrpa serve` processes with one \
+          mrpa.wire/1 endpoint: queries scatter to the shards that can own \
+          matching edges (hash of the tail vertex, per --shard-map) and \
+          gather through the path algebra itself. Per-shard deadlines, \
+          failover across each shard's replica endpoints, and a per-shard \
+          circuit breaker keep one dead shard from taking the fleet down: \
+          the answer degrades to a sound subset (partial:shard_unavailable, \
+          exit 3 at `mrpa call`, missing shards named in the response) and \
+          recovers within one breaker probe of the shard's return.")
+    term
+
+let partition_cmd =
+  let graph_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"GRAPH" ~doc:"TSV edge list to split.")
+  in
+  let out_dir_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Directory for the per-shard TSV files (created if missing).")
+  in
+  let run graph shard_map out_dir =
+    let module S = Mrpa_server in
+    let map = or_die (S.Shardmap.load shard_map) in
+    let g =
+      try Io.load graph with
+      | Sys_error msg -> or_die (Error msg)
+      | Io.Malformed (line, text) ->
+        or_die
+          (Error (Printf.sprintf "%s: malformed line %d: %s" graph line text))
+    in
+    let parts = S.Shardmap.write_partition map g ~dir:out_dir in
+    List.iter
+      (fun (path, n_edges) ->
+        Printf.printf "mrpa partition: %s (%d edge(s))\n" path n_edges)
+      parts
+  in
+  let term = Term.(const run $ graph_pos $ shard_map_arg $ out_dir_arg) in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:
+         "Split a graph into per-shard TSV files by the shard map's hash \
+          placement (owner = crc32(tail) mod shards). Every shard receives \
+          the full vertex universe (isolated-vertex directives) so names \
+          resolve everywhere; edge sets are disjoint and their union is \
+          the input. The same map drives `mrpa route`, so partitioner and \
+          router agree on placement by construction.")
     term
 
 (* --- views ------------------------------------------------------------------------- *)
@@ -2170,6 +2415,8 @@ let () =
         crpq_cmd;
         shell_cmd;
         serve_cmd;
+        route_cmd;
+        partition_cmd;
         call_cmd;
         views_cmd;
         append_cmd;

@@ -1,6 +1,6 @@
 open Mrpa_core
 
-type reason = Deadline | Fuel | Memory | Cancelled | Limit
+type reason = Deadline | Fuel | Memory | Cancelled | Limit | Shard_unavailable
 type verdict = Complete | Partial of reason
 
 let of_guard = function
@@ -15,6 +15,7 @@ let reason_name = function
   | Memory -> "memory"
   | Cancelled -> "cancelled"
   | Limit -> "limit"
+  | Shard_unavailable -> "shard_unavailable"
 
 let reason_of_name = function
   | "deadline" -> Some Deadline
@@ -22,6 +23,7 @@ let reason_of_name = function
   | "memory" -> Some Memory
   | "cancelled" -> Some Cancelled
   | "limit" -> Some Limit
+  | "shard_unavailable" -> Some Shard_unavailable
   | _ -> None
 
 let verdict_name = function

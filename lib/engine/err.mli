@@ -14,6 +14,10 @@ type reason =
   | Memory  (** the live/banked path budget was hit. *)
   | Cancelled  (** the cancellation token fired (e.g. Ctrl-C). *)
   | Limit  (** a LIMIT clause stopped the run at [k] paths. *)
+  | Shard_unavailable
+      (** a sharded deployment lost a shard mid-request: the answer is the
+          sound union of the shards that did respond ({!Mrpa_server.Router});
+          the missing shard names travel in the response, not here. *)
 
 type verdict =
   | Complete  (** the result is the full (restricted) denotation. *)
@@ -25,7 +29,8 @@ val of_guard : Guard.reason -> reason
     (limits are pushed down, not guarded). *)
 
 val reason_name : reason -> string
-(** ["deadline" | "fuel" | "memory" | "cancelled" | "limit"]. *)
+(** ["deadline" | "fuel" | "memory" | "cancelled" | "limit" |
+    "shard_unavailable"]. *)
 
 val reason_of_name : string -> reason option
 (** Inverse of {!reason_name} (used by the CLI's fault-injection flag). *)

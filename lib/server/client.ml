@@ -162,7 +162,12 @@ let request_failover ?(policy = no_retry) ?(sleep = Unix.sleepf) ?rand
   let eps = Array.of_list endpoints in
   let n = Array.length eps in
   if n = 0 then invalid_arg "Client.request_failover: no endpoints";
-  let attempts = max 1 (policy.retries + 1) in
+  (* At least one full cycle through the list: with [retries = 0] and a
+     stale (or dead) first endpoint, the whole point of passing several
+     endpoints is that a fresher replica further down still gets its
+     chance before we give up. Backoff stays charged per completed cycle,
+     so the widened floor never adds a sleep. *)
+  let attempts = max (policy.retries + 1) n in
   let rec go attempt =
     let retry_or final =
       if attempt + 1 < attempts then begin

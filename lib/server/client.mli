@@ -91,10 +91,14 @@ val request_failover :
   (string, string) result
 (** Connect, send one request, read one response — with a fresh connection
     each attempt, rotating round-robin across [endpoints] and retrying the
-    failure classes above, [policy.retries] extra attempts in total. The
-    backoff sleep is paid only after a {e full} cycle through the list has
-    failed (with exponent = completed cycles), so failing over to a live
-    standby is immediate while a fully-dead fleet is still backed off.
+    failure classes above. The attempt count is
+    [max (policy.retries + 1) (length endpoints)]: at least one full cycle
+    through the list, so a [stale] replica (or dead endpoint) first in the
+    list never masks a fresher one further down, even with [retries = 0].
+    The backoff sleep is paid only after a {e full} cycle through the list
+    has failed (with exponent = completed cycles), so failing over to a
+    live standby is immediate while a fully-dead fleet is still backed
+    off.
     With several endpoints, even a non-retryable connect error rotates to
     the next endpoint rather than giving up — one bad address should not
     mask a healthy standby. [Ok] is the raw response line, byte-for-byte

@@ -1,0 +1,1400 @@
+open Mrpa_graph
+open Mrpa_core
+open Mrpa_engine
+
+module StrSet = Set.Make (String)
+
+(* --- Configuration ------------------------------------------------------- *)
+
+type config = {
+  endpoint : Wire.endpoint;
+  map : Shardmap.t;
+  limits : Wire.limits;
+  allow_remote_shutdown : bool;
+  shard_timeout_ms : float;
+  probe_timeout_ms : float;
+  breaker_failures : int;
+  breaker_cooldown_ms : float;
+  frontier_cap : int;
+  max_request_bytes : int;
+}
+
+let default_shard_timeout_ms = 2000.0
+let default_probe_timeout_ms = 250.0
+let default_breaker_failures = 3
+let default_breaker_cooldown_ms = 1000.0
+let default_frontier_cap = 128
+
+let default_config ~map endpoint =
+  {
+    endpoint;
+    map;
+    limits = Wire.default_limits;
+    allow_remote_shutdown = false;
+    shard_timeout_ms = default_shard_timeout_ms;
+    probe_timeout_ms = default_probe_timeout_ms;
+    breaker_failures = default_breaker_failures;
+    breaker_cooldown_ms = default_breaker_cooldown_ms;
+    frontier_cap = default_frontier_cap;
+    max_request_bytes = Server.default_max_request_bytes;
+  }
+
+(* --- Router state -------------------------------------------------------- *)
+
+(* Closed / Open are the durable states; "half-open" is an open breaker
+   whose cooldown has expired — the next dispatch probes instead of
+   failing fast, and the probe's outcome decides which durable state
+   comes next. *)
+type breaker_state = B_closed | B_open of float  (* opened at, epoch s *)
+
+type breaker = {
+  mutable bstate : breaker_state;
+  mutable failures : int;  (* consecutive fully-failed dispatches *)
+  mutable preferred : int;  (* endpoint index that answered last *)
+  mutable dispatches : int;  (* lifetime count; the fault plane's clock *)
+}
+
+type fault_kind = F_kill | F_hang | F_slow of float
+type fault = { fkind : fault_kind; at : int }
+
+type t = {
+  config : config;
+  breakers : breaker array;
+  faults : (int, fault) Hashtbl.t;
+  lock : Mutex.t;  (* breakers, faults, counters *)
+  counters : (string, int) Hashtbl.t;
+  stopping : bool Atomic.t;
+  bound : Wire.endpoint option Atomic.t;
+  next_id : int Atomic.t;
+  mutable live_sessions : int;
+  sessions_lock : Mutex.t;
+  started : float;
+}
+
+let create config =
+  if Shardmap.n_shards config.map = 0 then
+    invalid_arg "Router.create: empty shard map";
+  {
+    config;
+    breakers =
+      Array.init (Shardmap.n_shards config.map) (fun _ ->
+          { bstate = B_closed; failures = 0; preferred = 0; dispatches = 0 });
+    faults = Hashtbl.create 4;
+    lock = Mutex.create ();
+    counters = Hashtbl.create 16;
+    stopping = Atomic.make false;
+    bound = Atomic.make None;
+    next_id = Atomic.make 0;
+    live_sessions = 0;
+    sessions_lock = Mutex.create ();
+    started = Unix.gettimeofday ();
+  }
+
+let stop t = Atomic.set t.stopping true
+let bound_endpoint t = Atomic.get t.bound
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let c_incr t key =
+  with_lock t.lock (fun () ->
+      Hashtbl.replace t.counters key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters key)))
+
+let c_get t key =
+  Option.value ~default:0 (Hashtbl.find_opt t.counters key)
+
+let shard_index_exn t name =
+  match Shardmap.index_of t.config.map name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Router: unknown shard %S" name)
+
+let breaker_state t name =
+  match Shardmap.index_of t.config.map name with
+  | None -> None
+  | Some i ->
+    Some
+      (with_lock t.lock (fun () ->
+           match t.breakers.(i).bstate with
+           | B_closed -> "closed"
+           | B_open since ->
+             if
+               Unix.gettimeofday () -. since
+               >= t.config.breaker_cooldown_ms /. 1000.0
+             then "half_open"
+             else "open"))
+
+(* --- Deterministic fault plane ------------------------------------------- *)
+
+module Fault = struct
+  type kind = Kill | Hang | Slow of float
+
+  let arm t ~shard kind ~at =
+    if at < 1 then invalid_arg "Router.Fault.arm: at < 1";
+    let idx = shard_index_exn t shard in
+    let fkind =
+      match kind with Kill -> F_kill | Hang -> F_hang | Slow ms -> F_slow ms
+    in
+    with_lock t.lock (fun () -> Hashtbl.replace t.faults idx { fkind; at })
+
+  let disarm t ~shard =
+    let idx = shard_index_exn t shard in
+    with_lock t.lock (fun () -> Hashtbl.remove t.faults idx)
+
+  let dispatches t ~shard =
+    let idx = shard_index_exn t shard in
+    with_lock t.lock (fun () -> t.breakers.(idx).dispatches)
+end
+
+(* --- Transport: one request line against one endpoint, with a deadline --- *)
+
+let recv_line fd ~abs_deadline =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let remaining = abs_deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then Error "shard response timed out"
+    else
+      match Unix.select [ fd ] [] [] (Float.min remaining 0.25) with
+      | [], _, _ -> go ()
+      | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Error "connection closed by shard"
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          let s = Buffer.contents buf in
+          (match String.index_opt s '\n' with
+          | Some i -> Ok (String.sub s 0 i)
+          | None -> go ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let try_endpoint ep line ~abs_deadline =
+  match Net.connect_fd ep with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Unix.error_message err)
+  | exception Failure msg -> Error msg
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Net.write_all fd (line ^ "\n") with
+        | exception Unix.Unix_error (err, _, _) ->
+          Error (Unix.error_message err)
+        | () -> recv_line fd ~abs_deadline)
+
+(* --- Breaker-gated shard dispatch ---------------------------------------- *)
+
+type outcome =
+  | D_ok of Json.t  (* a parsed [ok:true] response *)
+  | D_wire of string * string  (* a definite wire error: code, message *)
+  | D_unavailable  (* breaker open / transport dead / all endpoints stale *)
+
+let fresh_id t = Json.Number (float_of_int (Atomic.fetch_and_add t.next_id 1))
+
+let record_success t idx ~endpoint_index =
+  with_lock t.lock (fun () ->
+      let b = t.breakers.(idx) in
+      b.failures <- 0;
+      b.bstate <- B_closed;
+      b.preferred <- endpoint_index)
+
+(* A fully-failed dispatch (every endpoint dead or stale). Opening is
+   edge-triggered on crossing the threshold so [router.breaker_opens]
+   counts state transitions, not failures. *)
+let record_failure t idx =
+  with_lock t.lock (fun () ->
+      let b = t.breakers.(idx) in
+      b.failures <- b.failures + 1;
+      if b.failures >= t.config.breaker_failures then begin
+        (match b.bstate with
+        | B_closed ->
+          Hashtbl.replace t.counters "router.breaker_opens"
+            (1 + Option.value ~default:0
+                   (Hashtbl.find_opt t.counters "router.breaker_opens"))
+        | B_open _ -> ());
+        b.bstate <- B_open (Unix.gettimeofday ())
+      end)
+
+let health_request t =
+  {
+    Wire.id = fresh_id t;
+    verb = Wire.Health;
+    query = None;
+    options = Wire.default_options;
+  }
+
+(* Try every endpoint of one shard once (starting at the one that answered
+   last), with the given absolute deadline shared across the attempts.
+   [stale] and [overloaded] answers rotate like transport failures — a
+   fresher / less loaded replica may be next in the list. *)
+let attempt_endpoints t idx req ~abs_deadline =
+  let shard = Shardmap.shard t.config.map idx in
+  let eps = Array.of_list shard.Shardmap.endpoints in
+  let n = Array.length eps in
+  let start = with_lock t.lock (fun () -> t.breakers.(idx).preferred) in
+  let line = Wire.encode_request req in
+  let transport_or_stale = ref false in
+  let rec go k =
+    if k >= n then begin
+      if !transport_or_stale then record_failure t idx;
+      D_unavailable
+    end
+    else begin
+      let ei = (start + k) mod n in
+      match try_endpoint eps.(ei) line ~abs_deadline with
+      | Error _ ->
+        transport_or_stale := true;
+        go (k + 1)
+      | Ok resp_line -> (
+        match Json.parse resp_line with
+        | Error _ ->
+          (* A peer that frames garbage is as good as dead. *)
+          transport_or_stale := true;
+          go (k + 1)
+        | Ok json -> (
+          match Json.member "ok" json with
+          | Some (Json.Bool true) ->
+            record_success t idx ~endpoint_index:ei;
+            D_ok json
+          | Some (Json.Bool false) -> (
+            let code =
+              match
+                Option.bind (Json.member "error" json) (Json.member "code")
+              with
+              | Some (Json.String c) -> c
+              | _ -> "internal"
+            in
+            let message =
+              match
+                Option.bind (Json.member "error" json) (Json.member "message")
+              with
+              | Some (Json.String m) -> m
+              | _ -> "shard error"
+            in
+            if code = Wire.error_code_name Wire.Stale then begin
+              transport_or_stale := true;
+              go (k + 1)
+            end
+            else if code = Wire.error_code_name Wire.Overloaded then
+              (* Shedding load is proof of life: rotate without charging
+                 the breaker. *)
+              go (k + 1)
+            else begin
+              (* A definite answer (query_error, infeasible, ...): the
+                 shard is alive and has spoken. *)
+              record_success t idx ~endpoint_index:ei;
+              D_wire (code, message)
+            end)
+          | _ ->
+            transport_or_stale := true;
+            go (k + 1)))
+    end
+  in
+  go 0
+
+(* One breaker-gated dispatch of [req] to shard [idx]. *)
+let dispatch t idx req ~abs_deadline =
+  c_incr t "router.dispatches";
+  let now = Unix.gettimeofday () in
+  let cooldown = t.config.breaker_cooldown_ms /. 1000.0 in
+  let fault, gate =
+    with_lock t.lock (fun () ->
+        let b = t.breakers.(idx) in
+        b.dispatches <- b.dispatches + 1;
+        let fault =
+          match Hashtbl.find_opt t.faults idx with
+          | Some f when b.dispatches >= f.at -> Some f.fkind
+          | _ -> None
+        in
+        let gate =
+          match b.bstate with
+          | B_closed -> `Proceed
+          | B_open since when now -. since < cooldown -> `Fast_fail
+          | B_open _ -> `Probe
+        in
+        (fault, gate))
+  in
+  let abs_deadline =
+    Float.min abs_deadline (now +. (t.config.shard_timeout_ms /. 1000.0))
+  in
+  let apply_fault k =
+    match fault with
+    | None -> k ()
+    | Some F_kill ->
+      record_failure t idx;
+      D_unavailable
+    | Some F_hang ->
+      (* The shard accepted and went silent: burn the whole per-shard
+         deadline, exactly like [recv_line] would against a wedged peer. *)
+      let pause = Float.max 0.0 (abs_deadline -. Unix.gettimeofday ()) in
+      Thread.delay pause;
+      record_failure t idx;
+      D_unavailable
+    | Some (F_slow ms) ->
+      Thread.delay (ms /. 1000.0);
+      k ()
+  in
+  match gate with
+  | `Fast_fail ->
+    c_incr t "router.breaker_fastfails";
+    D_unavailable
+  | `Probe ->
+    (* Half-open: one cheap health probe decides. On success the real
+       request proceeds on the now-closed breaker; on failure the breaker
+       reopens and the cooldown clock restarts. *)
+    let probe_deadline =
+      Unix.gettimeofday () +. (t.config.probe_timeout_ms /. 1000.0)
+    in
+    apply_fault (fun () ->
+        match
+          attempt_endpoints t idx (health_request t) ~abs_deadline:probe_deadline
+        with
+        | D_ok _ | D_wire _ -> attempt_endpoints t idx req ~abs_deadline
+        | D_unavailable ->
+          with_lock t.lock (fun () ->
+              t.breakers.(idx).bstate <- B_open (Unix.gettimeofday ()));
+          D_unavailable)
+  | `Proceed -> apply_fault (fun () -> attempt_endpoints t idx req ~abs_deadline)
+
+(* Dispatch to several shards concurrently; order of the result list is
+   the order of [targets]. *)
+let scatter t targets mk_req ~abs_deadline =
+  match targets with
+  | [] -> []
+  | [ idx ] ->
+    [ (idx, (try dispatch t idx (mk_req ()) ~abs_deadline with _ -> D_unavailable)) ]
+  | _ ->
+    let cells =
+      List.map
+        (fun idx ->
+          let cell = ref D_unavailable in
+          let th =
+            Thread.create
+              (fun () ->
+                cell :=
+                  try dispatch t idx (mk_req ()) ~abs_deadline
+                  with _ -> D_unavailable)
+              ()
+          in
+          (idx, cell, th))
+        targets
+    in
+    List.map
+      (fun (idx, cell, th) ->
+        Thread.join th;
+        (idx, !cell))
+      cells
+
+(* --- Query splitting: a name-level mirror of the engine grammar ---------- *)
+
+(* The engine parser resolves names against its graph — which the router
+   does not have. This mirror parses the same grammar down to {e atoms}
+   whose leaves stay names, so the router can rewrite a selector's source
+   position with a frontier and re-render it as query text for the
+   shards. [+], [?], [{n}] and [{n,m}] desugar exactly as {!Mrpa_core.Expr}
+   does, and [let] macros expand by reference like the engine's. *)
+
+type vpos = Wild | Names of string list | CoNames of string list
+
+type atom =
+  | Asel of { src : vpos; lbl : vpos; dst : vpos }
+  | Aedges of (string * string * string) list
+  | Aall
+
+type rx =
+  | Rempty
+  | Reps
+  | Ratom of atom
+  | Runion of rx * rx
+  | Rjoin of rx * rx
+  | Rproduct of rx * rx
+  | Rstar of rx
+
+exception Q_error of string * int
+
+let q_fail pos fmt =
+  Format.kasprintf (fun m -> raise (Q_error (m, pos))) fmt
+
+type pstate = {
+  tokens : Lexer.located array;
+  mutable cursor : int;
+  mutable macros : (string * rx) list;
+}
+
+let p_peek st = st.tokens.(st.cursor)
+let p_advance st = st.cursor <- st.cursor + 1
+
+let p_expect st token what =
+  let { Lexer.token = tk; pos; _ } = p_peek st in
+  if tk = token then p_advance st else q_fail pos "expected %s" what
+
+let p_name st =
+  let { Lexer.token; pos; _ } = p_peek st in
+  match token with
+  | Lexer.IDENT s ->
+    p_advance st;
+    s
+  | Lexer.INT i ->
+    p_advance st;
+    string_of_int i
+  | _ -> q_fail pos "expected a name"
+
+let p_names st =
+  match (p_peek st).Lexer.token with
+  | Lexer.LBRACE ->
+    p_advance st;
+    let rec more acc =
+      let x = p_name st in
+      match (p_peek st).Lexer.token with
+      | Lexer.COMMA ->
+        p_advance st;
+        more (x :: acc)
+      | _ ->
+        p_expect st Lexer.RBRACE "'}'";
+        List.rev (x :: acc)
+    in
+    more []
+  | _ -> [ p_name st ]
+
+let p_vpos st =
+  match (p_peek st).Lexer.token with
+  | Lexer.UNDERSCORE ->
+    p_advance st;
+    Wild
+  | Lexer.BANG ->
+    p_advance st;
+    CoNames (p_names st)
+  | _ -> Names (p_names st)
+
+let p_selector st =
+  p_expect st Lexer.LBRACKET "'['";
+  let src = p_vpos st in
+  p_expect st Lexer.COMMA "','";
+  let lbl = p_vpos st in
+  p_expect st Lexer.COMMA "','";
+  let dst = p_vpos st in
+  p_expect st Lexer.RBRACKET "']'";
+  Asel { src; lbl; dst }
+
+let p_triple st =
+  p_expect st Lexer.LPAREN "'('";
+  let tail = p_name st in
+  p_expect st Lexer.COMMA "','";
+  let label = p_name st in
+  p_expect st Lexer.COMMA "','";
+  let head = p_name st in
+  p_expect st Lexer.RPAREN "')'";
+  (tail, label, head)
+
+let p_edge_set st =
+  p_expect st Lexer.LBRACE "'{'";
+  let rec more acc =
+    let e = p_triple st in
+    match (p_peek st).Lexer.token with
+    | Lexer.SEMI ->
+      p_advance st;
+      more (e :: acc)
+    | _ ->
+      p_expect st Lexer.RBRACE "'}'";
+      List.rev (e :: acc)
+  in
+  Aedges (more [])
+
+let r_opt e = Runion (e, Reps)
+let r_plus e = Rjoin (e, Rstar e)
+
+let r_repeat e n =
+  let rec go acc k = if k = 0 then acc else go (Rjoin (acc, e)) (k - 1) in
+  if n = 0 then Reps else go e (n - 1)
+
+let r_repeat_range e ~min ~max =
+  let tail = List.init (max - min) (fun _ -> r_opt e) in
+  List.fold_left (fun a b -> Rjoin (a, b)) (r_repeat e min) tail
+
+let rec p_expr st =
+  let left = p_cat st in
+  match (p_peek st).Lexer.token with
+  | Lexer.PIPE ->
+    p_advance st;
+    Runion (left, p_expr st)
+  | _ -> left
+
+and p_cat st =
+  let rec loop left =
+    match (p_peek st).Lexer.token with
+    | Lexer.DOT ->
+      p_advance st;
+      loop (Rjoin (left, p_postfix st))
+    | Lexer.CROSS ->
+      p_advance st;
+      loop (Rproduct (left, p_postfix st))
+    | _ -> left
+  in
+  loop (p_postfix st)
+
+and p_postfix st =
+  let rec loop e =
+    match (p_peek st).Lexer.token with
+    | Lexer.STAR ->
+      p_advance st;
+      loop (Rstar e)
+    | Lexer.PLUS ->
+      p_advance st;
+      loop (r_plus e)
+    | Lexer.QUESTION ->
+      p_advance st;
+      loop (r_opt e)
+    | Lexer.LBRACE -> (
+      match st.tokens.(st.cursor + 1).Lexer.token with
+      | Lexer.INT lo ->
+        p_advance st;
+        p_advance st;
+        let e =
+          match (p_peek st).Lexer.token with
+          | Lexer.COMMA ->
+            p_advance st;
+            let { Lexer.token; pos; _ } = p_peek st in
+            (match token with
+            | Lexer.INT hi ->
+              if hi < lo then
+                q_fail pos
+                  "upper repetition bound %d is below the lower bound %d" hi lo;
+              p_advance st;
+              p_expect st Lexer.RBRACE "'}'";
+              r_repeat_range e ~min:lo ~max:hi
+            | _ -> q_fail pos "expected an upper repetition bound")
+          | _ ->
+            p_expect st Lexer.RBRACE "'}'";
+            r_repeat e lo
+        in
+        loop e
+      | _ -> e)
+    | _ -> e
+  in
+  loop (p_atom st)
+
+and p_atom st =
+  let { Lexer.token; pos; _ } = p_peek st in
+  match token with
+  | Lexer.LPAREN ->
+    p_advance st;
+    let e = p_expr st in
+    p_expect st Lexer.RPAREN "')'";
+    e
+  | Lexer.IDENT "eps" ->
+    p_advance st;
+    Reps
+  | Lexer.IDENT "empty" ->
+    p_advance st;
+    Rempty
+  | Lexer.IDENT "E" ->
+    p_advance st;
+    Ratom Aall
+  | Lexer.IDENT (("let" | "in") as kw) -> q_fail pos "reserved word %S" kw
+  | Lexer.IDENT name -> (
+    match List.assoc_opt name st.macros with
+    | Some e ->
+      p_advance st;
+      e
+    | None -> q_fail pos "unknown macro %S" name)
+  | Lexer.LBRACKET -> Ratom (p_selector st)
+  | Lexer.LBRACE -> Ratom (p_edge_set st)
+  | _ -> q_fail pos "expected an expression"
+
+let rec p_query st =
+  match (p_peek st).Lexer.token with
+  | Lexer.IDENT "let" ->
+    p_advance st;
+    let name = p_name st in
+    if name = "let" || name = "in" then
+      q_fail (p_peek st).Lexer.pos "reserved word %S" name;
+    p_expect st Lexer.EQUAL "'='";
+    let body = p_expr st in
+    let { Lexer.token; pos; _ } = p_peek st in
+    (match token with
+    | Lexer.IDENT "in" -> p_advance st
+    | _ -> q_fail pos "expected 'in'");
+    st.macros <- (name, body) :: st.macros;
+    p_query st
+  | _ -> p_expr st
+
+let parse_query text =
+  match Lexer.tokenize text with
+  | exception Lexer.Lex_error (m, pos) -> Error (m, pos)
+  | tokens -> (
+    let st = { tokens = Array.of_list tokens; cursor = 0; macros = [] } in
+    match p_query st with
+    | exception Q_error (m, pos) -> Error (m, pos)
+    | rx ->
+      let { Lexer.token; pos; _ } = p_peek st in
+      if token = Lexer.EOF then Ok rx else Error ("trailing input", pos))
+
+(* --- Rendering atoms back into query text -------------------------------- *)
+
+(* Bare iff it lexes back as one IDENT: letters/digits/underscores with a
+   non-digit start, and not the wildcard. Digit-led names must be quoted
+   (INT normalisation would eat leading zeros); quoting always re-lexes
+   to the same IDENT because the lexer's strings have no escapes. *)
+let is_bare_name s =
+  let n = String.length s in
+  n > 0
+  && s <> "_"
+  && (let c = s.[0] in
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+  &&
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      if
+        not
+          ((c >= 'a' && c <= 'z')
+          || (c >= 'A' && c <= 'Z')
+          || (c >= '0' && c <= '9')
+          || c = '_')
+      then ok := false)
+    s;
+  !ok
+
+let quote_name s =
+  if is_bare_name s then Some s
+  else if not (String.contains s '\'') then Some ("'" ^ s ^ "'")
+  else if not (String.contains s '"') then Some ("\"" ^ s ^ "\"")
+  else None
+
+let render_names names =
+  let rec all acc = function
+    | [] -> Some (List.rev acc)
+    | n :: rest -> (
+      match quote_name n with
+      | None -> None
+      | Some q -> all (q :: acc) rest)
+  in
+  match all [] names with
+  | None -> None
+  | Some [ one ] -> Some one
+  | Some many -> Some ("{" ^ String.concat "," many ^ "}")
+
+let render_vpos = function
+  | Wild -> Some "_"
+  | Names ns -> render_names ns
+  | CoNames ns -> Option.map (fun s -> "!" ^ s) (render_names ns)
+
+let render_atom = function
+  | Aall -> Some "E"
+  | Asel { src; lbl; dst } -> (
+    match (render_vpos src, render_vpos lbl, render_vpos dst) with
+    | Some s, Some l, Some d -> Some ("[" ^ s ^ "," ^ l ^ "," ^ d ^ "]")
+    | _ -> None)
+  | Aedges triples ->
+    let rec all acc = function
+      | [] -> Some (List.rev acc)
+      | (a, b, c) :: rest -> (
+        match (quote_name a, quote_name b, quote_name c) with
+        | Some qa, Some qb, Some qc ->
+          all (("(" ^ qa ^ "," ^ qb ^ "," ^ qc ^ ")") :: acc) rest
+        | _ -> None)
+    in
+    Option.map
+      (fun parts -> "{" ^ String.concat ";" parts ^ "}")
+      (all [] triples)
+
+(* --- Frontier narrowing and shard targeting ------------------------------ *)
+
+let all_shards map = List.init (Shardmap.n_shards map) Fun.id
+
+let owners map names =
+  List.sort_uniq compare (List.map (Shardmap.owner map) names)
+
+let inter_names xs frontier =
+  let f = StrSet.of_list frontier in
+  List.filter (fun x -> StrSet.mem x f) xs
+
+let diff_names frontier xs =
+  let x = StrSet.of_list xs in
+  List.filter (fun f -> not (StrSet.mem f x)) frontier
+
+(* Narrow an atom against the frontier of head vertices flowing out of the
+   join's left operand. Returns [None] when the narrowed atom is provably
+   empty (no dispatch at all), otherwise the (possibly rewritten) atom and
+   the shard indices that can own matching edges. Narrowing is a pure
+   optimisation: a too-wide dispatch is filtered again by the router-side
+   [Path_set.join], so the fallbacks (frontier wider than [frontier_cap],
+   unquotable data-derived names) only cost work, never soundness. *)
+let narrow_atom map ~frontier_cap frontier atom =
+  match frontier with
+  | None -> (
+    (* Unconstrained: target by the atom's own source position. *)
+    match atom with
+    | Asel { src = Names ns; _ } -> Some (atom, owners map ns)
+    | Asel _ | Aall -> Some (atom, all_shards map)
+    | Aedges triples ->
+      Some (atom, owners map (List.map (fun (a, _, _) -> a) triples)))
+  | Some frontier -> (
+    let narrow_src src =
+      match src with
+      | Wild -> Some frontier
+      | Names ns -> (
+        match inter_names ns frontier with [] -> None | xs -> Some xs)
+      | CoNames ns -> (
+        match diff_names frontier ns with [] -> None | xs -> Some xs)
+    in
+    match atom with
+    | Asel ({ src; _ } as sel) -> (
+      match narrow_src src with
+      | None -> None
+      | Some names ->
+        let targets = owners map names in
+        if List.length names <= frontier_cap then
+          Some (Asel { sel with src = Names names }, targets)
+        else Some (atom, targets))
+    | Aall ->
+      let targets = owners map frontier in
+      if List.length frontier <= frontier_cap then
+        Some (Asel { src = Names frontier; lbl = Wild; dst = Wild }, targets)
+      else Some (atom, targets)
+    | Aedges triples -> (
+      let f = StrSet.of_list frontier in
+      match List.filter (fun (a, _, _) -> StrSet.mem a f) triples with
+      | [] -> None
+      | kept ->
+        Some (Aedges kept, owners map (List.map (fun (a, _, _) -> a) kept))))
+
+(* A complemented {e label} position is the one construct a shard cannot
+   answer soundly when it does not know the name: on that shard the
+   complement is vacuously true (none of its edges carry a label it has
+   never seen), so the correct contribution is {e non-empty} — but its
+   graph-relative parser refuses the query instead. Complemented {e
+   vertex} positions never hit this: the partitioner replicates the full
+   vertex universe, so a vertex unknown on one shard is unknown on all —
+   a global typo caught by the all-shards-error rule. *)
+let atom_has_label_complement = function
+  | Asel { lbl = CoNames _; _ } -> true
+  | Asel _ | Aedges _ | Aall -> false
+
+(* --- Scatter-gather evaluation ------------------------------------------- *)
+
+exception Fatal of Wire.error_code * string
+
+type ctx = {
+  rt : t;
+  scratch : Digraph.t;  (* per-request; interns gathered names *)
+  options : Wire.options;  (* clamped *)
+  eff_max_length : int;
+  abs_deadline : float option;
+  mutable reasons : Err.reason list;
+  mutable missing : StrSet.t;
+  atom_cache : (string, Path_set.t) Hashtbl.t;
+}
+
+let note_reason ctx r =
+  if not (List.mem r ctx.reasons) then ctx.reasons <- r :: ctx.reasons
+
+let note_missing ctx idx =
+  let name = (Shardmap.shard ctx.rt.config.map idx).Shardmap.name in
+  if not (StrSet.mem name ctx.missing) then begin
+    ctx.missing <- StrSet.add name ctx.missing;
+    note_reason ctx Err.Shard_unavailable
+  end
+
+let reason_rank = function
+  | Err.Shard_unavailable -> 0
+  | Err.Deadline -> 1
+  | Err.Fuel -> 2
+  | Err.Memory -> 3
+  | Err.Cancelled -> 4
+  | Err.Limit -> 5
+
+let final_verdict ctx =
+  match
+    List.sort (fun a b -> compare (reason_rank a) (reason_rank b)) ctx.reasons
+  with
+  | [] -> Err.Complete
+  | r :: _ -> Err.Partial r
+
+let deadline_expired ctx =
+  match ctx.abs_deadline with
+  | Some d -> Unix.gettimeofday () > d
+  | None -> false
+
+let cap ctx s =
+  Path_set.filter (fun p -> Path.length p <= ctx.eff_max_length) s
+
+(* The router's stand-in for the engine's live-path budget: materialised
+   intermediates above [max_paths] are truncated to a sound subset. *)
+let guard_mem ctx s =
+  match ctx.options.Wire.max_paths with
+  | Some m when Path_set.cardinal s > m ->
+    note_reason ctx Err.Memory;
+    Path_set.truncate m s
+  | _ -> s
+
+let dispatch_deadline ctx =
+  match ctx.abs_deadline with
+  | Some d -> d
+  | None -> Unix.gettimeofday () +. (ctx.rt.config.shard_timeout_ms /. 1000.0)
+
+(* Options forwarded with every atom dispatch: the shard only ever
+   evaluates one selector (single-edge paths), so strategy / limit /
+   simple / max_length are the router's business, while the governed
+   budgets and the staleness bounds ride through so each shard enforces
+   them locally. *)
+let atom_options ctx ~remaining_ms =
+  {
+    ctx.options with
+    Wire.strategy = None;
+    limit = None;
+    max_length = Some 1;
+    simple = false;
+    deadline_ms = remaining_ms;
+    from_seq = None;
+    epoch = None;
+  }
+
+let shard_verdict_of_result json =
+  match
+    Option.bind
+      (Option.bind (Json.member "result" json) (Json.member "verdict"))
+      Json.to_string_opt
+  with
+  | Some "complete" | None -> None
+  | Some s ->
+    let n = String.length s in
+    let prefix = "partial:" in
+    let pn = String.length prefix in
+    if n > pn && String.sub s 0 pn = prefix then
+      Err.reason_of_name (String.sub s pn (n - pn))
+    else None
+
+let edges_of_result json =
+  match Option.bind (Json.member "result" json) (Json.member "paths") with
+  | Some (Json.List paths) ->
+    List.concat_map
+      (fun p ->
+        match Json.member "edges" p with
+        | Some (Json.List [ e ]) -> (
+          match
+            ( Option.bind (Json.member "tail" e) Json.to_string_opt,
+              Option.bind (Json.member "label" e) Json.to_string_opt,
+              Option.bind (Json.member "head" e) Json.to_string_opt )
+          with
+          | Some a, Some b, Some c -> [ (a, b, c) ]
+          | _ -> raise (Fatal (Wire.Internal, "malformed edge from shard")))
+        | _ ->
+          raise
+            (Fatal
+               ( Wire.Internal,
+                 "unexpected non-single-edge path from a shard's selector \
+                  dispatch" )))
+      paths
+  | _ -> raise (Fatal (Wire.Internal, "shard response carries no paths"))
+
+let eval_atom ctx frontier atom =
+  if ctx.eff_max_length < 1 then Path_set.empty
+  else
+    match
+      narrow_atom ctx.rt.config.map ~frontier_cap:ctx.rt.config.frontier_cap
+        frontier atom
+    with
+    | None -> Path_set.empty
+    | Some (narrowed, targets) ->
+      let text =
+        match render_atom narrowed with
+        | Some s -> s
+        | None -> (
+          (* Data-derived names defeated quoting; fall back to the original
+             un-narrowed atom (parsed from user text, always renderable). *)
+          match render_atom atom with
+          | Some s -> s
+          | None ->
+            raise (Fatal (Wire.Internal, "unrenderable selector atom")))
+      in
+      let key = text ^ "@" ^ String.concat "," (List.map string_of_int targets) in
+      (match Hashtbl.find_opt ctx.atom_cache key with
+      | Some cached -> cached
+      | None ->
+        let abs_deadline = dispatch_deadline ctx in
+        let remaining_ms =
+          Option.map
+            (fun d -> Float.max 1.0 ((d -. Unix.gettimeofday ()) *. 1000.0))
+            ctx.abs_deadline
+        in
+        let mk_req () =
+          {
+            Wire.id = fresh_id ctx.rt;
+            verb = Wire.Query;
+            query = Some text;
+            options = atom_options ctx ~remaining_ms;
+          }
+        in
+        let outcomes = scatter ctx.rt targets mk_req ~abs_deadline in
+        let edges = ref [] in
+        let qerrs = ref [] in
+        let answered = ref 0 in
+        List.iter
+          (fun (idx, outcome) ->
+            match outcome with
+            | D_ok json ->
+              incr answered;
+              (match shard_verdict_of_result json with
+              | Some r -> note_reason ctx r
+              | None -> ());
+              edges := List.rev_append (edges_of_result json) !edges
+            | D_wire (code, msg) when code = Wire.error_code_name Wire.Query_error
+              ->
+              if atom_has_label_complement atom then
+                raise
+                  (Fatal
+                     ( Wire.Query_error,
+                       Printf.sprintf
+                         "shard %s: %s (a complemented label position cannot \
+                          be answered soundly by a shard that does not know \
+                          the name)"
+                         (Shardmap.shard ctx.rt.config.map idx).Shardmap.name
+                         msg ))
+              else qerrs := (idx, msg) :: !qerrs
+            | D_wire (code, msg) ->
+              raise
+                (Fatal
+                   ( (if code = Wire.error_code_name Wire.Infeasible then
+                        Wire.Infeasible
+                      else Wire.Internal),
+                     Printf.sprintf "shard %s: %s"
+                       (Shardmap.shard ctx.rt.config.map idx).Shardmap.name msg
+                   ))
+            | D_unavailable -> note_missing ctx idx)
+          outcomes;
+        (* A name unknown on one shard while another matched it is just an
+           empty contribution; unknown on {e every} shard that answered —
+           and every shard answered — is the typo the single-server parser
+           would have caught. *)
+        (match (!qerrs, !answered) with
+        | (_, msg) :: _, 0 when List.length !qerrs = List.length targets ->
+          raise (Fatal (Wire.Query_error, msg))
+        | _ -> ());
+        let pset =
+          Path_set.of_list
+            (List.map
+               (fun (a, b, c) -> Path.of_edge (Digraph.add ctx.scratch a b c))
+               !edges)
+        in
+        Hashtbl.replace ctx.atom_cache key pset;
+        pset)
+
+(* Heads of the left operand's paths, as names, for the frontier handoff.
+   [None] when the set contains ε (a path starting anywhere may follow). *)
+let frontier_of ctx pset =
+  let exception Eps in
+  match
+    Path_set.fold
+      (fun p acc ->
+        match Path.head p with
+        | None -> raise Eps
+        | Some v -> StrSet.add (Digraph.vertex_name ctx.scratch v) acc)
+      pset StrSet.empty
+  with
+  | s -> Some (StrSet.elements s)
+  | exception Eps -> None
+
+(* Mirrors {!Mrpa_core.Expr.denote}: the length cap applies to {e every}
+   selector / join / product result, and the star is the bounded closure.
+   The incoming [frontier] only ever {e narrows dispatches} — every
+   algebraic filter happens here, so narrowing can never change the
+   result, only the bytes on the wire. *)
+let rec eval ctx frontier rx =
+  if deadline_expired ctx then begin
+    note_reason ctx Err.Deadline;
+    Path_set.empty
+  end
+  else
+    match rx with
+    | Rempty -> Path_set.empty
+    | Reps -> Path_set.epsilon
+    | Ratom atom -> eval_atom ctx frontier atom
+    | Runion (a, b) ->
+      guard_mem ctx
+        (Path_set.union (eval ctx frontier a) (eval ctx frontier b))
+    | Rjoin (a, b) ->
+      let pa = eval ctx frontier a in
+      if Path_set.is_empty pa then Path_set.empty
+      else
+        let fr = frontier_of ctx pa in
+        let pb = eval ctx fr b in
+        guard_mem ctx (cap ctx (Path_set.join pa pb))
+    | Rproduct (a, b) ->
+      let pa = eval ctx frontier a in
+      if Path_set.is_empty pa then Path_set.empty
+      else guard_mem ctx (cap ctx (Path_set.product pa (eval ctx None b)))
+    | Rstar a ->
+      (* The closure wanders: its inner paths may start anywhere, so the
+         frontier does not pass through (the parent join still filters). *)
+      let pa = eval ctx None a in
+      guard_mem ctx
+        (Path_set.star_bounded pa ~max_length:ctx.eff_max_length)
+
+(* --- Verb handling ------------------------------------------------------- *)
+
+let esc = Render.escape_string
+
+let missing_json ctx =
+  match StrSet.elements ctx.missing with
+  | [] -> None
+  | names -> Some ("[" ^ String.concat "," (List.map esc names) ^ "]")
+
+let effective_max_length t (o : Wire.options) =
+  match o.Wire.max_length with
+  | Some m -> m
+  | None -> min Engine.default_max_length t.config.limits.Wire.max_length_cap
+
+let handle_query t (req : Wire.request) (o : Wire.options) =
+  let started = Unix.gettimeofday () in
+  let query_text = Option.value ~default:"" req.Wire.query in
+  match parse_query query_text with
+  | Error (m, pos) ->
+    Wire.response_error ~id:req.Wire.id ~code:Wire.Query_error
+      (Printf.sprintf "parse error at offset %d: %s" pos m)
+  | Ok rx -> (
+    let ctx =
+      {
+        rt = t;
+        scratch = Digraph.create ();
+        options = o;
+        eff_max_length = effective_max_length t o;
+        abs_deadline =
+          Option.map (fun ms -> started +. (ms /. 1000.0)) o.Wire.deadline_ms;
+        reasons = [];
+        missing = StrSet.empty;
+        atom_cache = Hashtbl.create 8;
+      }
+    in
+    match eval ctx None rx with
+    | exception Fatal (code, msg) ->
+      Wire.response_error ~id:req.Wire.id ~code msg
+    | pset ->
+      let pset = if o.Wire.simple then Path_set.restrict_simple pset else pset in
+      let pset =
+        match o.Wire.limit with
+        | Some k when Path_set.cardinal pset > k ->
+          note_reason ctx Err.Limit;
+          Path_set.truncate k pset
+        | _ -> pset
+      in
+      let verdict = final_verdict ctx in
+      (match verdict with
+      | Err.Complete -> ()
+      | Err.Partial _ -> c_incr t "router.partial");
+      if not (StrSet.is_empty ctx.missing) then c_incr t "router.degraded";
+      let missing_frag =
+        match missing_json ctx with
+        | None -> ""
+        | Some j -> ",\"missing_shards\":" ^ j
+      in
+      let elapsed_ms = (Unix.gettimeofday () -. started) *. 1000.0 in
+      (match req.Wire.verb with
+      | Wire.Count ->
+        c_incr t "router.counts";
+        Wire.response_ok ~id:req.Wire.id
+          ([
+             ("count", string_of_int (Path_set.cardinal pset));
+             ("verdict", esc (Err.verdict_name verdict));
+           ]
+          @
+          match missing_json ctx with
+          | None -> []
+          | Some j -> [ ("missing_shards", j) ])
+      | _ ->
+        c_incr t "router.queries";
+        let result =
+          Printf.sprintf
+            {|{"paths":%s,"count":%d,"elapsed_ms":%.3f,"strategy":"scatter","verdict":%s%s}|}
+            (Render.paths_json ctx.scratch pset)
+            (Path_set.cardinal pset) elapsed_ms
+            (esc (Err.verdict_name verdict))
+            missing_frag
+        in
+        Wire.response_ok ~id:req.Wire.id [ ("result", result) ]))
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> esc k ^ ":" ^ v) fields) ^ "}"
+
+(* Gather a per-shard payload member ("stats" / "health") from every
+   shard; unreachable shards render as null. *)
+let gather_member t ~verb ~member ~abs_deadline =
+  let mk_req () =
+    { Wire.id = fresh_id t; verb; query = None; options = Wire.default_options }
+  in
+  let outcomes = scatter t (all_shards t.config.map) mk_req ~abs_deadline in
+  List.map
+    (fun (idx, outcome) ->
+      let name = (Shardmap.shard t.config.map idx).Shardmap.name in
+      let value =
+        match outcome with
+        | D_ok json -> (
+          match Json.member member json with
+          | Some j -> Json.to_string j
+          | None -> "null")
+        | D_wire _ | D_unavailable -> "null"
+      in
+      (idx, name, value))
+    outcomes
+
+let handle_stats t (req : Wire.request) =
+  let abs_deadline =
+    Unix.gettimeofday () +. (t.config.shard_timeout_ms /. 1000.0)
+  in
+  let shards = gather_member t ~verb:Wire.Stats ~member:"stats" ~abs_deadline in
+  let router_fields =
+    with_lock t.lock (fun () ->
+        [
+          ("router.shards", string_of_int (Shardmap.n_shards t.config.map));
+          ("router.requests", string_of_int (c_get t "router.requests"));
+          ("router.queries", string_of_int (c_get t "router.queries"));
+          ("router.counts", string_of_int (c_get t "router.counts"));
+          ("router.dispatches", string_of_int (c_get t "router.dispatches"));
+          ("router.partial", string_of_int (c_get t "router.partial"));
+          ("router.degraded", string_of_int (c_get t "router.degraded"));
+          ( "router.breaker_opens",
+            string_of_int (c_get t "router.breaker_opens") );
+          ( "router.breaker_fastfails",
+            string_of_int (c_get t "router.breaker_fastfails") );
+          ( "router.uptime_ms",
+            Printf.sprintf "%.0f"
+              ((Unix.gettimeofday () -. t.started) *. 1000.0) );
+        ])
+  in
+  Wire.response_ok ~id:req.Wire.id
+    [
+      ("stats", json_obj router_fields);
+      ( "shards",
+        json_obj (List.map (fun (_, name, v) -> (name, v)) shards) );
+    ]
+
+let handle_health t (req : Wire.request) =
+  let abs_deadline =
+    Unix.gettimeofday () +. (t.config.probe_timeout_ms /. 1000.0)
+  in
+  let shards =
+    gather_member t ~verb:Wire.Health ~member:"health" ~abs_deadline
+  in
+  let shard_objs =
+    List.map
+      (fun (idx, name, health) ->
+        let b, disp =
+          with_lock t.lock (fun () ->
+              (t.breakers.(idx), t.breakers.(idx).dispatches))
+        in
+        let state =
+          match b.bstate with
+          | B_closed -> "closed"
+          | B_open since ->
+            if
+              Unix.gettimeofday () -. since
+              >= t.config.breaker_cooldown_ms /. 1000.0
+            then "half_open"
+            else "open"
+        in
+        json_obj
+          [
+            ("name", esc name);
+            ("breaker", esc state);
+            ("failures", string_of_int b.failures);
+            ("dispatches", string_of_int disp);
+            ("reachable", if health = "null" then "false" else "true");
+            ("health", health);
+          ])
+      shards
+  in
+  Wire.response_ok ~id:req.Wire.id
+    [
+      ( "health",
+        json_obj
+          [
+            ("role", esc "router");
+            ("shards", "[" ^ String.concat "," shard_objs ^ "]");
+          ] );
+    ]
+
+(* Lint has no shard-placement question — any shard's static analyzer can
+   answer over its own name tables, and the first reachable one does. *)
+let handle_lint t (req : Wire.request) =
+  let abs_deadline =
+    Unix.gettimeofday () +. (t.config.shard_timeout_ms /. 1000.0)
+  in
+  let rec go = function
+    | [] ->
+      Wire.response_error ~id:req.Wire.id ~code:Wire.Internal
+        "no shard reachable to answer lint"
+    | idx :: rest -> (
+      let forwarded =
+        { req with Wire.id = fresh_id t; options = req.Wire.options }
+      in
+      match dispatch t idx forwarded ~abs_deadline with
+      | D_ok json -> (
+        (* Relay the shard's payload under the caller's id. *)
+        match json with
+        | Json.Obj fields ->
+          Json.to_string
+            (Json.Obj
+               (List.map
+                  (fun (k, v) -> if k = "id" then (k, req.Wire.id) else (k, v))
+                  fields))
+        | _ -> Json.to_string json)
+      | D_wire (code, msg) ->
+        let code =
+          if code = Wire.error_code_name Wire.Query_error then Wire.Query_error
+          else Wire.Internal
+        in
+        Wire.response_error ~id:req.Wire.id ~code msg
+      | D_unavailable -> go rest)
+  in
+  go (all_shards t.config.map)
+
+let handle_line ?(remote = false) t line =
+  match Wire.decode_request line with
+  | Error msg -> Wire.response_error ~id:Json.Null ~code:Wire.Bad_request msg
+  | Ok req -> (
+    c_incr t "router.requests";
+    let o = Wire.clamp t.config.limits req.Wire.options in
+    match req.Wire.verb with
+    | Wire.Ping -> Wire.response_ok ~id:req.Wire.id [ ("pong", "true") ]
+    | Wire.Query | Wire.Count -> handle_query t req o
+    | Wire.Stats -> handle_stats t req
+    | Wire.Health -> handle_health t req
+    | Wire.Lint -> handle_lint t req
+    | Wire.Shutdown ->
+      if remote && not t.config.allow_remote_shutdown then
+        Wire.response_error ~id:req.Wire.id ~code:Wire.Unauthorized
+          "shutdown over TCP requires --allow-remote-shutdown"
+      else begin
+        stop t;
+        Wire.response_ok ~id:req.Wire.id [ ("stopping", "true") ]
+      end
+    | Wire.Sub | Wire.Views _ ->
+      Wire.response_error ~id:req.Wire.id ~code:Wire.Bad_request
+        (Printf.sprintf
+           "verb %S is not supported by the router; address a shard directly"
+           (Wire.verb_name req.Wire.verb)))
+
+(* --- Sessions and the accept loop ---------------------------------------- *)
+
+let poll_interval_s = 0.1
+
+let send_line fd line =
+  try Net.write_all fd (line ^ "\n")
+  with Unix.Unix_error _ | Failure _ -> ()
+
+let session t fd ~remote =
+  let chunk = Bytes.create 4096 in
+  let carry = ref "" in
+  let rec read_line () =
+    match String.index_opt !carry '\n' with
+    | Some i ->
+      let line = String.sub !carry 0 i in
+      carry := String.sub !carry (i + 1) (String.length !carry - i - 1);
+      `Line line
+    | None ->
+      if Atomic.get t.stopping then `Stop
+      else if String.length !carry > t.config.max_request_bytes then `Too_large
+      else (
+        match Unix.select [ fd ] [] [] poll_interval_s with
+        | [], _, _ -> read_line ()
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> `Eof
+          | n ->
+            carry := !carry ^ Bytes.sub_string chunk 0 n;
+            read_line ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line ()
+          | exception Unix.Unix_error _ -> `Eof)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line ()
+        | exception Unix.Unix_error _ -> `Eof)
+  in
+  let rec loop () =
+    match read_line () with
+    | `Eof | `Stop -> ()
+    | `Too_large ->
+      send_line fd
+        (Wire.response_error ~id:Json.Null ~code:Wire.Request_too_large
+           (Printf.sprintf "request line exceeds %d bytes"
+              t.config.max_request_bytes))
+    | `Line line ->
+      if String.trim line = "" then loop ()
+      else begin
+        send_line fd (handle_line ~remote t line);
+        if not (Atomic.get t.stopping) then loop ()
+      end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      with_lock t.sessions_lock (fun () ->
+          t.live_sessions <- t.live_sessions - 1))
+    (fun () -> try loop () with _ -> ())
+
+let bind_endpoint = function
+  | Wire.Unix_socket path ->
+    (match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | Wire.Tcp (host, port) ->
+    let addr = Net.resolve host in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 64;
+    fd
+
+let serve t =
+  Net.ignore_sigpipe ();
+  let listen_fd = bind_endpoint t.config.endpoint in
+  let actual =
+    match t.config.endpoint with
+    | Wire.Tcp (host, 0) -> (
+      match Unix.getsockname listen_fd with
+      | Unix.ADDR_INET (_, port) -> Wire.Tcp (host, port)
+      | _ -> t.config.endpoint)
+    | e -> e
+  in
+  Atomic.set t.bound (Some actual);
+  let remote = match t.config.endpoint with Wire.Tcp _ -> true | _ -> false in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set t.stopping true;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (* Give in-flight sessions a moment to flush their last response. *)
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      let rec wait () =
+        let left = with_lock t.sessions_lock (fun () -> t.live_sessions) in
+        if left > 0 && Unix.gettimeofday () < deadline then begin
+          Thread.yield ();
+          Unix.sleepf 0.02;
+          wait ()
+        end
+      in
+      wait ();
+      match t.config.endpoint with
+      | Wire.Unix_socket path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Wire.Tcp _ -> ())
+    (fun () ->
+      while not (Atomic.get t.stopping) do
+        match Unix.select [ listen_fd ] [] [] poll_interval_s with
+        | [], _, _ -> ()
+        | _ -> (
+          match Unix.accept listen_fd with
+          | fd, _ ->
+            Net.set_nodelay fd;
+            with_lock t.sessions_lock (fun () ->
+                t.live_sessions <- t.live_sessions + 1);
+            ignore (Thread.create (fun () -> session t fd ~remote) ())
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done)

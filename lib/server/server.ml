@@ -956,6 +956,16 @@ let handle_views t ss (req : Wire.request) (v : Wire.view_req) =
 (* --- Replication verbs --------------------------------------------------- *)
 
 let health_response t req =
+  (* Load signal for routers and failover clients: how much work is
+     waiting ([queue_depth]) and running ([inflight]) right now. Reported
+     for every role so a circuit breaker's half-open probe learns both
+     liveness and load from one round trip. *)
+  let load_fields =
+    [
+      ("queue_depth", string_of_int (Pool.queued t.pool));
+      ("inflight", string_of_int (Pool.running t.pool));
+    ]
+  in
   let fields =
     match t.repl with
     | No_replication ->
@@ -998,7 +1008,8 @@ let health_response t req =
         ("resyncs", string_of_int r.rep_resyncs);
       ]
   in
-  Wire.response_ok ~id:req.Wire.id [ ("health", json_obj fields) ]
+  Wire.response_ok ~id:req.Wire.id
+    [ ("health", json_obj (fields @ load_fields)) ]
 
 (* Stream backlog + live records to one subscriber until the connection
    dies, the server stops, or the tailer declares the subscriber dead

@@ -1,0 +1,110 @@
+The sharded serving tier: mrpa partition splits a graph by the shard
+map's hash placement, a fleet of mrpa serve processes serves the parts,
+and mrpa route fronts them with one mrpa.wire/1 endpoint — scatter,
+gather through the path algebra, degrade soundly when a shard dies.
+
+A deterministic graph and a three-shard map:
+
+  $ ../bin/mrpa.exe generate --kind ring -n 12 -o ring.tsv
+  generated ring: |V|=12 |E|=12 |Omega|=3
+  $ cat > fleet.map <<'EOF'
+  > # mrpa.shardmap/1
+  > shard s0 unix:s0.sock
+  > shard s1 unix:s1.sock
+  > shard s2 unix:s2.sock
+  > EOF
+
+Partitioning is deterministic (crc32(tail) mod 3), disjoint, and
+replicates the vertex universe so names resolve on every shard:
+
+  $ ../bin/mrpa.exe partition ring.tsv --shard-map fleet.map --out-dir parts
+  mrpa partition: parts/s0.tsv (5 edge(s))
+  mrpa partition: parts/s1.tsv (6 edge(s))
+  mrpa partition: parts/s2.tsv (1 edge(s))
+  $ grep -c 'vertex' parts/s1.tsv
+  12
+
+A malformed map is a user error, not a crash:
+
+  $ ../bin/mrpa.exe route --shard-map ring.tsv --socket r.sock
+  error: shard map must start with "# mrpa.shardmap/1"
+  [1]
+
+Launch the fleet and the router (short breaker cooldown so recovery is
+quick to demonstrate):
+
+  $ for s in s0 s1 s2; do
+  >   ../bin/mrpa.exe serve --graph parts/$s.tsv --socket $s.sock 2>$s.log &
+  > done
+  $ for s in s0 s1 s2; do
+  >   for i in $(seq 1 100); do test -S $s.sock && break; sleep 0.1; done
+  > done
+  $ ../bin/mrpa.exe route --shard-map fleet.map --socket r.sock --breaker-cooldown-ms 200 2>route.log &
+  $ ROUTE_PID=$!
+  $ for i in $(seq 1 100); do test -S r.sock && break; sleep 0.1; done
+  $ for i in $(seq 1 100); do grep -q "listening on" route.log && break; sleep 0.1; done
+  $ head -2 route.log
+  mrpa route: unix:r.sock shards=3 (s0, s1, s2)
+  mrpa route: listening on unix:r.sock
+
+The router speaks the same wire protocol — mrpa call needs no new flags.
+A healthy fleet answers complete, and the stitched answer equals the
+unsharded one:
+
+  $ ../bin/mrpa.exe call --socket r.sock --count 'E'
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"count":12,"verdict":"complete"}
+  $ ../bin/mrpa.exe call --socket r.sock --count '[v0,_,_] . [_,_,_]'
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"count":1,"verdict":"complete"}
+
+Kill one shard mid-fleet. The answer degrades to a sound subset: verdict
+partial:shard_unavailable, exit code 3, and the missing shard is named
+in the response — never a silently wrong answer:
+
+  $ ../bin/mrpa.exe call --socket s1.sock --shutdown > /dev/null
+  $ for i in $(seq 1 100); do test -S s1.sock || break; sleep 0.1; done
+  $ ../bin/mrpa.exe call --socket r.sock --count 'E'; echo "exit: $?"
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"count":6,"verdict":"partial:shard_unavailable","missing_shards":["s1"]}
+  exit: 3
+
+Three consecutive failed dispatches open the shard's circuit breaker;
+while open, dispatches to it fail fast with no I/O:
+
+  $ ../bin/mrpa.exe call --socket r.sock --count 'E' > /dev/null
+  [3]
+  $ ../bin/mrpa.exe call --socket r.sock --count 'E' > /dev/null
+  [3]
+  $ ../bin/mrpa.exe call --socket r.sock --stats > stats.json
+  $ grep -o '"router.breaker_opens":[0-9]*' stats.json
+  "router.breaker_opens":1
+  $ grep -o '"router.degraded":[0-9]*' stats.json
+  "router.degraded":3
+
+Restart the shard; within one breaker probe interval the router is back
+to complete answers:
+
+  $ ../bin/mrpa.exe serve --graph parts/s1.tsv --socket s1.sock 2>s1b.log &
+  $ for i in $(seq 1 100); do test -S s1.sock && break; sleep 0.1; done
+  $ sleep 0.3
+  $ ../bin/mrpa.exe call --socket r.sock --count 'E'; echo "exit: $?"
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"count":12,"verdict":"complete"}
+  exit: 0
+
+The failover client with every endpoint down fails in bounded time with
+exit 1 — it rotates through the whole list once (so a live standby would
+have answered) and gives up cleanly:
+
+  $ timeout 30 ../bin/mrpa.exe call --endpoints unix:dead1.sock,unix:dead2.sock,unix:dead3.sock --ping 2>&1; echo "exit: $?"
+  error: cannot connect to unix:dead3.sock: No such file or directory
+  exit: 1
+
+Drain the fleet through the wire protocol; every socket is unlinked —
+no orphans left behind:
+
+  $ ../bin/mrpa.exe call --socket r.sock --shutdown
+  {"mrpa":"mrpa.wire/1","id":null,"ok":true,"stopping":true}
+  $ wait $ROUTE_PID; echo "router exit: $?"
+  router exit: 0
+  $ for s in s0 s1 s2; do ../bin/mrpa.exe call --socket $s.sock --shutdown > /dev/null; done
+  $ sleep 0.5
+  $ ls *.sock 2>/dev/null || echo "no sockets left"
+  no sockets left
